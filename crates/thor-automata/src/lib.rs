@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # thor-automata
+//!
+//! A from-scratch Aho–Corasick multi-pattern string matcher.
+//!
+//! The paper's **Baseline** competitor is "a traditional ER method that
+//! uses substring-search for exact syntactic matching (Aho–Corasick
+//! algorithm). … It uses structured data as patterns to build a
+//! dictionary or lexicon, which is then further used to match all
+//! sub-strings from the text." This crate provides that substrate: a
+//! goto/failure automaton built from a pattern dictionary, reporting all
+//! (overlapping) occurrences in a single pass over the text.
+//!
+//! The implementation follows Aho & Corasick (CACM 1975): a byte-level
+//! trie with BFS-computed failure links and merged output sets. Matching
+//! is `O(text + matches)`.
+
+mod matcher;
+
+pub use matcher::{AhoCorasick, AhoCorasickBuilder, Match};

@@ -1,0 +1,337 @@
+//! Aho–Corasick automaton: trie construction, failure links, matching.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A single pattern occurrence in the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Match {
+    /// Index of the matched pattern (insertion order in the builder).
+    pub pattern: usize,
+    /// Byte offset of the first byte of the occurrence.
+    pub start: usize,
+    /// Byte offset one past the last byte of the occurrence.
+    pub end: usize,
+}
+
+/// Builder: collect patterns, then [`AhoCorasickBuilder::build`].
+#[derive(Debug, Default)]
+pub struct AhoCorasickBuilder {
+    patterns: Vec<Vec<u8>>,
+    case_insensitive: bool,
+}
+
+impl AhoCorasickBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold ASCII case during both construction and matching.
+    pub fn ascii_case_insensitive(mut self, yes: bool) -> Self {
+        self.case_insensitive = yes;
+        self
+    }
+
+    /// Add one pattern. Empty patterns are ignored (they would match at
+    /// every position).
+    pub fn add_pattern(&mut self, pattern: impl AsRef<[u8]>) -> &mut Self {
+        let p = pattern.as_ref();
+        if !p.is_empty() {
+            self.patterns.push(p.to_vec());
+        }
+        self
+    }
+
+    /// Add many patterns.
+    pub fn add_patterns<I, P>(&mut self, patterns: I) -> &mut Self
+    where
+        I: IntoIterator<Item = P>,
+        P: AsRef<[u8]>,
+    {
+        for p in patterns {
+            self.add_pattern(p);
+        }
+        self
+    }
+
+    /// Construct the automaton.
+    pub fn build(&self) -> AhoCorasick {
+        let fold = |b: u8| if self.case_insensitive { b.to_ascii_lowercase() } else { b };
+
+        // ---- goto (trie) ----
+        let mut nodes: Vec<Node> = vec![Node::default()];
+        for (pid, pat) in self.patterns.iter().enumerate() {
+            let mut state = 0usize;
+            for &byte in pat {
+                let b = fold(byte);
+                state = match nodes[state].next.get(&b) {
+                    Some(&s) => s,
+                    None => {
+                        nodes.push(Node::default());
+                        let new = nodes.len() - 1;
+                        nodes[state].next.insert(b, new);
+                        new
+                    }
+                };
+            }
+            nodes[state].outputs.push(pid);
+        }
+
+        // ---- failure links (BFS) ----
+        let mut queue = VecDeque::new();
+        let root_children: Vec<(u8, usize)> =
+            nodes[0].next.iter().map(|(&b, &s)| (b, s)).collect();
+        for (_, s) in root_children {
+            nodes[s].fail = 0;
+            queue.push_back(s);
+        }
+        while let Some(state) = queue.pop_front() {
+            let children: Vec<(u8, usize)> =
+                nodes[state].next.iter().map(|(&b, &s)| (b, s)).collect();
+            for (b, child) in children {
+                // Follow failures of `state` until a node with a `b`
+                // transition (or the root).
+                let mut f = nodes[state].fail;
+                loop {
+                    if let Some(&t) = nodes[f].next.get(&b) {
+                        if t != child {
+                            nodes[child].fail = t;
+                            break;
+                        }
+                    }
+                    if f == 0 {
+                        nodes[child].fail = nodes[0].next.get(&b).copied().filter(|&t| t != child).unwrap_or(0);
+                        break;
+                    }
+                    f = nodes[f].fail;
+                }
+                // Merge outputs from the failure target.
+                let fail_outputs = nodes[nodes[child].fail].outputs.clone();
+                nodes[child].outputs.extend(fail_outputs);
+                queue.push_back(child);
+            }
+        }
+
+        AhoCorasick {
+            nodes,
+            pattern_lengths: self.patterns.iter().map(Vec::len).collect(),
+            case_insensitive: self.case_insensitive,
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Node {
+    next: HashMap<u8, usize>,
+    fail: usize,
+    outputs: Vec<usize>,
+}
+
+/// The built automaton. Immutable and cheap to share.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_lengths: Vec<usize>,
+    case_insensitive: bool,
+}
+
+impl AhoCorasick {
+    /// Number of patterns in the dictionary.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_lengths.len()
+    }
+
+    /// Find **all** (overlapping) occurrences of every pattern, in
+    /// order of their end position.
+    pub fn find_all(&self, haystack: impl AsRef<[u8]>) -> Vec<Match> {
+        let haystack = haystack.as_ref();
+        let fold = |b: u8| if self.case_insensitive { b.to_ascii_lowercase() } else { b };
+        let mut matches = Vec::new();
+        let mut state = 0usize;
+        for (i, &byte) in haystack.iter().enumerate() {
+            let b = fold(byte);
+            loop {
+                if let Some(&next) = self.nodes[state].next.get(&b) {
+                    state = next;
+                    break;
+                }
+                if state == 0 {
+                    break;
+                }
+                state = self.nodes[state].fail;
+            }
+            for &pid in &self.nodes[state].outputs {
+                let len = self.pattern_lengths[pid];
+                matches.push(Match { pattern: pid, start: i + 1 - len, end: i + 1 });
+            }
+        }
+        matches
+    }
+
+    /// Like [`AhoCorasick::find_all`], but keeps only matches aligned on
+    /// word boundaries (the Baseline extractor matches whole entities,
+    /// not arbitrary substrings of words).
+    pub fn find_words(&self, haystack: &str) -> Vec<Match> {
+        let bytes = haystack.as_bytes();
+        let is_word = |i: usize| -> bool {
+            i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+        };
+        self.find_all(haystack)
+            .into_iter()
+            .filter(|m| {
+                let left_ok = m.start == 0 || !is_word(m.start - 1) || !is_word(m.start);
+                let right_ok = m.end == bytes.len() || !is_word(m.end) || !is_word(m.end - 1);
+                left_ok && right_ok
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn build(patterns: &[&str]) -> AhoCorasick {
+        let mut b = AhoCorasickBuilder::new();
+        b.add_patterns(patterns);
+        b.build()
+    }
+
+    /// Reference implementation: naive multi-pattern scan.
+    fn naive(patterns: &[&str], haystack: &str) -> Vec<Match> {
+        let hb = haystack.as_bytes();
+        let mut out = Vec::new();
+        for i in 0..hb.len() {
+            for (pid, p) in patterns.iter().enumerate() {
+                let pb = p.as_bytes();
+                if pb.is_empty() {
+                    continue;
+                }
+                if i + pb.len() <= hb.len() && &hb[i..i + pb.len()] == pb {
+                    out.push(Match { pattern: pid, start: i, end: i + pb.len() });
+                }
+            }
+        }
+        out
+    }
+
+    fn sorted(mut m: Vec<Match>) -> Vec<Match> {
+        m.sort();
+        m
+    }
+
+    #[test]
+    fn classic_example() {
+        // The canonical he/she/his/hers example from the 1975 paper.
+        let ac = build(&["he", "she", "his", "hers"]);
+        let m = ac.find_all("ushers");
+        let found: Vec<(usize, usize, usize)> =
+            m.iter().map(|m| (m.pattern, m.start, m.end)).collect();
+        assert!(found.contains(&(1, 1, 4))); // she
+        assert!(found.contains(&(0, 2, 4))); // he
+        assert!(found.contains(&(3, 2, 6))); // hers
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_matches_reported() {
+        let ac = build(&["aa"]);
+        let m = ac.find_all("aaaa");
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn no_patterns_no_matches() {
+        let ac = AhoCorasickBuilder::new().build();
+        assert!(ac.find_all("anything").is_empty());
+        assert_eq!(ac.pattern_count(), 0);
+    }
+
+    #[test]
+    fn empty_patterns_ignored() {
+        let mut b = AhoCorasickBuilder::new();
+        b.add_pattern("");
+        b.add_pattern("x");
+        let ac = b.build();
+        assert_eq!(ac.pattern_count(), 1);
+        assert_eq!(ac.find_all("xx").len(), 2);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let mut b = AhoCorasickBuilder::new().ascii_case_insensitive(true);
+        b.add_pattern("Tuberculosis");
+        let ac = b.build();
+        assert_eq!(ac.find_all("TUBERCULOSIS and tuberculosis").len(), 2);
+    }
+
+    #[test]
+    fn word_boundary_filter() {
+        let mut b = AhoCorasickBuilder::new();
+        b.add_pattern("ear");
+        let ac = b.build();
+        // "ear" inside "hearing" is not word-aligned.
+        assert!(ac.find_words("hearing loss").is_empty());
+        assert_eq!(ac.find_words("the ear hurts").len(), 1);
+        assert_eq!(ac.find_words("ear").len(), 1);
+    }
+
+    #[test]
+    fn multiword_patterns() {
+        let ac = build(&["nervous system", "hearing loss"]);
+        let m = ac.find_words("damage to the nervous system causes hearing loss");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn pattern_is_prefix_of_another() {
+        let ac = build(&["can", "cancer", "cancerous"]);
+        let m = ac.find_all("cancerous");
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn unicode_haystack_byte_offsets() {
+        let ac = build(&["nerf"]);
+        let hay = "café nerf naïve";
+        for m in ac.find_all(hay) {
+            assert_eq!(&hay[m.start..m.end], "nerf");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn agrees_with_naive_search(
+            patterns in prop::collection::vec("[ab]{1,4}", 1..6),
+            haystack in "[ab]{0,40}",
+        ) {
+            let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+            let ac = build(&refs);
+            prop_assert_eq!(sorted(ac.find_all(&haystack)), sorted(naive(&refs, &haystack)));
+        }
+
+        #[test]
+        fn agrees_with_naive_search_wider_alphabet(
+            patterns in prop::collection::vec("[a-e ]{1,6}", 1..8),
+            haystack in "[a-e ]{0,60}",
+        ) {
+            let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+            let ac = build(&refs);
+            prop_assert_eq!(sorted(ac.find_all(&haystack)), sorted(naive(&refs, &haystack)));
+        }
+
+        #[test]
+        fn match_spans_valid(
+            patterns in prop::collection::vec("[a-c]{1,5}", 1..5),
+            haystack in "[a-c]{0,30}",
+        ) {
+            let refs: Vec<&str> = patterns.iter().map(String::as_str).collect();
+            let ac = build(&refs);
+            for m in ac.find_all(&haystack) {
+                prop_assert!(m.end <= haystack.len());
+                prop_assert_eq!(&haystack[m.start..m.end], refs[m.pattern]);
+            }
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The **Baseline**: Aho–Corasick dictionary matching.
+//!
+//! "A traditional ER method that uses substring-search for exact
+//! syntactic matching … It uses structured data as patterns to build a
+//! dictionary or lexicon, which is then further used to match all
+//! sub-strings from the text." Exact matching cannot find
+//! out-of-vocabulary entities, which is why the paper's Baseline shows
+//! high precision and very low recall.
+
+use thor_automata::{AhoCorasick, AhoCorasickBuilder};
+use thor_core::{Document, ExtractedEntity};
+use thor_data::Table;
+use thor_text::normalize_phrase;
+
+use crate::subject::attribute_sentences;
+use crate::Extractor;
+
+/// Dictionary-based exact matcher over the table's instances.
+#[derive(Debug)]
+pub struct DictionaryBaseline {
+    automaton: AhoCorasick,
+    /// pattern index → (concept, display phrase).
+    patterns: Vec<(String, String)>,
+}
+
+impl DictionaryBaseline {
+    /// Build the dictionary from every (concept, instance) of `table`,
+    /// including the subject concept (other subjects mentioned in a
+    /// document are legitimate subject-concept entities).
+    pub fn from_table(table: &Table) -> Self {
+        let mut builder = AhoCorasickBuilder::new().ascii_case_insensitive(true);
+        let mut patterns = Vec::new();
+        for concept in table.schema().concepts() {
+            for instance in table.column_values(concept.name()) {
+                let norm = normalize_phrase(&instance);
+                if norm.is_empty() {
+                    continue;
+                }
+                builder.add_pattern(norm.as_bytes());
+                patterns.push((concept.name().to_string(), instance));
+            }
+        }
+        Self { automaton: builder.build(), patterns }
+    }
+
+    /// Number of dictionary patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+impl Extractor for DictionaryBaseline {
+    fn name(&self) -> &str {
+        "Baseline"
+    }
+
+    fn extract(&self, table: &Table, docs: &[Document]) -> Vec<ExtractedEntity> {
+        let subjects: Vec<String> = table.subjects().map(str::to_string).collect();
+        let mut out = Vec::new();
+        for doc in docs {
+            for (subject, sentence) in attribute_sentences(&doc.text, &subjects) {
+                // Match against the normalized sentence so case/punct
+                // differences don't break exactness.
+                let normalized = normalize_phrase(&sentence.text);
+                for m in self.automaton.find_words(&normalized) {
+                    let (concept, phrase) = &self.patterns[m.pattern];
+                    out.push(ExtractedEntity {
+                        subject: subject.clone(),
+                        concept: concept.clone(),
+                        phrase: normalize_phrase(phrase),
+                        score: 1.0,
+                        matched_instance: normalize_phrase(phrase),
+                        doc_id: doc.id.clone(),
+                        sentence_index: 0,
+                    });
+                }
+            }
+        }
+        // Deduplicate per (doc, concept, phrase) — evaluation granularity.
+        out.sort_by_key(|a| a.key());
+        out.dedup_by(|a, b| a.key() == b.key());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thor_data::Schema;
+
+    fn table() -> Table {
+        let mut t = Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        t.fill_slot("Tuberculosis", "Anatomy", "lungs");
+        t.fill_slot("Tuberculosis", "Complication", "empyema");
+        t.fill_slot("Acne", "Anatomy", "skin");
+        t
+    }
+
+    #[test]
+    fn finds_exact_instances() {
+        let b = DictionaryBaseline::from_table(&table());
+        let docs = vec![Document::new("d", "Tuberculosis damages the lungs and causes empyema.")];
+        let found = b.extract(&table(), &docs);
+        let phrases: Vec<&str> = found.iter().map(|e| e.phrase.as_str()).collect();
+        assert!(phrases.contains(&"lungs"));
+        assert!(phrases.contains(&"empyema"));
+        assert!(phrases.contains(&"tuberculosis"), "subject instances matched too");
+    }
+
+    #[test]
+    fn misses_oov_instances() {
+        let b = DictionaryBaseline::from_table(&table());
+        let docs = vec![Document::new("d", "Tuberculosis may cause meningitis.")];
+        let found = b.extract(&table(), &docs);
+        assert!(!found.iter().any(|e| e.phrase.contains("meningitis")));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let b = DictionaryBaseline::from_table(&table());
+        let docs = vec![Document::new("d", "TUBERCULOSIS affects the LUNGS.")];
+        let found = b.extract(&table(), &docs);
+        assert!(found.iter().any(|e| e.phrase == "lungs"));
+    }
+
+    #[test]
+    fn no_partial_word_matches() {
+        let mut t = Table::new(Schema::new(["Disease", "Anatomy"], "Disease"));
+        t.fill_slot("X", "Anatomy", "ear");
+        let b = DictionaryBaseline::from_table(&t);
+        let docs = vec![Document::new("d", "X is about hearing problems.")];
+        let found = b.extract(&t, &docs);
+        assert!(!found.iter().any(|e| e.phrase == "ear"), "{found:?}");
+    }
+
+    #[test]
+    fn deduplicates_per_doc() {
+        let b = DictionaryBaseline::from_table(&table());
+        let docs = vec![Document::new("d", "Acne affects the skin. The skin heals.")];
+        let found = b.extract(&table(), &docs);
+        let skins = found.iter().filter(|e| e.phrase == "skin").count();
+        assert_eq!(skins, 1);
+    }
+
+    #[test]
+    fn empty_table_extracts_nothing() {
+        let t = Table::new(Schema::new(["Disease", "Anatomy"], "Disease"));
+        let b = DictionaryBaseline::from_table(&t);
+        assert_eq!(b.pattern_count(), 0);
+        let docs = vec![Document::new("d", "Anything here.")];
+        assert!(b.extract(&t, &docs).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Subject attribution shared by the baseline systems: exact-mention
+//! anchoring with carry-forward, the same heuristic THOR's segmentation
+//! uses (without the semantic fallback, which only THOR has).
+
+use thor_text::{normalize_phrase, split_sentences, Sentence};
+
+/// Attribute each sentence of `text` to a subject instance. Sentences
+/// before the first mention fall to the first subject (if any) so that
+/// no extraction is orphaned.
+pub fn attribute_sentences(text: &str, subjects: &[String]) -> Vec<(String, Sentence)> {
+    let keyed: Vec<(String, String)> =
+        subjects.iter().map(|s| (s.clone(), normalize_phrase(s))).collect();
+    let mut out = Vec::new();
+    let mut current: Option<String> = None;
+    for sentence in split_sentences(text) {
+        let norm = format!(" {} ", normalize_phrase(&sentence.text));
+        let mention = keyed
+            .iter()
+            .filter(|(_, key)| norm.contains(&format!(" {key} ")))
+            .max_by_key(|(_, key)| key.len())
+            .map(|(display, _)| display.clone());
+        if let Some(m) = mention {
+            current = Some(m);
+        }
+        let subject = current.clone().or_else(|| subjects.first().cloned());
+        if let Some(subject) = subject {
+            out.push((subject, sentence));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_forward() {
+        let subjects = vec!["Acoustic Neuroma".to_string(), "Tuberculosis".to_string()];
+        let segs = attribute_sentences(
+            "Acoustic Neuroma is a tumor. It grows slowly. Tuberculosis damages lungs.",
+            &subjects,
+        );
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].0, "Acoustic Neuroma");
+        assert_eq!(segs[1].0, "Acoustic Neuroma");
+        assert_eq!(segs[2].0, "Tuberculosis");
+    }
+
+    #[test]
+    fn orphan_sentences_fall_to_first_subject() {
+        let subjects = vec!["X".to_string()];
+        let segs = attribute_sentences("No mention here.", &subjects);
+        assert_eq!(segs[0].0, "X");
+    }
+
+    #[test]
+    fn no_subjects_no_output() {
+        assert!(attribute_sentences("Anything at all.", &[]).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Criterion micro-benches for the substrate crates: string similarity,
+//! tokenization, multi-pattern matching, POS tagging, parsing, and the
+//! integration operators.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use thor_automata::AhoCorasickBuilder;
+use thor_data::{full_disjunction, Schema, Table};
+use thor_nlp::{noun_phrases, parse_dependencies, RuleTagger, Tagger};
+use thor_text::{gestalt_similarity, jaccard_words, levenshtein, split_sentences, tokenize};
+
+const SENTENCE: &str =
+    "Acoustic Neuroma is a slow-growing non-cancerous brain tumor that may cause \
+     unsteadiness, deafness and severe hearing loss in many patients.";
+
+fn bench_text(c: &mut Criterion) {
+    let mut g = c.benchmark_group("text");
+    g.bench_function("tokenize_sentence", |b| b.iter(|| tokenize(black_box(SENTENCE))));
+    let doc = SENTENCE.repeat(50);
+    g.bench_function("split_sentences_50", |b| b.iter(|| split_sentences(black_box(&doc))));
+    g.bench_function("gestalt_short", |b| {
+        b.iter(|| gestalt_similarity(black_box("non-cancerous brain tumor"), black_box("skin cancer")))
+    });
+    g.bench_function("jaccard_short", |b| {
+        b.iter(|| jaccard_words(black_box("non-cancerous brain tumor"), black_box("skin cancer")))
+    });
+    g.bench_function("levenshtein_short", |b| {
+        b.iter(|| levenshtein(black_box("unsteadiness"), black_box("uneasiness")))
+    });
+    g.finish();
+}
+
+fn bench_automata(c: &mut Criterion) {
+    let mut g = c.benchmark_group("automata");
+    let patterns: Vec<String> = (0..500).map(|i| format!("pattern{i:03}word")).collect();
+    g.bench_function("build_500_patterns", |b| {
+        b.iter(|| {
+            let mut builder = AhoCorasickBuilder::new();
+            builder.add_patterns(patterns.iter());
+            builder.build()
+        })
+    });
+    let mut builder = AhoCorasickBuilder::new();
+    builder.add_patterns(patterns.iter());
+    builder.add_pattern("brain tumor");
+    let ac = builder.build();
+    let haystack = SENTENCE.repeat(20);
+    g.bench_function("find_all_20_sentences", |b| b.iter(|| ac.find_all(black_box(&haystack))));
+    g.bench_function("find_words_20_sentences", |b| b.iter(|| ac.find_words(black_box(&haystack))));
+    g.finish();
+}
+
+fn bench_nlp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nlp");
+    let tagger = RuleTagger::default();
+    let tokens = tokenize(SENTENCE);
+    let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+    g.bench_function("rule_tag_sentence", |b| b.iter(|| tagger.tag(black_box(&words))));
+    let tags = tagger.tag(&words);
+    g.bench_function("dependency_parse", |b| {
+        b.iter(|| parse_dependencies(black_box(&words), black_box(&tags)))
+    });
+    let tree = parse_dependencies(&words, &tags);
+    g.bench_function("noun_phrases", |b| {
+        b.iter(|| noun_phrases(black_box(&words), black_box(&tags), black_box(&tree)))
+    });
+    g.finish();
+}
+
+fn bench_eval_and_quant(c: &mut Criterion) {
+    use thor_embed::{QuantizedStore, SemanticSpaceBuilder};
+    use thor_eval::{evaluate, schema_scores, Annotation};
+
+    let mut g = c.benchmark_group("eval");
+    let gold: Vec<Annotation> = (0..300)
+        .map(|i| Annotation::new(format!("d{}", i % 20), "concept", &format!("phrase {i}")))
+        .collect();
+    let preds: Vec<Annotation> = (0..300)
+        .map(|i| {
+            // Two thirds exact, one third shifted.
+            let p = if i % 3 == 0 { format!("phrase {}", i + 1) } else { format!("phrase {i}") };
+            Annotation::new(format!("d{}", i % 20), "concept", &p)
+        })
+        .collect();
+    g.bench_function("evaluate_300", |b| b.iter(|| evaluate(black_box(&preds), black_box(&gold))));
+    g.bench_function("schema_scores_300", |b| {
+        b.iter(|| schema_scores(black_box(&preds), black_box(&gold)))
+    });
+    g.finish();
+
+    let names: Vec<String> = (0..64).map(|i| format!("w{i}")).collect();
+    let store = SemanticSpaceBuilder::new(48, 3)
+        .topic("t")
+        .words("t", names.iter().map(String::as_str))
+        .build()
+        .into_store();
+    let mut g = c.benchmark_group("quant");
+    g.bench_function("quantize_64x48", |b| b.iter(|| QuantizedStore::from_store(black_box(&store))));
+    let q = QuantizedStore::from_store(&store);
+    g.bench_function("dequantize_64x48", |b| b.iter(|| q.to_store()));
+    g.finish();
+}
+
+fn bench_integration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("integration");
+    let make_source = |concept: &str, offset: usize| {
+        let schema = Schema::new(vec!["Subject".to_string(), concept.to_string()], "Subject");
+        let mut t = Table::new(schema);
+        for i in 0..200 {
+            t.fill_slot(&format!("subject{}", (i + offset) % 300), concept, &format!("value{i}"));
+        }
+        t
+    };
+    let sources: Vec<Table> =
+        (0..8).map(|i| make_source(&format!("Concept{i}"), i * 37)).collect();
+    g.bench_function("full_disjunction_8x200", |b| {
+        b.iter_batched(
+            || sources.iter().collect::<Vec<&Table>>(),
+            |refs| full_disjunction(&refs),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_text,
+    bench_automata,
+    bench_nlp,
+    bench_eval_and_quant,
+    bench_integration
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! **Ablation: document segmentation.** Phase ① associates each sentence
+//! with a subject instance via exact mentions plus carry-forward,
+//! falling back to semantic matching. This bench compares the three
+//! segmentation modes — the attribution quality bounds slot-filling
+//! (an entity attributed to the wrong subject fills the wrong row).
+//!
+//! Usage: `abl_segment` (env: `THOR_SCALE`, `THOR_SEED`).
+
+use thor_bench::harness::{disease_dataset, run_system, scale_from_env, seed_from_env, System};
+use thor_bench::TextTable;
+use thor_core::{SegmentationMode, ThorConfig};
+
+fn main() {
+    let scale = scale_from_env();
+    let dataset = disease_dataset(seed_from_env(), scale);
+    println!("[Ablation] segmentation modes, Disease A-Z, tau=0.7, scale={scale}\n");
+
+    let modes = [
+        ("mention + carry-forward (paper)", SegmentationMode::MentionCarryForward),
+        ("mention only", SegmentationMode::MentionOnly),
+        ("semantic only", SegmentationMode::SemanticOnly),
+    ];
+
+    let mut table = TextTable::new(&["Segmentation", "P", "R", "F1", "pred"]);
+    for (label, mode) in modes {
+        let mut config = ThorConfig::with_tau(0.7);
+        config.segmentation = mode;
+        let out = run_system(
+            &System::ThorWith(Box::new(config), format!("THOR [{label}]")),
+            &dataset,
+        );
+        table.row(vec![
+            label.to_string(),
+            format!("{:.3}", out.report.precision),
+            format!("{:.3}", out.report.recall),
+            format!("{:.3}", out.report.f1),
+            out.report.predicted_total.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape: mention-only drops the sentences between anchors (recall");
+    println!("loss); semantic-only attribution is noisier than the carry-forward");
+    println!("heuristic on documents that discuss one subject at a time.");
+}

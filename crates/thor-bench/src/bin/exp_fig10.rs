@@ -1,0 +1,65 @@
+//! **Fig. 10** — fine-grained F1 per concept on the Résumé dataset (the
+//! paper's spider graph), printed as a matrix plus a per-concept winner
+//! column.
+//!
+//! Usage: `exp_fig10` (env: `THOR_SCALE`, `THOR_SEED`).
+
+use thor_bench::harness::{resume_dataset, run_system, scale_from_env, seed_from_env, System};
+use thor_bench::TextTable;
+
+fn main() {
+    let scale = scale_from_env();
+    let dataset = resume_dataset(seed_from_env(), scale);
+    println!("[Fig. 10 reproduction] per-concept F1, Résumé, scale={scale}\n");
+
+    let systems = [System::Thor(0.8),
+        System::Baseline,
+        System::LmSd,
+        System::Gpt4,
+        System::UniNer,
+        System::LmHuman(usize::MAX)];
+    let outcomes: Vec<_> = systems.iter().map(|s| run_system(s, &dataset)).collect();
+
+    let mut header: Vec<String> = vec!["Concept".into()];
+    header.extend(outcomes.iter().map(|o| o.system.clone()));
+    header.push("Winner".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut table = TextTable::new(&header_refs);
+
+    let concepts: Vec<String> =
+        dataset.schema.concepts().iter().map(|c| c.name().to_lowercase()).collect();
+    let mut thor_wins = 0usize;
+    for concept in &concepts {
+        let mut row = vec![concept.clone()];
+        let mut best = (String::new(), -1.0f64);
+        for o in &outcomes {
+            let f1 = o
+                .report
+                .per_concept
+                .iter()
+                .find(|c| &c.concept == concept)
+                .map(|c| c.f1)
+                .unwrap_or(0.0);
+            row.push(format!("{f1:.2}"));
+            if f1 > best.1 {
+                best = (o.system.clone(), f1);
+            }
+        }
+        if best.0.starts_with("THOR") {
+            thor_wins += 1;
+        }
+        row.push(best.0);
+        table.row(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "THOR wins or ties {} of {} concepts at this scale/seed.",
+        thor_wins,
+        concepts.len()
+    );
+    println!();
+    println!("Paper reference (Fig. 10 shape): THOR outperforms or matches the competitors");
+    println!("in 6 of 12 classes with the most *balanced* per-concept profile; GPT-4 is");
+    println!("strong only on 3 generic classes (names, universities, companies) and nearly");
+    println!("zero on 'Worked As' and 'Years of Experience'.");
+}

@@ -1,0 +1,56 @@
+//! **Table IX** — annotation effort: minimum and maximum time to
+//! annotate a single subject, a single document and a single token, and
+//! the total duration for the train corpus, under the paper's measured
+//! per-token costs (8–13 s/token).
+//!
+//! Usage: `exp_table9` (env: `THOR_SCALE`, `THOR_SEED`).
+
+use std::collections::BTreeMap;
+
+use thor_bench::harness::{disease_dataset, scale_from_env, seed_from_env};
+use thor_bench::TextTable;
+use thor_datagen::{AnnotationEffortModel, Split};
+
+fn main() {
+    let scale = scale_from_env();
+    let dataset = disease_dataset(seed_from_env(), scale);
+    let model = AnnotationEffortModel::default();
+    let train = dataset.docs(Split::Train);
+    println!("[Table IX reproduction] annotation effort, Disease A-Z train split, scale={scale}\n");
+
+    // Per-document bounds.
+    let (doc_min, doc_max) = model.per_document_bounds(train).expect("non-empty corpus");
+
+    // Per-subject bounds: group documents by their (single) subject.
+    let mut per_subject: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in train {
+        if let Some(s) = d.subjects.first() {
+            *per_subject.entry(s.as_str()).or_insert(0) += d.doc.word_count();
+        }
+    }
+    let subj_min =
+        per_subject.values().min().copied().unwrap_or(0) as f64 * model.min_sec_per_token;
+    let subj_max =
+        per_subject.values().max().copied().unwrap_or(0) as f64 * model.max_sec_per_token;
+
+    let total = model.estimate(train);
+
+    let fmt_min = |s: f64| format!("{:.0}m", s / 60.0);
+    let mut t = TextTable::new(&["Single Disease", "Single Doc.", "Single Token", "Total Duration"]);
+    t.row(vec![
+        format!("{} – {}", fmt_min(subj_min), fmt_min(subj_max)),
+        format!("{} – {}", fmt_min(doc_min), fmt_min(doc_max)),
+        format!("{}s – {}s", model.min_sec_per_token, model.max_sec_per_token),
+        format!("{:.0}+ Hours", total.max_hours()),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "({} train documents, {} tokens; per-annotator upper bound {:.0} hours)",
+        train.len(),
+        total.tokens,
+        total.max_hours()
+    );
+    println!();
+    println!("Paper reference (Table IX): single disease 80m–150m, single document 7m–25m,");
+    println!("single token 8s–13s, total duration 600+ hours across three annotators.");
+}

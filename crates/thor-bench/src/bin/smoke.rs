@@ -1,0 +1,36 @@
+//! Quick calibration smoke run: all systems on a small Disease A–Z.
+
+use thor_bench::{disease_dataset, run_system, scale_from_env, System};
+
+fn main() {
+    let scale = scale_from_env();
+    let dataset = disease_dataset(42, scale);
+    println!(
+        "dataset: {} test docs, {} gold entities",
+        dataset.test.len(),
+        dataset.test.iter().map(|d| d.gold.len()).sum::<usize>()
+    );
+    let systems = [
+        System::Thor(0.5),
+        System::Thor(0.6),
+        System::Thor(0.7),
+        System::Thor(0.8),
+        System::Thor(0.9),
+        System::Thor(1.0),
+        System::Baseline,
+        System::LmSd,
+        System::Gpt4,
+        System::UniNer,
+        System::LmHuman(usize::MAX),
+    ];
+    for s in &systems {
+        let t0 = std::time::Instant::now();
+        let out = run_system(s, &dataset);
+        let r = &out.report;
+        println!(
+            "{:<16} pred={:<5} cor={:<4} par={:<4} inc={:<4} spu={:<4} mis={:<4} P={:.2} R={:.2} F1={:.2} wall={:?}",
+            out.system, r.predicted_total, r.correct, r.partial, r.incorrect, r.spurious,
+            r.missing, r.precision, r.recall, r.f1, t0.elapsed()
+        );
+    }
+}

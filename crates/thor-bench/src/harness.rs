@@ -1,0 +1,162 @@
+//! Shared experiment harness.
+
+use std::time::{Duration, Instant};
+
+use thor_baselines::{
+    DictionaryBaseline, Extractor, LlmProfile, PerceptronTagger, SimulatedLlm, TaggerConfig,
+};
+use thor_core::{ExtractedEntity, Thor, ThorConfig};
+use thor_datagen::{generate, DatasetSpec, GeneratedDataset, Split};
+use thor_eval::{evaluate, Annotation, EvalReport};
+
+/// Corpus scale from `THOR_SCALE` (default 0.25 — seconds, not minutes;
+/// 1.0 reproduces the paper-sized corpora).
+pub fn scale_from_env() -> f64 {
+    std::env::var("THOR_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.25)
+}
+
+/// Seed from `THOR_SEED` (default 42).
+pub fn seed_from_env() -> u64 {
+    std::env::var("THOR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+/// The Disease A–Z dataset at the given scale.
+pub fn disease_dataset(seed: u64, scale: f64) -> GeneratedDataset {
+    generate(&DatasetSpec::disease_az(seed, scale))
+}
+
+/// The Résumé dataset at the given scale.
+pub fn resume_dataset(seed: u64, scale: f64) -> GeneratedDataset {
+    generate(&DatasetSpec::resume(seed, scale))
+}
+
+/// A system under evaluation.
+pub enum System {
+    /// THOR at a given τ.
+    Thor(f64),
+    /// THOR with a custom configuration (ablations).
+    ThorWith(Box<ThorConfig>, String),
+    /// The Aho–Corasick dictionary baseline.
+    Baseline,
+    /// Perceptron tagger trained on weak (table-projected) labels.
+    LmSd,
+    /// Perceptron tagger trained on gold annotations of the first
+    /// `usize` train documents (`usize::MAX` = all).
+    LmHuman(usize),
+    /// Simulated GPT-4.
+    Gpt4,
+    /// Simulated UniversalNER.
+    UniNer,
+}
+
+impl System {
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            System::Thor(tau) => format!("THOR (tau={tau:.1})"),
+            System::ThorWith(_, name) => name.clone(),
+            System::Baseline => "Baseline".into(),
+            System::LmSd => "LM-SD".into(),
+            System::LmHuman(n) if *n == usize::MAX => "LM-Human".into(),
+            System::LmHuman(n) => format!("LM-Human-{n}"),
+            System::Gpt4 => "GPT-4".into(),
+            System::UniNer => "UniNER".into(),
+        }
+    }
+}
+
+/// Outcome of one system run on one dataset.
+pub struct RunOutcome {
+    /// System display name.
+    pub system: String,
+    /// Evaluation report against the test gold.
+    pub report: EvalReport,
+    /// Wall-clock time (training/fine-tuning + inference), as in the
+    /// paper's Table V. `None` for the simulated LLMs — their timing
+    /// would be an artifact of the simulation, the paper reports "-"
+    /// for GPT-4 too.
+    pub time: Option<Duration>,
+    /// The raw predictions (for slot-filling demos).
+    pub predictions: Vec<ExtractedEntity>,
+}
+
+/// Gold annotations of a split at evaluation granularity.
+pub fn gold_annotations(dataset: &GeneratedDataset, split: Split) -> Vec<Annotation> {
+    let mut gold: Vec<Annotation> = dataset
+        .docs(split)
+        .iter()
+        .flat_map(|d| {
+            d.gold.iter().map(|g| Annotation::new(d.doc.id.clone(), &g.concept, &g.phrase))
+        })
+        .collect();
+    gold.sort_by(|a, b| {
+        (&a.doc_id, &a.concept, &a.phrase).cmp(&(&b.doc_id, &b.concept, &b.phrase))
+    });
+    gold.dedup();
+    gold
+}
+
+/// Convert predictions to evaluation annotations.
+pub fn to_annotations(entities: &[ExtractedEntity]) -> Vec<Annotation> {
+    entities.iter().map(|e| Annotation::new(e.doc_id.clone(), &e.concept, &e.phrase)).collect()
+}
+
+/// Run one system on the dataset's test split and evaluate.
+pub fn run_system(system: &System, dataset: &GeneratedDataset) -> RunOutcome {
+    let table = dataset.enrichment_table();
+    let docs = dataset.documents(Split::Test);
+    let gold = gold_annotations(dataset, Split::Test);
+    let name = system.name();
+
+    let (predictions, time) = match system {
+        System::Thor(tau) => {
+            let thor = Thor::new(dataset.store.clone(), ThorConfig::with_tau(*tau));
+            let (entities, prep, infer) = thor.extract(&table, &docs);
+            (entities, Some(prep + infer))
+        }
+        System::ThorWith(config, _) => {
+            let thor = Thor::new(dataset.store.clone(), (**config).clone());
+            let (entities, prep, infer) = thor.extract(&table, &docs);
+            (entities, Some(prep + infer))
+        }
+        System::Baseline => {
+            let t0 = Instant::now();
+            let baseline = DictionaryBaseline::from_table(&table);
+            let preds = baseline.extract(&table, &docs);
+            (preds, Some(t0.elapsed()))
+        }
+        System::LmSd => {
+            let t0 = Instant::now();
+            let tagger = PerceptronTagger::train_weak(
+                "LM-SD",
+                &dataset.table,
+                &dataset.train,
+                &TaggerConfig::default(),
+            );
+            let preds = tagger.extract(&table, &docs);
+            (preds, Some(t0.elapsed()))
+        }
+        System::LmHuman(n) => {
+            let t0 = Instant::now();
+            let count = (*n).min(dataset.train.len());
+            let tagger = PerceptronTagger::train_gold(
+                "LM-Human",
+                &dataset.train[..count],
+                &TaggerConfig::default(),
+            );
+            let preds = tagger.extract(&table, &docs);
+            (preds, Some(t0.elapsed()))
+        }
+        System::Gpt4 => {
+            let llm = SimulatedLlm::new(LlmProfile::gpt4(seed_from_env()), &dataset.test);
+            (llm.extract(&table, &docs), None)
+        }
+        System::UniNer => {
+            let llm = SimulatedLlm::new(LlmProfile::uniner(seed_from_env()), &dataset.test);
+            (llm.extract(&table, &docs), None)
+        }
+    };
+
+    let report = evaluate(&to_annotations(&predictions), &gold);
+    RunOutcome { system: name, report, time, predictions }
+}

@@ -1,0 +1,17 @@
+//! # thor-bench
+//!
+//! The experiment harness: shared machinery used by the `exp_*` and
+//! `abl_*` binaries that regenerate every table and figure of the
+//! paper's evaluation, plus Criterion micro-benches for the substrates.
+//!
+//! Experiments default to a reduced corpus scale so they finish in
+//! seconds; set `THOR_SCALE=1.0` for the paper-sized corpora (see
+//! EXPERIMENTS.md for both sets of numbers).
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    disease_dataset, resume_dataset, run_system, scale_from_env, RunOutcome, System,
+};
+pub use report::{fmt_duration, Table as TextTable};

@@ -1,0 +1,91 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:<width$}", cell, width = widths[c]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Human-readable duration (the paper reports whole seconds).
+pub fn fmt_duration(d: Option<Duration>) -> String {
+    match d {
+        None => "-".to_string(),
+        Some(d) if d.as_secs_f64() >= 1.0 => format!("{:.1}s", d.as_secs_f64()),
+        Some(d) => format!("{}ms", d.as_millis()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["Model", "F1"]);
+        t.row(vec!["THOR".into(), "0.56".into()]);
+        t.row(vec!["Baseline".into(), "0.27".into()]);
+        let s = t.render();
+        assert!(s.contains("Model"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        Table::new(&["A"]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(fmt_duration(None), "-");
+        assert_eq!(fmt_duration(Some(Duration::from_millis(250))), "250ms");
+        assert_eq!(fmt_duration(Some(Duration::from_secs(3))), "3.0s");
+    }
+}

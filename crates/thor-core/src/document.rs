@@ -1,0 +1,37 @@
+//! External documents — the raw-text input of the pipeline.
+
+/// A document `D`: an identifier plus plain text. The id ties extracted
+/// entities back to their source for evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Stable identifier (file name, URL, generator id, …).
+    pub id: String,
+    /// The document text.
+    pub text: String,
+}
+
+impl Document {
+    /// Create a document.
+    pub fn new(id: impl Into<String>, text: impl Into<String>) -> Self {
+        Self { id: id.into(), text: text.into() }
+    }
+
+    /// Number of whitespace-separated tokens (used by corpus statistics
+    /// and the annotation-effort model).
+    pub fn word_count(&self) -> usize {
+        self.text.split_whitespace().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_word_count() {
+        let d = Document::new("d1", "Tuberculosis damages the lungs.");
+        assert_eq!(d.id, "d1");
+        assert_eq!(d.word_count(), 4);
+        assert_eq!(Document::new("e", "").word_count(), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Conceptualized entities — the pipeline's unit of output.
+
+/// An entity `e = ⟨p, C⟩` extracted for a subject instance: the phrase,
+/// the assigned concept, and provenance/score metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractedEntity {
+    /// The subject instance `c*` the entity belongs to.
+    pub subject: String,
+    /// The concept `e.C` the phrase was conceptualized as.
+    pub concept: String,
+    /// The phrase `e.p` (normalized form).
+    pub phrase: String,
+    /// Combined score: mean of semantic, word-Jaccard and gestalt
+    /// similarity to the matched instance.
+    pub score: f64,
+    /// The seed instance `c_m` that anchored the match.
+    pub matched_instance: String,
+    /// Identifier of the source document.
+    pub doc_id: String,
+    /// Index of the source sentence within the document.
+    pub sentence_index: usize,
+}
+
+impl ExtractedEntity {
+    /// Deduplication key: one logical prediction per (document, concept,
+    /// phrase) triple, matching the evaluation granularity.
+    pub fn key(&self) -> (String, String, String) {
+        (self.doc_id.clone(), self.concept.to_lowercase(), self.phrase.to_lowercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entity(doc: &str, concept: &str, phrase: &str) -> ExtractedEntity {
+        ExtractedEntity {
+            subject: "tb".into(),
+            concept: concept.into(),
+            phrase: phrase.into(),
+            score: 0.5,
+            matched_instance: "seed".into(),
+            doc_id: doc.into(),
+            sentence_index: 0,
+        }
+    }
+
+    #[test]
+    fn key_is_case_insensitive_on_concept_and_phrase() {
+        assert_eq!(entity("d", "Anatomy", "Lungs").key(), entity("d", "anatomy", "lungs").key());
+        assert_ne!(entity("d1", "Anatomy", "x").key(), entity("d2", "Anatomy", "x").key());
+    }
+}

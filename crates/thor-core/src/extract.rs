@@ -1,0 +1,276 @@
+//! Phase ② — entity extraction: noun-phrase parsing, semantic matching,
+//! syntactic refinement (Algorithm 1 lines 3–15).
+
+use thor_match::{CandidateEntity, SimilarityMatcher};
+use thor_nlp::{noun_phrases, parse_dependencies, RuleTagger, Tagger};
+use thor_text::{gestalt_similarity, jaccard_words, tokenize};
+
+use crate::config::ThorConfig;
+use crate::entity::ExtractedEntity;
+use crate::segment::SegmentedSentence;
+
+/// A scored candidate after syntactic refinement.
+#[derive(Debug, Clone)]
+struct ScoredCandidate {
+    candidate: CandidateEntity,
+    score: f64,
+}
+
+/// Refine a semantic candidate with the two syntactic scores and combine
+/// (lines 10–13): `score_s` is the semantic similarity to the matched
+/// instance, `score_w` the word-level Jaccard, `score_c` the
+/// character-level gestalt similarity.
+fn refine(candidate: CandidateEntity, config: &ThorConfig) -> ScoredCandidate {
+    let score_w = jaccard_words(&candidate.phrase, &candidate.matched_instance);
+    let score_c = gestalt_similarity(&candidate.phrase, &candidate.matched_instance);
+    let score = config.weights.combine(candidate.semantic_score, score_w, score_c);
+    ScoredCandidate { candidate, score }
+}
+
+/// Extract the phrases of one sentence: dependency-parse noun phrases
+/// (the paper's design) or naive n-grams (`abl_np` ablation).
+fn sentence_phrases(text: &str, config: &ThorConfig, tagger: &RuleTagger) -> Vec<String> {
+    let tokens = tokenize(text);
+    let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+    if words.is_empty() {
+        return Vec::new();
+    }
+    if config.np_chunking {
+        let tags = tagger.tag(&words);
+        let tree = parse_dependencies(&words, &tags);
+        noun_phrases(&words, &tags, &tree).into_iter().map(|np| np.text).collect()
+    } else {
+        // Ablation: every contiguous window up to the subphrase cap.
+        let max = config.max_subphrase_words.min(words.len());
+        let mut out = Vec::new();
+        for len in 1..=max {
+            for start in 0..=(words.len() - len) {
+                let phrase = thor_text::strip_stopwords(&words[start..start + len].join(" "));
+                if !phrase.is_empty() {
+                    out.push(phrase);
+                }
+            }
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// Run entity extraction over segmented sentences (lines 3–15). Returns
+/// one best entity per (sentence, noun phrase) — `e_best` — tagged with
+/// the sentence's subject instance.
+pub fn extract_entities(
+    segments: &[SegmentedSentence],
+    matcher: &SimilarityMatcher,
+    config: &ThorConfig,
+    doc_id: &str,
+) -> Vec<ExtractedEntity> {
+    let tagger = RuleTagger::default();
+    let lexicon = thor_nlp::Lexicon::english();
+    // Entities must contain a nominal word ("entities typically consist
+    // of noun phrases or subsequences thereof") — a bare adjective is
+    // not an entity candidate.
+    let anchor = |w: &str| lexicon.tag_of(w, false).is_nominal();
+    let mut out = Vec::new();
+
+    for seg in segments {
+        for phrase in sentence_phrases(&seg.sentence.text, config, &tagger) {
+            let candidates = matcher.match_phrase_anchored(&phrase, anchor);
+            let best = candidates
+                .into_iter()
+                .map(|c| refine(c, config))
+                .max_by(|a, b| {
+                    a.score
+                        .total_cmp(&b.score)
+                        .then_with(|| b.candidate.phrase.cmp(&a.candidate.phrase))
+                });
+            if let Some(best) = best {
+                // Optional contextual gate (the paper's future work):
+                // the sentence minus the entity phrase must itself be
+                // compatible with the assigned concept.
+                if let Some(min_context) = config.context_gate {
+                    let ctx =
+                        context_similarity(&seg.sentence.text, &best.candidate, matcher);
+                    if ctx < min_context {
+                        continue;
+                    }
+                }
+                out.push(ExtractedEntity {
+                    subject: seg.subject.clone(),
+                    concept: best.candidate.concept,
+                    phrase: best.candidate.phrase,
+                    score: best.score,
+                    matched_instance: best.candidate.matched_instance,
+                    doc_id: doc_id.to_string(),
+                    sentence_index: seg.index,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Mean similarity between the sentence context (every content word of
+/// the sentence except the candidate phrase's own words) and the
+/// candidate's concept cluster. Returns 1.0 when the context is empty
+/// or fully out-of-vocabulary (no evidence against the candidate).
+fn context_similarity(
+    sentence: &str,
+    candidate: &CandidateEntity,
+    matcher: &SimilarityMatcher,
+) -> f64 {
+    use thor_text::{is_stopword, normalize_phrase};
+    let phrase_words: std::collections::HashSet<&str> =
+        candidate.phrase.split_whitespace().collect();
+    let normalized = normalize_phrase(sentence);
+    let context: Vec<&str> = normalized
+        .split_whitespace()
+        .filter(|w| !is_stopword(w) && !phrase_words.contains(w))
+        .collect();
+    if context.is_empty() {
+        return 1.0;
+    }
+    let Some(query) = matcher.store().embed_phrase(&context.join(" ")) else {
+        return 1.0;
+    };
+    matcher
+        .clusters()
+        .iter()
+        .find(|c| c.concept == candidate.concept)
+        .and_then(|c| c.mean_similarity(&query))
+        .unwrap_or(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThorConfig;
+    use crate::document::Document;
+    use crate::segment::{segment, SegmentedSentence};
+    use thor_embed::SemanticSpaceBuilder;
+    use thor_match::MatcherConfig;
+    use thor_text::Sentence;
+
+    fn matcher(tau: f64) -> SimilarityMatcher {
+        let store = SemanticSpaceBuilder::new(32, 4)
+            .spread(0.45)
+            .topic("anatomy")
+            .correlated_topic("complication", "anatomy", 0.3)
+            .words("anatomy", ["nervous", "system", "brain", "nerve", "ear", "lung"])
+            .words("complication", ["cancer", "tumor", "deafness", "unsteadiness", "skin"])
+            .generic_words(["slow-growing", "walk", "green", "grows", "surgery"])
+            .build()
+            .into_store();
+        let concepts = vec![
+            ("Anatomy".to_string(), vec!["nervous system".to_string()]),
+            ("Complication".to_string(), vec!["skin cancer".to_string()]),
+        ];
+        SimilarityMatcher::fine_tune(&concepts, store, MatcherConfig::with_tau(tau))
+    }
+
+    fn seg(subject: &str, text: &str, index: usize) -> SegmentedSentence {
+        SegmentedSentence {
+            subject: subject.to_string(),
+            sentence: Sentence { text: text.to_string(), start: 0, end: text.len() },
+            index,
+        }
+    }
+
+    #[test]
+    fn paper_worked_example_prefers_syntactic_agreement() {
+        // From the paper: within "slow-growing non-cancerous brain
+        // tumor", the subphrase matched to 'Complication' via seed
+        // 'skin cancer' wins over 'brain'→'Anatomy' because its
+        // syntactic overlap with the seed is higher.
+        let m = matcher(0.55);
+        let segments =
+            vec![seg("Acoustic Neuroma", "It is a slow-growing non-cancerous brain tumor.", 0)];
+        let entities = extract_entities(&segments, &m, &ThorConfig::with_tau(0.55), "d1");
+        assert!(!entities.is_empty());
+        for e in &entities {
+            assert_eq!(e.subject, "Acoustic Neuroma");
+            assert_eq!(e.doc_id, "d1");
+        }
+    }
+
+    #[test]
+    fn one_best_entity_per_phrase() {
+        let m = matcher(0.5);
+        let segments = vec![seg("X", "The brain and the ear.", 0)];
+        let entities = extract_entities(&segments, &m, &ThorConfig::with_tau(0.5), "d");
+        // Two noun phrases → at most two entities.
+        assert!(entities.len() <= 2);
+    }
+
+    #[test]
+    fn unmatched_phrases_produce_nothing() {
+        let m = matcher(0.9);
+        let segments = vec![seg("X", "People walk in green parks.", 0)];
+        let entities = extract_entities(&segments, &m, &ThorConfig::with_tau(0.9), "d");
+        assert!(entities.is_empty());
+    }
+
+    #[test]
+    fn scores_within_unit_interval() {
+        let m = matcher(0.5);
+        let segments = vec![seg("X", "The brain tumor causes deafness and unsteadiness.", 3)];
+        let entities = extract_entities(&segments, &m, &ThorConfig::with_tau(0.5), "d");
+        assert!(!entities.is_empty());
+        for e in &entities {
+            assert!((0.0..=1.0).contains(&e.score), "score {e:?}");
+            assert_eq!(e.sentence_index, 3);
+        }
+    }
+
+    #[test]
+    fn ngram_ablation_yields_at_least_np_coverage() {
+        let m = matcher(0.5);
+        let text = "The brain tumor causes deafness.";
+        let segments = vec![seg("X", text, 0)];
+        let np_config = ThorConfig::with_tau(0.5);
+        let mut ngram_config = ThorConfig::with_tau(0.5);
+        ngram_config.np_chunking = false;
+        let np = extract_entities(&segments, &m, &np_config, "d");
+        let ng = extract_entities(&segments, &m, &ngram_config, "d");
+        assert!(ng.len() >= np.len(), "n-grams generate at least as many candidates");
+    }
+
+    #[test]
+    fn context_gate_reduces_predictions() {
+        let m = matcher(0.5);
+        // An entity-bearing sentence whose remaining context is pure
+        // generic vocabulary — a high gate should drop it.
+        let segments = vec![seg("X", "People walk in green parks near the brain.", 0)];
+        let open = ThorConfig::with_tau(0.5);
+        let mut gated = ThorConfig::with_tau(0.5);
+        gated.context_gate = Some(0.5);
+        let without = extract_entities(&segments, &m, &open, "d").len();
+        let with = extract_entities(&segments, &m, &gated, "d").len();
+        assert!(with <= without, "gate must never add predictions");
+    }
+
+    #[test]
+    fn context_gate_keeps_supported_entities() {
+        let m = matcher(0.5);
+        // Context full of same-topic vocabulary supports the candidate.
+        let segments = vec![seg("X", "The nerve and the ear relate to the brain.", 0)];
+        let mut gated = ThorConfig::with_tau(0.5);
+        gated.context_gate = Some(0.2);
+        let entities = extract_entities(&segments, &m, &gated, "d");
+        assert!(!entities.is_empty(), "well-supported entities must survive the gate");
+    }
+
+    #[test]
+    fn end_to_end_with_segmentation() {
+        let m = matcher(0.55);
+        let doc = Document::new(
+            "doc",
+            "Acoustic Neuroma grows on the nerve. It may cause deafness.",
+        );
+        let subjects = vec!["Acoustic Neuroma".to_string()];
+        let segs = segment(&doc, &subjects, &m, Default::default());
+        let entities = extract_entities(&segs, &m, &ThorConfig::with_tau(0.55), &doc.id);
+        assert!(entities.iter().all(|e| e.subject == "Acoustic Neuroma"));
+        assert!(!entities.is_empty());
+    }
+}

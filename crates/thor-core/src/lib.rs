@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+//! # thor-core
+//!
+//! THOR — *Text Homogenization from Oblivion to Reality* (ICDE 2024).
+//!
+//! THOR mitigates the data sparsity of integrated data by
+//! **conceptualizing external text**: it extracts entities from documents,
+//! labels them with the concepts of the integrated schema, and uses them
+//! to slot-fill the integrated table. Its only supervision is the
+//! structured data itself — schema concepts and their known instances —
+//! so it adapts to schema evolution with a re-run instead of a
+//! re-annotation campaign.
+//!
+//! The pipeline (Algorithm 1 of the paper) has three phases:
+//!
+//! 1. **Preparation** ([`segment`]) — split each document into sentences
+//!    and associate each with a subject instance; fine-tune the semantic
+//!    matcher from the table (`thor-match`).
+//! 2. **Entity extraction** ([`extract`]) — parse sentences into noun
+//!    phrases (`thor-nlp`), propose candidate entities by semantic
+//!    matching, refine them with word-level Jaccard and character-level
+//!    gestalt similarity, and keep the best candidate per phrase.
+//! 3. **Slot filling** ([`slotfill`]) — append every extracted entity to
+//!    the multi-valued cell (row = subject, column = concept).
+//!
+//! The top-level API is [`Thor`]:
+//!
+//! ```
+//! use thor_core::{Document, Thor, ThorConfig};
+//! use thor_data::{Schema, Table};
+//! use thor_embed::SemanticSpaceBuilder;
+//!
+//! // A tiny integrated table with known instances...
+//! let mut table = Table::new(Schema::new(["Disease", "Anatomy"], "Disease"));
+//! table.fill_slot("Tuberculosis", "Anatomy", "lung");
+//!
+//! // ...word vectors covering the domain...
+//! let store = SemanticSpaceBuilder::new(16, 1)
+//!     .topic("anatomy")
+//!     .words("anatomy", ["lung", "heart"])
+//!     .build()
+//!     .into_store();
+//!
+//! // ...and an external document.
+//! let doc = Document::new("d1", "Tuberculosis damages the heart.");
+//!
+//! let thor = Thor::new(store, ThorConfig::with_tau(0.8));
+//! let result = thor.enrich(&table, &[doc]);
+//! assert!(result.table.get_row("Tuberculosis").is_some());
+//! ```
+
+pub mod config;
+pub mod document;
+pub mod entity;
+pub mod extract;
+pub mod pipeline;
+pub mod segment;
+pub mod slotfill;
+
+pub use config::{ScoreWeights, SegmentationMode, ThorConfig};
+pub use document::Document;
+pub use entity::ExtractedEntity;
+pub use pipeline::{EnrichmentResult, EnrichmentSession, Thor};

@@ -1,0 +1,368 @@
+//! The end-to-end THOR pipeline.
+
+use std::time::{Duration, Instant};
+
+use thor_data::Table;
+use thor_embed::VectorStore;
+use thor_match::{MatcherConfig, SimilarityMatcher};
+
+use crate::config::ThorConfig;
+use crate::document::Document;
+use crate::entity::ExtractedEntity;
+use crate::extract::extract_entities;
+use crate::segment::segment;
+use crate::slotfill::{slot_fill, SlotFillStats};
+
+/// Result of one enrichment run.
+#[derive(Debug, Clone)]
+pub struct EnrichmentResult {
+    /// The enriched table `R'`.
+    pub table: Table,
+    /// Every extracted entity, deduplicated per (document, concept,
+    /// phrase) — the evaluation granularity.
+    pub entities: Vec<ExtractedEntity>,
+    /// Slot-filling outcome counts.
+    pub slot_stats: SlotFillStats,
+    /// Wall-clock time of fine-tuning (Preparation phase).
+    pub prepare_time: Duration,
+    /// Wall-clock time of segmentation + extraction + slot filling.
+    pub inference_time: Duration,
+}
+
+impl EnrichmentResult {
+    /// Total time (the paper's Table V reports fine-tuning and inference
+    /// together).
+    pub fn total_time(&self) -> Duration {
+        self.prepare_time + self.inference_time
+    }
+}
+
+/// The THOR system: word vectors + configuration. One instance can
+/// enrich any number of (table, corpus) pairs; fine-tuning happens per
+/// call because it depends on the table's instances ("it easily adapts
+/// when the reference data integration schema evolves").
+#[derive(Debug, Clone)]
+pub struct Thor {
+    store: VectorStore,
+    config: ThorConfig,
+}
+
+impl Thor {
+    /// Create a THOR instance over a vector table.
+    pub fn new(store: VectorStore, config: ThorConfig) -> Self {
+        Self { store, config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ThorConfig {
+        &self.config
+    }
+
+    /// Phase ① fine-tuning: build the semantic matcher from the table's
+    /// concepts and instances (weak supervision — no annotated text).
+    pub fn fine_tune(&self, table: &Table) -> SimilarityMatcher {
+        let concepts: Vec<(String, Vec<String>)> = table
+            .schema()
+            .concepts()
+            .iter()
+            .map(|c| (c.name().to_string(), table.column_values(c.name())))
+            .collect();
+        let matcher_config = MatcherConfig {
+            tau: self.config.tau,
+            max_subphrase_words: self.config.max_subphrase_words,
+            max_expansion: self.config.max_expansion,
+        };
+        SimilarityMatcher::fine_tune(&concepts, self.store.clone(), matcher_config)
+    }
+
+    /// Extract entities from `docs` against `table`'s schema and
+    /// instances, without modifying the table. Entities are deduplicated
+    /// per (document, concept, phrase), keeping the highest score.
+    ///
+    /// With `config.threads > 1`, documents are processed in parallel
+    /// (they are independent once the matcher is fine-tuned); the output
+    /// is identical to the single-threaded run.
+    pub fn extract(&self, table: &Table, docs: &[Document]) -> (Vec<ExtractedEntity>, Duration, Duration) {
+        let t0 = Instant::now();
+        let matcher = self.fine_tune(table);
+        let prepare_time = t0.elapsed();
+
+        let subjects: Vec<String> = table.subjects().map(str::to_string).collect();
+        let t1 = Instant::now();
+        let per_doc = |doc: &Document| {
+            let segments = segment(doc, &subjects, &matcher, self.config.segmentation);
+            extract_entities(&segments, &matcher, &self.config, &doc.id)
+        };
+        let mut entities: Vec<ExtractedEntity> = if self.config.threads <= 1 || docs.len() < 2 {
+            docs.iter().flat_map(per_doc) .collect()
+        } else {
+            let workers = self.config.threads.min(docs.len());
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let mut buckets: Vec<Vec<ExtractedEntity>> = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|_| {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= docs.len() {
+                                    break out;
+                                }
+                                out.extend(per_doc(&docs[i]));
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    buckets.push(h.join().expect("extraction worker panicked"));
+                }
+            })
+            .expect("extraction scope");
+            buckets.into_iter().flatten().collect()
+        };
+        // Deduplicate, keeping the best-scoring instance of each key.
+        entities.sort_by(|a, b| {
+            a.key().cmp(&b.key()).then_with(|| b.score.total_cmp(&a.score))
+        });
+        entities.dedup_by(|next, first| next.key() == first.key());
+        let inference_time = t1.elapsed();
+        (entities, prepare_time, inference_time)
+    }
+
+    /// Start a streaming enrichment session over `table`: the matcher is
+    /// fine-tuned once and documents are then processed incrementally —
+    /// the deployment shape for feeds of incoming text.
+    pub fn session<'a>(&'a self, table: &Table) -> EnrichmentSession<'a> {
+        let matcher = self.fine_tune(table);
+        EnrichmentSession {
+            thor: self,
+            matcher,
+            subjects: table.subjects().map(str::to_string).collect(),
+            table: table.clone(),
+            entities: Vec::new(),
+        }
+    }
+
+    /// Run the full pipeline: Preparation, Entity Extraction, Slot
+    /// Filling. Returns the enriched copy of `table`.
+    pub fn enrich(&self, table: &Table, docs: &[Document]) -> EnrichmentResult {
+        let (entities, prepare_time, mut inference_time) = self.extract(table, docs);
+        let t2 = Instant::now();
+        let mut enriched = table.clone();
+        let slot_stats = slot_fill(&mut enriched, &entities);
+        inference_time += t2.elapsed();
+        EnrichmentResult { table: enriched, entities, slot_stats, prepare_time, inference_time }
+    }
+}
+
+/// A streaming enrichment session: fine-tuned once, fed documents one at
+/// a time, slot-filling as it goes.
+///
+/// ```no_run
+/// # use thor_core::{Document, Thor, ThorConfig};
+/// # use thor_data::{Schema, Table};
+/// # use thor_embed::VectorStore;
+/// # let thor = Thor::new(VectorStore::new(8), ThorConfig::default());
+/// # let table = Table::new(Schema::new(["S", "C"], "S"));
+/// let mut session = thor.session(&table);
+/// for doc in incoming_documents() {
+///     let new = session.process(&doc);
+///     println!("{new} new values");
+/// }
+/// let enriched = session.finish();
+/// # fn incoming_documents() -> Vec<Document> { vec![] }
+/// ```
+pub struct EnrichmentSession<'a> {
+    thor: &'a Thor,
+    matcher: SimilarityMatcher,
+    subjects: Vec<String>,
+    table: Table,
+    entities: Vec<ExtractedEntity>,
+}
+
+impl EnrichmentSession<'_> {
+    /// Process one document: extract its entities and slot-fill the
+    /// session table immediately. Returns the number of newly inserted
+    /// values.
+    pub fn process(&mut self, doc: &Document) -> usize {
+        let segments =
+            segment(doc, &self.subjects, &self.matcher, self.thor.config.segmentation);
+        let mut extracted =
+            extract_entities(&segments, &self.matcher, &self.thor.config, &doc.id);
+        // Per-document dedup (matching the batch pipeline's granularity).
+        extracted.sort_by(|a, b| a.key().cmp(&b.key()).then_with(|| b.score.total_cmp(&a.score)));
+        extracted.dedup_by(|next, first| next.key() == first.key());
+        let stats = slot_fill(&mut self.table, &extracted);
+        self.entities.extend(extracted);
+        stats.inserted
+    }
+
+    /// Current state of the enriched table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// All entities extracted so far.
+    pub fn entities(&self) -> &[ExtractedEntity] {
+        &self.entities
+    }
+
+    /// Consume the session, returning the enriched table.
+    pub fn finish(self) -> Table {
+        self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thor_data::{sparsity, Schema};
+    use thor_embed::SemanticSpaceBuilder;
+
+    /// The complete Fig. 1 scenario.
+    fn setup() -> (Thor, Table, Vec<Document>) {
+        let store = SemanticSpaceBuilder::new(32, 21)
+            .spread(0.4)
+            .topic("disease")
+            .topic("anatomy")
+            .correlated_topic("complication", "anatomy", 0.25)
+            .words("disease", ["tuberculosis", "acne", "neuroma", "acoustic"])
+            .words("anatomy", ["nervous", "system", "brain", "nerve", "lungs", "skin", "ear"])
+            .words(
+                "complication",
+                ["cancer", "tumor", "unsteadiness", "empyema", "deafness", "non-cancerous"],
+            )
+            .generic_words(["slow-growing", "grows", "damage", "damages", "severe"])
+            .build()
+            .into_store();
+
+        let mut table =
+            Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        table.fill_slot("Acoustic Neuroma", "Anatomy", "nervous system");
+        table.fill_slot("Acne", "Anatomy", "skin");
+        table.fill_slot("Acne", "Complication", "skin cancer");
+        table.row_for_subject("Tuberculosis"); // all slots ⊥ — sparsity
+
+        let docs = vec![Document::new(
+            "doc1",
+            "Acoustic Neuroma is a slow-growing non-cancerous brain tumor. \
+             It may cause unsteadiness and deafness. \
+             Tuberculosis generally damages the lungs and may cause empyema.",
+        )];
+        (Thor::new(store, ThorConfig::with_tau(0.6)), table, docs)
+    }
+
+    #[test]
+    fn enrichment_reduces_sparsity() {
+        let (thor, table, docs) = setup();
+        let before = sparsity(&table).ratio;
+        let result = thor.enrich(&table, &docs);
+        let after = sparsity(&result.table).ratio;
+        assert!(after < before, "sparsity {before} -> {after} should drop");
+        assert!(result.slot_stats.inserted > 0);
+    }
+
+    #[test]
+    fn entities_attributed_to_correct_subjects() {
+        let (thor, table, docs) = setup();
+        let result = thor.enrich(&table, &docs);
+        // Entities from the third sentence belong to Tuberculosis.
+        let tb: Vec<&ExtractedEntity> =
+            result.entities.iter().filter(|e| e.subject == "Tuberculosis").collect();
+        assert!(!tb.is_empty(), "entities: {:?}", result.entities);
+        // And from the first two to Acoustic Neuroma.
+        assert!(result.entities.iter().any(|e| e.subject == "Acoustic Neuroma"));
+    }
+
+    #[test]
+    fn entities_deduplicated_by_key() {
+        let (thor, table, mut docs) = setup();
+        // Duplicate the same sentence — same (doc, concept, phrase) keys.
+        docs[0].text.push_str(" Tuberculosis generally damages the lungs.");
+        let result = thor.enrich(&table, &docs);
+        let mut keys: Vec<_> = result.entities.iter().map(|e| e.key()).collect();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "keys must be unique");
+    }
+
+    #[test]
+    fn original_table_not_mutated() {
+        let (thor, table, docs) = setup();
+        let before = table.instance_count();
+        let _ = thor.enrich(&table, &docs);
+        assert_eq!(table.instance_count(), before);
+    }
+
+    #[test]
+    fn higher_tau_never_more_entities() {
+        let (thor_low, table, docs) = setup();
+        let store = thor_low.store.clone();
+        let thor_high = Thor::new(store, ThorConfig::with_tau(0.95));
+        let low = thor_low.enrich(&table, &docs).entities.len();
+        let high = thor_high.enrich(&table, &docs).entities.len();
+        assert!(high <= low, "tau 0.95 produced {high} > tau 0.6 {low}");
+    }
+
+    #[test]
+    fn empty_corpus_is_noop() {
+        let (thor, table, _) = setup();
+        let result = thor.enrich(&table, &[]);
+        assert!(result.entities.is_empty());
+        assert_eq!(result.table.instance_count(), table.instance_count());
+    }
+
+    #[test]
+    fn parallel_extraction_matches_sequential() {
+        let (thor, table, docs) = setup();
+        // Replicate the corpus so there is real work to split.
+        let docs: Vec<Document> = (0..8)
+            .flat_map(|i| {
+                docs.iter().map(move |d| Document::new(format!("{}-{i}", d.id), d.text.clone()))
+            })
+            .collect();
+        let sequential = thor.extract(&table, &docs).0;
+        let mut config = thor.config().clone();
+        config.threads = 4;
+        let parallel_thor = Thor::new(thor.store.clone(), config);
+        let parallel = parallel_thor.extract(&table, &docs).0;
+        assert_eq!(sequential.len(), parallel.len());
+        let keys = |v: &[ExtractedEntity]| {
+            let mut k: Vec<_> = v.iter().map(ExtractedEntity::key).collect();
+            k.sort();
+            k
+        };
+        assert_eq!(keys(&sequential), keys(&parallel));
+    }
+
+    #[test]
+    fn streaming_session_matches_batch() {
+        let (thor, table, docs) = setup();
+        let batch = thor.enrich(&table, &docs);
+        let mut session = thor.session(&table);
+        for d in &docs {
+            session.process(d);
+        }
+        assert_eq!(session.entities().len(), batch.entities.len());
+        let streamed = session.finish();
+        assert_eq!(streamed.instance_count(), batch.table.instance_count());
+    }
+
+    #[test]
+    fn session_processes_incrementally() {
+        let (thor, table, docs) = setup();
+        let mut session = thor.session(&table);
+        let before = sparsity(session.table()).ratio;
+        let inserted = session.process(&docs[0]);
+        assert!(inserted > 0);
+        assert!(sparsity(session.table()).ratio < before);
+    }
+
+    #[test]
+    fn timings_reported() {
+        let (thor, table, docs) = setup();
+        let result = thor.enrich(&table, &docs);
+        assert!(result.total_time() >= result.prepare_time);
+    }
+}

@@ -1,0 +1,238 @@
+//! CSV serialization for tables.
+//!
+//! Artifacts (generated tables, enriched outputs) are written as RFC-4180
+//! CSV: the header row is the schema, each body row is one subject, and
+//! multi-valued cells join their values with `|`. A labeled null ⊥ is an
+//! empty field. The parser handles quoted fields with embedded commas,
+//! quotes, and newlines.
+
+use std::fmt::Write as _;
+
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// Multi-value separator inside one CSV field.
+pub const VALUE_SEPARATOR: char = '|';
+
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Serialize a table to CSV text.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let header: Vec<String> =
+        table.schema().concepts().iter().map(|c| escape(c.name())).collect();
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in table.rows() {
+        let fields: Vec<String> = row
+            .cells()
+            .iter()
+            .map(|cell| {
+                let joined: Vec<&str> = cell.values().collect();
+                escape(&joined.join(&VALUE_SEPARATOR.to_string()))
+            })
+            .collect();
+        let _ = writeln!(out, "{}", fields.join(","));
+    }
+    out
+}
+
+/// Error produced when parsing CSV into a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// A row had a different number of fields than the header.
+    ArityMismatch {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Expected field count (header arity).
+        expected: usize,
+        /// Actual field count.
+        got: usize,
+    },
+    /// A record's subject field was empty.
+    EmptySubject {
+        /// 1-based line number of the offending record.
+        line: usize,
+    },
+    /// Unterminated quoted field.
+    UnterminatedQuote,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "missing header row"),
+            CsvError::ArityMismatch { line, expected, got } => {
+                write!(f, "record {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::EmptySubject { line } => write!(f, "record {line}: empty subject"),
+            CsvError::UnterminatedQuote => write!(f, "unterminated quoted field"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Split CSV text into records of fields (RFC-4180 quoting).
+fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote);
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any {
+        return Err(CsvError::MissingHeader);
+    }
+    Ok(records)
+}
+
+/// Parse CSV text into a table. The first header column is taken as the
+/// subject concept.
+pub fn from_csv(text: &str) -> Result<Table, CsvError> {
+    let records = parse_records(text)?;
+    let mut iter = records.into_iter();
+    let header = iter.next().ok_or(CsvError::MissingHeader)?;
+    if header.is_empty() || header.iter().all(String::is_empty) {
+        return Err(CsvError::MissingHeader);
+    }
+    let subject = header[0].clone();
+    let schema = Schema::new(header.clone(), &subject);
+    let mut table = Table::new(schema);
+
+    for (i, record) in iter.enumerate() {
+        let line = i + 2;
+        if record.len() != header.len() {
+            return Err(CsvError::ArityMismatch { line, expected: header.len(), got: record.len() });
+        }
+        let subject_value = record[0].trim();
+        if subject_value.is_empty() {
+            return Err(CsvError::EmptySubject { line });
+        }
+        table.row_for_subject(subject_value);
+        for (ci, field) in record.iter().enumerate().skip(1) {
+            for value in field.split(VALUE_SEPARATOR) {
+                let v = value.trim();
+                if !v.is_empty() {
+                    table.fill_slot(subject_value, header[ci].as_str(), v);
+                }
+            }
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn sample() -> Table {
+        let mut t =
+            Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        t.fill_slot("Tuberculosis", "Anatomy", "lungs");
+        t.fill_slot("Tuberculosis", "Complication", "empyema");
+        t.fill_slot("Tuberculosis", "Complication", "meningitis");
+        t.row_for_subject("Acne");
+        t
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let csv = to_csv(&t);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.len(), t.len());
+        assert_eq!(back.column_values("Complication"), t.column_values("Complication"));
+        assert!(back.get_row("Acne").unwrap().cell(1).is_null());
+    }
+
+    #[test]
+    fn quoting_round_trip() {
+        let mut t = Table::new(Schema::new(["Name", "Skills"], "Name"));
+        t.fill_slot("Smith, John", "Skills", "C++ \"expert\"");
+        let csv = to_csv(&t);
+        let back = from_csv(&csv).unwrap();
+        assert!(back.get_row("Smith, John").is_some());
+        assert_eq!(back.column_values("Skills"), ["C++ \"expert\""]);
+    }
+
+    #[test]
+    fn multivalue_field_format() {
+        let csv = to_csv(&sample());
+        assert!(csv.contains("empyema|meningitis"), "{csv}");
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert_eq!(from_csv("").unwrap_err(), CsvError::MissingHeader);
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let err = from_csv("A,B\nx\n").unwrap_err();
+        assert!(matches!(err, CsvError::ArityMismatch { line: 2, expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn empty_subject_detected() {
+        let err = from_csv("A,B\n,v\n").unwrap_err();
+        assert!(matches!(err, CsvError::EmptySubject { line: 2 }));
+    }
+
+    #[test]
+    fn unterminated_quote_detected() {
+        assert_eq!(from_csv("A,B\n\"oops,v\n").unwrap_err(), CsvError::UnterminatedQuote);
+    }
+
+    #[test]
+    fn crlf_accepted() {
+        let t = from_csv("A,B\r\nx,y\r\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.column_values("B"), ["y"]);
+    }
+}

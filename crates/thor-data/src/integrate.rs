@@ -1,0 +1,193 @@
+//! Integration operators: full outer join and full disjunction.
+//!
+//! These operators are what *generate* the sparsity THOR mitigates: each
+//! source covers different subject instances and different concepts, so
+//! combining them "with operators that allow for partial matches"
+//! produces rows full of ⊥.
+//!
+//! For concept-oriented (star) schemas keyed by a shared subject concept,
+//! the full disjunction of n sources coincides with the n-way full outer
+//! join on the subject key: every subject instance appearing in any
+//! source yields one maximal combined row. We implement the binary
+//! [`outer_join`] and the n-ary [`full_disjunction`] on top of the same
+//! merge kernel.
+
+use crate::table::Table;
+
+/// Merge `src` into `dst` (both keyed by the same subject concept):
+/// union of rows by subject, union of multi-values per concept.
+fn merge_into(dst: &mut Table, src: &Table) {
+    for i in 0..src.len() {
+        let subject = src.subject_of(i).to_string();
+        let ri = dst.row_for_subject(&subject);
+        for (ci, concept) in src.schema().concepts().iter().enumerate() {
+            if ci == src.schema().subject_index() {
+                continue;
+            }
+            let dst_ci = dst
+                .schema()
+                .index_of(concept.name())
+                .expect("destination schema is a union of source schemas");
+            let row = dst.row_mut(ri);
+            for v in src.rows()[i].cell(ci).values() {
+                row.cell_mut(dst_ci).insert(v);
+            }
+        }
+    }
+}
+
+/// Full outer join of two tables on their (shared) subject concept.
+///
+/// The result schema is the union of the input schemas; every subject
+/// instance of either input appears exactly once; unmatched concepts are
+/// labeled nulls.
+///
+/// # Panics
+/// If the subject concepts differ.
+pub fn outer_join(left: &Table, right: &Table) -> Table {
+    let schema = left.schema().union(right.schema());
+    let mut out = Table::new(schema);
+    merge_into(&mut out, left);
+    merge_into(&mut out, right);
+    out
+}
+
+/// Full disjunction of any number of sources sharing a subject concept.
+/// With zero sources the call panics (no schema to produce).
+///
+/// # Panics
+/// If `sources` is empty or subjects differ.
+pub fn full_disjunction(sources: &[&Table]) -> Table {
+    assert!(!sources.is_empty(), "full disjunction needs at least one source");
+    let mut schema = sources[0].schema().clone();
+    for s in &sources[1..] {
+        schema = schema.union(s.schema());
+    }
+    let mut out = Table::new(schema);
+    for s in sources {
+        merge_into(&mut out, s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn source(concepts: &[&str], rows: &[(&str, &[(&str, &str)])]) -> Table {
+        let schema = Schema::new(concepts.iter().copied(), concepts[0]);
+        let mut t = Table::new(schema);
+        for (subject, fills) in rows {
+            t.row_for_subject(subject);
+            for (concept, value) in *fills {
+                t.fill_slot(subject, concept, value);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn outer_join_unions_subjects_and_schemas() {
+        // The Fig. 1 scenario: D1 and D2 both contain `Disease` but
+        // different instances and different concepts.
+        let d1 = source(
+            &["Disease", "Anatomy"],
+            &[
+                ("Acoustic Neuroma", &[("Anatomy", "nervous system")]),
+                ("Acne", &[("Anatomy", "skin")]),
+            ],
+        );
+        let d2 = source(
+            &["Disease", "Complication"],
+            &[
+                ("Tuberculosis", &[("Complication", "empyema")]),
+                ("Acne", &[("Complication", "skin cancer")]),
+            ],
+        );
+        let joined = outer_join(&d1, &d2);
+        assert_eq!(joined.len(), 3);
+        let names: Vec<&str> =
+            joined.schema().concepts().iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["Disease", "Anatomy", "Complication"]);
+
+        // Acne matched in both sources: both concepts filled.
+        let acne = joined.get_row("Acne").unwrap();
+        assert!(!acne.cell(1).is_null());
+        assert!(!acne.cell(2).is_null());
+        // Acoustic Neuroma appears only in D1: Complication is ⊥.
+        let an = joined.get_row("Acoustic Neuroma").unwrap();
+        assert!(!an.cell(1).is_null());
+        assert!(an.cell(2).is_null());
+        // Tuberculosis appears only in D2: Anatomy is ⊥.
+        let tb = joined.get_row("Tuberculosis").unwrap();
+        assert!(tb.cell(1).is_null());
+        assert!(!tb.cell(2).is_null());
+    }
+
+    #[test]
+    fn outer_join_merges_multivalues() {
+        let a = source(&["Disease", "Anatomy"], &[("TB", &[("Anatomy", "lungs")])]);
+        let b = source(&["Disease", "Anatomy"], &[("TB", &[("Anatomy", "pleura")])]);
+        let j = outer_join(&a, &b);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.column_values("Anatomy"), ["lungs", "pleura"]);
+    }
+
+    #[test]
+    fn outer_join_idempotent_on_duplicates() {
+        let a = source(&["Disease", "Anatomy"], &[("TB", &[("Anatomy", "lungs")])]);
+        let j = outer_join(&a, &a);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.column_values("Anatomy"), ["lungs"]);
+    }
+
+    #[test]
+    fn full_disjunction_many_sources() {
+        let sources: Vec<Table> = (0..5)
+            .map(|i| {
+                let concept = format!("C{i}");
+                let schema = Schema::new(vec!["Disease".to_string(), concept.clone()], "Disease");
+                let mut t = Table::new(schema);
+                t.fill_slot(&format!("D{i}"), &concept, "v");
+                t.fill_slot("Shared", &concept, &format!("v{i}"));
+                t
+            })
+            .collect();
+        let refs: Vec<&Table> = sources.iter().collect();
+        let fd = full_disjunction(&refs);
+        // 5 distinct subjects + the shared one.
+        assert_eq!(fd.len(), 6);
+        assert_eq!(fd.schema().arity(), 6);
+        // The shared subject has every concept filled; the others have
+        // exactly one non-null slot.
+        let shared = fd.get_row("Shared").unwrap();
+        let filled = shared.cells().iter().filter(|c| !c.is_null()).count();
+        assert_eq!(filled, 6);
+        let d0 = fd.get_row("D0").unwrap();
+        let filled = d0.cells().iter().filter(|c| !c.is_null()).count();
+        assert_eq!(filled, 2); // subject + C0
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn full_disjunction_empty_panics() {
+        full_disjunction(&[]);
+    }
+
+    #[test]
+    fn binary_fd_equals_outer_join() {
+        let a = source(
+            &["Disease", "Anatomy"],
+            &[("TB", &[("Anatomy", "lungs")]), ("Acne", &[("Anatomy", "skin")])],
+        );
+        let b = source(&["Disease", "Complication"], &[("TB", &[("Complication", "empyema")])]);
+        let oj = outer_join(&a, &b);
+        let fd = full_disjunction(&[&a, &b]);
+        assert_eq!(oj.len(), fd.len());
+        for i in 0..oj.len() {
+            let s = oj.subject_of(i);
+            assert_eq!(oj.get_row(s).unwrap(), fd.get_row(s).unwrap());
+        }
+    }
+}

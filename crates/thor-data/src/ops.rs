@@ -1,0 +1,327 @@
+//! Relational operations over concept-oriented tables.
+//!
+//! Beyond the integration operators of [`crate::integrate`], downstream
+//! users shape tables before/after enrichment: project a schema subset,
+//! select rows, rename concepts (schema evolution), diff two versions of
+//! a table (what did enrichment add?).
+
+use crate::schema::Schema;
+use crate::table::{Row, Table};
+
+/// Project `table` onto a subset of concepts. The subject concept is
+/// always kept (it is the key).
+///
+/// # Panics
+/// If any requested concept is not in the schema.
+pub fn project(table: &Table, concepts: &[&str]) -> Table {
+    let subject = table.schema().subject().name().to_string();
+    let mut keep: Vec<String> = vec![subject.clone()];
+    for c in concepts {
+        let idx = table
+            .schema()
+            .index_of(c)
+            .unwrap_or_else(|| panic!("concept `{c}` not in schema"));
+        let name = table.schema().concepts()[idx].name().to_string();
+        if !keep.iter().any(|k| k.eq_ignore_ascii_case(&name)) {
+            keep.push(name);
+        }
+    }
+    let mut out = Table::new(Schema::new(keep.clone(), &subject));
+    for i in 0..table.len() {
+        let s = table.subject_of(i).to_string();
+        out.row_for_subject(&s);
+        for name in keep.iter().skip(1) {
+            let src = table.schema().index_of(name).expect("validated above");
+            for v in table.rows()[i].cell(src).values() {
+                out.fill_slot(&s, name, v);
+            }
+        }
+    }
+    out
+}
+
+/// Select the rows satisfying `predicate` (applied to each row with its
+/// subject value).
+pub fn select(table: &Table, predicate: impl Fn(&str, &Row) -> bool) -> Table {
+    let mut out = Table::new(table.schema().clone());
+    for i in 0..table.len() {
+        let s = table.subject_of(i).to_string();
+        let row = &table.rows()[i];
+        if !predicate(&s, row) {
+            continue;
+        }
+        out.row_for_subject(&s);
+        for (ci, concept) in table.schema().concepts().iter().enumerate() {
+            if ci == table.schema().subject_index() {
+                continue;
+            }
+            for v in row.cell(ci).values() {
+                out.fill_slot(&s, concept.name(), v);
+            }
+        }
+    }
+    out
+}
+
+/// Rename a concept (schema evolution). The subject concept can be
+/// renamed too.
+///
+/// # Panics
+/// If `from` is not in the schema or `to` already is.
+pub fn rename_concept(table: &Table, from: &str, to: &str) -> Table {
+    let idx = table
+        .schema()
+        .index_of(from)
+        .unwrap_or_else(|| panic!("concept `{from}` not in schema"));
+    assert!(
+        table.schema().index_of(to).is_none(),
+        "concept `{to}` already exists in the schema"
+    );
+    let names: Vec<String> = table
+        .schema()
+        .concepts()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| if i == idx { to.to_string() } else { c.name().to_string() })
+        .collect();
+    let subject = names[table.schema().subject_index()].clone();
+    let mut out = Table::new(Schema::new(names.clone(), &subject));
+    for i in 0..table.len() {
+        let s = table.subject_of(i).to_string();
+        out.row_for_subject(&s);
+        for (ci, name) in names.iter().enumerate() {
+            if ci == table.schema().subject_index() {
+                continue;
+            }
+            for v in table.rows()[i].cell(ci).values() {
+                out.fill_slot(&s, name, v);
+            }
+        }
+    }
+    out
+}
+
+/// A value present in `after` but not in `before` (what enrichment
+/// added), as `(subject, concept, value)` triples in deterministic
+/// order.
+pub fn added_values(before: &Table, after: &Table) -> Vec<(String, String, String)> {
+    let mut out = Vec::new();
+    for i in 0..after.len() {
+        let s = after.subject_of(i);
+        let before_row = before.get_row(s);
+        for (ci, concept) in after.schema().concepts().iter().enumerate() {
+            if ci == after.schema().subject_index() {
+                continue;
+            }
+            for v in after.rows()[i].cell(ci).values() {
+                let known = before_row.is_some_and(|r| {
+                    before
+                        .schema()
+                        .index_of(concept.name())
+                        .is_some_and(|bci| r.cell(bci).contains(v))
+                });
+                if !known {
+                    out.push((s.to_string(), concept.name().to_string(), v.to_string()));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// A functional dependency `determinant → dependent` over single-valued
+/// views of the cells: rows that agree on every determinant concept must
+/// agree on the dependent concept. Multi-valued cells are compared as
+/// whole sets.
+#[derive(Debug, Clone)]
+pub struct FunctionalDependency {
+    /// Left-hand-side concepts.
+    pub determinant: Vec<String>,
+    /// Right-hand-side concept.
+    pub dependent: String,
+}
+
+/// A violation of a functional dependency: two subjects that agree on
+/// the determinant but differ on the dependent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdViolation {
+    /// First subject instance.
+    pub subject_a: String,
+    /// Second subject instance.
+    pub subject_b: String,
+    /// The shared determinant value(s), joined for display.
+    pub determinant_value: String,
+}
+
+/// Check a functional dependency over the table; each row disagreeing
+/// with the *first* row seen for its determinant value is reported as
+/// one violation pair. Rows with a null determinant or dependent are
+/// skipped (nulls satisfy FDs vacuously, the usual certain-answer
+/// semantics for labeled nulls).
+///
+/// # Panics
+/// If a referenced concept is not in the schema.
+pub fn check_fd(table: &Table, fd: &FunctionalDependency) -> Vec<FdViolation> {
+    let det_idx: Vec<usize> = fd
+        .determinant
+        .iter()
+        .map(|c| table.schema().index_of(c).unwrap_or_else(|| panic!("concept `{c}` not in schema")))
+        .collect();
+    let dep_idx = table
+        .schema()
+        .index_of(&fd.dependent)
+        .unwrap_or_else(|| panic!("concept `{}` not in schema", fd.dependent));
+
+    // determinant fingerprint → (subject, dependent fingerprint)
+    let mut seen: std::collections::HashMap<String, (String, String)> =
+        std::collections::HashMap::new();
+    let mut violations = Vec::new();
+    for i in 0..table.len() {
+        let row = &table.rows()[i];
+        if det_idx.iter().any(|&d| row.cell(d).is_null()) || row.cell(dep_idx).is_null() {
+            continue;
+        }
+        let det: String = det_idx
+            .iter()
+            .map(|&d| row.cell(d).values().collect::<Vec<_>>().join("|"))
+            .collect::<Vec<_>>()
+            .join("§");
+        let dep: String = row.cell(dep_idx).values().collect::<Vec<_>>().join("|");
+        let subject = table.subject_of(i).to_string();
+        match seen.get(&det) {
+            Some((other, other_dep)) if *other_dep != dep => {
+                violations.push(FdViolation {
+                    subject_a: other.clone(),
+                    subject_b: subject,
+                    determinant_value: det.clone(),
+                });
+            }
+            Some(_) => {}
+            None => {
+                seen.insert(det, (subject, dep));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn sample() -> Table {
+        let mut t =
+            Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        t.fill_slot("TB", "Anatomy", "lungs");
+        t.fill_slot("TB", "Complication", "empyema");
+        t.fill_slot("Acne", "Anatomy", "skin");
+        t.row_for_subject("Flu");
+        t
+    }
+
+    #[test]
+    fn project_keeps_subject_and_requested() {
+        let p = project(&sample(), &["Anatomy"]);
+        assert_eq!(p.schema().arity(), 2);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.column_values("Anatomy"), ["lungs", "skin"]);
+        assert!(p.schema().index_of("Complication").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn project_unknown_concept_panics() {
+        project(&sample(), &["Bogus"]);
+    }
+
+    #[test]
+    fn select_by_predicate() {
+        let t = sample();
+        let anatomy = t.schema().index_of("Anatomy").unwrap();
+        let filled = select(&t, |_, row| !row.cell(anatomy).is_null());
+        assert_eq!(filled.len(), 2);
+        assert!(filled.get_row("Flu").is_none());
+    }
+
+    #[test]
+    fn rename_preserves_data() {
+        let r = rename_concept(&sample(), "Complication", "Side Effect");
+        assert!(r.schema().index_of("Complication").is_none());
+        assert_eq!(r.column_values("Side Effect"), ["empyema"]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn rename_to_existing_panics() {
+        rename_concept(&sample(), "Anatomy", "Complication");
+    }
+
+    #[test]
+    fn added_values_diff() {
+        let before = sample();
+        let mut after = before.clone();
+        after.fill_slot("Flu", "Anatomy", "throat");
+        after.fill_slot("TB", "Complication", "meningitis");
+        let added = added_values(&before, &after);
+        assert_eq!(
+            added,
+            vec![
+                ("Flu".to_string(), "Anatomy".to_string(), "throat".to_string()),
+                ("TB".to_string(), "Complication".to_string(), "meningitis".to_string()),
+            ]
+        );
+        assert!(added_values(&before, &before).is_empty());
+    }
+
+    #[test]
+    fn fd_violations_detected() {
+        let mut t = Table::new(Schema::new(["Person", "Zip", "City"], "Person"));
+        t.fill_slot("alice", "Zip", "08034");
+        t.fill_slot("alice", "City", "Barcelona");
+        t.fill_slot("bob", "Zip", "08034");
+        t.fill_slot("bob", "City", "Brussels"); // violates Zip → City
+        t.fill_slot("carol", "Zip", "10115");
+        t.fill_slot("carol", "City", "Berlin");
+        let fd = FunctionalDependency {
+            determinant: vec!["Zip".to_string()],
+            dependent: "City".to_string(),
+        };
+        let v = check_fd(&t, &fd);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].determinant_value, "08034");
+    }
+
+    #[test]
+    fn fd_nulls_vacuously_satisfy() {
+        let mut t = Table::new(Schema::new(["Person", "Zip", "City"], "Person"));
+        t.fill_slot("alice", "Zip", "08034");
+        // alice has no City; bob has neither.
+        t.row_for_subject("bob");
+        let fd = FunctionalDependency {
+            determinant: vec!["Zip".to_string()],
+            dependent: "City".to_string(),
+        };
+        assert!(check_fd(&t, &fd).is_empty());
+    }
+
+    #[test]
+    fn fd_multi_determinant() {
+        let mut t = Table::new(Schema::new(["Id", "A", "B", "C"], "Id"));
+        for (id, a, b, c) in
+            [("1", "x", "y", "v1"), ("2", "x", "y", "v2"), ("3", "x", "z", "v1")]
+        {
+            t.fill_slot(id, "A", a);
+            t.fill_slot(id, "B", b);
+            t.fill_slot(id, "C", c);
+        }
+        let fd = FunctionalDependency {
+            determinant: vec!["A".to_string(), "B".to_string()],
+            dependent: "C".to_string(),
+        };
+        let v = check_fd(&t, &fd);
+        assert_eq!(v.len(), 1, "{v:?}"); // rows 1 and 2 clash; row 3 differs on B
+    }
+}

@@ -1,0 +1,345 @@
+//! Multi-valued tables with labeled nulls.
+//!
+//! "Every row has a single value for the subject concept, while it can be
+//! multi-valued for the other concepts." A missing value (⊥) is an empty
+//! cell — the thing THOR's slot-filling phase fills.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+use thor_text::normalize_phrase;
+
+use crate::schema::Schema;
+
+/// A cell: a set of concept-instance strings. Empty ⇔ labeled null ⊥.
+/// Values are stored in insertion-normalized display form and compared
+/// via [`normalize_phrase`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cell {
+    values: BTreeSet<String>,
+}
+
+impl Cell {
+    /// The labeled null ⊥.
+    pub fn null() -> Self {
+        Self::default()
+    }
+
+    /// A cell with one value.
+    pub fn single(value: impl Into<String>) -> Self {
+        let mut c = Self::default();
+        c.insert(value);
+        c
+    }
+
+    /// Insert a value (trimmed); empty strings are ignored. Returns
+    /// whether the cell changed (duplicates, compared case-insensitively
+    /// after normalization, are not re-added).
+    pub fn insert(&mut self, value: impl Into<String>) -> bool {
+        let v = value.into().trim().to_string();
+        if v.is_empty() {
+            return false;
+        }
+        if self.contains(&v) {
+            return false;
+        }
+        self.values.insert(v)
+    }
+
+    /// Is this cell a labeled null?
+    pub fn is_null(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the cell holds no value (alias of [`Cell::is_null`]).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Does the cell contain `value` (normalized comparison)?
+    pub fn contains(&self, value: &str) -> bool {
+        let needle = normalize_phrase(value);
+        self.values.iter().any(|v| normalize_phrase(v) == needle)
+    }
+
+    /// Iterate the values in deterministic (sorted) order.
+    pub fn values(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(String::as_str)
+    }
+
+    /// Merge another cell's values into this one.
+    pub fn merge(&mut self, other: &Cell) {
+        for v in other.values() {
+            self.insert(v);
+        }
+    }
+}
+
+impl<S: Into<String>> FromIterator<S> for Cell {
+    fn from_iter<T: IntoIterator<Item = S>>(iter: T) -> Self {
+        let mut c = Cell::null();
+        for v in iter {
+            c.insert(v);
+        }
+        c
+    }
+}
+
+/// A row: one cell per schema concept. The subject cell must hold
+/// exactly one value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    cells: Vec<Cell>,
+}
+
+impl Row {
+    /// An all-null row of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Self { cells: vec![Cell::null(); arity] }
+    }
+
+    /// The cell at concept index `i`.
+    pub fn cell(&self, i: usize) -> &Cell {
+        &self.cells[i]
+    }
+
+    /// Mutable cell access.
+    pub fn cell_mut(&mut self, i: usize) -> &mut Cell {
+        &mut self.cells[i]
+    }
+
+    /// All cells.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn arity(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// A table `R` adhering to a [`Schema`], keyed by the subject concept.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Row>,
+    /// normalized subject value → row index.
+    index: HashMap<String, usize>,
+}
+
+impl Table {
+    /// An empty table over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, rows: Vec::new(), index: HashMap::new() }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Mutable access to row `i` (crate-internal; used by the
+    /// integration kernel, which upholds the subject-key index).
+    pub(crate) fn row_mut(&mut self, i: usize) -> &mut Row {
+        &mut self.rows[i]
+    }
+
+    /// Get (creating if necessary) the row for subject instance
+    /// `subject`, returning its index.
+    pub fn row_for_subject(&mut self, subject: &str) -> usize {
+        let key = normalize_phrase(subject);
+        assert!(!key.is_empty(), "subject instance must be non-empty");
+        if let Some(&i) = self.index.get(&key) {
+            return i;
+        }
+        let mut row = Row::empty(self.schema.arity());
+        row.cell_mut(self.schema.subject_index()).insert(subject);
+        self.rows.push(row);
+        let i = self.rows.len() - 1;
+        self.index.insert(key, i);
+        i
+    }
+
+    /// Look up a row by subject instance.
+    pub fn get_row(&self, subject: &str) -> Option<&Row> {
+        self.index.get(&normalize_phrase(subject)).map(|&i| &self.rows[i])
+    }
+
+    /// Subject instance of row `i` (display form).
+    pub fn subject_of(&self, i: usize) -> &str {
+        self.rows[i]
+            .cell(self.schema.subject_index())
+            .values()
+            .next()
+            .expect("every row has a subject value")
+    }
+
+    /// All subject instances in row order.
+    pub fn subjects(&self) -> impl Iterator<Item = &str> {
+        (0..self.rows.len()).map(move |i| self.subject_of(i))
+    }
+
+    /// Insert a value into the cell `(subject, concept)`, creating the
+    /// row if needed. Returns `true` when the value is new.
+    ///
+    /// # Panics
+    /// If `concept` is not in the schema, or is the subject concept.
+    pub fn fill_slot(&mut self, subject: &str, concept: &str, value: &str) -> bool {
+        let ci = self
+            .schema
+            .index_of(concept)
+            .unwrap_or_else(|| panic!("concept `{concept}` not in schema"));
+        assert_ne!(ci, self.schema.subject_index(), "cannot slot-fill the subject concept");
+        let ri = self.row_for_subject(subject);
+        self.rows[ri].cell_mut(ci).insert(value)
+    }
+
+    /// All values appearing in column `concept` (`R.C`), deduplicated,
+    /// in deterministic order.
+    pub fn column_values(&self, concept: &str) -> Vec<String> {
+        let Some(ci) = self.schema.index_of(concept) else {
+            return vec![];
+        };
+        let mut set = BTreeSet::new();
+        for row in &self.rows {
+            for v in row.cell(ci).values() {
+                set.insert(v.to_string());
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Total number of concept instances stored (counting the subject).
+    pub fn instance_count(&self) -> usize {
+        self.rows.iter().map(|r| r.cells().iter().map(Cell::len).sum::<usize>()).sum()
+    }
+
+    /// Strip every non-subject cell (the paper's evaluation setup:
+    /// "we deleted the instances of all concepts from these test tables
+    /// except for the subject concepts").
+    pub fn stripped(&self) -> Table {
+        let mut out = Table::new(self.schema.clone());
+        for i in 0..self.rows.len() {
+            let subject = self.subject_of(i).to_string();
+            out.row_for_subject(&subject);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Schema {
+        Schema::new(["Disease", "Anatomy", "Complication"], "Disease")
+    }
+
+    #[test]
+    fn cell_null_and_insert() {
+        let mut c = Cell::null();
+        assert!(c.is_null());
+        assert!(c.insert("brain"));
+        assert!(!c.insert("brain"));
+        assert!(!c.insert("Brain")); // normalized duplicate
+        assert!(!c.insert("  "));
+        assert_eq!(c.len(), 1);
+        assert!(c.contains("BRAIN"));
+    }
+
+    #[test]
+    fn cell_merge() {
+        let mut a = Cell::from_iter(["x", "y"]);
+        let b = Cell::from_iter(["y", "z"]);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn row_creation_and_lookup() {
+        let mut t = Table::new(schema());
+        let i = t.row_for_subject("Tuberculosis");
+        assert_eq!(t.row_for_subject("tuberculosis"), i, "case-insensitive key");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.subject_of(i), "Tuberculosis");
+        assert!(t.get_row("Tuberculosis").is_some());
+        assert!(t.get_row("Acne").is_none());
+    }
+
+    #[test]
+    fn fill_slot_and_column_values() {
+        let mut t = Table::new(schema());
+        assert!(t.fill_slot("Tuberculosis", "Anatomy", "lungs"));
+        assert!(!t.fill_slot("Tuberculosis", "Anatomy", "lungs"));
+        assert!(t.fill_slot("Acoustic Neuroma", "Anatomy", "nervous system"));
+        assert_eq!(t.column_values("Anatomy"), ["lungs", "nervous system"]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in schema")]
+    fn fill_unknown_concept_panics() {
+        let mut t = Table::new(schema());
+        t.fill_slot("X", "Bogus", "v");
+    }
+
+    #[test]
+    #[should_panic(expected = "subject concept")]
+    fn fill_subject_panics() {
+        let mut t = Table::new(schema());
+        t.fill_slot("X", "Disease", "v");
+    }
+
+    #[test]
+    fn instance_count_counts_everything() {
+        let mut t = Table::new(schema());
+        t.fill_slot("TB", "Anatomy", "lungs");
+        t.fill_slot("TB", "Complication", "empyema");
+        t.fill_slot("TB", "Complication", "meningitis");
+        assert_eq!(t.instance_count(), 4); // subject + 3 values
+    }
+
+    #[test]
+    fn stripped_keeps_only_subjects() {
+        let mut t = Table::new(schema());
+        t.fill_slot("TB", "Anatomy", "lungs");
+        t.fill_slot("Acne", "Anatomy", "skin");
+        let s = t.stripped();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.instance_count(), 2);
+        assert!(s.column_values("Anatomy").is_empty());
+    }
+
+    #[test]
+    fn multivalued_cells_ordered() {
+        let mut t = Table::new(schema());
+        t.fill_slot("TB", "Complication", "empyema");
+        t.fill_slot("TB", "Complication", "blood clot");
+        let row = t.get_row("TB").unwrap();
+        let ci = t.schema().index_of("Complication").unwrap();
+        let vals: Vec<&str> = row.cell(ci).values().collect();
+        assert_eq!(vals, ["blood clot", "empyema"]); // sorted
+    }
+}

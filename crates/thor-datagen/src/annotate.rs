@@ -1,0 +1,203 @@
+//! Annotated documents and BIO projection for sequence taggers.
+
+use thor_core::Document;
+use thor_text::{normalize_phrase, split_sentences, tokenize};
+
+/// One gold entity annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldEntity {
+    /// The subject instance the entity relates to.
+    pub subject: String,
+    /// Concept label.
+    pub concept: String,
+    /// Entity phrase as it appears in the text.
+    pub phrase: String,
+}
+
+/// A document plus its gold annotations.
+#[derive(Debug, Clone)]
+pub struct AnnotatedDoc {
+    /// The document.
+    pub doc: Document,
+    /// Subject instances the document talks about.
+    pub subjects: Vec<String>,
+    /// Gold entities.
+    pub gold: Vec<GoldEntity>,
+}
+
+impl AnnotatedDoc {
+    /// Number of gold entities.
+    pub fn entity_count(&self) -> usize {
+        self.gold.len()
+    }
+}
+
+/// BIO label for one token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bio {
+    /// Beginning of an entity of the given concept.
+    B(String),
+    /// Inside an entity of the given concept.
+    I(String),
+    /// Outside any entity.
+    O,
+}
+
+impl Bio {
+    /// The concept, if any.
+    pub fn concept(&self) -> Option<&str> {
+        match self {
+            Bio::B(c) | Bio::I(c) => Some(c),
+            Bio::O => None,
+        }
+    }
+}
+
+/// Project gold annotations onto token sequences: for every sentence of
+/// the document, tokenize and label tokens with B-/I-/O by matching the
+/// gold phrases (normalized, longest-first, non-overlapping). This is
+/// how the annotated corpus feeds the sequence taggers (`LM-Human`).
+pub fn bio_tags(doc: &AnnotatedDoc) -> Vec<Vec<(String, Bio)>> {
+    // Normalize and sort phrases longest-first so nested phrases resolve
+    // to the longest span.
+    let mut phrases: Vec<(Vec<String>, String)> = doc
+        .gold
+        .iter()
+        .map(|g| {
+            let words: Vec<String> =
+                normalize_phrase(&g.phrase).split_whitespace().map(str::to_string).collect();
+            (words, g.concept.clone())
+        })
+        .filter(|(w, _)| !w.is_empty())
+        .collect();
+    phrases.sort_by_key(|(w, _)| std::cmp::Reverse(w.len()));
+    phrases.dedup();
+
+    let mut out = Vec::new();
+    for sentence in split_sentences(&doc.doc.text) {
+        let tokens = tokenize(&sentence.text);
+        let words: Vec<String> =
+            tokens.iter().map(|t| normalize_phrase(&t.text)).collect();
+        let mut labels: Vec<Bio> = vec![Bio::O; tokens.len()];
+
+        for (phrase_words, concept) in &phrases {
+            let n = phrase_words.len();
+            if n == 0 || n > words.len() {
+                continue;
+            }
+            for start in 0..=(words.len() - n) {
+                if labels[start..start + n].iter().any(|l| *l != Bio::O) {
+                    continue;
+                }
+                if words[start..start + n] == phrase_words[..] {
+                    labels[start] = Bio::B(concept.clone());
+                    for l in labels.iter_mut().take(start + n).skip(start + 1) {
+                        *l = Bio::I(concept.clone());
+                    }
+                }
+            }
+        }
+        out.push(
+            tokens
+                .into_iter()
+                .zip(labels)
+                .map(|(t, l)| (t.text, l))
+                .collect::<Vec<(String, Bio)>>(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> AnnotatedDoc {
+        AnnotatedDoc {
+            doc: Document::new(
+                "d",
+                "Tuberculosis damages the lungs. It may cause severe empyema.",
+            ),
+            subjects: vec!["Tuberculosis".into()],
+            gold: vec![
+                GoldEntity {
+                    subject: "Tuberculosis".into(),
+                    concept: "Disease".into(),
+                    phrase: "Tuberculosis".into(),
+                },
+                GoldEntity {
+                    subject: "Tuberculosis".into(),
+                    concept: "Anatomy".into(),
+                    phrase: "lungs".into(),
+                },
+                GoldEntity {
+                    subject: "Tuberculosis".into(),
+                    concept: "Complication".into(),
+                    phrase: "severe empyema".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bio_projection_basic() {
+        let tags = bio_tags(&doc());
+        assert_eq!(tags.len(), 2);
+        let s1 = &tags[0];
+        assert_eq!(s1[0].1, Bio::B("Disease".into()));
+        let lungs = s1.iter().find(|(w, _)| w == "lungs").unwrap();
+        assert_eq!(lungs.1, Bio::B("Anatomy".into()));
+        // "damages", "the" are O.
+        assert_eq!(s1[1].1, Bio::O);
+    }
+
+    #[test]
+    fn multiword_phrase_bi() {
+        let tags = bio_tags(&doc());
+        let s2 = &tags[1];
+        let severe = s2.iter().position(|(w, _)| w == "severe").unwrap();
+        assert_eq!(s2[severe].1, Bio::B("Complication".into()));
+        assert_eq!(s2[severe + 1].1, Bio::I("Complication".into()));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let mut d = doc();
+        d.gold[1].phrase = "LUNGS".into();
+        let tags = bio_tags(&d);
+        let lungs = tags[0].iter().find(|(w, _)| w == "lungs").unwrap();
+        assert_eq!(lungs.1, Bio::B("Anatomy".into()));
+    }
+
+    #[test]
+    fn unmatched_phrases_leave_o() {
+        let mut d = doc();
+        d.gold.push(GoldEntity {
+            subject: "x".into(),
+            concept: "Medicine".into(),
+            phrase: "nonexistent drug".into(),
+        });
+        let tags = bio_tags(&d);
+        assert!(tags.iter().flatten().all(|(_, l)| l.concept() != Some("Medicine")));
+    }
+
+    #[test]
+    fn longest_phrase_wins() {
+        let d = AnnotatedDoc {
+            doc: Document::new("d", "severe hearing loss troubles patients."),
+            subjects: vec![],
+            gold: vec![
+                GoldEntity { subject: "s".into(), concept: "A".into(), phrase: "hearing".into() },
+                GoldEntity {
+                    subject: "s".into(),
+                    concept: "B".into(),
+                    phrase: "severe hearing loss".into(),
+                },
+            ],
+        };
+        let tags = bio_tags(&d);
+        assert_eq!(tags[0][0].1, Bio::B("B".into()));
+        assert_eq!(tags[0][1].1, Bio::I("B".into()));
+        assert_eq!(tags[0][2].1, Bio::I("B".into()));
+    }
+}

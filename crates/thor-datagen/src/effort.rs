@@ -1,0 +1,109 @@
+//! The annotation-effort model (Tables IX and X, Fig. 8).
+//!
+//! The paper measured 8–13 seconds per annotated token and 600+ total
+//! hours for three specialist annotators over three months. Those
+//! numbers are arithmetic over corpus statistics; this model reproduces
+//! the arithmetic so the effort tables can be regenerated from the
+//! synthetic corpus.
+
+use crate::annotate::AnnotatedDoc;
+
+/// Per-token annotation-time model.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnotationEffortModel {
+    /// Fastest observed seconds per token.
+    pub min_sec_per_token: f64,
+    /// Slowest observed seconds per token (the paper uses this bound
+    /// when costing Table X).
+    pub max_sec_per_token: f64,
+}
+
+impl Default for AnnotationEffortModel {
+    fn default() -> Self {
+        // Table IX: "Single Token 8s – 13s".
+        Self { min_sec_per_token: 8.0, max_sec_per_token: 13.0 }
+    }
+}
+
+/// Effort estimate for a corpus (or sub-corpus).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EffortEstimate {
+    /// Number of word tokens costed.
+    pub tokens: usize,
+    /// Lower bound, seconds.
+    pub min_seconds: f64,
+    /// Upper bound, seconds (Table X's "Annotation Time(s)" column).
+    pub max_seconds: f64,
+}
+
+impl EffortEstimate {
+    /// Upper bound in hours.
+    pub fn max_hours(&self) -> f64 {
+        self.max_seconds / 3600.0
+    }
+}
+
+impl AnnotationEffortModel {
+    /// Cost a set of annotated documents.
+    pub fn estimate(&self, docs: &[AnnotatedDoc]) -> EffortEstimate {
+        let tokens: usize = docs.iter().map(|d| d.doc.word_count()).sum();
+        EffortEstimate {
+            tokens,
+            min_seconds: tokens as f64 * self.min_sec_per_token,
+            max_seconds: tokens as f64 * self.max_sec_per_token,
+        }
+    }
+
+    /// Per-document bounds in seconds: `(min, max)` over the corpus.
+    pub fn per_document_bounds(&self, docs: &[AnnotatedDoc]) -> Option<(f64, f64)> {
+        let counts: Vec<usize> = docs.iter().map(|d| d.doc.word_count()).collect();
+        let min = *counts.iter().min()?;
+        let max = *counts.iter().max()?;
+        Some((min as f64 * self.min_sec_per_token, max as f64 * self.max_sec_per_token))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thor_core::Document;
+
+    fn docs(words: &[usize]) -> Vec<AnnotatedDoc> {
+        words
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| AnnotatedDoc {
+                doc: Document::new(format!("d{i}"), vec!["w"; n].join(" ")),
+                subjects: vec![],
+                gold: vec![],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn estimate_scales_with_tokens() {
+        let m = AnnotationEffortModel::default();
+        let e = m.estimate(&docs(&[100, 50]));
+        assert_eq!(e.tokens, 150);
+        assert_eq!(e.min_seconds, 1200.0);
+        assert_eq!(e.max_seconds, 1950.0);
+        assert!((e.max_hours() - 1950.0 / 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let m = AnnotationEffortModel::default();
+        let e = m.estimate(&[]);
+        assert_eq!(e.tokens, 0);
+        assert_eq!(e.max_seconds, 0.0);
+        assert!(m.per_document_bounds(&[]).is_none());
+    }
+
+    #[test]
+    fn per_document_bounds() {
+        let m = AnnotationEffortModel::default();
+        let (lo, hi) = m.per_document_bounds(&docs(&[10, 100])).unwrap();
+        assert_eq!(lo, 80.0);
+        assert_eq!(hi, 1300.0);
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # thor-datagen
+//!
+//! Synthetic dataset generators standing in for the paper's Disease A–Z
+//! and Résumé corpora (proprietary web-scraped text plus a 600+-hour
+//! human annotation campaign we cannot ship).
+//!
+//! Everything downstream of this crate — the THOR pipeline, the
+//! baselines, the evaluation harness — consumes only four artifacts, all
+//! generated here deterministically from a seed:
+//!
+//! * an **integrated table** `R` (built by full disjunction over partial
+//!   sources, so it exhibits genuine integration sparsity),
+//! * a **vector table** whose geometry mirrors pre-trained embeddings
+//!   (concept clusters, cross-concept ambiguity, out-of-vocabulary tail),
+//! * an **annotated document corpus** split into train/validation/test,
+//!   with gold `(concept, phrase)` annotations recorded at generation
+//!   time (no projection noise), and
+//! * **corpus statistics** mirroring Table III.
+//!
+//! The generator exposes the difficulty knobs the evaluation depends on:
+//! what fraction of gold instances the table knows (`table_coverage`),
+//! what fraction of the vocabulary has embeddings
+//! (`embedding_coverage`), cross-concept lexical ambiguity
+//! (`ambiguity`), and per-concept mention weights (class imbalance,
+//! calibrated to Table VII).
+
+pub mod annotate;
+pub mod effort;
+pub mod generate;
+pub mod spec;
+pub mod stats;
+pub mod vocab;
+
+pub use annotate::{bio_tags, AnnotatedDoc, Bio};
+pub use effort::AnnotationEffortModel;
+pub use generate::{generate, GeneratedDataset, Split};
+pub use spec::{ConceptSpec, DatasetSpec};
+pub use stats::{corpus_stats, CorpusStats};

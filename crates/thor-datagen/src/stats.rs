@@ -1,0 +1,66 @@
+//! Corpus statistics (Table III).
+
+use std::collections::BTreeSet;
+
+use crate::annotate::AnnotatedDoc;
+
+/// Statistics of one corpus split, mirroring Table III's rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusStats {
+    /// Distinct subject instances (`|dom(C*)|`).
+    pub subjects: usize,
+    /// Number of documents.
+    pub documents: usize,
+    /// Number of gold entity annotations.
+    pub entities: usize,
+    /// Number of word tokens.
+    pub words: usize,
+}
+
+/// Compute Table III statistics for a document set.
+pub fn corpus_stats(docs: &[AnnotatedDoc]) -> CorpusStats {
+    let subjects: BTreeSet<&str> =
+        docs.iter().flat_map(|d| d.subjects.iter().map(String::as_str)).collect();
+    CorpusStats {
+        subjects: subjects.len(),
+        documents: docs.len(),
+        entities: docs.iter().map(AnnotatedDoc::entity_count).sum(),
+        words: docs.iter().map(|d| d.doc.word_count()).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::GoldEntity;
+    use thor_core::Document;
+
+    #[test]
+    fn counts() {
+        let docs = vec![
+            AnnotatedDoc {
+                doc: Document::new("a", "one two three"),
+                subjects: vec!["S1".into()],
+                gold: vec![GoldEntity {
+                    subject: "S1".into(),
+                    concept: "C".into(),
+                    phrase: "one".into(),
+                }],
+            },
+            AnnotatedDoc {
+                doc: Document::new("b", "four five"),
+                subjects: vec!["S1".into(), "S2".into()],
+                gold: vec![],
+            },
+        ];
+        let s = corpus_stats(&docs);
+        assert_eq!(s, CorpusStats { subjects: 2, documents: 2, entities: 1, words: 5 });
+    }
+
+    #[test]
+    fn empty() {
+        let s = corpus_stats(&[]);
+        assert_eq!(s.documents, 0);
+        assert_eq!(s.subjects, 0);
+    }
+}

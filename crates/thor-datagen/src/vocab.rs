@@ -1,0 +1,235 @@
+//! Pseudo-word and instance-phrase generation.
+//!
+//! Concept vocabularies are built from syllable inventories with
+//! concept-specific *suffix families* (anatomy words end in `-ex`/`-um`,
+//! complications in `-osis`/`-itis`, …). The suffixes give the
+//! character-level gestalt score real signal: novel instances of a
+//! concept are orthographically similar to its seeds, exactly the
+//! regularity the paper's refinement step exploits on medical
+//! terminology.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Consonant-vowel syllables used as word stems.
+const SYLLABLES: &[&str] = &[
+    "ba", "ce", "di", "fo", "gu", "ha", "ke", "li", "mo", "nu", "pa", "re", "si", "to", "vu",
+    "wa", "xe", "zi", "bra", "cle", "dri", "flo", "gru", "pla", "ster", "tro", "qui", "sna",
+    "ve", "lor", "mer", "nal", "pol", "rus", "tan",
+];
+
+/// A family of word endings shared by one concept's vocabulary.
+#[derive(Debug, Clone)]
+pub struct SuffixFamily {
+    suffixes: Vec<&'static str>,
+}
+
+impl SuffixFamily {
+    /// Create a family from a fixed suffix set.
+    pub fn new(suffixes: &[&'static str]) -> Self {
+        assert!(!suffixes.is_empty());
+        Self { suffixes: suffixes.to_vec() }
+    }
+
+    /// Built-in families, cycled over concepts in declaration order so
+    /// every concept gets a distinct orthographic signature.
+    pub fn builtin(index: usize) -> Self {
+        // All suffixes are chosen to read as *nouns* to the morphology
+        // rules in `thor-nlp` (none collide with its ADJ/ADV/VERB
+        // suffix lists) so that concept heads chunk as NP heads.
+        const FAMILIES: &[&[&str]] = &[
+            &["ex", "um", "ula"],
+            &["osis", "itis", "oma"],
+            &["ol", "ine", "ide"],
+            &["ia", "ea", "ysis"],
+            &["ency", "age", "ure"],
+            &["ism", "asm", "esis"],
+            &["one", "ane", "ene"],
+            &["ix", "yx", "ax"],
+            &["eum", "ion", "oid"],
+            &["ast", "est", "ist"],
+            &["ora", "era", "ura"],
+            &["eth", "oth", "uth"],
+        ];
+        Self::new(FAMILIES[index % FAMILIES.len()])
+    }
+
+    /// The generic (concept-neutral) family: suffixes shared by every
+    /// concept's *irregular* vocabulary. Words built from it carry no
+    /// orthographic signal about their concept — they separate systems
+    /// that type by morphology (taggers) from systems that type by
+    /// distributional semantics (THOR).
+    pub fn generic() -> Self {
+        Self::new(&["an", "er", "on"])
+    }
+
+    /// Generate one pseudo-word: 1–3 syllables plus a family suffix.
+    pub fn word(&self, rng: &mut StdRng) -> String {
+        let n = rng.random_range(1..=3);
+        let mut w = String::new();
+        for _ in 0..n {
+            w.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+        }
+        w.push_str(self.suffixes[rng.random_range(0..self.suffixes.len())]);
+        w
+    }
+}
+
+/// A concept's lexical field: head words (its own), shared modifiers,
+/// and instance phrases built from them.
+#[derive(Debug, Clone)]
+pub struct ConceptVocab {
+    /// Concept name.
+    pub concept: String,
+    /// Head words unique to this concept's field.
+    pub heads: Vec<String>,
+    /// Instance phrases (`dom(C)` of the universe).
+    pub instances: Vec<String>,
+}
+
+/// Shared modifier pool (adjective-like pseudo-words used across
+/// concepts — the source of word-level cross-concept overlap).
+pub fn modifier_pool(rng: &mut StdRng, size: usize) -> Vec<String> {
+    let family = SuffixFamily::new(&["al", "ic", "ous", "ive"]);
+    let mut out = Vec::with_capacity(size);
+    while out.len() < size {
+        let w = family.word(rng);
+        if !out.contains(&w) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// Build a concept's vocabulary.
+///
+/// * `head_count` distinct head words are drawn from the concept's
+///   suffix family — except a fraction `irregular_rate` drawn from the
+///   [`SuffixFamily::generic`] family (no orthographic concept signal);
+/// * `instance_count` instances are formed as `[modifier] head` or
+///   `head` (60% single-word);
+/// * with probability `ambiguity`, an instance borrows a head word from
+///   `neighbor_heads` (the paper's `blood` vs `blood clot` overlap).
+#[allow(clippy::too_many_arguments)]
+pub fn concept_vocab(
+    rng: &mut StdRng,
+    concept: &str,
+    family: &SuffixFamily,
+    head_count: usize,
+    instance_count: usize,
+    modifiers: &[String],
+    neighbor_heads: &[String],
+    ambiguity: f64,
+    irregular_rate: f64,
+) -> ConceptVocab {
+    let generic = SuffixFamily::generic();
+    let mut heads: Vec<String> = Vec::with_capacity(head_count);
+    let mut guard = 0;
+    while heads.len() < head_count && guard < head_count * 50 {
+        guard += 1;
+        let f = if rng.random::<f64>() < irregular_rate { &generic } else { family };
+        let w = f.word(rng);
+        if !heads.contains(&w) {
+            heads.push(w);
+        }
+    }
+
+    let mut instances = Vec::with_capacity(instance_count);
+    let mut tries = 0;
+    while instances.len() < instance_count && tries < instance_count * 50 {
+        tries += 1;
+        let borrow = !neighbor_heads.is_empty() && rng.random::<f64>() < ambiguity;
+        let head = if borrow {
+            neighbor_heads[rng.random_range(0..neighbor_heads.len())].clone()
+        } else {
+            heads[rng.random_range(0..heads.len())].clone()
+        };
+        let instance = if rng.random::<f64>() < 0.6 || modifiers.is_empty() {
+            // Borrowed heads always get a modifier: the *phrase* is this
+            // concept's, only the head word is shared.
+            if borrow && !modifiers.is_empty() {
+                format!("{} {}", modifiers[rng.random_range(0..modifiers.len())], head)
+            } else {
+                head
+            }
+        } else {
+            format!("{} {}", modifiers[rng.random_range(0..modifiers.len())], head)
+        };
+        if !instances.contains(&instance) {
+            instances.push(instance);
+        }
+    }
+
+    ConceptVocab { concept: concept.to_string(), heads, instances }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn words_carry_family_suffix() {
+        let family = SuffixFamily::new(&["osis"]);
+        let mut r = rng(1);
+        for _ in 0..20 {
+            assert!(family.word(&mut r).ends_with("osis"));
+        }
+    }
+
+    #[test]
+    fn builtin_families_distinct() {
+        let a = SuffixFamily::builtin(0);
+        let b = SuffixFamily::builtin(1);
+        assert_ne!(a.suffixes, b.suffixes);
+    }
+
+    #[test]
+    fn vocab_sizes_respected() {
+        let mut r = rng(7);
+        let mods = modifier_pool(&mut r, 10);
+        let v = concept_vocab(&mut r, "Anatomy", &SuffixFamily::builtin(0), 20, 40, &mods, &[], 0.0, 0.0);
+        assert_eq!(v.heads.len(), 20);
+        assert_eq!(v.instances.len(), 40);
+        // No duplicates.
+        let mut uniq = v.instances.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 40);
+    }
+
+    #[test]
+    fn ambiguity_borrows_neighbor_heads() {
+        let mut r = rng(3);
+        let mods = modifier_pool(&mut r, 10);
+        let neighbor: Vec<String> = vec!["bloodex".to_string()];
+        let v = concept_vocab(
+            &mut r,
+            "Complication",
+            &SuffixFamily::builtin(1),
+            10,
+            50,
+            &mods,
+            &neighbor,
+            0.5,
+            0.0,
+        );
+        let borrowed = v.instances.iter().filter(|i| i.contains("bloodex")).count();
+        assert!(borrowed > 0, "ambiguity 0.5 should borrow some heads");
+        assert!(borrowed < 50, "not everything should be borrowed");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            let mut r = rng(42);
+            let mods = modifier_pool(&mut r, 5);
+            concept_vocab(&mut r, "X", &SuffixFamily::builtin(2), 5, 10, &mods, &[], 0.0, 0.0)
+        };
+        assert_eq!(make().instances, make().instances);
+    }
+}

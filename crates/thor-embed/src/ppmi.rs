@@ -1,0 +1,348 @@
+//! Count-based embeddings: PPMI + truncated SVD.
+//!
+//! The classic pre-neural way to build static word vectors (Levy &
+//! Goldberg 2014 showed SGNS implicitly factorizes a shifted PMI
+//! matrix): count word co-occurrences in a sliding window, weight them
+//! by positive pointwise mutual information, and factorize with a
+//! truncated SVD. We implement the factorization from scratch with
+//! randomized subspace iteration (Halko et al. 2011) — no linear-algebra
+//! dependencies.
+//!
+//! This gives the workspace a second *learned* embedding source next to
+//! [`crate::sgns`], with very different mechanics; the pipeline must
+//! work on either (see the `train_embeddings` example and tests).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::store::VectorStore;
+use crate::vector::Vector;
+
+/// Hyper-parameters for PPMI-SVD training.
+#[derive(Debug, Clone)]
+pub struct PpmiConfig {
+    /// Embedding dimensionality (rank of the truncated SVD).
+    pub dim: usize,
+    /// Symmetric co-occurrence window radius.
+    pub window: usize,
+    /// Words rarer than this are dropped.
+    pub min_count: usize,
+    /// PMI shift (`log k` of SGNS's negative count); 0 disables.
+    pub shift: f64,
+    /// Subspace-iteration rounds (2–4 suffice in practice).
+    pub power_iterations: usize,
+    /// RNG seed for the randomized range finder.
+    pub seed: u64,
+}
+
+impl Default for PpmiConfig {
+    fn default() -> Self {
+        Self { dim: 32, window: 4, min_count: 2, shift: 0.0, power_iterations: 3, seed: 0x5EED }
+    }
+}
+
+/// PPMI + truncated SVD trainer.
+#[derive(Debug)]
+pub struct PpmiSvdTrainer {
+    config: PpmiConfig,
+}
+
+/// A sparse symmetric matrix in coordinate form: row → (col → value).
+type SparseRows = Vec<HashMap<usize, f64>>;
+
+impl PpmiSvdTrainer {
+    /// Create a trainer.
+    pub fn new(config: PpmiConfig) -> Self {
+        assert!(config.dim > 0 && config.window > 0);
+        Self { config }
+    }
+
+    /// Train on a tokenized corpus; returns the word-embedding table
+    /// (rows of `U·√Σ`, normalized).
+    #[allow(clippy::needless_range_loop)] // matrix kernels read clearer with indices
+    pub fn train(&self, corpus: &[Vec<String>]) -> VectorStore {
+        let cfg = &self.config;
+
+        // ---- vocabulary ----
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for sent in corpus {
+            for w in sent {
+                *counts.entry(w.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut vocab: Vec<&str> = counts
+            .iter()
+            .filter(|&(_, &c)| c >= cfg.min_count)
+            .map(|(&w, _)| w)
+            .collect();
+        vocab.sort_unstable();
+        if vocab.is_empty() {
+            return VectorStore::new(cfg.dim);
+        }
+        let index: HashMap<&str, usize> =
+            vocab.iter().enumerate().map(|(i, &w)| (w, i)).collect();
+        let n = vocab.len();
+
+        // ---- co-occurrence counts ----
+        let mut cooc: SparseRows = vec![HashMap::new(); n];
+        let mut row_sums = vec![0.0f64; n];
+        let mut total = 0.0f64;
+        for sent in corpus {
+            let ids: Vec<usize> =
+                sent.iter().filter_map(|w| index.get(w.as_str()).copied()).collect();
+            for (i, &a) in ids.iter().enumerate() {
+                let hi = (i + cfg.window + 1).min(ids.len());
+                for &b in &ids[i + 1..hi] {
+                    *cooc[a].entry(b).or_insert(0.0) += 1.0;
+                    *cooc[b].entry(a).or_insert(0.0) += 1.0;
+                    row_sums[a] += 1.0;
+                    row_sums[b] += 1.0;
+                    total += 2.0;
+                }
+            }
+        }
+        if total == 0.0 {
+            return VectorStore::new(cfg.dim);
+        }
+
+        // ---- PPMI transform (in place) ----
+        for (a, row) in cooc.iter_mut().enumerate() {
+            row.retain(|&b, v| {
+                let pmi = ((*v * total) / (row_sums[a] * row_sums[b])).ln() - cfg.shift;
+                if pmi > 0.0 {
+                    *v = pmi;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+
+        // ---- randomized truncated eigendecomposition ----
+        // The PPMI matrix M is symmetric, so its SVD coincides with its
+        // eigendecomposition up to signs; subspace iteration on M gives
+        // the dominant invariant subspace Q, and M ≈ Q (QᵀMQ) Qᵀ.
+        let k = cfg.dim.min(n);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // Q: n×k, random init then orthonormalized.
+        let mut q: Vec<Vec<f64>> = (0..k)
+            .map(|_| (0..n).map(|_| rng.random::<f64>() - 0.5).collect())
+            .collect();
+        orthonormalize(&mut q);
+        for _ in 0..cfg.power_iterations.max(1) {
+            let mut next: Vec<Vec<f64>> = q.iter().map(|col| spmv(&cooc, col)).collect();
+            orthonormalize(&mut next);
+            q = next;
+        }
+        // B = QᵀMQ (k×k), dense symmetric.
+        let mq: Vec<Vec<f64>> = q.iter().map(|col| spmv(&cooc, col)).collect();
+        let mut b = vec![vec![0.0f64; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                b[i][j] = dot(&q[i], &mq[j]);
+            }
+        }
+        // Eigendecomposition of the small B by Jacobi rotation.
+        let (evals, evecs) = jacobi_eigen(&mut b, 100);
+
+        // Embedding: rows of Q·V·√|Λ|  (n×k).
+        let mut store = VectorStore::new(k);
+        for (wi, &word) in vocab.iter().enumerate() {
+            let mut v = Vec::with_capacity(k);
+            for e in 0..k {
+                // coordinate e of word wi: Σ_c Q[c][wi] * V[c][e] * sqrt(|λ_e|)
+                let mut x = 0.0;
+                for c in 0..k {
+                    x += q[c][wi] * evecs[c][e];
+                }
+                v.push((x * evals[e].abs().sqrt()) as f32);
+            }
+            let mut vec = Vector(v);
+            vec.normalize();
+            store.insert(word, vec);
+        }
+        store
+    }
+}
+
+/// Sparse-matrix × dense-vector product.
+fn spmv(rows: &SparseRows, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0f64; x.len()];
+    for (a, row) in rows.iter().enumerate() {
+        let mut acc = 0.0;
+        for (&b, &v) in row {
+            acc += v * x[b];
+        }
+        y[a] = acc;
+    }
+    y
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Modified Gram–Schmidt over the column set.
+fn orthonormalize(cols: &mut [Vec<f64>]) {
+    for i in 0..cols.len() {
+        for j in 0..i {
+            let (head, tail) = cols.split_at_mut(i);
+            let proj = dot(&head[j], &tail[0]);
+            for (t, h) in tail[0].iter_mut().zip(&head[j]) {
+                *t -= proj * h;
+            }
+        }
+        let norm = dot(&cols[i], &cols[i]).sqrt();
+        if norm > 1e-12 {
+            for x in &mut cols[i] {
+                *x /= norm;
+            }
+        }
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a small symmetric matrix.
+/// Returns (eigenvalues, eigenvector matrix V with `V[row][col]`,
+/// columns = eigenvectors), sorted by |λ| descending.
+#[allow(clippy::needless_range_loop)] // rotation kernel mirrors the textbook algorithm
+fn jacobi_eigen(a: &mut [Vec<f64>], sweeps: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    let mut v = vec![vec![0.0f64; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _ in 0..sweeps {
+        let mut off = 0.0;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[p][q] * a[p][q];
+            }
+        }
+        if off < 1e-18 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = 0.5 * (2.0 * a[p][q]).atan2(a[q][q] - a[p][p]);
+                let (s, c) = theta.sin_cos();
+                for i in 0..n {
+                    let (aip, aiq) = (a[i][p], a[i][q]);
+                    a[i][p] = c * aip - s * aiq;
+                    a[i][q] = s * aip + c * aiq;
+                }
+                for i in 0..n {
+                    let (api, aqi) = (a[p][i], a[q][i]);
+                    a[p][i] = c * api - s * aqi;
+                    a[q][i] = s * api + c * aqi;
+                }
+                for row in v.iter_mut() {
+                    let (vip, viq) = (row[p], row[q]);
+                    row[p] = c * vip - s * viq;
+                    row[q] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[j][j].abs().total_cmp(&a[i][i].abs()));
+    let evals: Vec<f64> = order.iter().map(|&i| a[i][i]).collect();
+    let evecs: Vec<Vec<f64>> =
+        (0..n).map(|row| order.iter().map(|&col| v[row][col]).collect()).collect();
+    // Transpose convention: we want evecs[c][e] = component c of the
+    // e-th eigenvector — that is exactly `evecs` as built (row = c).
+    (evals, evecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topical_corpus(sentences: usize) -> Vec<Vec<String>> {
+        let mut rng = StdRng::seed_from_u64(99);
+        let anatomy = ["brain", "nerve", "lung", "heart", "spine", "tissue"];
+        let medicine = ["aspirin", "ibuprofen", "antibiotic", "dose", "tablet", "drug"];
+        let glue = ["the", "with", "and"];
+        let mut corpus = Vec::new();
+        for i in 0..sentences {
+            let topic: &[&str] = if i % 2 == 0 { &anatomy } else { &medicine };
+            let mut sent = Vec::new();
+            for _ in 0..8 {
+                if rng.random::<f64>() < 0.25 {
+                    sent.push(glue[rng.random_range(0..glue.len())].to_string());
+                } else {
+                    sent.push(topic[rng.random_range(0..topic.len())].to_string());
+                }
+            }
+            corpus.push(sent);
+        }
+        corpus
+    }
+
+    #[test]
+    fn empty_corpus_gives_empty_store() {
+        let store = PpmiSvdTrainer::new(PpmiConfig::default()).train(&[]);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn learns_topical_clusters() {
+        let corpus = topical_corpus(300);
+        let cfg = PpmiConfig { dim: 16, ..Default::default() };
+        let store = PpmiSvdTrainer::new(cfg).train(&corpus);
+        let avg = |pairs: &[(&str, &str)]| {
+            pairs.iter().map(|(a, b)| store.phrase_similarity(a, b).unwrap()).sum::<f64>()
+                / pairs.len() as f64
+        };
+        let intra = avg(&[("brain", "nerve"), ("lung", "heart"), ("aspirin", "tablet")]);
+        let inter = avg(&[("brain", "aspirin"), ("lung", "drug"), ("nerve", "dose")]);
+        assert!(intra > inter, "intra {intra:.3} must exceed inter {inter:.3}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let corpus = topical_corpus(50);
+        let a = PpmiSvdTrainer::new(PpmiConfig::default()).train(&corpus);
+        let b = PpmiSvdTrainer::new(PpmiConfig::default()).train(&corpus);
+        assert_eq!(a.get("brain"), b.get("brain"));
+    }
+
+    #[test]
+    fn min_count_respected() {
+        let corpus = vec![
+            vec!["common".to_string(), "common".to_string(), "rare".to_string()],
+            vec!["common".to_string(), "common".to_string()],
+        ];
+        let cfg = PpmiConfig { min_count: 2, ..Default::default() };
+        let store = PpmiSvdTrainer::new(cfg).train(&corpus);
+        assert!(store.contains("common"));
+        assert!(!store.contains("rare"));
+    }
+
+    #[test]
+    fn jacobi_on_known_matrix() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let mut m = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let (evals, evecs) = jacobi_eigen(&mut m, 50);
+        assert!((evals[0] - 3.0).abs() < 1e-9, "{evals:?}");
+        assert!((evals[1] - 1.0).abs() < 1e-9);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let ratio = evecs[0][0] / evecs[1][0];
+        assert!((ratio - 1.0).abs() < 1e-6, "{evecs:?}");
+    }
+
+    #[test]
+    fn vectors_unit_length_and_right_dim() {
+        let corpus = topical_corpus(60);
+        let cfg = PpmiConfig { dim: 8, ..Default::default() };
+        let store = PpmiSvdTrainer::new(cfg).train(&corpus);
+        assert_eq!(store.dim(), 8);
+        for (_, v) in store.iter() {
+            assert!((v.norm() - 1.0).abs() < 1e-4);
+        }
+    }
+}

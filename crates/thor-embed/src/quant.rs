@@ -1,0 +1,166 @@
+//! 8-bit quantized vector storage.
+//!
+//! Production embedding tables are large (spaCy's `en_core_web_md`
+//! vectors alone are ~40 MB); at 8 bits per dimension with a per-word
+//! scale, memory drops 4× with negligible cosine error — quantized
+//! cosine ranking is what real vector systems deploy. The THOR matcher
+//! only consumes cosine similarities, so a [`QuantizedStore`] can stand
+//! in for a [`VectorStore`] wherever memory matters.
+
+use std::collections::HashMap;
+
+use crate::store::VectorStore;
+use crate::vector::Vector;
+
+/// A word-embedding table quantized to `i8` codes with one `f32` scale
+/// per word (symmetric linear quantization).
+#[derive(Debug, Clone)]
+pub struct QuantizedStore {
+    dim: usize,
+    /// word → (scale, codes).
+    entries: HashMap<String, (f32, Vec<i8>)>,
+}
+
+impl QuantizedStore {
+    /// Quantize every vector of `store`.
+    pub fn from_store(store: &VectorStore) -> Self {
+        let mut entries = HashMap::new();
+        for (word, v) in store.iter() {
+            entries.insert(word.to_string(), quantize(v));
+        }
+        Self { dim: store.dim(), entries }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate bytes used by the quantized codes (excluding the word
+    /// strings and map overhead) — the comparable figure for the f32
+    /// table is `len × dim × 4`.
+    pub fn code_bytes(&self) -> usize {
+        self.entries.len() * (self.dim + std::mem::size_of::<f32>())
+    }
+
+    /// Dequantize one word's vector.
+    pub fn get(&self, word: &str) -> Option<Vector> {
+        let norm = thor_text::normalize_phrase(word);
+        self.entries.get(&norm).map(|(scale, codes)| dequantize(*scale, codes))
+    }
+
+    /// Reconstruct a full-precision [`VectorStore`] (with quantization
+    /// error baked in).
+    pub fn to_store(&self) -> VectorStore {
+        let mut store = VectorStore::new(self.dim);
+        for (word, (scale, codes)) in &self.entries {
+            store.insert(word, dequantize(*scale, codes));
+        }
+        store
+    }
+}
+
+/// Symmetric linear quantization: `scale = max|x| / 127`.
+fn quantize(v: &Vector) -> (f32, Vec<i8>) {
+    let max = v.0.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    if max == 0.0 {
+        return (0.0, vec![0; v.dim()]);
+    }
+    let scale = max / 127.0;
+    let codes = v.0.iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+    (scale, codes)
+}
+
+fn dequantize(scale: f32, codes: &[i8]) -> Vector {
+    Vector(codes.iter().map(|&c| c as f32 * scale).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::SemanticSpaceBuilder;
+    use crate::vector::cosine;
+
+    fn store() -> VectorStore {
+        SemanticSpaceBuilder::new(32, 5)
+            .topic("a")
+            .topic("b")
+            .words("a", ["ape", "ant", "asp"])
+            .words("b", ["bee", "bat", "boa"])
+            .build()
+            .into_store()
+    }
+
+    #[test]
+    fn round_trip_error_is_small() {
+        let s = store();
+        let q = QuantizedStore::from_store(&s);
+        for (word, original) in s.iter() {
+            let deq = q.get(word).expect("present");
+            let sim = cosine(original, &deq);
+            assert!(sim > 0.999, "{word}: quantized cosine {sim}");
+        }
+    }
+
+    #[test]
+    fn pairwise_similarities_preserved() {
+        let s = store();
+        let q = QuantizedStore::from_store(&s).to_store();
+        let words = ["ape", "ant", "asp", "bee", "bat", "boa"];
+        for a in words {
+            for b in words {
+                let orig = s.phrase_similarity(a, b).unwrap();
+                let quant = q.phrase_similarity(a, b).unwrap();
+                assert!(
+                    (orig - quant).abs() < 0.01,
+                    "{a}/{b}: {orig:.4} vs {quant:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_is_quarter_of_f32() {
+        let s = store();
+        let q = QuantizedStore::from_store(&s);
+        let f32_bytes = s.len() * s.dim() * 4;
+        assert!(q.code_bytes() < f32_bytes / 2, "{} vs {f32_bytes}", q.code_bytes());
+    }
+
+    #[test]
+    fn zero_vector_survives() {
+        let mut s = VectorStore::new(4);
+        s.insert("zero", Vector::zeros(4));
+        let q = QuantizedStore::from_store(&s);
+        assert_eq!(q.get("zero").unwrap(), Vector::zeros(4));
+    }
+
+    #[test]
+    fn missing_word_is_none() {
+        let q = QuantizedStore::from_store(&store());
+        assert!(q.get("zzz").is_none());
+        assert_eq!(q.len(), 6);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn pipeline_runs_on_quantized_vectors() {
+        // The matcher consumes a reconstructed store transparently.
+        use thor_text::normalize_phrase;
+        let s = store();
+        let q = QuantizedStore::from_store(&s).to_store();
+        let sim = q.phrase_similarity("ape", "ant").unwrap();
+        assert!(sim > 0.0);
+        let _ = normalize_phrase("ape"); // silence unused-import pedantry in some configs
+    }
+}

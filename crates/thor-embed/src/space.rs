@@ -1,0 +1,375 @@
+//! Synthetic semantic space — the stand-in for pre-trained vectors.
+//!
+//! The paper's matcher runs on spaCy's static vectors, whose only
+//! property THOR relies on is *geometry*: (1) words of the same concept
+//! domain cluster, (2) related concepts partially overlap (the paper's
+//! `blood` Anatomy vs `blood clot` Complication example), (3) unseen
+//! instances of a concept land near its seeds, and (4) some words are
+//! out-of-vocabulary. This builder manufactures a vector table with
+//! exactly those properties, with each one exposed as a knob, so the
+//! evaluation can reproduce the paper's precision/recall trade-offs
+//! under controlled ambiguity.
+//!
+//! Everything is deterministic given the seed.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::store::VectorStore;
+use crate::vector::Vector;
+
+/// Specification of one topic (≈ one schema concept's lexical field).
+#[derive(Debug, Clone)]
+pub struct TopicSpec {
+    /// Topic name (usually the concept name, lowercased).
+    pub name: String,
+    /// Optional correlation: the centroid is pulled toward another
+    /// topic's centroid with the given weight in `[0, 1]`. This models
+    /// semantically adjacent concepts (Anatomy vs Complication).
+    pub correlate_with: Option<(String, f32)>,
+}
+
+/// A built semantic space: a vector table plus per-topic centroids.
+#[derive(Debug, Clone)]
+pub struct SemanticSpace {
+    store: VectorStore,
+    centroids: HashMap<String, Vector>,
+}
+
+impl SemanticSpace {
+    /// The word-vector table.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// Consume into the vector table.
+    pub fn into_store(self) -> VectorStore {
+        self.store
+    }
+
+    /// Centroid of a topic, if it exists.
+    pub fn centroid(&self, topic: &str) -> Option<&Vector> {
+        self.centroids.get(topic)
+    }
+
+    /// Topic names.
+    pub fn topics(&self) -> impl Iterator<Item = &str> {
+        self.centroids.keys().map(String::as_str)
+    }
+}
+
+/// Builder for a [`SemanticSpace`].
+#[derive(Debug, Clone)]
+pub struct SemanticSpaceBuilder {
+    dim: usize,
+    seed: u64,
+    /// Standard deviation of the noise around a topic centroid, relative
+    /// to unit-length centroids. Smaller ⇒ tighter clusters ⇒ easier
+    /// matching.
+    spread: f32,
+    topics: Vec<TopicSpec>,
+    /// (topic, word, spread-override) assignments.
+    words: Vec<(String, String, Option<f32>)>,
+    /// Words placed between two topics: (word, topic_a, topic_b, mix).
+    ambiguous: Vec<(String, String, String, f32)>,
+    /// Words with no topic (uniform random direction).
+    generic: Vec<String>,
+}
+
+impl SemanticSpaceBuilder {
+    /// Start a builder for vectors of dimension `dim`, seeded for
+    /// reproducibility.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        Self {
+            dim,
+            seed,
+            spread: 0.35,
+            topics: Vec::new(),
+            words: Vec::new(),
+            ambiguous: Vec::new(),
+            generic: Vec::new(),
+        }
+    }
+
+    /// Set the intra-topic spread (noise σ around the centroid).
+    pub fn spread(mut self, spread: f32) -> Self {
+        assert!(spread >= 0.0, "spread must be non-negative");
+        self.spread = spread;
+        self
+    }
+
+    /// Declare an independent topic.
+    pub fn topic(mut self, name: &str) -> Self {
+        self.topics.push(TopicSpec { name: name.to_string(), correlate_with: None });
+        self
+    }
+
+    /// Declare a topic whose centroid is pulled toward `other`'s with
+    /// weight `mix` (0 = independent, 1 = identical).
+    pub fn correlated_topic(mut self, name: &str, other: &str, mix: f32) -> Self {
+        assert!((0.0..=1.0).contains(&mix), "mix must be in [0, 1]");
+        self.topics.push(TopicSpec {
+            name: name.to_string(),
+            correlate_with: Some((other.to_string(), mix)),
+        });
+        self
+    }
+
+    /// Assign a word to a topic's lexical field.
+    pub fn word(mut self, topic: &str, word: &str) -> Self {
+        self.words.push((topic.to_string(), word.to_string(), None));
+        self
+    }
+
+    /// Assign many words to a topic.
+    pub fn words<'a>(mut self, topic: &str, words: impl IntoIterator<Item = &'a str>) -> Self {
+        for w in words {
+            self.words.push((topic.to_string(), w.to_string(), None));
+        }
+        self
+    }
+
+    /// Assign words to a topic with a custom spread — larger values put
+    /// them at the topic's *periphery* (semantic near-misses: plausible
+    /// enough to fool a lenient matcher, far enough to be wrong).
+    pub fn words_with_spread<'a>(
+        mut self,
+        topic: &str,
+        words: impl IntoIterator<Item = &'a str>,
+        spread: f32,
+    ) -> Self {
+        for w in words {
+            self.words.push((topic.to_string(), w.to_string(), Some(spread)));
+        }
+        self
+    }
+
+    /// Place a word between two topics (lexical ambiguity): its vector is
+    /// `mix * centroid_a + (1 - mix) * centroid_b` plus noise.
+    pub fn ambiguous_word(mut self, word: &str, topic_a: &str, topic_b: &str, mix: f32) -> Self {
+        self.ambiguous.push((word.to_string(), topic_a.to_string(), topic_b.to_string(), mix));
+        self
+    }
+
+    /// Add topic-less words (random directions — realistic "everything
+    /// else" vocabulary).
+    pub fn generic_words<'a>(mut self, words: impl IntoIterator<Item = &'a str>) -> Self {
+        self.generic.extend(words.into_iter().map(str::to_string));
+        self
+    }
+
+    /// Build the space.
+    ///
+    /// # Panics
+    /// If a word references an undeclared topic, or a correlated topic
+    /// references a topic declared after it.
+    pub fn build(self) -> SemanticSpace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut centroids: HashMap<String, Vector> = HashMap::new();
+
+        for spec in &self.topics {
+            let mut c = random_unit(&mut rng, self.dim);
+            if let Some((other, mix)) = &spec.correlate_with {
+                let base = centroids
+                    .get(other)
+                    .unwrap_or_else(|| panic!("correlated topic `{other}` not declared before `{}`", spec.name))
+                    .clone();
+                for (ci, bi) in c.0.iter_mut().zip(&base.0) {
+                    *ci = *ci * (1.0 - mix) + bi * mix;
+                }
+                c.normalize();
+            }
+            centroids.insert(spec.name.clone(), c);
+        }
+
+        let mut store = VectorStore::new(self.dim);
+        for (topic, word, spread) in &self.words {
+            let centroid = centroids
+                .get(topic)
+                .unwrap_or_else(|| panic!("word `{word}` references undeclared topic `{topic}`"));
+            // Per-word jitter: real embedding tables have heterogeneous
+            // tightness (frequent words sit near the topic core, rare
+            // ones drift). Without it, intra-topic similarities
+            // concentrate around one value and a threshold sweep turns
+            // into a cliff.
+            let jitter = 0.5 + 1.1 * rng.random::<f32>();
+            store.insert(word, perturb(&mut rng, centroid, spread.unwrap_or(self.spread) * jitter));
+        }
+        for (word, ta, tb, mix) in &self.ambiguous {
+            let ca = centroids
+                .get(ta)
+                .unwrap_or_else(|| panic!("ambiguous word `{word}` references undeclared topic `{ta}`"));
+            let cb = centroids
+                .get(tb)
+                .unwrap_or_else(|| panic!("ambiguous word `{word}` references undeclared topic `{tb}`"));
+            let mut v = Vector::zeros(self.dim);
+            for ((vi, ai), bi) in v.0.iter_mut().zip(&ca.0).zip(&cb.0) {
+                *vi = ai * mix + bi * (1.0 - mix);
+            }
+            v.normalize();
+            store.insert(word, perturb(&mut rng, &v, self.spread * 0.5));
+        }
+        for word in &self.generic {
+            store.insert(word, random_unit(&mut rng, self.dim));
+        }
+
+        SemanticSpace { store, centroids }
+    }
+}
+
+/// Sample a standard normal via Box–Muller (rand's core API only ships
+/// uniform sampling without the `rand_distr` crate).
+fn gauss(rng: &mut StdRng) -> f32 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// A random unit vector (isotropic direction).
+fn random_unit(rng: &mut StdRng, dim: usize) -> Vector {
+    let mut v = Vector((0..dim).map(|_| gauss(rng)).collect());
+    v.normalize();
+    // A zero draw is astronomically unlikely; fall back to a basis vector.
+    if v.norm() == 0.0 {
+        v.0[0] = 1.0;
+    }
+    v
+}
+
+/// Centroid plus Gaussian noise, re-normalized. The per-dimension noise
+/// is scaled by `1/√dim` so that the *total* noise norm is ≈ `sigma`
+/// regardless of dimensionality; two words of the same topic then have
+/// expected cosine ≈ `1 / (1 + sigma²)`.
+fn perturb(rng: &mut StdRng, centroid: &Vector, sigma: f32) -> Vector {
+    let mut v = centroid.clone();
+    let scale = sigma / (v.dim() as f32).sqrt();
+    for x in &mut v.0 {
+        *x += scale * gauss(rng);
+    }
+    v.normalize();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::cosine;
+
+    fn demo_space(seed: u64) -> SemanticSpace {
+        SemanticSpaceBuilder::new(32, seed)
+            .topic("anatomy")
+            .correlated_topic("complication", "anatomy", 0.4)
+            .topic("medicine")
+            .words("anatomy", ["brain", "nerve", "lung", "heart", "spine"])
+            .words("complication", ["cancer", "stroke", "deafness", "paralysis"])
+            .words("medicine", ["aspirin", "ibuprofen", "antibiotic"])
+            .ambiguous_word("blood", "anatomy", "complication", 0.6)
+            .generic_words(["walk", "green", "table", "quick"])
+            .build()
+    }
+
+    #[test]
+    fn same_topic_words_cluster() {
+        let space = demo_space(7);
+        let s = space.store();
+        let intra = s.phrase_similarity("brain", "nerve").unwrap();
+        let inter = s.phrase_similarity("brain", "aspirin").unwrap();
+        assert!(intra > inter, "intra {intra} should exceed inter {inter}");
+    }
+
+    #[test]
+    fn correlated_topics_are_closer_than_independent() {
+        let space = demo_space(7);
+        let anat = space.centroid("anatomy").unwrap();
+        let compl = space.centroid("complication").unwrap();
+        let med = space.centroid("medicine").unwrap();
+        assert!(cosine(anat, compl) > cosine(anat, med));
+    }
+
+    #[test]
+    fn ambiguous_word_between_topics() {
+        let space = demo_space(7);
+        let blood = space.store().get("blood").unwrap();
+        let anat = space.centroid("anatomy").unwrap();
+        let med = space.centroid("medicine").unwrap();
+        assert!(cosine(blood, anat) > cosine(blood, med));
+        // But it is also meaningfully similar to complication.
+        let compl = space.centroid("complication").unwrap();
+        assert!(cosine(blood, compl) > 0.2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = demo_space(42);
+        let b = demo_space(42);
+        assert_eq!(a.store().get("brain"), b.store().get("brain"));
+        let c = demo_space(43);
+        assert_ne!(a.store().get("brain"), c.store().get("brain"));
+    }
+
+    #[test]
+    fn oov_words_absent() {
+        let space = demo_space(7);
+        assert!(space.store().get("xylophone").is_none());
+    }
+
+    #[test]
+    fn tighter_spread_means_tighter_clusters() {
+        let build = |spread: f32| {
+            SemanticSpaceBuilder::new(32, 5)
+                .spread(spread)
+                .topic("t")
+                .words("t", ["a", "b", "c", "d", "e", "f"])
+                .build()
+        };
+        let avg_sim = |space: &SemanticSpace| {
+            let s = space.store();
+            let words = ["a", "b", "c", "d", "e", "f"];
+            let mut total = 0.0;
+            let mut n = 0;
+            for i in 0..words.len() {
+                for j in (i + 1)..words.len() {
+                    total += s.phrase_similarity(words[i], words[j]).unwrap();
+                    n += 1;
+                }
+            }
+            total / n as f64
+        };
+        assert!(avg_sim(&build(0.1)) > avg_sim(&build(0.8)));
+    }
+
+    #[test]
+    fn peripheral_words_are_farther_from_centroid() {
+        let space = SemanticSpaceBuilder::new(32, 13)
+            .spread(0.3)
+            .topic("t")
+            .words("t", ["core1", "core2", "core3"])
+            .words_with_spread("t", ["edge1", "edge2", "edge3"], 1.5)
+            .build();
+        let c = space.centroid("t").unwrap().clone();
+        let avg = |words: &[&str]| {
+            words
+                .iter()
+                .map(|w| cosine(space.store().get(w).unwrap(), &c))
+                .sum::<f64>()
+                / words.len() as f64
+        };
+        assert!(avg(&["core1", "core2", "core3"]) > avg(&["edge1", "edge2", "edge3"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared topic")]
+    fn unknown_topic_panics() {
+        SemanticSpaceBuilder::new(8, 1).word("ghost", "x").build();
+    }
+
+    #[test]
+    fn all_vectors_unit_length() {
+        let space = demo_space(11);
+        for (_, v) in space.store().iter() {
+            assert!((v.norm() - 1.0).abs() < 1e-5);
+        }
+    }
+}

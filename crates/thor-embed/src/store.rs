@@ -1,0 +1,272 @@
+//! The vector store — the only embedding interface the pipeline sees.
+//!
+//! Mirrors how spaCy exposes its static table: word → vector lookup,
+//! out-of-vocabulary words have no vector, and a multi-word span is
+//! embedded as the mean of its in-vocabulary word vectors (spaCy's
+//! `Span.vector`). The store also answers the nearest-neighbour queries
+//! the matcher's τ-expansion needs.
+
+use std::collections::HashMap;
+
+use thor_text::normalize_phrase;
+
+use crate::vector::{cosine, Vector};
+
+/// An in-memory word-embedding table.
+#[derive(Debug, Clone, Default)]
+pub struct VectorStore {
+    dim: usize,
+    vectors: HashMap<String, Vector>,
+}
+
+impl VectorStore {
+    /// Create an empty store with dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self { dim, vectors: HashMap::new() }
+    }
+
+    /// Dimensionality of the stored vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of words in the vocabulary.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Insert (or replace) the vector for `word`. The word is normalized
+    /// (lowercased, outer punctuation stripped) before insertion.
+    ///
+    /// # Panics
+    /// If the vector dimension does not match the store's.
+    pub fn insert(&mut self, word: &str, vector: Vector) {
+        assert_eq!(vector.dim(), self.dim, "vector dimension mismatch");
+        self.vectors.insert(normalize_phrase(word), vector);
+    }
+
+    /// Look up the vector for a single word (normalized).
+    pub fn get(&self, word: &str) -> Option<&Vector> {
+        self.vectors.get(&normalize_phrase(word))
+    }
+
+    /// Does the (normalized) word have a vector?
+    pub fn contains(&self, word: &str) -> bool {
+        self.get(word).is_some()
+    }
+
+    /// Iterate over `(word, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Vector)> {
+        self.vectors.iter().map(|(w, v)| (w.as_str(), v))
+    }
+
+    /// Embed a phrase as the mean of its in-vocabulary word vectors
+    /// (spaCy span semantics). Returns `None` when *no* word of the
+    /// phrase is in the vocabulary.
+    pub fn embed_phrase(&self, phrase: &str) -> Option<Vector> {
+        let normalized = normalize_phrase(phrase);
+        let vectors: Vec<&Vector> =
+            normalized.split_whitespace().filter_map(|w| self.vectors.get(w)).collect();
+        Vector::mean(vectors)
+    }
+
+    /// Cosine similarity between two phrases' mean vectors; `None` if
+    /// either phrase is fully out-of-vocabulary.
+    pub fn phrase_similarity(&self, a: &str, b: &str) -> Option<f64> {
+        let va = self.embed_phrase(a)?;
+        let vb = self.embed_phrase(b)?;
+        Some(cosine(&va, &vb))
+    }
+
+    /// Fraction of a phrase's words that have vectors (coverage drives
+    /// the generalizability experiment).
+    pub fn coverage(&self, phrase: &str) -> f64 {
+        let normalized = normalize_phrase(phrase);
+        let words: Vec<&str> = normalized.split_whitespace().collect();
+        if words.is_empty() {
+            return 0.0;
+        }
+        let known = words.iter().filter(|w| self.vectors.contains_key(**w)).count();
+        known as f64 / words.len() as f64
+    }
+
+    /// All vocabulary words whose cosine similarity to `query` is at
+    /// least `threshold`, sorted by descending similarity.
+    pub fn neighbors_above(&self, query: &Vector, threshold: f64) -> Vec<(&str, f64)> {
+        let mut out: Vec<(&str, f64)> = self
+            .vectors
+            .iter()
+            .filter_map(|(w, v)| {
+                let s = cosine(query, v);
+                (s >= threshold).then_some((w.as_str(), s))
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        out
+    }
+
+    /// The `k` nearest vocabulary words to `query` by cosine similarity.
+    pub fn nearest(&self, query: &Vector, k: usize) -> Vec<(&str, f64)> {
+        let mut all: Vec<(&str, f64)> =
+            self.vectors.iter().map(|(w, v)| (w.as_str(), cosine(query, v))).collect();
+        all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        all.truncate(k);
+        all
+    }
+
+    /// Serialize as word2vec-style text: first line `<count> <dim>`,
+    /// then one `word<TAB>v1 v2 …` line per word, sorted by word.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{} {}", self.vectors.len(), self.dim);
+        let mut words: Vec<&String> = self.vectors.keys().collect();
+        words.sort();
+        for w in words {
+            let v = &self.vectors[w];
+            let values: Vec<String> = v.0.iter().map(|x| format!("{x}")).collect();
+            let _ = writeln!(out, "{w}\t{}", values.join(" "));
+        }
+        out
+    }
+
+    /// Parse the format written by [`VectorStore::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty vector file")?;
+        let mut parts = header.split_whitespace();
+        let count: usize =
+            parts.next().and_then(|s| s.parse().ok()).ok_or("bad header count")?;
+        let dim: usize = parts.next().and_then(|s| s.parse().ok()).ok_or("bad header dim")?;
+        let mut store = VectorStore::new(dim);
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (word, rest) =
+                line.split_once('\t').ok_or_else(|| format!("line {}: no tab", i + 2))?;
+            let values: Result<Vec<f32>, _> =
+                rest.split_whitespace().map(str::parse::<f32>).collect();
+            let values = values.map_err(|e| format!("line {}: {e}", i + 2))?;
+            if values.len() != dim {
+                return Err(format!("line {}: expected {dim} values, got {}", i + 2, values.len()));
+            }
+            store.insert(word, Vector(values));
+        }
+        if store.len() != count {
+            return Err(format!("header declared {count} words, found {}", store.len()));
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> VectorStore {
+        let mut s = VectorStore::new(3);
+        s.insert("brain", Vector(vec![1.0, 0.0, 0.0]));
+        s.insert("nerve", Vector(vec![0.9, 0.1, 0.0]));
+        s.insert("cancer", Vector(vec![0.0, 1.0, 0.0]));
+        s.insert("tumor", Vector(vec![0.1, 0.9, 0.0]));
+        s
+    }
+
+    #[test]
+    fn insert_and_lookup_normalized() {
+        let s = store();
+        assert!(s.contains("Brain"));
+        assert!(s.contains("brain,"));
+        assert!(!s.contains("kidney"));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn insert_wrong_dim_panics() {
+        let mut s = VectorStore::new(3);
+        s.insert("x", Vector(vec![1.0]));
+    }
+
+    #[test]
+    fn embed_phrase_mean() {
+        let s = store();
+        let v = s.embed_phrase("brain cancer").unwrap();
+        assert!((v.0[0] - 0.5).abs() < 1e-6);
+        assert!((v.0[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn embed_phrase_skips_oov() {
+        let s = store();
+        // "malignant" is OOV; the mean uses only "tumor".
+        let v = s.embed_phrase("malignant tumor").unwrap();
+        assert_eq!(v, s.get("tumor").cloned().unwrap());
+        assert!(s.embed_phrase("fully unknown words").is_none());
+        assert!(s.embed_phrase("").is_none());
+    }
+
+    #[test]
+    fn phrase_similarity_clusters() {
+        let s = store();
+        let anatomy = s.phrase_similarity("brain", "nerve").unwrap();
+        let cross = s.phrase_similarity("brain", "cancer").unwrap();
+        assert!(anatomy > cross, "same-topic words should be closer");
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let s = store();
+        assert_eq!(s.coverage("brain tumor"), 1.0);
+        assert_eq!(s.coverage("brain xyzzy"), 0.5);
+        assert_eq!(s.coverage("xyzzy"), 0.0);
+        assert_eq!(s.coverage(""), 0.0);
+    }
+
+    #[test]
+    fn neighbors_above_threshold_sorted() {
+        let s = store();
+        let q = s.get("brain").unwrap().clone();
+        let n = s.neighbors_above(&q, 0.8);
+        assert_eq!(n[0].0, "brain");
+        assert!(n.iter().any(|(w, _)| *w == "nerve"));
+        assert!(n.windows(2).all(|w| w[0].1 >= w[1].1), "descending order");
+        assert!(!n.iter().any(|(w, _)| *w == "cancer"));
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let s = store();
+        let text = s.to_text();
+        let back = VectorStore::from_text(&text).unwrap();
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.dim(), s.dim());
+        assert_eq!(back.get("brain"), s.get("brain"));
+        assert_eq!(back.get("tumor"), s.get("tumor"));
+    }
+
+    #[test]
+    fn from_text_rejects_malformed() {
+        assert!(VectorStore::from_text("").is_err());
+        assert!(VectorStore::from_text("notanumber 3\n").is_err());
+        assert!(VectorStore::from_text("1 3\nword\t1.0 2.0\n").is_err(), "dim mismatch");
+        assert!(VectorStore::from_text("2 2\nword\t1.0 2.0\n").is_err(), "count mismatch");
+        assert!(VectorStore::from_text("1 2\nword 1.0 2.0\n").is_err(), "missing tab");
+    }
+
+    #[test]
+    fn nearest_k() {
+        let s = store();
+        let q = s.get("cancer").unwrap().clone();
+        let n = s.nearest(&q, 2);
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[0].0, "cancer");
+        assert_eq!(n[1].0, "tumor");
+    }
+}

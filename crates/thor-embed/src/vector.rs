@@ -1,0 +1,188 @@
+//! Dense vector type and the similarity kernels THOR runs on.
+//!
+//! Vectors are `f32` (like every embedding table in practice); similarity
+//! math accumulates in `f64` for stability. Cosine similarity is the hot
+//! kernel of the whole system — it is called for every (subphrase,
+//! representative-vector) pair — so it stays branch-free over slices.
+
+use std::ops::{Add, AddAssign};
+
+/// A dense embedding vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vector(pub Vec<f32>);
+
+impl Vector {
+    /// A zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Vector(vec![0.0; dim])
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f64 {
+        self.0.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    }
+
+    /// Dot product. Panics if dimensions differ.
+    pub fn dot(&self, other: &Vector) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.0.iter().zip(&other.0).map(|(&a, &b)| a as f64 * b as f64).sum()
+    }
+
+    /// Scale in place.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.0 {
+            *x *= s;
+        }
+    }
+
+    /// Normalize to unit length in place; zero vectors stay zero.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        if n > 0.0 {
+            let inv = (1.0 / n) as f32;
+            self.scale(inv);
+        }
+    }
+
+    /// Arithmetic mean of a non-empty set of equal-dimension vectors;
+    /// `None` for an empty input.
+    pub fn mean<'a>(vectors: impl IntoIterator<Item = &'a Vector>) -> Option<Vector> {
+        let mut iter = vectors.into_iter();
+        let first = iter.next()?;
+        let mut acc = first.clone();
+        let mut count = 1usize;
+        for v in iter {
+            acc += v;
+            count += 1;
+        }
+        acc.scale(1.0 / count as f32);
+        Some(acc)
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&rhs.0) {
+            *a += b;
+        }
+    }
+}
+
+impl Add<&Vector> for Vector {
+    type Output = Vector;
+    fn add(mut self, rhs: &Vector) -> Vector {
+        self += rhs;
+        self
+    }
+}
+
+impl From<Vec<f32>> for Vector {
+    fn from(v: Vec<f32>) -> Self {
+        Vector(v)
+    }
+}
+
+/// Cosine similarity in `[-1, 1]`; 0.0 if either vector is zero.
+///
+/// ```
+/// use thor_embed::{cosine, Vector};
+/// let a = Vector(vec![1.0, 0.0]);
+/// let b = Vector(vec![0.0, 1.0]);
+/// assert_eq!(cosine(&a, &b), 0.0);
+/// assert!((cosine(&a, &a) - 1.0).abs() < 1e-9);
+/// ```
+pub fn cosine(a: &Vector, b: &Vector) -> f64 {
+    let na = a.norm();
+    let nb = b.norm();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (a.dot(b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_dim() {
+        let v = Vector::zeros(8);
+        assert_eq!(v.dim(), 8);
+        assert_eq!(v.norm(), 0.0);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Vector(vec![3.0, 4.0]);
+        assert_eq!(a.norm(), 5.0);
+        let b = Vector(vec![1.0, 2.0]);
+        assert_eq!(a.dot(&b), 11.0);
+    }
+
+    #[test]
+    fn cosine_orthogonal_parallel_antiparallel() {
+        let x = Vector(vec![1.0, 0.0]);
+        let y = Vector(vec![0.0, 2.0]);
+        let neg = Vector(vec![-3.0, 0.0]);
+        assert_eq!(cosine(&x, &y), 0.0);
+        assert!((cosine(&x, &x) - 1.0).abs() < 1e-9);
+        assert!((cosine(&x, &neg) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        let z = Vector::zeros(3);
+        let x = Vector(vec![1.0, 2.0, 3.0]);
+        assert_eq!(cosine(&z, &x), 0.0);
+        assert_eq!(cosine(&z, &z), 0.0);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = Vector(vec![1.0, 0.0]);
+        let b = Vector(vec![3.0, 2.0]);
+        let m = Vector::mean([&a, &b]).unwrap();
+        assert_eq!(m.0, vec![2.0, 1.0]);
+        assert!(Vector::mean(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut v = Vector(vec![3.0, 4.0]);
+        v.normalize();
+        assert!((v.norm() - 1.0).abs() < 1e-6);
+        let mut z = Vector::zeros(2);
+        z.normalize();
+        assert_eq!(z.norm(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn cosine_bounded(a in prop::collection::vec(-100.0f32..100.0, 4), b in prop::collection::vec(-100.0f32..100.0, 4)) {
+            let s = cosine(&Vector(a), &Vector(b));
+            prop_assert!((-1.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn cosine_symmetric(a in prop::collection::vec(-10.0f32..10.0, 6), b in prop::collection::vec(-10.0f32..10.0, 6)) {
+            let va = Vector(a);
+            let vb = Vector(b);
+            prop_assert!((cosine(&va, &vb) - cosine(&vb, &va)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn cosine_scale_invariant(a in prop::collection::vec(0.1f32..10.0, 4), s in 0.1f32..10.0) {
+            let va = Vector(a.clone());
+            let mut vs = Vector(a);
+            vs.scale(s);
+            prop_assert!((cosine(&va, &vs) - 1.0).abs() < 1e-5);
+        }
+    }
+}

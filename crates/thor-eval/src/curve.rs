@@ -1,0 +1,98 @@
+//! Precision–recall curve points (Fig. 5).
+
+/// One labeled point on a precision–recall plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrPoint {
+    /// Point label (e.g. `THOR (τ=0.7)` or a competitor name).
+    pub label: String,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+}
+
+/// A collection of PR points with dominance queries.
+#[derive(Debug, Clone, Default)]
+pub struct PrCurve {
+    points: Vec<PrPoint>,
+}
+
+impl PrCurve {
+    /// Empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a point.
+    pub fn push(&mut self, label: impl Into<String>, precision: f64, recall: f64) {
+        self.points.push(PrPoint { label: label.into(), precision, recall });
+    }
+
+    /// All points, in insertion order.
+    pub fn points(&self) -> &[PrPoint] {
+        &self.points
+    }
+
+    /// Does point `a` dominate point `b` (≥ on both axes, > on one)?
+    pub fn dominates(a: &PrPoint, b: &PrPoint) -> bool {
+        a.precision >= b.precision
+            && a.recall >= b.recall
+            && (a.precision > b.precision || a.recall > b.recall)
+    }
+
+    /// Labels of points not dominated by any other point (the Pareto
+    /// frontier of Fig. 5).
+    pub fn pareto_front(&self) -> Vec<&str> {
+        self.points
+            .iter()
+            .filter(|p| !self.points.iter().any(|q| Self::dominates(q, p)))
+            .map(|p| p.label.as_str())
+            .collect()
+    }
+
+    /// Render as a fixed-width text table (for experiment binaries).
+    pub fn to_table(&self) -> String {
+        let mut out = format!("{:<24} {:>9} {:>9}\n", "series", "P", "R");
+        for p in &self.points {
+            out.push_str(&format!("{:<24} {:>9.3} {:>9.3}\n", p.label, p.precision, p.recall));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_front_excludes_dominated() {
+        let mut c = PrCurve::new();
+        c.push("good", 0.6, 0.6);
+        c.push("dominated", 0.5, 0.5);
+        c.push("high-p", 0.9, 0.2);
+        c.push("high-r", 0.2, 0.9);
+        let front = c.pareto_front();
+        assert!(front.contains(&"good"));
+        assert!(front.contains(&"high-p"));
+        assert!(front.contains(&"high-r"));
+        assert!(!front.contains(&"dominated"));
+    }
+
+    #[test]
+    fn equal_points_both_on_front() {
+        let mut c = PrCurve::new();
+        c.push("a", 0.5, 0.5);
+        c.push("b", 0.5, 0.5);
+        let front = c.pareto_front();
+        assert_eq!(front.len(), 2);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut c = PrCurve::new();
+        c.push("THOR (tau=0.7)", 0.49, 0.64);
+        let t = c.to_table();
+        assert!(t.contains("THOR"));
+        assert!(t.contains("0.490"));
+    }
+}

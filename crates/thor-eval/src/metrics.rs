@@ -1,0 +1,301 @@
+//! Aggregate metrics: SemEval P/R/F1, raw counts, per-concept breakdown,
+//! sensitivity.
+
+use std::collections::BTreeMap;
+
+use crate::align::{align, Annotation, MatchClass};
+
+/// Per-concept counts and scores (Tables VII, VIII, Fig 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptReport {
+    /// Concept label (lowercase).
+    pub concept: String,
+    /// Gold entities of this concept.
+    pub gold: usize,
+    /// Predictions labeled with this concept.
+    pub predicted: usize,
+    /// Predictions of this concept that hit a gold entity of the same
+    /// concept (exactly or partially) — the paper's per-concept TP.
+    pub tp: usize,
+    /// Gold entities of this concept not recognized by any same-concept
+    /// prediction — the paper's per-concept FN.
+    pub fn_: usize,
+    /// Precision (partial-credit).
+    pub precision: f64,
+    /// Recall (partial-credit).
+    pub recall: f64,
+    /// F1 (harmonic mean of partial-credit P and R).
+    pub f1: f64,
+    /// Sensitivity = TP / gold, counting partial hits as recognized.
+    pub sensitivity: f64,
+}
+
+/// Full evaluation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// Exact boundary+type matches.
+    pub correct: usize,
+    /// Boundary-overlap same-type matches.
+    pub partial: usize,
+    /// Boundary-overlap wrong-type matches.
+    pub incorrect: usize,
+    /// Predictions with no gold counterpart.
+    pub spurious: usize,
+    /// Gold entities with no prediction.
+    pub missing: usize,
+    /// Number of gold entities.
+    pub gold_total: usize,
+    /// Number of predictions.
+    pub predicted_total: usize,
+    /// Partial-credit precision.
+    pub precision: f64,
+    /// Partial-credit recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+    /// Raw true positives (correct + partial) — Table VI's "Correct
+    /// Predictions (TP)".
+    pub tp: usize,
+    /// Raw false positives (incorrect + spurious) — Table VI's
+    /// "Incorrect Predictions (FP)".
+    pub fp: usize,
+    /// Raw false negatives — gold entities not recognized.
+    pub fn_: usize,
+    /// Overall sensitivity (TP / gold).
+    pub sensitivity: f64,
+    /// Per-concept breakdown, sorted by concept name.
+    pub per_concept: Vec<ConceptReport>,
+}
+
+fn f1(p: f64, r: f64) -> f64 {
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Evaluate `predictions` against `gold` (SemEval-2013 partial-match).
+pub fn evaluate(predictions: &[Annotation], gold: &[Annotation]) -> EvalReport {
+    let (aligned, missing_idx) = align(predictions, gold);
+
+    let mut correct = 0usize;
+    let mut partial = 0usize;
+    let mut incorrect = 0usize;
+    let mut spurious = 0usize;
+    for a in &aligned {
+        match a.class {
+            MatchClass::Correct => correct += 1,
+            MatchClass::Partial => partial += 1,
+            MatchClass::Incorrect => incorrect += 1,
+            MatchClass::Spurious => spurious += 1,
+        }
+    }
+    let missing = missing_idx.len();
+    let possible = (correct + partial + incorrect + missing) as f64;
+    let actual = predictions.len() as f64;
+    let credit = correct as f64 + 0.5 * partial as f64;
+    let precision = if actual == 0.0 { 0.0 } else { credit / actual };
+    let recall = if possible == 0.0 { 0.0 } else { credit / possible };
+
+    // ---- per-concept ----
+    // Index sets by concept.
+    let mut concepts: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new(); // gold, pred, tp
+    for g in gold {
+        concepts.entry(g.concept.clone()).or_default().0 += 1;
+    }
+    for p in predictions {
+        concepts.entry(p.concept.clone()).or_default().1 += 1;
+    }
+    for a in &aligned {
+        if matches!(a.class, MatchClass::Correct | MatchClass::Partial) {
+            let c = &predictions[a.prediction].concept;
+            concepts.entry(c.clone()).or_default().2 += 1;
+        }
+    }
+    let per_concept: Vec<ConceptReport> = concepts
+        .into_iter()
+        .map(|(concept, (g, p, tp))| {
+            let prec = if p == 0 { 0.0 } else { tp as f64 / p as f64 };
+            let rec = if g == 0 { 0.0 } else { tp as f64 / g as f64 };
+            ConceptReport {
+                concept,
+                gold: g,
+                predicted: p,
+                tp,
+                fn_: g.saturating_sub(tp),
+                precision: prec,
+                recall: rec,
+                f1: f1(prec, rec),
+                sensitivity: rec,
+            }
+        })
+        .collect();
+
+    let tp = correct + partial;
+    let gold_total = gold.len();
+    EvalReport {
+        correct,
+        partial,
+        incorrect,
+        spurious,
+        missing,
+        gold_total,
+        predicted_total: predictions.len(),
+        precision,
+        recall,
+        f1: f1(precision, recall),
+        tp,
+        fp: predictions.len() - tp,
+        fn_: gold_total.saturating_sub(tp),
+        sensitivity: if gold_total == 0 { 0.0 } else { tp as f64 / gold_total as f64 },
+        per_concept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ann(doc: &str, concept: &str, phrase: &str) -> Annotation {
+        Annotation::new(doc, concept, phrase)
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let gold = vec![ann("d", "anatomy", "lungs"), ann("d", "complication", "empyema")];
+        let r = evaluate(&gold, &gold);
+        assert_eq!(r.correct, 2);
+        assert_eq!((r.precision, r.recall, r.f1), (1.0, 1.0, 1.0));
+        assert_eq!(r.fp, 0);
+        assert_eq!(r.fn_, 0);
+        assert_eq!(r.sensitivity, 1.0);
+    }
+
+    #[test]
+    fn no_predictions() {
+        let gold = vec![ann("d", "anatomy", "lungs")];
+        let r = evaluate(&[], &gold);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.f1, 0.0);
+        assert_eq!(r.missing, 1);
+        assert_eq!(r.fn_, 1);
+    }
+
+    #[test]
+    fn empty_gold_all_spurious() {
+        let preds = vec![ann("d", "anatomy", "lungs")];
+        let r = evaluate(&preds, &[]);
+        assert_eq!(r.spurious, 1);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+    }
+
+    #[test]
+    fn partial_gets_half_credit() {
+        let gold = vec![ann("d", "anatomy", "main vestibular nerve")];
+        let preds = vec![ann("d", "anatomy", "vestibular")];
+        let r = evaluate(&preds, &gold);
+        assert_eq!(r.partial, 1);
+        assert_eq!(r.precision, 0.5);
+        assert_eq!(r.recall, 0.5);
+        assert_eq!(r.tp, 1, "partial counts as recognized for raw TP");
+        assert_eq!(r.sensitivity, 1.0, "sensitivity counts partial hits");
+    }
+
+    #[test]
+    fn semeval_mixed_example() {
+        // 2 gold; 1 exact, 1 spurious, 1 missing.
+        let gold = vec![ann("d", "anatomy", "lungs"), ann("d", "anatomy", "heart")];
+        let preds = vec![ann("d", "anatomy", "lungs"), ann("d", "anatomy", "kidney")];
+        let r = evaluate(&preds, &gold);
+        assert_eq!((r.correct, r.spurious, r.missing), (1, 1, 1));
+        assert_eq!(r.precision, 0.5);
+        assert_eq!(r.recall, 0.5);
+    }
+
+    #[test]
+    fn per_concept_breakdown() {
+        let gold = vec![
+            ann("d", "anatomy", "lungs"),
+            ann("d", "anatomy", "heart"),
+            ann("d", "complication", "empyema"),
+        ];
+        let preds = vec![
+            ann("d", "anatomy", "lungs"),
+            ann("d", "complication", "empyema"),
+            ann("d", "complication", "nonsense"),
+        ];
+        let r = evaluate(&preds, &gold);
+        let anatomy = r.per_concept.iter().find(|c| c.concept == "anatomy").unwrap();
+        assert_eq!((anatomy.gold, anatomy.predicted, anatomy.tp, anatomy.fn_), (2, 1, 1, 1));
+        assert_eq!(anatomy.sensitivity, 0.5);
+        let compl = r.per_concept.iter().find(|c| c.concept == "complication").unwrap();
+        assert_eq!((compl.gold, compl.predicted, compl.tp), (1, 2, 1));
+        assert!((compl.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_type_counts_against_both() {
+        let gold = vec![ann("d", "anatomy", "blood vessels")];
+        let preds = vec![ann("d", "complication", "blood")];
+        let r = evaluate(&preds, &gold);
+        assert_eq!(r.incorrect, 1);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.fp, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_in_unit_interval(
+            gold_phrases in prop::collection::vec("[a-d]{1,3}", 0..8),
+            pred_phrases in prop::collection::vec("[a-d]{1,3}", 0..8),
+        ) {
+            let gold: Vec<Annotation> =
+                gold_phrases.iter().map(|p| ann("d", "c", p)).collect();
+            let preds: Vec<Annotation> =
+                pred_phrases.iter().map(|p| ann("d", "c", p)).collect();
+            let r = evaluate(&preds, &gold);
+            prop_assert!((0.0..=1.0).contains(&r.precision));
+            prop_assert!((0.0..=1.0).contains(&r.recall));
+            prop_assert!((0.0..=1.0).contains(&r.f1));
+            prop_assert!(r.tp <= r.predicted_total);
+            prop_assert!(r.tp <= r.gold_total + r.partial); // tp bounded
+            prop_assert_eq!(r.tp + r.fp, r.predicted_total);
+            prop_assert_eq!(r.correct + r.partial + r.incorrect + r.missing, r.gold_total);
+        }
+
+        #[test]
+        fn f1_is_harmonic_mean(
+            gold_phrases in prop::collection::vec("[a-c]{1,2}", 1..6),
+            pred_phrases in prop::collection::vec("[a-c]{1,2}", 1..6),
+        ) {
+            let gold: Vec<Annotation> =
+                gold_phrases.iter().map(|p| ann("d", "c", p)).collect();
+            let preds: Vec<Annotation> =
+                pred_phrases.iter().map(|p| ann("d", "c", p)).collect();
+            let r = evaluate(&preds, &gold);
+            if r.precision + r.recall > 0.0 {
+                let expect = 2.0 * r.precision * r.recall / (r.precision + r.recall);
+                prop_assert!((r.f1 - expect).abs() < 1e-12);
+            } else {
+                prop_assert_eq!(r.f1, 0.0);
+            }
+        }
+
+        #[test]
+        fn identical_sets_score_one(phrases in prop::collection::vec("[a-e]{1,4}", 1..10)) {
+            // Deduplicate: identical annotations would otherwise leave
+            // surplus copies spurious.
+            let mut unique = phrases.clone();
+            unique.sort();
+            unique.dedup();
+            let set: Vec<Annotation> = unique.iter().map(|p| ann("d", "c", p)).collect();
+            let r = evaluate(&set, &set);
+            prop_assert_eq!(r.f1, 1.0);
+        }
+    }
+}

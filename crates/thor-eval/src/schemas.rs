@@ -1,0 +1,187 @@
+//! The four SemEval-2013 evaluation schemas, as in `nervaluate`:
+//!
+//! | schema     | boundaries        | type        |
+//! |------------|-------------------|-------------|
+//! | `strict`   | exact             | must match  |
+//! | `exact`    | exact             | ignored     |
+//! | `partial`  | overlap ½-credit  | ignored     |
+//! | `ent_type` | any overlap       | must match  |
+//!
+//! The headline metric of [`crate::metrics::evaluate`] corresponds to a
+//! typed partial schema; this module provides the full breakdown for
+//! completeness and for analyses that separate boundary errors from
+//! labeling errors.
+
+use crate::align::{align, Annotation, MatchClass};
+
+/// Precision/recall/F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1 score.
+    pub f1: f64,
+}
+
+impl Prf {
+    fn new(credit: f64, actual: f64, possible: f64) -> Self {
+        let precision = if actual == 0.0 { 0.0 } else { credit / actual };
+        let recall = if possible == 0.0 { 0.0 } else { credit / possible };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self { precision, recall, f1 }
+    }
+}
+
+/// Scores under all four schemas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchemaScores {
+    /// Exact boundary + correct type.
+    pub strict: Prf,
+    /// Exact boundary, type ignored.
+    pub exact: Prf,
+    /// Boundary overlap with half credit, type ignored.
+    pub partial: Prf,
+    /// Correct type with any overlap.
+    pub ent_type: Prf,
+}
+
+/// Score `predictions` against `gold` under all four SemEval schemas.
+pub fn schema_scores(predictions: &[Annotation], gold: &[Annotation]) -> SchemaScores {
+    let (aligned, missing) = align(predictions, gold);
+    let actual = predictions.len() as f64;
+    let matched = aligned.iter().filter(|a| a.gold.is_some()).count();
+    let possible = (matched + missing.len()) as f64;
+
+    let mut strict = 0.0f64;
+    let mut exact_b = 0.0f64;
+    let mut partial = 0.0f64;
+    let mut ent_type = 0.0f64;
+    for a in &aligned {
+        match a.class {
+            MatchClass::Correct => {
+                strict += 1.0;
+                exact_b += 1.0;
+                partial += 1.0;
+                ent_type += 1.0;
+            }
+            MatchClass::Partial => {
+                // Same type, overlapping boundary.
+                if a.boundary_exact {
+                    exact_b += 1.0;
+                    partial += 1.0;
+                } else {
+                    partial += 0.5;
+                }
+                ent_type += 1.0;
+            }
+            MatchClass::Incorrect => {
+                // Wrong type; boundary may still be exact.
+                if a.boundary_exact {
+                    exact_b += 1.0;
+                    partial += 1.0;
+                } else {
+                    partial += 0.5;
+                }
+            }
+            MatchClass::Spurious => {}
+        }
+    }
+
+    SchemaScores {
+        strict: Prf::new(strict, actual, possible),
+        exact: Prf::new(exact_b, actual, possible),
+        partial: Prf::new(partial, actual, possible),
+        ent_type: Prf::new(ent_type, actual, possible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ann(doc: &str, concept: &str, phrase: &str) -> Annotation {
+        Annotation::new(doc, concept, phrase)
+    }
+
+    #[test]
+    fn perfect_predictions_score_one_everywhere() {
+        let gold = vec![ann("d", "a", "lungs"), ann("d", "b", "heart")];
+        let s = schema_scores(&gold, &gold);
+        for prf in [s.strict, s.exact, s.partial, s.ent_type] {
+            assert_eq!(prf.f1, 1.0);
+        }
+    }
+
+    #[test]
+    fn wrong_type_exact_boundary() {
+        // Boundary schemas score; typed schemas don't.
+        let gold = vec![ann("d", "anatomy", "blood vessels")];
+        let preds = vec![ann("d", "complication", "blood vessels")];
+        let s = schema_scores(&preds, &gold);
+        assert_eq!(s.strict.f1, 0.0);
+        assert_eq!(s.ent_type.f1, 0.0);
+        assert_eq!(s.exact.f1, 1.0);
+        assert_eq!(s.partial.f1, 1.0);
+    }
+
+    #[test]
+    fn right_type_partial_boundary() {
+        // Typed overlap scores fully on ent_type, half on partial,
+        // zero on the exact-boundary schemas.
+        let gold = vec![ann("d", "anatomy", "main vestibular nerve")];
+        let preds = vec![ann("d", "anatomy", "vestibular")];
+        let s = schema_scores(&preds, &gold);
+        assert_eq!(s.strict.f1, 0.0);
+        assert_eq!(s.exact.f1, 0.0);
+        assert_eq!(s.ent_type.f1, 1.0);
+        assert!((s.partial.precision - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn schema_ordering_invariant_concrete() {
+        let gold = vec![
+            ann("d", "a", "one two"),
+            ann("d", "a", "three"),
+            ann("d", "b", "four"),
+        ];
+        let preds = vec![
+            ann("d", "a", "one two"), // strict
+            ann("d", "a", "two"),     // would partial-overlap (consumed above? no, different gold)
+            ann("d", "b", "three"),   // wrong type, exact boundary
+            ann("d", "a", "nonsense"),
+        ];
+        let s = schema_scores(&preds, &gold);
+        assert!(s.strict.f1 <= s.exact.f1 + 1e-12);
+        assert!(s.exact.f1 <= s.partial.f1 + 1e-12);
+        assert!(s.strict.f1 <= s.ent_type.f1 + 1e-12);
+    }
+
+    proptest! {
+        /// strict ≤ exact ≤ partial, and strict ≤ ent_type, always.
+        #[test]
+        fn schema_dominance(
+            gold_items in prop::collection::vec(("[ab]", "[a-c]{1,2}( [a-c]{1,2})?"), 0..8),
+            pred_items in prop::collection::vec(("[ab]", "[a-c]{1,2}( [a-c]{1,2})?"), 0..8),
+        ) {
+            let gold: Vec<Annotation> =
+                gold_items.iter().map(|(c, p)| ann("d", c, p)).collect();
+            let preds: Vec<Annotation> =
+                pred_items.iter().map(|(c, p)| ann("d", c, p)).collect();
+            let s = schema_scores(&preds, &gold);
+            prop_assert!(s.strict.f1 <= s.exact.f1 + 1e-9);
+            prop_assert!(s.exact.f1 <= s.partial.f1 + 1e-9);
+            prop_assert!(s.strict.f1 <= s.ent_type.f1 + 1e-9);
+            for prf in [s.strict, s.exact, s.partial, s.ent_type] {
+                prop_assert!((0.0..=1.0).contains(&prf.precision));
+                prop_assert!((0.0..=1.0).contains(&prf.recall));
+            }
+        }
+    }
+}

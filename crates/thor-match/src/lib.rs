@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # thor-match
+//!
+//! The semantic similarity matcher of THOR's Preparation and Entity
+//! Extraction phases (the paper builds it on spaczz's
+//! `SimilarityMatcher`; we implement the documented behaviour from
+//! scratch).
+//!
+//! **Fine-tuning** (Phase ①, weak supervision): every schema concept `C`
+//! is associated with a set of *representative vectors* — the embeddings
+//! of its known table instances (*seeds*) plus every vocabulary word
+//! whose similarity to a seed exceeds the user threshold τ. Together they
+//! form a cluster that "semantically covers the domain of C". Raising τ
+//! makes the system precision-oriented; lowering it recall-oriented.
+//!
+//! **Matching** (Phase ②): given a noun phrase, the matcher enumerates
+//! its subphrases, embeds each as a mean-pooled query vector, assigns the
+//! concept whose cluster has the highest mean pairwise similarity to the
+//! query, and reports the best-matching *seed instance* `c_m` used later
+//! by the syntactic refinement.
+
+pub mod cluster;
+pub mod matcher;
+
+pub use cluster::ConceptCluster;
+pub use matcher::{CandidateEntity, MatcherConfig, SimilarityMatcher};

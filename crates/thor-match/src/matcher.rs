@@ -1,0 +1,331 @@
+//! The fine-tuned similarity matcher.
+
+use thor_embed::VectorStore;
+use thor_text::{is_stopword, normalize_phrase};
+
+use crate::cluster::ConceptCluster;
+
+/// Matcher configuration.
+#[derive(Debug, Clone)]
+pub struct MatcherConfig {
+    /// The similarity threshold τ of Algorithm 1: controls both the
+    /// seed expansion during fine-tuning and candidate acceptance during
+    /// matching. Higher ⇒ precision-oriented, lower ⇒ recall-oriented.
+    pub tau: f64,
+    /// Maximum subphrase length, in words.
+    pub max_subphrase_words: usize,
+    /// Cap on τ-expanded representatives per concept (keeps fine-tuning
+    /// and matching costs bounded at low τ).
+    pub max_expansion: usize,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        Self { tau: 0.7, max_subphrase_words: 4, max_expansion: 200 }
+    }
+}
+
+impl MatcherConfig {
+    /// Config with a specific τ.
+    pub fn with_tau(tau: f64) -> Self {
+        assert!((0.0..=1.0).contains(&tau), "tau must be in [0, 1]");
+        Self { tau, ..Self::default() }
+    }
+}
+
+/// A candidate entity produced by semantic matching: a subphrase of the
+/// input noun phrase, the concept it matched, and the best-matching seed
+/// instance `c_m` with its semantic score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateEntity {
+    /// The matched subphrase `e.p` (normalized).
+    pub phrase: String,
+    /// The assigned concept `e.C`.
+    pub concept: String,
+    /// The best-matching seed instance `c_m` (normalized).
+    pub matched_instance: String,
+    /// Semantic similarity between `e.p` and `c_m` (`e.score_s`).
+    pub semantic_score: f64,
+    /// Mean pairwise similarity to the concept cluster (ranking score).
+    pub cluster_score: f64,
+}
+
+/// The fine-tuned semantic similarity matcher.
+#[derive(Debug, Clone)]
+pub struct SimilarityMatcher {
+    store: VectorStore,
+    clusters: Vec<ConceptCluster>,
+    config: MatcherConfig,
+}
+
+impl SimilarityMatcher {
+    /// Fine-tune a matcher: one cluster per `(concept, instances)` pair.
+    /// Corresponds to `MATCHER.FINETUNE(𝒞, R, τ)` — the instances come
+    /// from the table columns `R.C`.
+    ///
+    /// The τ-expansion is *competitive*: each vocabulary word is offered
+    /// only to the concept whose seeds it is most similar to, and joins
+    /// that concept's representatives when the similarity reaches τ.
+    /// Without the competition, correlated concepts would absorb each
+    /// other's vocabulary at low τ and concept assignment would degrade
+    /// exactly when the user asks for recall.
+    pub fn fine_tune(
+        concepts: &[(String, Vec<String>)],
+        store: VectorStore,
+        config: MatcherConfig,
+    ) -> Self {
+        use thor_embed::cosine;
+
+        let seeds: Vec<Vec<(String, thor_embed::Vector)>> = concepts
+            .iter()
+            .map(|(_, instances)| ConceptCluster::embed_seeds(instances, &store))
+            .collect();
+
+        // Competitive expansion: word → its best concept.
+        let mut expansion: Vec<Vec<(String, f64)>> = vec![Vec::new(); concepts.len()];
+        if config.tau < 1.0 {
+            for (word, vec) in store.iter() {
+                let mut best: Option<(usize, f64)> = None;
+                for (ci, cluster_seeds) in seeds.iter().enumerate() {
+                    let sim = cluster_seeds
+                        .iter()
+                        .map(|(_, s)| cosine(vec, s))
+                        .fold(f64::MIN, f64::max);
+                    if sim.is_finite() && best.is_none_or(|(_, b)| sim > b) {
+                        best = Some((ci, sim));
+                    }
+                }
+                if let Some((ci, sim)) = best {
+                    if sim >= config.tau && !seeds[ci].iter().any(|(s, _)| s == word) {
+                        expansion[ci].push((word.to_string(), sim));
+                    }
+                }
+            }
+        }
+        let clusters = concepts
+            .iter()
+            .zip(seeds)
+            .zip(expansion)
+            .map(|(((name, _), seeds), mut expanded)| {
+                expanded.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                expanded.truncate(config.max_expansion);
+                let words: Vec<String> = expanded.into_iter().map(|(w, _)| w).collect();
+                ConceptCluster::from_parts(name, seeds, &words, &store)
+            })
+            .collect();
+        Self { store, clusters, config }
+    }
+
+    /// The configured τ.
+    pub fn tau(&self) -> f64 {
+        self.config.tau
+    }
+
+    /// The concept clusters.
+    pub fn clusters(&self) -> &[ConceptCluster] {
+        &self.clusters
+    }
+
+    /// The underlying vector table.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// Semantic similarity between two phrases (used by the refinement
+    /// step and by segmentation); 0.0 when either is out-of-vocabulary.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        self.store.phrase_similarity(a, b).unwrap_or(0.0)
+    }
+
+    /// `MATCHER.MATCH(p)`: extract candidate entities from phrase `p`.
+    ///
+    /// Enumerates contiguous subphrases (up to the configured length)
+    /// that do not start or end with a stop-word and embeds each as a
+    /// query vector. Among the clusters whose *best* representative
+    /// reaches τ for the query, "the matcher identifies the concept e.C
+    /// that semantically best fits the subphrase" — the one with the
+    /// highest mean pairwise similarity — and reports one candidate per
+    /// subphrase, with the best seed instance as `c_m`.
+    pub fn match_phrase(&self, phrase: &str) -> Vec<CandidateEntity> {
+        self.match_phrase_anchored(phrase, |_| true)
+    }
+
+    /// [`SimilarityMatcher::match_phrase`] with an *anchor* predicate:
+    /// a subphrase is only considered when at least one of its words
+    /// satisfies `anchor`. The pipeline passes a nominality test
+    /// ("entities typically consist of noun phrases or subsequences
+    /// thereof") so that bare-modifier subphrases — whose vectors sit
+    /// inside every seed phrase that shares the adjective — cannot
+    /// become entities.
+    pub fn match_phrase_anchored(
+        &self,
+        phrase: &str,
+        anchor: impl Fn(&str) -> bool,
+    ) -> Vec<CandidateEntity> {
+        let normalized = normalize_phrase(phrase);
+        let words: Vec<&str> = normalized.split_whitespace().collect();
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let max_len = self.config.max_subphrase_words.min(words.len());
+        let mut out = Vec::new();
+
+        for len in 1..=max_len {
+            for start in 0..=(words.len() - len) {
+                let slice = &words[start..start + len];
+                if is_stopword(slice[0]) || is_stopword(slice[len - 1]) {
+                    continue;
+                }
+                if !slice.iter().any(|w| anchor(w)) {
+                    continue;
+                }
+                let sub = slice.join(" ");
+                let Some(query) = self.store.embed_phrase(&sub) else {
+                    continue;
+                };
+                // Pick the single best-fitting accepted cluster.
+                let mut best: Option<(&ConceptCluster, f64)> = None;
+                for cluster in &self.clusters {
+                    let Some(best_rep) = cluster.max_similarity(&query) else {
+                        continue;
+                    };
+                    if best_rep + 1e-9 < self.config.tau {
+                        continue;
+                    }
+                    let cluster_score = cluster.mean_similarity(&query).unwrap_or(0.0);
+                    if best.is_none_or(|(_, s)| cluster_score > s) {
+                        best = Some((cluster, cluster_score));
+                    }
+                }
+                let Some((cluster, cluster_score)) = best else {
+                    continue;
+                };
+                let Some((seed, seed_sim)) = cluster.best_seed(&query) else {
+                    continue;
+                };
+                out.push(CandidateEntity {
+                    phrase: sub.clone(),
+                    concept: cluster.concept.clone(),
+                    matched_instance: seed.to_string(),
+                    semantic_score: seed_sim.clamp(0.0, 1.0),
+                    cluster_score,
+                });
+            }
+        }
+        // Deterministic order: by cluster score descending.
+        out.sort_by(|a, b| {
+            b.cluster_score
+                .total_cmp(&a.cluster_score)
+                .then_with(|| a.phrase.cmp(&b.phrase))
+                .then_with(|| a.concept.cmp(&b.concept))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thor_embed::SemanticSpaceBuilder;
+
+    fn matcher(tau: f64) -> SimilarityMatcher {
+        let store = SemanticSpaceBuilder::new(32, 9)
+            .topic("anatomy")
+            .correlated_topic("complication", "anatomy", 0.3)
+            .words("anatomy", ["brain", "nerve", "lung", "spine", "ear", "system", "nervous"])
+            .words("complication", ["cancer", "tumor", "stroke", "deafness", "clot"])
+            .ambiguous_word("blood", "anatomy", "complication", 0.55)
+            .generic_words(["slow-growing", "walk", "green", "people"])
+            .build()
+            .into_store();
+        let concepts = vec![
+            ("Anatomy".to_string(), vec!["nervous system".to_string(), "ear".to_string()]),
+            ("Complication".to_string(), vec!["skin cancer".to_string(), "stroke".to_string()]),
+        ];
+        // "skin" is OOV on purpose; "cancer" carries the seed.
+        SimilarityMatcher::fine_tune(&concepts, store, MatcherConfig::with_tau(tau))
+    }
+
+    #[test]
+    fn exact_seed_word_matches_at_tau_1() {
+        let m = matcher(1.0);
+        let c = m.match_phrase("the ear");
+        assert!(!c.is_empty());
+        assert_eq!(c[0].concept, "Anatomy");
+        assert_eq!(c[0].matched_instance, "ear");
+        assert!((c[0].semantic_score - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn novel_instance_found_at_lower_tau() {
+        // "brain" is NOT a table instance but is semantically close to
+        // the Anatomy cluster — the paper's 'Malaria' case.
+        let strict = matcher(1.0);
+        let lenient = matcher(0.55);
+        let unseen = "brain";
+        let strict_hits =
+            strict.match_phrase(unseen).iter().filter(|c| c.concept == "Anatomy").count();
+        let lenient_hits =
+            lenient.match_phrase(unseen).iter().filter(|c| c.concept == "Anatomy").count();
+        assert_eq!(strict_hits, 0, "tau=1.0 must not match unseen instances");
+        assert!(lenient_hits > 0, "low tau should match semantically close words");
+    }
+
+    #[test]
+    fn lower_tau_never_produces_fewer_candidates() {
+        let phrases = ["brain tumor", "nerve damage", "stroke risk", "green walk"];
+        for phrase in phrases {
+            let hi = matcher(0.9).match_phrase(phrase).len();
+            let lo = matcher(0.5).match_phrase(phrase).len();
+            assert!(lo >= hi, "phrase {phrase}: lo {lo} < hi {hi}");
+        }
+    }
+
+    #[test]
+    fn subphrases_enumerated() {
+        let m = matcher(0.6);
+        let candidates = m.match_phrase("slow-growing non-cancerous brain tumor");
+        // Subphrases like "brain" and "tumor" should appear.
+        assert!(candidates.iter().any(|c| c.phrase == "brain"));
+        assert!(candidates.iter().any(|c| c.phrase == "tumor"));
+        // No candidate starts/ends with a stop-word.
+        for c in &candidates {
+            let words: Vec<&str> = c.phrase.split_whitespace().collect();
+            assert!(!is_stopword(words[0]));
+            assert!(!is_stopword(words[words.len() - 1]));
+        }
+    }
+
+    #[test]
+    fn ambiguous_word_resolves_to_single_best_concept() {
+        // The matcher assigns *the* best-fitting concept per subphrase;
+        // an ambiguous word therefore yields exactly one candidate, for
+        // one of its two plausible concepts.
+        let m = matcher(0.5);
+        let candidates = m.match_phrase("blood");
+        assert_eq!(candidates.len(), 1, "{candidates:?}");
+        assert!(matches!(candidates[0].concept.as_str(), "Anatomy" | "Complication"));
+    }
+
+    #[test]
+    fn oov_phrase_yields_nothing() {
+        let m = matcher(0.5);
+        assert!(m.match_phrase("xyzzy plugh").is_empty());
+        assert!(m.match_phrase("").is_empty());
+        assert!(m.match_phrase("the of and").is_empty());
+    }
+
+    #[test]
+    fn results_sorted_by_cluster_score() {
+        let m = matcher(0.5);
+        let c = m.match_phrase("brain tumor");
+        assert!(c.windows(2).all(|w| w[0].cluster_score >= w[1].cluster_score));
+    }
+
+    #[test]
+    fn similarity_helper() {
+        let m = matcher(0.7);
+        assert!(m.similarity("brain", "nerve") > m.similarity("brain", "walk"));
+        assert_eq!(m.similarity("xyzzy", "brain"), 0.0);
+    }
+}

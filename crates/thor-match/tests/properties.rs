@@ -1,0 +1,92 @@
+//! Property tests for the semantic matcher: threshold monotonicity and
+//! structural guarantees of the candidate set.
+
+use proptest::prelude::*;
+
+use thor_embed::{SemanticSpaceBuilder, VectorStore};
+use thor_match::{MatcherConfig, SimilarityMatcher};
+
+fn store(seed: u64) -> VectorStore {
+    SemanticSpaceBuilder::new(16, seed)
+        .spread(0.6)
+        .topic("alpha")
+        .topic("beta")
+        .words("alpha", ["ape", "ant", "asp", "auk"])
+        .words("beta", ["bee", "bat", "boa", "bug"])
+        .generic_words(["gnu", "elk"])
+        .build()
+        .into_store()
+}
+
+fn matcher(tau: f64, seed: u64) -> SimilarityMatcher {
+    let concepts = vec![
+        ("Alpha".to_string(), vec!["ape".to_string(), "ant".to_string()]),
+        ("Beta".to_string(), vec!["bee".to_string(), "bat".to_string()]),
+    ];
+    SimilarityMatcher::fine_tune(&concepts, store(seed), MatcherConfig::with_tau(tau))
+}
+
+proptest! {
+    /// Lowering τ never removes candidates for any phrase.
+    #[test]
+    fn candidate_count_monotone_in_tau(
+        words in prop::collection::vec("(ape|ant|asp|auk|bee|bat|boa|bug|gnu|elk|zzz)", 1..4),
+        seed in 0u64..20,
+    ) {
+        let phrase = words.join(" ");
+        let lo = matcher(0.4, seed).match_phrase(&phrase).len();
+        let hi = matcher(0.9, seed).match_phrase(&phrase).len();
+        prop_assert!(lo >= hi, "phrase `{phrase}`: lo {lo} < hi {hi}");
+    }
+
+    /// Every candidate's phrase is a contiguous subphrase of the input,
+    /// its concept is a schema concept, and scores are in range.
+    #[test]
+    fn candidates_structurally_valid(
+        words in prop::collection::vec("(ape|bee|gnu|zzz)", 1..5),
+        seed in 0u64..20,
+        tau10 in 4u32..10,
+    ) {
+        let phrase = words.join(" ");
+        let m = matcher(tau10 as f64 / 10.0, seed);
+        for c in m.match_phrase(&phrase) {
+            prop_assert!(
+                phrase.contains(&c.phrase),
+                "candidate `{}` not in `{phrase}`", c.phrase
+            );
+            prop_assert!(matches!(c.concept.as_str(), "Alpha" | "Beta"));
+            prop_assert!((0.0..=1.0).contains(&c.semantic_score));
+            prop_assert!(!c.matched_instance.is_empty());
+        }
+    }
+
+    /// The matcher assigns a single best-fitting concept per subphrase
+    /// text: the same subphrase (even repeated at different positions)
+    /// never carries two different concepts.
+    #[test]
+    fn one_concept_per_subphrase(
+        words in prop::collection::vec("(ape|ant|bee|bat|gnu)", 1..4),
+        seed in 0u64..20,
+    ) {
+        let phrase = words.join(" ");
+        let m = matcher(0.4, seed);
+        let mut by_phrase: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+        for c in &m.match_phrase(&phrase) {
+            if let Some(prev) = by_phrase.insert(&c.phrase, &c.concept) {
+                prop_assert_eq!(
+                    prev, c.concept.as_str(),
+                    "subphrase `{}` mapped to two concepts", c.phrase
+                );
+            }
+        }
+    }
+
+    /// Matching is deterministic.
+    #[test]
+    fn deterministic(seed in 0u64..20) {
+        let m = matcher(0.5, seed);
+        let a = m.match_phrase("ape bat gnu");
+        let b = m.match_phrase("ape bat gnu");
+        prop_assert_eq!(a, b);
+    }
+}

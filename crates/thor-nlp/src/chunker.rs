@@ -1,0 +1,146 @@
+//! Noun-phrase extraction over the dependency tree.
+//!
+//! Per the paper: "THOR uses the dependency parse tree to extract *noun
+//! phrases*. A noun phrase is a subtree that has at its root a noun
+//! (NOUN), pronoun (PRON), or proper noun (PROPN), and might also include
+//! leading or trailing modifiers, such as adjectives (ADJ) and
+//! determiners (DET). THOR strips from noun phrases any leading or
+//! trailing stop-words."
+//!
+//! A [`NounPhrase`] records both the stop-word-stripped surface text and
+//! its token span, so downstream spans can be mapped back to the source.
+
+use thor_text::strip_stopwords;
+
+use crate::dep::{DepLabel, DepTree};
+use crate::pos::Pos;
+
+/// An extracted noun phrase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NounPhrase {
+    /// Stop-word-trimmed surface text.
+    pub text: String,
+    /// Index of the head token.
+    pub head: usize,
+    /// First token index of the (untrimmed) span.
+    pub start: usize,
+    /// One past the last token index of the span.
+    pub end: usize,
+}
+
+/// Extract noun phrases from a parsed sentence.
+///
+/// For every NP head (a nominal token not attached via `compound` to
+/// another nominal), the span covers the head plus all dependents
+/// reachable through NP-internal relations (`det`, `amod`, `nummod`,
+/// `compound`). Spans are contiguous by construction of the parser's
+/// attachment rules. Phrases that are empty after stop-word stripping
+/// (e.g. a bare pronoun `it`) are dropped.
+#[allow(clippy::needless_range_loop)]
+pub fn noun_phrases(words: &[&str], tags: &[Pos], tree: &DepTree) -> Vec<NounPhrase> {
+    assert_eq!(words.len(), tags.len());
+    assert_eq!(words.len(), tree.len());
+    let n = words.len();
+    let mut phrases = Vec::new();
+
+    let np_internal = |label: DepLabel| {
+        matches!(label, DepLabel::Det | DepLabel::Amod | DepLabel::Nummod | DepLabel::Compound)
+    };
+
+    for head in 0..n {
+        if !tags[head].is_nominal() {
+            continue;
+        }
+        // Skip non-head members of a compound run.
+        if tree.labels[head] == DepLabel::Compound {
+            continue;
+        }
+        // Gather NP-internal dependents transitively.
+        let mut members = vec![head];
+        let mut stack = vec![head];
+        while let Some(h) = stack.pop() {
+            for d in tree.dependents(h) {
+                if np_internal(tree.labels[d]) {
+                    members.push(d);
+                    stack.push(d);
+                }
+            }
+        }
+        let start = *members.iter().min().expect("non-empty");
+        let end = *members.iter().max().expect("non-empty") + 1;
+        let raw = words[start..end].join(" ");
+        let text = strip_stopwords(&raw);
+        if text.is_empty() {
+            continue;
+        }
+        phrases.push(NounPhrase { text, head, start, end });
+    }
+    phrases.sort_by_key(|p| p.start);
+    phrases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dep::parse_dependencies;
+    use crate::tagger::{RuleTagger, Tagger};
+
+    fn nps(sentence: &str) -> Vec<String> {
+        let tokens = thor_text::tokenize(sentence);
+        let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        let tags = RuleTagger::default().tag(&words);
+        let tree = parse_dependencies(&words, &tags);
+        noun_phrases(&words, &tags, &tree).into_iter().map(|p| p.text).collect()
+    }
+
+    #[test]
+    fn running_example_fig3() {
+        // Paper: "{Tuberculosis, lungs}" from "Tuberculosis generally
+        // damages the lungs" (after stop-word stripping of "the").
+        assert_eq!(nps("Tuberculosis generally damages the lungs"), ["Tuberculosis", "lungs"]);
+    }
+
+    #[test]
+    fn modifier_rich_np() {
+        let got = nps("It is a slow-growing non-cancerous brain tumor");
+        assert!(got.contains(&"slow-growing non-cancerous brain tumor".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn pronoun_only_np_dropped() {
+        // "It" strips to empty and must not be emitted.
+        let got = nps("It damages the lungs");
+        assert_eq!(got, ["lungs"]);
+    }
+
+    #[test]
+    fn coordination_yields_separate_phrases() {
+        let got = nps("Symptoms include headaches , dizziness and nausea");
+        assert!(got.contains(&"headaches".to_string()));
+        assert!(got.contains(&"dizziness".to_string()));
+        assert!(got.contains(&"nausea".to_string()));
+    }
+
+    #[test]
+    fn prepositional_np() {
+        let got = nps("It causes damage in the nervous system");
+        assert!(got.contains(&"nervous system".to_string()), "{got:?}");
+    }
+
+    #[test]
+    fn empty_sentence() {
+        assert!(nps("").is_empty());
+    }
+
+    #[test]
+    fn spans_cover_heads() {
+        let tokens = thor_text::tokenize("the brain tumor damages the auditory nerve");
+        let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        let tags = RuleTagger::default().tag(&words);
+        let tree = parse_dependencies(&words, &tags);
+        for np in noun_phrases(&words, &tags, &tree) {
+            assert!(np.start <= np.head && np.head < np.end);
+            assert!(np.end <= words.len());
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Fuzz tests for the linguistic substrate: arbitrary text through the
+//! tokenize → tag → parse → chunk stack.
+
+use proptest::prelude::*;
+
+use thor_nlp::{noun_phrases, parse_dependencies, HmmTagger, Pos, RuleTagger, Tagger};
+use thor_text::tokenize;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The full stack never panics and produces structurally valid
+    /// output for arbitrary unicode input.
+    #[test]
+    fn stack_handles_arbitrary_text(text in "\\PC{0,200}") {
+        let tokens = tokenize(&text);
+        let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        let tags = RuleTagger::default().tag(&words);
+        prop_assert_eq!(tags.len(), words.len());
+        let tree = parse_dependencies(&words, &tags);
+        prop_assert!(tree.is_forest_rooted());
+        let nps = noun_phrases(&words, &tags, &tree);
+        for np in &nps {
+            prop_assert!(np.start <= np.head && np.head < np.end);
+            prop_assert!(np.end <= words.len());
+            prop_assert!(!np.text.is_empty());
+        }
+    }
+
+    /// NP spans never overlap (each token belongs to at most one NP).
+    #[test]
+    fn noun_phrases_disjoint(text in "[a-z ]{0,120}") {
+        let tokens = tokenize(&text);
+        let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+        let tags = RuleTagger::default().tag(&words);
+        let tree = parse_dependencies(&words, &tags);
+        let nps = noun_phrases(&words, &tags, &tree);
+        for w in nps.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "overlap: {:?} vs {:?}", w[0], w[1]);
+        }
+    }
+
+    /// An HMM trained on tiny random data still decodes every sentence
+    /// to a full tag sequence.
+    #[test]
+    fn hmm_always_decodes(
+        train_words in prop::collection::vec("[a-c]{1,3}", 1..6),
+        query_words in prop::collection::vec("[a-d]{1,3}", 0..6),
+    ) {
+        let corpus: Vec<Vec<(String, Pos)>> = vec![train_words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), if i % 2 == 0 { Pos::Noun } else { Pos::Verb }))
+            .collect()];
+        let tagger = HmmTagger::train(&corpus);
+        let refs: Vec<&str> = query_words.iter().map(String::as_str).collect();
+        let tags = tagger.tag(&refs);
+        prop_assert_eq!(tags.len(), refs.len());
+    }
+}

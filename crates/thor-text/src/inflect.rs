@@ -1,0 +1,155 @@
+//! English inflection-lite: rule-based singularization.
+//!
+//! Table instances are typically lemma-like (`lung`, `complication`)
+//! while text mentions inflect (`lungs`, `complications`). A small
+//! rule-based singularizer — the usual -s/-es/-ies family plus a
+//! irregular list — lets matching layers compare number-insensitively
+//! without a full morphological analyzer.
+
+/// Irregular plural → singular pairs (the common English inventory).
+const IRREGULAR: &[(&str, &str)] = &[
+    ("children", "child"),
+    ("feet", "foot"),
+    ("teeth", "tooth"),
+    ("geese", "goose"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("mice", "mouse"),
+    ("people", "person"),
+    ("diagnoses", "diagnosis"),
+    ("analyses", "analysis"),
+    ("bacteria", "bacterium"),
+    ("criteria", "criterion"),
+    ("phenomena", "phenomenon"),
+    ("vertebrae", "vertebra"),
+];
+
+/// Words that look plural but are not (or whose singular equals the
+/// plural).
+const INVARIANT: &[&str] = &[
+    "series", "species", "news", "diabetes", "rabies", "measles", "herpes", "scabies",
+    "physics", "analysis", "diagnosis", "basis", "crisis", "lens", "aids",
+];
+
+/// Singularize one lowercase word. Unknown patterns return the input
+/// unchanged; this is a best-effort normalizer, not an analyzer.
+///
+/// ```
+/// use thor_text::inflect::singularize;
+/// assert_eq!(singularize("lungs"), "lung");
+/// assert_eq!(singularize("complications"), "complication");
+/// assert_eq!(singularize("biopsies"), "biopsy");
+/// assert_eq!(singularize("abscesses"), "abscess");
+/// assert_eq!(singularize("series"), "series");
+/// ```
+pub fn singularize(word: &str) -> String {
+    let w = word.to_lowercase();
+    if w.len() <= 2 || INVARIANT.contains(&w.as_str()) {
+        return w;
+    }
+    if let Some(&(_, singular)) = IRREGULAR.iter().find(|(p, _)| *p == w) {
+        return singular.to_string();
+    }
+    // -ies → -y  (biopsies → biopsy), but not short words (dies, ties).
+    if w.len() > 4 {
+        if let Some(stem) = w.strip_suffix("ies") {
+            return format!("{stem}y");
+        }
+    }
+    // -ses/-xes/-zes/-ches/-shes → drop "es".
+    for suffix in ["sses", "xes", "zes", "ches", "shes"] {
+        if let Some(stem) = w.strip_suffix(suffix) {
+            return format!("{stem}{}", &suffix[..suffix.len() - 2]);
+        }
+    }
+    // -oes → -o (tomatoes).
+    if let Some(stem) = w.strip_suffix("oes") {
+        return format!("{stem}o");
+    }
+    // plain -s, but not -ss/-us/-is.
+    if w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && !w.ends_with("is") {
+        return w[..w.len() - 1].to_string();
+    }
+    w
+}
+
+/// Singularize every word of a (whitespace-separated, normalized)
+/// phrase.
+pub fn singularize_phrase(phrase: &str) -> String {
+    phrase.split_whitespace().map(singularize).collect::<Vec<_>>().join(" ")
+}
+
+/// Number-insensitive phrase equality.
+pub fn same_lemma(a: &str, b: &str) -> bool {
+    singularize_phrase(&a.to_lowercase()) == singularize_phrase(&b.to_lowercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn regular_plurals() {
+        assert_eq!(singularize("lungs"), "lung");
+        assert_eq!(singularize("nerves"), "nerve");
+        assert_eq!(singularize("tumors"), "tumor");
+        assert_eq!(singularize("complications"), "complication");
+    }
+
+    #[test]
+    fn sibilant_plurals() {
+        assert_eq!(singularize("abscesses"), "abscess");
+        assert_eq!(singularize("reflexes"), "reflex");
+        assert_eq!(singularize("rashes"), "rash");
+        assert_eq!(singularize("crutches"), "crutch");
+    }
+
+    #[test]
+    fn y_plurals() {
+        assert_eq!(singularize("biopsies"), "biopsy");
+        assert_eq!(singularize("allergies"), "allergy");
+        // Short -ies words stay.
+        assert_eq!(singularize("ties"), "tie");
+    }
+
+    #[test]
+    fn irregulars_and_invariants() {
+        assert_eq!(singularize("children"), "child");
+        assert_eq!(singularize("diagnoses"), "diagnosis");
+        assert_eq!(singularize("diabetes"), "diabetes");
+        assert_eq!(singularize("species"), "species");
+        assert_eq!(singularize("basis"), "basis");
+    }
+
+    #[test]
+    fn singulars_unchanged() {
+        for w in ["lung", "brain", "virus", "illness", "crisis"] {
+            assert_eq!(singularize(w), w, "{w} should survive");
+        }
+    }
+
+    #[test]
+    fn phrase_and_lemma_equality() {
+        assert_eq!(singularize_phrase("blood clots"), "blood clot");
+        assert!(same_lemma("Blood Clots", "blood clot"));
+        assert!(!same_lemma("blood clot", "blood vessel"));
+    }
+
+    proptest! {
+        /// Singularization is idempotent for the rule families we apply.
+        #[test]
+        fn idempotent(w in "[a-z]{1,12}") {
+            let once = singularize(&w);
+            prop_assert_eq!(singularize(&once.clone()), once);
+        }
+
+        /// Output is always lowercase and never empty for non-empty input.
+        #[test]
+        fn non_empty_lowercase(w in "[a-zA-Z]{1,12}") {
+            let s = singularize(&w);
+            prop_assert!(!s.is_empty());
+            prop_assert_eq!(s.to_lowercase(), s.clone());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # thor-text
+//!
+//! Text-processing substrate for the THOR reproduction.
+//!
+//! THOR (ICDE 2024) conceptualizes external documents against the concepts
+//! of an integrated schema. Everything it does starts from plain text, so
+//! this crate provides the low-level linguistic machinery the rest of the
+//! workspace builds on:
+//!
+//! * [`token`] — word tokenization with byte-offset spans,
+//! * [`sentence`] — sentence segmentation of documents,
+//! * [`inflect`] — rule-based English singularization (seeds are
+//!   lemma-like, mentions inflect),
+//! * [`normalize`] — case folding, punctuation stripping,
+//! * [`stopwords`] — the stop-word list used when trimming noun phrases,
+//! * [`similarity`] — the syntactic similarity measures of Algorithm 1:
+//!   word-level Jaccard and character-level gestalt (Ratcliff–Obershelp)
+//!   pattern matching, plus Levenshtein and n-gram measures used by tests
+//!   and ablations,
+//! * [`shape`] — word-shape features consumed by the perceptron tagger in
+//!   `thor-baselines`.
+//!
+//! All functions are pure and allocation-conscious; the pipeline calls
+//! them once per candidate subphrase, which is the hot loop of the system.
+
+pub mod inflect;
+pub mod normalize;
+pub mod sentence;
+pub mod shape;
+pub mod similarity;
+pub mod stopwords;
+pub mod token;
+
+pub use inflect::{same_lemma, singularize, singularize_phrase};
+pub use normalize::{fold_token, normalize_phrase};
+pub use sentence::{split_sentences, Sentence};
+pub use similarity::{gestalt_similarity, jaccard_words, levenshtein, ngram_similarity};
+pub use stopwords::{is_stopword, strip_stopwords};
+pub use token::{tokenize, tokenize_words, Token};

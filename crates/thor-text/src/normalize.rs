@@ -1,0 +1,79 @@
+//! Normalization used before comparing phrases and looking up embeddings.
+//!
+//! THOR compares extracted subphrases against table instances both
+//! semantically (via embeddings of normalized words) and syntactically.
+//! Both sides must therefore share a canonical form: lowercase, no outer
+//! punctuation, collapsed whitespace.
+
+/// Case-fold a single token and strip outer punctuation.
+///
+/// Inner hyphens/apostrophes survive so that `Slow-Growing` folds to
+/// `slow-growing` and `Alzheimer's` to `alzheimer's`.
+pub fn fold_token(token: &str) -> String {
+    token
+        .trim_matches(|c: char| c.is_ascii_punctuation() && c != '-' && c != '\'')
+        .to_lowercase()
+}
+
+/// Normalize a multi-word phrase: fold every token, drop empties, join
+/// with single spaces.
+///
+/// ```
+/// use thor_text::normalize_phrase;
+/// assert_eq!(normalize_phrase("  The Nervous  SYSTEM. "), "the nervous system");
+/// ```
+pub fn normalize_phrase(phrase: &str) -> String {
+    let mut out = String::with_capacity(phrase.len());
+    for tok in phrase.split_whitespace() {
+        let folded = fold_token(tok);
+        if folded.is_empty() {
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(&folded);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_basic() {
+        assert_eq!(fold_token("Lungs"), "lungs");
+        assert_eq!(fold_token("LUNGS,"), "lungs");
+        assert_eq!(fold_token("(brain)"), "brain");
+    }
+
+    #[test]
+    fn fold_keeps_inner_marks() {
+        assert_eq!(fold_token("Non-Cancerous"), "non-cancerous");
+        assert_eq!(fold_token("Alzheimer's"), "alzheimer's");
+    }
+
+    #[test]
+    fn fold_pure_punct_to_empty() {
+        assert_eq!(fold_token("..."), "");
+        assert_eq!(fold_token("!?"), "");
+    }
+
+    #[test]
+    fn phrase_collapses_whitespace() {
+        assert_eq!(normalize_phrase("nervous   system"), "nervous system");
+        assert_eq!(normalize_phrase(" a  b\tc "), "a b c");
+    }
+
+    #[test]
+    fn phrase_drops_punct_only_tokens() {
+        assert_eq!(normalize_phrase("the lungs , and heart ."), "the lungs and heart");
+    }
+
+    #[test]
+    fn idempotent() {
+        let p = "slow-growing non-cancerous brain tumor";
+        assert_eq!(normalize_phrase(&normalize_phrase(p)), normalize_phrase(p));
+    }
+}

@@ -1,0 +1,193 @@
+//! Sentence segmentation.
+//!
+//! Phase ① of the THOR pipeline segments each document into sentences
+//! before associating them with subject instances. We use a rule-based
+//! segmenter: sentences end at `.`, `!`, `?` or newlines, except when the
+//! period belongs to a known abbreviation, an initial (`J. Smith`), or a
+//! decimal number. This is the same class of segmenter spaCy's
+//! `sentencizer` implements and is sufficient for the generated corpora,
+//! which follow natural-prose conventions.
+
+/// A sentence with its byte span in the source document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentence {
+    /// The sentence text (trimmed of surrounding whitespace).
+    pub text: String,
+    /// Byte offset of the sentence start in the document.
+    pub start: usize,
+    /// Byte offset one past the sentence end in the document.
+    pub end: usize,
+}
+
+/// Abbreviations after which a period does not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "dr", "mr", "mrs", "ms", "prof", "sr", "jr", "st", "vs", "etc", "e.g", "i.e", "fig",
+    "al", "inc", "ltd", "co", "dept", "univ", "approx", "no",
+];
+
+fn is_abbreviation(word: &str) -> bool {
+    let w = word.trim_end_matches('.').to_ascii_lowercase();
+    ABBREVIATIONS.contains(&w.as_str()) || (w.len() == 1 && w.chars().all(|c| c.is_alphabetic()))
+}
+
+/// Split `doc` into sentences.
+///
+/// ```
+/// use thor_text::split_sentences;
+/// let s = split_sentences("Tuberculosis damages the lungs. It can be fatal.");
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s[0].text, "Tuberculosis damages the lungs.");
+/// ```
+pub fn split_sentences(doc: &str) -> Vec<Sentence> {
+    let mut sentences = Vec::new();
+    let bytes = doc.as_bytes();
+    let mut sent_start = 0usize;
+
+    let push = |sentences: &mut Vec<Sentence>, start: usize, end: usize| {
+        let raw = &doc[start..end];
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return;
+        }
+        let lead = raw.len() - raw.trim_start().len();
+        let trail = raw.len() - raw.trim_end().len();
+        sentences.push(Sentence {
+            text: trimmed.to_string(),
+            start: start + lead,
+            end: end - trail,
+        });
+    };
+
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let boundary = match c {
+            '!' | '?' => true,
+            '\n' => {
+                // Blank line or single newline both end a sentence (the
+                // generated corpora are one-sentence-per-line friendly).
+                true
+            }
+            '.' => {
+                // Look back at the word containing the period. The
+                // preceding whitespace may be multi-byte (NBSP etc.), so
+                // advance by its UTF-8 length, not by 1.
+                let word_start = doc[..i]
+                    .rfind(|ch: char| ch.is_whitespace())
+                    .map(|p| p + doc[p..].chars().next().expect("rfind hit a char").len_utf8())
+                    .unwrap_or(0);
+                let word = &doc[word_start..i];
+                let next_is_digit =
+                    bytes.get(i + 1).is_some_and(|&b| (b as char).is_ascii_digit());
+                let prev_is_digit =
+                    i > 0 && (bytes[i - 1] as char).is_ascii_digit();
+                // A decimal like `12.5`: digit on both sides.
+                let decimal = prev_is_digit && next_is_digit;
+                // Followed by lowercase start => likely abbreviation usage.
+                !(is_abbreviation(word) || decimal)
+            }
+            _ => false,
+        };
+        if boundary {
+            // Absorb any run of closing punctuation after the terminator.
+            let mut end = i + 1;
+            while end < bytes.len() && matches!(bytes[end] as char, ')' | '"' | '\'' | ']' | '”') {
+                end += 1;
+            }
+            push(&mut sentences, sent_start, end);
+            sent_start = end;
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    if sent_start < doc.len() {
+        push(&mut sentences, sent_start, doc.len());
+    }
+    sentences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_doc() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   \n\n  ").is_empty());
+    }
+
+    #[test]
+    fn single_sentence_no_terminator() {
+        let s = split_sentences("Tuberculosis damages the lungs");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text, "Tuberculosis damages the lungs");
+    }
+
+    #[test]
+    fn multiple_sentences() {
+        let doc = "Acoustic neuroma is a tumor. It grows slowly. Treatment exists!";
+        let s = split_sentences(doc);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[1].text, "It grows slowly.");
+        assert_eq!(s[2].text, "Treatment exists!");
+    }
+
+    #[test]
+    fn abbreviation_not_a_boundary() {
+        let s = split_sentences("Dr. Smith treated the patient. The patient recovered.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].text.starts_with("Dr. Smith"));
+    }
+
+    #[test]
+    fn decimal_not_a_boundary() {
+        let s = split_sentences("The dose is 12.5 mg per day. Take it twice.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].text.contains("12.5"));
+    }
+
+    #[test]
+    fn newline_is_a_boundary() {
+        let s = split_sentences("First line\nSecond line");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].text, "First line");
+        assert_eq!(s[1].text, "Second line");
+    }
+
+    #[test]
+    fn spans_point_into_document() {
+        let doc = "One sentence here. Another one follows? Yes.";
+        for s in split_sentences(doc) {
+            assert_eq!(&doc[s.start..s.end], s.text);
+        }
+    }
+
+    #[test]
+    fn closing_quote_absorbed() {
+        let s = split_sentences("He said \"stop.\" Then he left.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].text.ends_with('"'));
+    }
+
+    #[test]
+    fn multibyte_whitespace_before_period() {
+        // U+00A0 no-break space directly before a period-terminated word
+        // used to slice mid-character.
+        let s = split_sentences("One\u{a0}word. Two.");
+        assert_eq!(s.len(), 2);
+        for sent in &s {
+            assert!(!sent.text.is_empty());
+        }
+        // Single letters after NBSP read as initials (no boundary) but
+        // must not panic either.
+        let s = split_sentences("One\u{a0}b. Two.");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn question_and_exclamation() {
+        let s = split_sentences("Is it serious? Yes! See a doctor.");
+        assert_eq!(s.len(), 3);
+    }
+}

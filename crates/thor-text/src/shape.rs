@@ -1,0 +1,145 @@
+//! Word-shape features.
+//!
+//! The averaged-perceptron sequence tagger (`thor-baselines`) mirrors the
+//! orthographic feature templates classic NER systems use. A *shape* maps
+//! each character class to a symbol and collapses runs: `Acoustic` →
+//! `Xx`, `COVID-19` → `X-d`, `12.5mg` → `d.dx`.
+
+/// Compute the collapsed word shape of `word`.
+///
+/// Character classes: uppercase → `X`, lowercase → `x`, digit → `d`,
+/// everything else passes through. Consecutive identical symbols are
+/// collapsed to one.
+///
+/// ```
+/// use thor_text::shape::word_shape;
+/// assert_eq!(word_shape("Acoustic"), "Xx");
+/// assert_eq!(word_shape("COVID-19"), "X-d");
+/// assert_eq!(word_shape("mg"), "x");
+/// ```
+pub fn word_shape(word: &str) -> String {
+    let mut out = String::new();
+    let mut last: Option<char> = None;
+    for c in word.chars() {
+        let sym = if c.is_uppercase() {
+            'X'
+        } else if c.is_lowercase() {
+            'x'
+        } else if c.is_ascii_digit() {
+            'd'
+        } else {
+            c
+        };
+        if last != Some(sym) {
+            out.push(sym);
+            last = Some(sym);
+        }
+    }
+    out
+}
+
+/// Orthographic flags summarizing a token for the tagger.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OrthFlags {
+    /// First character uppercase.
+    pub initial_cap: bool,
+    /// Every alphabetic character uppercase.
+    pub all_caps: bool,
+    /// Contains at least one digit.
+    pub has_digit: bool,
+    /// Contains a hyphen.
+    pub has_hyphen: bool,
+    /// Every character is a digit.
+    pub all_digits: bool,
+}
+
+/// Compute [`OrthFlags`] for a token.
+pub fn orth_flags(word: &str) -> OrthFlags {
+    let mut flags = OrthFlags::default();
+    let mut any_alpha = false;
+    let mut all_upper = true;
+    let mut all_digit = !word.is_empty();
+    for (i, c) in word.chars().enumerate() {
+        if i == 0 && c.is_uppercase() {
+            flags.initial_cap = true;
+        }
+        if c.is_alphabetic() {
+            any_alpha = true;
+            if !c.is_uppercase() {
+                all_upper = false;
+            }
+        }
+        if c.is_ascii_digit() {
+            flags.has_digit = true;
+        } else {
+            all_digit = false;
+        }
+        if c == '-' {
+            flags.has_hyphen = true;
+        }
+    }
+    flags.all_caps = any_alpha && all_upper;
+    flags.all_digits = all_digit;
+    flags
+}
+
+/// Prefix of up to `n` characters (for suffix/prefix feature templates).
+pub fn prefix(word: &str, n: usize) -> &str {
+    match word.char_indices().nth(n) {
+        Some((i, _)) => &word[..i],
+        None => word,
+    }
+}
+
+/// Suffix of up to `n` characters.
+pub fn suffix(word: &str, n: usize) -> &str {
+    let len = word.chars().count();
+    if len <= n {
+        return word;
+    }
+    let skip = len - n;
+    match word.char_indices().nth(skip) {
+        Some((i, _)) => &word[i..],
+        None => word,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes() {
+        assert_eq!(word_shape("Acoustic"), "Xx");
+        assert_eq!(word_shape("neuroma"), "x");
+        assert_eq!(word_shape("COVID-19"), "X-d");
+        assert_eq!(word_shape("12.5"), "d.d");
+        assert_eq!(word_shape(""), "");
+        assert_eq!(word_shape("McDonald"), "XxXx");
+    }
+
+    #[test]
+    fn flags() {
+        let f = orth_flags("Acoustic");
+        assert!(f.initial_cap && !f.all_caps && !f.has_digit);
+        let f = orth_flags("WHO");
+        assert!(f.all_caps && f.initial_cap);
+        let f = orth_flags("x-ray");
+        assert!(f.has_hyphen);
+        let f = orth_flags("2024");
+        assert!(f.all_digits && f.has_digit);
+        let f = orth_flags("");
+        assert!(!f.all_digits && !f.all_caps);
+    }
+
+    #[test]
+    fn prefixes_suffixes() {
+        assert_eq!(prefix("neuroma", 3), "neu");
+        assert_eq!(suffix("neuroma", 3), "oma");
+        assert_eq!(prefix("ab", 3), "ab");
+        assert_eq!(suffix("ab", 3), "ab");
+        // Multibyte safety.
+        assert_eq!(prefix("café", 3), "caf");
+        assert_eq!(suffix("café", 2), "fé");
+    }
+}

@@ -1,0 +1,214 @@
+//! Word tokenization with byte-offset spans.
+//!
+//! The tokenizer is deliberately simple and deterministic: THOR's entity
+//! spans are reported as character ranges of the original document, so
+//! every token must remember exactly where it came from. We segment on
+//! Unicode whitespace and split leading/trailing ASCII punctuation into
+//! separate tokens, keeping intra-word hyphens and apostrophes attached
+//! (`slow-growing`, `Alzheimer's`) because the paper's noun phrases rely
+//! on them.
+
+/// A single token with its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text, exactly as it appears in the source.
+    pub text: String,
+    /// Byte offset of the first byte of the token in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token in the source.
+    pub end: usize,
+}
+
+impl Token {
+    /// Construct a token from a slice of the source text.
+    pub fn new(text: impl Into<String>, start: usize, end: usize) -> Self {
+        Self { text: text.into(), start, end }
+    }
+
+    /// True if every character is ASCII punctuation.
+    pub fn is_punctuation(&self) -> bool {
+        !self.text.is_empty() && self.text.chars().all(|c| c.is_ascii_punctuation())
+    }
+
+    /// True if the token is entirely numeric (digits, optional `.`/`,`).
+    pub fn is_numeric(&self) -> bool {
+        let mut saw_digit = false;
+        for c in self.text.chars() {
+            match c {
+                '0'..='9' => saw_digit = true,
+                '.' | ',' | '%' | '+' | '-' => {}
+                _ => return false,
+            }
+        }
+        saw_digit
+    }
+}
+
+/// Characters that may stay inside a word (not split off).
+fn is_inner(c: char) -> bool {
+    c.is_alphanumeric() || c == '-' || c == '\'' || c == '’' || c == '_'
+}
+
+/// Tokenize `text` into [`Token`]s with byte spans.
+///
+/// Splitting rules:
+/// * whitespace always separates tokens;
+/// * runs of punctuation at the start or end of a whitespace-delimited
+///   chunk become their own single-character tokens (so `"(lungs)."`
+///   yields `(`, `lungs`, `)`, `.`);
+/// * hyphens and apostrophes *inside* a word are kept (`non-cancerous`).
+///
+/// ```
+/// use thor_text::tokenize;
+/// let toks = tokenize("Tuberculosis damages the lungs.");
+/// let words: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(words, ["Tuberculosis", "damages", "the", "lungs", "."]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chunk_start = None::<usize>;
+
+    let flush = |tokens: &mut Vec<Token>, text: &str, start: usize, end: usize| {
+        if start >= end {
+            return;
+        }
+        let chunk = &text[start..end];
+        // Find the core: trim leading/trailing non-inner characters,
+        // emitting each as a standalone token.
+        let mut core_start = start;
+        for (i, c) in chunk.char_indices() {
+            if is_inner(c) {
+                core_start = start + i;
+                break;
+            }
+            tokens.push(Token::new(c.to_string(), start + i, start + i + c.len_utf8()));
+            core_start = start + i + c.len_utf8();
+        }
+        if core_start >= end {
+            return;
+        }
+        let core_chunk = &text[core_start..end];
+        let mut core_end = end;
+        let mut trailing: Vec<(usize, char)> = Vec::new();
+        for (i, c) in core_chunk.char_indices().collect::<Vec<_>>().into_iter().rev() {
+            if is_inner(c) {
+                core_end = core_start + i + c.len_utf8();
+                break;
+            }
+            trailing.push((core_start + i, c));
+            core_end = core_start + i;
+        }
+        if core_start < core_end {
+            tokens.push(Token::new(&text[core_start..core_end], core_start, core_end));
+        }
+        for (pos, c) in trailing.into_iter().rev() {
+            tokens.push(Token::new(c.to_string(), pos, pos + c.len_utf8()));
+        }
+    };
+
+    for (i, c) in text.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = chunk_start.take() {
+                flush(&mut tokens, text, s, i);
+            }
+        } else if chunk_start.is_none() {
+            chunk_start = Some(i);
+        }
+    }
+    if let Some(s) = chunk_start {
+        flush(&mut tokens, text, s, text.len());
+    }
+    tokens
+}
+
+/// Tokenize and keep only word-like tokens (drops pure punctuation).
+pub fn tokenize_words(text: &str) -> Vec<Token> {
+    tokenize(text).into_iter().filter(|t| !t.is_punctuation()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(text: &str) -> Vec<String> {
+        tokenize(text).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_no_tokens() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n").is_empty());
+    }
+
+    #[test]
+    fn simple_sentence() {
+        assert_eq!(words("the quick brown fox"), ["the", "quick", "brown", "fox"]);
+    }
+
+    #[test]
+    fn punctuation_split_off() {
+        assert_eq!(words("lungs."), ["lungs", "."]);
+        assert_eq!(words("(lungs)."), ["(", "lungs", ")", "."]);
+        assert_eq!(words("\"hello,\" she said"), ["\"", "hello", ",", "\"", "she", "said"]);
+    }
+
+    #[test]
+    fn hyphen_and_apostrophe_kept() {
+        assert_eq!(words("slow-growing non-cancerous tumor"), ["slow-growing", "non-cancerous", "tumor"]);
+        assert_eq!(words("Alzheimer's disease"), ["Alzheimer's", "disease"]);
+    }
+
+    #[test]
+    fn pure_punct_chunk() {
+        // Hyphens are inner characters, so a run of them stays together.
+        assert_eq!(words("--"), ["--"]);
+        assert_eq!(words("..."), [".", ".", "."]);
+    }
+
+    #[test]
+    fn spans_round_trip() {
+        let text = "Acoustic neuroma (vestibular schwannoma), a tumor.";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text, "span mismatch for {t:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_text() {
+        let text = "café médecine — naïve";
+        let toks = tokenize(text);
+        for t in &toks {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+        let w: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert!(w.contains(&"café"));
+        assert!(w.contains(&"naïve"));
+    }
+
+    #[test]
+    fn numeric_detection() {
+        assert!(Token::new("12.5", 0, 4).is_numeric());
+        assert!(Token::new("3,000", 0, 5).is_numeric());
+        assert!(!Token::new("x86", 0, 3).is_numeric());
+        assert!(!Token::new("-", 0, 1).is_numeric());
+    }
+
+    #[test]
+    fn tokenize_words_drops_punct() {
+        let w: Vec<String> =
+            tokenize_words("lungs, heart.").into_iter().map(|t| t.text).collect();
+        assert_eq!(w, ["lungs", "heart"]);
+    }
+
+    #[test]
+    fn leading_trailing_order_preserved() {
+        // Trailing punctuation must be emitted in source order.
+        let toks = tokenize("end.)");
+        let w: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(w, ["end", ".", ")"]);
+        let positions: Vec<usize> = toks.iter().map(|t| t.start).collect();
+        let mut sorted = positions.clone();
+        sorted.sort_unstable();
+        assert_eq!(positions, sorted);
+    }
+}

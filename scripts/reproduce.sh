@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper's evaluation into results/.
+#
+# Usage: scripts/reproduce.sh [SCALE] [SEED]
+#   SCALE  corpus scale (default 1.0 = paper-sized; 0.25 runs in seconds)
+#   SEED   generator seed (default 42)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${1:-1.0}"
+SEED="${2:-42}"
+OUT=results
+mkdir -p "$OUT"
+
+export THOR_SCALE="$SCALE" THOR_SEED="$SEED"
+
+cargo build --release -p thor-bench
+
+run() {
+  local bin="$1"; shift
+  echo "== $bin =="
+  cargo run --release -q -p thor-bench --bin "$bin" -- "$@" | tee "$OUT/$bin.txt"
+}
+
+run exp_datasets
+run exp_table5 --pr-curve
+run exp_fig6
+run exp_table6 --bars
+run exp_table7
+run exp_table8
+run exp_table9
+run exp_table10 --curve
+run exp_table11 --bars
+run exp_fig10
+run exp_schemas
+run exp_context_window
+run abl_scores
+run abl_expansion
+run abl_np
+run abl_segment
+run abl_context
+
+echo "all experiment outputs written to $OUT/"

@@ -1,0 +1,371 @@
+//! `thor` — command-line front end for the THOR reproduction.
+//!
+//! ```text
+//! thor integrate <src.csv>... [--out R.csv]          full disjunction of sources
+//! thor sparsity <table.csv>                          sparsity report
+//! thor enrich --table R.csv [--tau 0.7] [--vectors v.txt]
+//!             [--context-gate G] [--out enriched.csv] [--entities e.tsv]
+//!             <doc.txt>...                           run the pipeline
+//! thor evaluate --gold gold.tsv --pred pred.tsv      SemEval partial-match scores
+//! thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR
+//!                                                    write dataset artifacts
+//! ```
+//!
+//! Annotation TSV format: `doc_id<TAB>concept<TAB>phrase`, one per line.
+//! Vector file format: word2vec-style text (`thor generate` writes one).
+//! When `enrich` gets no `--vectors`, vectors are trained on the input
+//! documents with the built-in SGNS trainer.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use thor_repro::core::{Document, Thor, ThorConfig};
+use thor_repro::data::csv::{from_csv, to_csv};
+use thor_repro::data::{full_disjunction, sparsity, Table};
+use thor_repro::datagen::{corpus_stats, generate, DatasetSpec, Split};
+use thor_repro::embed::{SgnsConfig, SgnsTrainer, VectorStore};
+use thor_repro::eval::{evaluate, schema_scores, Annotation};
+use thor_repro::text::{normalize_phrase, split_sentences};
+
+/// Parsed command line: positional args plus `--key value` options
+/// (`--flag` with no value stores an empty string).
+#[derive(Debug, Default, PartialEq)]
+struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+}
+
+fn parse_args(argv: &[String]) -> Args {
+    let mut args = Args::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = argv
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_default();
+            if !value.is_empty() {
+                i += 1;
+            }
+            args.options.insert(key.to_string(), value);
+        } else {
+            args.positional.push(a.clone());
+        }
+        i += 1;
+    }
+    args
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  thor integrate <src.csv>... [--out R.csv]\n  thor sparsity <table.csv>\n  \
+         thor enrich --table R.csv [--tau 0.7] [--vectors v.txt] [--context-gate G] \
+         [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
+         thor evaluate --gold gold.tsv --pred pred.tsv\n  \
+         thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR"
+    );
+    ExitCode::FAILURE
+}
+
+fn read_table(path: &str) -> Result<Table, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    from_csv(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn read_annotations(path: &str) -> Result<Vec<Annotation>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        let (Some(doc), Some(concept), Some(phrase)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("{path}:{}: expected doc<TAB>concept<TAB>phrase", i + 1));
+        };
+        out.push(Annotation::new(doc, concept, phrase));
+    }
+    Ok(out)
+}
+
+fn cmd_integrate(args: &Args) -> Result<(), String> {
+    if args.positional.is_empty() {
+        return Err("integrate needs at least one source CSV".into());
+    }
+    let sources: Result<Vec<Table>, String> =
+        args.positional.iter().map(|p| read_table(p)).collect();
+    let sources = sources?;
+    let refs: Vec<&Table> = sources.iter().collect();
+    let integrated = full_disjunction(&refs);
+    let report = sparsity(&integrated);
+    eprintln!(
+        "integrated {} sources -> {} rows, {} instances, sparsity {:.1}%",
+        sources.len(),
+        integrated.len(),
+        integrated.instance_count(),
+        report.ratio * 100.0
+    );
+    let csv = to_csv(&integrated);
+    match args.options.get("out") {
+        Some(path) => fs::write(path, csv).map_err(|e| e.to_string())?,
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn cmd_sparsity(args: &Args) -> Result<(), String> {
+    let path = args.positional.first().ok_or("sparsity needs a table CSV")?;
+    let table = read_table(path)?;
+    let report = sparsity(&table);
+    println!(
+        "rows: {}  instances: {}  slots: {}  missing: {} ({:.1}%)",
+        table.len(),
+        table.instance_count(),
+        report.total_slots,
+        report.missing_slots,
+        report.ratio * 100.0
+    );
+    for (concept, missing, total) in &report.per_concept {
+        println!("  {concept:<24} {missing:>5} / {total} missing");
+    }
+    Ok(())
+}
+
+fn cmd_enrich(args: &Args) -> Result<(), String> {
+    let table_path = args.options.get("table").ok_or("enrich needs --table")?;
+    let table = read_table(table_path)?;
+    let tau: f64 = args
+        .options
+        .get("tau")
+        .map(|s| s.parse().map_err(|_| "bad --tau"))
+        .transpose()?
+        .unwrap_or(0.7);
+    if args.positional.is_empty() {
+        return Err("enrich needs at least one document file".into());
+    }
+    let docs: Result<Vec<Document>, String> = args
+        .positional
+        .iter()
+        .map(|p| {
+            // Document ids are the file stem, matching `thor generate`'s
+            // gold TSVs.
+            let id = Path::new(p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.clone());
+            fs::read_to_string(p)
+                .map(|text| Document::new(id, text))
+                .map_err(|e| format!("{p}: {e}"))
+        })
+        .collect();
+    let docs = docs?;
+
+    let store = match args.options.get("vectors") {
+        Some(path) => {
+            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            VectorStore::from_text(&text)?
+        }
+        None => {
+            eprintln!("no --vectors given; training SGNS on the input documents...");
+            let mut corpus = Vec::new();
+            for d in &docs {
+                for s in split_sentences(&d.text) {
+                    let words: Vec<String> = normalize_phrase(&s.text)
+                        .split_whitespace()
+                        .map(str::to_string)
+                        .collect();
+                    if words.len() > 2 {
+                        corpus.push(words);
+                    }
+                }
+            }
+            SgnsTrainer::new(SgnsConfig::default()).train(&corpus)
+        }
+    };
+
+    let mut config = ThorConfig::with_tau(tau);
+    if let Some(g) = args.options.get("context-gate") {
+        config.context_gate = Some(g.parse().map_err(|_| "bad --context-gate")?);
+    }
+    let thor = Thor::new(store, config);
+    let result = thor.enrich(&table, &docs);
+    eprintln!(
+        "extracted {} entities, filled {} slots ({} duplicates) in {:?}",
+        result.entities.len(),
+        result.slot_stats.inserted,
+        result.slot_stats.duplicates,
+        result.total_time()
+    );
+
+    if let Some(path) = args.options.get("entities") {
+        let mut tsv = String::new();
+        for e in &result.entities {
+            tsv.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{:.3}\n",
+                e.doc_id, e.concept, e.phrase, e.subject, e.score
+            ));
+        }
+        fs::write(path, tsv).map_err(|e| e.to_string())?;
+    }
+    let csv = to_csv(&result.table);
+    match args.options.get("out") {
+        Some(path) => fs::write(path, csv).map_err(|e| e.to_string())?,
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let gold = read_annotations(args.options.get("gold").ok_or("evaluate needs --gold")?)?;
+    let pred = read_annotations(args.options.get("pred").ok_or("evaluate needs --pred")?)?;
+    let r = evaluate(&pred, &gold);
+    println!(
+        "gold: {}  predicted: {}\ncorrect: {}  partial: {}  incorrect: {}  spurious: {}  missing: {}",
+        r.gold_total, r.predicted_total, r.correct, r.partial, r.incorrect, r.spurious, r.missing
+    );
+    println!("P: {:.3}  R: {:.3}  F1: {:.3}  sensitivity: {:.3}", r.precision, r.recall, r.f1, r.sensitivity);
+    let s = schema_scores(&pred, &gold);
+    println!(
+        "schemas  strict {:.3}  exact {:.3}  partial {:.3}  ent_type {:.3}  (F1)",
+        s.strict.f1, s.exact.f1, s.partial.f1, s.ent_type.f1
+    );
+    for c in &r.per_concept {
+        println!(
+            "  {:<24} gold {:>4}  pred {:>4}  tp {:>4}  F1 {:.3}",
+            c.concept, c.gold, c.predicted, c.tp, c.f1
+        );
+    }
+    Ok(())
+}
+
+fn write_split(dir: &Path, name: &str, docs: &[thor_repro::datagen::AnnotatedDoc]) -> Result<(), String> {
+    let doc_dir = dir.join("docs").join(name);
+    fs::create_dir_all(&doc_dir).map_err(|e| e.to_string())?;
+    let mut gold = String::new();
+    for d in docs {
+        fs::write(doc_dir.join(format!("{}.txt", d.doc.id)), &d.doc.text)
+            .map_err(|e| e.to_string())?;
+        for g in &d.gold {
+            gold.push_str(&format!("{}\t{}\t{}\n", d.doc.id, g.concept, g.phrase));
+        }
+    }
+    fs::create_dir_all(dir.join("gold")).map_err(|e| e.to_string())?;
+    fs::write(dir.join("gold").join(format!("{name}.tsv")), gold).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let dataset_name = args.options.get("dataset").map(String::as_str).unwrap_or("disease");
+    let scale: f64 = args
+        .options
+        .get("scale")
+        .map(|s| s.parse().map_err(|_| "bad --scale"))
+        .transpose()?
+        .unwrap_or(0.25);
+    let seed: u64 = args
+        .options
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(42);
+    let out = PathBuf::from(args.options.get("out").ok_or("generate needs --out DIR")?);
+
+    let spec = match dataset_name {
+        "disease" => DatasetSpec::disease_az(seed, scale),
+        "resume" => DatasetSpec::resume(seed, scale),
+        other => return Err(format!("unknown dataset `{other}` (disease|resume)")),
+    };
+    let dataset = generate(&spec);
+
+    fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+    fs::write(out.join("table.csv"), to_csv(&dataset.table)).map_err(|e| e.to_string())?;
+    fs::write(out.join("enrichment_table.csv"), to_csv(&dataset.enrichment_table()))
+        .map_err(|e| e.to_string())?;
+    fs::write(out.join("gold_test_table.csv"), to_csv(&dataset.gold_test_table()))
+        .map_err(|e| e.to_string())?;
+    fs::write(out.join("vectors.txt"), dataset.store.to_text()).map_err(|e| e.to_string())?;
+    let src_dir = out.join("sources");
+    fs::create_dir_all(&src_dir).map_err(|e| e.to_string())?;
+    for (i, s) in dataset.sources.iter().enumerate() {
+        fs::write(src_dir.join(format!("source_{i:02}.csv")), to_csv(s))
+            .map_err(|e| e.to_string())?;
+    }
+    write_split(&out, "train", &dataset.train)?;
+    write_split(&out, "validation", &dataset.validation)?;
+    write_split(&out, "test", &dataset.test)?;
+
+    for (name, docs) in [
+        ("train", &dataset.train),
+        ("validation", &dataset.validation),
+        ("test", &dataset.test),
+    ] {
+        let s = corpus_stats(docs);
+        eprintln!(
+            "{name:<11} subjects {:>4}  docs {:>5}  entities {:>6}  words {:>7}",
+            s.subjects, s.documents, s.entities, s.words
+        );
+    }
+    let _ = Split::Test; // re-exported for users of the artifacts
+    eprintln!("artifacts written to {}", out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        return usage();
+    };
+    let args = parse_args(rest);
+    let result = match command.as_str() {
+        "integrate" => cmd_integrate(&args),
+        "sparsity" => cmd_sparsity(&args),
+        "enrich" => cmd_enrich(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "generate" => cmd_generate(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_positional_and_options() {
+        let a = parse_args(&argv(&["a.csv", "--out", "r.csv", "b.csv", "--flag"]));
+        assert_eq!(a.positional, ["a.csv", "b.csv"]);
+        assert_eq!(a.options.get("out").unwrap(), "r.csv");
+        assert_eq!(a.options.get("flag").unwrap(), "");
+    }
+
+    #[test]
+    fn option_followed_by_option_takes_no_value() {
+        let a = parse_args(&argv(&["--gate", "--out", "x"]));
+        assert_eq!(a.options.get("gate").unwrap(), "");
+        assert_eq!(a.options.get("out").unwrap(), "x");
+    }
+
+    #[test]
+    fn empty_args() {
+        let a = parse_args(&[]);
+        assert!(a.positional.is_empty());
+        assert!(a.options.is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Integration tests for the dataset generator: determinism, structural
+//! invariants, and the properties the evaluation design depends on.
+
+use thor_datagen::{bio_tags, corpus_stats, generate, Bio, DatasetSpec};
+
+#[test]
+fn generation_is_deterministic_across_calls() {
+    let a = generate(&DatasetSpec::disease_az(123, 0.05));
+    let b = generate(&DatasetSpec::disease_az(123, 0.05));
+    assert_eq!(a.test.len(), b.test.len());
+    for (da, db) in a.test.iter().zip(&b.test) {
+        assert_eq!(da.doc.text, db.doc.text);
+        assert_eq!(da.gold.len(), db.gold.len());
+    }
+    assert_eq!(
+        thor_data::csv::to_csv(&a.table),
+        thor_data::csv::to_csv(&b.table),
+        "integrated tables must be byte-identical"
+    );
+}
+
+#[test]
+fn splits_are_subject_disjoint() {
+    let d = generate(&DatasetSpec::disease_az(5, 0.1));
+    let subjects = |docs: &[thor_datagen::AnnotatedDoc]| {
+        docs.iter()
+            .flat_map(|d| d.subjects.iter().cloned())
+            .collect::<std::collections::BTreeSet<String>>()
+    };
+    let train = subjects(&d.train);
+    let val = subjects(&d.validation);
+    let test = subjects(&d.test);
+    assert!(train.is_disjoint(&val), "train/val share subjects");
+    assert!(train.is_disjoint(&test), "train/test share subjects");
+    assert!(val.is_disjoint(&test), "val/test share subjects");
+}
+
+#[test]
+fn every_gold_phrase_is_locatable_in_its_document() {
+    let d = generate(&DatasetSpec::disease_az(7, 0.05));
+    for doc in d.test.iter().chain(d.train.iter().take(10)) {
+        for g in &doc.gold {
+            assert!(
+                doc.doc.text.contains(&g.phrase),
+                "gold `{}` not in doc `{}`",
+                g.phrase,
+                doc.doc.id
+            );
+        }
+    }
+}
+
+#[test]
+fn gold_annotations_project_to_bio() {
+    let d = generate(&DatasetSpec::disease_az(9, 0.05));
+    let doc = &d.test[0];
+    let tagged = bio_tags(doc);
+    let b_count: usize = tagged
+        .iter()
+        .flatten()
+        .filter(|(_, l)| matches!(l, Bio::B(_)))
+        .count();
+    // Each distinct gold phrase of the doc should anchor at least one
+    // B- token (duplicates share spans).
+    let distinct: std::collections::BTreeSet<&str> =
+        doc.gold.iter().map(|g| g.phrase.as_str()).collect();
+    assert!(
+        b_count >= distinct.len() / 2,
+        "too few projected spans: {b_count} vs {} distinct phrases",
+        distinct.len()
+    );
+}
+
+#[test]
+fn enrichment_table_contains_train_knowledge_and_stripped_test_rows() {
+    let d = generate(&DatasetSpec::disease_az(11, 0.05));
+    let et = d.enrichment_table();
+    // Same instances as R plus only subject values for test rows.
+    let extra_rows: usize = d.test.iter().flat_map(|t| t.subjects.iter()).collect::<std::collections::BTreeSet<_>>().len();
+    assert_eq!(et.len(), d.table.len() + extra_rows);
+    assert_eq!(et.instance_count(), d.table.instance_count() + extra_rows);
+}
+
+#[test]
+fn gold_test_table_matches_annotations() {
+    let d = generate(&DatasetSpec::disease_az(13, 0.05));
+    let gold_table = d.gold_test_table();
+    for doc in &d.test {
+        for g in &doc.gold {
+            if d.schema.index_of(&g.concept) == Some(d.schema.subject_index()) {
+                continue;
+            }
+            let row = gold_table.get_row(&g.subject).expect("subject row");
+            let ci = gold_table.schema().index_of(&g.concept).expect("concept");
+            assert!(
+                row.cell(ci).contains(&g.phrase),
+                "gold ({}, {}, {}) missing from gold test table",
+                g.subject,
+                g.concept,
+                g.phrase
+            );
+        }
+    }
+}
+
+#[test]
+fn resume_documents_bundle_five_subjects() {
+    let d = generate(&DatasetSpec::resume(3, 0.5));
+    let full: usize = d.test.iter().filter(|doc| doc.subjects.len() == 5).count();
+    assert!(full >= d.test.len() - 1, "all but possibly the last doc hold 5 CVs");
+}
+
+#[test]
+fn full_scale_statistics_match_table_iii_band() {
+    // Structural check at scale 1.0 (counts, not timings).
+    let spec = DatasetSpec::disease_az(42, 1.0);
+    let d = generate(&spec);
+    let test = corpus_stats(&d.test);
+    assert_eq!(test.subjects, 13);
+    assert_eq!(test.documents, 78);
+    // The paper's test split has 2,222 entities over 90 documents; ours
+    // lands in the same order of magnitude.
+    assert!(test.entities > 800 && test.entities < 4000, "entities {}", test.entities);
+    let train = corpus_stats(&d.train);
+    assert_eq!(train.subjects, 240);
+    assert!(train.words > 50_000, "train words {}", train.words);
+}
+
+#[test]
+fn novel_test_instances_are_absent_from_table() {
+    let d = generate(&DatasetSpec::disease_az(17, 0.1));
+    let mut novel = 0usize;
+    let mut total = 0usize;
+    for doc in &d.test {
+        for g in &doc.gold {
+            if d.schema.index_of(&g.concept) == Some(d.schema.subject_index()) {
+                continue;
+            }
+            total += 1;
+            let known = d
+                .table
+                .column_values(&g.concept)
+                .iter()
+                .any(|v| v.eq_ignore_ascii_case(&g.phrase));
+            if !known {
+                novel += 1;
+            }
+        }
+    }
+    let ratio = novel as f64 / total.max(1) as f64;
+    assert!(
+        ratio > 0.5,
+        "most test gold should be unknown to the table (got {ratio:.2})"
+    );
+}
