@@ -56,7 +56,13 @@ impl AhoCorasickBuilder {
 
     /// Construct the automaton.
     pub fn build(&self) -> AhoCorasick {
-        let fold = |b: u8| if self.case_insensitive { b.to_ascii_lowercase() } else { b };
+        let fold = |b: u8| {
+            if self.case_insensitive {
+                b.to_ascii_lowercase()
+            } else {
+                b
+            }
+        };
 
         // ---- goto (trie) ----
         let mut nodes: Vec<Node> = vec![Node::default()];
@@ -79,8 +85,7 @@ impl AhoCorasickBuilder {
 
         // ---- failure links (BFS) ----
         let mut queue = VecDeque::new();
-        let root_children: Vec<(u8, usize)> =
-            nodes[0].next.iter().map(|(&b, &s)| (b, s)).collect();
+        let root_children: Vec<(u8, usize)> = nodes[0].next.iter().map(|(&b, &s)| (b, s)).collect();
         for (_, s) in root_children {
             nodes[s].fail = 0;
             queue.push_back(s);
@@ -100,7 +105,12 @@ impl AhoCorasickBuilder {
                         }
                     }
                     if f == 0 {
-                        nodes[child].fail = nodes[0].next.get(&b).copied().filter(|&t| t != child).unwrap_or(0);
+                        nodes[child].fail = nodes[0]
+                            .next
+                            .get(&b)
+                            .copied()
+                            .filter(|&t| t != child)
+                            .unwrap_or(0);
                         break;
                     }
                     f = nodes[f].fail;
@@ -145,7 +155,13 @@ impl AhoCorasick {
     /// order of their end position.
     pub fn find_all(&self, haystack: impl AsRef<[u8]>) -> Vec<Match> {
         let haystack = haystack.as_ref();
-        let fold = |b: u8| if self.case_insensitive { b.to_ascii_lowercase() } else { b };
+        let fold = |b: u8| {
+            if self.case_insensitive {
+                b.to_ascii_lowercase()
+            } else {
+                b
+            }
+        };
         let mut matches = Vec::new();
         let mut state = 0usize;
         for (i, &byte) in haystack.iter().enumerate() {
@@ -162,7 +178,11 @@ impl AhoCorasick {
             }
             for &pid in &self.nodes[state].outputs {
                 let len = self.pattern_lengths[pid];
-                matches.push(Match { pattern: pid, start: i + 1 - len, end: i + 1 });
+                matches.push(Match {
+                    pattern: pid,
+                    start: i + 1 - len,
+                    end: i + 1,
+                });
             }
         }
         matches
@@ -209,7 +229,11 @@ mod tests {
                     continue;
                 }
                 if i + pb.len() <= hb.len() && &hb[i..i + pb.len()] == pb {
-                    out.push(Match { pattern: pid, start: i, end: i + pb.len() });
+                    out.push(Match {
+                        pattern: pid,
+                        start: i,
+                        end: i + pb.len(),
+                    });
                 }
             }
         }

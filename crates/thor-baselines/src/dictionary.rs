@@ -40,7 +40,10 @@ impl DictionaryBaseline {
                 patterns.push((concept.name().to_string(), instance));
             }
         }
-        Self { automaton: builder.build(), patterns }
+        Self {
+            automaton: builder.build(),
+            patterns,
+        }
     }
 
     /// Number of dictionary patterns.
@@ -89,7 +92,10 @@ mod tests {
     use thor_data::Schema;
 
     fn table() -> Table {
-        let mut t = Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let mut t = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         t.fill_slot("Tuberculosis", "Anatomy", "lungs");
         t.fill_slot("Tuberculosis", "Complication", "empyema");
         t.fill_slot("Acne", "Anatomy", "skin");
@@ -99,12 +105,18 @@ mod tests {
     #[test]
     fn finds_exact_instances() {
         let b = DictionaryBaseline::from_table(&table());
-        let docs = vec![Document::new("d", "Tuberculosis damages the lungs and causes empyema.")];
+        let docs = vec![Document::new(
+            "d",
+            "Tuberculosis damages the lungs and causes empyema.",
+        )];
         let found = b.extract(&table(), &docs);
         let phrases: Vec<&str> = found.iter().map(|e| e.phrase.as_str()).collect();
         assert!(phrases.contains(&"lungs"));
         assert!(phrases.contains(&"empyema"));
-        assert!(phrases.contains(&"tuberculosis"), "subject instances matched too");
+        assert!(
+            phrases.contains(&"tuberculosis"),
+            "subject instances matched too"
+        );
     }
 
     #[test]

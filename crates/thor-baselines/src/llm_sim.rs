@@ -148,7 +148,10 @@ pub struct SimulatedLlm {
 impl SimulatedLlm {
     /// Create a simulator over the annotated corpus.
     pub fn new(profile: LlmProfile, corpus: &[AnnotatedDoc]) -> Self {
-        let gold = corpus.iter().map(|d| (d.doc.id.clone(), d.clone())).collect();
+        let gold = corpus
+            .iter()
+            .map(|d| (d.doc.id.clone(), d.clone()))
+            .collect();
         Self { profile, gold }
     }
 
@@ -166,8 +169,12 @@ impl Extractor for SimulatedLlm {
     fn extract(&self, table: &Table, docs: &[Document]) -> Vec<ExtractedEntity> {
         let p = &self.profile;
         let mut rng = StdRng::seed_from_u64(p.seed);
-        let concepts: Vec<String> =
-            table.schema().concepts().iter().map(|c| c.name().to_string()).collect();
+        let concepts: Vec<String> = table
+            .schema()
+            .concepts()
+            .iter()
+            .map(|c| c.name().to_string())
+            .collect();
         let mut out = Vec::new();
 
         for doc in docs {
@@ -189,14 +196,21 @@ impl Extractor for SimulatedLlm {
                 if !visible_text.contains(&needle) {
                     continue;
                 }
-                let recall =
-                    p.recall.get(&g.concept.to_lowercase()).copied().unwrap_or(p.default_recall);
+                let recall = p
+                    .recall
+                    .get(&g.concept.to_lowercase())
+                    .copied()
+                    .unwrap_or(p.default_recall);
                 if rng.random::<f64>() >= recall {
                     continue;
                 }
                 // Boundary noise: keep only the head (last) word.
                 let phrase = if rng.random::<f64>() < p.boundary_noise {
-                    g.phrase.split_whitespace().last().unwrap_or(&g.phrase).to_string()
+                    g.phrase
+                        .split_whitespace()
+                        .last()
+                        .unwrap_or(&g.phrase)
+                        .to_string()
                 } else {
                     g.phrase.clone()
                 };
@@ -269,7 +283,10 @@ mod tests {
     }
 
     fn table() -> Table {
-        let mut t = Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let mut t = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         t.row_for_subject("S");
         t
     }
@@ -348,7 +365,10 @@ mod tests {
         let docs: Vec<Document> = corpus.iter().map(|d| d.doc.clone()).collect();
         let run = |seed: u64| {
             let llm = SimulatedLlm::new(
-                LlmProfile { seed, ..LlmProfile::gpt4(seed) },
+                LlmProfile {
+                    seed,
+                    ..LlmProfile::gpt4(seed)
+                },
                 &corpus,
             );
             llm.extract(&table(), &docs).len()
@@ -378,7 +398,10 @@ mod tests {
         let found = llm.extract(&table(), &docs);
         assert_eq!(found.len(), 2);
         assert!(found.iter().any(|e| e.phrase.starts_with("halluc")));
-        let fabricated = found.iter().find(|e| e.phrase.starts_with("halluc")).unwrap();
+        let fabricated = found
+            .iter()
+            .find(|e| e.phrase.starts_with("halluc"))
+            .unwrap();
         assert!(!corpus[0].doc.text.contains(&fabricated.phrase));
     }
 

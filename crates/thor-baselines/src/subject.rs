@@ -8,8 +8,10 @@ use thor_text::{normalize_phrase, split_sentences, Sentence};
 /// before the first mention fall to the first subject (if any) so that
 /// no extraction is orphaned.
 pub fn attribute_sentences(text: &str, subjects: &[String]) -> Vec<(String, Sentence)> {
-    let keyed: Vec<(String, String)> =
-        subjects.iter().map(|s| (s.clone(), normalize_phrase(s))).collect();
+    let keyed: Vec<(String, String)> = subjects
+        .iter()
+        .map(|s| (s.clone(), normalize_phrase(s)))
+        .collect();
     let mut out = Vec::new();
     let mut current: Option<String> = None;
     for sentence in split_sentences(text) {

@@ -26,8 +26,8 @@ use rand::SeedableRng;
 use thor_automata::AhoCorasickBuilder;
 use thor_core::{Document, ExtractedEntity};
 use thor_data::Table;
-use thor_datagen::{bio_tags, AnnotatedDoc, Bio};
 use thor_datagen::annotate::GoldEntity;
+use thor_datagen::{bio_tags, AnnotatedDoc, Bio};
 use thor_text::shape::{prefix, suffix, word_shape};
 use thor_text::{normalize_phrase, tokenize};
 
@@ -45,7 +45,10 @@ pub struct TaggerConfig {
 
 impl Default for TaggerConfig {
     fn default() -> Self {
-        Self { epochs: 5, seed: 0xBADCAFE }
+        Self {
+            epochs: 5,
+            seed: 0xBADCAFE,
+        }
     }
 }
 
@@ -149,8 +152,10 @@ impl PerceptronTagger {
             .iter()
             .map(|sent| {
                 let words: Vec<String> = sent.iter().map(|(w, _)| w.clone()).collect();
-                let tags: Vec<usize> =
-                    sent.iter().map(|(_, b)| labels.intern(&label_name(b))).collect();
+                let tags: Vec<usize> = sent
+                    .iter()
+                    .map(|(_, b)| labels.intern(&label_name(b)))
+                    .collect();
                 (words, tags)
             })
             .collect();
@@ -185,8 +190,12 @@ impl PerceptronTagger {
                     let truth = gold[i];
                     if pred != truth {
                         for f in &feats {
-                            let ws = weights.entry(f.clone()).or_insert_with(|| vec![0.0; n_labels]);
-                            let ts = totals.entry(f.clone()).or_insert_with(|| vec![0.0; n_labels]);
+                            let ws = weights
+                                .entry(f.clone())
+                                .or_insert_with(|| vec![0.0; n_labels]);
+                            let ts = totals
+                                .entry(f.clone())
+                                .or_insert_with(|| vec![0.0; n_labels]);
                             let ss = stamps.entry(f.clone()).or_insert_with(|| vec![0; n_labels]);
                             for &(l, delta) in &[(truth, 1.0f64), (pred, -1.0)] {
                                 ts[l] += (step - ss[l]) as f64 * ws[l];
@@ -204,7 +213,9 @@ impl PerceptronTagger {
 
         // Average.
         for (f, ws) in &mut weights {
-            let ts = totals.entry(f.clone()).or_insert_with(|| vec![0.0; n_labels]);
+            let ts = totals
+                .entry(f.clone())
+                .or_insert_with(|| vec![0.0; n_labels]);
             let ss = stamps.entry(f.clone()).or_insert_with(|| vec![0; n_labels]);
             for l in 0..n_labels {
                 ts[l] += (step - ss[l]) as f64 * ws[l];
@@ -212,7 +223,11 @@ impl PerceptronTagger {
             }
         }
 
-        Self { name: name.to_string(), labels, weights }
+        Self {
+            name: name.to_string(),
+            labels,
+            weights,
+        }
     }
 
     /// Tag one tokenized sentence, returning label names.
@@ -344,8 +359,10 @@ impl Extractor for PerceptronTagger {
         let mut out = Vec::new();
         for doc in docs {
             for (subject, sentence) in attribute_sentences(&doc.text, &subjects) {
-                let words: Vec<String> =
-                    tokenize(&sentence.text).into_iter().map(|t| t.text).collect();
+                let words: Vec<String> = tokenize(&sentence.text)
+                    .into_iter()
+                    .map(|t| t.text)
+                    .collect();
                 if words.is_empty() {
                     continue;
                 }
@@ -399,18 +416,30 @@ mod tests {
 
     fn training_docs() -> Vec<AnnotatedDoc> {
         annotated(&[
-            ("The tumor damages the brainex badly.", &[("Anatomy", "brainex")]),
-            ("Patients develop cortonosis quickly.", &[("Complication", "cortonosis")]),
-            ("The nervexum hurts and shows cortonosis.", &[
-                ("Anatomy", "nervexum"),
-                ("Complication", "cortonosis"),
-            ]),
-            ("Doctors saw damage to the spinalex region.", &[("Anatomy", "spinalex")]),
-            ("Severe meningosis develops in rare cases.", &[("Complication", "meningosis")]),
-            ("The lungum and the heartex suffer most.", &[
-                ("Anatomy", "lungum"),
-                ("Anatomy", "heartex"),
-            ]),
+            (
+                "The tumor damages the brainex badly.",
+                &[("Anatomy", "brainex")],
+            ),
+            (
+                "Patients develop cortonosis quickly.",
+                &[("Complication", "cortonosis")],
+            ),
+            (
+                "The nervexum hurts and shows cortonosis.",
+                &[("Anatomy", "nervexum"), ("Complication", "cortonosis")],
+            ),
+            (
+                "Doctors saw damage to the spinalex region.",
+                &[("Anatomy", "spinalex")],
+            ),
+            (
+                "Severe meningosis develops in rare cases.",
+                &[("Complication", "meningosis")],
+            ),
+            (
+                "The lungum and the heartex suffer most.",
+                &[("Anatomy", "lungum"), ("Anatomy", "heartex")],
+            ),
         ])
     }
 
@@ -419,13 +448,18 @@ mod tests {
         let tagger =
             PerceptronTagger::train_gold("LM-Test", &training_docs(), &TaggerConfig::default());
         assert!(tagger.feature_count() > 0);
-        let table = Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let table = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         let mut t = table;
         t.row_for_subject("S");
         let docs = vec![Document::new("t", "The brainex shows cortonosis.")];
         let found = tagger.extract(&t, &docs);
         assert!(
-            found.iter().any(|e| e.phrase == "brainex" && e.concept.eq_ignore_ascii_case("anatomy")),
+            found
+                .iter()
+                .any(|e| e.phrase == "brainex" && e.concept.eq_ignore_ascii_case("anatomy")),
             "{found:?}"
         );
         assert!(found
@@ -438,9 +472,15 @@ mod tests {
         // Unseen word with a training-suffix: "-osis" ⇒ Complication.
         let tagger =
             PerceptronTagger::train_gold("LM-Test", &training_docs(), &TaggerConfig::default());
-        let mut t = Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let mut t = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         t.row_for_subject("S");
-        let docs = vec![Document::new("t", "Severe fibrosis develops in rare cases.")];
+        let docs = vec![Document::new(
+            "t",
+            "Severe fibrosis develops in rare cases.",
+        )];
         let found = tagger.extract(&t, &docs);
         // We only require that, IF the model fires on the unseen word, it
         // uses the suffix-consistent class. Firing at all is a bonus.
@@ -454,8 +494,10 @@ mod tests {
     #[test]
     fn decode_spans_handles_malformed_bio() {
         let words: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
-        let labels: Vec<String> =
-            ["I-x", "B-y", "I-z"].iter().map(|s| s.to_string()).collect();
+        let labels: Vec<String> = ["I-x", "B-y", "I-z"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let spans = PerceptronTagger::decode_spans(&words, &labels);
         assert_eq!(spans.len(), 3);
         assert_eq!(spans[0], ("x".to_string(), "a".to_string()));
@@ -463,20 +505,26 @@ mod tests {
 
     #[test]
     fn weak_projection_from_table() {
-        let mut table =
-            Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let mut table = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         table.fill_slot("S", "Anatomy", "brainex");
         table.fill_slot("S", "Complication", "cortonosis");
         let doc = Document::new("d", "The brainex shows cortonosis and more.");
         let weak = project_weak_labels(&table, &doc);
         assert_eq!(weak.len(), 2);
-        assert!(weak.iter().any(|g| g.phrase == "brainex" && g.concept == "Anatomy"));
+        assert!(weak
+            .iter()
+            .any(|g| g.phrase == "brainex" && g.concept == "Anatomy"));
     }
 
     #[test]
     fn weak_conflicts_resolve_to_majority_concept() {
-        let mut table =
-            Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let mut table = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         // "bloodex" in both concepts; Anatomy has more instances.
         table.fill_slot("S", "Anatomy", "bloodex");
         table.fill_slot("S", "Anatomy", "nervexum");
@@ -490,8 +538,10 @@ mod tests {
 
     #[test]
     fn weak_training_runs_end_to_end() {
-        let mut table =
-            Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let mut table = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         table.fill_slot("S", "Anatomy", "brainex");
         table.fill_slot("S", "Complication", "cortonosis");
         let docs = training_docs();

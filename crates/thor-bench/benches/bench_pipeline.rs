@@ -58,17 +58,29 @@ fn bench_sgns(c: &mut Criterion) {
     // A small SGNS training run (the embedding substrate's hot loop).
     let corpus: Vec<Vec<String>> = (0..100)
         .map(|i| {
-            (0..10).map(|j| format!("word{}", (i * 7 + j * 3) % 40)).collect::<Vec<String>>()
+            (0..10)
+                .map(|j| format!("word{}", (i * 7 + j * 3) % 40))
+                .collect::<Vec<String>>()
         })
         .collect();
     let mut g = c.benchmark_group("embed");
     g.sample_size(10);
     g.bench_function("sgns_train_small", |b| {
-        let config = SgnsConfig { dim: 16, epochs: 2, ..Default::default() };
+        let config = SgnsConfig {
+            dim: 16,
+            epochs: 2,
+            ..Default::default()
+        };
         b.iter(|| thor_embed::SgnsTrainer::new(config.clone()).train(black_box(&corpus)))
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_fine_tune, bench_match_phrase, bench_thor_tau, bench_sgns);
+criterion_group!(
+    benches,
+    bench_fine_tune,
+    bench_match_phrase,
+    bench_thor_tau,
+    bench_sgns
+);
 criterion_main!(benches);

@@ -16,14 +16,28 @@ const SENTENCE: &str =
 
 fn bench_text(c: &mut Criterion) {
     let mut g = c.benchmark_group("text");
-    g.bench_function("tokenize_sentence", |b| b.iter(|| tokenize(black_box(SENTENCE))));
+    g.bench_function("tokenize_sentence", |b| {
+        b.iter(|| tokenize(black_box(SENTENCE)))
+    });
     let doc = SENTENCE.repeat(50);
-    g.bench_function("split_sentences_50", |b| b.iter(|| split_sentences(black_box(&doc))));
+    g.bench_function("split_sentences_50", |b| {
+        b.iter(|| split_sentences(black_box(&doc)))
+    });
     g.bench_function("gestalt_short", |b| {
-        b.iter(|| gestalt_similarity(black_box("non-cancerous brain tumor"), black_box("skin cancer")))
+        b.iter(|| {
+            gestalt_similarity(
+                black_box("non-cancerous brain tumor"),
+                black_box("skin cancer"),
+            )
+        })
     });
     g.bench_function("jaccard_short", |b| {
-        b.iter(|| jaccard_words(black_box("non-cancerous brain tumor"), black_box("skin cancer")))
+        b.iter(|| {
+            jaccard_words(
+                black_box("non-cancerous brain tumor"),
+                black_box("skin cancer"),
+            )
+        })
     });
     g.bench_function("levenshtein_short", |b| {
         b.iter(|| levenshtein(black_box("unsteadiness"), black_box("uneasiness")))
@@ -46,8 +60,12 @@ fn bench_automata(c: &mut Criterion) {
     builder.add_pattern("brain tumor");
     let ac = builder.build();
     let haystack = SENTENCE.repeat(20);
-    g.bench_function("find_all_20_sentences", |b| b.iter(|| ac.find_all(black_box(&haystack))));
-    g.bench_function("find_words_20_sentences", |b| b.iter(|| ac.find_words(black_box(&haystack))));
+    g.bench_function("find_all_20_sentences", |b| {
+        b.iter(|| ac.find_all(black_box(&haystack)))
+    });
+    g.bench_function("find_words_20_sentences", |b| {
+        b.iter(|| ac.find_words(black_box(&haystack)))
+    });
     g.finish();
 }
 
@@ -56,7 +74,9 @@ fn bench_nlp(c: &mut Criterion) {
     let tagger = RuleTagger::default();
     let tokens = tokenize(SENTENCE);
     let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
-    g.bench_function("rule_tag_sentence", |b| b.iter(|| tagger.tag(black_box(&words))));
+    g.bench_function("rule_tag_sentence", |b| {
+        b.iter(|| tagger.tag(black_box(&words)))
+    });
     let tags = tagger.tag(&words);
     g.bench_function("dependency_parse", |b| {
         b.iter(|| parse_dependencies(black_box(&words), black_box(&tags)))
@@ -79,11 +99,17 @@ fn bench_eval_and_quant(c: &mut Criterion) {
     let preds: Vec<Annotation> = (0..300)
         .map(|i| {
             // Two thirds exact, one third shifted.
-            let p = if i % 3 == 0 { format!("phrase {}", i + 1) } else { format!("phrase {i}") };
+            let p = if i % 3 == 0 {
+                format!("phrase {}", i + 1)
+            } else {
+                format!("phrase {i}")
+            };
             Annotation::new(format!("d{}", i % 20), "concept", &p)
         })
         .collect();
-    g.bench_function("evaluate_300", |b| b.iter(|| evaluate(black_box(&preds), black_box(&gold))));
+    g.bench_function("evaluate_300", |b| {
+        b.iter(|| evaluate(black_box(&preds), black_box(&gold)))
+    });
     g.bench_function("schema_scores_300", |b| {
         b.iter(|| schema_scores(black_box(&preds), black_box(&gold)))
     });
@@ -96,7 +122,9 @@ fn bench_eval_and_quant(c: &mut Criterion) {
         .build()
         .into_store();
     let mut g = c.benchmark_group("quant");
-    g.bench_function("quantize_64x48", |b| b.iter(|| QuantizedStore::from_store(black_box(&store))));
+    g.bench_function("quantize_64x48", |b| {
+        b.iter(|| QuantizedStore::from_store(black_box(&store)))
+    });
     let q = QuantizedStore::from_store(&store);
     g.bench_function("dequantize_64x48", |b| b.iter(|| q.to_store()));
     g.finish();
@@ -108,12 +136,17 @@ fn bench_integration(c: &mut Criterion) {
         let schema = Schema::new(vec!["Subject".to_string(), concept.to_string()], "Subject");
         let mut t = Table::new(schema);
         for i in 0..200 {
-            t.fill_slot(&format!("subject{}", (i + offset) % 300), concept, &format!("value{i}"));
+            t.fill_slot(
+                &format!("subject{}", (i + offset) % 300),
+                concept,
+                &format!("value{i}"),
+            );
         }
         t
     };
-    let sources: Vec<Table> =
-        (0..8).map(|i| make_source(&format!("Concept{i}"), i * 37)).collect();
+    let sources: Vec<Table> = (0..8)
+        .map(|i| make_source(&format!("Concept{i}"), i * 37))
+        .collect();
     g.bench_function("full_disjunction_8x200", |b| {
         b.iter_batched(
             || sources.iter().collect::<Vec<&Table>>(),

@@ -16,13 +16,62 @@ fn main() {
     println!("[Ablation] refinement score components, Disease A-Z, tau=0.7, scale={scale}\n");
 
     let variants: Vec<(&str, ScoreWeights)> = vec![
-        ("semantic+word+char (paper)", ScoreWeights { semantic: 1.0, word: 1.0, char: 1.0 }),
-        ("semantic only", ScoreWeights { semantic: 1.0, word: 0.0, char: 0.0 }),
-        ("word only", ScoreWeights { semantic: 0.0, word: 1.0, char: 0.0 }),
-        ("char only", ScoreWeights { semantic: 0.0, word: 0.0, char: 1.0 }),
-        ("no semantic", ScoreWeights { semantic: 0.0, word: 1.0, char: 1.0 }),
-        ("no word", ScoreWeights { semantic: 1.0, word: 0.0, char: 1.0 }),
-        ("no char", ScoreWeights { semantic: 1.0, word: 1.0, char: 0.0 }),
+        (
+            "semantic+word+char (paper)",
+            ScoreWeights {
+                semantic: 1.0,
+                word: 1.0,
+                char: 1.0,
+            },
+        ),
+        (
+            "semantic only",
+            ScoreWeights {
+                semantic: 1.0,
+                word: 0.0,
+                char: 0.0,
+            },
+        ),
+        (
+            "word only",
+            ScoreWeights {
+                semantic: 0.0,
+                word: 1.0,
+                char: 0.0,
+            },
+        ),
+        (
+            "char only",
+            ScoreWeights {
+                semantic: 0.0,
+                word: 0.0,
+                char: 1.0,
+            },
+        ),
+        (
+            "no semantic",
+            ScoreWeights {
+                semantic: 0.0,
+                word: 1.0,
+                char: 1.0,
+            },
+        ),
+        (
+            "no word",
+            ScoreWeights {
+                semantic: 1.0,
+                word: 0.0,
+                char: 1.0,
+            },
+        ),
+        (
+            "no char",
+            ScoreWeights {
+                semantic: 1.0,
+                word: 1.0,
+                char: 0.0,
+            },
+        ),
     ];
 
     let mut table = TextTable::new(&["Scoring", "P", "R", "F1"]);

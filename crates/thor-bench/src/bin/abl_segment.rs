@@ -16,7 +16,10 @@ fn main() {
     println!("[Ablation] segmentation modes, Disease A-Z, tau=0.7, scale={scale}\n");
 
     let modes = [
-        ("mention + carry-forward (paper)", SegmentationMode::MentionCarryForward),
+        (
+            "mention + carry-forward (paper)",
+            SegmentationMode::MentionCarryForward,
+        ),
         ("mention only", SegmentationMode::MentionOnly),
         ("semantic only", SegmentationMode::SemanticOnly),
     ];

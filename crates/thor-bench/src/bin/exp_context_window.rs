@@ -24,8 +24,12 @@ fn main() {
     let mut spec = DatasetSpec::resume(seed, scale.max(0.5));
     spec.subjects_per_doc = 25; // ~2.6k words per document
     let dataset = generate(&spec);
-    let words_per_doc =
-        dataset.test.iter().map(|d| d.doc.word_count()).max().unwrap_or(0);
+    let words_per_doc = dataset
+        .test
+        .iter()
+        .map(|d| d.doc.word_count())
+        .max()
+        .unwrap_or(0);
     println!("[Supplementary] context-window effect; longest test doc: {words_per_doc} words\n");
 
     // Gold entities bucketed by first-occurrence word offset.
@@ -55,7 +59,9 @@ fn main() {
             gold.push(ann);
         }
     }
-    gold.sort_by(|a, b| (&a.doc_id, &a.concept, &a.phrase).cmp(&(&b.doc_id, &b.concept, &b.phrase)));
+    gold.sort_by(|a, b| {
+        (&a.doc_id, &a.concept, &a.phrase).cmp(&(&b.doc_id, &b.concept, &b.phrase))
+    });
     gold.dedup();
 
     let systems = [System::UniNer, System::Gpt4, System::Thor(0.8)];
@@ -91,7 +97,12 @@ fn main() {
                 format!("{:.2}", hit.get(b).copied().unwrap_or(0) as f64 / t as f64)
             }
         };
-        table.row(vec![out.system, recall("0-1k"), recall("1k-2k"), recall("2k+")]);
+        table.row(vec![
+            out.system,
+            recall("0-1k"),
+            recall("1k-2k"),
+            recall("2k+"),
+        ]);
     }
     println!("{}", table.render());
     println!("Expected shape: the 2,048-token UniNER profile loses everything past its");

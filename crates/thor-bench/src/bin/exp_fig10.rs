@@ -12,12 +12,14 @@ fn main() {
     let dataset = resume_dataset(seed_from_env(), scale);
     println!("[Fig. 10 reproduction] per-concept F1, Résumé, scale={scale}\n");
 
-    let systems = [System::Thor(0.8),
+    let systems = [
+        System::Thor(0.8),
         System::Baseline,
         System::LmSd,
         System::Gpt4,
         System::UniNer,
-        System::LmHuman(usize::MAX)];
+        System::LmHuman(usize::MAX),
+    ];
     let outcomes: Vec<_> = systems.iter().map(|s| run_system(s, &dataset)).collect();
 
     let mut header: Vec<String> = vec!["Concept".into()];
@@ -26,8 +28,12 @@ fn main() {
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut table = TextTable::new(&header_refs);
 
-    let concepts: Vec<String> =
-        dataset.schema.concepts().iter().map(|c| c.name().to_lowercase()).collect();
+    let concepts: Vec<String> = dataset
+        .schema
+        .concepts()
+        .iter()
+        .map(|c| c.name().to_lowercase())
+        .collect();
     let mut thor_wins = 0usize;
     for concept in &concepts {
         let mut row = vec![concept.clone()];

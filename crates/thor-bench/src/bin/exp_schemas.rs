@@ -31,8 +31,7 @@ fn main() {
         System::LmHuman(usize::MAX),
     ];
 
-    let mut table =
-        TextTable::new(&["Model", "strict", "exact", "partial", "ent_type"]);
+    let mut table = TextTable::new(&["Model", "strict", "exact", "partial", "ent_type"]);
     for system in &systems {
         let out = run_system(system, &dataset);
         let s = schema_scores(&to_annotations(&out.predictions), &gold);

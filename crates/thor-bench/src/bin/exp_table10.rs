@@ -77,14 +77,21 @@ fn main() {
     println!("{}", table.render());
 
     if curve {
-        println!("[Fig. 8] annotation time (s, per annotator) vs F1; THOR reference = {:.2} at 0s:", thor.report.f1);
+        println!(
+            "[Fig. 8] annotation time (s, per annotator) vs F1; THOR reference = {:.2} at 0s:",
+            thor.report.f1
+        );
         let mut t = TextTable::new(&["Model", "Annotation Time(s)", "F1", "Beats THOR?"]);
         for (label, secs, f1) in &fig8 {
             t.row(vec![
                 label.clone(),
                 format!("{secs:.0}"),
                 format!("{f1:.2}"),
-                if *f1 > thor.report.f1 { "yes".into() } else { "no".into() },
+                if *f1 > thor.report.f1 {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]);
         }
         println!("{}", t.render());

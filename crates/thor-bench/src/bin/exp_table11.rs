@@ -63,7 +63,12 @@ fn main() {
         println!("[Fig. 9] TP / FP / FN bars:");
         let mut t = TextTable::new(&["Model", "TP", "FP", "FN"]);
         for (name, tp, fp, fn_) in &bar_rows {
-            t.row(vec![name.clone(), tp.to_string(), fp.to_string(), fn_.to_string()]);
+            t.row(vec![
+                name.clone(),
+                tp.to_string(),
+                fp.to_string(),
+                fn_.to_string(),
+            ]);
         }
         println!("{}", t.render());
     }

@@ -29,8 +29,7 @@ fn main() {
         System::LmHuman(usize::MAX),
     ];
 
-    let mut table =
-        TextTable::new(&["Model Name", "Predicted", "Correct (TP)", "Incorrect (FP)"]);
+    let mut table = TextTable::new(&["Model Name", "Predicted", "Correct (TP)", "Incorrect (FP)"]);
     let mut bar_rows: Vec<(String, usize, usize, usize)> = Vec::new();
     for system in &systems {
         let out = run_system(system, &dataset);
@@ -48,7 +47,12 @@ fn main() {
         println!("[Fig. 7] TP / FP / FN bars:");
         let mut t = TextTable::new(&["Model", "TP", "FP", "FN"]);
         for (name, tp, fp, fn_) in &bar_rows {
-            t.row(vec![name.clone(), tp.to_string(), fp.to_string(), fn_.to_string()]);
+            t.row(vec![
+                name.clone(),
+                tp.to_string(),
+                fp.to_string(),
+                fn_.to_string(),
+            ]);
         }
         println!("{}", t.render());
     }

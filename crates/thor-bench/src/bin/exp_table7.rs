@@ -22,12 +22,14 @@ fn main() {
     let dataset = disease_dataset(seed_from_env(), scale);
     println!("[Table VII reproduction] per-concept Pred/TP/FN, Disease A-Z, scale={scale}\n");
 
-    let systems = [System::Baseline,
+    let systems = [
+        System::Baseline,
         System::UniNer,
         System::Gpt4,
         System::LmHuman(usize::MAX),
         System::LmSd,
-        System::Thor(0.8)];
+        System::Thor(0.8),
+    ];
     let outcomes: Vec<_> = systems.iter().map(|s| run_system(s, &dataset)).collect();
     let concepts: Vec<String> = dataset
         .schema

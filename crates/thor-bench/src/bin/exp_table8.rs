@@ -11,12 +11,14 @@ fn main() {
     let dataset = disease_dataset(seed_from_env(), scale);
     println!("[Table VIII reproduction] per-concept sensitivity, Disease A-Z, scale={scale}\n");
 
-    let systems = [System::Baseline,
+    let systems = [
+        System::Baseline,
         System::UniNer,
         System::Gpt4,
         System::LmHuman(usize::MAX),
         System::LmSd,
-        System::Thor(0.8)];
+        System::Thor(0.8),
+    ];
     let outcomes: Vec<_> = systems.iter().map(|s| run_system(s, &dataset)).collect();
 
     let mut header: Vec<&str> = vec!["Concept"];
@@ -24,8 +26,12 @@ fn main() {
     header.extend(names.iter().map(String::as_str));
     let mut table = TextTable::new(&header);
 
-    let concepts: Vec<String> =
-        dataset.schema.concepts().iter().map(|c| c.name().to_lowercase()).collect();
+    let concepts: Vec<String> = dataset
+        .schema
+        .concepts()
+        .iter()
+        .map(|c| c.name().to_lowercase())
+        .collect();
     for concept in &concepts {
         let mut row = vec![concept.clone()];
         for o in &outcomes {

@@ -36,11 +36,19 @@ fn main() {
     let total = model.estimate(train);
 
     let fmt_min = |s: f64| format!("{:.0}m", s / 60.0);
-    let mut t = TextTable::new(&["Single Disease", "Single Doc.", "Single Token", "Total Duration"]);
+    let mut t = TextTable::new(&[
+        "Single Disease",
+        "Single Doc.",
+        "Single Token",
+        "Total Duration",
+    ]);
     t.row(vec![
         format!("{} – {}", fmt_min(subj_min), fmt_min(subj_max)),
         format!("{} – {}", fmt_min(doc_min), fmt_min(doc_max)),
-        format!("{}s – {}s", model.min_sec_per_token, model.max_sec_per_token),
+        format!(
+            "{}s – {}s",
+            model.min_sec_per_token, model.max_sec_per_token
+        ),
         format!("{:.0}+ Hours", total.max_hours()),
     ]);
     println!("{}", t.render());

@@ -8,16 +8,60 @@ use thor_baselines::{
 use thor_core::{ExtractedEntity, Thor, ThorConfig};
 use thor_datagen::{generate, DatasetSpec, GeneratedDataset, Split};
 use thor_eval::{evaluate, Annotation, EvalReport};
+use thor_obs::{Json, PipelineMetrics};
 
 /// Corpus scale from `THOR_SCALE` (default 0.25 — seconds, not minutes;
 /// 1.0 reproduces the paper-sized corpora).
 pub fn scale_from_env() -> f64 {
-    std::env::var("THOR_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.25)
+    std::env::var("THOR_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
 }
 
 /// Seed from `THOR_SEED` (default 42).
 pub fn seed_from_env() -> u64 {
-    std::env::var("THOR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+    std::env::var("THOR_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// How to emit per-stage pipeline metrics after each THOR run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsEmit {
+    /// Aligned human-readable table.
+    Table,
+    /// Single-line machine-readable JSON.
+    Json,
+}
+
+/// Metrics emission mode from `THOR_METRICS`: `1` or `table` → human
+/// table, `json` → machine-readable JSON; unset or anything else → off.
+pub fn metrics_from_env() -> Option<MetricsEmit> {
+    match std::env::var("THOR_METRICS").ok().as_deref() {
+        Some("1" | "table") => Some(MetricsEmit::Table),
+        Some("json") => Some(MetricsEmit::Json),
+        _ => None,
+    }
+}
+
+/// Print a run's metrics to stderr, labelled with the system name (JSON
+/// mode adds a `"system"` key to the document instead).
+pub fn emit_metrics(label: &str, metrics: &PipelineMetrics, mode: MetricsEmit) {
+    match mode {
+        MetricsEmit::Table => {
+            eprintln!("[metrics] {label}");
+            eprint!("{}", metrics.render_table());
+        }
+        MetricsEmit::Json => {
+            let mut doc = metrics.snapshot().to_json();
+            if let Json::Object(map) = &mut doc {
+                map.insert("system".into(), Json::Str(label.to_string()));
+            }
+            eprintln!("{}", doc.render());
+        }
+    }
 }
 
 /// The Disease A–Z dataset at the given scale.
@@ -86,7 +130,9 @@ pub fn gold_annotations(dataset: &GeneratedDataset, split: Split) -> Vec<Annotat
         .docs(split)
         .iter()
         .flat_map(|d| {
-            d.gold.iter().map(|g| Annotation::new(d.doc.id.clone(), &g.concept, &g.phrase))
+            d.gold
+                .iter()
+                .map(|g| Annotation::new(d.doc.id.clone(), &g.concept, &g.phrase))
         })
         .collect();
     gold.sort_by(|a, b| {
@@ -98,7 +144,10 @@ pub fn gold_annotations(dataset: &GeneratedDataset, split: Split) -> Vec<Annotat
 
 /// Convert predictions to evaluation annotations.
 pub fn to_annotations(entities: &[ExtractedEntity]) -> Vec<Annotation> {
-    entities.iter().map(|e| Annotation::new(e.doc_id.clone(), &e.concept, &e.phrase)).collect()
+    entities
+        .iter()
+        .map(|e| Annotation::new(e.doc_id.clone(), &e.concept, &e.phrase))
+        .collect()
 }
 
 /// Run one system on the dataset's test split and evaluate.
@@ -108,16 +157,24 @@ pub fn run_system(system: &System, dataset: &GeneratedDataset) -> RunOutcome {
     let gold = gold_annotations(dataset, Split::Test);
     let name = system.name();
 
-    let (predictions, time) = match system {
-        System::Thor(tau) => {
-            let thor = Thor::new(dataset.store.clone(), ThorConfig::with_tau(*tau));
-            let (entities, prep, infer) = thor.extract(&table, &docs);
-            (entities, Some(prep + infer))
+    let run_thor = |thor: Thor| {
+        let emit = metrics_from_env();
+        let metrics = PipelineMetrics::new();
+        let thor = if emit.is_some() {
+            thor.with_metrics(metrics.clone())
+        } else {
+            thor
+        };
+        let (entities, prep, infer) = thor.extract(&table, &docs);
+        if let Some(mode) = emit {
+            emit_metrics(&name, &metrics, mode);
         }
+        (entities, Some(prep + infer))
+    };
+    let (predictions, time) = match system {
+        System::Thor(tau) => run_thor(Thor::new(dataset.store.clone(), ThorConfig::with_tau(*tau))),
         System::ThorWith(config, _) => {
-            let thor = Thor::new(dataset.store.clone(), (**config).clone());
-            let (entities, prep, infer) = thor.extract(&table, &docs);
-            (entities, Some(prep + infer))
+            run_thor(Thor::new(dataset.store.clone(), (**config).clone()))
         }
         System::Baseline => {
             let t0 = Instant::now();
@@ -158,5 +215,10 @@ pub fn run_system(system: &System, dataset: &GeneratedDataset) -> RunOutcome {
     };
 
     let report = evaluate(&to_annotations(&predictions), &gold);
-    RunOutcome { system: name, report, time, predictions }
+    RunOutcome {
+        system: name,
+        report,
+        time,
+        predictions,
+    }
 }

@@ -16,7 +16,11 @@ pub struct ScoreWeights {
 
 impl Default for ScoreWeights {
     fn default() -> Self {
-        Self { semantic: 1.0, word: 1.0, char: 1.0 }
+        Self {
+            semantic: 1.0,
+            word: 1.0,
+            char: 1.0,
+        }
     }
 }
 
@@ -95,7 +99,10 @@ impl ThorConfig {
     /// Default configuration at a given τ.
     pub fn with_tau(tau: f64) -> Self {
         assert!((0.0..=1.0).contains(&tau), "tau must be in [0, 1]");
-        Self { tau, ..Self::default() }
+        Self {
+            tau,
+            ..Self::default()
+        }
     }
 }
 
@@ -113,9 +120,17 @@ mod tests {
 
     #[test]
     fn dropped_component() {
-        let w = ScoreWeights { semantic: 1.0, word: 1.0, char: 0.0 };
+        let w = ScoreWeights {
+            semantic: 1.0,
+            word: 1.0,
+            char: 0.0,
+        };
         assert!((w.combine(0.8, 0.4, 0.99) - 0.6).abs() < 1e-12);
-        let zero = ScoreWeights { semantic: 0.0, word: 0.0, char: 0.0 };
+        let zero = ScoreWeights {
+            semantic: 0.0,
+            word: 0.0,
+            char: 0.0,
+        };
         assert_eq!(zero.combine(1.0, 1.0, 1.0), 0.0);
     }
 

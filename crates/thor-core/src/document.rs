@@ -13,7 +13,10 @@ pub struct Document {
 impl Document {
     /// Create a document.
     pub fn new(id: impl Into<String>, text: impl Into<String>) -> Self {
-        Self { id: id.into(), text: text.into() }
+        Self {
+            id: id.into(),
+            text: text.into(),
+        }
     }
 
     /// Number of whitespace-separated tokens (used by corpus statistics

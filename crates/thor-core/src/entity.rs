@@ -25,7 +25,11 @@ impl ExtractedEntity {
     /// Deduplication key: one logical prediction per (document, concept,
     /// phrase) triple, matching the evaluation granularity.
     pub fn key(&self) -> (String, String, String) {
-        (self.doc_id.clone(), self.concept.to_lowercase(), self.phrase.to_lowercase())
+        (
+            self.doc_id.clone(),
+            self.concept.to_lowercase(),
+            self.phrase.to_lowercase(),
+        )
     }
 }
 
@@ -47,7 +51,13 @@ mod tests {
 
     #[test]
     fn key_is_case_insensitive_on_concept_and_phrase() {
-        assert_eq!(entity("d", "Anatomy", "Lungs").key(), entity("d", "anatomy", "lungs").key());
-        assert_ne!(entity("d1", "Anatomy", "x").key(), entity("d2", "Anatomy", "x").key());
+        assert_eq!(
+            entity("d", "Anatomy", "Lungs").key(),
+            entity("d", "anatomy", "lungs").key()
+        );
+        assert_ne!(
+            entity("d1", "Anatomy", "x").key(),
+            entity("d2", "Anatomy", "x").key()
+        );
     }
 }

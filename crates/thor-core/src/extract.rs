@@ -2,7 +2,8 @@
 //! syntactic refinement (Algorithm 1 lines 3–15).
 
 use thor_match::{CandidateEntity, SimilarityMatcher};
-use thor_nlp::{noun_phrases, parse_dependencies, RuleTagger, Tagger};
+use thor_nlp::{chunk_sentence, chunk_sentence_metered, RuleTagger};
+use thor_obs::PipelineMetrics;
 use thor_text::{gestalt_similarity, jaccard_words, tokenize};
 
 use crate::config::ThorConfig;
@@ -23,24 +24,34 @@ struct ScoredCandidate {
 fn refine(candidate: CandidateEntity, config: &ThorConfig) -> ScoredCandidate {
     let score_w = jaccard_words(&candidate.phrase, &candidate.matched_instance);
     let score_c = gestalt_similarity(&candidate.phrase, &candidate.matched_instance);
-    let score = config.weights.combine(candidate.semantic_score, score_w, score_c);
+    let score = config
+        .weights
+        .combine(candidate.semantic_score, score_w, score_c);
     ScoredCandidate { candidate, score }
 }
 
 /// Extract the phrases of one sentence: dependency-parse noun phrases
 /// (the paper's design) or naive n-grams (`abl_np` ablation).
-fn sentence_phrases(text: &str, config: &ThorConfig, tagger: &RuleTagger) -> Vec<String> {
+fn sentence_phrases(
+    text: &str,
+    config: &ThorConfig,
+    tagger: &RuleTagger,
+    metrics: Option<&PipelineMetrics>,
+) -> Vec<String> {
     let tokens = tokenize(text);
     let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
     if words.is_empty() {
         return Vec::new();
     }
     if config.np_chunking {
-        let tags = tagger.tag(&words);
-        let tree = parse_dependencies(&words, &tags);
-        noun_phrases(&words, &tags, &tree).into_iter().map(|np| np.text).collect()
+        let phrases = match metrics {
+            Some(m) => chunk_sentence_metered(&words, tagger, m),
+            None => chunk_sentence(&words, tagger),
+        };
+        phrases.into_iter().map(|np| np.text).collect()
     } else {
         // Ablation: every contiguous window up to the subphrase cap.
+        let _span = metrics.map(|m| m.chunk.start());
         let max = config.max_subphrase_words.min(words.len());
         let mut out = Vec::new();
         for len in 1..=max {
@@ -52,6 +63,10 @@ fn sentence_phrases(text: &str, config: &ThorConfig, tagger: &RuleTagger) -> Vec
             }
         }
         out.dedup();
+        if let Some(m) = metrics {
+            m.sentences.inc();
+            m.noun_phrases.add(out.len() as u64);
+        }
         out
     }
 }
@@ -65,6 +80,32 @@ pub fn extract_entities(
     config: &ThorConfig,
     doc_id: &str,
 ) -> Vec<ExtractedEntity> {
+    extract_entities_impl(segments, matcher, config, doc_id, None)
+}
+
+/// [`extract_entities`] with observability: noun-phrase chunking is
+/// counted and timed per sentence, refinement runs under a
+/// `stage.refine` span, and each accepted entity increments the
+/// `entities` counter. (The matcher counts its own subphrases and
+/// candidates when it was fine-tuned with
+/// [`SimilarityMatcher::fine_tune_metered`].)
+pub fn extract_entities_metered(
+    segments: &[SegmentedSentence],
+    matcher: &SimilarityMatcher,
+    config: &ThorConfig,
+    doc_id: &str,
+    metrics: &PipelineMetrics,
+) -> Vec<ExtractedEntity> {
+    extract_entities_impl(segments, matcher, config, doc_id, Some(metrics))
+}
+
+fn extract_entities_impl(
+    segments: &[SegmentedSentence],
+    matcher: &SimilarityMatcher,
+    config: &ThorConfig,
+    doc_id: &str,
+    metrics: Option<&PipelineMetrics>,
+) -> Vec<ExtractedEntity> {
     let tagger = RuleTagger::default();
     let lexicon = thor_nlp::Lexicon::english();
     // Entities must contain a nominal word ("entities typically consist
@@ -74,8 +115,9 @@ pub fn extract_entities(
     let mut out = Vec::new();
 
     for seg in segments {
-        for phrase in sentence_phrases(&seg.sentence.text, config, &tagger) {
+        for phrase in sentence_phrases(&seg.sentence.text, config, &tagger, metrics) {
             let candidates = matcher.match_phrase_anchored(&phrase, anchor);
+            let refine_span = metrics.map(|m| m.refine.start());
             let best = candidates
                 .into_iter()
                 .map(|c| refine(c, config))
@@ -84,16 +126,19 @@ pub fn extract_entities(
                         .total_cmp(&b.score)
                         .then_with(|| b.candidate.phrase.cmp(&a.candidate.phrase))
                 });
+            drop(refine_span);
             if let Some(best) = best {
                 // Optional contextual gate (the paper's future work):
                 // the sentence minus the entity phrase must itself be
                 // compatible with the assigned concept.
                 if let Some(min_context) = config.context_gate {
-                    let ctx =
-                        context_similarity(&seg.sentence.text, &best.candidate, matcher);
+                    let ctx = context_similarity(&seg.sentence.text, &best.candidate, matcher);
                     if ctx < min_context {
                         continue;
                     }
+                }
+                if let Some(m) = metrics {
+                    m.entities.inc();
                 }
                 out.push(ExtractedEntity {
                     subject: seg.subject.clone(),
@@ -156,8 +201,14 @@ mod tests {
             .spread(0.45)
             .topic("anatomy")
             .correlated_topic("complication", "anatomy", 0.3)
-            .words("anatomy", ["nervous", "system", "brain", "nerve", "ear", "lung"])
-            .words("complication", ["cancer", "tumor", "deafness", "unsteadiness", "skin"])
+            .words(
+                "anatomy",
+                ["nervous", "system", "brain", "nerve", "ear", "lung"],
+            )
+            .words(
+                "complication",
+                ["cancer", "tumor", "deafness", "unsteadiness", "skin"],
+            )
             .generic_words(["slow-growing", "walk", "green", "grows", "surgery"])
             .build()
             .into_store();
@@ -171,7 +222,11 @@ mod tests {
     fn seg(subject: &str, text: &str, index: usize) -> SegmentedSentence {
         SegmentedSentence {
             subject: subject.to_string(),
-            sentence: Sentence { text: text.to_string(), start: 0, end: text.len() },
+            sentence: Sentence {
+                text: text.to_string(),
+                start: 0,
+                end: text.len(),
+            },
             index,
         }
     }
@@ -183,8 +238,11 @@ mod tests {
         // 'skin cancer' wins over 'brain'→'Anatomy' because its
         // syntactic overlap with the seed is higher.
         let m = matcher(0.55);
-        let segments =
-            vec![seg("Acoustic Neuroma", "It is a slow-growing non-cancerous brain tumor.", 0)];
+        let segments = vec![seg(
+            "Acoustic Neuroma",
+            "It is a slow-growing non-cancerous brain tumor.",
+            0,
+        )];
         let entities = extract_entities(&segments, &m, &ThorConfig::with_tau(0.55), "d1");
         assert!(!entities.is_empty());
         for e in &entities {
@@ -213,7 +271,11 @@ mod tests {
     #[test]
     fn scores_within_unit_interval() {
         let m = matcher(0.5);
-        let segments = vec![seg("X", "The brain tumor causes deafness and unsteadiness.", 3)];
+        let segments = vec![seg(
+            "X",
+            "The brain tumor causes deafness and unsteadiness.",
+            3,
+        )];
         let entities = extract_entities(&segments, &m, &ThorConfig::with_tau(0.5), "d");
         assert!(!entities.is_empty());
         for e in &entities {
@@ -232,7 +294,10 @@ mod tests {
         ngram_config.np_chunking = false;
         let np = extract_entities(&segments, &m, &np_config, "d");
         let ng = extract_entities(&segments, &m, &ngram_config, "d");
-        assert!(ng.len() >= np.len(), "n-grams generate at least as many candidates");
+        assert!(
+            ng.len() >= np.len(),
+            "n-grams generate at least as many candidates"
+        );
     }
 
     #[test]
@@ -257,7 +322,10 @@ mod tests {
         let mut gated = ThorConfig::with_tau(0.5);
         gated.context_gate = Some(0.2);
         let entities = extract_entities(&segments, &m, &gated, "d");
-        assert!(!entities.is_empty(), "well-supported entities must survive the gate");
+        assert!(
+            !entities.is_empty(),
+            "well-supported entities must survive the gate"
+        );
     }
 
     #[test]

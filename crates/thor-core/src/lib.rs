@@ -61,3 +61,4 @@ pub use config::{ScoreWeights, SegmentationMode, ThorConfig};
 pub use document::Document;
 pub use entity::ExtractedEntity;
 pub use pipeline::{EnrichmentResult, EnrichmentSession, Thor};
+pub use thor_obs::PipelineMetrics;

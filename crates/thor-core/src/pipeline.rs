@@ -1,17 +1,18 @@
 //! The end-to-end THOR pipeline.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use thor_data::Table;
 use thor_embed::VectorStore;
 use thor_match::{MatcherConfig, SimilarityMatcher};
+use thor_obs::PipelineMetrics;
 
 use crate::config::ThorConfig;
 use crate::document::Document;
 use crate::entity::ExtractedEntity;
-use crate::extract::extract_entities;
-use crate::segment::segment;
-use crate::slotfill::{slot_fill, SlotFillStats};
+use crate::extract::extract_entities_metered;
+use crate::segment::segment_metered;
+use crate::slotfill::{slot_fill_metered, SlotFillStats};
 
 /// Result of one enrichment run.
 #[derive(Debug, Clone)]
@@ -37,6 +38,26 @@ impl EnrichmentResult {
     }
 }
 
+/// Total order used for deduplication: entities sharing a key are
+/// ranked best-score-first, with every remaining field as a tie-break
+/// so the survivor — and therefore the pipeline output — is identical
+/// no matter how the input was partitioned across worker threads.
+fn dedup_order(a: &ExtractedEntity, b: &ExtractedEntity) -> std::cmp::Ordering {
+    a.key()
+        .cmp(&b.key())
+        .then_with(|| b.score.total_cmp(&a.score))
+        .then_with(|| a.phrase.cmp(&b.phrase))
+        .then_with(|| a.matched_instance.cmp(&b.matched_instance))
+        .then_with(|| a.subject.cmp(&b.subject))
+        .then_with(|| a.sentence_index.cmp(&b.sentence_index))
+}
+
+/// Sort by [`dedup_order`] and keep the first (best) entity per key.
+fn dedup_entities(entities: &mut Vec<ExtractedEntity>) {
+    entities.sort_by(dedup_order);
+    entities.dedup_by(|next, first| next.key() == first.key());
+}
+
 /// The THOR system: word vectors + configuration. One instance can
 /// enrich any number of (table, corpus) pairs; fine-tuning happens per
 /// call because it depends on the table's instances ("it easily adapts
@@ -45,12 +66,30 @@ impl EnrichmentResult {
 pub struct Thor {
     store: VectorStore,
     config: ThorConfig,
+    metrics: Option<PipelineMetrics>,
 }
 
 impl Thor {
     /// Create a THOR instance over a vector table.
     pub fn new(store: VectorStore, config: ThorConfig) -> Self {
-        Self { store, config }
+        Self {
+            store,
+            config,
+            metrics: None,
+        }
+    }
+
+    /// Attach an observability handle: every subsequent run records
+    /// per-stage counters and timers into `metrics` (shared with any
+    /// clones of the handle the caller kept).
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached observability handle, if any.
+    pub fn metrics(&self) -> Option<&PipelineMetrics> {
+        self.metrics.as_ref()
     }
 
     /// The configuration.
@@ -58,9 +97,25 @@ impl Thor {
         &self.config
     }
 
+    /// The word-vector table.
+    pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// The metrics handle runs record into: the attached one, or an
+    /// ephemeral throwaway so stage timing (which feeds the public
+    /// [`EnrichmentResult`] fields) always has somewhere to go.
+    fn run_metrics(&self) -> PipelineMetrics {
+        self.metrics.clone().unwrap_or_default()
+    }
+
     /// Phase ① fine-tuning: build the semantic matcher from the table's
     /// concepts and instances (weak supervision — no annotated text).
     pub fn fine_tune(&self, table: &Table) -> SimilarityMatcher {
+        self.build_matcher(table, self.metrics.as_ref())
+    }
+
+    fn build_matcher(&self, table: &Table, metrics: Option<&PipelineMetrics>) -> SimilarityMatcher {
         let concepts: Vec<(String, Vec<String>)> = table
             .schema()
             .concepts()
@@ -72,7 +127,15 @@ impl Thor {
             max_subphrase_words: self.config.max_subphrase_words,
             max_expansion: self.config.max_expansion,
         };
-        SimilarityMatcher::fine_tune(&concepts, self.store.clone(), matcher_config)
+        match metrics {
+            Some(m) => SimilarityMatcher::fine_tune_metered(
+                &concepts,
+                self.store.clone(),
+                matcher_config,
+                m.clone(),
+            ),
+            None => SimilarityMatcher::fine_tune(&concepts, self.store.clone(), matcher_config),
+        }
     }
 
     /// Extract entities from `docs` against `table`'s schema and
@@ -82,51 +145,62 @@ impl Thor {
     /// With `config.threads > 1`, documents are processed in parallel
     /// (they are independent once the matcher is fine-tuned); the output
     /// is identical to the single-threaded run.
-    pub fn extract(&self, table: &Table, docs: &[Document]) -> (Vec<ExtractedEntity>, Duration, Duration) {
-        let t0 = Instant::now();
-        let matcher = self.fine_tune(table);
-        let prepare_time = t0.elapsed();
+    pub fn extract(
+        &self,
+        table: &Table,
+        docs: &[Document],
+    ) -> (Vec<ExtractedEntity>, Duration, Duration) {
+        let run = self.run_metrics();
+        self.extract_with(&run, table, docs)
+    }
+
+    fn extract_with(
+        &self,
+        run: &PipelineMetrics,
+        table: &Table,
+        docs: &[Document],
+    ) -> (Vec<ExtractedEntity>, Duration, Duration) {
+        let (matcher, prepare_time) = run.prepare.time(|| self.build_matcher(table, Some(run)));
 
         let subjects: Vec<String> = table.subjects().map(str::to_string).collect();
-        let t1 = Instant::now();
-        let per_doc = |doc: &Document| {
-            let segments = segment(doc, &subjects, &matcher, self.config.segmentation);
-            extract_entities(&segments, &matcher, &self.config, &doc.id)
-        };
-        let mut entities: Vec<ExtractedEntity> = if self.config.threads <= 1 || docs.len() < 2 {
-            docs.iter().flat_map(per_doc) .collect()
-        } else {
-            let workers = self.config.threads.min(docs.len());
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let mut buckets: Vec<Vec<ExtractedEntity>> = Vec::new();
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|_| {
-                            let mut out = Vec::new();
-                            loop {
-                                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if i >= docs.len() {
-                                    break out;
+        let (entities, inference_time) = run.inference.time(|| {
+            let per_doc = |doc: &Document| {
+                run.docs.inc();
+                let segments =
+                    segment_metered(doc, &subjects, &matcher, self.config.segmentation, run);
+                extract_entities_metered(&segments, &matcher, &self.config, &doc.id, run)
+            };
+            let mut entities: Vec<ExtractedEntity> = if self.config.threads <= 1 || docs.len() < 2 {
+                docs.iter().flat_map(per_doc).collect()
+            } else {
+                let workers = self.config.threads.min(docs.len());
+                let next = std::sync::atomic::AtomicUsize::new(0);
+                let mut buckets: Vec<Vec<ExtractedEntity>> = Vec::new();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let mut out = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    if i >= docs.len() {
+                                        break out;
+                                    }
+                                    out.extend(per_doc(&docs[i]));
                                 }
-                                out.extend(per_doc(&docs[i]));
-                            }
+                            })
                         })
-                    })
-                    .collect();
-                for h in handles {
-                    buckets.push(h.join().expect("extraction worker panicked"));
-                }
-            })
-            .expect("extraction scope");
-            buckets.into_iter().flatten().collect()
-        };
-        // Deduplicate, keeping the best-scoring instance of each key.
-        entities.sort_by(|a, b| {
-            a.key().cmp(&b.key()).then_with(|| b.score.total_cmp(&a.score))
+                        .collect();
+                    for h in handles {
+                        buckets.push(h.join().expect("extraction worker panicked"));
+                    }
+                });
+                buckets.into_iter().flatten().collect()
+            };
+            // Deduplicate, keeping the best-scoring instance of each key.
+            dedup_entities(&mut entities);
+            entities
         });
-        entities.dedup_by(|next, first| next.key() == first.key());
-        let inference_time = t1.elapsed();
         (entities, prepare_time, inference_time)
     }
 
@@ -134,25 +208,34 @@ impl Thor {
     /// fine-tuned once and documents are then processed incrementally —
     /// the deployment shape for feeds of incoming text.
     pub fn session<'a>(&'a self, table: &Table) -> EnrichmentSession<'a> {
-        let matcher = self.fine_tune(table);
+        let run = self.run_metrics();
+        let (matcher, _) = run.prepare.time(|| self.build_matcher(table, Some(&run)));
         EnrichmentSession {
             thor: self,
             matcher,
             subjects: table.subjects().map(str::to_string).collect(),
             table: table.clone(),
             entities: Vec::new(),
+            metrics: run,
         }
     }
 
     /// Run the full pipeline: Preparation, Entity Extraction, Slot
     /// Filling. Returns the enriched copy of `table`.
     pub fn enrich(&self, table: &Table, docs: &[Document]) -> EnrichmentResult {
-        let (entities, prepare_time, mut inference_time) = self.extract(table, docs);
-        let t2 = Instant::now();
+        let run = self.run_metrics();
+        let (entities, prepare_time, mut inference_time) = self.extract_with(&run, table, docs);
         let mut enriched = table.clone();
-        let slot_stats = slot_fill(&mut enriched, &entities);
-        inference_time += t2.elapsed();
-        EnrichmentResult { table: enriched, entities, slot_stats, prepare_time, inference_time }
+        let t = std::time::Instant::now();
+        let slot_stats = slot_fill_metered(&mut enriched, &entities, &run);
+        inference_time += t.elapsed();
+        EnrichmentResult {
+            table: enriched,
+            entities,
+            slot_stats,
+            prepare_time,
+            inference_time,
+        }
     }
 }
 
@@ -179,6 +262,7 @@ pub struct EnrichmentSession<'a> {
     subjects: Vec<String>,
     table: Table,
     entities: Vec<ExtractedEntity>,
+    metrics: PipelineMetrics,
 }
 
 impl EnrichmentSession<'_> {
@@ -186,16 +270,29 @@ impl EnrichmentSession<'_> {
     /// session table immediately. Returns the number of newly inserted
     /// values.
     pub fn process(&mut self, doc: &Document) -> usize {
-        let segments =
-            segment(doc, &self.subjects, &self.matcher, self.thor.config.segmentation);
+        let run = self.metrics.clone();
+        let _span = run.inference.start();
+        run.docs.inc();
+        let segments = segment_metered(
+            doc,
+            &self.subjects,
+            &self.matcher,
+            self.thor.config.segmentation,
+            &run,
+        );
         let mut extracted =
-            extract_entities(&segments, &self.matcher, &self.thor.config, &doc.id);
+            extract_entities_metered(&segments, &self.matcher, &self.thor.config, &doc.id, &run);
         // Per-document dedup (matching the batch pipeline's granularity).
-        extracted.sort_by(|a, b| a.key().cmp(&b.key()).then_with(|| b.score.total_cmp(&a.score)));
-        extracted.dedup_by(|next, first| next.key() == first.key());
-        let stats = slot_fill(&mut self.table, &extracted);
+        dedup_entities(&mut extracted);
+        let stats = slot_fill_metered(&mut self.table, &extracted, &run);
         self.entities.extend(extracted);
         stats.inserted
+    }
+
+    /// The session's observability handle (the [`Thor`] instance's
+    /// attached handle, or an ephemeral one scoped to this session).
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.metrics
     }
 
     /// Current state of the enriched table.
@@ -228,17 +325,31 @@ mod tests {
             .topic("anatomy")
             .correlated_topic("complication", "anatomy", 0.25)
             .words("disease", ["tuberculosis", "acne", "neuroma", "acoustic"])
-            .words("anatomy", ["nervous", "system", "brain", "nerve", "lungs", "skin", "ear"])
+            .words(
+                "anatomy",
+                [
+                    "nervous", "system", "brain", "nerve", "lungs", "skin", "ear",
+                ],
+            )
             .words(
                 "complication",
-                ["cancer", "tumor", "unsteadiness", "empyema", "deafness", "non-cancerous"],
+                [
+                    "cancer",
+                    "tumor",
+                    "unsteadiness",
+                    "empyema",
+                    "deafness",
+                    "non-cancerous",
+                ],
             )
             .generic_words(["slow-growing", "grows", "damage", "damages", "severe"])
             .build()
             .into_store();
 
-        let mut table =
-            Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let mut table = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         table.fill_slot("Acoustic Neuroma", "Anatomy", "nervous system");
         table.fill_slot("Acne", "Anatomy", "skin");
         table.fill_slot("Acne", "Complication", "skin cancer");
@@ -268,18 +379,26 @@ mod tests {
         let (thor, table, docs) = setup();
         let result = thor.enrich(&table, &docs);
         // Entities from the third sentence belong to Tuberculosis.
-        let tb: Vec<&ExtractedEntity> =
-            result.entities.iter().filter(|e| e.subject == "Tuberculosis").collect();
+        let tb: Vec<&ExtractedEntity> = result
+            .entities
+            .iter()
+            .filter(|e| e.subject == "Tuberculosis")
+            .collect();
         assert!(!tb.is_empty(), "entities: {:?}", result.entities);
         // And from the first two to Acoustic Neuroma.
-        assert!(result.entities.iter().any(|e| e.subject == "Acoustic Neuroma"));
+        assert!(result
+            .entities
+            .iter()
+            .any(|e| e.subject == "Acoustic Neuroma"));
     }
 
     #[test]
     fn entities_deduplicated_by_key() {
         let (thor, table, mut docs) = setup();
         // Duplicate the same sentence — same (doc, concept, phrase) keys.
-        docs[0].text.push_str(" Tuberculosis generally damages the lungs.");
+        docs[0]
+            .text
+            .push_str(" Tuberculosis generally damages the lungs.");
         let result = thor.enrich(&table, &docs);
         let mut keys: Vec<_> = result.entities.iter().map(|e| e.key()).collect();
         let before = keys.len();
@@ -319,7 +438,8 @@ mod tests {
         // Replicate the corpus so there is real work to split.
         let docs: Vec<Document> = (0..8)
             .flat_map(|i| {
-                docs.iter().map(move |d| Document::new(format!("{}-{i}", d.id), d.text.clone()))
+                docs.iter()
+                    .map(move |d| Document::new(format!("{}-{i}", d.id), d.text.clone()))
             })
             .collect();
         let sequential = thor.extract(&table, &docs).0;
@@ -364,5 +484,62 @@ mod tests {
         let (thor, table, docs) = setup();
         let result = thor.enrich(&table, &docs);
         assert!(result.total_time() >= result.prepare_time);
+    }
+
+    #[test]
+    fn attached_metrics_record_every_stage() {
+        let (thor, table, docs) = setup();
+        let metrics = PipelineMetrics::new();
+        let thor = thor.with_metrics(metrics.clone());
+        let result = thor.enrich(&table, &docs);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.count("docs"), 1);
+        assert!(snap.count("sentences") >= 3, "{}", snap.render_table());
+        assert!(snap.count("segments") >= 3, "{}", snap.render_table());
+        assert!(snap.count("noun_phrases") > 0);
+        assert!(snap.count("subphrases") > 0);
+        assert!(snap.count("candidates") > 0);
+        assert_eq!(snap.count("entities") as usize, result.entities.len());
+        assert_eq!(
+            snap.count("slots.inserted") as usize,
+            result.slot_stats.inserted
+        );
+        assert!(snap.count("vocab.words") > 0);
+        assert!(snap.count("cluster.representatives") > 0);
+        // Span counts: one prepare/inference pair, one segment span per
+        // doc, one slot-fill pass.
+        use thor_obs::MetricValue;
+        let spans = |name: &str| match snap.get(name) {
+            Some(MetricValue::Timer { spans, .. }) => *spans,
+            other => panic!("{name}: {other:?}"),
+        };
+        assert_eq!(spans("pipeline.prepare"), 1);
+        assert_eq!(spans("pipeline.inference"), 1);
+        assert_eq!(spans("stage.segment"), 1);
+        assert_eq!(spans("stage.slot_fill"), 1);
+        assert!(spans("stage.chunk") >= 3);
+        assert!(spans("stage.match") > 0);
+    }
+
+    #[test]
+    fn ephemeral_metrics_still_time_phases() {
+        // Without an attached handle the public timing fields still
+        // come from real span measurements.
+        let (thor, table, docs) = setup();
+        assert!(thor.metrics().is_none());
+        let result = thor.enrich(&table, &docs);
+        assert!(result.inference_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn session_metrics_accumulate_across_documents() {
+        let (thor, table, docs) = setup();
+        let metrics = PipelineMetrics::new();
+        let thor = thor.with_metrics(metrics.clone());
+        let mut session = thor.session(&table);
+        session.process(&docs[0]);
+        session.process(&docs[0]);
+        assert_eq!(session.metrics().snapshot().count("docs"), 2);
+        assert_eq!(metrics.snapshot().count("docs"), 2);
     }
 }

@@ -9,6 +9,7 @@
 //! back to semantic matching against the subject instances.
 
 use thor_match::SimilarityMatcher;
+use thor_obs::PipelineMetrics;
 use thor_text::{normalize_phrase, split_sentences, Sentence};
 
 use crate::config::SegmentationMode;
@@ -49,8 +50,34 @@ pub fn segment(
     matcher: &SimilarityMatcher,
     mode: SegmentationMode,
 ) -> Vec<SegmentedSentence> {
-    let keyed: Vec<(String, String)> =
-        subjects.iter().map(|s| (s.clone(), normalize_phrase(s))).collect();
+    segment_impl(doc, subjects, matcher, mode, None)
+}
+
+/// [`segment`] with observability: the whole call is covered by a
+/// `stage.segment` span and each attributed sentence increments the
+/// `segments` counter.
+pub fn segment_metered(
+    doc: &Document,
+    subjects: &[String],
+    matcher: &SimilarityMatcher,
+    mode: SegmentationMode,
+    metrics: &PipelineMetrics,
+) -> Vec<SegmentedSentence> {
+    let _span = metrics.segment.start();
+    segment_impl(doc, subjects, matcher, mode, Some(metrics))
+}
+
+fn segment_impl(
+    doc: &Document,
+    subjects: &[String],
+    matcher: &SimilarityMatcher,
+    mode: SegmentationMode,
+    metrics: Option<&PipelineMetrics>,
+) -> Vec<SegmentedSentence> {
+    let keyed: Vec<(String, String)> = subjects
+        .iter()
+        .map(|s| (s.clone(), normalize_phrase(s)))
+        .collect();
     let mut out = Vec::new();
     let mut current: Option<String> = None;
 
@@ -72,14 +99,19 @@ pub fn segment(
                     None => semantic_subject(&sentence.text, &keyed, matcher),
                 },
                 SegmentationMode::MentionOnly => None,
-                SegmentationMode::SemanticOnly => {
-                    semantic_subject(&sentence.text, &keyed, matcher)
-                }
+                SegmentationMode::SemanticOnly => semantic_subject(&sentence.text, &keyed, matcher),
             },
         };
 
         if let Some(subject) = subject {
-            out.push(SegmentedSentence { subject, sentence, index });
+            if let Some(m) = metrics {
+                m.segments.inc();
+            }
+            out.push(SegmentedSentence {
+                subject,
+                sentence,
+                index,
+            });
         }
     }
     out
@@ -114,8 +146,10 @@ mod tests {
             .generic_words(["tumor", "grows", "lungs"])
             .build()
             .into_store();
-        let concepts =
-            vec![("Disease".to_string(), vec!["Tuberculosis".to_string(), "Acoustic Neuroma".to_string()])];
+        let concepts = vec![(
+            "Disease".to_string(),
+            vec!["Tuberculosis".to_string(), "Acoustic Neuroma".to_string()],
+        )];
         SimilarityMatcher::fine_tune(&concepts, store, MatcherConfig::with_tau(0.8))
     }
 
@@ -132,7 +166,12 @@ mod tests {
             "Acoustic Neuroma is a slow-growing tumor. It develops on the nerve. \
              Tuberculosis generally damages the lungs.",
         );
-        let segs = segment(&doc, &subjects(), &matcher(), SegmentationMode::MentionCarryForward);
+        let segs = segment(
+            &doc,
+            &subjects(),
+            &matcher(),
+            SegmentationMode::MentionCarryForward,
+        );
         assert_eq!(segs.len(), 3);
         assert_eq!(segs[0].subject, "Acoustic Neuroma");
         assert_eq!(segs[1].subject, "Acoustic Neuroma");
@@ -176,7 +215,12 @@ mod tests {
         // the vocabulary and equals the subject's embedding).
         let doc = Document::new("d", "Severe tuberculosis cases need treatment.");
         // Note: mention matching would also hit here; force semantic-only.
-        let segs = segment(&doc, &subjects(), &matcher(), SegmentationMode::SemanticOnly);
+        let segs = segment(
+            &doc,
+            &subjects(),
+            &matcher(),
+            SegmentationMode::SemanticOnly,
+        );
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].subject, "Tuberculosis");
     }

@@ -6,6 +6,7 @@
 //! row r and column e.C with the extracted phrase e.p."
 
 use thor_data::Table;
+use thor_obs::PipelineMetrics;
 
 use crate::entity::ExtractedEntity;
 
@@ -48,6 +49,20 @@ pub fn slot_fill(table: &mut Table, entities: &[ExtractedEntity]) -> SlotFillSta
     stats
 }
 
+/// [`slot_fill`] with observability: the pass runs under a
+/// `stage.slot_fill` span and the insert/duplicate outcomes feed the
+/// `slots.inserted` / `slots.duplicate` counters.
+pub fn slot_fill_metered(
+    table: &mut Table,
+    entities: &[ExtractedEntity],
+    metrics: &PipelineMetrics,
+) -> SlotFillStats {
+    let (stats, _) = metrics.slot_fill.time(|| slot_fill(table, entities));
+    metrics.slots_inserted.add(stats.inserted as u64);
+    metrics.slots_duplicate.add(stats.duplicates as u64);
+    stats
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,7 +81,10 @@ mod tests {
     }
 
     fn table() -> Table {
-        Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"))
+        Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ))
     }
 
     #[test]
@@ -80,8 +98,16 @@ mod tests {
         ];
         let stats = slot_fill(&mut t, &entities);
         assert_eq!(stats.inserted, 2);
-        assert!(t.get_row("Acoustic Neuroma").unwrap().cell(2).contains("unsteadiness"));
-        assert!(t.get_row("Tuberculosis").unwrap().cell(2).contains("empyema"));
+        assert!(t
+            .get_row("Acoustic Neuroma")
+            .unwrap()
+            .cell(2)
+            .contains("unsteadiness"));
+        assert!(t
+            .get_row("Tuberculosis")
+            .unwrap()
+            .cell(2)
+            .contains("empyema"));
     }
 
     #[test]

@@ -90,7 +90,10 @@ fn degenerate_tables() {
 fn empty_vector_store() {
     let thor = Thor::new(VectorStore::new(8), ThorConfig::with_tau(0.5));
     let result = thor.enrich(&small_table(), &[Document::new("d", "alpha beta gamma.")]);
-    assert!(result.entities.is_empty(), "no vectors, no semantic matches");
+    assert!(
+        result.entities.is_empty(),
+        "no vectors, no semantic matches"
+    );
 }
 
 #[test]
@@ -103,8 +106,9 @@ fn huge_single_token_document() {
 #[test]
 fn many_tiny_documents() {
     let thor = Thor::new(small_store(), ThorConfig::with_tau(0.5));
-    let docs: Vec<Document> =
-        (0..500).map(|i| Document::new(format!("d{i}"), "alpha beta.")).collect();
+    let docs: Vec<Document> = (0..500)
+        .map(|i| Document::new(format!("d{i}"), "alpha beta."))
+        .collect();
     let result = thor.enrich(&small_table(), &docs);
     // Dedup is per document, so counts scale with the corpus.
     assert!(result.entities.len() <= 500 * 2);

@@ -25,8 +25,12 @@ fn escape(field: &str) -> String {
 /// Serialize a table to CSV text.
 pub fn to_csv(table: &Table) -> String {
     let mut out = String::new();
-    let header: Vec<String> =
-        table.schema().concepts().iter().map(|c| escape(c.name())).collect();
+    let header: Vec<String> = table
+        .schema()
+        .concepts()
+        .iter()
+        .map(|c| escape(c.name()))
+        .collect();
     let _ = writeln!(out, "{}", header.join(","));
     for row in table.rows() {
         let fields: Vec<String> = row
@@ -69,7 +73,11 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::MissingHeader => write!(f, "missing header row"),
-            CsvError::ArityMismatch { line, expected, got } => {
+            CsvError::ArityMismatch {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "record {line}: expected {expected} fields, got {got}")
             }
             CsvError::EmptySubject { line } => write!(f, "record {line}: empty subject"),
@@ -147,7 +155,11 @@ pub fn from_csv(text: &str) -> Result<Table, CsvError> {
     for (i, record) in iter.enumerate() {
         let line = i + 2;
         if record.len() != header.len() {
-            return Err(CsvError::ArityMismatch { line, expected: header.len(), got: record.len() });
+            return Err(CsvError::ArityMismatch {
+                line,
+                expected: header.len(),
+                got: record.len(),
+            });
         }
         let subject_value = record[0].trim();
         if subject_value.is_empty() {
@@ -172,8 +184,10 @@ mod tests {
     use crate::schema::Schema;
 
     fn sample() -> Table {
-        let mut t =
-            Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let mut t = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         t.fill_slot("Tuberculosis", "Anatomy", "lungs");
         t.fill_slot("Tuberculosis", "Complication", "empyema");
         t.fill_slot("Tuberculosis", "Complication", "meningitis");
@@ -187,7 +201,10 @@ mod tests {
         let csv = to_csv(&t);
         let back = from_csv(&csv).unwrap();
         assert_eq!(back.len(), t.len());
-        assert_eq!(back.column_values("Complication"), t.column_values("Complication"));
+        assert_eq!(
+            back.column_values("Complication"),
+            t.column_values("Complication")
+        );
         assert!(back.get_row("Acne").unwrap().cell(1).is_null());
     }
 
@@ -215,7 +232,14 @@ mod tests {
     #[test]
     fn arity_mismatch_detected() {
         let err = from_csv("A,B\nx\n").unwrap_err();
-        assert!(matches!(err, CsvError::ArityMismatch { line: 2, expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            CsvError::ArityMismatch {
+                line: 2,
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]
@@ -226,7 +250,10 @@ mod tests {
 
     #[test]
     fn unterminated_quote_detected() {
-        assert_eq!(from_csv("A,B\n\"oops,v\n").unwrap_err(), CsvError::UnterminatedQuote);
+        assert_eq!(
+            from_csv("A,B\n\"oops,v\n").unwrap_err(),
+            CsvError::UnterminatedQuote
+        );
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn outer_join(left: &Table, right: &Table) -> Table {
 /// # Panics
 /// If `sources` is empty or subjects differ.
 pub fn full_disjunction(sources: &[&Table]) -> Table {
-    assert!(!sources.is_empty(), "full disjunction needs at least one source");
+    assert!(
+        !sources.is_empty(),
+        "full disjunction needs at least one source"
+    );
     let mut schema = sources[0].schema().clone();
     for s in &sources[1..] {
         schema = schema.union(s.schema());
@@ -107,8 +110,12 @@ mod tests {
         );
         let joined = outer_join(&d1, &d2);
         assert_eq!(joined.len(), 3);
-        let names: Vec<&str> =
-            joined.schema().concepts().iter().map(|c| c.name()).collect();
+        let names: Vec<&str> = joined
+            .schema()
+            .concepts()
+            .iter()
+            .map(|c| c.name())
+            .collect();
         assert_eq!(names, ["Disease", "Anatomy", "Complication"]);
 
         // Acne matched in both sources: both concepts filled.
@@ -179,9 +186,15 @@ mod tests {
     fn binary_fd_equals_outer_join() {
         let a = source(
             &["Disease", "Anatomy"],
-            &[("TB", &[("Anatomy", "lungs")]), ("Acne", &[("Anatomy", "skin")])],
+            &[
+                ("TB", &[("Anatomy", "lungs")]),
+                ("Acne", &[("Anatomy", "skin")]),
+            ],
         );
-        let b = source(&["Disease", "Complication"], &[("TB", &[("Complication", "empyema")])]);
+        let b = source(
+            &["Disease", "Complication"],
+            &[("TB", &[("Complication", "empyema")])],
+        );
         let oj = outer_join(&a, &b);
         let fd = full_disjunction(&[&a, &b]);
         assert_eq!(oj.len(), fd.len());

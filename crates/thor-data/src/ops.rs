@@ -82,7 +82,13 @@ pub fn rename_concept(table: &Table, from: &str, to: &str) -> Table {
         .concepts()
         .iter()
         .enumerate()
-        .map(|(i, c)| if i == idx { to.to_string() } else { c.name().to_string() })
+        .map(|(i, c)| {
+            if i == idx {
+                to.to_string()
+            } else {
+                c.name().to_string()
+            }
+        })
         .collect();
     let subject = names[table.schema().subject_index()].clone();
     let mut out = Table::new(Schema::new(names.clone(), &subject));
@@ -166,7 +172,12 @@ pub fn check_fd(table: &Table, fd: &FunctionalDependency) -> Vec<FdViolation> {
     let det_idx: Vec<usize> = fd
         .determinant
         .iter()
-        .map(|c| table.schema().index_of(c).unwrap_or_else(|| panic!("concept `{c}` not in schema")))
+        .map(|c| {
+            table
+                .schema()
+                .index_of(c)
+                .unwrap_or_else(|| panic!("concept `{c}` not in schema"))
+        })
         .collect();
     let dep_idx = table
         .schema()
@@ -212,8 +223,10 @@ mod tests {
     use crate::schema::Schema;
 
     fn sample() -> Table {
-        let mut t =
-            Table::new(Schema::new(["Disease", "Anatomy", "Complication"], "Disease"));
+        let mut t = Table::new(Schema::new(
+            ["Disease", "Anatomy", "Complication"],
+            "Disease",
+        ));
         t.fill_slot("TB", "Anatomy", "lungs");
         t.fill_slot("TB", "Complication", "empyema");
         t.fill_slot("Acne", "Anatomy", "skin");
@@ -269,8 +282,16 @@ mod tests {
         assert_eq!(
             added,
             vec![
-                ("Flu".to_string(), "Anatomy".to_string(), "throat".to_string()),
-                ("TB".to_string(), "Complication".to_string(), "meningitis".to_string()),
+                (
+                    "Flu".to_string(),
+                    "Anatomy".to_string(),
+                    "throat".to_string()
+                ),
+                (
+                    "TB".to_string(),
+                    "Complication".to_string(),
+                    "meningitis".to_string()
+                ),
             ]
         );
         assert!(added_values(&before, &before).is_empty());
@@ -310,9 +331,11 @@ mod tests {
     #[test]
     fn fd_multi_determinant() {
         let mut t = Table::new(Schema::new(["Id", "A", "B", "C"], "Id"));
-        for (id, a, b, c) in
-            [("1", "x", "y", "v1"), ("2", "x", "y", "v2"), ("3", "x", "z", "v1")]
-        {
+        for (id, a, b, c) in [
+            ("1", "x", "y", "v1"),
+            ("2", "x", "y", "v2"),
+            ("3", "x", "z", "v1"),
+        ] {
             t.fill_slot(id, "A", a);
             t.fill_slot(id, "B", b);
             t.fill_slot(id, "C", c);

@@ -81,7 +81,10 @@ impl Schema {
     /// not among them.
     pub fn new<C: Into<Concept>>(concepts: impl IntoIterator<Item = C>, subject: &str) -> Self {
         let concepts: Vec<Concept> = concepts.into_iter().map(Into::into).collect();
-        assert!(!concepts.is_empty(), "schema must have at least one concept");
+        assert!(
+            !concepts.is_empty(),
+            "schema must have at least one concept"
+        );
         let mut seen = std::collections::HashSet::new();
         for c in &concepts {
             assert!(seen.insert(c.key()), "duplicate concept `{c}`");
@@ -122,7 +125,10 @@ impl Schema {
 
     /// The non-subject concepts (the slots THOR can fill).
     pub fn slot_concepts(&self) -> impl Iterator<Item = &Concept> {
-        self.concepts.iter().enumerate().filter_map(move |(i, c)| (i != self.subject).then_some(c))
+        self.concepts
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, c)| (i != self.subject).then_some(c))
     }
 
     /// Merge two schemas (union of concepts, preserving `self`'s order
@@ -152,7 +158,10 @@ mod tests {
     use super::*;
 
     fn disease_schema() -> Schema {
-        Schema::new(["Disease", "Anatomy", "Complication", "Medicine"], "Disease")
+        Schema::new(
+            ["Disease", "Anatomy", "Complication", "Medicine"],
+            "Disease",
+        )
     }
 
     #[test]

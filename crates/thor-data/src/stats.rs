@@ -49,7 +49,11 @@ pub fn sparsity(table: &Table) -> SparsityReport {
     SparsityReport {
         total_slots: total,
         missing_slots: missing,
-        ratio: if total == 0 { 0.0 } else { missing as f64 / total as f64 },
+        ratio: if total == 0 {
+            0.0
+        } else {
+            missing as f64 / total as f64
+        },
         per_concept,
     }
 }
@@ -77,7 +81,10 @@ mod tests {
         assert_eq!(r.missing_slots, 3);
         assert!((r.ratio - 0.75).abs() < 1e-12);
         assert_eq!(r.filled_slots(), 1);
-        assert_eq!(r.per_concept, vec![("A".to_string(), 1, 2), ("C".to_string(), 2, 2)]);
+        assert_eq!(
+            r.per_concept,
+            vec![("A".to_string(), 1, 2), ("C".to_string(), 2, 2)]
+        );
     }
 
     #[test]

@@ -100,7 +100,9 @@ pub struct Row {
 impl Row {
     /// An all-null row of the given arity.
     pub fn empty(arity: usize) -> Self {
-        Self { cells: vec![Cell::null(); arity] }
+        Self {
+            cells: vec![Cell::null(); arity],
+        }
     }
 
     /// The cell at concept index `i`.
@@ -136,7 +138,11 @@ pub struct Table {
 impl Table {
     /// An empty table over `schema`.
     pub fn new(schema: Schema) -> Self {
-        Self { schema, rows: Vec::new(), index: HashMap::new() }
+        Self {
+            schema,
+            rows: Vec::new(),
+            index: HashMap::new(),
+        }
     }
 
     /// The schema.
@@ -183,7 +189,9 @@ impl Table {
 
     /// Look up a row by subject instance.
     pub fn get_row(&self, subject: &str) -> Option<&Row> {
-        self.index.get(&normalize_phrase(subject)).map(|&i| &self.rows[i])
+        self.index
+            .get(&normalize_phrase(subject))
+            .map(|&i| &self.rows[i])
     }
 
     /// Subject instance of row `i` (display form).
@@ -210,7 +218,11 @@ impl Table {
             .schema
             .index_of(concept)
             .unwrap_or_else(|| panic!("concept `{concept}` not in schema"));
-        assert_ne!(ci, self.schema.subject_index(), "cannot slot-fill the subject concept");
+        assert_ne!(
+            ci,
+            self.schema.subject_index(),
+            "cannot slot-fill the subject concept"
+        );
         let ri = self.row_for_subject(subject);
         self.rows[ri].cell_mut(ci).insert(value)
     }
@@ -232,7 +244,10 @@ impl Table {
 
     /// Total number of concept instances stored (counting the subject).
     pub fn instance_count(&self) -> usize {
-        self.rows.iter().map(|r| r.cells().iter().map(Cell::len).sum::<usize>()).sum()
+        self.rows
+            .iter()
+            .map(|r| r.cells().iter().map(Cell::len).sum::<usize>())
+            .sum()
     }
 
     /// Strip every non-subject cell (the paper's evaluation setup:

@@ -64,8 +64,10 @@ pub fn bio_tags(doc: &AnnotatedDoc) -> Vec<Vec<(String, Bio)>> {
         .gold
         .iter()
         .map(|g| {
-            let words: Vec<String> =
-                normalize_phrase(&g.phrase).split_whitespace().map(str::to_string).collect();
+            let words: Vec<String> = normalize_phrase(&g.phrase)
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
             (words, g.concept.clone())
         })
         .filter(|(w, _)| !w.is_empty())
@@ -76,8 +78,7 @@ pub fn bio_tags(doc: &AnnotatedDoc) -> Vec<Vec<(String, Bio)>> {
     let mut out = Vec::new();
     for sentence in split_sentences(&doc.doc.text) {
         let tokens = tokenize(&sentence.text);
-        let words: Vec<String> =
-            tokens.iter().map(|t| normalize_phrase(&t.text)).collect();
+        let words: Vec<String> = tokens.iter().map(|t| normalize_phrase(&t.text)).collect();
         let mut labels: Vec<Bio> = vec![Bio::O; tokens.len()];
 
         for (phrase_words, concept) in &phrases {
@@ -178,7 +179,10 @@ mod tests {
             phrase: "nonexistent drug".into(),
         });
         let tags = bio_tags(&d);
-        assert!(tags.iter().flatten().all(|(_, l)| l.concept() != Some("Medicine")));
+        assert!(tags
+            .iter()
+            .flatten()
+            .all(|(_, l)| l.concept() != Some("Medicine")));
     }
 
     #[test]
@@ -187,7 +191,11 @@ mod tests {
             doc: Document::new("d", "severe hearing loss troubles patients."),
             subjects: vec![],
             gold: vec![
-                GoldEntity { subject: "s".into(), concept: "A".into(), phrase: "hearing".into() },
+                GoldEntity {
+                    subject: "s".into(),
+                    concept: "A".into(),
+                    phrase: "hearing".into(),
+                },
                 GoldEntity {
                     subject: "s".into(),
                     concept: "B".into(),

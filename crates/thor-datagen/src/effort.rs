@@ -21,7 +21,10 @@ pub struct AnnotationEffortModel {
 impl Default for AnnotationEffortModel {
     fn default() -> Self {
         // Table IX: "Single Token 8s – 13s".
-        Self { min_sec_per_token: 8.0, max_sec_per_token: 13.0 }
+        Self {
+            min_sec_per_token: 8.0,
+            max_sec_per_token: 13.0,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ impl AnnotationEffortModel {
         let counts: Vec<usize> = docs.iter().map(|d| d.doc.word_count()).collect();
         let min = *counts.iter().min()?;
         let max = *counts.iter().max()?;
-        Some((min as f64 * self.min_sec_per_token, max as f64 * self.max_sec_per_token))
+        Some((
+            min as f64 * self.min_sec_per_token,
+            max as f64 * self.max_sec_per_token,
+        ))
     }
 }
 

@@ -107,8 +107,18 @@ impl GeneratedDataset {
 /// give sequence taggers the *contextual* signal real language models
 /// exploit ("symptoms *include* X" vs "doctors *recommend* Y").
 const CONCEPT_VERBS: &[&str] = &[
-    "involves", "causes", "requires", "includes", "shows", "recommends", "reports",
-    "presents", "develops", "treats", "prevents", "needs",
+    "involves",
+    "causes",
+    "requires",
+    "includes",
+    "shows",
+    "recommends",
+    "reports",
+    "presents",
+    "develops",
+    "treats",
+    "prevents",
+    "needs",
 ];
 
 /// Shifted verb inventory used by the test split when
@@ -116,8 +126,8 @@ const CONCEPT_VERBS: &[&str] = &[
 /// concept-to-verb mapping, so context features learned on the training
 /// style mislead rather than transfer.
 const CONCEPT_VERBS_SHIFTED: &[&str] = &[
-    "holds", "earns", "takes", "uses", "knows", "speaks", "manages", "receives",
-    "studies", "works", "makes", "helps",
+    "holds", "earns", "takes", "uses", "knows", "speaks", "manages", "receives", "studies",
+    "works", "makes", "helps",
 ];
 
 /// Sentence templates; `{S}` is the subject, `{E*}` entity slots.
@@ -133,8 +143,10 @@ const TEMPLATES_2: &[&str] = &[
     "{S} shows {E1} and {E2} over time.",
     "Records include {E1} and also {E2}.",
 ];
-const TEMPLATES_3: &[&str] =
-    &["Common findings include {E1}, {E2} and {E3}.", "Reports list {E1}, {E2} and {E3}."];
+const TEMPLATES_3: &[&str] = &[
+    "Common findings include {E1}, {E2} and {E3}.",
+    "Reports list {E1}, {E2} and {E3}.",
+];
 
 /// Entity-free sentences mentioning a distractor word `{D}` — the
 /// false-positive bait.
@@ -246,8 +258,10 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
         builder = builder.words(&topic, covered);
         // Distractors sit at the topic's periphery: close enough to be
         // pulled in by a lenient τ-expansion, wrong nonetheless.
-        let periphery: Vec<&str> =
-            distractors_by_concept[i].iter().map(String::as_str).collect();
+        let periphery: Vec<&str> = distractors_by_concept[i]
+            .iter()
+            .map(String::as_str)
+            .collect();
         builder = builder.words_with_spread(&topic, periphery, spec.spread * 1.35);
     }
     let generic: Vec<&str> = modifiers.iter().map(String::as_str).collect();
@@ -287,12 +301,22 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     let common_pool: Vec<Vec<&String>> = vocabs
         .iter()
         .enumerate()
-        .map(|(ci, v)| v.instances.iter().filter(|i| !novel[ci].contains(*i)).collect())
+        .map(|(ci, v)| {
+            v.instances
+                .iter()
+                .filter(|i| !novel[ci].contains(*i))
+                .collect()
+        })
         .collect();
     let novel_pool: Vec<Vec<&String>> = vocabs
         .iter()
         .enumerate()
-        .map(|(ci, v)| v.instances.iter().filter(|i| novel[ci].contains(*i)).collect())
+        .map(|(ci, v)| {
+            v.instances
+                .iter()
+                .filter(|i| novel[ci].contains(*i))
+                .collect()
+        })
         .collect();
     let total_weight: f64 = spec.concepts.iter().skip(1).map(|c| c.mention_weight).sum();
     let slots_per_subject = 18.0;
@@ -302,14 +326,17 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
         let mut a = Assignment::new();
         for (ci, cs) in spec.concepts.iter().enumerate().skip(1) {
             let expected = (cs.mention_weight / total_weight * slots_per_subject).max(0.5);
-            let k = (expected.round() as usize + rng.random_range(0..2)).max(1);
+            let k = (expected.round() as usize + rng.random_range(0..2usize)).max(1);
             let mut chosen = Vec::with_capacity(k);
             for _ in 0..k {
                 let use_novel = is_test
                     && !novel_pool[ci].is_empty()
                     && rng.random::<f64>() < spec.test_novel_mix;
-                let pool: &[&String] =
-                    if use_novel { &novel_pool[ci] } else { &common_pool[ci] };
+                let pool: &[&String] = if use_novel {
+                    &novel_pool[ci]
+                } else {
+                    &common_pool[ci]
+                };
                 if pool.is_empty() {
                     continue;
                 }
@@ -379,14 +406,13 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     // are drawn from the distractor vocabulary, so lenient extractors
     // reproduce them as spurious predictions at any threshold.
     for (ci, cs) in spec.concepts.iter().enumerate().skip(1) {
-        let junk_count =
-            ((cs.instance_count as f64) * spec.table_noise).round() as usize;
+        let junk_count = ((cs.instance_count as f64) * spec.table_noise).round() as usize;
         for _ in 0..junk_count {
             if distractors_by_concept[ci].is_empty() || n_train + n_val == 0 {
                 break;
             }
-            let junk = &distractors_by_concept[ci]
-                [rng.random_range(0..distractors_by_concept[ci].len())];
+            let junk =
+                &distractors_by_concept[ci][rng.random_range(0..distractors_by_concept[ci].len())];
             let subject = &subjects[rng.random_range(0..n_train + n_val)];
             let candidates: Vec<usize> = source_concepts
                 .iter()
@@ -412,10 +438,10 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     let mut doc_counter = 0usize;
 
     let emit_docs = |range: std::ops::Range<usize>,
-                         out: &mut Vec<AnnotatedDoc>,
-                         rng: &mut StdRng,
-                         doc_counter: &mut usize,
-                         is_test: bool| {
+                     out: &mut Vec<AnnotatedDoc>,
+                     rng: &mut StdRng,
+                     doc_counter: &mut usize,
+                     is_test: bool| {
         let split_subjects: Vec<usize> = range.collect();
         if spec.subjects_per_doc > 1 {
             // Résumé style: bundle several subjects per document.
@@ -454,10 +480,31 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     };
 
     emit_docs(0..n_train, &mut train, &mut rng, &mut doc_counter, false);
-    emit_docs(n_train..n_train + n_val, &mut validation, &mut rng, &mut doc_counter, false);
-    emit_docs(n_train + n_val..n_total, &mut test, &mut rng, &mut doc_counter, spec.test_style_shift);
+    emit_docs(
+        n_train..n_train + n_val,
+        &mut validation,
+        &mut rng,
+        &mut doc_counter,
+        false,
+    );
+    emit_docs(
+        n_train + n_val..n_total,
+        &mut test,
+        &mut rng,
+        &mut doc_counter,
+        spec.test_style_shift,
+    );
 
-    GeneratedDataset { name: spec.name.clone(), schema, table, sources, store, train, validation, test }
+    GeneratedDataset {
+        name: spec.name.clone(),
+        schema,
+        table,
+        sources,
+        store,
+        train,
+        validation,
+        test,
+    }
 }
 
 /// Compose one document covering `subject_indices`.
@@ -479,7 +526,12 @@ fn compose_doc(
     let subject_concept = &spec.concepts[0].name;
 
     // Mention weights for concept sampling.
-    let weights: Vec<f64> = spec.concepts.iter().skip(1).map(|c| c.mention_weight).collect();
+    let weights: Vec<f64> = spec
+        .concepts
+        .iter()
+        .skip(1)
+        .map(|c| c.mention_weight)
+        .collect();
     let weight_sum: f64 = weights.iter().sum();
 
     for &si in subject_indices {
@@ -583,7 +635,11 @@ fn compose_doc(
         }
     }
 
-    AnnotatedDoc { doc: Document::new(id, text.trim_end()), subjects: doc_subjects, gold }
+    AnnotatedDoc {
+        doc: Document::new(id, text.trim_end()),
+        subjects: doc_subjects,
+        gold,
+    }
 }
 
 #[cfg(test)]
@@ -641,7 +697,10 @@ mod tests {
         let d = small();
         for doc in &d.test {
             for s in &doc.subjects {
-                assert!(d.table.get_row(s).is_none(), "test subject {s} leaked into R");
+                assert!(
+                    d.table.get_row(s).is_none(),
+                    "test subject {s} leaked into R"
+                );
             }
         }
         // Enrichment table adds them back, stripped.
@@ -659,7 +718,10 @@ mod tests {
     fn integrated_table_is_sparse() {
         let d = generate(&DatasetSpec::disease_az(7, 0.1));
         let report = thor_data::sparsity(&d.table);
-        assert!(report.ratio > 0.05, "integration should produce missing values");
+        assert!(
+            report.ratio > 0.05,
+            "integration should produce missing values"
+        );
         assert!(report.ratio < 1.0, "but not only missing values");
     }
 
@@ -710,6 +772,9 @@ mod tests {
             }
         }
         assert!(novel > 0, "every gold instance known — no OOV challenge");
-        assert!(known > 0, "no gold instance known — baseline would be useless");
+        assert!(
+            known > 0,
+            "no gold instance known — baseline would be useless"
+        );
     }
 }

@@ -19,8 +19,10 @@ pub struct CorpusStats {
 
 /// Compute Table III statistics for a document set.
 pub fn corpus_stats(docs: &[AnnotatedDoc]) -> CorpusStats {
-    let subjects: BTreeSet<&str> =
-        docs.iter().flat_map(|d| d.subjects.iter().map(String::as_str)).collect();
+    let subjects: BTreeSet<&str> = docs
+        .iter()
+        .flat_map(|d| d.subjects.iter().map(String::as_str))
+        .collect();
     CorpusStats {
         subjects: subjects.len(),
         documents: docs.len(),
@@ -54,7 +56,15 @@ mod tests {
             },
         ];
         let s = corpus_stats(&docs);
-        assert_eq!(s, CorpusStats { subjects: 2, documents: 2, entities: 1, words: 5 });
+        assert_eq!(
+            s,
+            CorpusStats {
+                subjects: 2,
+                documents: 2,
+                entities: 1,
+                words: 5
+            }
+        );
     }
 
     #[test]

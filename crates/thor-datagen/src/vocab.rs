@@ -13,9 +13,9 @@ use rand::Rng;
 
 /// Consonant-vowel syllables used as word stems.
 const SYLLABLES: &[&str] = &[
-    "ba", "ce", "di", "fo", "gu", "ha", "ke", "li", "mo", "nu", "pa", "re", "si", "to", "vu",
-    "wa", "xe", "zi", "bra", "cle", "dri", "flo", "gru", "pla", "ster", "tro", "qui", "sna",
-    "ve", "lor", "mer", "nal", "pol", "rus", "tan",
+    "ba", "ce", "di", "fo", "gu", "ha", "ke", "li", "mo", "nu", "pa", "re", "si", "to", "vu", "wa",
+    "xe", "zi", "bra", "cle", "dri", "flo", "gru", "pla", "ster", "tro", "qui", "sna", "ve", "lor",
+    "mer", "nal", "pol", "rus", "tan",
 ];
 
 /// A family of word endings shared by one concept's vocabulary.
@@ -28,7 +28,9 @@ impl SuffixFamily {
     /// Create a family from a fixed suffix set.
     pub fn new(suffixes: &[&'static str]) -> Self {
         assert!(!suffixes.is_empty());
-        Self { suffixes: suffixes.to_vec() }
+        Self {
+            suffixes: suffixes.to_vec(),
+        }
     }
 
     /// Built-in families, cycled over concepts in declaration order so
@@ -127,7 +129,11 @@ pub fn concept_vocab(
     let mut guard = 0;
     while heads.len() < head_count && guard < head_count * 50 {
         guard += 1;
-        let f = if rng.random::<f64>() < irregular_rate { &generic } else { family };
+        let f = if rng.random::<f64>() < irregular_rate {
+            &generic
+        } else {
+            family
+        };
         let w = f.word(rng);
         if !heads.contains(&w) {
             heads.push(w);
@@ -148,19 +154,31 @@ pub fn concept_vocab(
             // Borrowed heads always get a modifier: the *phrase* is this
             // concept's, only the head word is shared.
             if borrow && !modifiers.is_empty() {
-                format!("{} {}", modifiers[rng.random_range(0..modifiers.len())], head)
+                format!(
+                    "{} {}",
+                    modifiers[rng.random_range(0..modifiers.len())],
+                    head
+                )
             } else {
                 head
             }
         } else {
-            format!("{} {}", modifiers[rng.random_range(0..modifiers.len())], head)
+            format!(
+                "{} {}",
+                modifiers[rng.random_range(0..modifiers.len())],
+                head
+            )
         };
         if !instances.contains(&instance) {
             instances.push(instance);
         }
     }
 
-    ConceptVocab { concept: concept.to_string(), heads, instances }
+    ConceptVocab {
+        concept: concept.to_string(),
+        heads,
+        instances,
+    }
 }
 
 #[cfg(test)]
@@ -192,7 +210,17 @@ mod tests {
     fn vocab_sizes_respected() {
         let mut r = rng(7);
         let mods = modifier_pool(&mut r, 10);
-        let v = concept_vocab(&mut r, "Anatomy", &SuffixFamily::builtin(0), 20, 40, &mods, &[], 0.0, 0.0);
+        let v = concept_vocab(
+            &mut r,
+            "Anatomy",
+            &SuffixFamily::builtin(0),
+            20,
+            40,
+            &mods,
+            &[],
+            0.0,
+            0.0,
+        );
         assert_eq!(v.heads.len(), 20);
         assert_eq!(v.instances.len(), 40);
         // No duplicates.
@@ -228,7 +256,17 @@ mod tests {
         let make = || {
             let mut r = rng(42);
             let mods = modifier_pool(&mut r, 5);
-            concept_vocab(&mut r, "X", &SuffixFamily::builtin(2), 5, 10, &mods, &[], 0.0, 0.0)
+            concept_vocab(
+                &mut r,
+                "X",
+                &SuffixFamily::builtin(2),
+                5,
+                10,
+                &mods,
+                &[],
+                0.0,
+                0.0,
+            )
         };
         assert_eq!(make().instances, make().instances);
     }

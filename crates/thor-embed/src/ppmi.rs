@@ -39,7 +39,14 @@ pub struct PpmiConfig {
 
 impl Default for PpmiConfig {
     fn default() -> Self {
-        Self { dim: 32, window: 4, min_count: 2, shift: 0.0, power_iterations: 3, seed: 0x5EED }
+        Self {
+            dim: 32,
+            window: 4,
+            min_count: 2,
+            shift: 0.0,
+            power_iterations: 3,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -81,8 +88,7 @@ impl PpmiSvdTrainer {
         if vocab.is_empty() {
             return VectorStore::new(cfg.dim);
         }
-        let index: HashMap<&str, usize> =
-            vocab.iter().enumerate().map(|(i, &w)| (w, i)).collect();
+        let index: HashMap<&str, usize> = vocab.iter().enumerate().map(|(i, &w)| (w, i)).collect();
         let n = vocab.len();
 
         // ---- co-occurrence counts ----
@@ -90,8 +96,10 @@ impl PpmiSvdTrainer {
         let mut row_sums = vec![0.0f64; n];
         let mut total = 0.0f64;
         for sent in corpus {
-            let ids: Vec<usize> =
-                sent.iter().filter_map(|w| index.get(w.as_str()).copied()).collect();
+            let ids: Vec<usize> = sent
+                .iter()
+                .filter_map(|w| index.get(w.as_str()).copied())
+                .collect();
             for (i, &a) in ids.iter().enumerate() {
                 let hi = (i + cfg.window + 1).min(ids.len());
                 for &b in &ids[i + 1..hi] {
@@ -251,8 +259,9 @@ fn jacobi_eigen(a: &mut [Vec<f64>], sweeps: usize) -> (Vec<f64>, Vec<Vec<f64>>) 
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| a[j][j].abs().total_cmp(&a[i][i].abs()));
     let evals: Vec<f64> = order.iter().map(|&i| a[i][i]).collect();
-    let evecs: Vec<Vec<f64>> =
-        (0..n).map(|row| order.iter().map(|&col| v[row][col]).collect()).collect();
+    let evecs: Vec<Vec<f64>> = (0..n)
+        .map(|row| order.iter().map(|&col| v[row][col]).collect())
+        .collect();
     // Transpose convention: we want evecs[c][e] = component c of the
     // e-th eigenvector — that is exactly `evecs` as built (row = c).
     (evals, evecs)
@@ -265,7 +274,14 @@ mod tests {
     fn topical_corpus(sentences: usize) -> Vec<Vec<String>> {
         let mut rng = StdRng::seed_from_u64(99);
         let anatomy = ["brain", "nerve", "lung", "heart", "spine", "tissue"];
-        let medicine = ["aspirin", "ibuprofen", "antibiotic", "dose", "tablet", "drug"];
+        let medicine = [
+            "aspirin",
+            "ibuprofen",
+            "antibiotic",
+            "dose",
+            "tablet",
+            "drug",
+        ];
         let glue = ["the", "with", "and"];
         let mut corpus = Vec::new();
         for i in 0..sentences {
@@ -292,15 +308,24 @@ mod tests {
     #[test]
     fn learns_topical_clusters() {
         let corpus = topical_corpus(300);
-        let cfg = PpmiConfig { dim: 16, ..Default::default() };
+        let cfg = PpmiConfig {
+            dim: 16,
+            ..Default::default()
+        };
         let store = PpmiSvdTrainer::new(cfg).train(&corpus);
         let avg = |pairs: &[(&str, &str)]| {
-            pairs.iter().map(|(a, b)| store.phrase_similarity(a, b).unwrap()).sum::<f64>()
+            pairs
+                .iter()
+                .map(|(a, b)| store.phrase_similarity(a, b).unwrap())
+                .sum::<f64>()
                 / pairs.len() as f64
         };
         let intra = avg(&[("brain", "nerve"), ("lung", "heart"), ("aspirin", "tablet")]);
         let inter = avg(&[("brain", "aspirin"), ("lung", "drug"), ("nerve", "dose")]);
-        assert!(intra > inter, "intra {intra:.3} must exceed inter {inter:.3}");
+        assert!(
+            intra > inter,
+            "intra {intra:.3} must exceed inter {inter:.3}"
+        );
     }
 
     #[test]
@@ -314,10 +339,17 @@ mod tests {
     #[test]
     fn min_count_respected() {
         let corpus = vec![
-            vec!["common".to_string(), "common".to_string(), "rare".to_string()],
+            vec![
+                "common".to_string(),
+                "common".to_string(),
+                "rare".to_string(),
+            ],
             vec!["common".to_string(), "common".to_string()],
         ];
-        let cfg = PpmiConfig { min_count: 2, ..Default::default() };
+        let cfg = PpmiConfig {
+            min_count: 2,
+            ..Default::default()
+        };
         let store = PpmiSvdTrainer::new(cfg).train(&corpus);
         assert!(store.contains("common"));
         assert!(!store.contains("rare"));
@@ -338,7 +370,10 @@ mod tests {
     #[test]
     fn vectors_unit_length_and_right_dim() {
         let corpus = topical_corpus(60);
-        let cfg = PpmiConfig { dim: 8, ..Default::default() };
+        let cfg = PpmiConfig {
+            dim: 8,
+            ..Default::default()
+        };
         let store = PpmiSvdTrainer::new(cfg).train(&corpus);
         assert_eq!(store.dim(), 8);
         for (_, v) in store.iter() {

@@ -28,7 +28,10 @@ impl QuantizedStore {
         for (word, v) in store.iter() {
             entries.insert(word.to_string(), quantize(v));
         }
-        Self { dim: store.dim(), entries }
+        Self {
+            dim: store.dim(),
+            entries,
+        }
     }
 
     /// Dimensionality.
@@ -56,7 +59,9 @@ impl QuantizedStore {
     /// Dequantize one word's vector.
     pub fn get(&self, word: &str) -> Option<Vector> {
         let norm = thor_text::normalize_phrase(word);
-        self.entries.get(&norm).map(|(scale, codes)| dequantize(*scale, codes))
+        self.entries
+            .get(&norm)
+            .map(|(scale, codes)| dequantize(*scale, codes))
     }
 
     /// Reconstruct a full-precision [`VectorStore`] (with quantization
@@ -77,7 +82,10 @@ fn quantize(v: &Vector) -> (f32, Vec<i8>) {
         return (0.0, vec![0; v.dim()]);
     }
     let scale = max / 127.0;
-    let codes = v.0.iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
+    let codes =
+        v.0.iter()
+            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
     (scale, codes)
 }
 
@@ -134,7 +142,11 @@ mod tests {
         let s = store();
         let q = QuantizedStore::from_store(&s);
         let f32_bytes = s.len() * s.dim() * 4;
-        assert!(q.code_bytes() < f32_bytes / 2, "{} vs {f32_bytes}", q.code_bytes());
+        assert!(
+            q.code_bytes() < f32_bytes / 2,
+            "{} vs {f32_bytes}",
+            q.code_bytes()
+        );
     }
 
     #[test]

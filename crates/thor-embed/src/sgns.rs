@@ -94,8 +94,11 @@ impl SgnsTrainer {
         if vocab.is_empty() {
             return VectorStore::new(cfg.dim);
         }
-        let index: HashMap<&str, usize> =
-            vocab.iter().enumerate().map(|(i, &(w, _))| (w, i)).collect();
+        let index: HashMap<&str, usize> = vocab
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, _))| (w, i))
+            .collect();
         let total_tokens: usize = vocab.iter().map(|&(_, c)| c).sum();
 
         // ---- negative-sampling table (unigram^0.75) ----
@@ -130,17 +133,21 @@ impl SgnsTrainer {
         // ---- parameter init ----
         let v = vocab.len();
         let d = cfg.dim;
-        let mut input: Vec<f32> =
-            (0..v * d).map(|_| (rng.random::<f32>() - 0.5) / d as f32).collect();
+        let mut input: Vec<f32> = (0..v * d)
+            .map(|_| (rng.random::<f32>() - 0.5) / d as f32)
+            .collect();
         let mut output: Vec<f32> = vec![0.0; v * d];
 
         // ---- encode corpus once ----
         let encoded: Vec<Vec<usize>> = corpus
             .iter()
-            .map(|s| s.iter().filter_map(|w| index.get(w.as_str()).copied()).collect())
+            .map(|s| {
+                s.iter()
+                    .filter_map(|w| index.get(w.as_str()).copied())
+                    .collect()
+            })
             .collect();
-        let pair_estimate: usize =
-            encoded.iter().map(Vec::len).sum::<usize>().max(1) * cfg.epochs;
+        let pair_estimate: usize = encoded.iter().map(Vec::len).sum::<usize>().max(1) * cfg.epochs;
 
         // ---- SGD ----
         let mut processed = 0usize;
@@ -154,8 +161,7 @@ impl SgnsTrainer {
                     .collect();
                 for (pos, &center) in kept.iter().enumerate() {
                     processed += 1;
-                    let lr = (cfg.learning_rate
-                        * (1.0 - processed as f32 / pair_estimate as f32))
+                    let lr = (cfg.learning_rate * (1.0 - processed as f32 / pair_estimate as f32))
                         .max(cfg.learning_rate * 1e-4);
                     let b = rng.random_range(0..cfg.window);
                     let lo = pos.saturating_sub(cfg.window - b);
@@ -228,7 +234,14 @@ mod tests {
     fn topical_corpus(seed: u64, sentences: usize) -> Vec<Vec<String>> {
         let mut rng = StdRng::seed_from_u64(seed);
         let anatomy = ["brain", "nerve", "lung", "heart", "spine", "tissue"];
-        let medicine = ["aspirin", "ibuprofen", "antibiotic", "dose", "tablet", "drug"];
+        let medicine = [
+            "aspirin",
+            "ibuprofen",
+            "antibiotic",
+            "dose",
+            "tablet",
+            "drug",
+        ];
         let glue = ["the", "affects", "with", "and", "treats"];
         let mut corpus = Vec::new();
         for i in 0..sentences {
@@ -256,10 +269,18 @@ mod tests {
     #[test]
     fn min_count_filters_rare_words() {
         let corpus = vec![
-            vec!["common".to_string(), "common".to_string(), "rare".to_string()],
+            vec![
+                "common".to_string(),
+                "common".to_string(),
+                "rare".to_string(),
+            ],
             vec!["common".to_string(), "common".to_string()],
         ];
-        let cfg = SgnsConfig { min_count: 2, epochs: 1, ..Default::default() };
+        let cfg = SgnsConfig {
+            min_count: 2,
+            epochs: 1,
+            ..Default::default()
+        };
         let store = SgnsTrainer::new(cfg).train(&corpus);
         assert!(store.contains("common"));
         assert!(!store.contains("rare"));
@@ -268,7 +289,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let corpus = topical_corpus(1, 60);
-        let cfg = SgnsConfig { epochs: 2, ..Default::default() };
+        let cfg = SgnsConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         let a = SgnsTrainer::new(cfg.clone()).train(&corpus);
         let b = SgnsTrainer::new(cfg).train(&corpus);
         assert_eq!(a.get("brain"), b.get("brain"));
@@ -278,10 +302,19 @@ mod tests {
     fn learns_topical_clusters() {
         // The core claim: co-occurrence training separates topics.
         let corpus = topical_corpus(7, 400);
-        let cfg = SgnsConfig { dim: 24, epochs: 10, min_count: 2, ..Default::default() };
+        let cfg = SgnsConfig {
+            dim: 24,
+            epochs: 10,
+            min_count: 2,
+            ..Default::default()
+        };
         let store = SgnsTrainer::new(cfg).train(&corpus);
 
-        let intra_pairs = [("brain", "nerve"), ("lung", "heart"), ("aspirin", "ibuprofen")];
+        let intra_pairs = [
+            ("brain", "nerve"),
+            ("lung", "heart"),
+            ("aspirin", "ibuprofen"),
+        ];
         let inter_pairs = [("brain", "aspirin"), ("lung", "tablet"), ("nerve", "drug")];
         let avg = |pairs: &[(&str, &str)]| {
             pairs
@@ -301,7 +334,11 @@ mod tests {
     #[test]
     fn vectors_are_unit_length() {
         let corpus = topical_corpus(3, 50);
-        let store = SgnsTrainer::new(SgnsConfig { epochs: 1, ..Default::default() }).train(&corpus);
+        let store = SgnsTrainer::new(SgnsConfig {
+            epochs: 1,
+            ..Default::default()
+        })
+        .train(&corpus);
         for (_, v) in store.iter() {
             assert!((v.norm() - 1.0).abs() < 1e-5);
         }

@@ -102,7 +102,10 @@ impl SemanticSpaceBuilder {
 
     /// Declare an independent topic.
     pub fn topic(mut self, name: &str) -> Self {
-        self.topics.push(TopicSpec { name: name.to_string(), correlate_with: None });
+        self.topics.push(TopicSpec {
+            name: name.to_string(),
+            correlate_with: None,
+        });
         self
     }
 
@@ -141,7 +144,8 @@ impl SemanticSpaceBuilder {
         spread: f32,
     ) -> Self {
         for w in words {
-            self.words.push((topic.to_string(), w.to_string(), Some(spread)));
+            self.words
+                .push((topic.to_string(), w.to_string(), Some(spread)));
         }
         self
     }
@@ -149,7 +153,12 @@ impl SemanticSpaceBuilder {
     /// Place a word between two topics (lexical ambiguity): its vector is
     /// `mix * centroid_a + (1 - mix) * centroid_b` plus noise.
     pub fn ambiguous_word(mut self, word: &str, topic_a: &str, topic_b: &str, mix: f32) -> Self {
-        self.ambiguous.push((word.to_string(), topic_a.to_string(), topic_b.to_string(), mix));
+        self.ambiguous.push((
+            word.to_string(),
+            topic_a.to_string(),
+            topic_b.to_string(),
+            mix,
+        ));
         self
     }
 
@@ -174,7 +183,12 @@ impl SemanticSpaceBuilder {
             if let Some((other, mix)) = &spec.correlate_with {
                 let base = centroids
                     .get(other)
-                    .unwrap_or_else(|| panic!("correlated topic `{other}` not declared before `{}`", spec.name))
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "correlated topic `{other}` not declared before `{}`",
+                            spec.name
+                        )
+                    })
                     .clone();
                 for (ci, bi) in c.0.iter_mut().zip(&base.0) {
                     *ci = *ci * (1.0 - mix) + bi * mix;
@@ -195,15 +209,18 @@ impl SemanticSpaceBuilder {
             // concentrate around one value and a threshold sweep turns
             // into a cliff.
             let jitter = 0.5 + 1.1 * rng.random::<f32>();
-            store.insert(word, perturb(&mut rng, centroid, spread.unwrap_or(self.spread) * jitter));
+            store.insert(
+                word,
+                perturb(&mut rng, centroid, spread.unwrap_or(self.spread) * jitter),
+            );
         }
         for (word, ta, tb, mix) in &self.ambiguous {
-            let ca = centroids
-                .get(ta)
-                .unwrap_or_else(|| panic!("ambiguous word `{word}` references undeclared topic `{ta}`"));
-            let cb = centroids
-                .get(tb)
-                .unwrap_or_else(|| panic!("ambiguous word `{word}` references undeclared topic `{tb}`"));
+            let ca = centroids.get(ta).unwrap_or_else(|| {
+                panic!("ambiguous word `{word}` references undeclared topic `{ta}`")
+            });
+            let cb = centroids.get(tb).unwrap_or_else(|| {
+                panic!("ambiguous word `{word}` references undeclared topic `{tb}`")
+            });
             let mut v = Vector::zeros(self.dim);
             for ((vi, ai), bi) in v.0.iter_mut().zip(&ca.0).zip(&cb.0) {
                 *vi = ai * mix + bi * (1.0 - mix);
@@ -263,7 +280,10 @@ mod tests {
             .correlated_topic("complication", "anatomy", 0.4)
             .topic("medicine")
             .words("anatomy", ["brain", "nerve", "lung", "heart", "spine"])
-            .words("complication", ["cancer", "stroke", "deafness", "paralysis"])
+            .words(
+                "complication",
+                ["cancer", "stroke", "deafness", "paralysis"],
+            )
             .words("medicine", ["aspirin", "ibuprofen", "antibiotic"])
             .ambiguous_word("blood", "anatomy", "complication", 0.6)
             .generic_words(["walk", "green", "table", "quick"])

@@ -22,7 +22,10 @@ pub struct VectorStore {
 impl VectorStore {
     /// Create an empty store with dimensionality `dim`.
     pub fn new(dim: usize) -> Self {
-        Self { dim, vectors: HashMap::new() }
+        Self {
+            dim,
+            vectors: HashMap::new(),
+        }
     }
 
     /// Dimensionality of the stored vectors.
@@ -70,8 +73,10 @@ impl VectorStore {
     /// phrase is in the vocabulary.
     pub fn embed_phrase(&self, phrase: &str) -> Option<Vector> {
         let normalized = normalize_phrase(phrase);
-        let vectors: Vec<&Vector> =
-            normalized.split_whitespace().filter_map(|w| self.vectors.get(w)).collect();
+        let vectors: Vec<&Vector> = normalized
+            .split_whitespace()
+            .filter_map(|w| self.vectors.get(w))
+            .collect();
         Vector::mean(vectors)
     }
 
@@ -91,7 +96,10 @@ impl VectorStore {
         if words.is_empty() {
             return 0.0;
         }
-        let known = words.iter().filter(|w| self.vectors.contains_key(**w)).count();
+        let known = words
+            .iter()
+            .filter(|w| self.vectors.contains_key(**w))
+            .count();
         known as f64 / words.len() as f64
     }
 
@@ -112,8 +120,11 @@ impl VectorStore {
 
     /// The `k` nearest vocabulary words to `query` by cosine similarity.
     pub fn nearest(&self, query: &Vector, k: usize) -> Vec<(&str, f64)> {
-        let mut all: Vec<(&str, f64)> =
-            self.vectors.iter().map(|(w, v)| (w.as_str(), cosine(query, v))).collect();
+        let mut all: Vec<(&str, f64)> = self
+            .vectors
+            .iter()
+            .map(|(w, v)| (w.as_str(), cosine(query, v)))
+            .collect();
         all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         all.truncate(k);
         all
@@ -140,26 +151,39 @@ impl VectorStore {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty vector file")?;
         let mut parts = header.split_whitespace();
-        let count: usize =
-            parts.next().and_then(|s| s.parse().ok()).ok_or("bad header count")?;
-        let dim: usize = parts.next().and_then(|s| s.parse().ok()).ok_or("bad header dim")?;
+        let count: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("bad header count")?;
+        let dim: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or("bad header dim")?;
         let mut store = VectorStore::new(dim);
         for (i, line) in lines.enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let (word, rest) =
-                line.split_once('\t').ok_or_else(|| format!("line {}: no tab", i + 2))?;
+            let (word, rest) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("line {}: no tab", i + 2))?;
             let values: Result<Vec<f32>, _> =
                 rest.split_whitespace().map(str::parse::<f32>).collect();
             let values = values.map_err(|e| format!("line {}: {e}", i + 2))?;
             if values.len() != dim {
-                return Err(format!("line {}: expected {dim} values, got {}", i + 2, values.len()));
+                return Err(format!(
+                    "line {}: expected {dim} values, got {}",
+                    i + 2,
+                    values.len()
+                ));
             }
             store.insert(word, Vector(values));
         }
         if store.len() != count {
-            return Err(format!("header declared {count} words, found {}", store.len()));
+            return Err(format!(
+                "header declared {count} words, found {}",
+                store.len()
+            ));
         }
         Ok(store)
     }
@@ -255,9 +279,18 @@ mod tests {
     fn from_text_rejects_malformed() {
         assert!(VectorStore::from_text("").is_err());
         assert!(VectorStore::from_text("notanumber 3\n").is_err());
-        assert!(VectorStore::from_text("1 3\nword\t1.0 2.0\n").is_err(), "dim mismatch");
-        assert!(VectorStore::from_text("2 2\nword\t1.0 2.0\n").is_err(), "count mismatch");
-        assert!(VectorStore::from_text("1 2\nword 1.0 2.0\n").is_err(), "missing tab");
+        assert!(
+            VectorStore::from_text("1 3\nword\t1.0 2.0\n").is_err(),
+            "dim mismatch"
+        );
+        assert!(
+            VectorStore::from_text("2 2\nword\t1.0 2.0\n").is_err(),
+            "count mismatch"
+        );
+        assert!(
+            VectorStore::from_text("1 2\nword 1.0 2.0\n").is_err(),
+            "missing tab"
+        );
     }
 
     #[test]

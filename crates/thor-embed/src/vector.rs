@@ -24,13 +24,21 @@ impl Vector {
 
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f64 {
-        self.0.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+        self.0
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Dot product. Panics if dimensions differ.
     pub fn dot(&self, other: &Vector) -> f64 {
         assert_eq!(self.dim(), other.dim(), "dimension mismatch");
-        self.0.iter().zip(&other.0).map(|(&a, &b)| a as f64 * b as f64).sum()
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum()
     }
 
     /// Scale in place.

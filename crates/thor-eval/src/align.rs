@@ -51,7 +51,9 @@ pub fn phrases_overlap(a: &str, b: &str) -> bool {
     }
     let words_b: std::collections::HashSet<&str> =
         b.split_whitespace().filter(|w| !is_stopword(w)).collect();
-    a.split_whitespace().filter(|w| !is_stopword(w)).any(|w| words_b.contains(w))
+    a.split_whitespace()
+        .filter(|w| !is_stopword(w))
+        .any(|w| words_b.contains(w))
 }
 
 /// The alignment of one prediction, with the index of the gold
@@ -108,7 +110,9 @@ pub fn align(predictions: &[Annotation], gold: &[Annotation]) -> (Vec<Aligned>, 
             if gold_used[gi] {
                 continue;
             }
-            if p.doc_id == g.doc_id && p.concept == g.concept && phrases_overlap(&p.phrase, &g.phrase)
+            if p.doc_id == g.doc_id
+                && p.concept == g.concept
+                && phrases_overlap(&p.phrase, &g.phrase)
             {
                 gold_used[gi] = true;
                 result[pi] = Some(Aligned {
@@ -155,8 +159,11 @@ pub fn align(predictions: &[Annotation], gold: &[Annotation]) -> (Vec<Aligned>, 
             })
         })
         .collect();
-    let missing: Vec<usize> =
-        gold_used.iter().enumerate().filter_map(|(gi, &used)| (!used).then_some(gi)).collect();
+    let missing: Vec<usize> = gold_used
+        .iter()
+        .enumerate()
+        .filter_map(|(gi, &used)| (!used).then_some(gi))
+        .collect();
     (aligned, missing)
 }
 
@@ -181,7 +188,10 @@ mod tests {
 
     #[test]
     fn exact_match_preferred_over_partial() {
-        let gold = vec![ann("d", "anatomy", "nerve"), ann("d", "anatomy", "vestibular nerve")];
+        let gold = vec![
+            ann("d", "anatomy", "nerve"),
+            ann("d", "anatomy", "vestibular nerve"),
+        ];
         let preds = vec![ann("d", "anatomy", "vestibular nerve")];
         let (aligned, missing) = align(&preds, &gold);
         assert_eq!(aligned[0].class, MatchClass::Correct);

@@ -25,7 +25,11 @@ impl PrCurve {
 
     /// Add a point.
     pub fn push(&mut self, label: impl Into<String>, precision: f64, recall: f64) {
-        self.points.push(PrPoint { label: label.into(), precision, recall });
+        self.points.push(PrPoint {
+            label: label.into(),
+            precision,
+            recall,
+        });
     }
 
     /// All points, in insertion order.
@@ -54,7 +58,10 @@ impl PrCurve {
     pub fn to_table(&self) -> String {
         let mut out = format!("{:<24} {:>9} {:>9}\n", "series", "P", "R");
         for p in &self.points {
-            out.push_str(&format!("{:<24} {:>9.3} {:>9.3}\n", p.label, p.precision, p.recall));
+            out.push_str(&format!(
+                "{:<24} {:>9.3} {:>9.3}\n",
+                p.label, p.precision, p.recall
+            ));
         }
         out
     }

@@ -96,7 +96,11 @@ pub fn evaluate(predictions: &[Annotation], gold: &[Annotation]) -> EvalReport {
     let actual = predictions.len() as f64;
     let credit = correct as f64 + 0.5 * partial as f64;
     let precision = if actual == 0.0 { 0.0 } else { credit / actual };
-    let recall = if possible == 0.0 { 0.0 } else { credit / possible };
+    let recall = if possible == 0.0 {
+        0.0
+    } else {
+        credit / possible
+    };
 
     // ---- per-concept ----
     // Index sets by concept.
@@ -148,7 +152,11 @@ pub fn evaluate(predictions: &[Annotation], gold: &[Annotation]) -> EvalReport {
         tp,
         fp: predictions.len() - tp,
         fn_: gold_total.saturating_sub(tp),
-        sensitivity: if gold_total == 0 { 0.0 } else { tp as f64 / gold_total as f64 },
+        sensitivity: if gold_total == 0 {
+            0.0
+        } else {
+            tp as f64 / gold_total as f64
+        },
         per_concept,
     }
 }
@@ -164,7 +172,10 @@ mod tests {
 
     #[test]
     fn perfect_predictions() {
-        let gold = vec![ann("d", "anatomy", "lungs"), ann("d", "complication", "empyema")];
+        let gold = vec![
+            ann("d", "anatomy", "lungs"),
+            ann("d", "complication", "empyema"),
+        ];
         let r = evaluate(&gold, &gold);
         assert_eq!(r.correct, 2);
         assert_eq!((r.precision, r.recall, r.f1), (1.0, 1.0, 1.0));
@@ -229,10 +240,21 @@ mod tests {
             ann("d", "complication", "nonsense"),
         ];
         let r = evaluate(&preds, &gold);
-        let anatomy = r.per_concept.iter().find(|c| c.concept == "anatomy").unwrap();
-        assert_eq!((anatomy.gold, anatomy.predicted, anatomy.tp, anatomy.fn_), (2, 1, 1, 1));
+        let anatomy = r
+            .per_concept
+            .iter()
+            .find(|c| c.concept == "anatomy")
+            .unwrap();
+        assert_eq!(
+            (anatomy.gold, anatomy.predicted, anatomy.tp, anatomy.fn_),
+            (2, 1, 1, 1)
+        );
         assert_eq!(anatomy.sensitivity, 0.5);
-        let compl = r.per_concept.iter().find(|c| c.concept == "complication").unwrap();
+        let compl = r
+            .per_concept
+            .iter()
+            .find(|c| c.concept == "complication")
+            .unwrap();
         assert_eq!((compl.gold, compl.predicted, compl.tp), (1, 2, 1));
         assert!((compl.precision - 0.5).abs() < 1e-12);
     }

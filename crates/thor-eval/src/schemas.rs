@@ -28,13 +28,21 @@ pub struct Prf {
 impl Prf {
     fn new(credit: f64, actual: f64, possible: f64) -> Self {
         let precision = if actual == 0.0 { 0.0 } else { credit / actual };
-        let recall = if possible == 0.0 { 0.0 } else { credit / possible };
+        let recall = if possible == 0.0 {
+            0.0
+        } else {
+            credit / possible
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Self { precision, recall, f1 }
+        Self {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 

@@ -59,7 +59,12 @@ impl ConceptCluster {
         for (_, v) in &representatives {
             rep_sum += v;
         }
-        Self { concept: concept.to_string(), seeds, representatives, rep_sum }
+        Self {
+            concept: concept.to_string(),
+            seeds,
+            representatives,
+            rep_sum,
+        }
     }
 
     /// Fine-tune a cluster for `concept` from its known instances, in
@@ -84,7 +89,10 @@ impl ConceptCluster {
         let mut expanded: Vec<(String, f64)> = Vec::new();
         if tau < 1.0 {
             for (word, vec) in store.iter() {
-                let best = seeds.iter().map(|(_, s)| cosine(vec, s)).fold(f64::MIN, f64::max);
+                let best = seeds
+                    .iter()
+                    .map(|(_, s)| cosine(vec, s))
+                    .fold(f64::MIN, f64::max);
                 if best >= tau && !seeds.iter().any(|(s, _)| s == word) {
                     expanded.push((word.to_string(), best));
                 }
@@ -199,10 +207,20 @@ mod tests {
     #[test]
     fn mean_similarity_prefers_own_topic() {
         let s = store();
-        let anatomy =
-            ConceptCluster::fine_tune("Anatomy", &instances(&["brain", "nerve", "lung"]), &s, 0.6, 50);
-        let medicine =
-            ConceptCluster::fine_tune("Medicine", &instances(&["aspirin", "ibuprofen"]), &s, 0.6, 50);
+        let anatomy = ConceptCluster::fine_tune(
+            "Anatomy",
+            &instances(&["brain", "nerve", "lung"]),
+            &s,
+            0.6,
+            50,
+        );
+        let medicine = ConceptCluster::fine_tune(
+            "Medicine",
+            &instances(&["aspirin", "ibuprofen"]),
+            &s,
+            0.6,
+            50,
+        );
         let q = s.embed_phrase("spine").unwrap();
         assert!(anatomy.mean_similarity(&q).unwrap() > medicine.mean_similarity(&q).unwrap());
     }
@@ -230,7 +248,13 @@ mod tests {
     #[test]
     fn mean_similarity_matches_naive_average() {
         let s = store();
-        let c = ConceptCluster::fine_tune("Anatomy", &instances(&["brain", "nerve", "ear"]), &s, 0.7, 50);
+        let c = ConceptCluster::fine_tune(
+            "Anatomy",
+            &instances(&["brain", "nerve", "ear"]),
+            &s,
+            0.7,
+            50,
+        );
         let q = s.embed_phrase("lung spine").unwrap();
         let fast = c.mean_similarity(&q).unwrap();
         let naive: f64 = c

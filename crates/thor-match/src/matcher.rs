@@ -1,6 +1,7 @@
 //! The fine-tuned similarity matcher.
 
 use thor_embed::VectorStore;
+use thor_obs::PipelineMetrics;
 use thor_text::{is_stopword, normalize_phrase};
 
 use crate::cluster::ConceptCluster;
@@ -21,7 +22,11 @@ pub struct MatcherConfig {
 
 impl Default for MatcherConfig {
     fn default() -> Self {
-        Self { tau: 0.7, max_subphrase_words: 4, max_expansion: 200 }
+        Self {
+            tau: 0.7,
+            max_subphrase_words: 4,
+            max_expansion: 200,
+        }
     }
 }
 
@@ -29,7 +34,10 @@ impl MatcherConfig {
     /// Config with a specific τ.
     pub fn with_tau(tau: f64) -> Self {
         assert!((0.0..=1.0).contains(&tau), "tau must be in [0, 1]");
-        Self { tau, ..Self::default() }
+        Self {
+            tau,
+            ..Self::default()
+        }
     }
 }
 
@@ -56,6 +64,7 @@ pub struct SimilarityMatcher {
     store: VectorStore,
     clusters: Vec<ConceptCluster>,
     config: MatcherConfig,
+    metrics: Option<PipelineMetrics>,
 }
 
 impl SimilarityMatcher {
@@ -73,6 +82,29 @@ impl SimilarityMatcher {
         concepts: &[(String, Vec<String>)],
         store: VectorStore,
         config: MatcherConfig,
+    ) -> Self {
+        Self::fine_tune_impl(concepts, store, config, None)
+    }
+
+    /// [`SimilarityMatcher::fine_tune`] with observability: fine-tuning
+    /// statistics (vocabulary size, expansion counts, representative
+    /// counts) are recorded into `metrics`, and the matcher keeps the
+    /// handle so subsequent matching calls record subphrase/candidate
+    /// counts and per-call timing.
+    pub fn fine_tune_metered(
+        concepts: &[(String, Vec<String>)],
+        store: VectorStore,
+        config: MatcherConfig,
+        metrics: PipelineMetrics,
+    ) -> Self {
+        Self::fine_tune_impl(concepts, store, config, Some(metrics))
+    }
+
+    fn fine_tune_impl(
+        concepts: &[(String, Vec<String>)],
+        store: VectorStore,
+        config: MatcherConfig,
+        metrics: Option<PipelineMetrics>,
     ) -> Self {
         use thor_embed::cosine;
 
@@ -102,7 +134,7 @@ impl SimilarityMatcher {
                 }
             }
         }
-        let clusters = concepts
+        let clusters: Vec<ConceptCluster> = concepts
             .iter()
             .zip(seeds)
             .zip(expansion)
@@ -110,10 +142,32 @@ impl SimilarityMatcher {
                 expanded.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                 expanded.truncate(config.max_expansion);
                 let words: Vec<String> = expanded.into_iter().map(|(w, _)| w).collect();
+                if let Some(m) = &metrics {
+                    m.expansion_words.add(words.len() as u64);
+                }
                 ConceptCluster::from_parts(name, seeds, &words, &store)
             })
             .collect();
-        Self { store, clusters, config }
+        if let Some(m) = &metrics {
+            m.vocab_words.set(store.len() as u64);
+            m.cluster_representatives.set(
+                clusters
+                    .iter()
+                    .map(|c| c.representative_count() as u64)
+                    .sum(),
+            );
+        }
+        Self {
+            store,
+            clusters,
+            config,
+            metrics,
+        }
+    }
+
+    /// The metrics handle recorded at fine-tuning time, if any.
+    pub fn metrics(&self) -> Option<&PipelineMetrics> {
+        self.metrics.as_ref()
     }
 
     /// The configured τ.
@@ -162,6 +216,7 @@ impl SimilarityMatcher {
         phrase: &str,
         anchor: impl Fn(&str) -> bool,
     ) -> Vec<CandidateEntity> {
+        let _span = self.metrics.as_ref().map(|m| m.match_phrase.start());
         let normalized = normalize_phrase(phrase);
         let words: Vec<&str> = normalized.split_whitespace().collect();
         if words.is_empty() {
@@ -183,6 +238,9 @@ impl SimilarityMatcher {
                 let Some(query) = self.store.embed_phrase(&sub) else {
                     continue;
                 };
+                if let Some(m) = &self.metrics {
+                    m.subphrases.inc();
+                }
                 // Pick the single best-fitting accepted cluster.
                 let mut best: Option<(&ConceptCluster, f64)> = None;
                 for cluster in &self.clusters {
@@ -203,6 +261,9 @@ impl SimilarityMatcher {
                 let Some((seed, seed_sim)) = cluster.best_seed(&query) else {
                     continue;
                 };
+                if let Some(m) = &self.metrics {
+                    m.candidates.inc();
+                }
                 out.push(CandidateEntity {
                     phrase: sub.clone(),
                     concept: cluster.concept.clone(),
@@ -232,15 +293,29 @@ mod tests {
         let store = SemanticSpaceBuilder::new(32, 9)
             .topic("anatomy")
             .correlated_topic("complication", "anatomy", 0.3)
-            .words("anatomy", ["brain", "nerve", "lung", "spine", "ear", "system", "nervous"])
-            .words("complication", ["cancer", "tumor", "stroke", "deafness", "clot"])
+            .words(
+                "anatomy",
+                [
+                    "brain", "nerve", "lung", "spine", "ear", "system", "nervous",
+                ],
+            )
+            .words(
+                "complication",
+                ["cancer", "tumor", "stroke", "deafness", "clot"],
+            )
             .ambiguous_word("blood", "anatomy", "complication", 0.55)
             .generic_words(["slow-growing", "walk", "green", "people"])
             .build()
             .into_store();
         let concepts = vec![
-            ("Anatomy".to_string(), vec!["nervous system".to_string(), "ear".to_string()]),
-            ("Complication".to_string(), vec!["skin cancer".to_string(), "stroke".to_string()]),
+            (
+                "Anatomy".to_string(),
+                vec!["nervous system".to_string(), "ear".to_string()],
+            ),
+            (
+                "Complication".to_string(),
+                vec!["skin cancer".to_string(), "stroke".to_string()],
+            ),
         ];
         // "skin" is OOV on purpose; "cancer" carries the seed.
         SimilarityMatcher::fine_tune(&concepts, store, MatcherConfig::with_tau(tau))
@@ -263,12 +338,21 @@ mod tests {
         let strict = matcher(1.0);
         let lenient = matcher(0.55);
         let unseen = "brain";
-        let strict_hits =
-            strict.match_phrase(unseen).iter().filter(|c| c.concept == "Anatomy").count();
-        let lenient_hits =
-            lenient.match_phrase(unseen).iter().filter(|c| c.concept == "Anatomy").count();
+        let strict_hits = strict
+            .match_phrase(unseen)
+            .iter()
+            .filter(|c| c.concept == "Anatomy")
+            .count();
+        let lenient_hits = lenient
+            .match_phrase(unseen)
+            .iter()
+            .filter(|c| c.concept == "Anatomy")
+            .count();
         assert_eq!(strict_hits, 0, "tau=1.0 must not match unseen instances");
-        assert!(lenient_hits > 0, "low tau should match semantically close words");
+        assert!(
+            lenient_hits > 0,
+            "low tau should match semantically close words"
+        );
     }
 
     #[test]
@@ -304,7 +388,10 @@ mod tests {
         let m = matcher(0.5);
         let candidates = m.match_phrase("blood");
         assert_eq!(candidates.len(), 1, "{candidates:?}");
-        assert!(matches!(candidates[0].concept.as_str(), "Anatomy" | "Complication"));
+        assert!(matches!(
+            candidates[0].concept.as_str(),
+            "Anatomy" | "Complication"
+        ));
     }
 
     #[test]
@@ -319,7 +406,9 @@ mod tests {
     fn results_sorted_by_cluster_score() {
         let m = matcher(0.5);
         let c = m.match_phrase("brain tumor");
-        assert!(c.windows(2).all(|w| w[0].cluster_score >= w[1].cluster_score));
+        assert!(c
+            .windows(2)
+            .all(|w| w[0].cluster_score >= w[1].cluster_score));
     }
 
     #[test]

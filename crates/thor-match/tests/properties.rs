@@ -20,8 +20,14 @@ fn store(seed: u64) -> VectorStore {
 
 fn matcher(tau: f64, seed: u64) -> SimilarityMatcher {
     let concepts = vec![
-        ("Alpha".to_string(), vec!["ape".to_string(), "ant".to_string()]),
-        ("Beta".to_string(), vec!["bee".to_string(), "bat".to_string()]),
+        (
+            "Alpha".to_string(),
+            vec!["ape".to_string(), "ant".to_string()],
+        ),
+        (
+            "Beta".to_string(),
+            vec!["bee".to_string(), "bat".to_string()],
+        ),
     ];
     SimilarityMatcher::fine_tune(&concepts, store(seed), MatcherConfig::with_tau(tau))
 }

@@ -44,7 +44,10 @@ pub fn noun_phrases(words: &[&str], tags: &[Pos], tree: &DepTree) -> Vec<NounPhr
     let mut phrases = Vec::new();
 
     let np_internal = |label: DepLabel| {
-        matches!(label, DepLabel::Det | DepLabel::Amod | DepLabel::Nummod | DepLabel::Compound)
+        matches!(
+            label,
+            DepLabel::Det | DepLabel::Amod | DepLabel::Nummod | DepLabel::Compound
+        )
     };
 
     for head in 0..n {
@@ -73,7 +76,12 @@ pub fn noun_phrases(words: &[&str], tags: &[Pos], tree: &DepTree) -> Vec<NounPhr
         if text.is_empty() {
             continue;
         }
-        phrases.push(NounPhrase { text, head, start, end });
+        phrases.push(NounPhrase {
+            text,
+            head,
+            start,
+            end,
+        });
     }
     phrases.sort_by_key(|p| p.start);
     phrases
@@ -90,20 +98,29 @@ mod tests {
         let words: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
         let tags = RuleTagger::default().tag(&words);
         let tree = parse_dependencies(&words, &tags);
-        noun_phrases(&words, &tags, &tree).into_iter().map(|p| p.text).collect()
+        noun_phrases(&words, &tags, &tree)
+            .into_iter()
+            .map(|p| p.text)
+            .collect()
     }
 
     #[test]
     fn running_example_fig3() {
         // Paper: "{Tuberculosis, lungs}" from "Tuberculosis generally
         // damages the lungs" (after stop-word stripping of "the").
-        assert_eq!(nps("Tuberculosis generally damages the lungs"), ["Tuberculosis", "lungs"]);
+        assert_eq!(
+            nps("Tuberculosis generally damages the lungs"),
+            ["Tuberculosis", "lungs"]
+        );
     }
 
     #[test]
     fn modifier_rich_np() {
         let got = nps("It is a slow-growing non-cancerous brain tumor");
-        assert!(got.contains(&"slow-growing non-cancerous brain tumor".to_string()), "{got:?}");
+        assert!(
+            got.contains(&"slow-growing non-cancerous brain tumor".to_string()),
+            "{got:?}"
+        );
     }
 
     #[test]

@@ -148,8 +148,10 @@ pub fn parse_dependencies(words: &[&str], tags: &[Pos]) -> DepTree {
     // ---- root selection ----
     // Verbless sentences root at the *head* of the first nominal run
     // (not its first token — a mid-compound root would split the NP).
-    let root = tags.iter().position(|&t| t == Pos::Verb).unwrap_or_else(|| {
-        match tags.iter().position(|&t| t.is_nominal()) {
+    let root = tags
+        .iter()
+        .position(|&t| t == Pos::Verb)
+        .unwrap_or_else(|| match tags.iter().position(|&t| t.is_nominal()) {
             Some(first) => {
                 let mut head = first;
                 while head + 1 < n && tags[head + 1].is_nominal() && tags[head + 1] != Pos::Pron {
@@ -158,8 +160,7 @@ pub fn parse_dependencies(words: &[&str], tags: &[Pos]) -> DepTree {
                 head
             }
             None => 0,
-        }
-    });
+        });
     labels[root] = DepLabel::Root;
 
     // Identify NP heads: last token of each maximal nominal run (PRON is
@@ -229,7 +230,10 @@ pub fn parse_dependencies(words: &[&str], tags: &[Pos]) -> DepTree {
                         // of the preposition.
                         let gov = (0..i)
                             .rev()
-                            .find(|&j| tags[j] == Pos::Verb || (tags[j].is_nominal() && np_heads.contains(&j)))
+                            .find(|&j| {
+                                tags[j] == Pos::Verb
+                                    || (tags[j].is_nominal() && np_heads.contains(&j))
+                            })
                             .filter(|&j| j != i)
                             .unwrap_or(root);
                         heads[i] = Some(if gov == i { root } else { gov });
@@ -247,11 +251,13 @@ pub fn parse_dependencies(words: &[&str], tags: &[Pos]) -> DepTree {
                             Some(prev) => {
                                 heads[i] = Some(prev);
                                 // coordination if a CONJ or comma lies between
-                                let coordinated = (prev + 1..i).any(|j| {
-                                    tags[j] == Pos::Conj || words[j] == ","
-                                });
-                                labels[i] =
-                                    if coordinated { DepLabel::Conj } else { DepLabel::Nmod };
+                                let coordinated =
+                                    (prev + 1..i).any(|j| tags[j] == Pos::Conj || words[j] == ",");
+                                labels[i] = if coordinated {
+                                    DepLabel::Conj
+                                } else {
+                                    DepLabel::Nmod
+                                };
                             }
                         }
                     }
@@ -278,7 +284,9 @@ pub fn parse_dependencies(words: &[&str], tags: &[Pos]) -> DepTree {
                 }
             }
             Pos::Adv => {
-                let verb = (0..n).filter(|&j| tags[j] == Pos::Verb && j != i).min_by_key(|&j| i.abs_diff(j));
+                let verb = (0..n)
+                    .filter(|&j| tags[j] == Pos::Verb && j != i)
+                    .min_by_key(|&j| i.abs_diff(j));
                 heads[i] = Some(verb.unwrap_or(root));
                 labels[i] = DepLabel::Advmod;
                 if heads[i] == Some(i) {
@@ -338,8 +346,10 @@ mod tests {
     use proptest::prelude::*;
 
     fn parse(sentence: &str) -> (Vec<String>, Vec<Pos>, DepTree) {
-        let words: Vec<String> =
-            thor_text::tokenize(sentence).into_iter().map(|t| t.text).collect();
+        let words: Vec<String> = thor_text::tokenize(sentence)
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
         let refs: Vec<&str> = words.iter().map(String::as_str).collect();
         let tags = RuleTagger::default().tag(&refs);
         let tree = parse_dependencies(&refs, &tags);

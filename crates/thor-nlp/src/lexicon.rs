@@ -23,16 +23,38 @@ const DETERMINERS: &[&str] = &[
 ];
 
 const PREPOSITIONS: &[&str] = &[
-    "of", "in", "on", "at", "by", "for", "with", "about", "against", "between", "into",
-    "through", "during", "before", "after", "above", "below", "from", "up", "down", "out",
-    "off", "over", "under", "within", "without", "along", "across", "behind", "beyond",
-    "near", "among", "upon", "via", "per",
+    "of", "in", "on", "at", "by", "for", "with", "about", "against", "between", "into", "through",
+    "during", "before", "after", "above", "below", "from", "up", "down", "out", "off", "over",
+    "under", "within", "without", "along", "across", "behind", "beyond", "near", "among", "upon",
+    "via", "per",
 ];
 
 const PRONOUNS: &[&str] = &[
-    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "who",
-    "whom", "which", "itself", "himself", "herself", "themselves", "something", "anything",
-    "nothing", "everything", "someone", "anyone",
+    "i",
+    "you",
+    "he",
+    "she",
+    "it",
+    "we",
+    "they",
+    "me",
+    "him",
+    "her",
+    "us",
+    "them",
+    "who",
+    "whom",
+    "which",
+    "itself",
+    "himself",
+    "herself",
+    "themselves",
+    "something",
+    "anything",
+    "nothing",
+    "everything",
+    "someone",
+    "anyone",
 ];
 
 const CONJUNCTIONS: &[&str] = &[
@@ -41,15 +63,33 @@ const CONJUNCTIONS: &[&str] = &[
 ];
 
 const AUXILIARIES: &[&str] = &[
-    "am", "is", "are", "was", "were", "be", "been", "being", "do", "does", "did", "have",
-    "has", "had", "having", "will", "would", "shall", "should", "may", "might", "must",
-    "can", "could",
+    "am", "is", "are", "was", "were", "be", "been", "being", "do", "does", "did", "have", "has",
+    "had", "having", "will", "would", "shall", "should", "may", "might", "must", "can", "could",
 ];
 
 const COMMON_ADVERBS: &[&str] = &[
-    "not", "very", "also", "often", "sometimes", "usually", "commonly", "typically",
-    "generally", "too", "then", "there", "here", "however", "early", "late", "soon",
-    "never", "always", "rarely", "quickly", "slowly",
+    "not",
+    "very",
+    "also",
+    "often",
+    "sometimes",
+    "usually",
+    "commonly",
+    "typically",
+    "generally",
+    "too",
+    "then",
+    "there",
+    "here",
+    "however",
+    "early",
+    "late",
+    "soon",
+    "never",
+    "always",
+    "rarely",
+    "quickly",
+    "slowly",
 ];
 
 const PARTICLES: &[&str] = &["to", "'s"];
@@ -58,17 +98,96 @@ const PARTICLES: &[&str] = &["to", "'s"];
 /// cannot separate from plural nouns. The inventory covers the verbs the
 /// generated corpora and the paper's running examples use.
 const COMMON_VERBS: &[&str] = &[
-    "damage", "damages", "cause", "causes", "include", "includes", "involve", "involves",
-    "affect", "affects", "require", "requires", "lead", "leads", "occur", "occurs",
-    "develop", "develops", "grow", "grows", "treat", "treats", "diagnose", "diagnoses",
-    "present", "presents", "show", "shows", "recommend", "recommends", "use", "uses",
-    "prevent", "prevents", "reduce", "reduces", "increase", "increases", "help", "helps",
-    "work", "works", "study", "studies", "hold", "holds", "earn", "earns", "receive",
-    "receives", "speak", "speaks", "know", "knows", "live", "lives", "manage", "manages",
-    "spread", "spreads", "produce", "produces", "result", "results", "report", "reports",
-    "experience", "experiences", "suffer", "suffers", "take", "takes", "need", "needs",
-    "become", "becomes", "remain", "remains", "appear", "appears", "begin", "begins",
-    "make", "makes", "arise", "arises", "worsen", "worsens", "improve", "improves",
+    "damage",
+    "damages",
+    "cause",
+    "causes",
+    "include",
+    "includes",
+    "involve",
+    "involves",
+    "affect",
+    "affects",
+    "require",
+    "requires",
+    "lead",
+    "leads",
+    "occur",
+    "occurs",
+    "develop",
+    "develops",
+    "grow",
+    "grows",
+    "treat",
+    "treats",
+    "diagnose",
+    "diagnoses",
+    "present",
+    "presents",
+    "show",
+    "shows",
+    "recommend",
+    "recommends",
+    "use",
+    "uses",
+    "prevent",
+    "prevents",
+    "reduce",
+    "reduces",
+    "increase",
+    "increases",
+    "help",
+    "helps",
+    "work",
+    "works",
+    "study",
+    "studies",
+    "hold",
+    "holds",
+    "earn",
+    "earns",
+    "receive",
+    "receives",
+    "speak",
+    "speaks",
+    "know",
+    "knows",
+    "live",
+    "lives",
+    "manage",
+    "manages",
+    "spread",
+    "spreads",
+    "produce",
+    "produces",
+    "result",
+    "results",
+    "report",
+    "reports",
+    "experience",
+    "experiences",
+    "suffer",
+    "suffers",
+    "take",
+    "takes",
+    "need",
+    "needs",
+    "become",
+    "becomes",
+    "remain",
+    "remains",
+    "appear",
+    "appears",
+    "begin",
+    "begins",
+    "make",
+    "makes",
+    "arise",
+    "arises",
+    "worsen",
+    "worsens",
+    "improve",
+    "improves",
 ];
 
 impl Lexicon {
@@ -128,8 +247,9 @@ impl Lexicon {
             return Pos::Propn;
         }
         // Number words.
-        const NUM_WORDS: &[&str] =
-            &["one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten"];
+        const NUM_WORDS: &[&str] = &[
+            "one", "two", "three", "four", "five", "six", "seven", "eight", "nine", "ten",
+        ];
         if NUM_WORDS.contains(&lower.as_str()) {
             return Pos::Num;
         }
@@ -138,13 +258,16 @@ impl Lexicon {
             return Pos::Adv;
         }
         // Adjective suffixes.
-        const ADJ_SUFFIXES: &[&str] =
-            &["ous", "ive", "able", "ible", "al", "ic", "ful", "less", "ant", "ent", "ary"];
+        const ADJ_SUFFIXES: &[&str] = &[
+            "ous", "ive", "able", "ible", "al", "ic", "ful", "less", "ant", "ent", "ary",
+        ];
         if lower.len() > 4 && ADJ_SUFFIXES.iter().any(|s| lower.ends_with(s)) {
             return Pos::Adj;
         }
         // Hyphenated modifiers (`slow-growing`, `non-cancerous`).
-        if lower.contains('-') && (lower.ends_with("ing") || lower.ends_with("ed") || lower.starts_with("non-")) {
+        if lower.contains('-')
+            && (lower.ends_with("ing") || lower.ends_with("ed") || lower.starts_with("non-"))
+        {
             return Pos::Adj;
         }
         // Verb morphology.
@@ -162,7 +285,8 @@ impl Lexicon {
 
     /// Lookup, falling back to the guesser.
     pub fn tag_of(&self, word: &str, sentence_initial: bool) -> Pos {
-        self.lookup(word).unwrap_or_else(|| self.guess(word, sentence_initial))
+        self.lookup(word)
+            .unwrap_or_else(|| self.guess(word, sentence_initial))
     }
 }
 

@@ -19,12 +19,14 @@
 //! * [`chunker`] — noun-phrase extraction over the parse, the direct
 //!   input of THOR's semantic matching.
 
+pub mod analyze;
 pub mod chunker;
 pub mod dep;
 pub mod lexicon;
 pub mod pos;
 pub mod tagger;
 
+pub use analyze::{chunk_sentence, chunk_sentence_metered};
 pub use chunker::{noun_phrases, NounPhrase};
 pub use dep::{parse_dependencies, DepLabel, DepTree};
 pub use lexicon::Lexicon;

@@ -59,7 +59,10 @@ impl Pos {
 
     /// Dense index of the tag in [`Pos::ALL`].
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&t| t == self).expect("tag in ALL")
+        Self::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("tag in ALL")
     }
 
     /// Can this tag head a noun phrase? (NOUN, PROPN, PRON.)
@@ -70,7 +73,10 @@ impl Pos {
     /// Can this tag modify a noun inside an NP? (ADJ, DET, NUM, NOUN
     /// compounds, PROPN compounds.)
     pub fn is_np_modifier(self) -> bool {
-        matches!(self, Pos::Adj | Pos::Det | Pos::Num | Pos::Noun | Pos::Propn)
+        matches!(
+            self,
+            Pos::Adj | Pos::Det | Pos::Num | Pos::Noun | Pos::Propn
+        )
     }
 }
 

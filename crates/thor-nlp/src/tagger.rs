@@ -49,8 +49,11 @@ impl RuleTagger {
 
 impl Tagger for RuleTagger {
     fn tag(&self, words: &[&str]) -> Vec<Pos> {
-        let mut tags: Vec<Pos> =
-            words.iter().enumerate().map(|(i, w)| self.lexicon.tag_of(w, i == 0)).collect();
+        let mut tags: Vec<Pos> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| self.lexicon.tag_of(w, i == 0))
+            .collect();
         // Context repairs (Brill-style):
         for i in 0..tags.len() {
             // DET _ : a noun-guessed word directly after a determiner
@@ -143,7 +146,11 @@ impl HmmTagger {
             })
             .collect();
 
-        Self { transition, emission, lexicon: Lexicon::english() }
+        Self {
+            transition,
+            emission,
+            lexicon: Lexicon::english(),
+        }
     }
 
     /// Log emission scores of `word` for every tag.
@@ -278,7 +285,10 @@ mod tests {
 
     fn tiny_corpus() -> Vec<Vec<(String, Pos)>> {
         let s = |pairs: &[(&str, Pos)]| {
-            pairs.iter().map(|&(w, p)| (w.to_string(), p)).collect::<Vec<_>>()
+            pairs
+                .iter()
+                .map(|&(w, p)| (w.to_string(), p))
+                .collect::<Vec<_>>()
         };
         vec![
             s(&[

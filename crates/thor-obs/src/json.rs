@@ -1,0 +1,437 @@
+//! A minimal JSON value with renderer and parser.
+//!
+//! `thor-obs` must emit machine-readable metrics without pulling in
+//! `serde` (the build environment cannot fetch crates), and the test
+//! suite needs to *prove* the emitted JSON round-trips rather than just
+//! eyeballing braces — hence a real, if small, parser. Numbers are kept
+//! as `u64` or `f64`; strings support the standard escapes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer (counters, span counts, nanoseconds).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with deterministically ordered keys.
+    Object(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Render compactly (no whitespace), with sorted object keys.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    // Keep a decimal point so the value parses back as a
+                    // float, preserving the variant for round-trips.
+                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                        let _ = write!(out, "{f:.1}");
+                    } else {
+                        let _ = write!(out, "{f}");
+                    }
+                } else {
+                    // JSON has no Inf/NaN; null is the conventional fallback.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Returns an error message with a byte
+    /// offset on malformed input.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Convenience: the value at `key` if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the integer value, if this is a `UInt`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{what} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err("invalid literal")
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            // Surrogate pairs are not needed for metric
+                            // names; reject rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or(format!("surrogate \\u escape at byte {}", self.pos))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    #[test]
+    fn renders_canonically() {
+        let v = obj(vec![
+            ("b", Json::UInt(2)),
+            ("a", Json::Str("x\"y".into())),
+            (
+                "c",
+                Json::Array(vec![Json::Null, Json::Bool(true), Json::Float(0.5)]),
+            ),
+        ]);
+        assert_eq!(v.render(), r#"{"a":"x\"y","b":2,"c":[null,true,0.5]}"#);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v = Json::parse(" { \"k\" : [ 1 , 2.5 , \"a\\nb\\u0041\" ] } ").unwrap();
+        assert_eq!(
+            v,
+            obj(vec![(
+                "k",
+                Json::Array(vec![
+                    Json::UInt(1),
+                    Json::Float(2.5),
+                    Json::Str("a\nbA".into())
+                ])
+            )])
+        );
+    }
+
+    #[test]
+    fn round_trips_a_metrics_shaped_document() {
+        let v = obj(vec![(
+            "metrics",
+            obj(vec![
+                (
+                    "extract.candidates",
+                    obj(vec![
+                        ("type", Json::Str("counter".into())),
+                        ("value", Json::UInt(123)),
+                    ]),
+                ),
+                (
+                    "stage.segment",
+                    obj(vec![
+                        ("type", Json::Str("timer".into())),
+                        ("nanos", Json::UInt(456_789)),
+                        ("spans", Json::UInt(7)),
+                    ]),
+                ),
+            ]),
+        )]);
+        let text = v.render();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "{\"a\":1} x",
+            "\"\\q\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn integers_keep_their_variant() {
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(Json::parse("1.0").unwrap(), Json::Float(1.0));
+        assert!(matches!(Json::parse("-3").unwrap(), Json::Float(_)));
+    }
+
+    proptest! {
+        /// Any tree assembled from the constructors renders to text that
+        /// parses back to the identical tree.
+        #[test]
+        fn arbitrary_flat_objects_round_trip(
+            entries in prop::collection::vec(("[a-z.]{1,12}", 0u64..1_000_000), 0..10),
+            label in "\\PC{0,20}",
+        ) {
+            let mut map = BTreeMap::new();
+            for (k, v) in entries {
+                map.insert(k, Json::UInt(v));
+            }
+            map.insert("label".to_string(), Json::Str(label));
+            let v = Json::Object(map);
+            prop_assert_eq!(Json::parse(&v.render()).unwrap(), v);
+        }
+    }
+}

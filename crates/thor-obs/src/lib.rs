@@ -1,0 +1,24 @@
+//! Pipeline observability for the THOR reproduction.
+//!
+//! Dependency-free (std-only) instrumentation: lock-free [`Counter`],
+//! [`Gauge`], and [`StageTimer`] primitives, a name-keyed
+//! [`MetricsRegistry`] that renders snapshots as an aligned human table
+//! or a machine-readable JSON document, and [`PipelineMetrics`] — the
+//! pre-wired handle the enrichment pipeline threads through its stages
+//! (segmentation, NP chunking, matching, refinement, slot filling).
+//!
+//! All primitives are a few relaxed `AtomicU64`s, so handles can be
+//! cloned into the document-parallel extraction workers without locks
+//! on the hot path; totals are exact once the workers are joined.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod pipeline;
+pub mod registry;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Span, StageTimer};
+pub use pipeline::PipelineMetrics;
+pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot};

@@ -1,0 +1,233 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], [`StageTimer`].
+//!
+//! All three are a handful of `AtomicU64`s with relaxed ordering —
+//! individual updates cost one uncontended atomic RMW, so they are safe
+//! to drop into hot loops and to share across the document-parallel
+//! extraction workers. Relaxed ordering means a concurrent reader may
+//! observe the counters of an in-flight run mid-update; totals are exact
+//! once the writing threads are joined, which is the only point the
+//! pipeline reads them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (sizes, cardinalities).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `v` if it is higher than the current one.
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Accumulated wall-clock time of a pipeline stage: total nanoseconds
+/// plus the number of recorded spans, so both totals and means are
+/// available. Monotonic ([`Instant`]-based) and thread-safe.
+#[derive(Debug, Default)]
+pub struct StageTimer {
+    nanos: AtomicU64,
+    spans: AtomicU64,
+}
+
+impl StageTimer {
+    /// A timer with nothing recorded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one span of `d`.
+    pub fn record(&self, d: Duration) {
+        self.nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        self.spans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Start a span that records itself when dropped.
+    pub fn start(&self) -> Span<'_> {
+        Span {
+            timer: self,
+            begun: Instant::now(),
+        }
+    }
+
+    /// Run `f`, record its duration, and return the result together
+    /// with the measured duration (so per-call timing fields and the
+    /// accumulated metric come from the same measurement).
+    pub fn time<T>(&self, f: impl FnOnce() -> T) -> (T, Duration) {
+        let t0 = Instant::now();
+        let out = f();
+        let d = t0.elapsed();
+        self.record(d);
+        (out, d)
+    }
+
+    /// Total recorded time.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Number of recorded spans.
+    pub fn spans(&self) -> u64 {
+        self.spans.load(Ordering::Relaxed)
+    }
+
+    /// Mean span duration (zero when nothing was recorded).
+    pub fn mean(&self) -> Duration {
+        let n = self.spans();
+        if n == 0 {
+            Duration::ZERO
+        } else {
+            self.total() / n as u32
+        }
+    }
+}
+
+/// An in-flight [`StageTimer`] span; records on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    timer: &'a StageTimer,
+    begun: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.timer.record(self.begun.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_concurrent_increments_are_exact() {
+        let counter = Arc::new(Counter::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                    c.add(5);
+                });
+            }
+        });
+        assert_eq!(counter.get(), 8 * 10_000 + 8 * 5);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let g = Gauge::new();
+        g.set(10);
+        assert_eq!(g.get(), 10);
+        g.set_max(7);
+        assert_eq!(g.get(), 10);
+        g.set_max(12);
+        assert_eq!(g.get(), 12);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn timer_accumulates_spans() {
+        let t = StageTimer::new();
+        t.record(Duration::from_micros(500));
+        t.record(Duration::from_micros(1500));
+        assert_eq!(t.spans(), 2);
+        assert_eq!(t.total(), Duration::from_micros(2000));
+        assert_eq!(t.mean(), Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn timer_concurrent_recording_is_exact() {
+        let timer = Arc::new(StageTimer::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let t = Arc::clone(&timer);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        t.record(Duration::from_nanos(100));
+                    }
+                });
+            }
+        });
+        assert_eq!(timer.spans(), 8000);
+        assert_eq!(timer.total(), Duration::from_nanos(800_000));
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let t = StageTimer::new();
+        {
+            let _span = t.start();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(t.spans(), 1);
+        assert!(t.total() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn time_returns_result_and_duration() {
+        let t = StageTimer::new();
+        let (value, d) = t.time(|| {
+            std::thread::sleep(Duration::from_millis(1));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(d >= Duration::from_millis(1));
+        assert_eq!(t.total(), d);
+    }
+
+    #[test]
+    fn empty_timer_mean_is_zero() {
+        assert_eq!(StageTimer::new().mean(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,189 @@
+//! [`PipelineMetrics`]: the pre-wired handle the THOR pipeline threads
+//! through its stages.
+//!
+//! The handle is a cheap [`Clone`] (a bundle of `Arc`s) so the
+//! document-parallel extraction workers can each own a copy and hammer
+//! the same underlying atomics. Every handle is registered in a shared
+//! [`MetricsRegistry`], so a snapshot taken at the end of a run sees
+//! everything the stages recorded.
+
+use std::sync::Arc;
+
+use crate::metrics::{Counter, Gauge, StageTimer};
+use crate::registry::{MetricsRegistry, MetricsSnapshot};
+
+/// Metric handles for every instrumented THOR pipeline stage.
+///
+/// Construct once per run with [`PipelineMetrics::new`], clone freely
+/// into worker threads, and call [`PipelineMetrics::snapshot`] when the
+/// run is over.
+#[derive(Debug, Clone)]
+pub struct PipelineMetrics {
+    registry: Arc<MetricsRegistry>,
+
+    /// Wall-clock of the preparation phase (vocabulary fine-tuning /
+    /// representative-vector expansion).
+    pub prepare: Arc<StageTimer>,
+    /// Wall-clock of the inference phase (per-document extraction).
+    pub inference: Arc<StageTimer>,
+    /// Wall-clock of text segmentation, one span per document.
+    pub segment: Arc<StageTimer>,
+    /// Wall-clock of sentence parsing + noun-phrase chunking.
+    pub chunk: Arc<StageTimer>,
+    /// Wall-clock of anchored phrase matching against the concept store.
+    pub match_phrase: Arc<StageTimer>,
+    /// Wall-clock of candidate refinement (lexical-similarity scoring).
+    pub refine: Arc<StageTimer>,
+    /// Wall-clock of slot filling into the integrated table.
+    pub slot_fill: Arc<StageTimer>,
+
+    /// Documents processed.
+    pub docs: Arc<Counter>,
+    /// Sentences parsed.
+    pub sentences: Arc<Counter>,
+    /// Segments produced by text segmentation.
+    pub segments: Arc<Counter>,
+    /// Noun phrases chunked.
+    pub noun_phrases: Arc<Counter>,
+    /// Subphrases enumerated and embedded during matching.
+    pub subphrases: Arc<Counter>,
+    /// Candidate (phrase, concept) pairs scored.
+    pub candidates: Arc<Counter>,
+    /// Entities surviving refinement.
+    pub entities: Arc<Counter>,
+    /// Slot values newly inserted into the table.
+    pub slots_inserted: Arc<Counter>,
+    /// Slot values skipped as duplicates.
+    pub slots_duplicate: Arc<Counter>,
+    /// Words added to representative vectors during fine-tuning.
+    pub expansion_words: Arc<Counter>,
+
+    /// Vocabulary size visible to fine-tuning.
+    pub vocab_words: Arc<Gauge>,
+    /// Representative-vector count after fine-tuning.
+    pub cluster_representatives: Arc<Gauge>,
+}
+
+impl PipelineMetrics {
+    /// A fresh metrics handle with every stage registered at zero.
+    pub fn new() -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        Self {
+            prepare: registry.timer("pipeline.prepare"),
+            inference: registry.timer("pipeline.inference"),
+            segment: registry.timer("stage.segment"),
+            chunk: registry.timer("stage.chunk"),
+            match_phrase: registry.timer("stage.match"),
+            refine: registry.timer("stage.refine"),
+            slot_fill: registry.timer("stage.slot_fill"),
+            docs: registry.counter("docs"),
+            sentences: registry.counter("sentences"),
+            segments: registry.counter("segments"),
+            noun_phrases: registry.counter("noun_phrases"),
+            subphrases: registry.counter("subphrases"),
+            candidates: registry.counter("candidates"),
+            entities: registry.counter("entities"),
+            slots_inserted: registry.counter("slots.inserted"),
+            slots_duplicate: registry.counter("slots.duplicate"),
+            expansion_words: registry.counter("expansion.words"),
+            vocab_words: registry.gauge("vocab.words"),
+            cluster_representatives: registry.gauge("cluster.representatives"),
+            registry,
+        }
+    }
+
+    /// The registry backing this handle, for registering extra
+    /// run-specific metrics alongside the standard set.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// A point-in-time copy of every metric recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// Render the current values as an aligned human-readable table.
+    pub fn render_table(&self) -> String {
+        self.snapshot().render_table()
+    }
+
+    /// Render the current values as a machine-readable JSON document.
+    pub fn render_json(&self) -> String {
+        self.snapshot().to_json_string()
+    }
+}
+
+impl Default for PipelineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn clones_share_counters() {
+        let metrics = PipelineMetrics::new();
+        let clone = metrics.clone();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = metrics.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.candidates.inc();
+                    }
+                });
+            }
+        });
+        clone.candidates.add(10);
+        assert_eq!(metrics.snapshot().count("candidates"), 4010);
+    }
+
+    #[test]
+    fn snapshot_contains_standard_set() {
+        let metrics = PipelineMetrics::new();
+        metrics.docs.add(3);
+        metrics.segment.record(Duration::from_millis(5));
+        metrics.vocab_words.set(1234);
+        let snap = metrics.snapshot();
+        for name in [
+            "pipeline.prepare",
+            "pipeline.inference",
+            "stage.segment",
+            "stage.chunk",
+            "stage.match",
+            "stage.refine",
+            "stage.slot_fill",
+            "docs",
+            "sentences",
+            "segments",
+            "noun_phrases",
+            "subphrases",
+            "candidates",
+            "entities",
+            "slots.inserted",
+            "slots.duplicate",
+            "expansion.words",
+            "vocab.words",
+            "cluster.representatives",
+        ] {
+            assert!(snap.get(name).is_some(), "missing metric `{name}`");
+        }
+        assert_eq!(snap.count("docs"), 3);
+        assert_eq!(snap.count("vocab.words"), 1234);
+    }
+
+    #[test]
+    fn renders_both_formats() {
+        let metrics = PipelineMetrics::new();
+        metrics.entities.add(9);
+        assert!(metrics.render_table().contains("entities"));
+        let json = metrics.render_json();
+        let parsed = crate::registry::MetricsSnapshot::from_json_str(&json).expect("valid json");
+        assert_eq!(parsed.count("entities"), 9);
+    }
+}

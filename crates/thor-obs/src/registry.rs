@@ -1,0 +1,357 @@
+//! The [`MetricsRegistry`]: a name-keyed collection of metric handles
+//! with human-table and JSON rendering.
+//!
+//! Registration hands out `Arc` handles; hot paths keep the handle and
+//! touch only its atomics — the registry's mutex is taken solely on
+//! registration and on snapshot, never per event.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::json::Json;
+use crate::metrics::{Counter, Gauge, StageTimer};
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Timer(Arc<StageTimer>),
+}
+
+/// A name-keyed metric collection. Cheap to clone via [`Arc`] wrappers
+/// upstream; internally a mutex-guarded ordered map.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// The stage timer registered under `name`, creating it on first use.
+    pub fn timer(&self, name: &str) -> Arc<StageTimer> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Timer(Arc::new(StageTimer::new())))
+        {
+            Metric::Timer(t) => Arc::clone(t),
+            _ => panic!("metric `{name}` is not a timer"),
+        }
+    }
+
+    /// A point-in-time copy of every metric's value, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let entries = metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Timer(t) => MetricValue::Timer {
+                        total: t.total(),
+                        spans: t.spans(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// The value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter's count.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(u64),
+    /// A timer's accumulated total and span count.
+    Timer {
+        /// Total recorded time.
+        total: Duration,
+        /// Number of recorded spans.
+        spans: u64,
+    },
+}
+
+/// A point-in-time view of a registry, renderable as a human table or
+/// as JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// The metrics, sorted by name.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// The value registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter or gauge value under `name`; 0 when absent.
+    pub fn count(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(n) | MetricValue::Gauge(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    /// Render an aligned fixed-width table.
+    pub fn render_table(&self) -> String {
+        let mut rows: Vec<[String; 4]> = Vec::with_capacity(self.entries.len());
+        for (name, value) in &self.entries {
+            let row = match value {
+                MetricValue::Counter(n) => {
+                    [name.clone(), "counter".into(), n.to_string(), String::new()]
+                }
+                MetricValue::Gauge(n) => {
+                    [name.clone(), "gauge".into(), n.to_string(), String::new()]
+                }
+                MetricValue::Timer { total, spans } => {
+                    let mean = if *spans == 0 {
+                        Duration::ZERO
+                    } else {
+                        *total / (*spans).max(1) as u32
+                    };
+                    [
+                        name.clone(),
+                        "timer".into(),
+                        format!("{total:.2?} / {spans} spans"),
+                        format!("mean {mean:.2?}"),
+                    ]
+                }
+            };
+            rows.push(row);
+        }
+        let mut widths = [6usize, 7, 5, 0];
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<w0$}  {:<w1$}  value\n",
+            "metric",
+            "kind",
+            w0 = widths[0],
+            w1 = widths[1],
+        ));
+        out.push_str(&"-".repeat(widths[0] + widths[1] + widths[2] + widths[3] + 6));
+        out.push('\n');
+        for row in &rows {
+            out.push_str(
+                format!(
+                    "{:<w0$}  {:<w1$}  {:<w2$}  {}",
+                    row[0],
+                    row[1],
+                    row[2],
+                    row[3],
+                    w0 = widths[0],
+                    w1 = widths[1],
+                    w2 = widths[2],
+                )
+                .trim_end(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a JSON document:
+    /// `{"metrics":{"<name>":{"type":...,...}}}`.
+    pub fn to_json(&self) -> Json {
+        let mut metrics = BTreeMap::new();
+        for (name, value) in &self.entries {
+            let mut entry = BTreeMap::new();
+            match value {
+                MetricValue::Counter(n) => {
+                    entry.insert("type".into(), Json::Str("counter".into()));
+                    entry.insert("value".into(), Json::UInt(*n));
+                }
+                MetricValue::Gauge(n) => {
+                    entry.insert("type".into(), Json::Str("gauge".into()));
+                    entry.insert("value".into(), Json::UInt(*n));
+                }
+                MetricValue::Timer { total, spans } => {
+                    entry.insert("type".into(), Json::Str("timer".into()));
+                    entry.insert("nanos".into(), Json::UInt(total.as_nanos() as u64));
+                    entry.insert("spans".into(), Json::UInt(*spans));
+                }
+            }
+            metrics.insert(name.clone(), Json::Object(entry));
+        }
+        let mut root = BTreeMap::new();
+        root.insert("metrics".into(), Json::Object(metrics));
+        Json::Object(root)
+    }
+
+    /// Render [`MetricsSnapshot::to_json`] as text.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parse a document produced by [`MetricsSnapshot::to_json_string`]
+    /// back into a snapshot (the machine-readability guarantee the test
+    /// suite holds us to).
+    pub fn from_json_str(text: &str) -> Result<Self, String> {
+        let root = Json::parse(text)?;
+        let Some(Json::Object(metrics)) = root.get("metrics") else {
+            return Err("missing `metrics` object".into());
+        };
+        let mut entries = Vec::with_capacity(metrics.len());
+        for (name, entry) in metrics {
+            let kind = match entry.get("type") {
+                Some(Json::Str(k)) => k.as_str(),
+                _ => return Err(format!("metric `{name}` missing `type`")),
+            };
+            let value = match kind {
+                "counter" => MetricValue::Counter(
+                    entry
+                        .get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("metric `{name}` missing `value`"))?,
+                ),
+                "gauge" => MetricValue::Gauge(
+                    entry
+                        .get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("metric `{name}` missing `value`"))?,
+                ),
+                "timer" => MetricValue::Timer {
+                    total: Duration::from_nanos(
+                        entry
+                            .get("nanos")
+                            .and_then(Json::as_u64)
+                            .ok_or(format!("metric `{name}` missing `nanos`"))?,
+                    ),
+                    spans: entry
+                        .get("spans")
+                        .and_then(Json::as_u64)
+                        .ok_or(format!("metric `{name}` missing `spans`"))?,
+                },
+                other => return Err(format!("metric `{name}` has unknown type `{other}`")),
+            };
+            entries.push((name.clone(), value));
+        }
+        Ok(Self { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("x");
+        let b = registry.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.snapshot().count("x"), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        let _ = registry.timer("x");
+        let _ = registry.counter("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let registry = MetricsRegistry::new();
+        registry.counter("b.count").add(5);
+        registry.gauge("a.size").set(9);
+        registry.timer("c.time").record(Duration::from_millis(3));
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.size", "b.count", "c.time"]);
+        assert_eq!(snap.get("a.size"), Some(&MetricValue::Gauge(9)));
+        assert_eq!(
+            snap.get("c.time"),
+            Some(&MetricValue::Timer {
+                total: Duration::from_millis(3),
+                spans: 1
+            })
+        );
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let registry = MetricsRegistry::new();
+        registry.counter("extract.candidates").add(123);
+        registry.gauge("vocab.words").set(4096);
+        registry
+            .timer("stage.segment")
+            .record(Duration::from_micros(456));
+        registry
+            .timer("stage.segment")
+            .record(Duration::from_micros(44));
+        let snap = registry.snapshot();
+        let text = snap.to_json_string();
+        let parsed = MetricsSnapshot::from_json_str(&text).expect("round trip");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn table_lists_every_metric() {
+        let registry = MetricsRegistry::new();
+        registry.counter("candidates").add(7);
+        registry.timer("segment").record(Duration::from_millis(12));
+        let table = registry.snapshot().render_table();
+        assert!(table.contains("candidates"), "{table}");
+        assert!(table.contains('7'), "{table}");
+        assert!(table.contains("segment"), "{table}");
+        assert!(table.contains("spans"), "{table}");
+    }
+
+    #[test]
+    fn empty_registry_renders() {
+        let snap = MetricsRegistry::new().snapshot();
+        assert!(snap.render_table().contains("metric"));
+        assert_eq!(
+            MetricsSnapshot::from_json_str(&snap.to_json_string()).unwrap(),
+            snap
+        );
+    }
+}

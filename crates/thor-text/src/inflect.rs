@@ -27,8 +27,21 @@ const IRREGULAR: &[(&str, &str)] = &[
 /// Words that look plural but are not (or whose singular equals the
 /// plural).
 const INVARIANT: &[&str] = &[
-    "series", "species", "news", "diabetes", "rabies", "measles", "herpes", "scabies",
-    "physics", "analysis", "diagnosis", "basis", "crisis", "lens", "aids",
+    "series",
+    "species",
+    "news",
+    "diabetes",
+    "rabies",
+    "measles",
+    "herpes",
+    "scabies",
+    "physics",
+    "analysis",
+    "diagnosis",
+    "basis",
+    "crisis",
+    "lens",
+    "aids",
 ];
 
 /// Singularize one lowercase word. Unknown patterns return the input
@@ -76,7 +89,11 @@ pub fn singularize(word: &str) -> String {
 /// Singularize every word of a (whitespace-separated, normalized)
 /// phrase.
 pub fn singularize_phrase(phrase: &str) -> String {
-    phrase.split_whitespace().map(singularize).collect::<Vec<_>>().join(" ")
+    phrase
+        .split_whitespace()
+        .map(singularize)
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Number-insensitive phrase equality.

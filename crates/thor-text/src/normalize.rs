@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn phrase_drops_punct_only_tokens() {
-        assert_eq!(normalize_phrase("the lungs , and heart ."), "the lungs and heart");
+        assert_eq!(
+            normalize_phrase("the lungs , and heart ."),
+            "the lungs and heart"
+        );
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub struct Sentence {
 
 /// Abbreviations after which a period does not end a sentence.
 const ABBREVIATIONS: &[&str] = &[
-    "dr", "mr", "mrs", "ms", "prof", "sr", "jr", "st", "vs", "etc", "e.g", "i.e", "fig",
-    "al", "inc", "ltd", "co", "dept", "univ", "approx", "no",
+    "dr", "mr", "mrs", "ms", "prof", "sr", "jr", "st", "vs", "etc", "e.g", "i.e", "fig", "al",
+    "inc", "ltd", "co", "dept", "univ", "approx", "no",
 ];
 
 fn is_abbreviation(word: &str) -> bool {
@@ -74,13 +74,19 @@ pub fn split_sentences(doc: &str) -> Vec<Sentence> {
                 // advance by its UTF-8 length, not by 1.
                 let word_start = doc[..i]
                     .rfind(|ch: char| ch.is_whitespace())
-                    .map(|p| p + doc[p..].chars().next().expect("rfind hit a char").len_utf8())
+                    .map(|p| {
+                        p + doc[p..]
+                            .chars()
+                            .next()
+                            .expect("rfind hit a char")
+                            .len_utf8()
+                    })
                     .unwrap_or(0);
                 let word = &doc[word_start..i];
-                let next_is_digit =
-                    bytes.get(i + 1).is_some_and(|&b| (b as char).is_ascii_digit());
-                let prev_is_digit =
-                    i > 0 && (bytes[i - 1] as char).is_ascii_digit();
+                let next_is_digit = bytes
+                    .get(i + 1)
+                    .is_some_and(|&b| (b as char).is_ascii_digit());
+                let prev_is_digit = i > 0 && (bytes[i - 1] as char).is_ascii_digit();
                 // A decimal like `12.5`: digit on both sides.
                 let decimal = prev_is_digit && next_is_digit;
                 // Followed by lowercase start => likely abbreviation usage.
@@ -91,7 +97,8 @@ pub fn split_sentences(doc: &str) -> Vec<Sentence> {
         if boundary {
             // Absorb any run of closing punctuation after the terminator.
             let mut end = i + 1;
-            while end < bytes.len() && matches!(bytes[end] as char, ')' | '"' | '\'' | ']' | '”') {
+            while end < bytes.len() && matches!(bytes[end] as char, ')' | '"' | '\'' | ']' | '”')
+            {
                 end += 1;
             }
             push(&mut sentences, sent_start, end);

@@ -43,7 +43,14 @@ pub fn jaccard_words(a: &str, b: &str) -> f64 {
 /// broken toward the earliest position in `a`, then `b` (as in
 /// Ratcliff–Obershelp / difflib without junk handling).
 #[allow(clippy::needless_range_loop)] // index loops mirror the difflib reference
-fn longest_match(a: &[char], b: &[char], alo: usize, ahi: usize, blo: usize, bhi: usize) -> (usize, usize, usize) {
+fn longest_match(
+    a: &[char],
+    b: &[char],
+    alo: usize,
+    ahi: usize,
+    blo: usize,
+    bhi: usize,
+) -> (usize, usize, usize) {
     // difflib-style DP: j2len[j] = length of the longest match ending at
     // a[i-1], b[j-1].
     let mut best = (alo, blo, 0usize);
@@ -52,7 +59,12 @@ fn longest_match(a: &[char], b: &[char], alo: usize, ahi: usize, blo: usize, bhi
         let mut new_j2len: HashMap<usize, usize> = HashMap::new();
         for j in blo..bhi {
             if a[i] == b[j] {
-                let k = j.checked_sub(1).and_then(|p| j2len.get(&p)).copied().unwrap_or(0) + 1;
+                let k = j
+                    .checked_sub(1)
+                    .and_then(|p| j2len.get(&p))
+                    .copied()
+                    .unwrap_or(0)
+                    + 1;
                 new_j2len.insert(j, k);
                 if k > best.2 {
                     best = (i + 1 - k, j + 1 - k, k);
@@ -185,7 +197,10 @@ mod tests {
     #[test]
     fn jaccard_partial() {
         // {non-cancerous, brain, tumor} vs {skin, cancer}: no overlap.
-        assert_eq!(jaccard_words("non-cancerous brain tumor", "skin cancer"), 0.0);
+        assert_eq!(
+            jaccard_words("non-cancerous brain tumor", "skin cancer"),
+            0.0
+        );
         // {blood, clot} vs {blood}: 1/2.
         assert_eq!(jaccard_words("blood clot", "blood"), 0.5);
     }

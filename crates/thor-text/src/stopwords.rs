@@ -11,29 +11,173 @@ use std::sync::OnceLock;
 
 const STOPWORDS: &[&str] = &[
     // determiners / articles
-    "a", "an", "the", "this", "that", "these", "those", "each", "every", "either", "neither",
-    "some", "any", "no", "such", "both", "all", "another", "other",
+    "a",
+    "an",
+    "the",
+    "this",
+    "that",
+    "these",
+    "those",
+    "each",
+    "every",
+    "either",
+    "neither",
+    "some",
+    "any",
+    "no",
+    "such",
+    "both",
+    "all",
+    "another",
+    "other",
     // prepositions
-    "of", "in", "on", "at", "by", "for", "with", "about", "against", "between", "into",
-    "through", "during", "before", "after", "above", "below", "to", "from", "up", "down",
-    "out", "off", "over", "under", "within", "without", "along", "across", "behind",
-    "beyond", "near", "among", "upon", "via", "per",
+    "of",
+    "in",
+    "on",
+    "at",
+    "by",
+    "for",
+    "with",
+    "about",
+    "against",
+    "between",
+    "into",
+    "through",
+    "during",
+    "before",
+    "after",
+    "above",
+    "below",
+    "to",
+    "from",
+    "up",
+    "down",
+    "out",
+    "off",
+    "over",
+    "under",
+    "within",
+    "without",
+    "along",
+    "across",
+    "behind",
+    "beyond",
+    "near",
+    "among",
+    "upon",
+    "via",
+    "per",
     // conjunctions
-    "and", "or", "but", "nor", "so", "yet", "if", "because", "while", "although", "though",
-    "unless", "until", "when", "where", "whereas", "since", "as", "than",
+    "and",
+    "or",
+    "but",
+    "nor",
+    "so",
+    "yet",
+    "if",
+    "because",
+    "while",
+    "although",
+    "though",
+    "unless",
+    "until",
+    "when",
+    "where",
+    "whereas",
+    "since",
+    "as",
+    "than",
     // pronouns
-    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them", "my",
-    "your", "his", "its", "our", "their", "mine", "yours", "hers", "ours", "theirs",
-    "who", "whom", "whose", "which", "what", "itself", "himself", "herself", "themselves",
+    "i",
+    "you",
+    "he",
+    "she",
+    "it",
+    "we",
+    "they",
+    "me",
+    "him",
+    "her",
+    "us",
+    "them",
+    "my",
+    "your",
+    "his",
+    "its",
+    "our",
+    "their",
+    "mine",
+    "yours",
+    "hers",
+    "ours",
+    "theirs",
+    "who",
+    "whom",
+    "whose",
+    "which",
+    "what",
+    "itself",
+    "himself",
+    "herself",
+    "themselves",
     // auxiliaries / copulas
-    "am", "is", "are", "was", "were", "be", "been", "being", "do", "does", "did", "have",
-    "has", "had", "having", "will", "would", "shall", "should", "may", "might", "must",
-    "can", "could",
+    "am",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "do",
+    "does",
+    "did",
+    "have",
+    "has",
+    "had",
+    "having",
+    "will",
+    "would",
+    "shall",
+    "should",
+    "may",
+    "might",
+    "must",
+    "can",
+    "could",
     // misc function words
-    "not", "only", "also", "very", "just", "there", "here", "then", "thus", "hence",
-    "however", "moreover", "furthermore", "too", "etc", "often", "sometimes", "usually",
-    "commonly", "typically", "generally", "most", "more", "many", "much", "few", "several",
-    "how", "why", "again", "further", "once",
+    "not",
+    "only",
+    "also",
+    "very",
+    "just",
+    "there",
+    "here",
+    "then",
+    "thus",
+    "hence",
+    "however",
+    "moreover",
+    "furthermore",
+    "too",
+    "etc",
+    "often",
+    "sometimes",
+    "usually",
+    "commonly",
+    "typically",
+    "generally",
+    "most",
+    "more",
+    "many",
+    "much",
+    "few",
+    "several",
+    "how",
+    "why",
+    "again",
+    "further",
+    "once",
 ];
 
 fn set() -> &'static HashSet<&'static str> {
@@ -60,9 +204,7 @@ pub fn is_stopword(word: &str) -> bool {
 /// ```
 pub fn strip_stopwords(phrase: &str) -> String {
     let tokens: Vec<&str> = phrase.split_whitespace().collect();
-    let is_strippable = |t: &str| {
-        is_stopword(t) || t.chars().all(|c| c.is_ascii_punctuation())
-    };
+    let is_strippable = |t: &str| is_stopword(t) || t.chars().all(|c| c.is_ascii_punctuation());
     let mut lo = 0usize;
     let mut hi = tokens.len();
     while lo < hi && is_strippable(tokens[lo]) {
@@ -95,7 +237,10 @@ mod tests {
     #[test]
     fn strip_leading() {
         assert_eq!(strip_stopwords("the lungs"), "lungs");
-        assert_eq!(strip_stopwords("a slow-growing tumor"), "slow-growing tumor");
+        assert_eq!(
+            strip_stopwords("a slow-growing tumor"),
+            "slow-growing tumor"
+        );
     }
 
     #[test]

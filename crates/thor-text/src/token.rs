@@ -22,7 +22,11 @@ pub struct Token {
 impl Token {
     /// Construct a token from a slice of the source text.
     pub fn new(text: impl Into<String>, start: usize, end: usize) -> Self {
-        Self { text: text.into(), start, end }
+        Self {
+            text: text.into(),
+            start,
+            end,
+        }
     }
 
     /// True if every character is ASCII punctuation.
@@ -81,7 +85,11 @@ pub fn tokenize(text: &str) -> Vec<Token> {
                 core_start = start + i;
                 break;
             }
-            tokens.push(Token::new(c.to_string(), start + i, start + i + c.len_utf8()));
+            tokens.push(Token::new(
+                c.to_string(),
+                start + i,
+                start + i + c.len_utf8(),
+            ));
             core_start = start + i + c.len_utf8();
         }
         if core_start >= end {
@@ -90,7 +98,12 @@ pub fn tokenize(text: &str) -> Vec<Token> {
         let core_chunk = &text[core_start..end];
         let mut core_end = end;
         let mut trailing: Vec<(usize, char)> = Vec::new();
-        for (i, c) in core_chunk.char_indices().collect::<Vec<_>>().into_iter().rev() {
+        for (i, c) in core_chunk
+            .char_indices()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+        {
             if is_inner(c) {
                 core_end = core_start + i + c.len_utf8();
                 break;
@@ -99,7 +112,11 @@ pub fn tokenize(text: &str) -> Vec<Token> {
             core_end = core_start + i;
         }
         if core_start < core_end {
-            tokens.push(Token::new(&text[core_start..core_end], core_start, core_end));
+            tokens.push(Token::new(
+                &text[core_start..core_end],
+                core_start,
+                core_end,
+            ));
         }
         for (pos, c) in trailing.into_iter().rev() {
             tokens.push(Token::new(c.to_string(), pos, pos + c.len_utf8()));
@@ -123,7 +140,10 @@ pub fn tokenize(text: &str) -> Vec<Token> {
 
 /// Tokenize and keep only word-like tokens (drops pure punctuation).
 pub fn tokenize_words(text: &str) -> Vec<Token> {
-    tokenize(text).into_iter().filter(|t| !t.is_punctuation()).collect()
+    tokenize(text)
+        .into_iter()
+        .filter(|t| !t.is_punctuation())
+        .collect()
 }
 
 #[cfg(test)]
@@ -142,19 +162,28 @@ mod tests {
 
     #[test]
     fn simple_sentence() {
-        assert_eq!(words("the quick brown fox"), ["the", "quick", "brown", "fox"]);
+        assert_eq!(
+            words("the quick brown fox"),
+            ["the", "quick", "brown", "fox"]
+        );
     }
 
     #[test]
     fn punctuation_split_off() {
         assert_eq!(words("lungs."), ["lungs", "."]);
         assert_eq!(words("(lungs)."), ["(", "lungs", ")", "."]);
-        assert_eq!(words("\"hello,\" she said"), ["\"", "hello", ",", "\"", "she", "said"]);
+        assert_eq!(
+            words("\"hello,\" she said"),
+            ["\"", "hello", ",", "\"", "she", "said"]
+        );
     }
 
     #[test]
     fn hyphen_and_apostrophe_kept() {
-        assert_eq!(words("slow-growing non-cancerous tumor"), ["slow-growing", "non-cancerous", "tumor"]);
+        assert_eq!(
+            words("slow-growing non-cancerous tumor"),
+            ["slow-growing", "non-cancerous", "tumor"]
+        );
         assert_eq!(words("Alzheimer's disease"), ["Alzheimer's", "disease"]);
     }
 
@@ -195,8 +224,10 @@ mod tests {
 
     #[test]
     fn tokenize_words_drops_punct() {
-        let w: Vec<String> =
-            tokenize_words("lungs, heart.").into_iter().map(|t| t.text).collect();
+        let w: Vec<String> = tokenize_words("lungs, heart.")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
         assert_eq!(w, ["lungs", "heart"]);
     }
 

@@ -29,7 +29,9 @@ fn main() {
         .docs(Split::Test)
         .iter()
         .flat_map(|d| {
-            d.gold.iter().map(|g| Annotation::new(d.doc.id.clone(), &g.concept, &g.phrase))
+            d.gold
+                .iter()
+                .map(|g| Annotation::new(d.doc.id.clone(), &g.concept, &g.phrase))
         })
         .collect();
     let mut gold_dedup = gold;
@@ -56,7 +58,12 @@ fn main() {
     // ── Per-concept view ─────────────────────────────────────────────
     println!("\nper-concept sensitivity:");
     for c in &report.per_concept {
-        println!("  {:<14} {:>5.1}%  ({} gold)", c.concept, c.sensitivity * 100.0, c.gold);
+        println!(
+            "  {:<14} {:>5.1}%  ({} gold)",
+            c.concept,
+            c.sensitivity * 100.0,
+            c.gold
+        );
     }
 
     let after = sparsity(&result.table);

@@ -36,8 +36,23 @@ fn main() {
         .spread(0.4)
         .topic("anatomy")
         .correlated_topic("complication", "anatomy", 0.25)
-        .words("anatomy", ["nervous", "system", "brain", "nerve", "skin", "lungs", "ear"])
-        .words("complication", ["cancer", "tumor", "unsteadiness", "deafness", "empyema", "non-cancerous"])
+        .words(
+            "anatomy",
+            [
+                "nervous", "system", "brain", "nerve", "skin", "lungs", "ear",
+            ],
+        )
+        .words(
+            "complication",
+            [
+                "cancer",
+                "tumor",
+                "unsteadiness",
+                "deafness",
+                "empyema",
+                "non-cancerous",
+            ],
+        )
         .generic_words(["slow-growing", "grows", "damages", "may", "cause"])
         .build()
         .into_store();

@@ -14,7 +14,11 @@ fn main() {
     println!(
         "Résumé dataset (scale 0.1): {} test documents, {} CVs per document",
         docs.len(),
-        dataset.docs(Split::Test).first().map(|d| d.subjects.len()).unwrap_or(0)
+        dataset
+            .docs(Split::Test)
+            .first()
+            .map(|d| d.subjects.len())
+            .unwrap_or(0)
     );
 
     let table = dataset.enrichment_table();
@@ -23,7 +27,11 @@ fn main() {
 
     // Group extracted entities per subject (CV) for the first document.
     if let Some(first) = dataset.docs(Split::Test).first() {
-        println!("\ndocument `{}` covers {} candidates:", first.doc.id, first.subjects.len());
+        println!(
+            "\ndocument `{}` covers {} candidates:",
+            first.doc.id,
+            first.subjects.len()
+        );
         for subject in &first.subjects {
             println!("  ── {subject}");
             let mut entities: Vec<_> = result

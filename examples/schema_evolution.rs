@@ -19,7 +19,10 @@ fn main() {
         .topic("anatomy")
         .topic("symptom")
         .words("anatomy", ["lungs", "brain", "nerve", "spine", "ear"])
-        .words("symptom", ["fever", "cough", "fatigue", "dizziness", "nausea"])
+        .words(
+            "symptom",
+            ["fever", "cough", "fatigue", "dizziness", "nausea"],
+        )
         .generic_words(["damages", "patients", "generally"])
         .build()
         .into_store();

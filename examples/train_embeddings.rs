@@ -29,7 +29,13 @@ fn main() {
         }
     }
     println!("training SGNS on {} sentences...", corpus.len());
-    let config = SgnsConfig { dim: 48, epochs: 6, window: 4, min_count: 3, ..Default::default() };
+    let config = SgnsConfig {
+        dim: 48,
+        epochs: 6,
+        window: 4,
+        min_count: 3,
+        ..Default::default()
+    };
     let t0 = std::time::Instant::now();
     let learned = SgnsTrainer::new(config).train(&corpus);
     println!("trained {} vectors in {:?}\n", learned.len(), t0.elapsed());
@@ -46,8 +52,10 @@ fn main() {
     // ── Run THOR with the learned vectors ────────────────────────────
     let table = dataset.enrichment_table();
     let docs = dataset.documents(Split::Test);
-    for (label, store) in [("learned (SGNS)", learned), ("oracle space", dataset.store.clone())]
-    {
+    for (label, store) in [
+        ("learned (SGNS)", learned),
+        ("oracle space", dataset.store.clone()),
+    ] {
         let thor = Thor::new(store, ThorConfig::with_tau(0.7));
         let (entities, prep, infer) = thor.extract(&table, &docs);
         println!(

@@ -4,7 +4,8 @@
 //! thor integrate <src.csv>... [--out R.csv]          full disjunction of sources
 //! thor sparsity <table.csv>                          sparsity report
 //! thor enrich --table R.csv [--tau 0.7] [--vectors v.txt]
-//!             [--context-gate G] [--out enriched.csv] [--entities e.tsv]
+//!             [--context-gate G] [--metrics[=json]]
+//!             [--out enriched.csv] [--entities e.tsv]
 //!             <doc.txt>...                           run the pipeline
 //! thor evaluate --gold gold.tsv --pred pred.tsv      SemEval partial-match scores
 //! thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR
@@ -21,7 +22,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use thor_repro::core::{Document, Thor, ThorConfig};
+use thor_repro::core::{Document, PipelineMetrics, Thor, ThorConfig};
 use thor_repro::data::csv::{from_csv, to_csv};
 use thor_repro::data::{full_disjunction, sparsity, Table};
 use thor_repro::datagen::{corpus_stats, generate, DatasetSpec, Split};
@@ -29,8 +30,8 @@ use thor_repro::embed::{SgnsConfig, SgnsTrainer, VectorStore};
 use thor_repro::eval::{evaluate, schema_scores, Annotation};
 use thor_repro::text::{normalize_phrase, split_sentences};
 
-/// Parsed command line: positional args plus `--key value` options
-/// (`--flag` with no value stores an empty string).
+/// Parsed command line: positional args plus `--key value` / `--key=value`
+/// options (`--flag` with no value stores an empty string).
 #[derive(Debug, Default, PartialEq)]
 struct Args {
     positional: Vec<String>,
@@ -43,15 +44,19 @@ fn parse_args(argv: &[String]) -> Args {
     while i < argv.len() {
         let a = &argv[i];
         if let Some(key) = a.strip_prefix("--") {
-            let value = argv
-                .get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .cloned()
-                .unwrap_or_default();
-            if !value.is_empty() {
-                i += 1;
+            if let Some((key, value)) = key.split_once('=') {
+                args.options.insert(key.to_string(), value.to_string());
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned()
+                    .unwrap_or_default();
+                if !value.is_empty() {
+                    i += 1;
+                }
+                args.options.insert(key.to_string(), value);
             }
-            args.options.insert(key.to_string(), value);
         } else {
             args.positional.push(a.clone());
         }
@@ -64,7 +69,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  thor integrate <src.csv>... [--out R.csv]\n  thor sparsity <table.csv>\n  \
          thor enrich --table R.csv [--tau 0.7] [--vectors v.txt] [--context-gate G] \
-         [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
+         [--metrics[=json]] [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
          thor evaluate --gold gold.tsv --pred pred.tsv\n  \
          thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR"
     );
@@ -84,10 +89,12 @@ fn read_annotations(path: &str) -> Result<Vec<Annotation>, String> {
             continue;
         }
         let mut parts = line.splitn(3, '\t');
-        let (Some(doc), Some(concept), Some(phrase)) =
-            (parts.next(), parts.next(), parts.next())
+        let (Some(doc), Some(concept), Some(phrase)) = (parts.next(), parts.next(), parts.next())
         else {
-            return Err(format!("{path}:{}: expected doc<TAB>concept<TAB>phrase", i + 1));
+            return Err(format!(
+                "{path}:{}: expected doc<TAB>concept<TAB>phrase",
+                i + 1
+            ));
         };
         out.push(Annotation::new(doc, concept, phrase));
     }
@@ -120,7 +127,10 @@ fn cmd_integrate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sparsity(args: &Args) -> Result<(), String> {
-    let path = args.positional.first().ok_or("sparsity needs a table CSV")?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("sparsity needs a table CSV")?;
     let table = read_table(path)?;
     let report = sparsity(&table);
     println!(
@@ -135,6 +145,28 @@ fn cmd_sparsity(args: &Args) -> Result<(), String> {
         println!("  {concept:<24} {missing:>5} / {total} missing");
     }
     Ok(())
+}
+
+/// How `--metrics` asked for the per-stage breakdown, if at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsMode {
+    Table,
+    Json,
+}
+
+/// Parse `--metrics` / `--metrics=json` (`table` is the explicit form
+/// of the default). Metrics go to stderr, leaving stdout to the
+/// enriched table; the JSON document is a single line, so it stays
+/// trivially extractable from the stream.
+fn metrics_mode(args: &Args) -> Result<Option<MetricsMode>, String> {
+    match args.options.get("metrics").map(String::as_str) {
+        None => Ok(None),
+        Some("" | "table") => Ok(Some(MetricsMode::Table)),
+        Some("json") => Ok(Some(MetricsMode::Json)),
+        Some(other) => Err(format!(
+            "bad --metrics value `{other}` (expected `table` or `json`)"
+        )),
+    }
 }
 
 fn cmd_enrich(args: &Args) -> Result<(), String> {
@@ -193,7 +225,12 @@ fn cmd_enrich(args: &Args) -> Result<(), String> {
     if let Some(g) = args.options.get("context-gate") {
         config.context_gate = Some(g.parse().map_err(|_| "bad --context-gate")?);
     }
-    let thor = Thor::new(store, config);
+    let metrics_mode = metrics_mode(args)?;
+    let metrics = PipelineMetrics::new();
+    let mut thor = Thor::new(store, config);
+    if metrics_mode.is_some() {
+        thor = thor.with_metrics(metrics.clone());
+    }
     let result = thor.enrich(&table, &docs);
     eprintln!(
         "extracted {} entities, filled {} slots ({} duplicates) in {:?}",
@@ -202,6 +239,11 @@ fn cmd_enrich(args: &Args) -> Result<(), String> {
         result.slot_stats.duplicates,
         result.total_time()
     );
+    match metrics_mode {
+        Some(MetricsMode::Table) => eprint!("{}", metrics.render_table()),
+        Some(MetricsMode::Json) => eprintln!("{}", metrics.render_json()),
+        None => {}
+    }
 
     if let Some(path) = args.options.get("entities") {
         let mut tsv = String::new();
@@ -229,7 +271,10 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
         "gold: {}  predicted: {}\ncorrect: {}  partial: {}  incorrect: {}  spurious: {}  missing: {}",
         r.gold_total, r.predicted_total, r.correct, r.partial, r.incorrect, r.spurious, r.missing
     );
-    println!("P: {:.3}  R: {:.3}  F1: {:.3}  sensitivity: {:.3}", r.precision, r.recall, r.f1, r.sensitivity);
+    println!(
+        "P: {:.3}  R: {:.3}  F1: {:.3}  sensitivity: {:.3}",
+        r.precision, r.recall, r.f1, r.sensitivity
+    );
     let s = schema_scores(&pred, &gold);
     println!(
         "schemas  strict {:.3}  exact {:.3}  partial {:.3}  ent_type {:.3}  (F1)",
@@ -244,7 +289,11 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn write_split(dir: &Path, name: &str, docs: &[thor_repro::datagen::AnnotatedDoc]) -> Result<(), String> {
+fn write_split(
+    dir: &Path,
+    name: &str,
+    docs: &[thor_repro::datagen::AnnotatedDoc],
+) -> Result<(), String> {
     let doc_dir = dir.join("docs").join(name);
     fs::create_dir_all(&doc_dir).map_err(|e| e.to_string())?;
     let mut gold = String::new();
@@ -261,7 +310,11 @@ fn write_split(dir: &Path, name: &str, docs: &[thor_repro::datagen::AnnotatedDoc
 }
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
-    let dataset_name = args.options.get("dataset").map(String::as_str).unwrap_or("disease");
+    let dataset_name = args
+        .options
+        .get("dataset")
+        .map(String::as_str)
+        .unwrap_or("disease");
     let scale: f64 = args
         .options
         .get("scale")
@@ -285,10 +338,16 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 
     fs::create_dir_all(&out).map_err(|e| e.to_string())?;
     fs::write(out.join("table.csv"), to_csv(&dataset.table)).map_err(|e| e.to_string())?;
-    fs::write(out.join("enrichment_table.csv"), to_csv(&dataset.enrichment_table()))
-        .map_err(|e| e.to_string())?;
-    fs::write(out.join("gold_test_table.csv"), to_csv(&dataset.gold_test_table()))
-        .map_err(|e| e.to_string())?;
+    fs::write(
+        out.join("enrichment_table.csv"),
+        to_csv(&dataset.enrichment_table()),
+    )
+    .map_err(|e| e.to_string())?;
+    fs::write(
+        out.join("gold_test_table.csv"),
+        to_csv(&dataset.gold_test_table()),
+    )
+    .map_err(|e| e.to_string())?;
     fs::write(out.join("vectors.txt"), dataset.store.to_text()).map_err(|e| e.to_string())?;
     let src_dir = out.join("sources");
     fs::create_dir_all(&src_dir).map_err(|e| e.to_string())?;
@@ -367,5 +426,33 @@ mod tests {
         let a = parse_args(&[]);
         assert!(a.positional.is_empty());
         assert!(a.options.is_empty());
+    }
+
+    #[test]
+    fn equals_form_splits_key_and_value() {
+        let a = parse_args(&argv(&["--metrics=json", "--tau=0.6", "doc.txt"]));
+        assert_eq!(a.options.get("metrics").unwrap(), "json");
+        assert_eq!(a.options.get("tau").unwrap(), "0.6");
+        assert_eq!(a.positional, ["doc.txt"]);
+    }
+
+    #[test]
+    fn equals_form_does_not_consume_next_arg() {
+        let a = parse_args(&argv(&["--metrics=json", "next"]));
+        assert_eq!(a.options.get("metrics").unwrap(), "json");
+        assert_eq!(a.positional, ["next"]);
+    }
+
+    #[test]
+    fn metrics_mode_parses_all_forms() {
+        let mode = |items: &[&str]| metrics_mode(&parse_args(&argv(items)));
+        assert_eq!(mode(&[]).unwrap(), None);
+        assert_eq!(mode(&["--metrics"]).unwrap(), Some(MetricsMode::Table));
+        assert_eq!(
+            mode(&["--metrics=table"]).unwrap(),
+            Some(MetricsMode::Table)
+        );
+        assert_eq!(mode(&["--metrics=json"]).unwrap(), Some(MetricsMode::Json));
+        assert!(mode(&["--metrics=xml"]).is_err());
     }
 }

@@ -76,7 +76,12 @@ fn enrichment_table_contains_train_knowledge_and_stripped_test_rows() {
     let d = generate(&DatasetSpec::disease_az(11, 0.05));
     let et = d.enrichment_table();
     // Same instances as R plus only subject values for test rows.
-    let extra_rows: usize = d.test.iter().flat_map(|t| t.subjects.iter()).collect::<std::collections::BTreeSet<_>>().len();
+    let extra_rows: usize = d
+        .test
+        .iter()
+        .flat_map(|t| t.subjects.iter())
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
     assert_eq!(et.len(), d.table.len() + extra_rows);
     assert_eq!(et.instance_count(), d.table.instance_count() + extra_rows);
 }
@@ -107,7 +112,10 @@ fn gold_test_table_matches_annotations() {
 fn resume_documents_bundle_five_subjects() {
     let d = generate(&DatasetSpec::resume(3, 0.5));
     let full: usize = d.test.iter().filter(|doc| doc.subjects.len() == 5).count();
-    assert!(full >= d.test.len() - 1, "all but possibly the last doc hold 5 CVs");
+    assert!(
+        full >= d.test.len() - 1,
+        "all but possibly the last doc hold 5 CVs"
+    );
 }
 
 #[test]
@@ -120,7 +128,11 @@ fn full_scale_statistics_match_table_iii_band() {
     assert_eq!(test.documents, 78);
     // The paper's test split has 2,222 entities over 90 documents; ours
     // lands in the same order of magnitude.
-    assert!(test.entities > 800 && test.entities < 4000, "entities {}", test.entities);
+    assert!(
+        test.entities > 800 && test.entities < 4000,
+        "entities {}",
+        test.entities
+    );
     let train = corpus_stats(&d.train);
     assert_eq!(train.subjects, 240);
     assert!(train.words > 50_000, "train words {}", train.words);

@@ -10,10 +10,22 @@ fn fig1_store() -> VectorStore {
         .spread(0.4)
         .topic("anatomy")
         .correlated_topic("complication", "anatomy", 0.25)
-        .words("anatomy", ["nervous", "system", "brain", "nerve", "skin", "lungs", "ear"])
+        .words(
+            "anatomy",
+            [
+                "nervous", "system", "brain", "nerve", "skin", "lungs", "ear",
+            ],
+        )
         .words(
             "complication",
-            ["cancer", "tumor", "unsteadiness", "deafness", "empyema", "non-cancerous"],
+            [
+                "cancer",
+                "tumor",
+                "unsteadiness",
+                "deafness",
+                "empyema",
+                "non-cancerous",
+            ],
         )
         .generic_words(["slow-growing", "grows", "damages", "may", "cause"])
         .build()
@@ -51,9 +63,15 @@ fn fig1_to_fig4_end_to_end() {
     // Fig. 4: Complication slots filled for both subjects.
     let an = result.table.get_row("Acoustic Neuroma").expect("row");
     let compl = result.table.schema().index_of("Complication").unwrap();
-    assert!(!an.cell(compl).is_null(), "Acoustic Neuroma Complication filled");
+    assert!(
+        !an.cell(compl).is_null(),
+        "Acoustic Neuroma Complication filled"
+    );
     let tb = result.table.get_row("Tuberculosis").expect("row");
-    assert!(!tb.cell(compl).is_null(), "Tuberculosis Complication filled");
+    assert!(
+        !tb.cell(compl).is_null(),
+        "Tuberculosis Complication filled"
+    );
 
     // Sparsity strictly reduced.
     let after = sparsity(&result.table);
@@ -91,7 +109,10 @@ fn schema_evolution_without_retraining() {
         .topic("anatomy")
         .topic("symptom")
         .words("anatomy", ["lungs", "brain", "nerve"])
-        .words("symptom", ["fever", "cough", "fatigue", "dizziness", "nausea"])
+        .words(
+            "symptom",
+            ["fever", "cough", "fatigue", "dizziness", "nausea"],
+        )
         .generic_words(["damages", "patients", "generally"])
         .build()
         .into_store();
@@ -116,7 +137,10 @@ fn schema_evolution_without_retraining() {
         .filter(|e| e.concept == "Symptom")
         .map(|e| e.phrase.as_str())
         .collect();
-    assert!(!symptoms.is_empty(), "evolved concept must be fillable from the same text");
+    assert!(
+        !symptoms.is_empty(),
+        "evolved concept must be fillable from the same text"
+    );
 }
 
 #[test]

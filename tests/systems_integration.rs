@@ -23,11 +23,30 @@ fn all_systems_produce_valid_reports() {
     for s in systems {
         let out = run_system(&s, &d);
         let r = &out.report;
-        assert!((0.0..=1.0).contains(&r.precision), "{}: P {}", out.system, r.precision);
-        assert!((0.0..=1.0).contains(&r.recall), "{}: R {}", out.system, r.recall);
+        assert!(
+            (0.0..=1.0).contains(&r.precision),
+            "{}: P {}",
+            out.system,
+            r.precision
+        );
+        assert!(
+            (0.0..=1.0).contains(&r.recall),
+            "{}: R {}",
+            out.system,
+            r.recall
+        );
         assert!((0.0..=1.0).contains(&r.f1), "{}: F1 {}", out.system, r.f1);
-        assert_eq!(r.tp + r.fp, r.predicted_total, "{}: count identity", out.system);
-        assert!(r.predicted_total > 0, "{} produced no predictions", out.system);
+        assert_eq!(
+            r.tp + r.fp,
+            r.predicted_total,
+            "{}: count identity",
+            out.system
+        );
+        assert!(
+            r.predicted_total > 0,
+            "{} produced no predictions",
+            out.system
+        );
     }
 }
 
@@ -116,7 +135,12 @@ fn uniner_misses_composition_entirely() {
     // The paper's Table VII observation, reproduced by the profile.
     let d = dataset();
     let out = run_system(&System::UniNer, &d);
-    if let Some(c) = out.report.per_concept.iter().find(|c| c.concept == "composition") {
+    if let Some(c) = out
+        .report
+        .per_concept
+        .iter()
+        .find(|c| c.concept == "composition")
+    {
         assert_eq!(c.tp, 0, "UniNER must not detect Composition entities");
     }
 }

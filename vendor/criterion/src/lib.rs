@@ -1,0 +1,256 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the API surface this workspace's
+//! benches use: [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment cannot reach a crate registry, so the workspace
+//! vendors the third-party APIs it relies on (see `vendor/README.md`).
+//! Measurement is deliberately simple: a warm-up, then `sample_size`
+//! timed samples of an adaptively-chosen iteration batch; the median,
+//! mean, and spread are printed as plain text. There are no HTML
+//! reports, statistical regressions, or saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. All variants behave the
+/// same here (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch.
+    SmallInput,
+    /// Large inputs: few iterations per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and pick an iteration count aiming at ~5ms per sample.
+        let warmup = Instant::now();
+        let mut one = std::hint::black_box(routine());
+        let per_iter = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000);
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                one = std::hint::black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / iters as u32);
+        }
+        drop(one);
+    }
+
+    /// Time `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let (lo, hi) = (sorted[0], sorted[sorted.len() - 1]);
+        println!(
+            "{id:<40} median {:>12?}  mean {:>12?}  range [{:?} .. {:?}]",
+            median, mean, lo, hi
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run(id.to_string(), f);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone function.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: 20,
+        };
+        f(&mut bencher);
+        bencher.report(&id.to_string());
+        self
+    }
+
+    /// Accepted for CLI parity; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        assert!(calls > 3, "routine ran {calls} times");
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4);
+        let mut setups = 0u64;
+        g.bench_with_input(BenchmarkId::new("b", 1), &7usize, |b, &x| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![x; 3]
+                },
+                |v| v.iter().sum::<usize>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(
+            BenchmarkId::new("fine_tune", 0.5).to_string(),
+            "fine_tune/0.5"
+        );
+        assert_eq!(BenchmarkId::from_parameter(0.7).to_string(), "0.7");
+    }
+}

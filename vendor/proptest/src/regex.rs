@@ -1,0 +1,321 @@
+//! A generator for the regex subset this workspace's property tests use
+//! as string strategies.
+//!
+//! Supported syntax: literal characters, escapes (`\n`, `\t`, `\-`,
+//! `\[`, ...), character classes with ranges (`[a-zA-Z ]`), the
+//! printable-character shorthand `\PC`, groups with alternation
+//! (`(ape|ant|asp)`), and the quantifiers `{m,n}`, `{n}`, `?`, `*`, `+`.
+//! Anything outside the subset panics with the offending pattern, so a
+//! new test that needs more syntax fails loudly instead of silently
+//! generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+/// One parsed regex node.
+#[derive(Debug, Clone)]
+enum Node {
+    /// A fixed character.
+    Literal(char),
+    /// One character from a set.
+    Class(Vec<char>),
+    /// One character from the `\PC` (printable) pool.
+    Printable,
+    /// Alternation of sequences.
+    Group(Vec<Vec<Node>>),
+    /// A repeated node: `node{min,max}`.
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Printable pool for `\PC`: ASCII printables plus a few multi-byte
+/// scalars so UTF-8 boundary handling gets exercised.
+const PRINTABLE_EXTRA: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '𝛼', '—', '“'];
+
+struct Parser<'a> {
+    pattern: &'a str,
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Self {
+            pattern,
+            chars: pattern.chars().peekable(),
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "unsupported regex {what} in strategy pattern `{}`",
+            self.pattern
+        )
+    }
+
+    fn parse_alternation(&mut self, in_group: bool) -> Vec<Vec<Node>> {
+        let mut branches = vec![Vec::new()];
+        loop {
+            match self.chars.peek().copied() {
+                None => {
+                    if in_group {
+                        self.fail("unclosed group");
+                    }
+                    break;
+                }
+                Some(')') if in_group => break,
+                Some('|') => {
+                    self.chars.next();
+                    branches.push(Vec::new());
+                }
+                Some(_) => {
+                    let node = self.parse_atom();
+                    let node = self.parse_quantifier(node);
+                    branches.last_mut().expect("at least one branch").push(node);
+                }
+            }
+        }
+        branches
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.chars.next().expect("atom expected") {
+            '(' => {
+                let branches = self.parse_alternation(true);
+                match self.chars.next() {
+                    Some(')') => Node::Group(branches),
+                    _ => self.fail("unclosed group"),
+                }
+            }
+            '[' => self.parse_class(),
+            '\\' => self.parse_escape(),
+            '.' => Node::Printable,
+            c @ (')' | ']' | '{' | '}' | '?' | '*' | '+') => {
+                // Bare metacharacters outside their role are not part of
+                // the supported subset.
+                self.fail(&format!("metacharacter `{c}`"))
+            }
+            c => Node::Literal(c),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.chars.next() {
+            Some('P') => match self.chars.next() {
+                // `\PC` — "not in Unicode category C (control)".
+                Some('C') => Node::Printable,
+                _ => self.fail("escape (only \\PC is supported)"),
+            },
+            Some('n') => Node::Literal('\n'),
+            Some('t') => Node::Literal('\t'),
+            Some('r') => Node::Literal('\r'),
+            Some(
+                c @ ('\\' | '-' | '[' | ']' | '(' | ')' | '{' | '}' | '.' | '?' | '*' | '+' | '|'
+                | '"' | '\''),
+            ) => Node::Literal(c),
+            _ => self.fail("escape"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut set: Vec<char> = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            self.fail("negated class");
+        }
+        loop {
+            let c = match self.chars.next() {
+                None => self.fail("unclosed class"),
+                Some(']') => break,
+                Some('\\') => match self.parse_escape() {
+                    Node::Literal(c) => c,
+                    Node::Printable => {
+                        set.extend(' '..='~');
+                        set.extend(PRINTABLE_EXTRA);
+                        continue;
+                    }
+                    _ => self.fail("class escape"),
+                },
+                Some(c) => c,
+            };
+            // A range `a-z`? Only when `-` is followed by a non-`]`.
+            if self.chars.peek() == Some(&'-') {
+                let mut lookahead = self.chars.clone();
+                lookahead.next();
+                match lookahead.peek() {
+                    Some(&']') | None => set.push(c),
+                    Some(_) => {
+                        self.chars.next(); // the '-'
+                        let hi = match self.chars.next() {
+                            Some('\\') => match self.parse_escape() {
+                                Node::Literal(c) => c,
+                                _ => self.fail("class range"),
+                            },
+                            Some(hi) => hi,
+                            None => self.fail("unclosed class"),
+                        };
+                        if hi < c {
+                            self.fail("descending class range");
+                        }
+                        set.extend(c..=hi);
+                    }
+                }
+            } else {
+                set.push(c);
+            }
+        }
+        if set.is_empty() {
+            self.fail("empty class");
+        }
+        Node::Class(set)
+    }
+
+    fn parse_quantifier(&mut self, node: Node) -> Node {
+        match self.chars.peek().copied() {
+            Some('?') => {
+                self.chars.next();
+                Node::Repeat(Box::new(node), 0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                Node::Repeat(Box::new(node), 0, 8)
+            }
+            Some('+') => {
+                self.chars.next();
+                Node::Repeat(Box::new(node), 1, 8)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut digits = String::new();
+                let mut min: Option<usize> = None;
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(',') => {
+                            min = Some(digits.parse().unwrap_or_else(|_| self.fail("quantifier")));
+                            digits.clear();
+                        }
+                        Some(d) if d.is_ascii_digit() => digits.push(d),
+                        _ => self.fail("quantifier"),
+                    }
+                }
+                let last: usize = digits.parse().unwrap_or_else(|_| self.fail("quantifier"));
+                let (lo, hi) = match min {
+                    Some(m) => (m, last),
+                    None => (last, last),
+                };
+                if hi < lo {
+                    self.fail("descending quantifier");
+                }
+                Node::Repeat(Box::new(node), lo, hi)
+            }
+            _ => node,
+        }
+    }
+}
+
+fn generate_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(set) => out.push(set[rng.below(set.len())]),
+        Node::Printable => {
+            // Mostly ASCII printables, occasionally a multi-byte scalar.
+            if rng.below(8) == 0 {
+                out.push(PRINTABLE_EXTRA[rng.below(PRINTABLE_EXTRA.len())]);
+            } else {
+                out.push(char::from(b' ' + rng.below(95) as u8));
+            }
+        }
+        Node::Group(branches) => {
+            for n in &branches[rng.below(branches.len())] {
+                generate_node(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let count = lo + rng.below(hi - lo + 1);
+            for _ in 0..count {
+                generate_node(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern` (within the supported subset).
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut parser = Parser::new(pattern);
+    let branches = parser.parse_alternation(false);
+    let mut out = String::new();
+    for n in &branches[rng.below(branches.len())] {
+        generate_node(n, rng, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(12345)
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[a-c ]{0,8}", &mut r);
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_picks_whole_words() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("(ape|ant|asp|auk)", &mut r);
+            assert!(matches!(s.as_str(), "ape" | "ant" | "asp" | "auk"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_group_with_sequence() {
+        let mut r = rng();
+        let mut saw_short = false;
+        let mut saw_long = false;
+        for _ in 0..200 {
+            let s = generate("[a-c]{1,2}( [a-c]{1,2})?", &mut r);
+            if s.contains(' ') {
+                saw_long = true;
+                let (head, tail) = s.split_once(' ').unwrap();
+                assert!((1..=2).contains(&head.len()));
+                assert!((1..=2).contains(&tail.len()));
+            } else {
+                saw_short = true;
+                assert!((1..=2).contains(&s.len()));
+            }
+        }
+        assert!(saw_short && saw_long);
+    }
+
+    #[test]
+    fn printable_is_utf8_safe_and_never_control() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = generate("\\PC{0,20}", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_punctuation_class() {
+        let mut r = rng();
+        let allowed = " .,;:!?-()[]{}\"'\n\t";
+        for _ in 0..100 {
+            let s = generate("[ .,;:!?\\-()\\[\\]{}\"'\n\t]{0,30}", &mut r);
+            assert!(s.chars().all(|c| allowed.contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn out_of_subset_syntax_panics() {
+        generate("[^a]", &mut rng());
+    }
+}
