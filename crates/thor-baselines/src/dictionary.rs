@@ -10,6 +10,7 @@
 use thor_automata::{AhoCorasick, AhoCorasickBuilder};
 use thor_core::{Document, ExtractedEntity};
 use thor_data::Table;
+use thor_index::{CandidateEntity, CandidateSource};
 use thor_text::normalize_phrase;
 
 use crate::subject::attribute_sentences;
@@ -52,6 +53,41 @@ impl DictionaryBaseline {
     }
 }
 
+impl CandidateSource for DictionaryBaseline {
+    fn source_name(&self) -> &str {
+        "dictionary"
+    }
+
+    /// Exact dictionary occurrences in `phrase`: every word-aligned
+    /// automaton match whose words pass `anchor` becomes a candidate
+    /// with score 1.0 (exact matching is all-or-nothing).
+    fn candidates_anchored(
+        &self,
+        phrase: &str,
+        anchor: &dyn Fn(&str) -> bool,
+    ) -> Vec<CandidateEntity> {
+        // Match against the normalized phrase so case/punct differences
+        // don't break exactness.
+        let normalized = normalize_phrase(phrase);
+        let mut out = Vec::new();
+        for m in self.automaton.find_words(&normalized) {
+            let (concept, display) = &self.patterns[m.pattern];
+            let matched = normalize_phrase(display);
+            if !matched.split_whitespace().any(anchor) {
+                continue;
+            }
+            out.push(CandidateEntity {
+                phrase: matched.clone(),
+                concept: concept.clone(),
+                matched_instance: matched,
+                semantic_score: 1.0,
+                cluster_score: 1.0,
+            });
+        }
+        out
+    }
+}
+
 impl Extractor for DictionaryBaseline {
     fn name(&self) -> &str {
         "Baseline"
@@ -62,17 +98,13 @@ impl Extractor for DictionaryBaseline {
         let mut out = Vec::new();
         for doc in docs {
             for (subject, sentence) in attribute_sentences(&doc.text, &subjects) {
-                // Match against the normalized sentence so case/punct
-                // differences don't break exactness.
-                let normalized = normalize_phrase(&sentence.text);
-                for m in self.automaton.find_words(&normalized) {
-                    let (concept, phrase) = &self.patterns[m.pattern];
+                for c in self.candidates(&sentence.text) {
                     out.push(ExtractedEntity {
                         subject: subject.clone(),
-                        concept: concept.clone(),
-                        phrase: normalize_phrase(phrase),
+                        concept: c.concept,
+                        phrase: c.phrase,
                         score: 1.0,
-                        matched_instance: normalize_phrase(phrase),
+                        matched_instance: c.matched_instance,
                         doc_id: doc.id.clone(),
                         sentence_index: 0,
                     });
@@ -152,6 +184,18 @@ mod tests {
         let found = b.extract(&table(), &docs);
         let skins = found.iter().filter(|e| e.phrase == "skin").count();
         assert_eq!(skins, 1);
+    }
+
+    #[test]
+    fn candidate_source_respects_anchor() {
+        let b = DictionaryBaseline::from_table(&table());
+        let all = b.candidates("tuberculosis damages the lungs");
+        assert!(all.iter().any(|c| c.phrase == "lungs"));
+        assert!(all.iter().all(|c| c.semantic_score == 1.0));
+        let anchored = b.candidates_anchored("tuberculosis damages the lungs", &|w| w != "lungs");
+        assert!(!anchored.iter().any(|c| c.phrase == "lungs"));
+        assert!(anchored.iter().any(|c| c.phrase == "tuberculosis"));
+        assert_eq!(CandidateSource::source_name(&b), "dictionary");
     }
 
     #[test]

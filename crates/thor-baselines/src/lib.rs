@@ -25,6 +25,10 @@
 //!   reference*, not a measurement of any real model.
 //!
 //! All systems implement [`Extractor`], the harness's common interface.
+//! The dictionary and tagger additionally implement
+//! `thor_index::CandidateSource` — the same per-phrase candidate
+//! engine surface the semantic matcher exposes — and their `extract`
+//! implementations are thin document/subject loops over it.
 
 pub mod dictionary;
 pub mod llm_sim;

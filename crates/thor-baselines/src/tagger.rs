@@ -28,6 +28,7 @@ use thor_core::{Document, ExtractedEntity};
 use thor_data::Table;
 use thor_datagen::annotate::GoldEntity;
 use thor_datagen::{bio_tags, AnnotatedDoc, Bio};
+use thor_index::{CandidateEntity, CandidateSource};
 use thor_text::shape::{prefix, suffix, word_shape};
 use thor_text::{normalize_phrase, tokenize};
 
@@ -349,6 +350,43 @@ pub fn project_weak_labels(table: &Table, doc: &Document) -> Vec<GoldEntity> {
     out
 }
 
+impl CandidateSource for PerceptronTagger {
+    fn source_name(&self) -> &str {
+        "tagger"
+    }
+
+    /// Tag `phrase` and decode the BIO spans into candidates. Spans
+    /// whose words all fail `anchor` are dropped. The tagger has no
+    /// seed instance to report (`matched_instance` stays empty) and no
+    /// graded score — every decoded span counts 1.0.
+    fn candidates_anchored(
+        &self,
+        phrase: &str,
+        anchor: &dyn Fn(&str) -> bool,
+    ) -> Vec<CandidateEntity> {
+        let words: Vec<String> = tokenize(phrase).into_iter().map(|t| t.text).collect();
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let labels = self.tag(&words);
+        let mut out = Vec::new();
+        for (concept, span) in Self::decode_spans(&words, &labels) {
+            let span = normalize_phrase(&span);
+            if span.is_empty() || !span.split_whitespace().any(anchor) {
+                continue;
+            }
+            out.push(CandidateEntity {
+                phrase: span,
+                concept,
+                matched_instance: String::new(),
+                semantic_score: 1.0,
+                cluster_score: 1.0,
+            });
+        }
+        out
+    }
+}
+
 impl Extractor for PerceptronTagger {
     fn name(&self) -> &str {
         &self.name
@@ -359,25 +397,13 @@ impl Extractor for PerceptronTagger {
         let mut out = Vec::new();
         for doc in docs {
             for (subject, sentence) in attribute_sentences(&doc.text, &subjects) {
-                let words: Vec<String> = tokenize(&sentence.text)
-                    .into_iter()
-                    .map(|t| t.text)
-                    .collect();
-                if words.is_empty() {
-                    continue;
-                }
-                let labels = self.tag(&words);
-                for (concept, phrase) in Self::decode_spans(&words, &labels) {
-                    let phrase = normalize_phrase(&phrase);
-                    if phrase.is_empty() {
-                        continue;
-                    }
+                for c in self.candidates(&sentence.text) {
                     out.push(ExtractedEntity {
                         subject: subject.clone(),
-                        concept,
-                        phrase,
+                        concept: c.concept,
+                        phrase: c.phrase,
                         score: 1.0,
-                        matched_instance: String::new(),
+                        matched_instance: c.matched_instance,
                         doc_id: doc.id.clone(),
                         sentence_index: 0,
                     });
@@ -550,6 +576,24 @@ mod tests {
         // The weakly supervised model should at least find the table
         // instances it was projected from.
         assert!(found.iter().any(|e| e.phrase == "cortonosis"), "{found:?}");
+    }
+
+    #[test]
+    fn candidate_source_decodes_spans() {
+        let tagger =
+            PerceptronTagger::train_gold("LM-Test", &training_docs(), &TaggerConfig::default());
+        let candidates = tagger.candidates("The brainex shows cortonosis.");
+        assert!(
+            candidates
+                .iter()
+                .any(|c| c.phrase == "brainex" && c.concept.eq_ignore_ascii_case("anatomy")),
+            "{candidates:?}"
+        );
+        // Anchoring away every word yields nothing.
+        assert!(tagger
+            .candidates_anchored("The brainex shows cortonosis.", &|_| false)
+            .is_empty());
+        assert_eq!(CandidateSource::source_name(&tagger), "tagger");
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! **BENCH_matcher** — candidate-generation engine benchmark: the
+//! structure-of-arrays index + phrase cache path (`match_phrase`)
+//! against the retained brute-force reference
+//! (`match_phrase_reference`) on Disease A–Z sentences.
+//!
+//! Emits `BENCH_matcher.json` (phrases/sec for both paths, index build
+//! time, cache hit rate, speedup) to the working directory and prints
+//! the same document to stdout. Before timing, every phrase is checked
+//! for *exact* equality between the two paths — the speedup claim is
+//! only meaningful because the engine is a drop-in replacement.
+//!
+//! Usage: `bench_matcher [--smoke]` (env: `THOR_SCALE`, `THOR_SEED`).
+//! `--smoke` pins a small scale and few repetitions so CI can afford to
+//! run it on every push; the full mode additionally enforces the ≥3×
+//! speedup floor (smoke timings are too noisy to gate on).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use thor_bench::harness::{disease_dataset, scale_from_env, seed_from_env};
+use thor_core::{Thor, ThorConfig};
+use thor_datagen::Split;
+use thor_obs::{Json, PipelineMetrics};
+
+/// Mid-sweep τ: representative clusters are at their paper-default size.
+const TAU: f64 = 0.7;
+
+/// Crude sentence split — the workload only needs realistic multi-word
+/// phrases, not linguistically perfect boundaries.
+fn sentences(text: &str) -> Vec<String> {
+    text.split(['.', '!', '?'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, reps) = if smoke {
+        (0.1, 2)
+    } else {
+        (scale_from_env(), 5)
+    };
+    let dataset = disease_dataset(seed_from_env(), scale);
+    let table = dataset.enrichment_table();
+    let docs = dataset.documents(Split::Test);
+    let phrases: Vec<String> = docs.iter().flat_map(|d| sentences(&d.text)).collect();
+    assert!(!phrases.is_empty(), "empty workload");
+
+    let metrics = PipelineMetrics::new();
+    let thor =
+        Thor::new(dataset.store.clone(), ThorConfig::with_tau(TAU)).with_metrics(metrics.clone());
+    let matcher = thor.fine_tune(&table);
+    let index_build = metrics.index_build.total();
+
+    // Correctness before speed: the engine path must reproduce the
+    // brute-force reference exactly. This pass also warms the cache,
+    // exactly as a document stream would.
+    for p in &phrases {
+        assert_eq!(
+            matcher.match_phrase(p),
+            matcher.match_phrase_reference(p, |_| true),
+            "index path diverged from reference on {p:?}"
+        );
+    }
+
+    let total = (phrases.len() * reps) as f64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for p in &phrases {
+            std::hint::black_box(matcher.match_phrase_reference(p, |_| true));
+        }
+    }
+    let ref_rate = total / t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for p in &phrases {
+            std::hint::black_box(matcher.match_phrase(p));
+        }
+    }
+    let idx_rate = total / t0.elapsed().as_secs_f64();
+
+    let speedup = idx_rate / ref_rate;
+    let cache = matcher.cache_stats();
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".into(), Json::Str("matcher".into()));
+    doc.insert(
+        "mode".into(),
+        Json::Str(if smoke { "smoke" } else { "full" }.into()),
+    );
+    doc.insert("tau".into(), Json::Float(TAU));
+    doc.insert("scale".into(), Json::Float(scale));
+    doc.insert("phrases".into(), Json::UInt(phrases.len() as u64));
+    doc.insert("reps".into(), Json::UInt(reps as u64));
+    doc.insert(
+        "index_rows".into(),
+        Json::UInt(matcher.index().row_count() as u64),
+    );
+    doc.insert(
+        "index_build_ms".into(),
+        Json::Float(index_build.as_secs_f64() * 1e3),
+    );
+    doc.insert("reference_phrases_per_sec".into(), Json::Float(ref_rate));
+    doc.insert("index_phrases_per_sec".into(), Json::Float(idx_rate));
+    doc.insert("speedup".into(), Json::Float(speedup));
+    doc.insert("cache_hits".into(), Json::UInt(cache.hits));
+    doc.insert("cache_misses".into(), Json::UInt(cache.misses));
+    doc.insert("cache_hit_rate".into(), Json::Float(cache.hit_rate()));
+    let rendered = Json::Object(doc).render();
+    std::fs::write("BENCH_matcher.json", format!("{rendered}\n"))
+        .expect("write BENCH_matcher.json");
+    println!("{rendered}");
+    println!(
+        "reference {ref_rate:.0} phrases/s | index+cache {idx_rate:.0} phrases/s | \
+         speedup {speedup:.1}x | cache hit rate {:.1}%",
+        cache.hit_rate() * 100.0
+    );
+    if !smoke {
+        assert!(
+            speedup >= 3.0,
+            "expected >=3x speedup over brute force, got {speedup:.2}x"
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //!
 //! Usage: `exp_fig6` (env: `THOR_SCALE`, `THOR_SEED`).
 
-use thor_bench::harness::{disease_dataset, scale_from_env, seed_from_env};
+use thor_bench::harness::{disease_dataset, scale_from_env, seed_from_env, tau_sweep};
 use thor_bench::TextTable;
 use thor_core::{Thor, ThorConfig};
 use thor_datagen::Split;
@@ -20,8 +20,7 @@ fn main() {
     println!("[Fig. 6 reproduction] inference time vs tau, scale={scale}\n");
 
     let mut out = TextTable::new(&["tau", "prepare", "inference", "total", "predictions"]);
-    for tau10 in 5..=10 {
-        let tau = tau10 as f64 / 10.0;
+    for tau in tau_sweep() {
         let thor = Thor::new(dataset.store.clone(), ThorConfig::with_tau(tau));
         // Median of 3 runs to stabilize the wall-clock.
         let mut runs: Vec<(std::time::Duration, std::time::Duration, usize)> = (0..3)

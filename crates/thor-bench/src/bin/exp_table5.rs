@@ -6,7 +6,9 @@
 //!
 //! Usage: `exp_table5 [--pr-curve]` (env: `THOR_SCALE`, `THOR_SEED`).
 
-use thor_bench::harness::{disease_dataset, run_system, scale_from_env, seed_from_env, System};
+use thor_bench::harness::{
+    disease_dataset, run_system, scale_from_env, seed_from_env, tau_sweep, System,
+};
 use thor_bench::{fmt_duration, TextTable};
 use thor_eval::PrCurve;
 
@@ -16,19 +18,14 @@ fn main() {
     let dataset = disease_dataset(seed_from_env(), scale);
     println!("[Table V reproduction] Disease A-Z, scale={scale}\n");
 
-    let systems = vec![
-        System::Thor(0.5),
-        System::Thor(0.6),
-        System::Thor(0.7),
-        System::Thor(0.8),
-        System::Thor(0.9),
-        System::Thor(1.0),
+    let mut systems: Vec<System> = tau_sweep().map(System::Thor).collect();
+    systems.extend([
         System::Baseline,
         System::LmSd,
         System::Gpt4,
         System::UniNer,
         System::LmHuman(usize::MAX),
-    ];
+    ]);
 
     let mut table = TextTable::new(&["Model Name", "Time", "P", "R", "F1"]);
     let mut curve = PrCurve::new();

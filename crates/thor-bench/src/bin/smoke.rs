@@ -1,6 +1,6 @@
 //! Quick calibration smoke run: all systems on a small Disease A–Z.
 
-use thor_bench::{disease_dataset, run_system, scale_from_env, System};
+use thor_bench::{disease_dataset, run_system, scale_from_env, tau_sweep, System};
 
 fn main() {
     let scale = scale_from_env();
@@ -10,19 +10,14 @@ fn main() {
         dataset.test.len(),
         dataset.test.iter().map(|d| d.gold.len()).sum::<usize>()
     );
-    let systems = [
-        System::Thor(0.5),
-        System::Thor(0.6),
-        System::Thor(0.7),
-        System::Thor(0.8),
-        System::Thor(0.9),
-        System::Thor(1.0),
+    let mut systems: Vec<System> = tau_sweep().map(System::Thor).collect();
+    systems.extend([
         System::Baseline,
         System::LmSd,
         System::Gpt4,
         System::UniNer,
         System::LmHuman(usize::MAX),
-    ];
+    ]);
     for s in &systems {
         let t0 = std::time::Instant::now();
         let out = run_system(s, &dataset);

@@ -19,6 +19,15 @@ pub fn scale_from_env() -> f64 {
         .unwrap_or(0.25)
 }
 
+/// The paper's τ sweep — 0.5, 0.6, …, 1.0 (Table V, Figs. 5–6). The
+/// single source of the experiment grid: binaries that run THOR across
+/// the full threshold range iterate this instead of hard-coding the
+/// endpoints. Validity of an individual τ is enforced separately by
+/// [`thor_match::TAU_RANGE`].
+pub fn tau_sweep() -> impl Iterator<Item = f64> {
+    (5..=10).map(|t| t as f64 / 10.0)
+}
+
 /// Seed from `THOR_SEED` (default 42).
 pub fn seed_from_env() -> u64 {
     std::env::var("THOR_SEED")

@@ -12,6 +12,6 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    disease_dataset, resume_dataset, run_system, scale_from_env, RunOutcome, System,
+    disease_dataset, resume_dataset, run_system, scale_from_env, tau_sweep, RunOutcome, System,
 };
 pub use report::{fmt_duration, Table as TextTable};

@@ -62,6 +62,11 @@ pub struct ThorConfig {
     pub max_subphrase_words: usize,
     /// Cap on τ-expansion per concept.
     pub max_expansion: usize,
+    /// Capacity of the matcher's phrase cache (distinct normalized
+    /// subphrases whose candidate sets are retained across the document
+    /// stream); 0 disables caching. Never changes results — candidates
+    /// are a pure function of the subphrase once fine-tuning is done.
+    pub cache_capacity: usize,
     /// Sentence-to-subject association strategy.
     pub segmentation: SegmentationMode,
     /// Use the dependency-parse noun-phrase chunker (true, the paper's
@@ -87,6 +92,7 @@ impl Default for ThorConfig {
             weights: ScoreWeights::default(),
             max_subphrase_words: 4,
             max_expansion: 200,
+            cache_capacity: 4096,
             segmentation: SegmentationMode::default(),
             np_chunking: true,
             context_gate: None,
@@ -96,9 +102,13 @@ impl Default for ThorConfig {
 }
 
 impl ThorConfig {
-    /// Default configuration at a given τ.
+    /// Default configuration at a given τ. Panics outside
+    /// [`thor_match::TAU_RANGE`].
     pub fn with_tau(tau: f64) -> Self {
-        assert!((0.0..=1.0).contains(&tau), "tau must be in [0, 1]");
+        assert!(
+            thor_match::TAU_RANGE.contains(&tau),
+            "tau must be in [0, 1] (TAU_RANGE)"
+        );
         Self {
             tau,
             ..Self::default()

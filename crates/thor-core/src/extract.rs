@@ -1,6 +1,7 @@
 //! Phase ② — entity extraction: noun-phrase parsing, semantic matching,
 //! syntactic refinement (Algorithm 1 lines 3–15).
 
+use thor_index::CandidateSource;
 use thor_match::{CandidateEntity, SimilarityMatcher};
 use thor_nlp::{chunk_sentence, chunk_sentence_metered, RuleTagger};
 use thor_obs::PipelineMetrics;
@@ -112,11 +113,14 @@ fn extract_entities_impl(
     // of noun phrases or subsequences thereof") — a bare adjective is
     // not an entity candidate.
     let anchor = |w: &str| lexicon.tag_of(w, false).is_nominal();
+    // Candidate generation goes through the shared engine trait — the
+    // extraction step is agnostic to which `CandidateSource` backs it.
+    let source: &dyn CandidateSource = matcher;
     let mut out = Vec::new();
 
     for seg in segments {
         for phrase in sentence_phrases(&seg.sentence.text, config, &tagger, metrics) {
-            let candidates = matcher.match_phrase_anchored(&phrase, anchor);
+            let candidates = source.candidates_anchored(&phrase, &anchor);
             let refine_span = metrics.map(|m| m.refine.start());
             let best = candidates
                 .into_iter()

@@ -126,6 +126,7 @@ impl Thor {
             tau: self.config.tau,
             max_subphrase_words: self.config.max_subphrase_words,
             max_expansion: self.config.max_expansion,
+            cache_capacity: self.config.cache_capacity,
         };
         match metrics {
             Some(m) => SimilarityMatcher::fine_tune_metered(
@@ -293,6 +294,13 @@ impl EnrichmentSession<'_> {
     /// attached handle, or an ephemeral one scoped to this session).
     pub fn metrics(&self) -> &PipelineMetrics {
         &self.metrics
+    }
+
+    /// Statistics of the phrase cache backing this session's matcher
+    /// (one cache per fine-tune, shared across all documents the
+    /// session processes).
+    pub fn cache_stats(&self) -> thor_match::CacheStats {
+        self.matcher.cache_stats()
     }
 
     /// Current state of the enriched table.

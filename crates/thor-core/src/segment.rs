@@ -119,6 +119,8 @@ fn segment_impl(
 
 /// Semantic fallback: the subject instance most similar to the sentence
 /// (mean word vectors), if the similarity is meaningful at all.
+/// Out-of-vocabulary pairs carry no evidence and are skipped outright
+/// (`try_similarity`) rather than scored as 0.0.
 fn semantic_subject(
     sentence: &str,
     subjects: &[(String, String)],
@@ -127,7 +129,11 @@ fn semantic_subject(
     const MIN_SIM: f64 = 0.35;
     subjects
         .iter()
-        .map(|(display, key)| (display, matcher.similarity(sentence, key)))
+        .filter_map(|(display, key)| {
+            matcher
+                .try_similarity(sentence, key)
+                .map(|sim| (display, sim))
+        })
         .max_by(|a, b| a.1.total_cmp(&b.1))
         .filter(|(_, sim)| *sim >= MIN_SIM)
         .map(|(display, _)| display.clone())

@@ -22,6 +22,12 @@ impl Vector {
         self.0.len()
     }
 
+    /// The raw `f32` components, for structure-of-arrays export into
+    /// the `thor-index` row buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
     /// Euclidean (L2) norm.
     pub fn norm(&self) -> f64 {
         self.0

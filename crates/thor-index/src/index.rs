@@ -1,0 +1,337 @@
+//! Structure-of-arrays vector index over concept representatives.
+//!
+//! The index is an immutable snapshot built once per fine-tune: all
+//! representative vectors live in one contiguous `f32` buffer, rows
+//! grouped by concept with seeds first, and every row's L2 norm is
+//! precomputed. A query is scored with a single fused pass per concept
+//! — one dot product per row against a flat slice — which removes the
+//! per-pair norm recomputation and `Vector` indirection of the
+//! brute-force scan while producing bit-identical similarity values
+//! (same `f64` accumulation order over the same `f32` bits).
+
+use std::cmp::Ordering;
+
+/// One concept's slice of the row buffer.
+#[derive(Debug, Clone)]
+struct ConceptEntry {
+    /// Concept name (display form).
+    name: String,
+    /// First row index.
+    start: usize,
+    /// Number of representative rows (seeds first).
+    rows: usize,
+    /// The first `seed_rows` rows are seed instances; `c_m` is chosen
+    /// among them.
+    seed_rows: usize,
+    /// Cached element-wise `f32` sum of the concept's rows, accumulated
+    /// in row order, for O(d) mean-similarity queries.
+    rep_sum: Vec<f32>,
+}
+
+/// Per-concept similarity scores from one fused scan of the index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConceptScores<'a> {
+    /// Concept position in the index (stable across scans).
+    pub concept: usize,
+    /// Concept name (display form).
+    pub name: &'a str,
+    /// Highest cosine similarity between the query and any row of the
+    /// concept; `None` when the concept has no rows.
+    pub max: Option<f64>,
+    /// Mean cosine similarity between the query and the concept's rows;
+    /// `None` when the concept has no rows, `Some(0.0)` for a
+    /// zero-norm query.
+    pub mean: Option<f64>,
+}
+
+/// Immutable structure-of-arrays index of concept representative
+/// vectors. Build with [`VectorIndexBuilder`]; query with
+/// [`VectorIndex::scan`] and [`VectorIndex::best_seed`].
+#[derive(Debug, Clone)]
+pub struct VectorIndex {
+    dim: usize,
+    /// Row-major `rows × dim` buffer, concept-major.
+    data: Vec<f32>,
+    /// Precomputed L2 norm per row (f64, same formula as
+    /// `thor_embed::Vector::norm`).
+    norms: Vec<f64>,
+    /// Word / instance label per row (normalized form).
+    words: Vec<String>,
+    concepts: Vec<ConceptEntry>,
+}
+
+/// Incremental builder for [`VectorIndex`]; concepts are appended in
+/// the order they should be scanned.
+#[derive(Debug)]
+pub struct VectorIndexBuilder {
+    index: VectorIndex,
+}
+
+impl VectorIndexBuilder {
+    /// An empty builder for vectors of dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            index: VectorIndex {
+                dim,
+                data: Vec::new(),
+                norms: Vec::new(),
+                words: Vec::new(),
+                concepts: Vec::new(),
+            },
+        }
+    }
+
+    /// Append one concept's representative rows. The first `seed_rows`
+    /// entries of `rows` must be the concept's seed instances (the rows
+    /// eligible as `c_m`). Panics on a dimension mismatch or when
+    /// `seed_rows` exceeds the row count.
+    pub fn add_concept<'a>(
+        &mut self,
+        name: &str,
+        seed_rows: usize,
+        rows: impl IntoIterator<Item = (&'a str, &'a [f32])>,
+    ) -> &mut Self {
+        let ix = &mut self.index;
+        let start = ix.words.len();
+        let mut rep_sum = vec![0.0f32; ix.dim];
+        for (word, vector) in rows {
+            assert_eq!(vector.len(), ix.dim, "row dimension mismatch");
+            ix.data.extend_from_slice(vector);
+            ix.norms.push(slice_norm(vector));
+            ix.words.push(word.to_string());
+            for (acc, &x) in rep_sum.iter_mut().zip(vector) {
+                *acc += x;
+            }
+        }
+        let rows = ix.words.len() - start;
+        assert!(seed_rows <= rows, "seed_rows {seed_rows} > rows {rows}");
+        ix.concepts.push(ConceptEntry {
+            name: name.to_string(),
+            start,
+            rows,
+            seed_rows,
+            rep_sum,
+        });
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> VectorIndex {
+        self.index
+    }
+}
+
+impl VectorIndex {
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of concepts.
+    pub fn concept_count(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// Total representative rows across all concepts.
+    pub fn row_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Name of concept `concept`.
+    pub fn concept_name(&self, concept: usize) -> &str {
+        &self.concepts[concept].name
+    }
+
+    /// Seed-row count of concept `concept`.
+    pub fn seed_rows(&self, concept: usize) -> usize {
+        self.concepts[concept].seed_rows
+    }
+
+    fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.dim..(row + 1) * self.dim]
+    }
+
+    /// Cosine similarity between `query` (with precomputed norm
+    /// `query_norm`) and row `row`; 0.0 when either norm is zero.
+    fn row_cosine(&self, row: usize, query: &[f32], query_norm: f64) -> f64 {
+        let rn = self.norms[row];
+        if query_norm == 0.0 || rn == 0.0 {
+            return 0.0;
+        }
+        (dot(query, self.row(row)) / (query_norm * rn)).clamp(-1.0, 1.0)
+    }
+
+    /// Score `query` against every concept in one fused pass each:
+    /// the per-concept max over rows and the O(d) mean via the cached
+    /// row sum. `query_norm` must be `query`'s L2 norm (callers compute
+    /// it once per query instead of once per pair).
+    pub fn scan<'a>(
+        &'a self,
+        query: &'a [f32],
+        query_norm: f64,
+    ) -> impl Iterator<Item = ConceptScores<'a>> + 'a {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        self.concepts.iter().enumerate().map(move |(ci, entry)| {
+            let mut max: Option<f64> = None;
+            for row in entry.start..entry.start + entry.rows {
+                let sim = self.row_cosine(row, query, query_norm);
+                max = Some(max.map_or(sim, |a: f64| a.max(sim)));
+            }
+            let mean = if entry.rows == 0 {
+                None
+            } else if query_norm == 0.0 {
+                Some(0.0)
+            } else {
+                Some(dot(query, &entry.rep_sum) / (query_norm * entry.rows as f64))
+            };
+            ConceptScores {
+                concept: ci,
+                name: &entry.name,
+                max,
+                mean,
+            }
+        })
+    }
+
+    /// The seed row of concept `concept` most similar to `query`:
+    /// `(instance, sim)`. Ties prefer the lexicographically smaller
+    /// instance. `None` when the concept has no seed rows.
+    pub fn best_seed(&self, concept: usize, query: &[f32], query_norm: f64) -> Option<(&str, f64)> {
+        let entry = &self.concepts[concept];
+        let mut best: Option<(&str, f64)> = None;
+        for row in entry.start..entry.start + entry.seed_rows {
+            let word = self.words[row].as_str();
+            let sim = self.row_cosine(row, query, query_norm);
+            let replace = match best {
+                None => true,
+                Some((bw, bs)) => sim.total_cmp(&bs).then_with(|| bw.cmp(word)) != Ordering::Less,
+            };
+            if replace {
+                best = Some((word, sim));
+            }
+        }
+        best
+    }
+}
+
+/// Dot product of two equal-length slices, accumulated in `f64` in
+/// element order (matches `thor_embed::Vector::dot`).
+fn dot(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+/// L2 norm of a slice (matches `thor_embed::Vector::norm`).
+fn slice_norm(v: &[f32]) -> f64 {
+    v.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosine_ref(a: &[f32], b: &[f32]) -> f64 {
+        let (na, nb) = (slice_norm(a), slice_norm(b));
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    }
+
+    fn sample_index() -> VectorIndex {
+        let mut b = VectorIndexBuilder::new(3);
+        b.add_concept(
+            "A",
+            2,
+            [
+                ("a1", &[1.0f32, 0.0, 0.0][..]),
+                ("a2", &[0.6, 0.8, 0.0][..]),
+                ("ax", &[0.0, 1.0, 0.0][..]),
+            ],
+        );
+        b.add_concept("B", 1, [("b1", &[0.0f32, 0.0, 2.0][..])]);
+        b.add_concept("Empty", 0, []);
+        b.build()
+    }
+
+    #[test]
+    fn layout_accessors() {
+        let ix = sample_index();
+        assert_eq!(ix.dim(), 3);
+        assert_eq!(ix.concept_count(), 3);
+        assert_eq!(ix.row_count(), 4);
+        assert_eq!(ix.concept_name(0), "A");
+        assert_eq!(ix.seed_rows(0), 2);
+        assert_eq!(ix.seed_rows(2), 0);
+    }
+
+    #[test]
+    fn scan_matches_reference_cosines() {
+        let ix = sample_index();
+        let q = [0.5f32, 0.5, 0.1];
+        let qn = slice_norm(&q);
+        let scores: Vec<ConceptScores> = ix.scan(&q, qn).collect();
+
+        let a_rows: [&[f32]; 3] = [&[1.0, 0.0, 0.0], &[0.6, 0.8, 0.0], &[0.0, 1.0, 0.0]];
+        let max_a = a_rows
+            .iter()
+            .map(|r| cosine_ref(&q, r))
+            .fold(f64::MIN, f64::max);
+        let mean_a = a_rows.iter().map(|r| cosine_ref(&q, r)).sum::<f64>() / 3.0;
+        assert_eq!(scores[0].max, Some(max_a));
+        assert!((scores[0].mean.unwrap() - mean_a).abs() < 1e-6);
+
+        assert_eq!(scores[1].name, "B");
+        assert_eq!(
+            scores[1].max,
+            Some(cosine_ref(&q, &[0.0, 0.0, 2.0])),
+            "non-unit rows score via their precomputed norm"
+        );
+
+        assert_eq!(scores[2].max, None);
+        assert_eq!(scores[2].mean, None);
+    }
+
+    #[test]
+    fn zero_query_scores_zero() {
+        let ix = sample_index();
+        let q = [0.0f32; 3];
+        let scores: Vec<ConceptScores> = ix.scan(&q, slice_norm(&q)).collect();
+        assert_eq!(scores[0].max, Some(0.0));
+        assert_eq!(scores[0].mean, Some(0.0));
+        assert!(ix.best_seed(0, &q, 0.0).is_some());
+    }
+
+    #[test]
+    fn best_seed_only_considers_seed_prefix() {
+        let ix = sample_index();
+        // Query aligned with "ax" (an expanded rep, not a seed): the
+        // best *seed* must still come from the seed prefix.
+        let q = [0.0f32, 1.0, 0.0];
+        let qn = slice_norm(&q);
+        let (word, sim) = ix.best_seed(0, &q, qn).unwrap();
+        assert_eq!(word, "a2");
+        assert!((sim - 0.8).abs() < 1e-6);
+        assert!(ix.best_seed(2, &q, qn).is_none());
+    }
+
+    #[test]
+    fn best_seed_tie_prefers_lexicographically_smaller() {
+        let mut b = VectorIndexBuilder::new(2);
+        let v: &[f32] = &[1.0, 0.0];
+        b.add_concept("C", 3, [("zeta", v), ("beta", v), ("gamma", v)]);
+        let ix = b.build();
+        let (word, _) = ix.best_seed(0, &[2.0, 0.0], 2.0).unwrap();
+        assert_eq!(word, "beta");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn builder_rejects_wrong_dimension() {
+        let mut b = VectorIndexBuilder::new(3);
+        b.add_concept("A", 0, [("x", &[1.0f32, 2.0][..])]);
+    }
+}

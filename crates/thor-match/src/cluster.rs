@@ -3,6 +3,17 @@
 use thor_embed::{cosine, Vector, VectorStore};
 use thor_text::normalize_phrase;
 
+/// Both similarity views of a cluster against one query, computed in a
+/// single pass (the max over representatives plus the O(d) mean via the
+/// cached representative sum — previously two full scans).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterScore {
+    /// Highest similarity between the query and any representative.
+    pub max: f64,
+    /// Mean pairwise similarity between the query and the cluster.
+    pub mean: f64,
+}
+
 /// The representative instances of one concept: seeds (known table
 /// instances) plus τ-expanded vocabulary words, each with its embedding.
 #[derive(Debug, Clone)]
@@ -117,6 +128,34 @@ impl ConceptCluster {
     /// Iterate representative words (normalized).
     pub fn representative_words(&self) -> impl Iterator<Item = &str> {
         self.representatives.iter().map(|(w, _)| w.as_str())
+    }
+
+    /// Iterate representative `(word, vector)` pairs in insertion order
+    /// (the seeds come first), for structure-of-arrays export into a
+    /// `thor_index::VectorIndex`.
+    pub fn representative_vectors(&self) -> impl Iterator<Item = (&str, &Vector)> {
+        self.representatives.iter().map(|(w, v)| (w.as_str(), v))
+    }
+
+    /// Max and mean similarity between `query` and the cluster in one
+    /// pass over the representatives; `None` for an empty cluster.
+    /// Equal to `(max_similarity, mean_similarity)` bit for bit.
+    pub fn score(&self, query: &Vector) -> Option<ClusterScore> {
+        if self.representatives.is_empty() {
+            return None;
+        }
+        let max = self
+            .representatives
+            .iter()
+            .map(|(_, v)| cosine(query, v))
+            .fold(f64::MIN, f64::max);
+        let qn = query.norm();
+        let mean = if qn == 0.0 {
+            0.0
+        } else {
+            query.dot(&self.rep_sum) / (qn * self.representatives.len() as f64)
+        };
+        Some(ClusterScore { max, mean })
     }
 
     /// Mean pairwise cosine similarity between `query` and the cluster's
@@ -243,6 +282,19 @@ mod tests {
         assert!(c.mean_similarity(&q).is_none());
         assert!(c.best_seed(&q).is_none());
         assert!(c.max_similarity(&q).is_none());
+    }
+
+    #[test]
+    fn score_matches_separate_passes() {
+        let s = store();
+        let c = ConceptCluster::fine_tune("Anatomy", &instances(&["brain", "nerve"]), &s, 0.6, 50);
+        let q = s.embed_phrase("spine ear").unwrap();
+        let score = c.score(&q).unwrap();
+        assert_eq!(score.max, c.max_similarity(&q).unwrap());
+        assert_eq!(score.mean, c.mean_similarity(&q).unwrap());
+
+        let ghost = ConceptCluster::fine_tune("Ghost", &instances(&["xyzzy"]), &s, 0.9, 10);
+        assert!(ghost.score(&q).is_none());
     }
 
     #[test]

@@ -22,5 +22,6 @@
 pub mod cluster;
 pub mod matcher;
 
-pub use cluster::ConceptCluster;
-pub use matcher::{CandidateEntity, MatcherConfig, SimilarityMatcher};
+pub use cluster::{ClusterScore, ConceptCluster};
+pub use matcher::{CandidateEntity, MatcherConfig, SimilarityMatcher, TAU_RANGE};
+pub use thor_index::{CacheStats, CandidateSource, PhraseCache, VectorIndex};

@@ -1,10 +1,21 @@
-//! The fine-tuned similarity matcher.
+//! The fine-tuned similarity matcher, built on the shared
+//! `thor-index` candidate-generation engine.
 
 use thor_embed::VectorStore;
+use thor_index::{CacheStats, CandidateSource, PhraseCache, VectorIndex, VectorIndexBuilder};
 use thor_obs::PipelineMetrics;
 use thor_text::{is_stopword, normalize_phrase};
 
 use crate::cluster::ConceptCluster;
+
+pub use thor_index::CandidateEntity;
+
+/// The τ values the matcher accepts: the full closed unit interval.
+/// Algorithm 1 is defined for any τ ∈ [0, 1]; the paper's experiments
+/// (and [`MatcherConfig::default`]) live in the precision/recall band
+/// τ ∈ {0.5, 0.6, …, 1.0} — the sweep grid is `thor_bench::tau_sweep`.
+/// Every τ validation in the workspace checks against this constant.
+pub const TAU_RANGE: std::ops::RangeInclusive<f64> = 0.0..=1.0;
 
 /// Matcher configuration.
 #[derive(Debug, Clone)]
@@ -12,12 +23,18 @@ pub struct MatcherConfig {
     /// The similarity threshold τ of Algorithm 1: controls both the
     /// seed expansion during fine-tuning and candidate acceptance during
     /// matching. Higher ⇒ precision-oriented, lower ⇒ recall-oriented.
+    /// Accepted values are [`TAU_RANGE`].
     pub tau: f64,
     /// Maximum subphrase length, in words.
     pub max_subphrase_words: usize,
     /// Cap on τ-expanded representatives per concept (keeps fine-tuning
     /// and matching costs bounded at low τ).
     pub max_expansion: usize,
+    /// Capacity of the per-matcher phrase cache (distinct normalized
+    /// subphrases whose candidate sets are retained); 0 disables
+    /// caching. The cache never changes results — candidates are a pure
+    /// function of the subphrase once the matcher is fine-tuned.
+    pub cache_capacity: usize,
 }
 
 impl Default for MatcherConfig {
@@ -26,14 +43,18 @@ impl Default for MatcherConfig {
             tau: 0.7,
             max_subphrase_words: 4,
             max_expansion: 200,
+            cache_capacity: 4096,
         }
     }
 }
 
 impl MatcherConfig {
-    /// Config with a specific τ.
+    /// Config with a specific τ. Panics outside [`TAU_RANGE`].
     pub fn with_tau(tau: f64) -> Self {
-        assert!((0.0..=1.0).contains(&tau), "tau must be in [0, 1]");
+        assert!(
+            TAU_RANGE.contains(&tau),
+            "tau must be in [0, 1] (TAU_RANGE)"
+        );
         Self {
             tau,
             ..Self::default()
@@ -41,21 +62,18 @@ impl MatcherConfig {
     }
 }
 
-/// A candidate entity produced by semantic matching: a subphrase of the
-/// input noun phrase, the concept it matched, and the best-matching seed
-/// instance `c_m` with its semantic score.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CandidateEntity {
-    /// The matched subphrase `e.p` (normalized).
-    pub phrase: String,
-    /// The assigned concept `e.C`.
-    pub concept: String,
-    /// The best-matching seed instance `c_m` (normalized).
-    pub matched_instance: String,
-    /// Semantic similarity between `e.p` and `c_m` (`e.score_s`).
-    pub semantic_score: f64,
-    /// Mean pairwise similarity to the concept cluster (ranking score).
-    pub cluster_score: f64,
+/// A scored subphrase as stored in the phrase cache. Distinguishing
+/// out-of-vocabulary from matched-nothing lets cache hits replay the
+/// `subphrases`/`candidates` counter increments of a fresh scan, so
+/// metric totals stay deterministic whether or not a phrase hits.
+#[derive(Debug, Clone)]
+enum CachedMatch {
+    /// No in-vocabulary word; the subphrase was never counted.
+    Oov,
+    /// Embedded, but no concept accepted it at this τ.
+    NoMatch,
+    /// Matched this candidate.
+    Match(CandidateEntity),
 }
 
 /// The fine-tuned semantic similarity matcher.
@@ -63,6 +81,8 @@ pub struct CandidateEntity {
 pub struct SimilarityMatcher {
     store: VectorStore,
     clusters: Vec<ConceptCluster>,
+    index: VectorIndex,
+    cache: PhraseCache<CachedMatch>,
     config: MatcherConfig,
     metrics: Option<PipelineMetrics>,
 }
@@ -78,6 +98,11 @@ impl SimilarityMatcher {
     /// Without the competition, correlated concepts would absorb each
     /// other's vocabulary at low τ and concept assignment would degrade
     /// exactly when the user asks for recall.
+    ///
+    /// Fine-tuning also builds the structure-of-arrays [`VectorIndex`]
+    /// the matcher scans at query time, and a fresh [`PhraseCache`] —
+    /// re-fine-tuning therefore invalidates all cached candidates by
+    /// construction.
     pub fn fine_tune(
         concepts: &[(String, Vec<String>)],
         store: VectorStore,
@@ -88,9 +113,9 @@ impl SimilarityMatcher {
 
     /// [`SimilarityMatcher::fine_tune`] with observability: fine-tuning
     /// statistics (vocabulary size, expansion counts, representative
-    /// counts) are recorded into `metrics`, and the matcher keeps the
-    /// handle so subsequent matching calls record subphrase/candidate
-    /// counts and per-call timing.
+    /// counts, index build time) are recorded into `metrics`, and the
+    /// matcher keeps the handle so subsequent matching calls record
+    /// subphrase/candidate/cache counts and per-call timing.
     pub fn fine_tune_metered(
         concepts: &[(String, Vec<String>)],
         store: VectorStore,
@@ -106,25 +131,38 @@ impl SimilarityMatcher {
         config: MatcherConfig,
         metrics: Option<PipelineMetrics>,
     ) -> Self {
-        use thor_embed::cosine;
-
         let seeds: Vec<Vec<(String, thor_embed::Vector)>> = concepts
             .iter()
             .map(|(_, instances)| ConceptCluster::embed_seeds(instances, &store))
             .collect();
 
-        // Competitive expansion: word → its best concept.
+        // Competitive expansion: word → its best concept. Seed scoring
+        // runs over a seeds-only index so each vocabulary word's norm is
+        // computed once instead of once per (word, seed) pair.
         let mut expansion: Vec<Vec<(String, f64)>> = vec![Vec::new(); concepts.len()];
         if config.tau < 1.0 {
+            let seed_index = {
+                let mut builder = VectorIndexBuilder::new(store.dim());
+                for ((name, _), cluster_seeds) in concepts.iter().zip(&seeds) {
+                    builder.add_concept(
+                        name,
+                        cluster_seeds.len(),
+                        cluster_seeds
+                            .iter()
+                            .map(|(w, v)| (w.as_str(), v.as_slice())),
+                    );
+                }
+                builder.build()
+            };
             for (word, vec) in store.iter() {
+                let qn = vec.norm();
                 let mut best: Option<(usize, f64)> = None;
-                for (ci, cluster_seeds) in seeds.iter().enumerate() {
-                    let sim = cluster_seeds
-                        .iter()
-                        .map(|(_, s)| cosine(vec, s))
-                        .fold(f64::MIN, f64::max);
+                for scores in seed_index.scan(vec.as_slice(), qn) {
+                    // An empty concept folds to f64::MIN exactly like the
+                    // brute-force reference, and never reaches τ.
+                    let sim = scores.max.unwrap_or(f64::MIN);
                     if sim.is_finite() && best.is_none_or(|(_, b)| sim > b) {
-                        best = Some((ci, sim));
+                        best = Some((scores.concept, sim));
                     }
                 }
                 if let Some((ci, sim)) = best {
@@ -148,6 +186,10 @@ impl SimilarityMatcher {
                 ConceptCluster::from_parts(name, seeds, &words, &store)
             })
             .collect();
+        let index = {
+            let _span = metrics.as_ref().map(|m| m.index_build.start());
+            Self::build_index(&clusters, store.dim())
+        };
         if let Some(m) = &metrics {
             m.vocab_words.set(store.len() as u64);
             m.cluster_representatives.set(
@@ -156,13 +198,33 @@ impl SimilarityMatcher {
                     .map(|c| c.representative_count() as u64)
                     .sum(),
             );
+            m.index_rows.set(index.row_count() as u64);
         }
         Self {
             store,
             clusters,
+            index,
+            cache: PhraseCache::new(config.cache_capacity),
             config,
             metrics,
         }
+    }
+
+    /// Freeze the fine-tuned clusters into the structure-of-arrays
+    /// index: seeds first per concept (so `c_m` search is a prefix
+    /// scan), identical `f32` bits, norms precomputed.
+    fn build_index(clusters: &[ConceptCluster], dim: usize) -> VectorIndex {
+        let mut builder = VectorIndexBuilder::new(dim);
+        for cluster in clusters {
+            builder.add_concept(
+                &cluster.concept,
+                cluster.seed_count(),
+                cluster
+                    .representative_vectors()
+                    .map(|(w, v)| (w, v.as_slice())),
+            );
+        }
+        builder.build()
     }
 
     /// The metrics handle recorded at fine-tuning time, if any.
@@ -185,10 +247,30 @@ impl SimilarityMatcher {
         &self.store
     }
 
+    /// The structure-of-arrays index frozen at fine-tune time.
+    pub fn index(&self) -> &VectorIndex {
+        &self.index
+    }
+
+    /// Statistics of the phrase cache (shared by all clones of this
+    /// matcher).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
     /// Semantic similarity between two phrases (used by the refinement
-    /// step and by segmentation); 0.0 when either is out-of-vocabulary.
+    /// step and by segmentation); `None` when either phrase has no
+    /// in-vocabulary word.
+    pub fn try_similarity(&self, a: &str, b: &str) -> Option<f64> {
+        self.store.phrase_similarity(a, b)
+    }
+
+    /// [`SimilarityMatcher::try_similarity`] collapsed to `0.0` for
+    /// out-of-vocabulary input. Lossy: an OOV phrase is
+    /// indistinguishable from true orthogonality; callers that must
+    /// tell the two apart use `try_similarity`.
     pub fn similarity(&self, a: &str, b: &str) -> f64 {
-        self.store.phrase_similarity(a, b).unwrap_or(0.0)
+        self.try_similarity(a, b).unwrap_or(0.0)
     }
 
     /// `MATCHER.MATCH(p)`: extract candidate entities from phrase `p`.
@@ -211,6 +293,10 @@ impl SimilarityMatcher {
     /// thereof") so that bare-modifier subphrases — whose vectors sit
     /// inside every seed phrase that shares the adjective — cannot
     /// become entities.
+    ///
+    /// Each accepted subphrase is scored with one fused pass over the
+    /// [`VectorIndex`]; distinct subphrases seen before are answered
+    /// from the phrase cache. Results are identical either way.
     pub fn match_phrase_anchored(
         &self,
         phrase: &str,
@@ -235,42 +321,41 @@ impl SimilarityMatcher {
                     continue;
                 }
                 let sub = slice.join(" ");
-                let Some(query) = self.store.embed_phrase(&sub) else {
-                    continue;
-                };
-                if let Some(m) = &self.metrics {
-                    m.subphrases.inc();
-                }
-                // Pick the single best-fitting accepted cluster.
-                let mut best: Option<(&ConceptCluster, f64)> = None;
-                for cluster in &self.clusters {
-                    let Some(best_rep) = cluster.max_similarity(&query) else {
-                        continue;
-                    };
-                    if best_rep + 1e-9 < self.config.tau {
-                        continue;
+                let scored = match self.cache.get(&sub) {
+                    Some(cached) => {
+                        if let Some(m) = &self.metrics {
+                            m.cache_hits.inc();
+                        }
+                        cached
                     }
-                    let cluster_score = cluster.mean_similarity(&query).unwrap_or(0.0);
-                    if best.is_none_or(|(_, s)| cluster_score > s) {
-                        best = Some((cluster, cluster_score));
+                    None => {
+                        if self.cache.is_enabled() {
+                            if let Some(m) = &self.metrics {
+                                m.cache_misses.inc();
+                            }
+                        }
+                        let scored = self.score_subphrase(&sub);
+                        self.cache.put(&sub, scored.clone());
+                        scored
+                    }
+                };
+                // Replay the counter increments a fresh scan would have
+                // made, so totals are independent of cache state.
+                match scored {
+                    CachedMatch::Oov => {}
+                    CachedMatch::NoMatch => {
+                        if let Some(m) = &self.metrics {
+                            m.subphrases.inc();
+                        }
+                    }
+                    CachedMatch::Match(candidate) => {
+                        if let Some(m) = &self.metrics {
+                            m.subphrases.inc();
+                            m.candidates.inc();
+                        }
+                        out.push(candidate);
                     }
                 }
-                let Some((cluster, cluster_score)) = best else {
-                    continue;
-                };
-                let Some((seed, seed_sim)) = cluster.best_seed(&query) else {
-                    continue;
-                };
-                if let Some(m) = &self.metrics {
-                    m.candidates.inc();
-                }
-                out.push(CandidateEntity {
-                    phrase: sub.clone(),
-                    concept: cluster.concept.clone(),
-                    matched_instance: seed.to_string(),
-                    semantic_score: seed_sim.clamp(0.0, 1.0),
-                    cluster_score,
-                });
             }
         }
         // Deterministic order: by cluster score descending.
@@ -281,6 +366,127 @@ impl SimilarityMatcher {
                 .then_with(|| a.concept.cmp(&b.concept))
         });
         out
+    }
+
+    /// Score one normalized subphrase against the index: embed, gate
+    /// each concept on its best representative reaching τ, rank the
+    /// survivors by mean pairwise similarity, then find `c_m` among the
+    /// winner's seed rows.
+    fn score_subphrase(&self, sub: &str) -> CachedMatch {
+        let Some(query) = self.store.embed_phrase(sub) else {
+            return CachedMatch::Oov;
+        };
+        let qn = query.norm();
+        let q = query.as_slice();
+        let mut best: Option<(usize, f64)> = None;
+        for scores in self.index.scan(q, qn) {
+            let Some(best_rep) = scores.max else {
+                continue;
+            };
+            if best_rep + 1e-9 < self.config.tau {
+                continue;
+            }
+            let cluster_score = scores.mean.unwrap_or(0.0);
+            if best.is_none_or(|(_, s)| cluster_score > s) {
+                best = Some((scores.concept, cluster_score));
+            }
+        }
+        let Some((ci, cluster_score)) = best else {
+            return CachedMatch::NoMatch;
+        };
+        let Some((seed, seed_sim)) = self.index.best_seed(ci, q, qn) else {
+            return CachedMatch::NoMatch;
+        };
+        CachedMatch::Match(CandidateEntity {
+            phrase: sub.to_string(),
+            concept: self.index.concept_name(ci).to_string(),
+            matched_instance: seed.to_string(),
+            semantic_score: seed_sim.clamp(0.0, 1.0),
+            cluster_score,
+        })
+    }
+
+    /// The retained brute-force reference path: identical semantics to
+    /// [`SimilarityMatcher::match_phrase_anchored`], but scanning the
+    /// [`ConceptCluster`]s directly with per-pair `Vector` cosines — no
+    /// index, no cache, no metrics. Kept off the hot path as ground
+    /// truth for the index/cache equivalence property tests and as the
+    /// baseline that `bench_matcher` measures the engine against.
+    pub fn match_phrase_reference(
+        &self,
+        phrase: &str,
+        anchor: impl Fn(&str) -> bool,
+    ) -> Vec<CandidateEntity> {
+        let normalized = normalize_phrase(phrase);
+        let words: Vec<&str> = normalized.split_whitespace().collect();
+        if words.is_empty() {
+            return Vec::new();
+        }
+        let max_len = self.config.max_subphrase_words.min(words.len());
+        let mut out = Vec::new();
+
+        for len in 1..=max_len {
+            for start in 0..=(words.len() - len) {
+                let slice = &words[start..start + len];
+                if is_stopword(slice[0]) || is_stopword(slice[len - 1]) {
+                    continue;
+                }
+                if !slice.iter().any(|w| anchor(w)) {
+                    continue;
+                }
+                let sub = slice.join(" ");
+                let Some(query) = self.store.embed_phrase(&sub) else {
+                    continue;
+                };
+                // Pick the single best-fitting accepted cluster.
+                let mut best: Option<(&ConceptCluster, f64)> = None;
+                for cluster in &self.clusters {
+                    let Some(score) = cluster.score(&query) else {
+                        continue;
+                    };
+                    if score.max + 1e-9 < self.config.tau {
+                        continue;
+                    }
+                    if best.is_none_or(|(_, s)| score.mean > s) {
+                        best = Some((cluster, score.mean));
+                    }
+                }
+                let Some((cluster, cluster_score)) = best else {
+                    continue;
+                };
+                let Some((seed, seed_sim)) = cluster.best_seed(&query) else {
+                    continue;
+                };
+                out.push(CandidateEntity {
+                    phrase: sub.clone(),
+                    concept: cluster.concept.clone(),
+                    matched_instance: seed.to_string(),
+                    semantic_score: seed_sim.clamp(0.0, 1.0),
+                    cluster_score,
+                });
+            }
+        }
+        out.sort_by(|a, b| {
+            b.cluster_score
+                .total_cmp(&a.cluster_score)
+                .then_with(|| a.phrase.cmp(&b.phrase))
+                .then_with(|| a.concept.cmp(&b.concept))
+        });
+        out
+    }
+}
+
+impl CandidateSource for SimilarityMatcher {
+    fn source_name(&self) -> &str {
+        "semantic"
+    }
+
+    fn candidates_anchored(
+        &self,
+        phrase: &str,
+        anchor: &dyn Fn(&str) -> bool,
+    ) -> Vec<CandidateEntity> {
+        self.match_phrase_anchored(phrase, anchor)
     }
 }
 
@@ -416,5 +622,91 @@ mod tests {
         let m = matcher(0.7);
         assert!(m.similarity("brain", "nerve") > m.similarity("brain", "walk"));
         assert_eq!(m.similarity("xyzzy", "brain"), 0.0);
+    }
+
+    #[test]
+    fn try_similarity_distinguishes_oov_from_orthogonal() {
+        let m = matcher(0.7);
+        assert!(m.try_similarity("brain", "nerve").is_some());
+        assert_eq!(m.try_similarity("xyzzy", "brain"), None);
+        assert_eq!(m.try_similarity("brain", "xyzzy"), None);
+    }
+
+    #[test]
+    fn index_path_equals_reference_path() {
+        for tau in [0.5, 0.7, 1.0] {
+            let m = matcher(tau);
+            for phrase in [
+                "slow-growing non-cancerous brain tumor",
+                "the nervous system",
+                "blood clot in the lung",
+                "green walk",
+                "",
+            ] {
+                let via_index = m.match_phrase(phrase);
+                let reference = m.match_phrase_reference(phrase, |_| true);
+                assert_eq!(via_index, reference, "tau {tau}, phrase {phrase:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_phrases_hit_the_cache_with_identical_results() {
+        let m = matcher(0.6);
+        let cold = m.match_phrase("brain tumor");
+        assert_eq!(m.cache_stats().hits, 0);
+        let warm = m.match_phrase("brain tumor");
+        assert_eq!(cold, warm);
+        let stats = m.cache_stats();
+        assert!(stats.hits > 0, "{stats:?}");
+        assert!(stats.len > 0);
+    }
+
+    #[test]
+    fn disabled_cache_gives_identical_results() {
+        let store_matcher = matcher(0.6);
+        let mut config = MatcherConfig::with_tau(0.6);
+        config.cache_capacity = 0;
+        let uncached = SimilarityMatcher::fine_tune(
+            &[
+                (
+                    "Anatomy".to_string(),
+                    vec!["nervous system".to_string(), "ear".to_string()],
+                ),
+                (
+                    "Complication".to_string(),
+                    vec!["skin cancer".to_string(), "stroke".to_string()],
+                ),
+            ],
+            store_matcher.store().clone(),
+            config,
+        );
+        for phrase in ["brain tumor", "brain tumor", "the ear"] {
+            assert_eq!(
+                store_matcher.match_phrase(phrase),
+                uncached.match_phrase(phrase)
+            );
+        }
+        let stats = uncached.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.capacity), (0, 0, 0));
+    }
+
+    #[test]
+    fn candidate_source_trait_drives_the_matcher() {
+        let m = matcher(0.6);
+        let source: &dyn CandidateSource = &m;
+        assert_eq!(source.source_name(), "semantic");
+        assert_eq!(
+            source.candidates("brain tumor"),
+            m.match_phrase("brain tumor")
+        );
+    }
+
+    #[test]
+    fn index_reflects_clusters() {
+        let m = matcher(0.6);
+        let total: usize = m.clusters().iter().map(|c| c.representative_count()).sum();
+        assert_eq!(m.index().row_count(), total);
+        assert_eq!(m.index().concept_count(), m.clusters().len());
     }
 }

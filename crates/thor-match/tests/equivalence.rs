@@ -1,0 +1,160 @@
+//! Property: the candidate-generation engine — structure-of-arrays
+//! [`thor_match::VectorIndex`] scan plus [`thor_match::PhraseCache`] —
+//! is observationally identical to the retained brute-force reference
+//! (`match_phrase_reference`, a per-cluster rescan with no index and no
+//! cache). Same candidate lists, same order, scores within 1e-9 (in
+//! fact bit-identical: the index stores the very same `f32` bits and
+//! accumulates in the same element order), across random semantic
+//! spaces, every τ of the paper's sweep, and whether one thread or
+//! four share a single matcher (one shared cache, concurrent lookups).
+
+use proptest::prelude::*;
+
+use thor_embed::SemanticSpaceBuilder;
+use thor_match::{CandidateEntity, MatcherConfig, SimilarityMatcher};
+
+fn space(seed: u64) -> thor_embed::VectorStore {
+    SemanticSpaceBuilder::new(24, seed)
+        .spread(0.5)
+        .topic("alpha")
+        .topic("beta")
+        .correlated_topic("gamma", "beta", 0.3)
+        .words("alpha", ["ape", "ant", "asp", "auk"])
+        .words("beta", ["bee", "bat", "boa", "bug"])
+        .words("gamma", ["gnu", "gar", "goa"])
+        .generic_words(["elk", "owl"])
+        .build()
+        .into_store()
+}
+
+fn concepts() -> Vec<(String, Vec<String>)> {
+    vec![
+        (
+            "Alpha".to_string(),
+            vec!["ape".to_string(), "ant".to_string()],
+        ),
+        (
+            "Beta".to_string(),
+            vec!["bee".to_string(), "bat".to_string()],
+        ),
+        ("Gamma".to_string(), vec!["gnu".to_string()]),
+    ]
+}
+
+fn matcher(tau: f64, seed: u64) -> SimilarityMatcher {
+    SimilarityMatcher::fine_tune(&concepts(), space(seed), MatcherConfig::with_tau(tau))
+}
+
+/// Match every phrase `rounds` times over `threads` workers sharing the
+/// one matcher (and therefore the one cache); the repeat guarantees the
+/// comparison also covers cache-hit replays, not just first scans.
+fn matched_concurrently(
+    m: &SimilarityMatcher,
+    phrases: &[String],
+    threads: usize,
+    rounds: usize,
+) -> Vec<Vec<CandidateEntity>> {
+    let mut out: Vec<Vec<Vec<CandidateEntity>>> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for _ in 0..rounds {
+                        for (i, phrase) in phrases.iter().enumerate() {
+                            if i % threads == w {
+                                mine.push((i, m.match_phrase(phrase)));
+                            }
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut results = vec![Vec::new(); phrases.len()];
+        for worker in workers {
+            for (i, candidates) in worker.join().expect("worker panicked") {
+                results[i].push(candidates);
+            }
+        }
+        results
+    });
+    // Every round of every phrase must agree with itself before we
+    // compare against the reference at all.
+    out.iter_mut()
+        .map(|rounds| {
+            let first = rounds.remove(0);
+            for later in rounds {
+                assert_eq!(&first, later, "cache made a repeat diverge");
+            }
+            first
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Index+cache candidates equal brute-force candidates: same list,
+    /// same order, scores within 1e-9, for random spaces, every τ in
+    /// the paper's sweep {0.5..1.0}, and 1 or 4 threads on one cache.
+    #[test]
+    fn engine_equals_brute_force(
+        words in prop::collection::vec(
+            prop::collection::vec("(ape|ant|asp|auk|bee|bat|boa|bug|gnu|gar|goa|elk|owl|zzz)", 1..5),
+            1..6,
+        ),
+        seed in 0u64..25,
+        tau10 in 5u32..=10,
+        four_threads in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let m = matcher(tau10 as f64 / 10.0, seed);
+        let phrases: Vec<String> = words.iter().map(|w| w.join(" ")).collect();
+        let expected: Vec<Vec<CandidateEntity>> = phrases
+            .iter()
+            .map(|p| m.match_phrase_reference(p, |_| true))
+            .collect();
+
+        let threads = if four_threads { 4 } else { 1 };
+        let got = matched_concurrently(&m, &phrases, threads, 2);
+
+        for ((phrase, exp), act) in phrases.iter().zip(&expected).zip(&got) {
+            prop_assert_eq!(
+                exp.len(), act.len(),
+                "candidate count diverged on `{}`", phrase
+            );
+            for (e, a) in exp.iter().zip(act) {
+                prop_assert_eq!(&e.phrase, &a.phrase);
+                prop_assert_eq!(&e.concept, &a.concept);
+                prop_assert_eq!(&e.matched_instance, &a.matched_instance);
+                prop_assert!((e.semantic_score - a.semantic_score).abs() <= 1e-9);
+                prop_assert!((e.cluster_score - a.cluster_score).abs() <= 1e-9);
+            }
+            // The design guarantee is stronger than the 1e-9 contract:
+            // the two paths are bit-identical.
+            prop_assert_eq!(exp, act, "paths diverged on `{}`", phrase);
+        }
+    }
+
+    /// A cache-disabled matcher (capacity 0) agrees with the default
+    /// cached one on every phrase — caching is invisible to results.
+    #[test]
+    fn disabled_cache_is_invisible(
+        words in prop::collection::vec("(ape|bee|gnu|elk|zzz)", 1..5),
+        seed in 0u64..25,
+        tau10 in 5u32..=10,
+    ) {
+        let tau = tau10 as f64 / 10.0;
+        let cached = matcher(tau, seed);
+        let uncached = SimilarityMatcher::fine_tune(
+            &concepts(),
+            space(seed),
+            MatcherConfig {
+                cache_capacity: 0,
+                ..MatcherConfig::with_tau(tau)
+            },
+        );
+        let phrase = words.join(" ");
+        prop_assert_eq!(cached.match_phrase(&phrase), uncached.match_phrase(&phrase));
+        prop_assert_eq!(uncached.cache_stats().hits + uncached.cache_stats().misses, 0);
+    }
+}

@@ -36,6 +36,9 @@ pub struct PipelineMetrics {
     pub refine: Arc<StageTimer>,
     /// Wall-clock of slot filling into the integrated table.
     pub slot_fill: Arc<StageTimer>,
+    /// Wall-clock of building the structure-of-arrays vector index at
+    /// fine-tune time.
+    pub index_build: Arc<StageTimer>,
 
     /// Documents processed.
     pub docs: Arc<Counter>,
@@ -57,11 +60,17 @@ pub struct PipelineMetrics {
     pub slots_duplicate: Arc<Counter>,
     /// Words added to representative vectors during fine-tuning.
     pub expansion_words: Arc<Counter>,
+    /// Phrase-cache hits during candidate generation.
+    pub cache_hits: Arc<Counter>,
+    /// Phrase-cache misses during candidate generation.
+    pub cache_misses: Arc<Counter>,
 
     /// Vocabulary size visible to fine-tuning.
     pub vocab_words: Arc<Gauge>,
     /// Representative-vector count after fine-tuning.
     pub cluster_representatives: Arc<Gauge>,
+    /// Rows in the vector index (representatives across all concepts).
+    pub index_rows: Arc<Gauge>,
 }
 
 impl PipelineMetrics {
@@ -76,6 +85,7 @@ impl PipelineMetrics {
             match_phrase: registry.timer("stage.match"),
             refine: registry.timer("stage.refine"),
             slot_fill: registry.timer("stage.slot_fill"),
+            index_build: registry.timer("index.build"),
             docs: registry.counter("docs"),
             sentences: registry.counter("sentences"),
             segments: registry.counter("segments"),
@@ -86,8 +96,11 @@ impl PipelineMetrics {
             slots_inserted: registry.counter("slots.inserted"),
             slots_duplicate: registry.counter("slots.duplicate"),
             expansion_words: registry.counter("expansion.words"),
+            cache_hits: registry.counter("cache.hit"),
+            cache_misses: registry.counter("cache.miss"),
             vocab_words: registry.gauge("vocab.words"),
             cluster_representatives: registry.gauge("cluster.representatives"),
+            index_rows: registry.gauge("index.rows"),
             registry,
         }
     }
@@ -158,6 +171,7 @@ mod tests {
             "stage.match",
             "stage.refine",
             "stage.slot_fill",
+            "index.build",
             "docs",
             "sentences",
             "segments",
@@ -168,8 +182,11 @@ mod tests {
             "slots.inserted",
             "slots.duplicate",
             "expansion.words",
+            "cache.hit",
+            "cache.miss",
             "vocab.words",
             "cluster.representatives",
+            "index.rows",
         ] {
             assert!(snap.get(name).is_some(), "missing metric `{name}`");
         }

@@ -4,7 +4,7 @@
 //! thor integrate <src.csv>... [--out R.csv]          full disjunction of sources
 //! thor sparsity <table.csv>                          sparsity report
 //! thor enrich --table R.csv [--tau 0.7] [--vectors v.txt]
-//!             [--context-gate G] [--metrics[=json]]
+//!             [--context-gate G] [--metrics[=json]] [--cache-stats]
 //!             [--out enriched.csv] [--entities e.tsv]
 //!             <doc.txt>...                           run the pipeline
 //! thor evaluate --gold gold.tsv --pred pred.tsv      SemEval partial-match scores
@@ -69,7 +69,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  thor integrate <src.csv>... [--out R.csv]\n  thor sparsity <table.csv>\n  \
          thor enrich --table R.csv [--tau 0.7] [--vectors v.txt] [--context-gate G] \
-         [--metrics[=json]] [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
+         [--metrics[=json]] [--cache-stats] [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
          thor evaluate --gold gold.tsv --pred pred.tsv\n  \
          thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR"
     );
@@ -226,9 +226,13 @@ fn cmd_enrich(args: &Args) -> Result<(), String> {
         config.context_gate = Some(g.parse().map_err(|_| "bad --context-gate")?);
     }
     let metrics_mode = metrics_mode(args)?;
+    // `--cache-stats`: one-line summary of the candidate engine (phrase
+    // cache traffic + vector index size/build time). Needs the metrics
+    // handle attached even when `--metrics` wasn't asked for.
+    let cache_stats = args.options.contains_key("cache-stats");
     let metrics = PipelineMetrics::new();
     let mut thor = Thor::new(store, config);
-    if metrics_mode.is_some() {
+    if metrics_mode.is_some() || cache_stats {
         thor = thor.with_metrics(metrics.clone());
     }
     let result = thor.enrich(&table, &docs);
@@ -243,6 +247,22 @@ fn cmd_enrich(args: &Args) -> Result<(), String> {
         Some(MetricsMode::Table) => eprint!("{}", metrics.render_table()),
         Some(MetricsMode::Json) => eprintln!("{}", metrics.render_json()),
         None => {}
+    }
+    if cache_stats {
+        let hits = metrics.cache_hits.get();
+        let misses = metrics.cache_misses.get();
+        let total = hits + misses;
+        let rate = if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64 * 100.0
+        };
+        eprintln!(
+            "[cache] hits {hits}  misses {misses}  hit rate {rate:.1}%  \
+             index {} rows built in {:.2}ms",
+            metrics.index_rows.get(),
+            metrics.index_build.total().as_secs_f64() * 1e3
+        );
     }
 
     if let Some(path) = args.options.get("entities") {
