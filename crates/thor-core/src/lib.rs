@@ -54,6 +54,7 @@ pub mod document;
 pub mod entity;
 pub mod extract;
 pub mod pipeline;
+pub mod resilient;
 pub mod segment;
 pub mod slotfill;
 
@@ -61,4 +62,5 @@ pub use config::{ScoreWeights, SegmentationMode, ThorConfig};
 pub use document::Document;
 pub use entity::ExtractedEntity;
 pub use pipeline::{EnrichmentResult, EnrichmentSession, Thor};
+pub use resilient::{ResilientOptions, ResilientOutcome, RunMode};
 pub use thor_obs::PipelineMetrics;

@@ -53,7 +53,7 @@ fn dedup_order(a: &ExtractedEntity, b: &ExtractedEntity) -> std::cmp::Ordering {
 }
 
 /// Sort by [`dedup_order`] and keep the first (best) entity per key.
-fn dedup_entities(entities: &mut Vec<ExtractedEntity>) {
+pub(crate) fn dedup_entities(entities: &mut Vec<ExtractedEntity>) {
     entities.sort_by(dedup_order);
     entities.dedup_by(|next, first| next.key() == first.key());
 }
@@ -105,7 +105,7 @@ impl Thor {
     /// The metrics handle runs record into: the attached one, or an
     /// ephemeral throwaway so stage timing (which feeds the public
     /// [`EnrichmentResult`] fields) always has somewhere to go.
-    fn run_metrics(&self) -> PipelineMetrics {
+    pub(crate) fn run_metrics(&self) -> PipelineMetrics {
         self.metrics.clone().unwrap_or_default()
     }
 
@@ -115,7 +115,11 @@ impl Thor {
         self.build_matcher(table, self.metrics.as_ref())
     }
 
-    fn build_matcher(&self, table: &Table, metrics: Option<&PipelineMetrics>) -> SimilarityMatcher {
+    pub(crate) fn build_matcher(
+        &self,
+        table: &Table,
+        metrics: Option<&PipelineMetrics>,
+    ) -> SimilarityMatcher {
         let concepts: Vec<(String, Vec<String>)> = table
             .schema()
             .concepts()

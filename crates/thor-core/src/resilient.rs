@@ -1,0 +1,545 @@
+//! The fault-tolerant run layer: per-document isolation, quarantine,
+//! and checkpointed, resumable enrichment.
+//!
+//! [`Thor::enrich_resilient`] is the production entry point for messy
+//! corpora: every document passes admission control
+//! ([`thor_fault::validate_text`]) and runs its segment/extract stages
+//! under `catch_unwind`, so a malformed or even panic-inducing document
+//! costs *one document*, not the run. Failures land in a
+//! [`QuarantineReport`] (doc id, stage, error, byte offset) and bump the
+//! `quarantine.docs` counter; [`RunMode::Strict`] instead aborts on the
+//! first failure (after a best-effort checkpoint save).
+//!
+//! With a checkpoint directory configured, the processed-document set,
+//! all partial slot-fills (extracted entities, scores as exact bit
+//! patterns), the quarantine ledger, and a metrics snapshot are
+//! persisted atomically every `checkpoint_interval` documents. A killed
+//! run resumed with [`ResilientOptions::resume`] skips completed
+//! documents and — because final deduplication imposes a total order —
+//! produces **byte-identical** output to an uninterrupted run, for any
+//! thread count and cache configuration.
+//!
+//! Fault-injection seams (`validate`, `segment`, `extract`, `slot_fill`,
+//! plus `checkpoint_save`/`atomic_write` inside thor-fault) are compiled
+//! in via [`thor_fault::fail_point`]; see `thor_fault::failpoint::SITES`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use thor_data::Table;
+use thor_fault::{
+    fail_point, fingerprint, validate_text, Checkpoint, DocumentPolicy, EntityRecord,
+    QuarantineEntry, QuarantineReport, ThorError, ThorResult,
+};
+use thor_match::SimilarityMatcher;
+use thor_obs::PipelineMetrics;
+
+use crate::document::Document;
+use crate::entity::ExtractedEntity;
+use crate::extract::extract_entities_metered;
+use crate::pipeline::{dedup_entities, EnrichmentResult, Thor};
+use crate::segment::segment_metered;
+use crate::slotfill::slot_fill_metered;
+
+/// Failure policy of a resilient run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunMode {
+    /// Abort on the first failed document (after a best-effort
+    /// checkpoint save). The safe default: nothing is silently dropped.
+    #[default]
+    Strict,
+    /// Quarantine failed documents and keep going — one bad document
+    /// costs one document.
+    Lenient,
+}
+
+/// Options for [`Thor::enrich_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilientOptions {
+    /// Strict (fail fast) or lenient (quarantine and continue).
+    pub mode: RunMode,
+    /// Directory for checkpoint state; `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Completed documents between checkpoint saves.
+    pub checkpoint_interval: usize,
+    /// Resume from the checkpoint in `checkpoint_dir` if one exists
+    /// (refused when its fingerprint does not match this run's inputs).
+    pub resume: bool,
+    /// Admission-control policy applied to every document.
+    pub policy: DocumentPolicy,
+}
+
+impl Default for ResilientOptions {
+    fn default() -> Self {
+        Self {
+            mode: RunMode::Strict,
+            checkpoint_dir: None,
+            checkpoint_interval: 4,
+            resume: false,
+            policy: DocumentPolicy::default(),
+        }
+    }
+}
+
+/// Outcome of a resilient run.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// The ordinary enrichment result (enriched table, deduplicated
+    /// entities, slot stats, timings).
+    pub result: EnrichmentResult,
+    /// Everything that was quarantined, in processing order.
+    pub quarantine: QuarantineReport,
+    /// Documents skipped because a resumed checkpoint had already
+    /// completed them.
+    pub resumed_docs: usize,
+    /// Documents processed (or quarantined) by *this* invocation.
+    pub processed_docs: usize,
+    /// Checkpoint saves skipped after non-fatal save failures (lenient
+    /// mode only).
+    pub checkpoints_skipped: usize,
+}
+
+/// What happened to one document.
+enum DocStatus {
+    Done(Vec<ExtractedEntity>),
+    Quarantined(QuarantineEntry),
+}
+
+fn to_record(e: &ExtractedEntity) -> EntityRecord {
+    EntityRecord {
+        doc_id: e.doc_id.clone(),
+        subject: e.subject.clone(),
+        concept: e.concept.clone(),
+        phrase: e.phrase.clone(),
+        score_bits: e.score.to_bits(),
+        matched_instance: e.matched_instance.clone(),
+        sentence_index: e.sentence_index,
+    }
+}
+
+fn from_record(r: &EntityRecord) -> ExtractedEntity {
+    ExtractedEntity {
+        subject: r.subject.clone(),
+        concept: r.concept.clone(),
+        phrase: r.phrase.clone(),
+        score: f64::from_bits(r.score_bits),
+        matched_instance: r.matched_instance.clone(),
+        doc_id: r.doc_id.clone(),
+        sentence_index: r.sentence_index,
+    }
+}
+
+/// Mutable run bookkeeping: the live checkpoint plus save cadence.
+struct RunState {
+    checkpoint: Checkpoint,
+    dir: Option<PathBuf>,
+    interval: usize,
+    since_save: usize,
+    checkpoints_skipped: usize,
+    mode: RunMode,
+}
+
+impl RunState {
+    /// Record one finished document. A quarantined document in strict
+    /// mode becomes the run's error — it is deliberately *not* marked
+    /// processed (strict drops nothing), so a resumed run retries it
+    /// after a best-effort save of the completed prefix.
+    fn record(
+        &mut self,
+        doc_id: String,
+        status: DocStatus,
+        run: &PipelineMetrics,
+    ) -> ThorResult<()> {
+        match status {
+            DocStatus::Done(entities) => {
+                self.checkpoint.processed.insert(doc_id);
+                self.checkpoint
+                    .entities
+                    .extend(entities.iter().map(to_record));
+            }
+            DocStatus::Quarantined(entry) if self.mode == RunMode::Strict => {
+                let _ = self.save(run);
+                return Err(ThorError::new(
+                    entry.kind,
+                    format!(
+                        "document `{}` failed at {}: {}",
+                        entry.doc_id, entry.stage, entry.error
+                    ),
+                ));
+            }
+            DocStatus::Quarantined(entry) => {
+                run.quarantine_docs.inc();
+                self.checkpoint.processed.insert(doc_id);
+                self.checkpoint.quarantine.push(entry);
+            }
+        }
+        self.since_save += 1;
+        if self.since_save >= self.interval {
+            self.maybe_save(run)?;
+        }
+        Ok(())
+    }
+
+    /// Unconditional save (no-op without a checkpoint dir).
+    fn save(&mut self, run: &PipelineMetrics) -> ThorResult<()> {
+        let Some(dir) = &self.dir else {
+            self.since_save = 0;
+            return Ok(());
+        };
+        self.checkpoint.metrics_json = Some(run.render_json());
+        let result = self.checkpoint.save(dir);
+        if result.is_ok() {
+            self.since_save = 0;
+        }
+        result
+    }
+
+    /// Save, downgrading failures to a skip in lenient mode.
+    fn maybe_save(&mut self, run: &PipelineMetrics) -> ThorResult<()> {
+        match self.save(run) {
+            Ok(()) => Ok(()),
+            Err(e) => match self.mode {
+                RunMode::Strict => Err(e.context("checkpoint save")),
+                RunMode::Lenient => {
+                    self.checkpoints_skipped += 1;
+                    // Try again a full interval from now.
+                    self.since_save = 0;
+                    Ok(())
+                }
+            },
+        }
+    }
+}
+
+/// Process one document through admission control, segmentation, and
+/// extraction, isolating panics to the document.
+fn process_doc(
+    thor: &Thor,
+    matcher: &SimilarityMatcher,
+    subjects: &[String],
+    doc: &Document,
+    policy: &DocumentPolicy,
+    run: &PipelineMetrics,
+) -> DocStatus {
+    let quarantined = |stage: &str, err: ThorError| {
+        DocStatus::Quarantined(QuarantineEntry::from_error(&doc.id, stage, &err))
+    };
+
+    if let Err(e) = fail_point("validate").and_then(|()| validate_text(&doc.id, &doc.text, policy))
+    {
+        return quarantined("validate", e);
+    }
+
+    let segments = match catch_unwind(AssertUnwindSafe(|| {
+        fail_point("segment")?;
+        Ok(segment_metered(
+            doc,
+            subjects,
+            matcher,
+            thor.config().segmentation,
+            run,
+        ))
+    })) {
+        Ok(Ok(segments)) => segments,
+        Ok(Err(e)) => return quarantined("segment", e),
+        Err(payload) => {
+            return quarantined("segment", ThorError::panic("segment", payload.as_ref()))
+        }
+    };
+
+    match catch_unwind(AssertUnwindSafe(|| {
+        fail_point("extract")?;
+        Ok(extract_entities_metered(
+            &segments,
+            matcher,
+            thor.config(),
+            &doc.id,
+            run,
+        ))
+    })) {
+        Ok(Ok(entities)) => {
+            run.docs.inc();
+            DocStatus::Done(entities)
+        }
+        Ok(Err(e)) => quarantined("extract", e),
+        Err(payload) => quarantined("extract", ThorError::panic("extract", payload.as_ref())),
+    }
+}
+
+impl Thor {
+    /// Fingerprint tying a checkpoint to the inputs and configuration
+    /// that produced it: any difference that could change extraction
+    /// output makes resume refuse the stale state.
+    fn run_fingerprint(&self, table: &Table, docs: &[Document]) -> String {
+        let c = self.config();
+        let mut parts: Vec<String> = vec![
+            format!("tau={:016x}", c.tau.to_bits()),
+            format!("subphrase={}", c.max_subphrase_words),
+            format!("expansion={}", c.max_expansion),
+            format!("gate={:?}", c.context_gate.map(f64::to_bits)),
+            format!("seg={:?}", c.segmentation),
+            format!("np={}", c.np_chunking),
+            format!(
+                "weights={:016x},{:016x},{:016x}",
+                c.weights.semantic.to_bits(),
+                c.weights.word.to_bits(),
+                c.weights.char.to_bits()
+            ),
+        ];
+        for concept in table.schema().concepts() {
+            parts.push(format!("concept={}", concept.name()));
+            for value in table.column_values(concept.name()) {
+                parts.push(value);
+            }
+        }
+        for doc in docs {
+            parts.push(format!("doc={}", doc.id));
+        }
+        fingerprint(parts)
+    }
+
+    /// Run the full pipeline with per-document fault isolation,
+    /// quarantine, and (optionally) checkpoint/resume. See the module
+    /// docs for semantics; [`Thor::enrich`] remains the fast path for
+    /// trusted input.
+    pub fn enrich_resilient(
+        &self,
+        table: &Table,
+        docs: &[Document],
+        opts: &ResilientOptions,
+    ) -> ThorResult<ResilientOutcome> {
+        // Resume correctness keys the processed-set on document ids.
+        let mut seen = std::collections::HashSet::new();
+        for d in docs {
+            if !seen.insert(&d.id) {
+                return Err(ThorError::config(format!(
+                    "duplicate document id `{}` (resilient runs require unique ids)",
+                    d.id
+                )));
+            }
+        }
+
+        let run = self.run_metrics();
+        let run_fp = self.run_fingerprint(table, docs);
+        let mut state = RunState {
+            checkpoint: Checkpoint::new(run_fp.clone()),
+            dir: opts.checkpoint_dir.clone(),
+            interval: opts.checkpoint_interval.max(1),
+            since_save: 0,
+            checkpoints_skipped: 0,
+            mode: opts.mode,
+        };
+        if opts.resume {
+            let dir = opts
+                .checkpoint_dir
+                .as_deref()
+                .ok_or_else(|| ThorError::config("--resume requires a checkpoint directory"))?;
+            if let Some(previous) = Checkpoint::load(dir)? {
+                if previous.fingerprint != run_fp {
+                    return Err(ThorError::checkpoint(format!(
+                        "checkpoint in {} was written by a different run \
+                         (fingerprint {} != {run_fp}); refusing to resume",
+                        dir.display(),
+                        previous.fingerprint
+                    )));
+                }
+                if let Some(json) = &previous.metrics_json {
+                    match thor_obs::MetricsSnapshot::from_json_str(json) {
+                        Ok(snapshot) => run.absorb(&snapshot),
+                        Err(e) => {
+                            return Err(ThorError::checkpoint(format!(
+                                "checkpoint metrics snapshot unreadable: {e}"
+                            )))
+                        }
+                    }
+                }
+                state.checkpoint = previous;
+                state.checkpoint.fingerprint = run_fp;
+                state.checkpoint.metrics_json = None;
+            }
+        }
+
+        let (matcher, prepare_time) = run.prepare.time(|| self.build_matcher(table, Some(&run)));
+        let subjects: Vec<String> = table.subjects().map(str::to_string).collect();
+        let pending: Vec<&Document> = docs
+            .iter()
+            .filter(|d| !state.checkpoint.processed.contains(&d.id))
+            .collect();
+        let resumed_docs = docs.len() - pending.len();
+        let processed_docs = pending.len();
+
+        let inference_t0 = std::time::Instant::now();
+        let workers = self.config().threads.min(pending.len().max(1));
+        let loop_result: ThorResult<()> = if workers <= 1 {
+            (|| {
+                for doc in pending.iter().copied() {
+                    let status = process_doc(self, &matcher, &subjects, doc, &opts.policy, &run);
+                    state.record(doc.id.clone(), status, &run)?;
+                }
+                Ok(())
+            })()
+        } else {
+            let next = AtomicUsize::new(0);
+            let cancel = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                let (tx, rx) = mpsc::channel::<(String, DocStatus)>();
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let (next, cancel, pending) = (&next, &cancel, &pending);
+                    let (matcher, subjects, run) = (&matcher, &subjects, &run);
+                    scope.spawn(move || loop {
+                        if cancel.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(doc) = pending.get(i).copied() else {
+                            break;
+                        };
+                        let status = process_doc(self, matcher, subjects, doc, &opts.policy, run);
+                        if tx.send((doc.id.clone(), status)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+                let mut first_err = None;
+                for (doc_id, status) in rx {
+                    if let Err(e) = state.record(doc_id, status, &run) {
+                        cancel.store(true, Ordering::Relaxed);
+                        first_err.get_or_insert(e);
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            })
+        };
+        loop_result?;
+
+        // Final checkpoint so a crash after this point resumes instantly.
+        state.maybe_save(&run)?;
+
+        fail_point("slot_fill")?;
+        let mut entities: Vec<ExtractedEntity> =
+            state.checkpoint.entities.iter().map(from_record).collect();
+        dedup_entities(&mut entities);
+        let mut enriched = table.clone();
+        let slot_stats = slot_fill_metered(&mut enriched, &entities, &run);
+        let inference_time = inference_t0.elapsed();
+        run.inference.record(inference_time);
+
+        Ok(ResilientOutcome {
+            result: EnrichmentResult {
+                table: enriched,
+                entities,
+                slot_stats,
+                prepare_time,
+                inference_time,
+            },
+            quarantine: state.checkpoint.quarantine.clone(),
+            resumed_docs,
+            processed_docs,
+            checkpoints_skipped: state.checkpoints_skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ThorConfig;
+    use thor_data::{Schema, Table};
+    use thor_embed::SemanticSpaceBuilder;
+
+    fn setup() -> (Thor, Table, Vec<Document>) {
+        let store = SemanticSpaceBuilder::new(16, 7)
+            .topic("anatomy")
+            .words("anatomy", ["lungs", "brain", "skin", "nerve"])
+            .generic_words(["damages", "grows"])
+            .build()
+            .into_store();
+        let mut table = Table::new(Schema::new(["Disease", "Anatomy"], "Disease"));
+        table.fill_slot("Tuberculosis", "Anatomy", "lungs");
+        table.row_for_subject("Acne");
+        let docs = vec![
+            Document::new("d0", "Tuberculosis damages the lungs and the brain."),
+            Document::new("d1", "Acne grows on the skin."),
+            Document::new("d2", "Tuberculosis damages the nerve."),
+        ];
+        (Thor::new(store, ThorConfig::with_tau(0.6)), table, docs)
+    }
+
+    #[test]
+    fn clean_resilient_run_matches_enrich() {
+        let (thor, table, docs) = setup();
+        let plain = thor.enrich(&table, &docs);
+        let resilient = thor
+            .enrich_resilient(&table, &docs, &ResilientOptions::default())
+            .unwrap();
+        assert!(resilient.quarantine.is_empty());
+        assert_eq!(resilient.resumed_docs, 0);
+        assert_eq!(resilient.processed_docs, 3);
+        assert_eq!(resilient.result.entities, plain.entities);
+        assert_eq!(
+            thor_data::to_csv(&resilient.result.table),
+            thor_data::to_csv(&plain.table)
+        );
+    }
+
+    #[test]
+    fn invalid_documents_are_quarantined_in_lenient_mode() {
+        let (thor, table, mut docs) = setup();
+        docs.push(Document::new("empty", "   "));
+        let opts = ResilientOptions {
+            mode: RunMode::Lenient,
+            ..Default::default()
+        };
+        let outcome = thor.enrich_resilient(&table, &docs, &opts).unwrap();
+        assert_eq!(outcome.quarantine.len(), 1);
+        assert_eq!(outcome.quarantine.entries()[0].doc_id, "empty");
+        assert_eq!(outcome.quarantine.entries()[0].stage, "validate");
+        // The clean docs still enriched the table.
+        let clean = thor.enrich(&table, &docs[..3]);
+        assert_eq!(outcome.result.entities, clean.entities);
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_on_invalid_document() {
+        let (thor, table, mut docs) = setup();
+        docs.insert(0, Document::new("empty", ""));
+        let err = thor
+            .enrich_resilient(&table, &docs, &ResilientOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_doc_ids_rejected() {
+        let (thor, table, mut docs) = setup();
+        docs.push(docs[0].clone());
+        let err = thor
+            .enrich_resilient(&table, &docs, &ResilientOptions::default())
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate document id"), "{err}");
+    }
+
+    #[test]
+    fn quarantine_counter_tracks_report() {
+        let (thor, table, mut docs) = setup();
+        docs.push(Document::new("junk", "\u{FFFD}\u{1}\u{FFFD}\u{2}"));
+        docs.push(Document::new("blank", "\n\n"));
+        let metrics = PipelineMetrics::new();
+        let thor = thor.with_metrics(metrics.clone());
+        let opts = ResilientOptions {
+            mode: RunMode::Lenient,
+            ..Default::default()
+        };
+        let outcome = thor.enrich_resilient(&table, &docs, &opts).unwrap();
+        assert_eq!(outcome.quarantine.len(), 2);
+        assert_eq!(metrics.snapshot().count("quarantine.docs"), 2);
+        assert_eq!(metrics.snapshot().count("docs"), 3);
+    }
+}

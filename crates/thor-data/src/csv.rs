@@ -139,43 +139,95 @@ fn parse_records(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
     Ok(records)
 }
 
-/// Parse CSV text into a table. The first header column is taken as the
-/// subject concept.
-pub fn from_csv(text: &str) -> Result<Table, CsvError> {
-    let records = parse_records(text)?;
-    let mut iter = records.into_iter();
-    let header = iter.next().ok_or(CsvError::MissingHeader)?;
-    if header.is_empty() || header.iter().all(String::is_empty) {
-        return Err(CsvError::MissingHeader);
+/// Validate one body record against the header and insert it into the
+/// table. Shared by the strict and lenient parsers.
+fn insert_record(
+    table: &mut Table,
+    header: &[String],
+    record: &[String],
+    line: usize,
+) -> Result<(), CsvError> {
+    if record.len() != header.len() {
+        return Err(CsvError::ArityMismatch {
+            line,
+            expected: header.len(),
+            got: record.len(),
+        });
     }
-    let subject = header[0].clone();
-    let schema = Schema::new(header.clone(), &subject);
-    let mut table = Table::new(schema);
-
-    for (i, record) in iter.enumerate() {
-        let line = i + 2;
-        if record.len() != header.len() {
-            return Err(CsvError::ArityMismatch {
-                line,
-                expected: header.len(),
-                got: record.len(),
-            });
-        }
-        let subject_value = record[0].trim();
-        if subject_value.is_empty() {
-            return Err(CsvError::EmptySubject { line });
-        }
-        table.row_for_subject(subject_value);
-        for (ci, field) in record.iter().enumerate().skip(1) {
-            for value in field.split(VALUE_SEPARATOR) {
-                let v = value.trim();
-                if !v.is_empty() {
-                    table.fill_slot(subject_value, header[ci].as_str(), v);
-                }
+    let subject_value = record[0].trim();
+    if subject_value.is_empty() {
+        return Err(CsvError::EmptySubject { line });
+    }
+    table.row_for_subject(subject_value);
+    for (ci, field) in record.iter().enumerate().skip(1) {
+        for value in field.split(VALUE_SEPARATOR) {
+            let v = value.trim();
+            if !v.is_empty() {
+                table.fill_slot(subject_value, header[ci].as_str(), v);
             }
         }
     }
+    Ok(())
+}
+
+fn parse_header(records: &mut std::vec::IntoIter<Vec<String>>) -> Result<Vec<String>, CsvError> {
+    let header = records.next().ok_or(CsvError::MissingHeader)?;
+    if header.is_empty() || header.iter().all(String::is_empty) {
+        return Err(CsvError::MissingHeader);
+    }
+    Ok(header)
+}
+
+/// Parse CSV text into a table. The first header column is taken as the
+/// subject concept.
+pub fn from_csv(text: &str) -> Result<Table, CsvError> {
+    let mut iter = parse_records(text)?.into_iter();
+    let header = parse_header(&mut iter)?;
+    let schema = Schema::new(header.clone(), &header[0]);
+    let mut table = Table::new(schema);
+    for (i, record) in iter.enumerate() {
+        insert_record(&mut table, &header, &record, i + 2)?;
+    }
     Ok(table)
+}
+
+/// A body row the lenient parser skipped, with its reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedRow {
+    /// 1-based record number of the offending row.
+    pub line: usize,
+    /// Why it was rejected.
+    pub error: CsvError,
+}
+
+/// Result of a lenient parse: the table built from the well-formed rows
+/// plus the ledger of skipped ones.
+#[derive(Debug, Clone)]
+pub struct LenientCsv {
+    /// The table assembled from every valid row.
+    pub table: Table,
+    /// The malformed rows, in input order.
+    pub skipped: Vec<SkippedRow>,
+}
+
+/// Parse CSV text, quarantining malformed body rows instead of failing
+/// the whole parse: a row with the wrong arity or an empty subject is
+/// recorded in [`LenientCsv::skipped`] and the parse carries on.
+/// Stream-level problems (no header, unterminated quote — which makes
+/// the rest of the input one indivisible field) remain hard errors.
+pub fn from_csv_lenient(text: &str) -> Result<LenientCsv, CsvError> {
+    let mut iter = parse_records(text)?.into_iter();
+    let header = parse_header(&mut iter)?;
+    let schema = Schema::new(header.clone(), &header[0]);
+    let mut table = Table::new(schema);
+    let mut skipped = Vec::new();
+    for (i, record) in iter.enumerate() {
+        let line = i + 2;
+        if let Err(error) = insert_record(&mut table, &header, &record, line) {
+            skipped.push(SkippedRow { line, error });
+        }
+    }
+    Ok(LenientCsv { table, skipped })
 }
 
 #[cfg(test)]
@@ -252,6 +304,42 @@ mod tests {
     fn unterminated_quote_detected() {
         assert_eq!(
             from_csv("A,B\n\"oops,v\n").unwrap_err(),
+            CsvError::UnterminatedQuote
+        );
+    }
+
+    #[test]
+    fn lenient_parse_quarantines_bad_rows() {
+        let text = "A,B\nx,1\nbadrow\n,empty\ny,2\n";
+        let lenient = from_csv_lenient(text).unwrap();
+        assert_eq!(lenient.table.len(), 2, "good rows survive");
+        assert_eq!(lenient.table.column_values("B"), ["1", "2"]);
+        assert_eq!(lenient.skipped.len(), 2);
+        assert_eq!(lenient.skipped[0].line, 3);
+        assert!(matches!(
+            lenient.skipped[0].error,
+            CsvError::ArityMismatch { got: 1, .. }
+        ));
+        assert!(matches!(
+            lenient.skipped[1].error,
+            CsvError::EmptySubject { line: 4 }
+        ));
+    }
+
+    #[test]
+    fn lenient_parse_matches_strict_on_clean_input() {
+        let csv = to_csv(&sample());
+        let strict = from_csv(&csv).unwrap();
+        let lenient = from_csv_lenient(&csv).unwrap();
+        assert!(lenient.skipped.is_empty());
+        assert_eq!(to_csv(&lenient.table), to_csv(&strict));
+    }
+
+    #[test]
+    fn lenient_parse_keeps_stream_errors_fatal() {
+        assert_eq!(from_csv_lenient("").unwrap_err(), CsvError::MissingHeader);
+        assert_eq!(
+            from_csv_lenient("A,B\n\"oops,v\n").unwrap_err(),
             CsvError::UnterminatedQuote
         );
     }

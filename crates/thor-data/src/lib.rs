@@ -27,6 +27,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 
+pub use csv::{from_csv, from_csv_lenient, to_csv, CsvError, LenientCsv, SkippedRow};
 pub use integrate::{full_disjunction, outer_join};
 pub use ops::{
     added_values, check_fd, project, rename_concept, select, FdViolation, FunctionalDependency,

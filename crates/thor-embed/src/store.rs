@@ -146,6 +146,17 @@ impl VectorStore {
         out
     }
 
+    /// Load a vector file from disk: [`VectorStore::from_text`] with
+    /// contextual errors naming the offending path (and line, for parse
+    /// failures), behind the `read_vectors` failpoint.
+    pub fn load_path(path: &std::path::Path) -> Result<Self, thor_fault::ThorError> {
+        thor_fault::fail_point("read_vectors")
+            .map_err(|e| e.context(format!("loading vectors from {}", path.display())))?;
+        let text = thor_fault::read_to_string(path)?;
+        Self::from_text(&text)
+            .map_err(|e| thor_fault::ThorError::parse(format!("{}: {e}", path.display())))
+    }
+
     /// Parse the format written by [`VectorStore::to_text`].
     pub fn from_text(text: &str) -> Result<Self, String> {
         let mut lines = text.lines();
@@ -291,6 +302,32 @@ mod tests {
             VectorStore::from_text("1 2\nword 1.0 2.0\n").is_err(),
             "missing tab"
         );
+    }
+
+    #[test]
+    fn load_path_names_path_and_line() {
+        let dir = std::env::temp_dir().join(format!("thor-embed-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.txt");
+        std::fs::write(&good, store().to_text()).unwrap();
+        assert_eq!(VectorStore::load_path(&good).unwrap().len(), 4);
+
+        let bad = dir.join("bad.txt");
+        std::fs::write(&bad, "1 3\nword\tnot numbers here\n").unwrap();
+        let err = VectorStore::load_path(&bad).unwrap_err();
+        assert_eq!(err.kind(), thor_fault::ErrorKind::Parse);
+        assert!(err.to_string().contains("bad.txt"), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let missing = dir.join("missing.txt");
+        let err = VectorStore::load_path(&missing).unwrap_err();
+        assert_eq!(err.kind(), thor_fault::ErrorKind::Io);
+
+        let _guard = thor_fault::scoped_failpoints("read_vectors:err");
+        let err = VectorStore::load_path(&good).unwrap_err();
+        assert_eq!(err.kind(), thor_fault::ErrorKind::Injected);
+        drop(_guard);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Crash-safe file I/O: atomic writes and contextual reads.
+//!
+//! Every artifact the pipeline persists (enriched CSV, entities TSV,
+//! checkpoints, quarantine reports) goes through [`atomic_write`]: the
+//! bytes land in a temp file in the destination directory, are fsynced,
+//! and are renamed over the target. A `kill -9` at any instant leaves
+//! either the old complete file or the new complete file — never a
+//! truncated hybrid.
+
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::error::{ThorError, ThorResult};
+use crate::failpoint::fail_point;
+
+/// Read a file's bytes, naming the path in the error.
+pub fn read_bytes(path: &Path) -> ThorResult<Vec<u8>> {
+    fs::read(path).map_err(|e| ThorError::io(path.display(), e))
+}
+
+/// Read a file as UTF-8 text, naming the path in the error.
+pub fn read_to_string(path: &Path) -> ThorResult<String> {
+    fs::read_to_string(path).map_err(|e| ThorError::io(path.display(), e))
+}
+
+/// Monotonic discriminator so concurrent writers in one process never
+/// collide on a temp name.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Atomically replace `path` with `bytes`: temp file in the same
+/// directory + `fsync` + `rename`, then `fsync` of the directory entry
+/// (on Unix), so a crash at any point leaves no truncated output.
+///
+/// Carries the `atomic_write` failpoint (fires before anything is
+/// touched, so an injected fault leaves the previous artifact intact).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> ThorResult<()> {
+    fail_point("atomic_write")?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| ThorError::config(format!("{}: not a file path", path.display())))?;
+    let temp = dir.join(format!(
+        ".{}.tmp-{}-{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let result = (|| -> ThorResult<()> {
+        let mut f = File::create(&temp).map_err(|e| ThorError::io(temp.display(), e))?;
+        f.write_all(bytes)
+            .map_err(|e| ThorError::io(temp.display(), e))?;
+        f.sync_all().map_err(|e| ThorError::io(temp.display(), e))?;
+        fs::rename(&temp, path).map_err(|e| ThorError::io(path.display(), e))?;
+        // Persist the rename itself: fsync the containing directory.
+        #[cfg(unix)]
+        if let Ok(d) = File::open(&dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&temp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failpoint::scoped_failpoints;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "thor-fault-io-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let dir = temp_dir("rt");
+        let path = dir.join("out.csv");
+        atomic_write(&path, b"a,b\n1,2\n").unwrap();
+        assert_eq!(read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        assert_eq!(read_bytes(&path).unwrap(), b"a,b\n1,2\n");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overwrite_replaces_whole_file() {
+        let dir = temp_dir("ow");
+        let path = dir.join("out.csv");
+        atomic_write(&path, b"long original content").unwrap();
+        atomic_write(&path, b"new").unwrap();
+        assert_eq!(read_to_string(&path).unwrap(), "new");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_temp_litter_after_writes() {
+        let dir = temp_dir("lit");
+        atomic_write(&dir.join("a.txt"), b"x").unwrap();
+        atomic_write(&dir.join("a.txt"), b"y").unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, ["a.txt"], "temp files must not survive");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_fault_preserves_previous_artifact() {
+        let dir = temp_dir("fp");
+        let path = dir.join("out.csv");
+        atomic_write(&path, b"old").unwrap();
+        {
+            let _guard = scoped_failpoints("atomic_write:err");
+            let err = atomic_write(&path, b"new").unwrap_err();
+            assert_eq!(err.kind(), crate::error::ErrorKind::Injected);
+        }
+        assert_eq!(read_to_string(&path).unwrap(), "old");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_errors_name_the_path() {
+        let missing = Path::new("/nonexistent/thor/xyz.csv");
+        let err = read_to_string(missing).unwrap_err();
+        assert!(err.to_string().contains("xyz.csv"), "{err}");
+    }
+}

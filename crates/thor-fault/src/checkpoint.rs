@@ -1,0 +1,391 @@
+//! Resumable-run state: the checkpoint a crashed `enrich` continues
+//! from.
+//!
+//! A checkpoint directory holds two atomically-written files:
+//!
+//! - `state.tsv` — a line-oriented record file: a versioned header, a
+//!   run fingerprint (so a checkpoint is never resumed against different
+//!   inputs), the processed-document set, every extracted entity so far
+//!   (scores as exact f64 bit patterns, so a resumed run reproduces the
+//!   uninterrupted run byte-for-byte), and the quarantine ledger.
+//! - `metrics.json` — a thor-obs metrics snapshot, re-absorbed on
+//!   resume so counters span the whole logical run.
+//!
+//! All fields are tab/newline/backslash-escaped; the format is
+//! deliberately dependency-free (no serde in the workspace).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::atomic_io::{atomic_write, read_to_string};
+use crate::error::{ThorError, ThorResult};
+use crate::failpoint::fail_point;
+
+const HEADER: &str = "thor-checkpoint v1";
+const STATE_FILE: &str = "state.tsv";
+const METRICS_FILE: &str = "metrics.json";
+
+/// A checkpointed extracted entity — mirrors `thor_core::ExtractedEntity`
+/// field-for-field, with the score kept as raw bits for exact round-trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntityRecord {
+    /// Source document id.
+    pub doc_id: String,
+    /// Owning subject instance.
+    pub subject: String,
+    /// Assigned concept.
+    pub concept: String,
+    /// Extracted phrase.
+    pub phrase: String,
+    /// `f64::to_bits` of the combined score.
+    pub score_bits: u64,
+    /// The seed instance that anchored the match.
+    pub matched_instance: String,
+    /// Sentence index within the document.
+    pub sentence_index: usize,
+}
+
+use crate::quarantine::{QuarantineEntry, QuarantineReport};
+
+/// The state of a partially-completed enrichment run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of the run inputs (table, config, document set);
+    /// resuming against a different fingerprint is refused.
+    pub fingerprint: String,
+    /// Documents fully handled (processed *or* quarantined).
+    pub processed: BTreeSet<String>,
+    /// Entities extracted so far (partial slot-fills).
+    pub entities: Vec<EntityRecord>,
+    /// Failures quarantined so far.
+    pub quarantine: QuarantineReport,
+    /// Metrics snapshot JSON (thor-obs format), if recorded.
+    pub metrics_json: Option<String>,
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> ThorResult<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            other => {
+                return Err(ThorError::checkpoint(format!(
+                    "bad escape `\\{}` in checkpoint field",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+impl Checkpoint {
+    /// An empty checkpoint for a run identified by `fingerprint`.
+    pub fn new(fingerprint: impl Into<String>) -> Self {
+        Self {
+            fingerprint: fingerprint.into(),
+            ..Self::default()
+        }
+    }
+
+    /// Serialize to the `state.tsv` text format.
+    fn to_state_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "fingerprint\t{}", escape(&self.fingerprint));
+        for doc in &self.processed {
+            let _ = writeln!(out, "doc\t{}", escape(doc));
+        }
+        for e in &self.entities {
+            let _ = writeln!(
+                out,
+                "ent\t{}\t{}\t{}\t{}\t{:016x}\t{}\t{}",
+                escape(&e.doc_id),
+                escape(&e.subject),
+                escape(&e.concept),
+                escape(&e.phrase),
+                e.score_bits,
+                escape(&e.matched_instance),
+                e.sentence_index
+            );
+        }
+        for q in self.quarantine.entries() {
+            let _ = writeln!(
+                out,
+                "quar\t{}\t{}\t{}\t{}\t{}",
+                escape(&q.doc_id),
+                escape(&q.stage),
+                q.kind.label(),
+                q.byte_offset
+                    .map(|o| o.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                escape(&q.error)
+            );
+        }
+        out
+    }
+
+    /// Parse the `state.tsv` text format.
+    fn from_state_text(text: &str) -> ThorResult<Self> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(HEADER) => {}
+            other => {
+                return Err(ThorError::checkpoint(format!(
+                    "bad checkpoint header: {other:?} (expected `{HEADER}`)"
+                )))
+            }
+        }
+        let mut cp = Checkpoint::default();
+        for (i, line) in lines.enumerate() {
+            let lineno = i + 2;
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |what: &str| {
+                ThorError::checkpoint(format!("state.tsv:{lineno}: malformed `{what}` record"))
+            };
+            let mut fields = line.split('\t');
+            match fields.next() {
+                Some("fingerprint") => {
+                    cp.fingerprint = unescape(fields.next().ok_or_else(|| bad("fingerprint"))?)?;
+                }
+                Some("doc") => {
+                    cp.processed
+                        .insert(unescape(fields.next().ok_or_else(|| bad("doc"))?)?);
+                }
+                Some("ent") => {
+                    let f: Vec<&str> = fields.collect();
+                    if f.len() != 7 {
+                        return Err(bad("ent"));
+                    }
+                    cp.entities.push(EntityRecord {
+                        doc_id: unescape(f[0])?,
+                        subject: unescape(f[1])?,
+                        concept: unescape(f[2])?,
+                        phrase: unescape(f[3])?,
+                        score_bits: u64::from_str_radix(f[4], 16).map_err(|_| bad("ent"))?,
+                        matched_instance: unescape(f[5])?,
+                        sentence_index: f[6].parse().map_err(|_| bad("ent"))?,
+                    });
+                }
+                Some("quar") => {
+                    let f: Vec<&str> = fields.collect();
+                    if f.len() != 5 {
+                        return Err(bad("quar"));
+                    }
+                    let kind = match f[2] {
+                        "io" => crate::error::ErrorKind::Io,
+                        "parse" => crate::error::ErrorKind::Parse,
+                        "validation" => crate::error::ErrorKind::Validation,
+                        "panic" => crate::error::ErrorKind::Panic,
+                        "checkpoint" => crate::error::ErrorKind::Checkpoint,
+                        "config" => crate::error::ErrorKind::Config,
+                        "injected" => crate::error::ErrorKind::Injected,
+                        _ => return Err(bad("quar")),
+                    };
+                    cp.quarantine.push(QuarantineEntry {
+                        doc_id: unescape(f[0])?,
+                        stage: unescape(f[1])?,
+                        kind,
+                        byte_offset: if f[3] == "-" {
+                            None
+                        } else {
+                            Some(f[3].parse().map_err(|_| bad("quar"))?)
+                        },
+                        error: unescape(f[4])?,
+                    });
+                }
+                Some(other) => {
+                    return Err(ThorError::checkpoint(format!(
+                        "state.tsv:{lineno}: unknown record type `{other}`"
+                    )))
+                }
+                None => {}
+            }
+        }
+        Ok(cp)
+    }
+
+    /// Atomically persist this checkpoint into `dir` (created if
+    /// missing). Carries the `checkpoint_save` failpoint.
+    pub fn save(&self, dir: &Path) -> ThorResult<()> {
+        fail_point("checkpoint_save")?;
+        std::fs::create_dir_all(dir).map_err(|e| ThorError::io(dir.display(), e))?;
+        atomic_write(&dir.join(STATE_FILE), self.to_state_text().as_bytes())?;
+        if let Some(json) = &self.metrics_json {
+            atomic_write(&dir.join(METRICS_FILE), json.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Load the checkpoint stored in `dir`. `Ok(None)` when `dir` has no
+    /// state file (a fresh run); corrupt state is an error.
+    pub fn load(dir: &Path) -> ThorResult<Option<Checkpoint>> {
+        let state_path = dir.join(STATE_FILE);
+        if !state_path.exists() {
+            return Ok(None);
+        }
+        let text = read_to_string(&state_path)?;
+        let mut cp = Self::from_state_text(&text)
+            .map_err(|e| e.context(format!("loading checkpoint {}", dir.display())))?;
+        let metrics_path = dir.join(METRICS_FILE);
+        if metrics_path.exists() {
+            cp.metrics_json = Some(read_to_string(&metrics_path)?);
+        }
+        Ok(Some(cp))
+    }
+}
+
+/// FNV-1a fingerprint over ordered string parts — ties a checkpoint to
+/// the inputs (table, τ, document ids) that produced it.
+pub fn fingerprint<I, S>(parts: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in part.as_ref().bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Separator so ["ab","c"] != ["a","bc"].
+        h ^= 0x1F;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ErrorKind;
+
+    fn sample() -> Checkpoint {
+        let mut cp = Checkpoint::new("abc123");
+        cp.processed.insert("doc1".into());
+        cp.processed.insert("doc with\ttab".into());
+        cp.entities.push(EntityRecord {
+            doc_id: "doc1".into(),
+            subject: "Acoustic Neuroma".into(),
+            concept: "Complication".into(),
+            phrase: "deaf\nness".into(),
+            score_bits: (0.53f64).to_bits(),
+            matched_instance: "skin cancer".into(),
+            sentence_index: 3,
+        });
+        cp.quarantine.push(QuarantineEntry {
+            doc_id: "doc9".into(),
+            stage: "validate".into(),
+            kind: ErrorKind::Validation,
+            byte_offset: Some(12),
+            error: "invalid UTF-8 \\ with backslash".into(),
+        });
+        cp.metrics_json = Some("{\"docs\":1}".into());
+        cp
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("thor-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let cp = sample();
+        let back = Checkpoint::from_state_text(&cp.to_state_text()).unwrap();
+        // metrics_json travels in a separate file.
+        let mut expected = cp.clone();
+        expected.metrics_json = None;
+        assert_eq!(back, expected);
+        assert_eq!(f64::from_bits(back.entities[0].score_bits), 0.53);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let dir = temp_dir("rt");
+        let cp = sample();
+        cp.save(&dir).unwrap();
+        let back = Checkpoint::load(&dir).unwrap().expect("saved state");
+        assert_eq!(back, cp);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_fresh_run() {
+        assert_eq!(
+            Checkpoint::load(Path::new("/nonexistent/thor/ckpt")).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn corrupt_state_is_an_error_not_a_panic() {
+        for bad in [
+            "wrong header\n",
+            "thor-checkpoint v1\nent\tonly\ttwo\n",
+            "thor-checkpoint v1\nmystery\tx\n",
+            "thor-checkpoint v1\nent\ta\tb\tc\td\tnothex\te\t1\n",
+            "thor-checkpoint v1\nquar\ta\tstage\tnotakind\t-\tmsg\n",
+            "thor-checkpoint v1\nfingerprint\tbad\\qescape\n",
+        ] {
+            let err = Checkpoint::from_state_text(bad).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Checkpoint, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn escaping_round_trips_hostile_strings() {
+        for s in ["plain", "tab\there", "nl\nthere", "back\\slash", "\r\n\t\\"] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_order_and_boundary_sensitive() {
+        assert_eq!(fingerprint(["a", "b"]), fingerprint(["a", "b"]));
+        assert_ne!(fingerprint(["a", "b"]), fingerprint(["b", "a"]));
+        assert_ne!(fingerprint(["ab", "c"]), fingerprint(["a", "bc"]));
+        assert_eq!(fingerprint(["a"]).len(), 16);
+    }
+
+    #[test]
+    fn injected_save_fault_leaves_previous_checkpoint() {
+        let dir = temp_dir("fp");
+        let mut cp = sample();
+        cp.save(&dir).unwrap();
+        {
+            let _guard = crate::failpoint::scoped_failpoints("checkpoint_save:err");
+            cp.processed.insert("doc2".into());
+            assert!(cp.save(&dir).is_err());
+        }
+        let back = Checkpoint::load(&dir).unwrap().unwrap();
+        assert!(!back.processed.contains("doc2"), "old state preserved");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,261 @@
+//! [`ThorError`] — the workspace-wide, non-panicking error taxonomy.
+//!
+//! Every fallible ingest or I/O path returns a `ThorError` carrying a
+//! [`ErrorKind`] (what class of failure), a message naming the offending
+//! artifact (path, line, document id), optional context frames pushed by
+//! callers on the way up, and an optional chained source error.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type ThorResult<T> = Result<T, ThorError>;
+
+/// The class of a failure — the dimension quarantine accounting and the
+/// CLI's exit reporting group by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Operating-system I/O failure (open/read/write/rename/fsync).
+    Io,
+    /// Input that could not be parsed (CSV, vector file, TSV, spec).
+    Parse,
+    /// Input that parsed but was rejected by admission control
+    /// (invalid UTF-8, size cap, garbage document).
+    Validation,
+    /// A caught panic from an isolated pipeline stage.
+    Panic,
+    /// Checkpoint state that is missing, corrupt, or mismatched.
+    Checkpoint,
+    /// Bad configuration (unknown flag, out-of-range value).
+    Config,
+    /// A deterministically injected fault (failpoint harness).
+    Injected,
+}
+
+impl ErrorKind {
+    /// Stable lower-case label (used in quarantine TSVs and tests).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorKind::Io => "io",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Validation => "validation",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Checkpoint => "checkpoint",
+            ErrorKind::Config => "config",
+            ErrorKind::Injected => "injected",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A structured pipeline error: kind + message + context chain + source.
+#[derive(Debug)]
+pub struct ThorError {
+    kind: ErrorKind,
+    message: String,
+    /// Context frames, innermost first (pushed as the error bubbles up).
+    context: Vec<String>,
+    /// Byte offset into the offending input, when known (UTF-8 decode
+    /// errors, truncated records) — surfaced in quarantine reports.
+    offset: Option<usize>,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
+
+impl ThorError {
+    /// A new error of `kind` with a human message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        Self {
+            kind,
+            message: message.into(),
+            context: Vec::new(),
+            offset: None,
+            source: None,
+        }
+    }
+
+    /// An [`ErrorKind::Io`] error naming the path it happened on.
+    pub fn io(path: impl fmt::Display, source: std::io::Error) -> Self {
+        Self::new(ErrorKind::Io, format!("{path}: {source}")).with_source(source)
+    }
+
+    /// An [`ErrorKind::Parse`] error.
+    pub fn parse(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Parse, message)
+    }
+
+    /// An [`ErrorKind::Validation`] error.
+    pub fn validation(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Validation, message)
+    }
+
+    /// An [`ErrorKind::Panic`] error from a caught panic payload.
+    pub fn panic(stage: &str, payload: &(dyn std::any::Any + Send)) -> Self {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Self::new(ErrorKind::Panic, format!("{stage} panicked: {msg}"))
+    }
+
+    /// An [`ErrorKind::Checkpoint`] error.
+    pub fn checkpoint(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Checkpoint, message)
+    }
+
+    /// An [`ErrorKind::Config`] error.
+    pub fn config(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Config, message)
+    }
+
+    /// An [`ErrorKind::Injected`] error from the failpoint `name`.
+    pub fn injected(name: &str) -> Self {
+        Self::new(ErrorKind::Injected, format!("injected fault at `{name}`"))
+    }
+
+    /// Attach a chained source error.
+    pub fn with_source(mut self, source: impl Error + Send + Sync + 'static) -> Self {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// Attach the byte offset of the failure within its input.
+    pub fn with_offset(mut self, offset: usize) -> Self {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Push a context frame (e.g. the file or stage the error passed
+    /// through on its way up).
+    pub fn context(mut self, frame: impl Into<String>) -> Self {
+        self.context.push(frame.into());
+        self
+    }
+
+    /// The failure class.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The byte offset of the failure, when known.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+
+    /// The innermost message, without context frames.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ThorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Outermost context first: "ctx2: ctx1: message".
+        for frame in self.context.iter().rev() {
+            write!(f, "{frame}: ")?;
+        }
+        f.write_str(&self.message)?;
+        if let Some(offset) = self.offset {
+            write!(f, " (byte {offset})")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ThorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_deref().map(|e| e as &(dyn Error + 'static))
+    }
+}
+
+impl From<ThorError> for String {
+    fn from(e: ThorError) -> String {
+        e.to_string()
+    }
+}
+
+/// Extension adding `.ctx(..)` to any `Result` with a `ThorError`-like
+/// error, so call sites can annotate the artifact they were touching.
+pub trait ResultExt<T> {
+    /// Push a (lazily built) context frame onto the error.
+    fn ctx(self, frame: impl FnOnce() -> String) -> ThorResult<T>;
+}
+
+impl<T> ResultExt<T> for ThorResult<T> {
+    fn ctx(self, frame: impl FnOnce() -> String) -> ThorResult<T> {
+        self.map_err(|e| e.context(frame()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_chains_context_outermost_first() {
+        let e = ThorError::parse("expected 3 fields, got 1")
+            .context("table.csv:7")
+            .context("reading --table");
+        assert_eq!(
+            e.to_string(),
+            "reading --table: table.csv:7: expected 3 fields, got 1"
+        );
+        assert_eq!(e.kind(), ErrorKind::Parse);
+    }
+
+    #[test]
+    fn offset_rendered_and_accessible() {
+        let e = ThorError::validation("invalid utf-8").with_offset(17);
+        assert_eq!(e.offset(), Some(17));
+        assert!(e.to_string().ends_with("(byte 17)"));
+    }
+
+    #[test]
+    fn io_errors_keep_source_chain() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = ThorError::io("docs/a.txt", io);
+        assert_eq!(e.kind(), ErrorKind::Io);
+        assert!(e.to_string().contains("docs/a.txt"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn panic_payload_extraction() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        let e = ThorError::panic("extract", payload.as_ref());
+        assert_eq!(e.kind(), ErrorKind::Panic);
+        assert!(e.to_string().contains("extract panicked: boom"));
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("owned boom"));
+        assert!(ThorError::panic("s", payload.as_ref())
+            .to_string()
+            .contains("owned boom"));
+    }
+
+    #[test]
+    fn result_ext_adds_context() {
+        let r: ThorResult<()> = Err(ThorError::parse("bad"));
+        let e = r.ctx(|| "loading vectors.txt".into()).unwrap_err();
+        assert_eq!(e.to_string(), "loading vectors.txt: bad");
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        for (kind, label) in [
+            (ErrorKind::Io, "io"),
+            (ErrorKind::Parse, "parse"),
+            (ErrorKind::Validation, "validation"),
+            (ErrorKind::Panic, "panic"),
+            (ErrorKind::Checkpoint, "checkpoint"),
+            (ErrorKind::Config, "config"),
+            (ErrorKind::Injected, "injected"),
+        ] {
+            assert_eq!(kind.label(), label);
+            assert_eq!(kind.to_string(), label);
+        }
+    }
+}

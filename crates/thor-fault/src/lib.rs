@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! # thor-fault
+//!
+//! The fault-tolerance substrate of the THOR reproduction: everything
+//! the pipeline needs to *tunnel through* dirty inputs and survive
+//! crashes instead of aborting on the first malformed byte.
+//!
+//! Five pieces, all std-only (no registry deps, matching the vendored
+//! shim convention):
+//!
+//! - [`error`] — the workspace-wide [`ThorError`] taxonomy with
+//!   source/context chaining, replacing `Result<_, String>` plumbing.
+//! - [`failpoint`] — named, deterministic fault-injection points
+//!   (`THOR_FAILPOINTS=read_doc:err@3,extract:panic@7`) compiled into
+//!   I/O and pipeline seams; zero-cost when unarmed.
+//! - [`atomic_io`] — atomic file writes (temp file + fsync + rename) so
+//!   a kill never leaves truncated artifacts behind.
+//! - [`validate`] — document admission control: UTF-8 decoding with
+//!   byte offsets, size caps, empty/garbage detection.
+//! - [`quarantine`] — the per-document failure ledger (doc id, stage,
+//!   error, byte offset) lenient runs report instead of dying.
+//! - [`checkpoint`] — the resumable-run state file: processed-doc set,
+//!   partial slot-fills, quarantine entries, and a metrics snapshot.
+
+pub mod atomic_io;
+pub mod checkpoint;
+pub mod error;
+pub mod failpoint;
+pub mod quarantine;
+pub mod validate;
+
+pub use atomic_io::{atomic_write, read_bytes, read_to_string};
+pub use checkpoint::{fingerprint, Checkpoint, EntityRecord};
+pub use error::{ErrorKind, ResultExt, ThorError, ThorResult};
+pub use failpoint::{
+    fail_point, failpoints_armed, install_from_env, scoped_failpoints, FailAction, FailpointsGuard,
+};
+pub use quarantine::{QuarantineEntry, QuarantineReport};
+pub use validate::{decode_document, validate_text, DocumentPolicy};

@@ -1,0 +1,191 @@
+//! The quarantine ledger: per-document failures recorded instead of
+//! aborting the run.
+//!
+//! In lenient mode one bad document costs one document — its id, the
+//! pipeline stage that rejected it, the error, and (when known) the
+//! byte offset land here, and the run carries on.
+
+use std::fmt::Write as _;
+
+use crate::error::{ErrorKind, ThorError};
+
+/// One quarantined item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// The document (or row) identifier.
+    pub doc_id: String,
+    /// The stage that failed (`read_doc`, `validate`, `segment`,
+    /// `extract`, `csv_row`, …).
+    pub stage: String,
+    /// The failure class.
+    pub kind: ErrorKind,
+    /// Rendered error message.
+    pub error: String,
+    /// Byte offset of the failure within the input, when known.
+    pub byte_offset: Option<usize>,
+}
+
+impl QuarantineEntry {
+    /// Build an entry from a pipeline error.
+    pub fn from_error(
+        doc_id: impl Into<String>,
+        stage: impl Into<String>,
+        err: &ThorError,
+    ) -> Self {
+        Self {
+            doc_id: doc_id.into(),
+            stage: stage.into(),
+            kind: err.kind(),
+            error: err.to_string(),
+            byte_offset: err.offset(),
+        }
+    }
+}
+
+/// The failures of one run, in quarantine order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one failure.
+    pub fn push(&mut self, entry: QuarantineEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Absorb another report's entries (e.g. CLI read-stage failures
+    /// merged with the core run's).
+    pub fn extend(&mut self, other: QuarantineReport) {
+        self.entries.extend(other.entries);
+    }
+
+    /// All entries, in quarantine order.
+    pub fn entries(&self) -> &[QuarantineEntry] {
+        &self.entries
+    }
+
+    /// Number of quarantined items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries recorded for `stage`.
+    pub fn stage_count(&self, stage: &str) -> usize {
+        self.entries.iter().filter(|e| e.stage == stage).count()
+    }
+
+    /// Render as TSV: `doc_id<TAB>stage<TAB>kind<TAB>byte_offset<TAB>error`,
+    /// one line per entry, with a header. Tabs/newlines inside the error
+    /// message are space-escaped so the TSV stays line-oriented.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("doc_id\tstage\tkind\tbyte_offset\terror\n");
+        for e in &self.entries {
+            let offset = e
+                .byte_offset
+                .map(|o| o.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let msg = e.error.replace(['\t', '\n', '\r'], " ");
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{}\t{}",
+                e.doc_id,
+                e.stage,
+                e.kind.label(),
+                offset,
+                msg
+            );
+        }
+        out
+    }
+
+    /// One-line human summary, for run banners.
+    pub fn summary(&self) -> String {
+        if self.is_empty() {
+            return "quarantine: empty".to_string();
+        }
+        let mut stages: Vec<&str> = self.entries.iter().map(|e| e.stage.as_str()).collect();
+        stages.sort_unstable();
+        stages.dedup();
+        let per_stage: Vec<String> = stages
+            .iter()
+            .map(|s| format!("{s} {}", self.stage_count(s)))
+            .collect();
+        format!(
+            "quarantine: {} item(s) ({})",
+            self.len(),
+            per_stage.join(", ")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(doc: &str, stage: &str) -> QuarantineEntry {
+        QuarantineEntry::from_error(
+            doc,
+            stage,
+            &ThorError::validation("invalid UTF-8").with_offset(7),
+        )
+    }
+
+    #[test]
+    fn entry_captures_error_fields() {
+        let e = entry("doc3", "validate");
+        assert_eq!(e.kind, ErrorKind::Validation);
+        assert_eq!(e.byte_offset, Some(7));
+        assert!(e.error.contains("invalid UTF-8"));
+    }
+
+    #[test]
+    fn report_counts_and_summary() {
+        let mut r = QuarantineReport::new();
+        r.push(entry("a", "validate"));
+        r.push(entry("b", "extract"));
+        r.push(entry("c", "extract"));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.stage_count("extract"), 2);
+        let s = r.summary();
+        assert!(s.contains("3 item(s)"), "{s}");
+        assert!(s.contains("extract 2"), "{s}");
+        assert_eq!(QuarantineReport::new().summary(), "quarantine: empty");
+    }
+
+    #[test]
+    fn tsv_is_line_oriented_even_with_hostile_messages() {
+        let mut r = QuarantineReport::new();
+        r.push(QuarantineEntry {
+            doc_id: "d".into(),
+            stage: "read_doc".into(),
+            kind: ErrorKind::Io,
+            error: "multi\nline\terror".into(),
+            byte_offset: None,
+        });
+        let tsv = r.to_tsv();
+        assert_eq!(tsv.lines().count(), 2, "{tsv}");
+        assert!(tsv.lines().nth(1).unwrap().contains("multi line error"));
+        assert!(tsv.contains("\t-\t"), "missing offset renders as -");
+    }
+
+    #[test]
+    fn extend_merges_in_order() {
+        let mut a = QuarantineReport::new();
+        a.push(entry("a", "read_doc"));
+        let mut b = QuarantineReport::new();
+        b.push(entry("b", "extract"));
+        a.extend(b);
+        assert_eq!(a.entries()[1].doc_id, "b");
+    }
+}

@@ -1,0 +1,144 @@
+//! Document admission control: cheap validation that runs before a
+//! document enters the pipeline, so garbage is quarantined at the door
+//! with a precise reason instead of producing nonsense downstream.
+
+use crate::error::{ThorError, ThorResult};
+
+/// Validation policy for incoming documents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DocumentPolicy {
+    /// Hard cap on document size in bytes (protects the O(n²)-ish NLP
+    /// stages from a concatenated dump arriving as "one document").
+    pub max_bytes: usize,
+    /// Documents with fewer non-whitespace characters are rejected as
+    /// empty.
+    pub min_chars: usize,
+    /// Maximum tolerated fraction of garbage characters (control codes,
+    /// U+FFFD replacement chars) among non-whitespace characters.
+    pub max_garbage_ratio: f64,
+}
+
+impl Default for DocumentPolicy {
+    fn default() -> Self {
+        Self {
+            max_bytes: 8 * 1024 * 1024,
+            min_chars: 1,
+            max_garbage_ratio: 0.5,
+        }
+    }
+}
+
+/// Decode raw bytes into document text under `policy`: UTF-8 with the
+/// exact byte offset of the first invalid sequence, then
+/// [`validate_text`].
+pub fn decode_document(doc_id: &str, bytes: &[u8], policy: &DocumentPolicy) -> ThorResult<String> {
+    if bytes.len() > policy.max_bytes {
+        return Err(ThorError::validation(format!(
+            "document `{doc_id}`: {} bytes exceeds the {} byte cap",
+            bytes.len(),
+            policy.max_bytes
+        )));
+    }
+    let text = std::str::from_utf8(bytes).map_err(|e| {
+        ThorError::validation(format!("document `{doc_id}`: invalid UTF-8"))
+            .with_offset(e.valid_up_to())
+    })?;
+    validate_text(doc_id, text, policy)?;
+    Ok(text.to_string())
+}
+
+/// Validate already-decoded text: size cap, emptiness, garbage ratio.
+pub fn validate_text(doc_id: &str, text: &str, policy: &DocumentPolicy) -> ThorResult<()> {
+    if text.len() > policy.max_bytes {
+        return Err(ThorError::validation(format!(
+            "document `{doc_id}`: {} bytes exceeds the {} byte cap",
+            text.len(),
+            policy.max_bytes
+        )));
+    }
+    let mut content = 0usize;
+    let mut garbage = 0usize;
+    let mut first_garbage_offset = None;
+    for (offset, c) in text.char_indices() {
+        if c.is_whitespace() {
+            continue;
+        }
+        content += 1;
+        if c == '\u{FFFD}' || (c.is_control() && c != '\t') {
+            garbage += 1;
+            first_garbage_offset.get_or_insert(offset);
+        }
+    }
+    if content < policy.min_chars {
+        return Err(ThorError::validation(format!(
+            "document `{doc_id}`: empty ({content} non-whitespace chars, need {})",
+            policy.min_chars
+        )));
+    }
+    let ratio = garbage as f64 / content as f64;
+    if ratio > policy.max_garbage_ratio {
+        let mut err = ThorError::validation(format!(
+            "document `{doc_id}`: {:.0}% garbage characters (limit {:.0}%)",
+            ratio * 100.0,
+            policy.max_garbage_ratio * 100.0
+        ));
+        if let Some(offset) = first_garbage_offset {
+            err = err.with_offset(offset);
+        }
+        return Err(err);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_document_passes() {
+        let p = DocumentPolicy::default();
+        let text = decode_document("d", "Tuberculosis damages the lungs.".as_bytes(), &p).unwrap();
+        assert!(text.starts_with("Tuberculosis"));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected_with_offset() {
+        let p = DocumentPolicy::default();
+        let bytes = b"good text \xFF\xFE more";
+        let err = decode_document("d", bytes, &p).unwrap_err();
+        assert_eq!(err.offset(), Some(10));
+        assert!(err.to_string().contains("invalid UTF-8"));
+    }
+
+    #[test]
+    fn oversized_document_rejected() {
+        let p = DocumentPolicy {
+            max_bytes: 16,
+            ..DocumentPolicy::default()
+        };
+        let err = decode_document("d", &[b'a'; 17], &p).unwrap_err();
+        assert!(err.to_string().contains("byte cap"));
+        assert!(validate_text("d", &"a".repeat(17), &p).is_err());
+    }
+
+    #[test]
+    fn empty_and_whitespace_only_rejected() {
+        let p = DocumentPolicy::default();
+        assert!(validate_text("d", "", &p).is_err());
+        assert!(validate_text("d", " \n\t  ", &p).is_err());
+        assert!(validate_text("d", "x", &p).is_ok());
+    }
+
+    #[test]
+    fn garbage_soup_rejected_real_text_passes() {
+        let p = DocumentPolicy::default();
+        let soup: String = "\u{FFFD}\u{0001}\u{FFFD}a".into();
+        let err = validate_text("d", &soup, &p).unwrap_err();
+        assert!(err.to_string().contains("garbage"));
+        assert_eq!(err.offset(), Some(0));
+        // Tabs and newlines are not garbage.
+        assert!(validate_text("d", "col1\tcol2\nrow", &p).is_ok());
+        // A stray replacement char inside real text is tolerated.
+        assert!(validate_text("d", "mostly fine text \u{FFFD} here", &p).is_ok());
+    }
+}

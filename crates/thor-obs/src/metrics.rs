@@ -88,6 +88,14 @@ impl StageTimer {
         self.spans.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Merge a previously accumulated `(total, spans)` pair in one shot —
+    /// how a resumed run absorbs the timers of its checkpointed prefix.
+    pub fn record_accumulated(&self, total: Duration, spans: u64) {
+        self.nanos
+            .fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+        self.spans.fetch_add(spans, Ordering::Relaxed);
+    }
+
     /// Start a span that records itself when dropped.
     pub fn start(&self) -> Span<'_> {
         Span {

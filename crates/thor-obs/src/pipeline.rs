@@ -64,6 +64,10 @@ pub struct PipelineMetrics {
     pub cache_hits: Arc<Counter>,
     /// Phrase-cache misses during candidate generation.
     pub cache_misses: Arc<Counter>,
+    /// Documents quarantined by the fault-tolerant run layer.
+    pub quarantine_docs: Arc<Counter>,
+    /// Malformed input rows quarantined by lenient CSV parsing.
+    pub quarantine_rows: Arc<Counter>,
 
     /// Vocabulary size visible to fine-tuning.
     pub vocab_words: Arc<Gauge>,
@@ -98,6 +102,8 @@ impl PipelineMetrics {
             expansion_words: registry.counter("expansion.words"),
             cache_hits: registry.counter("cache.hit"),
             cache_misses: registry.counter("cache.miss"),
+            quarantine_docs: registry.counter("quarantine.docs"),
+            quarantine_rows: registry.counter("quarantine.rows"),
             vocab_words: registry.gauge("vocab.words"),
             cluster_representatives: registry.gauge("cluster.representatives"),
             index_rows: registry.gauge("index.rows"),
@@ -114,6 +120,13 @@ impl PipelineMetrics {
     /// A point-in-time copy of every metric recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
         self.registry.snapshot()
+    }
+
+    /// Merge a previously captured snapshot into the live metrics (see
+    /// [`MetricsRegistry::absorb`]) — used when resuming a checkpointed
+    /// run so counters cover the whole logical run.
+    pub fn absorb(&self, snapshot: &MetricsSnapshot) {
+        self.registry.absorb(snapshot);
     }
 
     /// Render the current values as an aligned human-readable table.
@@ -184,6 +197,8 @@ mod tests {
             "expansion.words",
             "cache.hit",
             "cache.miss",
+            "quarantine.docs",
+            "quarantine.rows",
             "vocab.words",
             "cluster.representatives",
             "index.rows",
@@ -192,6 +207,32 @@ mod tests {
         }
         assert_eq!(snap.count("docs"), 3);
         assert_eq!(snap.count("vocab.words"), 1234);
+    }
+
+    #[test]
+    fn absorb_merges_checkpointed_prefix() {
+        let before = PipelineMetrics::new();
+        before.docs.add(5);
+        before.quarantine_docs.add(2);
+        before.vocab_words.set(100);
+        before.segment.record(Duration::from_millis(8));
+        let json = before.render_json();
+        let snapshot = crate::registry::MetricsSnapshot::from_json_str(&json).unwrap();
+
+        let resumed = PipelineMetrics::new();
+        resumed.docs.add(3);
+        resumed.absorb(&snapshot);
+        let snap = resumed.snapshot();
+        assert_eq!(snap.count("docs"), 8);
+        assert_eq!(snap.count("quarantine.docs"), 2);
+        assert_eq!(snap.count("vocab.words"), 100);
+        match snap.get("stage.segment") {
+            Some(crate::registry::MetricValue::Timer { total, spans }) => {
+                assert_eq!(*spans, 1);
+                assert_eq!(*total, Duration::from_millis(8));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -70,6 +70,57 @@ impl MetricsRegistry {
         }
     }
 
+    /// Merge a snapshot into the live metrics: counters and timer
+    /// totals/spans are added, gauges are overwritten. A resumed run
+    /// absorbs its checkpointed prefix this way, so end-of-run metrics
+    /// describe the whole logical run rather than just the tail.
+    /// Snapshot entries whose name is registered under a different kind
+    /// are ignored (the snapshot is advisory state, not a schema).
+    pub fn absorb(&self, snapshot: &MetricsSnapshot) {
+        for (name, value) in snapshot.entries() {
+            match value {
+                MetricValue::Counter(n) => self.counter_if_matching(name).map(|c| c.add(*n)),
+                MetricValue::Gauge(v) => self.gauge_if_matching(name).map(|g| g.set(*v)),
+                MetricValue::Timer { total, spans } => self
+                    .timer_if_matching(name)
+                    .map(|t| t.record_accumulated(*total, *spans)),
+            };
+        }
+    }
+
+    fn counter_if_matching(&self, name: &str) -> Option<Arc<Counter>> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Some(Arc::clone(c)),
+            _ => None,
+        }
+    }
+
+    fn gauge_if_matching(&self, name: &str) -> Option<Arc<Gauge>> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Some(Arc::clone(g)),
+            _ => None,
+        }
+    }
+
+    fn timer_if_matching(&self, name: &str) -> Option<Arc<StageTimer>> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Timer(Arc::new(StageTimer::new())))
+        {
+            Metric::Timer(t) => Some(Arc::clone(t)),
+            _ => None,
+        }
+    }
+
     /// A point-in-time copy of every metric's value, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let metrics = self.metrics.lock().expect("metrics registry poisoned");

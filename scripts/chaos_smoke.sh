@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Chaos smoke test: deterministic fault injection against the real CLI.
+#
+# Exercises the fault-tolerance guarantees end to end:
+#   1. a run killed mid-extraction (abort failpoint = deterministic
+#      kill -9) and restarted with --resume produces byte-identical
+#      enriched CSV and entities TSV to an uninterrupted run, for
+#      thread counts 1 and 4;
+#   2. a lenient run over a corpus with an invalid-UTF-8 document
+#      finishes, quarantines exactly that document, and leaves the
+#      enriched output untouched; strict mode refuses the same input;
+#   3. an injected per-document extract fault is counted exactly once
+#      in the quarantine TSV.
+#
+# Usage: scripts/chaos_smoke.sh  (run from anywhere; builds if needed)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+THOR="$ROOT/target/release/thor"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/thor-chaos.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+if [[ ! -x "$THOR" ]]; then
+    cargo build --release --manifest-path "$ROOT/Cargo.toml"
+fi
+
+DATA="$WORK/data"
+"$THOR" generate --dataset disease --scale 0.08 --seed 7 --out "$DATA" 2>/dev/null
+DOCS=("$DATA"/docs/validation/*.txt)
+TABLE="$DATA/enrichment_table.csv"
+VECS="$DATA/vectors.txt"
+echo "chaos smoke: ${#DOCS[@]} documents"
+
+enrich() { # <out.csv> <entities.tsv> [extra flags...]
+    local out="$1" ents="$2"
+    shift 2
+    "$THOR" enrich --table "$TABLE" --vectors "$VECS" --tau 0.7 \
+        --out "$out" --entities "$ents" "$@" "${DOCS[@]}"
+}
+
+echo "-- clean baseline"
+enrich "$WORK/clean.csv" "$WORK/clean.tsv" 2>/dev/null
+
+# The abort fires mid-corpus, past the default checkpoint interval (4),
+# so the single-thread run is guaranteed to leave a partial checkpoint.
+ABORT_AT=$((${#DOCS[@]} / 2 + 1))
+for threads in 1 4; do
+    CKPT="$WORK/ckpt-$threads"
+    echo "-- kill at extract hit $ABORT_AT (threads $threads), then resume"
+    set +e
+    THOR_FAILPOINTS="extract:abort@$ABORT_AT" \
+        enrich "$WORK/dead.csv" "$WORK/dead.tsv" \
+        --threads "$threads" --checkpoint "$CKPT" 2>/dev/null
+    status=$?
+    set -e
+    [[ $status -ne 0 ]] || fail "aborted run exited 0"
+    [[ ! -f "$WORK/dead.csv" ]] || fail "killed run still wrote its output"
+    if [[ $threads -eq 1 ]]; then
+        [[ -f "$CKPT/state.tsv" ]] || fail "no partial checkpoint on disk"
+    fi
+    enrich "$WORK/resumed.csv" "$WORK/resumed.tsv" \
+        --threads "$threads" --checkpoint "$CKPT" --resume 2>"$WORK/resume.log"
+    if [[ $threads -eq 1 ]]; then
+        grep -q "resumed from checkpoint" "$WORK/resume.log" \
+            || fail "resume did not pick up the checkpoint"
+    fi
+    cmp "$WORK/clean.csv" "$WORK/resumed.csv" \
+        || fail "resumed CSV differs from uninterrupted run (threads $threads)"
+    cmp "$WORK/clean.tsv" "$WORK/resumed.tsv" \
+        || fail "resumed entities TSV differs from uninterrupted run (threads $threads)"
+    rm -f "$WORK/resumed.csv" "$WORK/resumed.tsv"
+    echo "   resume is byte-identical"
+done
+
+echo "-- invalid-UTF-8 document: quarantined in lenient mode, fatal in strict"
+printf 'Valid start \xff\xfe then garbage bytes' >"$WORK/bad.txt"
+set +e
+"$THOR" enrich --table "$TABLE" --vectors "$VECS" --tau 0.7 \
+    --out "$WORK/strict.csv" --entities "$WORK/strict.tsv" \
+    "${DOCS[@]}" "$WORK/bad.txt" 2>/dev/null
+status=$?
+set -e
+[[ $status -ne 0 ]] || fail "strict run accepted an invalid-UTF-8 document"
+"$THOR" enrich --table "$TABLE" --vectors "$VECS" --tau 0.7 --lenient \
+    --out "$WORK/lenient.csv" --entities "$WORK/lenient.tsv" \
+    --quarantine "$WORK/q.tsv" "${DOCS[@]}" "$WORK/bad.txt" 2>/dev/null
+rows=$(($(wc -l <"$WORK/q.tsv") - 1)) # minus header
+[[ $rows -eq 1 ]] || fail "expected 1 quarantined document, got $rows"
+grep -q "read_doc" "$WORK/q.tsv" || fail "quarantine TSV missing the read_doc stage"
+cmp "$WORK/clean.csv" "$WORK/lenient.csv" \
+    || fail "quarantined document changed the enriched output"
+echo "   exactly one document quarantined, output untouched"
+
+echo "-- injected extract fault: counted exactly once"
+THOR_FAILPOINTS="extract:err@2" \
+    "$THOR" enrich --table "$TABLE" --vectors "$VECS" --tau 0.7 --lenient \
+    --out "$WORK/fault.csv" --entities "$WORK/fault.tsv" \
+    --quarantine "$WORK/qf.tsv" "${DOCS[@]}" 2>/dev/null
+rows=$(($(wc -l <"$WORK/qf.tsv") - 1))
+[[ $rows -eq 1 ]] || fail "expected 1 quarantined document, got $rows"
+grep -q "injected" "$WORK/qf.tsv" || fail "quarantine TSV missing the injected fault"
+echo "   exactly one injected fault quarantined"
+
+echo "chaos smoke: OK"

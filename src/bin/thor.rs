@@ -4,7 +4,9 @@
 //! thor integrate <src.csv>... [--out R.csv]          full disjunction of sources
 //! thor sparsity <table.csv>                          sparsity report
 //! thor enrich --table R.csv [--tau 0.7] [--vectors v.txt]
-//!             [--context-gate G] [--metrics[=json]] [--cache-stats]
+//!             [--context-gate G] [--threads N] [--metrics[=json]] [--cache-stats]
+//!             [--strict | --lenient] [--quarantine q.tsv]
+//!             [--checkpoint DIR [--resume]]
 //!             [--out enriched.csv] [--entities e.tsv]
 //!             <doc.txt>...                           run the pipeline
 //! thor evaluate --gold gold.tsv --pred pred.tsv      SemEval partial-match scores
@@ -16,29 +18,44 @@
 //! Vector file format: word2vec-style text (`thor generate` writes one).
 //! When `enrich` gets no `--vectors`, vectors are trained on the input
 //! documents with the built-in SGNS trainer.
+//!
+//! Fault tolerance: `--strict` (the default) fails fast on the first bad
+//! input; `--lenient` quarantines bad rows and documents (reported to
+//! stderr, and to `--quarantine PATH` as TSV) and finishes the run.
+//! `--checkpoint DIR` persists resumable state; a killed run restarted
+//! with `--resume` reproduces the uninterrupted output byte-for-byte.
+//! All artifact writes are atomic (temp file + fsync + rename). The
+//! `THOR_FAILPOINTS` environment variable arms deterministic fault
+//! injection (see thor-fault).
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use thor_repro::core::{Document, PipelineMetrics, Thor, ThorConfig};
-use thor_repro::data::csv::{from_csv, to_csv};
+use thor_repro::core::{Document, PipelineMetrics, ResilientOptions, RunMode, Thor, ThorConfig};
+use thor_repro::data::csv::{from_csv, from_csv_lenient, to_csv, SkippedRow};
 use thor_repro::data::{full_disjunction, sparsity, Table};
 use thor_repro::datagen::{corpus_stats, generate, DatasetSpec, Split};
 use thor_repro::embed::{SgnsConfig, SgnsTrainer, VectorStore};
 use thor_repro::eval::{evaluate, schema_scores, Annotation};
+use thor_repro::fault::{
+    atomic_write, decode_document, fail_point, install_from_env, read_bytes, read_to_string,
+    DocumentPolicy, QuarantineEntry, QuarantineReport, ThorError, ThorResult,
+};
 use thor_repro::text::{normalize_phrase, split_sentences};
 
 /// Parsed command line: positional args plus `--key value` / `--key=value`
-/// options (`--flag` with no value stores an empty string).
+/// options. Keys listed in `flags` are boolean switches: they never
+/// consume the following argument (`--lenient doc.txt` leaves `doc.txt`
+/// positional) and store an empty string.
 #[derive(Debug, Default, PartialEq)]
 struct Args {
     positional: Vec<String>,
     options: BTreeMap<String, String>,
 }
 
-fn parse_args(argv: &[String]) -> Args {
+fn parse_args(argv: &[String], flags: &[&str]) -> Args {
     let mut args = Args::default();
     let mut i = 0;
     while i < argv.len() {
@@ -46,6 +63,8 @@ fn parse_args(argv: &[String]) -> Args {
         if let Some(key) = a.strip_prefix("--") {
             if let Some((key, value)) = key.split_once('=') {
                 args.options.insert(key.to_string(), value.to_string());
+            } else if flags.contains(&key) {
+                args.options.insert(key.to_string(), String::new());
             } else {
                 let value = argv
                     .get(i + 1)
@@ -65,24 +84,119 @@ fn parse_args(argv: &[String]) -> Args {
     args
 }
 
+/// The options a command understands: value-taking keys plus boolean
+/// flags. Anything else on the command line is rejected with a
+/// "did you mean" hint instead of being silently ignored.
+struct CommandSpec {
+    options: &'static [&'static str],
+    flags: &'static [&'static str],
+}
+
+const INTEGRATE: CommandSpec = CommandSpec {
+    options: &["out"],
+    flags: &[],
+};
+const SPARSITY: CommandSpec = CommandSpec {
+    options: &[],
+    flags: &[],
+};
+const ENRICH: CommandSpec = CommandSpec {
+    options: &[
+        "table",
+        "tau",
+        "vectors",
+        "context-gate",
+        "threads",
+        "out",
+        "entities",
+        "quarantine",
+        "checkpoint",
+    ],
+    flags: &["metrics", "cache-stats", "strict", "lenient", "resume"],
+};
+const EVALUATE: CommandSpec = CommandSpec {
+    options: &["gold", "pred"],
+    flags: &[],
+};
+const GENERATE: CommandSpec = CommandSpec {
+    options: &["dataset", "scale", "seed", "out"],
+    flags: &[],
+};
+
+/// Edit distance for the unknown-option hint.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let b_chars: Vec<char> = b.chars().collect();
+    let mut row: Vec<usize> = (0..=b_chars.len()).collect();
+    for (i, ca) in a.chars().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, cb) in b_chars.iter().enumerate() {
+            let cost = if ca == *cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(row[j] + 1).min(prev + 1);
+        }
+    }
+    row[b_chars.len()]
+}
+
+/// Reject options the command does not understand, suggesting the
+/// closest known one when the typo is near enough.
+fn check_options(command: &str, args: &Args, spec: &CommandSpec) -> ThorResult<()> {
+    for key in args.options.keys() {
+        let known = |k: &&str| *k == key.as_str();
+        if spec.options.iter().any(known) || spec.flags.iter().any(known) {
+            continue;
+        }
+        let nearest = spec
+            .options
+            .iter()
+            .chain(spec.flags)
+            .map(|cand| (levenshtein(key, cand), *cand))
+            .min();
+        let hint = match nearest {
+            Some((distance, cand)) if distance <= 2 || distance * 2 <= key.len() => {
+                format!(" (did you mean `--{cand}`?)")
+            }
+            _ => String::new(),
+        };
+        return Err(ThorError::config(format!(
+            "unknown option `--{key}` for `thor {command}`{hint}"
+        )));
+    }
+    Ok(())
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  thor integrate <src.csv>... [--out R.csv]\n  thor sparsity <table.csv>\n  \
          thor enrich --table R.csv [--tau 0.7] [--vectors v.txt] [--context-gate G] \
-         [--metrics[=json]] [--cache-stats] [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
+         [--threads N] [--metrics[=json]] [--cache-stats] [--strict | --lenient] \
+         [--quarantine q.tsv] [--checkpoint DIR [--resume]] \
+         [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
          thor evaluate --gold gold.tsv --pred pred.tsv\n  \
          thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR"
     );
     ExitCode::FAILURE
 }
 
-fn read_table(path: &str) -> Result<Table, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    from_csv(&text).map_err(|e| format!("{path}: {e}"))
+fn read_table(path: &str) -> ThorResult<Table> {
+    fail_point("read_table").map_err(|e| e.context(format!("reading table {path}")))?;
+    let text = read_to_string(Path::new(path))?;
+    from_csv(&text).map_err(|e| ThorError::parse(format!("{path}: {e}")))
 }
 
-fn read_annotations(path: &str) -> Result<Vec<Annotation>, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+/// Lenient table read: malformed body rows are returned for quarantine
+/// accounting instead of failing the parse (stream-level problems — no
+/// header, unterminated quote — stay fatal).
+fn read_table_lenient(path: &str) -> ThorResult<(Table, Vec<SkippedRow>)> {
+    fail_point("read_table").map_err(|e| e.context(format!("reading table {path}")))?;
+    let text = read_to_string(Path::new(path))?;
+    let lenient = from_csv_lenient(&text).map_err(|e| ThorError::parse(format!("{path}: {e}")))?;
+    Ok((lenient.table, lenient.skipped))
+}
+
+fn read_annotations(path: &str) -> ThorResult<Vec<Annotation>> {
+    let text = read_to_string(Path::new(path))?;
     let mut out = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -91,22 +205,21 @@ fn read_annotations(path: &str) -> Result<Vec<Annotation>, String> {
         let mut parts = line.splitn(3, '\t');
         let (Some(doc), Some(concept), Some(phrase)) = (parts.next(), parts.next(), parts.next())
         else {
-            return Err(format!(
+            return Err(ThorError::parse(format!(
                 "{path}:{}: expected doc<TAB>concept<TAB>phrase",
                 i + 1
-            ));
+            )));
         };
         out.push(Annotation::new(doc, concept, phrase));
     }
     Ok(out)
 }
 
-fn cmd_integrate(args: &Args) -> Result<(), String> {
+fn cmd_integrate(args: &Args) -> ThorResult<()> {
     if args.positional.is_empty() {
-        return Err("integrate needs at least one source CSV".into());
+        return Err(ThorError::config("integrate needs at least one source CSV"));
     }
-    let sources: Result<Vec<Table>, String> =
-        args.positional.iter().map(|p| read_table(p)).collect();
+    let sources: ThorResult<Vec<Table>> = args.positional.iter().map(|p| read_table(p)).collect();
     let sources = sources?;
     let refs: Vec<&Table> = sources.iter().collect();
     let integrated = full_disjunction(&refs);
@@ -120,17 +233,17 @@ fn cmd_integrate(args: &Args) -> Result<(), String> {
     );
     let csv = to_csv(&integrated);
     match args.options.get("out") {
-        Some(path) => fs::write(path, csv).map_err(|e| e.to_string())?,
+        Some(path) => atomic_write(Path::new(path), csv.as_bytes())?,
         None => print!("{csv}"),
     }
     Ok(())
 }
 
-fn cmd_sparsity(args: &Args) -> Result<(), String> {
+fn cmd_sparsity(args: &Args) -> ThorResult<()> {
     let path = args
         .positional
         .first()
-        .ok_or("sparsity needs a table CSV")?;
+        .ok_or_else(|| ThorError::config("sparsity needs a table CSV"))?;
     let table = read_table(path)?;
     let report = sparsity(&table);
     println!(
@@ -158,51 +271,108 @@ enum MetricsMode {
 /// of the default). Metrics go to stderr, leaving stdout to the
 /// enriched table; the JSON document is a single line, so it stays
 /// trivially extractable from the stream.
-fn metrics_mode(args: &Args) -> Result<Option<MetricsMode>, String> {
+fn metrics_mode(args: &Args) -> ThorResult<Option<MetricsMode>> {
     match args.options.get("metrics").map(String::as_str) {
         None => Ok(None),
         Some("" | "table") => Ok(Some(MetricsMode::Table)),
         Some("json") => Ok(Some(MetricsMode::Json)),
-        Some(other) => Err(format!(
+        Some(other) => Err(ThorError::config(format!(
             "bad --metrics value `{other}` (expected `table` or `json`)"
-        )),
+        ))),
     }
 }
 
-fn cmd_enrich(args: &Args) -> Result<(), String> {
-    let table_path = args.options.get("table").ok_or("enrich needs --table")?;
-    let table = read_table(table_path)?;
-    let tau: f64 = args
-        .options
-        .get("tau")
-        .map(|s| s.parse().map_err(|_| "bad --tau"))
-        .transpose()?
-        .unwrap_or(0.7);
-    if args.positional.is_empty() {
-        return Err("enrich needs at least one document file".into());
+/// Parse a value-taking option through `parse`, naming the flag and the
+/// offending value on failure.
+fn parse_option<T: std::str::FromStr>(args: &Args, key: &str) -> ThorResult<Option<T>> {
+    match args.options.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| ThorError::config(format!("bad --{key} value `{raw}`"))),
     }
-    let docs: Result<Vec<Document>, String> = args
-        .positional
-        .iter()
-        .map(|p| {
-            // Document ids are the file stem, matching `thor generate`'s
-            // gold TSVs.
-            let id = Path::new(p)
-                .file_stem()
-                .map(|s| s.to_string_lossy().into_owned())
-                .unwrap_or_else(|| p.clone());
-            fs::read_to_string(p)
-                .map(|text| Document::new(id, text))
-                .map_err(|e| format!("{p}: {e}"))
-        })
-        .collect();
-    let docs = docs?;
+}
+
+/// Read one document leniently: the `read_doc` failpoint, file read,
+/// and admission control, with the path as context.
+fn read_document(path: &str, policy: &DocumentPolicy) -> (String, ThorResult<Document>) {
+    // Document ids are the file stem, matching `thor generate`'s gold TSVs.
+    let id = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    let doc = fail_point("read_doc")
+        .and_then(|()| read_bytes(Path::new(path)))
+        .map_err(|e| e.context(format!("reading document {path}")))
+        .and_then(|bytes| decode_document(&id, &bytes, policy))
+        .map(|text| Document::new(id.clone(), text));
+    (id, doc)
+}
+
+fn cmd_enrich(args: &Args) -> ThorResult<()> {
+    let strict = args.options.contains_key("strict");
+    let lenient = args.options.contains_key("lenient");
+    if strict && lenient {
+        return Err(ThorError::config(
+            "--strict and --lenient are mutually exclusive",
+        ));
+    }
+    let mode = if lenient {
+        RunMode::Lenient
+    } else {
+        RunMode::Strict
+    };
+    let checkpoint_dir = args.options.get("checkpoint").map(PathBuf::from);
+    if matches!(&checkpoint_dir, Some(d) if d.as_os_str().is_empty()) {
+        return Err(ThorError::config("--checkpoint needs a directory"));
+    }
+    let resume = args.options.contains_key("resume");
+    if resume && checkpoint_dir.is_none() {
+        return Err(ThorError::config("--resume requires --checkpoint DIR"));
+    }
+
+    let table_path = args
+        .options
+        .get("table")
+        .ok_or_else(|| ThorError::config("enrich needs --table"))?;
+    let mut skipped_rows: Vec<SkippedRow> = Vec::new();
+    let table = match mode {
+        RunMode::Strict => read_table(table_path)?,
+        RunMode::Lenient => {
+            let (table, skipped) = read_table_lenient(table_path)?;
+            for row in &skipped {
+                eprintln!("[quarantine] {table_path}:{}: {}", row.line, row.error);
+            }
+            skipped_rows = skipped;
+            table
+        }
+    };
+
+    let tau: f64 = parse_option(args, "tau")?.unwrap_or(0.7);
+    if !thor_repro::matcher::TAU_RANGE.contains(&tau) {
+        return Err(ThorError::config(format!(
+            "--tau {tau} out of range [0, 1]"
+        )));
+    }
+    if args.positional.is_empty() {
+        return Err(ThorError::config("enrich needs at least one document file"));
+    }
+
+    let policy = DocumentPolicy::default();
+    let mut cli_quarantine = QuarantineReport::new();
+    let mut docs = Vec::new();
+    for path in &args.positional {
+        let (id, doc) = read_document(path, &policy);
+        match doc {
+            Ok(doc) => docs.push(doc),
+            Err(e) if mode == RunMode::Strict => return Err(e),
+            Err(e) => cli_quarantine.push(QuarantineEntry::from_error(id, "read_doc", &e)),
+        }
+    }
 
     let store = match args.options.get("vectors") {
-        Some(path) => {
-            let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            VectorStore::from_text(&text)?
-        }
+        Some(path) => VectorStore::load_path(Path::new(path))?,
         None => {
             eprintln!("no --vectors given; training SGNS on the input documents...");
             let mut corpus = Vec::new();
@@ -222,8 +392,14 @@ fn cmd_enrich(args: &Args) -> Result<(), String> {
     };
 
     let mut config = ThorConfig::with_tau(tau);
-    if let Some(g) = args.options.get("context-gate") {
-        config.context_gate = Some(g.parse().map_err(|_| "bad --context-gate")?);
+    if let Some(g) = parse_option(args, "context-gate")? {
+        config.context_gate = Some(g);
+    }
+    if let Some(threads) = parse_option(args, "threads")? {
+        if threads == 0 {
+            return Err(ThorError::config("--threads must be at least 1"));
+        }
+        config.threads = threads;
     }
     let metrics_mode = metrics_mode(args)?;
     // `--cache-stats`: one-line summary of the candidate engine (phrase
@@ -235,7 +411,32 @@ fn cmd_enrich(args: &Args) -> Result<(), String> {
     if metrics_mode.is_some() || cache_stats {
         thor = thor.with_metrics(metrics.clone());
     }
-    let result = thor.enrich(&table, &docs);
+
+    let opts = ResilientOptions {
+        mode,
+        checkpoint_dir,
+        resume,
+        policy,
+        ..ResilientOptions::default()
+    };
+    let outcome = thor.enrich_resilient(&table, &docs, &opts)?;
+    let result = &outcome.result;
+
+    // CLI-level quarantine counts land on the metrics handle only after
+    // the core run (and its final checkpoint save): they are re-derived
+    // deterministically by every invocation, so a resumed run absorbing
+    // the checkpoint's metrics snapshot must not double-count them.
+    metrics.quarantine_docs.add(cli_quarantine.len() as u64);
+    metrics.quarantine_rows.add(skipped_rows.len() as u64);
+    let mut quarantine = cli_quarantine;
+    quarantine.extend(outcome.quarantine.clone());
+
+    if outcome.resumed_docs > 0 {
+        eprintln!(
+            "resumed from checkpoint: {} document(s) already complete, {} processed now",
+            outcome.resumed_docs, outcome.processed_docs
+        );
+    }
     eprintln!(
         "extracted {} entities, filled {} slots ({} duplicates) in {:?}",
         result.entities.len(),
@@ -243,6 +444,13 @@ fn cmd_enrich(args: &Args) -> Result<(), String> {
         result.slot_stats.duplicates,
         result.total_time()
     );
+    if !quarantine.is_empty() || !skipped_rows.is_empty() {
+        eprintln!(
+            "{} + {} malformed row(s)",
+            quarantine.summary(),
+            skipped_rows.len()
+        );
+    }
     match metrics_mode {
         Some(MetricsMode::Table) => eprint!("{}", metrics.render_table()),
         Some(MetricsMode::Json) => eprintln!("{}", metrics.render_json()),
@@ -265,6 +473,9 @@ fn cmd_enrich(args: &Args) -> Result<(), String> {
         );
     }
 
+    if let Some(path) = args.options.get("quarantine") {
+        atomic_write(Path::new(path), quarantine.to_tsv().as_bytes())?;
+    }
     if let Some(path) = args.options.get("entities") {
         let mut tsv = String::new();
         for e in &result.entities {
@@ -273,19 +484,27 @@ fn cmd_enrich(args: &Args) -> Result<(), String> {
                 e.doc_id, e.concept, e.phrase, e.subject, e.score
             ));
         }
-        fs::write(path, tsv).map_err(|e| e.to_string())?;
+        atomic_write(Path::new(path), tsv.as_bytes())?;
     }
     let csv = to_csv(&result.table);
     match args.options.get("out") {
-        Some(path) => fs::write(path, csv).map_err(|e| e.to_string())?,
+        Some(path) => atomic_write(Path::new(path), csv.as_bytes())?,
         None => print!("{csv}"),
     }
     Ok(())
 }
 
-fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let gold = read_annotations(args.options.get("gold").ok_or("evaluate needs --gold")?)?;
-    let pred = read_annotations(args.options.get("pred").ok_or("evaluate needs --pred")?)?;
+fn cmd_evaluate(args: &Args) -> ThorResult<()> {
+    let gold = read_annotations(
+        args.options
+            .get("gold")
+            .ok_or_else(|| ThorError::config("evaluate needs --gold"))?,
+    )?;
+    let pred = read_annotations(
+        args.options
+            .get("pred")
+            .ok_or_else(|| ThorError::config("evaluate needs --pred"))?,
+    )?;
     let r = evaluate(&pred, &gold);
     println!(
         "gold: {}  predicted: {}\ncorrect: {}  partial: {}  incorrect: {}  spurious: {}  missing: {}",
@@ -313,67 +532,68 @@ fn write_split(
     dir: &Path,
     name: &str,
     docs: &[thor_repro::datagen::AnnotatedDoc],
-) -> Result<(), String> {
+) -> ThorResult<()> {
     let doc_dir = dir.join("docs").join(name);
-    fs::create_dir_all(&doc_dir).map_err(|e| e.to_string())?;
+    fs::create_dir_all(&doc_dir).map_err(|e| ThorError::io(doc_dir.display(), e))?;
     let mut gold = String::new();
     for d in docs {
-        fs::write(doc_dir.join(format!("{}.txt", d.doc.id)), &d.doc.text)
-            .map_err(|e| e.to_string())?;
+        atomic_write(
+            &doc_dir.join(format!("{}.txt", d.doc.id)),
+            d.doc.text.as_bytes(),
+        )?;
         for g in &d.gold {
             gold.push_str(&format!("{}\t{}\t{}\n", d.doc.id, g.concept, g.phrase));
         }
     }
-    fs::create_dir_all(dir.join("gold")).map_err(|e| e.to_string())?;
-    fs::write(dir.join("gold").join(format!("{name}.tsv")), gold).map_err(|e| e.to_string())?;
+    let gold_dir = dir.join("gold");
+    fs::create_dir_all(&gold_dir).map_err(|e| ThorError::io(gold_dir.display(), e))?;
+    atomic_write(&gold_dir.join(format!("{name}.tsv")), gold.as_bytes())?;
     Ok(())
 }
 
-fn cmd_generate(args: &Args) -> Result<(), String> {
+fn cmd_generate(args: &Args) -> ThorResult<()> {
     let dataset_name = args
         .options
         .get("dataset")
         .map(String::as_str)
         .unwrap_or("disease");
-    let scale: f64 = args
-        .options
-        .get("scale")
-        .map(|s| s.parse().map_err(|_| "bad --scale"))
-        .transpose()?
-        .unwrap_or(0.25);
-    let seed: u64 = args
-        .options
-        .get("seed")
-        .map(|s| s.parse().map_err(|_| "bad --seed"))
-        .transpose()?
-        .unwrap_or(42);
-    let out = PathBuf::from(args.options.get("out").ok_or("generate needs --out DIR")?);
+    let scale: f64 = parse_option(args, "scale")?.unwrap_or(0.25);
+    let seed: u64 = parse_option(args, "seed")?.unwrap_or(42);
+    let out = PathBuf::from(
+        args.options
+            .get("out")
+            .ok_or_else(|| ThorError::config("generate needs --out DIR"))?,
+    );
 
     let spec = match dataset_name {
         "disease" => DatasetSpec::disease_az(seed, scale),
         "resume" => DatasetSpec::resume(seed, scale),
-        other => return Err(format!("unknown dataset `{other}` (disease|resume)")),
+        other => {
+            return Err(ThorError::config(format!(
+                "unknown dataset `{other}` (disease|resume)"
+            )))
+        }
     };
     let dataset = generate(&spec);
 
-    fs::create_dir_all(&out).map_err(|e| e.to_string())?;
-    fs::write(out.join("table.csv"), to_csv(&dataset.table)).map_err(|e| e.to_string())?;
-    fs::write(
-        out.join("enrichment_table.csv"),
-        to_csv(&dataset.enrichment_table()),
-    )
-    .map_err(|e| e.to_string())?;
-    fs::write(
-        out.join("gold_test_table.csv"),
-        to_csv(&dataset.gold_test_table()),
-    )
-    .map_err(|e| e.to_string())?;
-    fs::write(out.join("vectors.txt"), dataset.store.to_text()).map_err(|e| e.to_string())?;
+    fs::create_dir_all(&out).map_err(|e| ThorError::io(out.display(), e))?;
+    atomic_write(&out.join("table.csv"), to_csv(&dataset.table).as_bytes())?;
+    atomic_write(
+        &out.join("enrichment_table.csv"),
+        to_csv(&dataset.enrichment_table()).as_bytes(),
+    )?;
+    atomic_write(
+        &out.join("gold_test_table.csv"),
+        to_csv(&dataset.gold_test_table()).as_bytes(),
+    )?;
+    atomic_write(&out.join("vectors.txt"), dataset.store.to_text().as_bytes())?;
     let src_dir = out.join("sources");
-    fs::create_dir_all(&src_dir).map_err(|e| e.to_string())?;
+    fs::create_dir_all(&src_dir).map_err(|e| ThorError::io(src_dir.display(), e))?;
     for (i, s) in dataset.sources.iter().enumerate() {
-        fs::write(src_dir.join(format!("source_{i:02}.csv")), to_csv(s))
-            .map_err(|e| e.to_string())?;
+        atomic_write(
+            &src_dir.join(format!("source_{i:02}.csv")),
+            to_csv(s).as_bytes(),
+        )?;
     }
     write_split(&out, "train", &dataset.train)?;
     write_split(&out, "validation", &dataset.validation)?;
@@ -396,19 +616,33 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    if let Err(e) = install_from_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = argv.split_first() else {
         return usage();
     };
-    let args = parse_args(rest);
-    let result = match command.as_str() {
+    let Some(spec) = (match command.as_str() {
+        "integrate" => Some(&INTEGRATE),
+        "sparsity" => Some(&SPARSITY),
+        "enrich" => Some(&ENRICH),
+        "evaluate" => Some(&EVALUATE),
+        "generate" => Some(&GENERATE),
+        _ => None,
+    }) else {
+        return usage();
+    };
+    let args = parse_args(rest, spec.flags);
+    let result = check_options(command, &args, spec).and_then(|()| match command.as_str() {
         "integrate" => cmd_integrate(&args),
         "sparsity" => cmd_sparsity(&args),
         "enrich" => cmd_enrich(&args),
         "evaluate" => cmd_evaluate(&args),
         "generate" => cmd_generate(&args),
-        _ => return usage(),
-    };
+        _ => unreachable!("spec lookup covers every command"),
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -428,7 +662,7 @@ mod tests {
 
     #[test]
     fn parse_positional_and_options() {
-        let a = parse_args(&argv(&["a.csv", "--out", "r.csv", "b.csv", "--flag"]));
+        let a = parse_args(&argv(&["a.csv", "--out", "r.csv", "b.csv", "--flag"]), &[]);
         assert_eq!(a.positional, ["a.csv", "b.csv"]);
         assert_eq!(a.options.get("out").unwrap(), "r.csv");
         assert_eq!(a.options.get("flag").unwrap(), "");
@@ -436,21 +670,21 @@ mod tests {
 
     #[test]
     fn option_followed_by_option_takes_no_value() {
-        let a = parse_args(&argv(&["--gate", "--out", "x"]));
+        let a = parse_args(&argv(&["--gate", "--out", "x"]), &[]);
         assert_eq!(a.options.get("gate").unwrap(), "");
         assert_eq!(a.options.get("out").unwrap(), "x");
     }
 
     #[test]
     fn empty_args() {
-        let a = parse_args(&[]);
+        let a = parse_args(&[], &[]);
         assert!(a.positional.is_empty());
         assert!(a.options.is_empty());
     }
 
     #[test]
     fn equals_form_splits_key_and_value() {
-        let a = parse_args(&argv(&["--metrics=json", "--tau=0.6", "doc.txt"]));
+        let a = parse_args(&argv(&["--metrics=json", "--tau=0.6", "doc.txt"]), &[]);
         assert_eq!(a.options.get("metrics").unwrap(), "json");
         assert_eq!(a.options.get("tau").unwrap(), "0.6");
         assert_eq!(a.positional, ["doc.txt"]);
@@ -458,14 +692,25 @@ mod tests {
 
     #[test]
     fn equals_form_does_not_consume_next_arg() {
-        let a = parse_args(&argv(&["--metrics=json", "next"]));
+        let a = parse_args(&argv(&["--metrics=json", "next"]), &[]);
         assert_eq!(a.options.get("metrics").unwrap(), "json");
         assert_eq!(a.positional, ["next"]);
     }
 
     #[test]
+    fn boolean_flags_never_consume_documents() {
+        let a = parse_args(
+            &argv(&["--lenient", "doc.txt", "--cache-stats", "more.txt"]),
+            ENRICH.flags,
+        );
+        assert_eq!(a.options.get("lenient").unwrap(), "");
+        assert_eq!(a.options.get("cache-stats").unwrap(), "");
+        assert_eq!(a.positional, ["doc.txt", "more.txt"]);
+    }
+
+    #[test]
     fn metrics_mode_parses_all_forms() {
-        let mode = |items: &[&str]| metrics_mode(&parse_args(&argv(items)));
+        let mode = |items: &[&str]| metrics_mode(&parse_args(&argv(items), ENRICH.flags));
         assert_eq!(mode(&[]).unwrap(), None);
         assert_eq!(mode(&["--metrics"]).unwrap(), Some(MetricsMode::Table));
         assert_eq!(
@@ -474,5 +719,65 @@ mod tests {
         );
         assert_eq!(mode(&["--metrics=json"]).unwrap(), Some(MetricsMode::Json));
         assert!(mode(&["--metrics=xml"]).is_err());
+    }
+
+    #[test]
+    fn levenshtein_distances() {
+        assert_eq!(levenshtein("out", "out"), 0);
+        assert_eq!(levenshtein("uot", "out"), 2);
+        assert_eq!(levenshtein("tableau", "table"), 2);
+        assert_eq!(levenshtein("", "abc"), 3);
+    }
+
+    #[test]
+    fn unknown_option_rejected_with_hint() {
+        let a = parse_args(&argv(&["--tabel", "x.csv"]), ENRICH.flags);
+        let err = check_options("enrich", &a, &ENRICH).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown option `--tabel`"), "{msg}");
+        assert!(msg.contains("did you mean `--table`?"), "{msg}");
+
+        let a = parse_args(&argv(&["--lenint"]), ENRICH.flags);
+        let msg = check_options("enrich", &a, &ENRICH)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("did you mean `--lenient`?"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_option_far_from_everything_has_no_hint() {
+        let a = parse_args(&argv(&["--zzzzqqqq"]), ENRICH.flags);
+        let msg = check_options("enrich", &a, &ENRICH)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("unknown option `--zzzzqqqq`"), "{msg}");
+        assert!(!msg.contains("did you mean"), "{msg}");
+    }
+
+    #[test]
+    fn known_options_pass_every_command() {
+        for (cmd, spec, line) in [
+            ("integrate", &INTEGRATE, vec!["--out", "r.csv"]),
+            ("enrich", &ENRICH, vec!["--table", "r.csv", "--lenient"]),
+            ("evaluate", &EVALUATE, vec!["--gold", "g", "--pred", "p"]),
+            ("generate", &GENERATE, vec!["--dataset", "disease"]),
+        ] {
+            let a = parse_args(&argv(&line), spec.flags);
+            assert!(check_options(cmd, &a, spec).is_ok(), "{cmd}");
+        }
+    }
+
+    #[test]
+    fn strict_and_lenient_conflict() {
+        let a = parse_args(&argv(&["--strict", "--lenient"]), ENRICH.flags);
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(msg.contains("mutually exclusive"), "{msg}");
+    }
+
+    #[test]
+    fn resume_requires_checkpoint() {
+        let a = parse_args(&argv(&["--resume", "--table", "t.csv"]), ENRICH.flags);
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(msg.contains("--resume requires --checkpoint"), "{msg}");
     }
 }

@@ -52,5 +52,9 @@ pub use thor_baselines as baselines;
 /// SemEval-2013-style evaluation metrics.
 pub use thor_eval as eval;
 
+/// Fault tolerance: error taxonomy, failpoints, atomic I/O, document
+/// quarantine, checkpoint/resume.
+pub use thor_fault as fault;
+
 /// Synthetic dataset generators and the annotation-effort model.
 pub use thor_datagen as datagen;

@@ -1,0 +1,154 @@
+//! Property tests feeding corrupt inputs through the ingestion layer:
+//! truncated/garbage CSV, malformed vector files, and invalid-UTF-8 /
+//! garbage documents. The contract under test: parsers never panic,
+//! errors name the offending line or byte, lenient mode finishes, and
+//! quarantine accounting is *exact* — every injected corruption is
+//! counted once and clean inputs are untouched.
+
+use proptest::prelude::*;
+use thor_repro::core::{Document, ResilientOptions, RunMode, Thor, ThorConfig};
+use thor_repro::data::{from_csv, from_csv_lenient};
+use thor_repro::embed::{SemanticSpaceBuilder, VectorStore};
+use thor_repro::fault::{decode_document, DocumentPolicy, ErrorKind};
+
+fn clamp_to_char_boundary(s: &str, mut i: usize) -> usize {
+    i = i.min(s.len());
+    while !s.is_char_boundary(i) {
+        i -= 1;
+    }
+    i
+}
+
+/// A small enrichment fixture shared by the document properties.
+fn fixture() -> (Thor, thor_repro::data::Table, Vec<Document>) {
+    let store = SemanticSpaceBuilder::new(16, 7)
+        .topic("anatomy")
+        .words("anatomy", ["lungs", "brain", "skin", "nerve"])
+        .generic_words(["damages", "grows"])
+        .build()
+        .into_store();
+    let mut table = thor_repro::data::Table::new(thor_repro::data::Schema::new(
+        ["Disease", "Anatomy"],
+        "Disease",
+    ));
+    table.fill_slot("Tuberculosis", "Anatomy", "lungs");
+    table.row_for_subject("Acne");
+    let docs = vec![
+        Document::new("c0", "Tuberculosis damages the lungs and the brain."),
+        Document::new("c1", "Acne grows on the skin."),
+        Document::new("c2", "Tuberculosis damages the nerve."),
+    ];
+    (Thor::new(store, ThorConfig::with_tau(0.6)), table, docs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary text never panics either CSV parser.
+    #[test]
+    fn arbitrary_text_never_panics_csv(text in "\\PC{0,300}") {
+        let _ = from_csv(&text);
+        let _ = from_csv_lenient(&text);
+    }
+
+    /// Truncating a valid CSV mid-stream (plus trailing junk) never
+    /// panics, and lenient parsing accepts everything strict parsing
+    /// accepts.
+    #[test]
+    fn truncated_csv_never_panics(cut in 0usize..110, junk in "\\PC{0,40}") {
+        let base = "Disease,Anatomy,Complication\n\
+                    Tuberculosis,lungs,empyema\n\
+                    Acne,skin,scarring\n\
+                    Neuroma,nerve,deafness\n";
+        let cut = clamp_to_char_boundary(base, cut);
+        let text = format!("{}{junk}", &base[..cut]);
+        let strict = from_csv(&text);
+        let lenient = from_csv_lenient(&text);
+        if strict.is_ok() {
+            prop_assert!(lenient.is_ok());
+        }
+    }
+
+    /// Lenient CSV skips exactly the malformed rows, with their 1-based
+    /// line numbers, and keeps every well-formed one.
+    #[test]
+    fn lenient_csv_skips_exactly_injected_rows(bad_rows in 0usize..6, word in "[a-z]{1,8}") {
+        let mut text = String::from("Disease,Anatomy\nTuberculosis,lungs\nAcne,skin\n");
+        for i in 0..bad_rows {
+            // Arity 4 against a 2-column header.
+            text.push_str(&format!("{word}{i},x,y,z\n"));
+        }
+        let lenient = from_csv_lenient(&text).unwrap();
+        prop_assert_eq!(lenient.skipped.len(), bad_rows);
+        prop_assert_eq!(lenient.table.len(), 2);
+        for (i, row) in lenient.skipped.iter().enumerate() {
+            prop_assert_eq!(row.line, 4 + i);
+        }
+    }
+
+    /// Arbitrary text never panics the vector-file parser.
+    #[test]
+    fn arbitrary_text_never_panics_vectors(text in "\\PC{0,300}") {
+        let _ = VectorStore::from_text(&text);
+    }
+
+    /// A corrupted vector row is reported with its 1-based line number.
+    #[test]
+    fn corrupt_vector_line_is_named(victim in 0usize..4, junk in "[a-z]{2,6}") {
+        let mut store = VectorStore::new(3);
+        for (i, w) in ["brain", "nerve", "skin", "lungs"].iter().enumerate() {
+            store.insert(w, thor_repro::embed::Vector(vec![i as f32, 1.0, 0.0]));
+        }
+        let mut lines: Vec<String> = store.to_text().lines().map(str::to_string).collect();
+        let line_no = victim + 2; // 1-based, after the header
+        lines[line_no - 1] = format!("badword\t{junk} {junk}");
+        let err = VectorStore::from_text(&lines.join("\n")).unwrap_err();
+        prop_assert!(
+            err.contains(&format!("line {line_no}")),
+            "error `{}` should name line {}", err, line_no
+        );
+    }
+
+    /// Invalid UTF-8 is rejected by admission control with the exact
+    /// byte offset of the first bad sequence.
+    #[test]
+    fn invalid_utf8_rejected_with_offset(prefix in "[a-z ]{0,40}", suffix in "[a-z ]{0,20}") {
+        let mut bytes = prefix.clone().into_bytes();
+        let offset = bytes.len();
+        bytes.push(0xFF);
+        bytes.extend_from_slice(suffix.as_bytes());
+        let err = decode_document("doc", &bytes, &DocumentPolicy::default()).unwrap_err();
+        prop_assert_eq!(err.kind(), ErrorKind::Validation);
+        prop_assert_eq!(err.offset(), Some(offset));
+    }
+
+    /// A lenient enrichment run over a corpus with injected garbage
+    /// documents finishes, quarantines exactly the garbage, and produces
+    /// the same entities as a run over only the clean documents.
+    #[test]
+    fn lenient_enrich_quarantines_exactly_the_garbage(n_bad in 0usize..4) {
+        let (thor, table, clean_docs) = fixture();
+        let mut docs = clean_docs.clone();
+        for i in 0..n_bad {
+            // Control-character soup: parses as UTF-8, rejected by the
+            // garbage-ratio admission check.
+            docs.push(Document::new(
+                format!("gb{i}"),
+                "\u{FFFD}\u{0001}\u{FFFD}\u{0002}".to_string(),
+            ));
+        }
+        let opts = ResilientOptions {
+            mode: RunMode::Lenient,
+            ..ResilientOptions::default()
+        };
+        let outcome = thor.enrich_resilient(&table, &docs, &opts).unwrap();
+        prop_assert_eq!(outcome.quarantine.len(), n_bad);
+        prop_assert_eq!(outcome.processed_docs, docs.len());
+        for (i, entry) in outcome.quarantine.entries().iter().enumerate() {
+            prop_assert_eq!(entry.doc_id.clone(), format!("gb{i}"));
+            prop_assert_eq!(entry.stage.as_str(), "validate");
+        }
+        let clean = thor.enrich(&table, &clean_docs);
+        prop_assert_eq!(outcome.result.entities, clean.entities);
+    }
+}
