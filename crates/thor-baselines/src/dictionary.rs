@@ -7,21 +7,23 @@
 //! out-of-vocabulary entities, which is why the paper's Baseline shows
 //! high precision and very low recall.
 
-use thor_automata::{AhoCorasick, AhoCorasickBuilder};
+use std::sync::Arc;
+
 use thor_core::{Document, ExtractedEntity};
 use thor_data::Table;
-use thor_index::{CandidateEntity, CandidateSource};
-use thor_text::normalize_phrase;
+use thor_index::{CandidateEntity, CandidateSource, DictionaryIndex};
 
 use crate::subject::attribute_sentences;
 use crate::Extractor;
 
 /// Dictionary-based exact matcher over the table's instances.
+///
+/// A thin extraction protocol over [`DictionaryIndex`] — the automaton
+/// itself lives in `thor-index` so a prepared engine can freeze and
+/// share it across serve calls.
 #[derive(Debug)]
 pub struct DictionaryBaseline {
-    automaton: AhoCorasick,
-    /// pattern index → (concept, display phrase).
-    patterns: Vec<(String, String)>,
+    index: Arc<DictionaryIndex>,
 }
 
 impl DictionaryBaseline {
@@ -29,62 +31,43 @@ impl DictionaryBaseline {
     /// including the subject concept (other subjects mentioned in a
     /// document are legitimate subject-concept entities).
     pub fn from_table(table: &Table) -> Self {
-        let mut builder = AhoCorasickBuilder::new().ascii_case_insensitive(true);
-        let mut patterns = Vec::new();
-        for concept in table.schema().concepts() {
-            for instance in table.column_values(concept.name()) {
-                let norm = normalize_phrase(&instance);
-                if norm.is_empty() {
-                    continue;
-                }
-                builder.add_pattern(norm.as_bytes());
-                patterns.push((concept.name().to_string(), instance));
-            }
-        }
-        Self {
-            automaton: builder.build(),
-            patterns,
-        }
+        Self::from_index(Arc::new(dictionary_index(table)))
+    }
+
+    /// Wrap an already-built (possibly shared) dictionary index.
+    pub fn from_index(index: Arc<DictionaryIndex>) -> Self {
+        Self { index }
     }
 
     /// Number of dictionary patterns.
     pub fn pattern_count(&self) -> usize {
-        self.patterns.len()
+        self.index.pattern_count()
     }
+}
+
+/// Build the Aho–Corasick [`DictionaryIndex`] for `table`: every
+/// (concept, instance) pair of the schema, in schema order.
+pub fn dictionary_index(table: &Table) -> DictionaryIndex {
+    DictionaryIndex::from_concepts(
+        table
+            .schema()
+            .concepts()
+            .iter()
+            .map(|c| (c.name().to_string(), table.column_values(c.name()))),
+    )
 }
 
 impl CandidateSource for DictionaryBaseline {
     fn source_name(&self) -> &str {
-        "dictionary"
+        self.index.source_name()
     }
 
-    /// Exact dictionary occurrences in `phrase`: every word-aligned
-    /// automaton match whose words pass `anchor` becomes a candidate
-    /// with score 1.0 (exact matching is all-or-nothing).
     fn candidates_anchored(
         &self,
         phrase: &str,
         anchor: &dyn Fn(&str) -> bool,
     ) -> Vec<CandidateEntity> {
-        // Match against the normalized phrase so case/punct differences
-        // don't break exactness.
-        let normalized = normalize_phrase(phrase);
-        let mut out = Vec::new();
-        for m in self.automaton.find_words(&normalized) {
-            let (concept, display) = &self.patterns[m.pattern];
-            let matched = normalize_phrase(display);
-            if !matched.split_whitespace().any(anchor) {
-                continue;
-            }
-            out.push(CandidateEntity {
-                phrase: matched.clone(),
-                concept: concept.clone(),
-                matched_instance: matched,
-                semantic_score: 1.0,
-                cluster_score: 1.0,
-            });
-        }
-        out
+        self.index.candidates_anchored(phrase, anchor)
     }
 }
 

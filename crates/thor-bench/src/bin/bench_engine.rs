@@ -1,0 +1,127 @@
+//! **BENCH_engine** — build/serve split benchmark: one
+//! [`thor_core::PreparedEngine`] build amortized across the paper's τ
+//! sweep, against the old per-τ full fine-tune rebuild.
+//!
+//! Emits `BENCH_engine.json` (per-τ rebuild time, one-build + per-τ
+//! derivation time, sweep speedup, artifact round-trip numbers) to the
+//! working directory and prints the same document to stdout. Before any
+//! timing, every sweep point is checked for *exact* equality between
+//! the derived engine and a freshly built one, and the saved-then-loaded
+//! engine is checked against the in-memory build — the speedup claim is
+//! only meaningful because derivation is a drop-in replacement.
+//!
+//! Usage: `bench_engine [--smoke]` (env: `THOR_SCALE`, `THOR_SEED`).
+//! `--smoke` pins a small scale and few repetitions so CI can afford to
+//! run it on every push; the full mode additionally enforces the ≥3×
+//! sweep-preparation speedup floor (smoke timings are too noisy to gate
+//! on).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use thor_bench::harness::{disease_dataset, scale_from_env, seed_from_env, tau_sweep};
+use thor_core::{PreparedEngine, Thor, ThorConfig};
+use thor_datagen::Split;
+use thor_obs::Json;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, reps) = if smoke {
+        (0.1, 2)
+    } else {
+        (scale_from_env(), 5)
+    };
+    let dataset = disease_dataset(seed_from_env(), scale);
+    let table = dataset.enrichment_table();
+    let docs = dataset.documents(Split::Test);
+    let taus: Vec<f64> = tau_sweep().collect();
+    let thor_at = |tau: f64| Thor::new(dataset.store.clone(), ThorConfig::with_tau(tau));
+
+    // Correctness before speed: every derived sweep point must extract
+    // exactly what a fresh per-τ build extracts...
+    let engine = thor_at(taus[0]).prepare(&table);
+    for &tau in &taus {
+        let derived = engine.with_tau(tau).extract(&docs).0;
+        let fresh = thor_at(tau).prepare(&table).extract(&docs).0;
+        assert_eq!(derived, fresh, "with_tau({tau}) diverged from fresh build");
+    }
+    // ...and the persisted artifact must reproduce the in-memory output.
+    let artifact = std::env::temp_dir().join(format!("bench-engine-{}.thor", std::process::id()));
+    engine.save(&artifact).expect("save engine artifact");
+    let artifact_bytes = std::fs::metadata(&artifact).map(|m| m.len()).unwrap_or(0);
+    let t0 = Instant::now();
+    let loaded = PreparedEngine::load(&artifact).expect("load engine artifact");
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        loaded.extract(&docs).0,
+        engine.extract(&docs).0,
+        "loaded engine diverged from in-memory build"
+    );
+    std::fs::remove_file(&artifact).ok();
+
+    // Old shape: a full Preparation pass per sweep point.
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for &tau in &taus {
+            std::hint::black_box(thor_at(tau).prepare(&table));
+        }
+    }
+    let rebuild_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+    // New shape: one Preparation pass at the lowest τ, then with_tau
+    // derivations (filtering the frozen candidate lists) per point.
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let base = thor_at(taus[0]).prepare(&table);
+        for &tau in &taus {
+            std::hint::black_box(base.with_tau(tau));
+        }
+    }
+    let reuse_s = t0.elapsed().as_secs_f64() / reps as f64;
+    let speedup = rebuild_s / reuse_s;
+
+    // Amortized end-to-end sweep (derive + extract) for context.
+    let t0 = Instant::now();
+    for &tau in &taus {
+        std::hint::black_box(engine.with_tau(tau).extract(&docs));
+    }
+    let sweep_extract_s = t0.elapsed().as_secs_f64();
+
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".into(), Json::Str("engine".into()));
+    doc.insert(
+        "mode".into(),
+        Json::Str(if smoke { "smoke" } else { "full" }.into()),
+    );
+    doc.insert("scale".into(), Json::Float(scale));
+    doc.insert("reps".into(), Json::UInt(reps as u64));
+    doc.insert("sweep_points".into(), Json::UInt(taus.len() as u64));
+    doc.insert("docs".into(), Json::UInt(docs.len() as u64));
+    doc.insert(
+        "rebuild_sweep_prepare_ms".into(),
+        Json::Float(rebuild_s * 1e3),
+    );
+    doc.insert("reuse_sweep_prepare_ms".into(), Json::Float(reuse_s * 1e3));
+    doc.insert("sweep_speedup".into(), Json::Float(speedup));
+    doc.insert(
+        "sweep_extract_ms".into(),
+        Json::Float(sweep_extract_s * 1e3),
+    );
+    doc.insert("artifact_bytes".into(), Json::UInt(artifact_bytes));
+    doc.insert("artifact_load_ms".into(), Json::Float(load_ms));
+    let rendered = Json::Object(doc).render();
+    std::fs::write("BENCH_engine.json", format!("{rendered}\n")).expect("write BENCH_engine.json");
+    println!("{rendered}");
+    println!(
+        "per-tau rebuild {:.1}ms | one-build + derive {:.1}ms | sweep speedup {speedup:.1}x | \
+         artifact {artifact_bytes}B loads in {load_ms:.1}ms",
+        rebuild_s * 1e3,
+        reuse_s * 1e3
+    );
+    if !smoke {
+        assert!(
+            speedup >= 3.0,
+            "expected >=3x sweep-preparation speedup from engine reuse, got {speedup:.2}x"
+        );
+    }
+}

@@ -7,7 +7,7 @@
 //! Usage: `exp_table5 [--pr-curve]` (env: `THOR_SCALE`, `THOR_SEED`).
 
 use thor_bench::harness::{
-    disease_dataset, run_system, scale_from_env, seed_from_env, tau_sweep, System,
+    disease_dataset, run_system, run_thor_sweep, scale_from_env, seed_from_env, tau_sweep, System,
 };
 use thor_bench::{fmt_duration, TextTable};
 use thor_eval::PrCurve;
@@ -18,19 +18,22 @@ fn main() {
     let dataset = disease_dataset(seed_from_env(), scale);
     println!("[Table V reproduction] Disease A-Z, scale={scale}\n");
 
-    let mut systems: Vec<System> = tau_sweep().map(System::Thor).collect();
-    systems.extend([
+    // The entire τ sweep serves off one PreparedEngine build.
+    let taus: Vec<f64> = tau_sweep().collect();
+    let mut outcomes = run_thor_sweep(&dataset, &taus);
+    for system in [
         System::Baseline,
         System::LmSd,
         System::Gpt4,
         System::UniNer,
         System::LmHuman(usize::MAX),
-    ]);
+    ] {
+        outcomes.push(run_system(&system, &dataset));
+    }
 
     let mut table = TextTable::new(&["Model Name", "Time", "P", "R", "F1"]);
     let mut curve = PrCurve::new();
-    for system in &systems {
-        let out = run_system(system, &dataset);
+    for out in outcomes {
         table.row(vec![
             out.system.clone(),
             fmt_duration(out.time),

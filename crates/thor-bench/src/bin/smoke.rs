@@ -1,6 +1,8 @@
 //! Quick calibration smoke run: all systems on a small Disease A–Z.
+//! The THOR τ sweep serves off one shared [`thor_core::PreparedEngine`]
+//! build (`run_thor_sweep`); the other systems run independently.
 
-use thor_bench::{disease_dataset, run_system, scale_from_env, tau_sweep, System};
+use thor_bench::{disease_dataset, run_system, run_thor_sweep, scale_from_env, tau_sweep, System};
 
 fn main() {
     let scale = scale_from_env();
@@ -10,22 +12,27 @@ fn main() {
         dataset.test.len(),
         dataset.test.iter().map(|d| d.gold.len()).sum::<usize>()
     );
-    let mut systems: Vec<System> = tau_sweep().map(System::Thor).collect();
-    systems.extend([
+    let taus: Vec<f64> = tau_sweep().collect();
+    let mut outcomes = run_thor_sweep(&dataset, &taus);
+    for s in [
         System::Baseline,
         System::LmSd,
         System::Gpt4,
         System::UniNer,
         System::LmHuman(usize::MAX),
-    ]);
-    for s in &systems {
-        let t0 = std::time::Instant::now();
-        let out = run_system(s, &dataset);
+    ] {
+        outcomes.push(run_system(&s, &dataset));
+    }
+    for out in &outcomes {
         let r = &out.report;
+        let wall = out
+            .time
+            .map(|t| format!("{t:?}"))
+            .unwrap_or_else(|| "-".into());
         println!(
-            "{:<16} pred={:<5} cor={:<4} par={:<4} inc={:<4} spu={:<4} mis={:<4} P={:.2} R={:.2} F1={:.2} wall={:?}",
+            "{:<16} pred={:<5} cor={:<4} par={:<4} inc={:<4} spu={:<4} mis={:<4} P={:.2} R={:.2} F1={:.2} wall={wall}",
             out.system, r.predicted_total, r.correct, r.partial, r.incorrect, r.spurious,
-            r.missing, r.precision, r.recall, r.f1, t0.elapsed()
+            r.missing, r.precision, r.recall, r.f1
         );
     }
 }

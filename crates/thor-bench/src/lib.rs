@@ -12,6 +12,7 @@ pub mod harness;
 pub mod report;
 
 pub use harness::{
-    disease_dataset, resume_dataset, run_system, scale_from_env, tau_sweep, RunOutcome, System,
+    disease_dataset, prepare_engine, resume_dataset, run_system, run_thor_sweep, scale_from_env,
+    tau_sweep, RunOutcome, System,
 };
 pub use report::{fmt_duration, Table as TextTable};

@@ -114,6 +114,18 @@ impl ThorConfig {
             ..Self::default()
         }
     }
+
+    /// The matcher-level slice of this configuration — the single place
+    /// the pipeline translates its config into a
+    /// [`thor_match::MatcherConfig`].
+    pub fn matcher_config(&self) -> thor_match::MatcherConfig {
+        thor_match::MatcherConfig {
+            tau: self.tau,
+            max_subphrase_words: self.max_subphrase_words,
+            max_expansion: self.max_expansion,
+            cache_capacity: self.cache_capacity,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,770 @@
+//! The build/serve split: a frozen, persistable, `Arc`-shared
+//! [`PreparedEngine`].
+//!
+//! THOR's Preparation phase (seed collection + τ-expansion + index
+//! build) depends only on the integrated table, the vector store and
+//! the configuration — not on the documents being served. The engine
+//! freezes that output once, behind [`Thor::prepare`]:
+//!
+//! * the fine-tuned [`SimilarityMatcher`] (concept clusters + expanded
+//!   `VectorIndex` + interning phrase cache),
+//! * the [`PreparedMatcher`] it was derived from (the untruncated
+//!   τ-expansion candidates, so any τ′ ≥ the build τ derives in
+//!   microseconds instead of re-scanning the vocabulary),
+//! * the dictionary baseline's Aho–Corasick [`DictionaryIndex`],
+//! * the subject list, the table, and the `Arc<VectorStore>`.
+//!
+//! Every serve entry point — [`PreparedEngine::extract`],
+//! [`PreparedEngine::enrich`], [`PreparedEngine::session`],
+//! [`PreparedEngine::enrich_resilient`] — borrows this immutable bundle;
+//! none re-runs `fine_tune` or deep-copies the store. [`Thor::extract`]
+//! and friends are now thin prepare-then-serve wrappers.
+//!
+//! The engine also persists: [`PreparedEngine::save`] writes a
+//! versioned binary artifact (magic + format version + FNV-1a checksum,
+//! via `thor_fault::atomic_io`) and [`PreparedEngine::load`] rebuilds an
+//! engine that produces **byte-identical** output — derived structures
+//! (seeds, clusters, indexes, automaton) are reconstructed through the
+//! exact constructor path the in-memory build uses, and a semantic
+//! fingerprint of store/table/config is verified on load.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use thor_data::Table;
+use thor_embed::{Vector, VectorStore};
+use thor_fault::{
+    fnv1a, read_artifact, write_artifact, ByteReader, ByteWriter, ThorError, ThorResult,
+};
+use thor_index::DictionaryIndex;
+use thor_match::{MatcherConfig, PreparedMatcher, SimilarityMatcher, TAU_RANGE};
+use thor_obs::PipelineMetrics;
+
+use crate::config::{ScoreWeights, SegmentationMode, ThorConfig};
+use crate::document::Document;
+use crate::entity::ExtractedEntity;
+use crate::extract::extract_entities_metered;
+use crate::pipeline::{dedup_entities, EnrichmentResult, EnrichmentSession, Thor};
+use crate::pool::WorkerPool;
+use crate::segment::segment_metered;
+use crate::slotfill::slot_fill_metered;
+
+/// Magic bytes opening an engine artifact file.
+pub const ENGINE_MAGIC: &[u8; 8] = b"THORENG\0";
+/// On-disk format version of the engine artifact payload.
+pub const ENGINE_FORMAT_VERSION: u32 = 1;
+
+pub(crate) struct EngineInner {
+    config: ThorConfig,
+    store: Arc<VectorStore>,
+    table: Arc<Table>,
+    subjects: Vec<String>,
+    prep: Arc<PreparedMatcher>,
+    matcher: SimilarityMatcher,
+    dictionary: Arc<DictionaryIndex>,
+    /// FNV-1a digests of the store text and table CSV, computed once at
+    /// build time and reused by cheap derivations (`with_tau`).
+    store_digest: u64,
+    table_digest: u64,
+    fingerprint: String,
+    prepare_time: Duration,
+    metrics: Option<PipelineMetrics>,
+}
+
+impl std::fmt::Debug for EngineInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedEngine")
+            .field("tau", &self.config.tau)
+            .field("concepts", &self.prep.concept_names().len())
+            .field("fingerprint", &self.fingerprint)
+            .finish()
+    }
+}
+
+/// An immutable, `Arc`-shared bundle of everything the serve path
+/// needs. Cloning is a refcount bump; the engine can be shared across
+/// threads, calls, and (via [`PreparedEngine::with_tau`]) τ values.
+#[derive(Clone, Debug)]
+pub struct PreparedEngine {
+    inner: Arc<EngineInner>,
+}
+
+/// The `(concept, instances)` pairs fine-tuning runs on, in schema
+/// order.
+pub(crate) fn concept_instances(table: &Table) -> Vec<(String, Vec<String>)> {
+    table
+        .schema()
+        .concepts()
+        .iter()
+        .map(|c| (c.name().to_string(), table.column_values(c.name())))
+        .collect()
+}
+
+/// Semantic fingerprint of an engine: every configuration field that
+/// can change serve output (τ, weights, subphrase/expansion caps,
+/// segmentation, chunking, context gate) plus digests of the table and
+/// the vector store. `threads` and `cache_capacity` are deliberately
+/// excluded — both are output-neutral execution knobs.
+fn engine_fingerprint(config: &ThorConfig, table_digest: u64, store_digest: u64) -> String {
+    let parts: Vec<String> = vec![
+        format!("tau={:016x}", config.tau.to_bits()),
+        format!("subphrase={}", config.max_subphrase_words),
+        format!("expansion={}", config.max_expansion),
+        format!("gate={:?}", config.context_gate.map(f64::to_bits)),
+        format!("seg={:?}", config.segmentation),
+        format!("np={}", config.np_chunking),
+        format!(
+            "weights={:016x},{:016x},{:016x}",
+            config.weights.semantic.to_bits(),
+            config.weights.word.to_bits(),
+            config.weights.char.to_bits()
+        ),
+        format!("table={table_digest:016x}"),
+        format!("store={store_digest:016x}"),
+    ];
+    thor_fault::fingerprint(parts)
+}
+
+impl Thor {
+    /// **Build** the prepared engine for `table`: run Preparation once
+    /// (fine-tune the semantic matcher, freeze the expansion
+    /// candidates, compile the dictionary automaton) and return the
+    /// immutable bundle every serve call borrows.
+    ///
+    /// Records one `pipeline.prepare` span into the attached metrics,
+    /// exactly like the one-shot entry points used to.
+    pub fn prepare(&self, table: &Table) -> PreparedEngine {
+        let run = self.run_metrics();
+        let (inner, prepare_time) = run.prepare.time(|| {
+            let concepts = concept_instances(table);
+            let matcher_config = self.config().matcher_config();
+            let prep = PreparedMatcher::prepare(
+                &concepts,
+                Arc::clone(self.store_arc()),
+                matcher_config.clone(),
+            );
+            let matcher = prep.matcher_at(matcher_config, self.metrics().cloned());
+            let dictionary = DictionaryIndex::from_concepts(concepts);
+            let table_csv = thor_data::to_csv(table);
+            let store_digest = fnv1a(self.store().to_text().as_bytes());
+            let table_digest = fnv1a(table_csv.as_bytes());
+            EngineInner {
+                fingerprint: engine_fingerprint(self.config(), table_digest, store_digest),
+                config: self.config().clone(),
+                store: Arc::clone(self.store_arc()),
+                table: Arc::new(table.clone()),
+                subjects: table.subjects().map(str::to_string).collect(),
+                prep: Arc::new(prep),
+                matcher,
+                dictionary: Arc::new(dictionary),
+                store_digest,
+                table_digest,
+                prepare_time: Duration::ZERO,
+                metrics: self.metrics().cloned(),
+            }
+        });
+        let mut inner = inner;
+        inner.prepare_time = prepare_time;
+        PreparedEngine {
+            inner: Arc::new(inner),
+        }
+    }
+}
+
+impl PreparedEngine {
+    /// The metrics handle serve calls record into: the attached one, or
+    /// an ephemeral throwaway so stage timing always has somewhere to
+    /// go.
+    pub(crate) fn run_metrics(&self) -> PipelineMetrics {
+        self.inner.metrics.clone().unwrap_or_default()
+    }
+
+    /// The configuration the engine was built with.
+    pub fn config(&self) -> &ThorConfig {
+        &self.inner.config
+    }
+
+    /// The fine-tuned semantic matcher (clusters + index + cache).
+    pub fn matcher(&self) -> &SimilarityMatcher {
+        &self.inner.matcher
+    }
+
+    /// The frozen Preparation output the matcher was derived from.
+    pub fn prepared_matcher(&self) -> &PreparedMatcher {
+        &self.inner.prep
+    }
+
+    /// The dictionary baseline's Aho–Corasick automaton over the
+    /// table's instances.
+    pub fn dictionary(&self) -> &Arc<DictionaryIndex> {
+        &self.inner.dictionary
+    }
+
+    /// The integrated table the engine was built from.
+    pub fn table(&self) -> &Table {
+        &self.inner.table
+    }
+
+    /// The table's subject instances, in row order.
+    pub fn subjects(&self) -> &[String] {
+        &self.inner.subjects
+    }
+
+    /// The shared vector store.
+    pub fn store(&self) -> &Arc<VectorStore> {
+        &self.inner.store
+    }
+
+    /// Semantic fingerprint of (config, table, store) — what
+    /// [`PreparedEngine::load`] verifies.
+    pub fn fingerprint(&self) -> &str {
+        &self.inner.fingerprint
+    }
+
+    /// Wall-clock time of the Preparation (or derivation / load) that
+    /// produced this engine.
+    pub fn prepare_time(&self) -> Duration {
+        self.inner.prepare_time
+    }
+
+    /// The τ the engine currently serves at.
+    pub fn tau(&self) -> f64 {
+        self.inner.config.tau
+    }
+
+    /// Derive an engine at a different τ.
+    ///
+    /// For τ ≥ the τ the Preparation ran at, this is the cheap path the
+    /// sweep harness exploits: the frozen candidate lists are filtered
+    /// (τ-monotonicity — no vocabulary re-scan, no store copy) and the
+    /// result is bit-identical to a full rebuild at τ. For τ *below*
+    /// the base, candidates were never collected, so Preparation re-runs
+    /// at the lower τ. Either way `prepare_time` reflects what this
+    /// derivation actually cost.
+    pub fn with_tau(&self, tau: f64) -> PreparedEngine {
+        assert!(
+            TAU_RANGE.contains(&tau),
+            "tau must be in [0, 1] (TAU_RANGE)"
+        );
+        let mut config = self.inner.config.clone();
+        config.tau = tau;
+        if tau < self.inner.prep.base().tau {
+            // Below the prepared base: the expansion must be re-scanned.
+            let thor = Thor::new(Arc::clone(&self.inner.store), config);
+            let thor = match &self.inner.metrics {
+                Some(m) => thor.with_metrics(m.clone()),
+                None => thor,
+            };
+            return thor.prepare(&self.inner.table);
+        }
+        let run = self.run_metrics();
+        let (matcher, prepare_time) = run.prepare.time(|| {
+            self.inner
+                .prep
+                .matcher_at(config.matcher_config(), self.inner.metrics.clone())
+        });
+        PreparedEngine {
+            inner: Arc::new(EngineInner {
+                fingerprint: engine_fingerprint(
+                    &config,
+                    self.inner.table_digest,
+                    self.inner.store_digest,
+                ),
+                config,
+                store: Arc::clone(&self.inner.store),
+                table: Arc::clone(&self.inner.table),
+                subjects: self.inner.subjects.clone(),
+                prep: Arc::clone(&self.inner.prep),
+                matcher,
+                dictionary: Arc::clone(&self.inner.dictionary),
+                store_digest: self.inner.store_digest,
+                table_digest: self.inner.table_digest,
+                prepare_time,
+                metrics: self.inner.metrics.clone(),
+            }),
+        }
+    }
+
+    /// The same engine with a different worker-thread count. Threads
+    /// are an execution knob, not a model parameter: output and
+    /// fingerprint are unchanged.
+    pub fn with_threads(&self, threads: usize) -> PreparedEngine {
+        let mut config = self.inner.config.clone();
+        config.threads = threads;
+        PreparedEngine {
+            inner: Arc::new(EngineInner {
+                config,
+                store: Arc::clone(&self.inner.store),
+                table: Arc::clone(&self.inner.table),
+                subjects: self.inner.subjects.clone(),
+                prep: Arc::clone(&self.inner.prep),
+                matcher: self.inner.matcher.clone(),
+                dictionary: Arc::clone(&self.inner.dictionary),
+                store_digest: self.inner.store_digest,
+                table_digest: self.inner.table_digest,
+                fingerprint: self.inner.fingerprint.clone(),
+                prepare_time: self.inner.prepare_time,
+                metrics: self.inner.metrics.clone(),
+            }),
+        }
+    }
+
+    /// Attach an observability handle. The matcher is re-derived from
+    /// the frozen Preparation with the handle installed, so fine-tune
+    /// statistics (vocabulary size, expansion counts, representative
+    /// counts, index rows) are recorded exactly as an in-memory build
+    /// records them — this is what makes a loaded engine's metrics
+    /// match the in-memory path. Output is unaffected.
+    pub fn with_metrics(&self, metrics: PipelineMetrics) -> PreparedEngine {
+        let (matcher, _) = metrics.prepare.time(|| {
+            self.inner
+                .prep
+                .matcher_at(self.inner.config.matcher_config(), Some(metrics.clone()))
+        });
+        PreparedEngine {
+            inner: Arc::new(EngineInner {
+                config: self.inner.config.clone(),
+                store: Arc::clone(&self.inner.store),
+                table: Arc::clone(&self.inner.table),
+                subjects: self.inner.subjects.clone(),
+                prep: Arc::clone(&self.inner.prep),
+                matcher,
+                dictionary: Arc::clone(&self.inner.dictionary),
+                store_digest: self.inner.store_digest,
+                table_digest: self.inner.table_digest,
+                fingerprint: self.inner.fingerprint.clone(),
+                prepare_time: self.inner.prepare_time,
+                metrics: Some(metrics),
+            }),
+        }
+    }
+
+    /// Extract entities from `docs`, deduplicated per (document,
+    /// concept, phrase). Returns the entities and the inference time.
+    /// Document-parallel for `config.threads > 1` via the shared
+    /// [`WorkerPool`]; output is identical for any thread count.
+    pub fn extract(&self, docs: &[Document]) -> (Vec<ExtractedEntity>, Duration) {
+        let run = self.run_metrics();
+        run.inference.time(|| self.extract_entities(&run, docs))
+    }
+
+    /// Segmentation + extraction + dedup, outside any timing span.
+    pub(crate) fn extract_entities(
+        &self,
+        run: &PipelineMetrics,
+        docs: &[Document],
+    ) -> Vec<ExtractedEntity> {
+        let inner = &*self.inner;
+        let per_doc = |doc: &Document| {
+            run.docs.inc();
+            let segments = segment_metered(
+                doc,
+                &inner.subjects,
+                &inner.matcher,
+                inner.config.segmentation,
+                run,
+            );
+            extract_entities_metered(&segments, &inner.matcher, &inner.config, &doc.id, run)
+        };
+        let mut entities: Vec<ExtractedEntity> = if inner.config.threads <= 1 || docs.len() < 2 {
+            docs.iter().flat_map(per_doc).collect()
+        } else {
+            let workers = inner.config.threads.min(docs.len());
+            let next = AtomicUsize::new(0);
+            let buckets: Mutex<Vec<Vec<ExtractedEntity>>> = Mutex::new(Vec::new());
+            WorkerPool::global().scope(workers, |scope| {
+                for _ in 0..workers {
+                    let (next, buckets, per_doc) = (&next, &buckets, &per_doc);
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(doc) = docs.get(i) else { break };
+                            out.extend(per_doc(doc));
+                        }
+                        buckets.lock().unwrap().push(out);
+                    });
+                }
+            });
+            buckets
+                .into_inner()
+                .unwrap()
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        // Deduplicate, keeping the best-scoring instance of each key —
+        // the total order makes output independent of work partitioning.
+        dedup_entities(&mut entities);
+        entities
+    }
+
+    /// Run the serve side of the full pipeline: Entity Extraction and
+    /// Slot Filling over the engine's table. One `Table` clone, filled
+    /// in place.
+    pub fn enrich(&self, docs: &[Document]) -> EnrichmentResult {
+        let run = self.run_metrics();
+        let (entities, mut inference_time) =
+            run.inference.time(|| self.extract_entities(&run, docs));
+        let mut enriched = (*self.inner.table).clone();
+        let t = std::time::Instant::now();
+        let slot_stats = slot_fill_metered(&mut enriched, &entities, &run);
+        inference_time += t.elapsed();
+        EnrichmentResult {
+            table: enriched,
+            entities,
+            slot_stats,
+            prepare_time: self.inner.prepare_time,
+            inference_time,
+        }
+    }
+
+    /// Start a streaming enrichment session backed by this engine: the
+    /// already-fine-tuned matcher is shared, documents are processed
+    /// incrementally, and the session's working table starts as a copy
+    /// of the engine's.
+    pub fn session(&self) -> EnrichmentSession {
+        EnrichmentSession::new(self.clone())
+    }
+
+    /// Persist the engine to `path` as a versioned binary artifact
+    /// (atomic write; magic + format version + FNV-1a checksum header).
+    ///
+    /// The payload stores the *inputs plus the expensive intermediate*:
+    /// configuration, vector store (exact `f32` bit patterns), table
+    /// CSV, and the untruncated τ-expansion candidate lists (exact
+    /// `f64` bit patterns). Derived structures — seeds, clusters,
+    /// vector index, automaton, phrase cache — are rebuilt at load
+    /// through the same constructors, which is what makes the loaded
+    /// engine byte-identical.
+    pub fn save(&self, path: &Path) -> ThorResult<()> {
+        let inner = &*self.inner;
+        let mut w = ByteWriter::new();
+        write_config(&mut w, &inner.config);
+        write_store(&mut w, &inner.store);
+        w.put_str(&thor_data::to_csv(&inner.table));
+        let base = inner.prep.base();
+        w.put_f64(base.tau);
+        w.put_u64(base.max_subphrase_words as u64);
+        w.put_u64(base.max_expansion as u64);
+        w.put_u64(base.cache_capacity as u64);
+        let candidates = inner.prep.candidates();
+        w.put_u64(candidates.len() as u64);
+        for list in candidates {
+            w.put_u64(list.len() as u64);
+            for (word, sim) in list {
+                w.put_str(word);
+                w.put_f64(*sim);
+            }
+        }
+        w.put_str(&inner.fingerprint);
+        write_artifact(path, ENGINE_MAGIC, ENGINE_FORMAT_VERSION, &w.into_bytes())
+    }
+
+    /// Load an engine artifact written by [`PreparedEngine::save`].
+    ///
+    /// Rejects corrupt, truncated or version-mismatched files with
+    /// named [`ThorError`]s before any state is built, and verifies the
+    /// recomputed semantic fingerprint against the stored one after
+    /// rebuilding. The loaded engine has no metrics handle; attach one
+    /// with [`PreparedEngine::with_metrics`].
+    pub fn load(path: &Path) -> ThorResult<PreparedEngine> {
+        let t0 = std::time::Instant::now();
+        let payload = read_artifact(path, ENGINE_MAGIC, ENGINE_FORMAT_VERSION)?;
+        let mut r = ByteReader::new(&payload);
+        let err_ctx = |e: ThorError| e.context(format!("{}: engine payload", path.display()));
+
+        let config = read_config(&mut r).map_err(err_ctx)?;
+        let store = read_store(&mut r).map_err(err_ctx)?;
+        let table_csv = r.get_str().map_err(err_ctx)?;
+        let base = MatcherConfig {
+            tau: r.get_f64().map_err(err_ctx)?,
+            max_subphrase_words: r.get_u64().map_err(err_ctx)? as usize,
+            max_expansion: r.get_u64().map_err(err_ctx)? as usize,
+            cache_capacity: r.get_u64().map_err(err_ctx)? as usize,
+        };
+        let concept_count = r.get_u64().map_err(err_ctx)? as usize;
+        let mut candidates = Vec::with_capacity(concept_count.min(payload.len()));
+        for _ in 0..concept_count {
+            let entries = r.get_u64().map_err(err_ctx)? as usize;
+            let mut list = Vec::with_capacity(entries.min(payload.len()));
+            for _ in 0..entries {
+                let word = r.get_str().map_err(err_ctx)?;
+                let sim = r.get_f64().map_err(err_ctx)?;
+                list.push((word, sim));
+            }
+            candidates.push(list);
+        }
+        let stored_fingerprint = r.get_str().map_err(err_ctx)?;
+        r.finish("engine artifact").map_err(err_ctx)?;
+
+        let table = thor_data::from_csv(&table_csv)
+            .map_err(|e| ThorError::parse(format!("{}: embedded table: {e}", path.display())))?;
+        let concepts = concept_instances(&table);
+        if concepts.len() != candidates.len() {
+            return Err(ThorError::validation(format!(
+                "{}: artifact stores {} candidate lists for {} table concepts",
+                path.display(),
+                candidates.len(),
+                concepts.len()
+            )));
+        }
+        let store = Arc::new(store);
+        let store_digest = fnv1a(store.to_text().as_bytes());
+        let table_digest = fnv1a(table_csv.as_bytes());
+        let fingerprint = engine_fingerprint(&config, table_digest, store_digest);
+        if fingerprint != stored_fingerprint {
+            return Err(ThorError::validation(format!(
+                "{}: engine fingerprint mismatch (stored {stored_fingerprint}, rebuilt \
+                 {fingerprint}); artifact does not describe its own contents",
+                path.display()
+            )));
+        }
+
+        let prep = PreparedMatcher::from_parts(&concepts, Arc::clone(&store), base, candidates);
+        let matcher = prep.matcher_at(config.matcher_config(), None);
+        let dictionary = DictionaryIndex::from_concepts(concepts);
+        Ok(PreparedEngine {
+            inner: Arc::new(EngineInner {
+                config,
+                subjects: table.subjects().map(str::to_string).collect(),
+                table: Arc::new(table),
+                store,
+                prep: Arc::new(prep),
+                matcher,
+                dictionary: Arc::new(dictionary),
+                store_digest,
+                table_digest,
+                fingerprint,
+                prepare_time: t0.elapsed(),
+                metrics: None,
+            }),
+        })
+    }
+}
+
+fn write_config(w: &mut ByteWriter, c: &ThorConfig) {
+    w.put_f64(c.tau);
+    w.put_f64(c.weights.semantic);
+    w.put_f64(c.weights.word);
+    w.put_f64(c.weights.char);
+    w.put_u64(c.max_subphrase_words as u64);
+    w.put_u64(c.max_expansion as u64);
+    w.put_u64(c.cache_capacity as u64);
+    w.put_u8(match c.segmentation {
+        SegmentationMode::MentionCarryForward => 0,
+        SegmentationMode::SemanticOnly => 1,
+        SegmentationMode::MentionOnly => 2,
+    });
+    w.put_u8(u8::from(c.np_chunking));
+    match c.context_gate {
+        Some(gate) => {
+            w.put_u8(1);
+            w.put_f64(gate);
+        }
+        None => w.put_u8(0),
+    }
+    w.put_u64(c.threads as u64);
+}
+
+fn read_config(r: &mut ByteReader<'_>) -> ThorResult<ThorConfig> {
+    let tau = r.get_f64()?;
+    let weights = ScoreWeights {
+        semantic: r.get_f64()?,
+        word: r.get_f64()?,
+        char: r.get_f64()?,
+    };
+    let max_subphrase_words = r.get_u64()? as usize;
+    let max_expansion = r.get_u64()? as usize;
+    let cache_capacity = r.get_u64()? as usize;
+    let segmentation = match r.get_u8()? {
+        0 => SegmentationMode::MentionCarryForward,
+        1 => SegmentationMode::SemanticOnly,
+        2 => SegmentationMode::MentionOnly,
+        other => {
+            return Err(ThorError::parse(format!(
+                "unknown segmentation mode tag {other}"
+            )))
+        }
+    };
+    let np_chunking = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(ThorError::parse(format!("bad np_chunking flag {other}"))),
+    };
+    let context_gate = match r.get_u8()? {
+        0 => None,
+        1 => Some(r.get_f64()?),
+        other => return Err(ThorError::parse(format!("bad context_gate tag {other}"))),
+    };
+    let threads = r.get_u64()? as usize;
+    if !TAU_RANGE.contains(&tau) {
+        return Err(ThorError::validation(format!(
+            "stored tau {tau} outside [0, 1]"
+        )));
+    }
+    Ok(ThorConfig {
+        tau,
+        weights,
+        max_subphrase_words,
+        max_expansion,
+        cache_capacity,
+        segmentation,
+        np_chunking,
+        context_gate,
+        threads,
+    })
+}
+
+/// Vector store layout: dim, word count, then each word (sorted) with
+/// its exact `f32` bit patterns. Sorting makes save deterministic; the
+/// words round-trip already normalized, so re-insertion is lossless.
+fn write_store(w: &mut ByteWriter, store: &VectorStore) {
+    w.put_u64(store.dim() as u64);
+    w.put_u64(store.len() as u64);
+    let mut words: Vec<(&str, &Vector)> = store.iter().collect();
+    words.sort_by_key(|(word, _)| *word);
+    for (word, vector) in words {
+        w.put_str(word);
+        for &v in vector.as_slice() {
+            w.put_f32(v);
+        }
+    }
+}
+
+fn read_store(r: &mut ByteReader<'_>) -> ThorResult<VectorStore> {
+    let dim = r.get_u64()? as usize;
+    let count = r.get_u64()? as usize;
+    let mut store = VectorStore::new(dim);
+    for _ in 0..count {
+        let word = r.get_str()?;
+        let mut values = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            values.push(r.get_f32()?);
+        }
+        store.insert(&word, Vector(values));
+    }
+    if store.len() != count {
+        return Err(ThorError::validation(format!(
+            "store declared {count} words, rebuilt {}",
+            store.len()
+        )));
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thor_data::Schema;
+    use thor_embed::SemanticSpaceBuilder;
+
+    fn setup() -> (Thor, Table, Vec<Document>) {
+        let store = SemanticSpaceBuilder::new(24, 5)
+            .topic("anatomy")
+            .words("anatomy", ["lungs", "brain", "skin", "nerve"])
+            .generic_words(["damages", "grows"])
+            .build()
+            .into_store();
+        let mut table = Table::new(Schema::new(["Disease", "Anatomy"], "Disease"));
+        table.fill_slot("Tuberculosis", "Anatomy", "lungs");
+        table.row_for_subject("Acne");
+        let docs = vec![
+            Document::new("d0", "Tuberculosis damages the lungs and the brain."),
+            Document::new("d1", "Acne grows on the skin."),
+        ];
+        (Thor::new(store, ThorConfig::with_tau(0.6)), table, docs)
+    }
+
+    #[test]
+    fn prepared_engine_matches_one_shot_enrich() {
+        let (thor, table, docs) = setup();
+        let one_shot = thor.enrich(&table, &docs);
+        let engine = thor.prepare(&table);
+        let served = engine.enrich(&docs);
+        assert_eq!(served.entities, one_shot.entities);
+        assert_eq!(
+            thor_data::to_csv(&served.table),
+            thor_data::to_csv(&one_shot.table)
+        );
+        // Reuse: a second serve call off the same engine is identical.
+        let again = engine.enrich(&docs);
+        assert_eq!(again.entities, one_shot.entities);
+    }
+
+    #[test]
+    fn with_tau_derivation_matches_fresh_build() {
+        let (thor, table, docs) = setup();
+        let engine = thor.prepare(&table);
+        for tau in [0.6, 0.7, 0.85, 1.0] {
+            let derived = engine.with_tau(tau);
+            let fresh = Thor::new(Arc::clone(engine.store()), ThorConfig::with_tau(tau));
+            let expected = fresh.enrich(&table, &docs);
+            let got = derived.enrich(&docs);
+            assert_eq!(got.entities, expected.entities, "tau {tau}");
+            assert_eq!(
+                thor_data::to_csv(&got.table),
+                thor_data::to_csv(&expected.table),
+                "tau {tau}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_tau_below_base_re_prepares() {
+        let (thor, table, docs) = setup();
+        let high = Thor::new(Arc::clone(thor.store_arc()), ThorConfig::with_tau(0.9));
+        let engine = high.prepare(&table);
+        let lowered = engine.with_tau(0.6);
+        let expected = thor.enrich(&table, &docs);
+        assert_eq!(lowered.enrich(&docs).entities, expected.entities);
+    }
+
+    #[test]
+    fn save_load_round_trip_is_byte_identical() {
+        let (thor, table, docs) = setup();
+        let engine = thor.prepare(&table);
+        let dir = std::env::temp_dir().join(format!("thor-engine-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.thor");
+        engine.save(&path).unwrap();
+        let loaded = PreparedEngine::load(&path).unwrap();
+        assert_eq!(loaded.fingerprint(), engine.fingerprint());
+        assert_eq!(loaded.tau(), engine.tau());
+        let a = engine.enrich(&docs);
+        let b = loaded.enrich(&docs);
+        assert_eq!(a.entities, b.entities);
+        assert_eq!(thor_data::to_csv(&a.table), thor_data::to_csv(&b.table));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads_but_not_tau() {
+        let (thor, table, _) = setup();
+        let engine = thor.prepare(&table);
+        assert_eq!(
+            engine.with_threads(8).fingerprint(),
+            engine.fingerprint(),
+            "threads are output-neutral"
+        );
+        assert_ne!(engine.with_tau(0.9).fingerprint(), engine.fingerprint());
+    }
+
+    #[test]
+    fn engine_session_streams_like_batch() {
+        let (thor, table, docs) = setup();
+        let batch = thor.enrich(&table, &docs);
+        let engine = thor.prepare(&table);
+        let mut session = engine.session();
+        for d in &docs {
+            session.process(d);
+        }
+        assert_eq!(session.entities().len(), batch.entities.len());
+        assert_eq!(
+            session.finish().instance_count(),
+            batch.table.instance_count()
+        );
+    }
+}

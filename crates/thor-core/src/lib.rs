@@ -48,19 +48,37 @@
 //! let result = thor.enrich(&table, &[doc]);
 //! assert!(result.table.get_row("Tuberculosis").is_some());
 //! ```
+//!
+//! ## Build/serve split
+//!
+//! Preparation depends only on the table, the vectors and the
+//! configuration — so it is performed once, by [`Thor::prepare`], into
+//! an immutable, `Arc`-shared [`PreparedEngine`]. Every serve call
+//! ([`PreparedEngine::extract`], [`PreparedEngine::enrich`],
+//! [`PreparedEngine::session`], [`PreparedEngine::enrich_resilient`])
+//! reuses the engine; [`PreparedEngine::with_tau`] derives sibling
+//! engines for a τ sweep from one Preparation pass; and
+//! [`PreparedEngine::save`]/[`PreparedEngine::load`] persist the engine
+//! as a versioned, checksummed binary artifact that reproduces
+//! byte-identical output. Parallel serve paths share one persistent
+//! [`WorkerPool`] instead of spawning threads per call.
 
 pub mod config;
 pub mod document;
+pub mod engine;
 pub mod entity;
 pub mod extract;
 pub mod pipeline;
+pub mod pool;
 pub mod resilient;
 pub mod segment;
 pub mod slotfill;
 
 pub use config::{ScoreWeights, SegmentationMode, ThorConfig};
 pub use document::Document;
+pub use engine::{PreparedEngine, ENGINE_FORMAT_VERSION, ENGINE_MAGIC};
 pub use entity::ExtractedEntity;
 pub use pipeline::{EnrichmentResult, EnrichmentSession, Thor};
+pub use pool::{PoolScope, WorkerPool};
 pub use resilient::{ResilientOptions, ResilientOutcome, RunMode};
 pub use thor_obs::PipelineMetrics;

@@ -1,14 +1,22 @@
 //! The end-to-end THOR pipeline.
+//!
+//! [`Thor`] holds the inputs (vector store + configuration); the heavy
+//! per-table state lives in a [`PreparedEngine`] built by
+//! [`Thor::prepare`]. Every one-shot entry point here is a thin
+//! prepare-then-serve wrapper — callers that run more than one call,
+//! τ value, or document batch should hold the engine themselves.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use thor_data::Table;
 use thor_embed::VectorStore;
-use thor_match::{MatcherConfig, SimilarityMatcher};
+use thor_match::SimilarityMatcher;
 use thor_obs::PipelineMetrics;
 
 use crate::config::ThorConfig;
 use crate::document::Document;
+use crate::engine::{concept_instances, PreparedEngine};
 use crate::entity::ExtractedEntity;
 use crate::extract::extract_entities_metered;
 use crate::segment::segment_metered;
@@ -60,20 +68,24 @@ pub(crate) fn dedup_entities(entities: &mut Vec<ExtractedEntity>) {
 
 /// The THOR system: word vectors + configuration. One instance can
 /// enrich any number of (table, corpus) pairs; fine-tuning happens per
-/// call because it depends on the table's instances ("it easily adapts
-/// when the reference data integration schema evolves").
+/// table because it depends on the table's instances ("it easily adapts
+/// when the reference data integration schema evolves") — but within a
+/// table it happens *once*, inside [`Thor::prepare`], and the resulting
+/// [`PreparedEngine`] is shared by every serve call.
 #[derive(Debug, Clone)]
 pub struct Thor {
-    store: VectorStore,
+    store: Arc<VectorStore>,
     config: ThorConfig,
     metrics: Option<PipelineMetrics>,
 }
 
 impl Thor {
-    /// Create a THOR instance over a vector table.
-    pub fn new(store: VectorStore, config: ThorConfig) -> Self {
+    /// Create a THOR instance over a vector table. Accepts either a
+    /// `VectorStore` by value or an already-shared `Arc<VectorStore>`;
+    /// the store is never deep-copied after this point.
+    pub fn new(store: impl Into<Arc<VectorStore>>, config: ThorConfig) -> Self {
         Self {
-            store,
+            store: store.into(),
             config,
             metrics: None,
         }
@@ -102,6 +114,12 @@ impl Thor {
         &self.store
     }
 
+    /// The shared handle to the word-vector table (a refcount bump, not
+    /// a copy — the store is `Arc`-shared end to end).
+    pub fn store_arc(&self) -> &Arc<VectorStore> {
+        &self.store
+    }
+
     /// The metrics handle runs record into: the attached one, or an
     /// ephemeral throwaway so stage timing (which feeds the public
     /// [`EnrichmentResult`] fields) always has somewhere to go.
@@ -111,35 +129,23 @@ impl Thor {
 
     /// Phase ① fine-tuning: build the semantic matcher from the table's
     /// concepts and instances (weak supervision — no annotated text).
+    ///
+    /// Serve paths never call this per call any more — they go through
+    /// [`Thor::prepare`] and reuse the engine's matcher; this remains
+    /// for callers that want the matcher alone.
     pub fn fine_tune(&self, table: &Table) -> SimilarityMatcher {
-        self.build_matcher(table, self.metrics.as_ref())
-    }
-
-    pub(crate) fn build_matcher(
-        &self,
-        table: &Table,
-        metrics: Option<&PipelineMetrics>,
-    ) -> SimilarityMatcher {
-        let concepts: Vec<(String, Vec<String>)> = table
-            .schema()
-            .concepts()
-            .iter()
-            .map(|c| (c.name().to_string(), table.column_values(c.name())))
-            .collect();
-        let matcher_config = MatcherConfig {
-            tau: self.config.tau,
-            max_subphrase_words: self.config.max_subphrase_words,
-            max_expansion: self.config.max_expansion,
-            cache_capacity: self.config.cache_capacity,
-        };
-        match metrics {
+        let concepts = concept_instances(table);
+        let matcher_config = self.config.matcher_config();
+        match &self.metrics {
             Some(m) => SimilarityMatcher::fine_tune_metered(
                 &concepts,
-                self.store.clone(),
+                Arc::clone(&self.store),
                 matcher_config,
                 m.clone(),
             ),
-            None => SimilarityMatcher::fine_tune(&concepts, self.store.clone(), matcher_config),
+            None => {
+                SimilarityMatcher::fine_tune(&concepts, Arc::clone(&self.store), matcher_config)
+            }
         }
     }
 
@@ -147,105 +153,37 @@ impl Thor {
     /// instances, without modifying the table. Entities are deduplicated
     /// per (document, concept, phrase), keeping the highest score.
     ///
-    /// With `config.threads > 1`, documents are processed in parallel
-    /// (they are independent once the matcher is fine-tuned); the output
-    /// is identical to the single-threaded run.
+    /// With `config.threads > 1`, documents are processed in parallel on
+    /// the shared [`crate::WorkerPool`] (they are independent once the
+    /// matcher is fine-tuned); the output is identical to the
+    /// single-threaded run.
     pub fn extract(
         &self,
         table: &Table,
         docs: &[Document],
     ) -> (Vec<ExtractedEntity>, Duration, Duration) {
-        let run = self.run_metrics();
-        self.extract_with(&run, table, docs)
-    }
-
-    fn extract_with(
-        &self,
-        run: &PipelineMetrics,
-        table: &Table,
-        docs: &[Document],
-    ) -> (Vec<ExtractedEntity>, Duration, Duration) {
-        let (matcher, prepare_time) = run.prepare.time(|| self.build_matcher(table, Some(run)));
-
-        let subjects: Vec<String> = table.subjects().map(str::to_string).collect();
-        let (entities, inference_time) = run.inference.time(|| {
-            let per_doc = |doc: &Document| {
-                run.docs.inc();
-                let segments =
-                    segment_metered(doc, &subjects, &matcher, self.config.segmentation, run);
-                extract_entities_metered(&segments, &matcher, &self.config, &doc.id, run)
-            };
-            let mut entities: Vec<ExtractedEntity> = if self.config.threads <= 1 || docs.len() < 2 {
-                docs.iter().flat_map(per_doc).collect()
-            } else {
-                let workers = self.config.threads.min(docs.len());
-                let next = std::sync::atomic::AtomicUsize::new(0);
-                let mut buckets: Vec<Vec<ExtractedEntity>> = Vec::new();
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..workers)
-                        .map(|_| {
-                            scope.spawn(|| {
-                                let mut out = Vec::new();
-                                loop {
-                                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                    if i >= docs.len() {
-                                        break out;
-                                    }
-                                    out.extend(per_doc(&docs[i]));
-                                }
-                            })
-                        })
-                        .collect();
-                    for h in handles {
-                        buckets.push(h.join().expect("extraction worker panicked"));
-                    }
-                });
-                buckets.into_iter().flatten().collect()
-            };
-            // Deduplicate, keeping the best-scoring instance of each key.
-            dedup_entities(&mut entities);
-            entities
-        });
-        (entities, prepare_time, inference_time)
+        let engine = self.prepare(table);
+        let (entities, inference_time) = engine.extract(docs);
+        (entities, engine.prepare_time(), inference_time)
     }
 
     /// Start a streaming enrichment session over `table`: the matcher is
     /// fine-tuned once and documents are then processed incrementally —
     /// the deployment shape for feeds of incoming text.
-    pub fn session<'a>(&'a self, table: &Table) -> EnrichmentSession<'a> {
-        let run = self.run_metrics();
-        let (matcher, _) = run.prepare.time(|| self.build_matcher(table, Some(&run)));
-        EnrichmentSession {
-            thor: self,
-            matcher,
-            subjects: table.subjects().map(str::to_string).collect(),
-            table: table.clone(),
-            entities: Vec::new(),
-            metrics: run,
-        }
+    pub fn session(&self, table: &Table) -> EnrichmentSession {
+        self.prepare(table).session()
     }
 
     /// Run the full pipeline: Preparation, Entity Extraction, Slot
     /// Filling. Returns the enriched copy of `table`.
     pub fn enrich(&self, table: &Table, docs: &[Document]) -> EnrichmentResult {
-        let run = self.run_metrics();
-        let (entities, prepare_time, mut inference_time) = self.extract_with(&run, table, docs);
-        let mut enriched = table.clone();
-        let t = std::time::Instant::now();
-        let slot_stats = slot_fill_metered(&mut enriched, &entities, &run);
-        inference_time += t.elapsed();
-        EnrichmentResult {
-            table: enriched,
-            entities,
-            slot_stats,
-            prepare_time,
-            inference_time,
-        }
+        self.prepare(table).enrich(docs)
     }
 }
 
 /// A streaming enrichment session: fine-tuned once, fed documents one at
-/// a time, slot-filling as it goes.
+/// a time, slot-filling as it goes. Backed by a [`PreparedEngine`] (the
+/// session holds a shared handle, not a copy).
 ///
 /// ```no_run
 /// # use thor_core::{Document, Thor, ThorConfig};
@@ -261,16 +199,23 @@ impl Thor {
 /// let enriched = session.finish();
 /// # fn incoming_documents() -> Vec<Document> { vec![] }
 /// ```
-pub struct EnrichmentSession<'a> {
-    thor: &'a Thor,
-    matcher: SimilarityMatcher,
-    subjects: Vec<String>,
+pub struct EnrichmentSession {
+    engine: PreparedEngine,
     table: Table,
     entities: Vec<ExtractedEntity>,
     metrics: PipelineMetrics,
 }
 
-impl EnrichmentSession<'_> {
+impl EnrichmentSession {
+    pub(crate) fn new(engine: PreparedEngine) -> Self {
+        Self {
+            metrics: engine.run_metrics(),
+            table: engine.table().clone(),
+            entities: Vec::new(),
+            engine,
+        }
+    }
+
     /// Process one document: extract its entities and slot-fill the
     /// session table immediately. Returns the number of newly inserted
     /// values.
@@ -278,15 +223,16 @@ impl EnrichmentSession<'_> {
         let run = self.metrics.clone();
         let _span = run.inference.start();
         run.docs.inc();
+        let config = self.engine.config();
         let segments = segment_metered(
             doc,
-            &self.subjects,
-            &self.matcher,
-            self.thor.config.segmentation,
+            self.engine.subjects(),
+            self.engine.matcher(),
+            config.segmentation,
             &run,
         );
         let mut extracted =
-            extract_entities_metered(&segments, &self.matcher, &self.thor.config, &doc.id, &run);
+            extract_entities_metered(&segments, self.engine.matcher(), config, &doc.id, &run);
         // Per-document dedup (matching the batch pipeline's granularity).
         dedup_entities(&mut extracted);
         let stats = slot_fill_metered(&mut self.table, &extracted, &run);
@@ -304,7 +250,7 @@ impl EnrichmentSession<'_> {
     /// (one cache per fine-tune, shared across all documents the
     /// session processes).
     pub fn cache_stats(&self) -> thor_match::CacheStats {
-        self.matcher.cache_stats()
+        self.engine.matcher().cache_stats()
     }
 
     /// Current state of the enriched table.
@@ -429,7 +375,7 @@ mod tests {
     #[test]
     fn higher_tau_never_more_entities() {
         let (thor_low, table, docs) = setup();
-        let store = thor_low.store.clone();
+        let store = Arc::clone(thor_low.store_arc());
         let thor_high = Thor::new(store, ThorConfig::with_tau(0.95));
         let low = thor_low.enrich(&table, &docs).entities.len();
         let high = thor_high.enrich(&table, &docs).entities.len();
@@ -457,7 +403,7 @@ mod tests {
         let sequential = thor.extract(&table, &docs).0;
         let mut config = thor.config().clone();
         config.threads = 4;
-        let parallel_thor = Thor::new(thor.store.clone(), config);
+        let parallel_thor = Thor::new(Arc::clone(thor.store_arc()), config);
         let parallel = parallel_thor.extract(&table, &docs).0;
         assert_eq!(sequential.len(), parallel.len());
         let keys = |v: &[ExtractedEntity]| {

@@ -1,0 +1,330 @@
+//! The shared worker-pool executor behind every parallel serve path.
+//!
+//! Before this module, `pipeline.rs` and `resilient.rs` each spawned a
+//! fresh `std::thread::scope` per call — thread creation and teardown
+//! on every `extract`/`enrich_resilient`, twice over in a τ sweep. The
+//! [`WorkerPool`] keeps one set of detached worker threads alive for
+//! the process (grown on demand, never shrunk) and hands out *scoped
+//! submission*: [`WorkerPool::scope`] lets callers spawn borrowing
+//! closures exactly like `std::thread::scope`, blocking until every
+//! spawned task has finished before it returns.
+//!
+//! Determinism is unaffected: tasks are self-contained work-queue
+//! drainers over document indices, and the pipeline's final
+//! `dedup_order` sort makes output independent of which worker ran
+//! which document. Panics inside a task are caught, the scope drains,
+//! and the first panic is resumed on the caller thread — the same
+//! observable behaviour as a panicking `std::thread::scope` handle.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    workers: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is queued.
+    available: Condvar,
+}
+
+/// A persistent pool of detached worker threads with scoped submission.
+///
+/// One process-wide instance lives behind [`WorkerPool::global`];
+/// independent pools can be created for tests. Workers block on the
+/// queue when idle and live until process exit.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.shared.state.lock().unwrap();
+        f.debug_struct("WorkerPool")
+            .field("workers", &state.workers)
+            .field("queued", &state.queue.len())
+            .finish()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkerPool {
+    /// An empty pool; workers are spawned lazily by
+    /// [`WorkerPool::scope`] / [`WorkerPool::ensure_workers`].
+    pub fn new() -> Self {
+        Self {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    queue: VecDeque::new(),
+                    workers: 0,
+                }),
+                available: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The process-wide shared pool every pipeline serve path submits
+    /// to. Worker threads are spawned on first use and reused by every
+    /// subsequent call, τ value, and engine.
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(WorkerPool::new)
+    }
+
+    /// Current number of live worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.shared.state.lock().unwrap().workers
+    }
+
+    /// Grow the pool to at least `n` workers (never shrinks).
+    pub fn ensure_workers(&self, n: usize) {
+        let mut state = self.shared.state.lock().unwrap();
+        while state.workers < n {
+            state.workers += 1;
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("thor-pool-{}", state.workers))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn pool worker");
+        }
+    }
+
+    fn submit(&self, job: Job) {
+        let mut state = self.shared.state.lock().unwrap();
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.available.notify_one();
+    }
+
+    /// Run `f` with a scoped spawner backed by the pool: closures
+    /// spawned through the [`PoolScope`] may borrow from the enclosing
+    /// environment, and `scope` does not return until every one of them
+    /// has finished (the completion barrier that makes the borrows
+    /// sound). At least `workers` pool threads are available before `f`
+    /// runs.
+    ///
+    /// If a task panics, the panic is resumed on this thread after the
+    /// barrier; if `f` itself panics, the barrier still drains before
+    /// the panic propagates.
+    pub fn scope<'env, R>(&self, workers: usize, f: impl FnOnce(&PoolScope<'_, 'env>) -> R) -> R {
+        self.ensure_workers(workers.max(1));
+        let state = Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+        let scope = PoolScope {
+            pool: self,
+            state: Arc::clone(&state),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Completion barrier: every spawned task must finish before any
+        // borrow the tasks hold can go out of scope.
+        let mut pending = state.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = state.done.wait(pending).unwrap();
+        }
+        drop(pending);
+        if let Some(payload) = state.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().unwrap();
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                state = shared.available.wait(state).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+struct ScopeState {
+    pending: Mutex<usize>,
+    /// Signalled when `pending` drops to zero.
+    done: Condvar,
+    /// First panic payload from any task in this scope.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Scoped task spawner handed to the closure of [`WorkerPool::scope`].
+///
+/// `'env` is invariant and covers every borrow a spawned closure may
+/// capture; the scope's completion barrier guarantees those borrows
+/// outlive the tasks.
+pub struct PoolScope<'pool, 'env> {
+    pool: &'pool WorkerPool,
+    state: Arc<ScopeState>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> PoolScope<'_, 'env> {
+    /// Submit a task to the pool. The closure may borrow from the
+    /// environment of the enclosing [`WorkerPool::scope`] call; it runs
+    /// on some pool worker, and the scope will not return before it
+    /// completes. Panics are captured and resumed by the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        *self.state.pending.lock().unwrap() += 1;
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: the completion barrier in `WorkerPool::scope` blocks
+        // until `pending == 0` — even when the scope closure panics —
+        // so this task, and every borrow with lifetime 'env it holds,
+        // is finished before 'env can end. The lifetime is erased only
+        // for transport through the 'static job queue.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        self.pool.submit(Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                state.panic.lock().unwrap().get_or_insert(payload);
+            }
+            let mut pending = state.pending.lock().unwrap();
+            *pending -= 1;
+            if *pending == 0 {
+                state.done.notify_all();
+            }
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_waits_for_all_tasks() {
+        let pool = WorkerPool::new();
+        let counter = AtomicUsize::new(0);
+        pool.scope(4, |scope| {
+            for _ in 0..64 {
+                scope.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn tasks_can_borrow_the_environment() {
+        let pool = WorkerPool::new();
+        let data: Vec<usize> = (0..100).collect();
+        let next = AtomicUsize::new(0);
+        let total = Mutex::new(0usize);
+        pool.scope(3, |scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let mut local = 0;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(v) = data.get(i) else { break };
+                        local += v;
+                    }
+                    *total.lock().unwrap() += local;
+                });
+            }
+        });
+        assert_eq!(total.into_inner().unwrap(), 4950);
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_scopes() {
+        let pool = WorkerPool::new();
+        pool.scope(2, |scope| scope.spawn(|| {}));
+        let after_first = pool.worker_count();
+        pool.scope(2, |scope| scope.spawn(|| {}));
+        assert_eq!(pool.worker_count(), after_first, "no new threads spawned");
+        pool.scope(4, |scope| scope.spawn(|| {}));
+        assert!(pool.worker_count() >= 4, "pool grows on demand");
+    }
+
+    #[test]
+    fn task_panic_propagates_after_drain() {
+        let pool = WorkerPool::new();
+        let completed = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(2, |scope| {
+                scope.spawn(|| panic!("task boom"));
+                for _ in 0..8 {
+                    scope.spawn(|| {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The barrier drained every other task before unwinding.
+        assert_eq!(completed.load(Ordering::Relaxed), 8);
+        // The pool survives a panicked scope.
+        let ok = AtomicUsize::new(0);
+        pool.scope(2, |scope| {
+            scope.spawn(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn concurrent_scopes_share_one_pool() {
+        let pool = Arc::new(WorkerPool::new());
+        pool.ensure_workers(4);
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    pool.scope(2, |scope| {
+                        for _ in 0..16 {
+                            let total = Arc::clone(&total);
+                            scope.spawn(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = WorkerPool::global() as *const _;
+        let b = WorkerPool::global() as *const _;
+        assert_eq!(a, b);
+    }
+}

@@ -19,6 +19,12 @@
 //! produces **byte-identical** output to an uninterrupted run, for any
 //! thread count and cache configuration.
 //!
+//! The run itself is hosted on a [`PreparedEngine`]
+//! ([`PreparedEngine::enrich_resilient`]): Preparation happens once in
+//! [`Thor::prepare`], parallel workers come from the shared
+//! [`crate::WorkerPool`], and the same engine can serve resilient and
+//! plain calls alike.
+//!
 //! Fault-injection seams (`validate`, `segment`, `extract`, `slot_fill`,
 //! plus `checkpoint_save`/`atomic_write` inside thor-fault) are compiled
 //! in via [`thor_fault::fail_point`]; see `thor_fault::failpoint::SITES`.
@@ -36,10 +42,13 @@ use thor_fault::{
 use thor_match::SimilarityMatcher;
 use thor_obs::PipelineMetrics;
 
+use crate::config::ThorConfig;
 use crate::document::Document;
+use crate::engine::PreparedEngine;
 use crate::entity::ExtractedEntity;
 use crate::extract::extract_entities_metered;
 use crate::pipeline::{dedup_entities, EnrichmentResult, Thor};
+use crate::pool::WorkerPool;
 use crate::segment::segment_metered;
 use crate::slotfill::slot_fill_metered;
 
@@ -216,7 +225,7 @@ impl RunState {
 /// Process one document through admission control, segmentation, and
 /// extraction, isolating panics to the document.
 fn process_doc(
-    thor: &Thor,
+    config: &ThorConfig,
     matcher: &SimilarityMatcher,
     subjects: &[String],
     doc: &Document,
@@ -238,7 +247,7 @@ fn process_doc(
             doc,
             subjects,
             matcher,
-            thor.config().segmentation,
+            config.segmentation,
             run,
         ))
     })) {
@@ -252,11 +261,7 @@ fn process_doc(
     match catch_unwind(AssertUnwindSafe(|| {
         fail_point("extract")?;
         Ok(extract_entities_metered(
-            &segments,
-            matcher,
-            thor.config(),
-            &doc.id,
-            run,
+            &segments, matcher, config, &doc.id, run,
         ))
     })) {
         Ok(Ok(entities)) => {
@@ -268,45 +273,64 @@ fn process_doc(
     }
 }
 
-impl Thor {
-    /// Fingerprint tying a checkpoint to the inputs and configuration
-    /// that produced it: any difference that could change extraction
-    /// output makes resume refuse the stale state.
-    fn run_fingerprint(&self, table: &Table, docs: &[Document]) -> String {
-        let c = self.config();
-        let mut parts: Vec<String> = vec![
-            format!("tau={:016x}", c.tau.to_bits()),
-            format!("subphrase={}", c.max_subphrase_words),
-            format!("expansion={}", c.max_expansion),
-            format!("gate={:?}", c.context_gate.map(f64::to_bits)),
-            format!("seg={:?}", c.segmentation),
-            format!("np={}", c.np_chunking),
-            format!(
-                "weights={:016x},{:016x},{:016x}",
-                c.weights.semantic.to_bits(),
-                c.weights.word.to_bits(),
-                c.weights.char.to_bits()
-            ),
-        ];
-        for concept in table.schema().concepts() {
-            parts.push(format!("concept={}", concept.name()));
-            for value in table.column_values(concept.name()) {
-                parts.push(value);
-            }
+/// Fingerprint tying a checkpoint to the inputs and configuration that
+/// produced it: any difference that could change extraction output
+/// makes resume refuse the stale state. (Distinct from the engine
+/// artifact's fingerprint, which covers the store but not the corpus.)
+pub(crate) fn run_fingerprint(config: &ThorConfig, table: &Table, docs: &[Document]) -> String {
+    let c = config;
+    let mut parts: Vec<String> = vec![
+        format!("tau={:016x}", c.tau.to_bits()),
+        format!("subphrase={}", c.max_subphrase_words),
+        format!("expansion={}", c.max_expansion),
+        format!("gate={:?}", c.context_gate.map(f64::to_bits)),
+        format!("seg={:?}", c.segmentation),
+        format!("np={}", c.np_chunking),
+        format!(
+            "weights={:016x},{:016x},{:016x}",
+            c.weights.semantic.to_bits(),
+            c.weights.word.to_bits(),
+            c.weights.char.to_bits()
+        ),
+    ];
+    for concept in table.schema().concepts() {
+        parts.push(format!("concept={}", concept.name()));
+        for value in table.column_values(concept.name()) {
+            parts.push(value);
         }
-        for doc in docs {
-            parts.push(format!("doc={}", doc.id));
-        }
-        fingerprint(parts)
     }
+    for doc in docs {
+        parts.push(format!("doc={}", doc.id));
+    }
+    fingerprint(parts)
+}
 
+impl Thor {
     /// Run the full pipeline with per-document fault isolation,
     /// quarantine, and (optionally) checkpoint/resume. See the module
     /// docs for semantics; [`Thor::enrich`] remains the fast path for
     /// trusted input.
+    ///
+    /// This is a prepare-then-serve wrapper over
+    /// [`PreparedEngine::enrich_resilient`] — hold the engine yourself
+    /// to amortize Preparation across runs.
     pub fn enrich_resilient(
         &self,
         table: &Table,
+        docs: &[Document],
+        opts: &ResilientOptions,
+    ) -> ThorResult<ResilientOutcome> {
+        self.prepare(table).enrich_resilient(docs, opts)
+    }
+}
+
+impl PreparedEngine {
+    /// Resilient enrichment served from this engine: admission control,
+    /// per-document panic isolation, quarantine, checkpoint/resume —
+    /// without re-running Preparation. Workers come from the shared
+    /// [`WorkerPool`].
+    pub fn enrich_resilient(
+        &self,
         docs: &[Document],
         opts: &ResilientOptions,
     ) -> ThorResult<ResilientOutcome> {
@@ -322,7 +346,7 @@ impl Thor {
         }
 
         let run = self.run_metrics();
-        let run_fp = self.run_fingerprint(table, docs);
+        let run_fp = run_fingerprint(self.config(), self.table(), docs);
         let mut state = RunState {
             checkpoint: Checkpoint::new(run_fp.clone()),
             dir: opts.checkpoint_dir.clone(),
@@ -361,8 +385,10 @@ impl Thor {
             }
         }
 
-        let (matcher, prepare_time) = run.prepare.time(|| self.build_matcher(table, Some(&run)));
-        let subjects: Vec<String> = table.subjects().map(str::to_string).collect();
+        let config = self.config();
+        let matcher = self.matcher();
+        let subjects = self.subjects();
+        let prepare_time = self.prepare_time();
         let pending: Vec<&Document> = docs
             .iter()
             .filter(|d| !state.checkpoint.processed.contains(&d.id))
@@ -371,11 +397,11 @@ impl Thor {
         let processed_docs = pending.len();
 
         let inference_t0 = std::time::Instant::now();
-        let workers = self.config().threads.min(pending.len().max(1));
+        let workers = config.threads.min(pending.len().max(1));
         let loop_result: ThorResult<()> = if workers <= 1 {
             (|| {
                 for doc in pending.iter().copied() {
-                    let status = process_doc(self, &matcher, &subjects, doc, &opts.policy, &run);
+                    let status = process_doc(config, matcher, subjects, doc, &opts.policy, &run);
                     state.record(doc.id.clone(), status, &run)?;
                 }
                 Ok(())
@@ -383,12 +409,13 @@ impl Thor {
         } else {
             let next = AtomicUsize::new(0);
             let cancel = AtomicBool::new(false);
-            std::thread::scope(|scope| {
+            let state = &mut state;
+            WorkerPool::global().scope(workers, |scope| {
                 let (tx, rx) = mpsc::channel::<(String, DocStatus)>();
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let (next, cancel, pending) = (&next, &cancel, &pending);
-                    let (matcher, subjects, run) = (&matcher, &subjects, &run);
+                    let (run, policy) = (&run, &opts.policy);
                     scope.spawn(move || loop {
                         if cancel.load(Ordering::Relaxed) {
                             break;
@@ -397,12 +424,14 @@ impl Thor {
                         let Some(doc) = pending.get(i).copied() else {
                             break;
                         };
-                        let status = process_doc(self, matcher, subjects, doc, &opts.policy, run);
+                        let status = process_doc(config, matcher, subjects, doc, policy, run);
                         if tx.send((doc.id.clone(), status)).is_err() {
                             break;
                         }
                     });
                 }
+                // The consumer runs on this thread inside the scope: the
+                // senders drop as workers finish, ending the loop.
                 drop(tx);
                 let mut first_err = None;
                 for (doc_id, status) in rx {
@@ -426,7 +455,7 @@ impl Thor {
         let mut entities: Vec<ExtractedEntity> =
             state.checkpoint.entities.iter().map(from_record).collect();
         dedup_entities(&mut entities);
-        let mut enriched = table.clone();
+        let mut enriched = self.table().clone();
         let slot_stats = slot_fill_metered(&mut enriched, &entities, &run);
         let inference_time = inference_t0.elapsed();
         run.inference.record(inference_time);
@@ -541,5 +570,22 @@ mod tests {
         assert_eq!(outcome.quarantine.len(), 2);
         assert_eq!(metrics.snapshot().count("quarantine.docs"), 2);
         assert_eq!(metrics.snapshot().count("docs"), 3);
+    }
+
+    #[test]
+    fn engine_resilient_run_reuses_preparation() {
+        let (thor, table, docs) = setup();
+        let engine = thor.prepare(&table);
+        let a = engine
+            .enrich_resilient(&docs, &ResilientOptions::default())
+            .unwrap();
+        let b = engine
+            .enrich_resilient(&docs, &ResilientOptions::default())
+            .unwrap();
+        assert_eq!(a.result.entities, b.result.entities);
+        assert_eq!(
+            thor_data::to_csv(&a.result.table),
+            thor_data::to_csv(&b.result.table)
+        );
     }
 }

@@ -153,23 +153,27 @@ impl VectorStore {
         thor_fault::fail_point("read_vectors")
             .map_err(|e| e.context(format!("loading vectors from {}", path.display())))?;
         let text = thor_fault::read_to_string(path)?;
-        Self::from_text(&text)
-            .map_err(|e| thor_fault::ThorError::parse(format!("{}: {e}", path.display())))
+        Self::from_text(&text).map_err(|e| e.context(path.display().to_string()))
     }
 
-    /// Parse the format written by [`VectorStore::to_text`].
-    pub fn from_text(text: &str) -> Result<Self, String> {
+    /// Parse the format written by [`VectorStore::to_text`]. Failures
+    /// are [`thor_fault::ErrorKind::Parse`] errors naming the offending
+    /// 1-based line.
+    pub fn from_text(text: &str) -> Result<Self, thor_fault::ThorError> {
+        use thor_fault::ThorError;
         let mut lines = text.lines();
-        let header = lines.next().ok_or("empty vector file")?;
+        let header = lines
+            .next()
+            .ok_or_else(|| ThorError::parse("empty vector file"))?;
         let mut parts = header.split_whitespace();
         let count: usize = parts
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or("bad header count")?;
+            .ok_or_else(|| ThorError::parse("bad header count"))?;
         let dim: usize = parts
             .next()
             .and_then(|s| s.parse().ok())
-            .ok_or("bad header dim")?;
+            .ok_or_else(|| ThorError::parse("bad header dim"))?;
         let mut store = VectorStore::new(dim);
         for (i, line) in lines.enumerate() {
             if line.trim().is_empty() {
@@ -177,24 +181,24 @@ impl VectorStore {
             }
             let (word, rest) = line
                 .split_once('\t')
-                .ok_or_else(|| format!("line {}: no tab", i + 2))?;
+                .ok_or_else(|| ThorError::parse(format!("line {}: no tab", i + 2)))?;
             let values: Result<Vec<f32>, _> =
                 rest.split_whitespace().map(str::parse::<f32>).collect();
-            let values = values.map_err(|e| format!("line {}: {e}", i + 2))?;
+            let values = values.map_err(|e| ThorError::parse(format!("line {}: {e}", i + 2)))?;
             if values.len() != dim {
-                return Err(format!(
+                return Err(ThorError::parse(format!(
                     "line {}: expected {dim} values, got {}",
                     i + 2,
                     values.len()
-                ));
+                )));
             }
             store.insert(word, Vector(values));
         }
         if store.len() != count {
-            return Err(format!(
+            return Err(ThorError::parse(format!(
                 "header declared {count} words, found {}",
                 store.len()
-            ));
+            )));
         }
         Ok(store)
     }

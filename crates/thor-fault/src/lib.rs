@@ -15,6 +15,10 @@
 //!   I/O and pipeline seams; zero-cost when unarmed.
 //! - [`atomic_io`] — atomic file writes (temp file + fsync + rename) so
 //!   a kill never leaves truncated artifacts behind.
+//! - [`artifact`] — the versioned binary artifact container (magic +
+//!   format version + FNV-1a checksum header) used by persistable
+//!   engine bundles; rejects corrupt/truncated/mismatched files before
+//!   any payload parsing runs.
 //! - [`validate`] — document admission control: UTF-8 decoding with
 //!   byte offsets, size caps, empty/garbage detection.
 //! - [`quarantine`] — the per-document failure ledger (doc id, stage,
@@ -22,6 +26,7 @@
 //! - [`checkpoint`] — the resumable-run state file: processed-doc set,
 //!   partial slot-fills, quarantine entries, and a metrics snapshot.
 
+pub mod artifact;
 pub mod atomic_io;
 pub mod checkpoint;
 pub mod error;
@@ -29,6 +34,7 @@ pub mod failpoint;
 pub mod quarantine;
 pub mod validate;
 
+pub use artifact::{fnv1a, read_artifact, write_artifact, ByteReader, ByteWriter};
 pub use atomic_io::{atomic_write, read_bytes, read_to_string};
 pub use checkpoint::{fingerprint, Checkpoint, EntityRecord};
 pub use error::{ErrorKind, ResultExt, ThorError, ThorResult};

@@ -22,11 +22,13 @@
 //! linguistic normalization stay in `thor-embed` / `thor-text`.
 
 pub mod cache;
+pub mod dictionary;
 pub mod entity;
 pub mod index;
 pub mod source;
 
 pub use cache::{CacheStats, PhraseCache};
+pub use dictionary::DictionaryIndex;
 pub use entity::CandidateEntity;
 pub use index::{ConceptScores, VectorIndex, VectorIndexBuilder};
 pub use source::CandidateSource;

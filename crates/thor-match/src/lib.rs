@@ -18,10 +18,18 @@
 //! concept whose cluster has the highest mean pairwise similarity to the
 //! query, and reports the best-matching *seed instance* `c_m` used later
 //! by the syntactic refinement.
+//!
+//! **Preparation reuse**: [`PreparedMatcher`] freezes the fine-tuning
+//! output (seed clusters + the untruncated τ-expansion candidate lists)
+//! so one Preparation pass at the lowest τ can derive the matcher for
+//! any τ′ ≥ τ — bit-identically to a fresh `fine_tune(τ′)`, because
+//! both share the same construction path.
 
 pub mod cluster;
 pub mod matcher;
+pub mod prepared;
 
 pub use cluster::{ClusterScore, ConceptCluster};
 pub use matcher::{CandidateEntity, MatcherConfig, SimilarityMatcher, TAU_RANGE};
+pub use prepared::PreparedMatcher;
 pub use thor_index::{CacheStats, CandidateSource, PhraseCache, VectorIndex};

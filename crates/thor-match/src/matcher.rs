@@ -1,12 +1,15 @@
 //! The fine-tuned similarity matcher, built on the shared
 //! `thor-index` candidate-generation engine.
 
+use std::sync::Arc;
+
 use thor_embed::VectorStore;
 use thor_index::{CacheStats, CandidateSource, PhraseCache, VectorIndex, VectorIndexBuilder};
 use thor_obs::PipelineMetrics;
 use thor_text::{is_stopword, normalize_phrase};
 
 use crate::cluster::ConceptCluster;
+use crate::prepared::PreparedMatcher;
 
 pub use thor_index::CandidateEntity;
 
@@ -77,9 +80,13 @@ enum CachedMatch {
 }
 
 /// The fine-tuned semantic similarity matcher.
+///
+/// The vector store is `Arc`-shared end to end: fine-tuning, the
+/// prepared-engine layer and every matcher clone reference one
+/// immutable store — no serve-path API deep-copies the vectors.
 #[derive(Debug, Clone)]
 pub struct SimilarityMatcher {
-    store: VectorStore,
+    store: Arc<VectorStore>,
     clusters: Vec<ConceptCluster>,
     index: VectorIndex,
     cache: PhraseCache<CachedMatch>,
@@ -105,10 +112,10 @@ impl SimilarityMatcher {
     /// construction.
     pub fn fine_tune(
         concepts: &[(String, Vec<String>)],
-        store: VectorStore,
+        store: impl Into<Arc<VectorStore>>,
         config: MatcherConfig,
     ) -> Self {
-        Self::fine_tune_impl(concepts, store, config, None)
+        Self::fine_tune_impl(concepts, store.into(), config, None)
     }
 
     /// [`SimilarityMatcher::fine_tune`] with observability: fine-tuning
@@ -118,74 +125,37 @@ impl SimilarityMatcher {
     /// subphrase/candidate/cache counts and per-call timing.
     pub fn fine_tune_metered(
         concepts: &[(String, Vec<String>)],
-        store: VectorStore,
+        store: impl Into<Arc<VectorStore>>,
         config: MatcherConfig,
         metrics: PipelineMetrics,
     ) -> Self {
-        Self::fine_tune_impl(concepts, store, config, Some(metrics))
+        Self::fine_tune_impl(concepts, store.into(), config, Some(metrics))
     }
 
+    /// One-shot fine-tuning is prepare-then-derive at the same τ: the
+    /// [`PreparedMatcher`] runs the vocabulary scan, `matcher_at`
+    /// filters/truncates and assembles the matcher. Sharing this single
+    /// construction path with the engine's τ-sweep derivation is what
+    /// makes derived matchers bit-identical to fresh ones.
     fn fine_tune_impl(
         concepts: &[(String, Vec<String>)],
-        store: VectorStore,
+        store: Arc<VectorStore>,
         config: MatcherConfig,
         metrics: Option<PipelineMetrics>,
     ) -> Self {
-        let seeds: Vec<Vec<(String, thor_embed::Vector)>> = concepts
-            .iter()
-            .map(|(_, instances)| ConceptCluster::embed_seeds(instances, &store))
-            .collect();
+        PreparedMatcher::prepare(concepts, store, config.clone()).matcher_at(config, metrics)
+    }
 
-        // Competitive expansion: word → its best concept. Seed scoring
-        // runs over a seeds-only index so each vocabulary word's norm is
-        // computed once instead of once per (word, seed) pair.
-        let mut expansion: Vec<Vec<(String, f64)>> = vec![Vec::new(); concepts.len()];
-        if config.tau < 1.0 {
-            let seed_index = {
-                let mut builder = VectorIndexBuilder::new(store.dim());
-                for ((name, _), cluster_seeds) in concepts.iter().zip(&seeds) {
-                    builder.add_concept(
-                        name,
-                        cluster_seeds.len(),
-                        cluster_seeds
-                            .iter()
-                            .map(|(w, v)| (w.as_str(), v.as_slice())),
-                    );
-                }
-                builder.build()
-            };
-            for (word, vec) in store.iter() {
-                let qn = vec.norm();
-                let mut best: Option<(usize, f64)> = None;
-                for scores in seed_index.scan(vec.as_slice(), qn) {
-                    // An empty concept folds to f64::MIN exactly like the
-                    // brute-force reference, and never reaches τ.
-                    let sim = scores.max.unwrap_or(f64::MIN);
-                    if sim.is_finite() && best.is_none_or(|(_, b)| sim > b) {
-                        best = Some((scores.concept, sim));
-                    }
-                }
-                if let Some((ci, sim)) = best {
-                    if sim >= config.tau && !seeds[ci].iter().any(|(s, _)| s == word) {
-                        expansion[ci].push((word.to_string(), sim));
-                    }
-                }
-            }
-        }
-        let clusters: Vec<ConceptCluster> = concepts
-            .iter()
-            .zip(seeds)
-            .zip(expansion)
-            .map(|(((name, _), seeds), mut expanded)| {
-                expanded.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-                expanded.truncate(config.max_expansion);
-                let words: Vec<String> = expanded.into_iter().map(|(w, _)| w).collect();
-                if let Some(m) = &metrics {
-                    m.expansion_words.add(words.len() as u64);
-                }
-                ConceptCluster::from_parts(name, seeds, &words, &store)
-            })
-            .collect();
+    /// Assemble a matcher from already-derived clusters: freeze the
+    /// index (timed under `index.build`), record the fine-tune gauges,
+    /// and open a fresh phrase cache. Crate-internal — the only callers
+    /// are [`PreparedMatcher::matcher_at`] and (through it) fine-tuning.
+    pub(crate) fn from_clusters(
+        store: Arc<VectorStore>,
+        clusters: Vec<ConceptCluster>,
+        config: MatcherConfig,
+        metrics: Option<PipelineMetrics>,
+    ) -> Self {
         let index = {
             let _span = metrics.as_ref().map(|m| m.index_build.start());
             Self::build_index(&clusters, store.dim())
@@ -244,6 +214,12 @@ impl SimilarityMatcher {
 
     /// The underlying vector table.
     pub fn store(&self) -> &VectorStore {
+        &self.store
+    }
+
+    /// The shared handle to the vector table — cloning this is a
+    /// refcount bump, never a deep copy.
+    pub fn store_arc(&self) -> &Arc<VectorStore> {
         &self.store
     }
 

@@ -1,0 +1,312 @@
+//! The frozen output of THOR's Preparation phase, reusable across τ.
+//!
+//! [`PreparedMatcher`] holds everything `fine_tune` computes that does
+//! *not* depend on which τ the serve path finally asks for: the
+//! embedded seed clusters and the **untruncated** competitive-expansion
+//! candidate list per concept, scored at the lowest τ the preparation
+//! was run with. Deriving a [`SimilarityMatcher`] at any τ′ ≥ τ_base is
+//! then a filter-and-truncate over the candidate lists — no vocabulary
+//! scan, no re-embedding — and is bit-identical to a fresh
+//! `fine_tune` at τ′ because both paths share [`PreparedMatcher::matcher_at`]:
+//!
+//! * the competitive best-concept choice per vocabulary word is
+//!   τ-independent (the word goes to its most-similar concept; τ only
+//!   gates whether it joins at all), and
+//! * candidate lists are kept sorted by the total order
+//!   `(sim desc, word asc)`, so filtering `sim ≥ τ′` then truncating to
+//!   `max_expansion` equals sorting the τ′-filtered set from scratch.
+//!
+//! This is the τ-monotonicity the paper's precision/recall sweep relies
+//! on: representative sets at higher τ are similarity-filtered subsets
+//! of the sets at lower τ.
+
+use std::sync::Arc;
+
+use thor_embed::{Vector, VectorStore};
+use thor_index::VectorIndexBuilder;
+use thor_obs::PipelineMetrics;
+
+use crate::cluster::ConceptCluster;
+use crate::matcher::{MatcherConfig, SimilarityMatcher, TAU_RANGE};
+
+/// Frozen fine-tuning state: seeds + untruncated τ-expansion
+/// candidates, valid for every τ′ ≥ the base config's τ.
+#[derive(Debug, Clone)]
+pub struct PreparedMatcher {
+    store: Arc<VectorStore>,
+    names: Vec<String>,
+    seeds: Vec<Vec<(String, Vector)>>,
+    /// Per concept: candidate expansion words with their best-concept
+    /// similarity, every entry ≥ `base.tau`, sorted by
+    /// `(sim desc, word asc)`, **not** truncated to `max_expansion`.
+    candidates: Vec<Vec<(String, f64)>>,
+    base: MatcherConfig,
+}
+
+impl PreparedMatcher {
+    /// Run the Preparation phase once: embed each concept's seeds and
+    /// collect the full competitive τ-expansion candidate lists at
+    /// `base.tau`. The result serves every τ′ ∈ [`base.tau`, 1].
+    pub fn prepare(
+        concepts: &[(String, Vec<String>)],
+        store: impl Into<Arc<VectorStore>>,
+        base: MatcherConfig,
+    ) -> Self {
+        let store = store.into();
+        let seeds: Vec<Vec<(String, Vector)>> = concepts
+            .iter()
+            .map(|(_, instances)| ConceptCluster::embed_seeds(instances, &store))
+            .collect();
+
+        // Competitive expansion: word → its best concept. Seed scoring
+        // runs over a seeds-only index so each vocabulary word's norm is
+        // computed once instead of once per (word, seed) pair.
+        let mut candidates: Vec<Vec<(String, f64)>> = vec![Vec::new(); concepts.len()];
+        if base.tau < 1.0 {
+            let seed_index = {
+                let mut builder = VectorIndexBuilder::new(store.dim());
+                for ((name, _), cluster_seeds) in concepts.iter().zip(&seeds) {
+                    builder.add_concept(
+                        name,
+                        cluster_seeds.len(),
+                        cluster_seeds
+                            .iter()
+                            .map(|(w, v)| (w.as_str(), v.as_slice())),
+                    );
+                }
+                builder.build()
+            };
+            for (word, vec) in store.iter() {
+                let qn = vec.norm();
+                let mut best: Option<(usize, f64)> = None;
+                for scores in seed_index.scan(vec.as_slice(), qn) {
+                    // An empty concept folds to f64::MIN exactly like the
+                    // brute-force reference, and never reaches τ.
+                    let sim = scores.max.unwrap_or(f64::MIN);
+                    if sim.is_finite() && best.is_none_or(|(_, b)| sim > b) {
+                        best = Some((scores.concept, sim));
+                    }
+                }
+                if let Some((ci, sim)) = best {
+                    if sim >= base.tau && !seeds[ci].iter().any(|(s, _)| s == word) {
+                        candidates[ci].push((word.to_string(), sim));
+                    }
+                }
+            }
+            // Keep each list in the total order fine-tuning sorts by, so
+            // deriving a matcher at τ′ is a pure filter + truncate.
+            for list in &mut candidates {
+                list.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            }
+        }
+
+        Self {
+            store,
+            names: concepts.iter().map(|(name, _)| name.clone()).collect(),
+            seeds,
+            candidates,
+            base,
+        }
+    }
+
+    /// Reassemble a prepared matcher from persisted candidate lists
+    /// (the expensive vocabulary scan) plus the concept seed instances,
+    /// which are re-embedded from `store` — the same constructor path
+    /// [`PreparedMatcher::prepare`] uses, so a loaded matcher is
+    /// indistinguishable from a freshly prepared one.
+    ///
+    /// `candidates` must be one list per concept, in concept order,
+    /// exactly as [`PreparedMatcher::candidates`] returned them.
+    pub fn from_parts(
+        concepts: &[(String, Vec<String>)],
+        store: impl Into<Arc<VectorStore>>,
+        base: MatcherConfig,
+        candidates: Vec<Vec<(String, f64)>>,
+    ) -> Self {
+        assert_eq!(
+            candidates.len(),
+            concepts.len(),
+            "one candidate list per concept"
+        );
+        let store = store.into();
+        let seeds = concepts
+            .iter()
+            .map(|(_, instances)| ConceptCluster::embed_seeds(instances, &store))
+            .collect();
+        Self {
+            store,
+            names: concepts.iter().map(|(name, _)| name.clone()).collect(),
+            seeds,
+            candidates,
+            base,
+        }
+    }
+
+    /// Derive the fine-tuned matcher for `config`. This is the single
+    /// construction path for every `SimilarityMatcher` in the workspace
+    /// — `fine_tune` itself is `prepare(τ)` + `matcher_at(τ)` — which is
+    /// what makes engine-reuse sweeps bit-identical to per-τ rebuilds.
+    ///
+    /// Panics if `config.tau` is outside [`TAU_RANGE`] or below the τ
+    /// this preparation was run at (candidates below the base τ were
+    /// never collected).
+    pub fn matcher_at(
+        &self,
+        config: MatcherConfig,
+        metrics: Option<PipelineMetrics>,
+    ) -> SimilarityMatcher {
+        assert!(
+            TAU_RANGE.contains(&config.tau),
+            "tau must be in [0, 1] (TAU_RANGE)"
+        );
+        assert!(
+            config.tau >= self.base.tau,
+            "matcher_at(tau={}) below prepared base tau {}: candidates were only collected at the base tau",
+            config.tau,
+            self.base.tau
+        );
+        let clusters: Vec<ConceptCluster> = self
+            .names
+            .iter()
+            .zip(&self.seeds)
+            .zip(&self.candidates)
+            .map(|((name, seeds), list)| {
+                // At τ ≥ 1 fine-tuning skips the vocabulary scan
+                // entirely, so the expansion is empty by definition.
+                let words: Vec<String> = if config.tau >= 1.0 {
+                    Vec::new()
+                } else {
+                    list.iter()
+                        .filter(|(_, sim)| *sim >= config.tau)
+                        .take(config.max_expansion)
+                        .map(|(w, _)| w.clone())
+                        .collect()
+                };
+                if let Some(m) = &metrics {
+                    m.expansion_words.add(words.len() as u64);
+                }
+                ConceptCluster::from_parts(name, seeds.clone(), &words, &self.store)
+            })
+            .collect();
+        SimilarityMatcher::from_clusters(Arc::clone(&self.store), clusters, config, metrics)
+    }
+
+    /// The config the preparation ran with; its `tau` is the lowest τ
+    /// [`PreparedMatcher::matcher_at`] accepts.
+    pub fn base(&self) -> &MatcherConfig {
+        &self.base
+    }
+
+    /// The shared vector store.
+    pub fn store(&self) -> &Arc<VectorStore> {
+        &self.store
+    }
+
+    /// Concept names, in preparation order.
+    pub fn concept_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Per-concept untruncated expansion candidates `(word, sim)`,
+    /// sorted `(sim desc, word asc)` — the persistable part of the
+    /// preparation (seeds are re-embedded from the store on load).
+    pub fn candidates(&self) -> &[Vec<(String, f64)>] {
+        &self.candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thor_embed::SemanticSpaceBuilder;
+
+    fn space() -> (VectorStore, Vec<(String, Vec<String>)>) {
+        let store = SemanticSpaceBuilder::new(24, 11)
+            .topic("anatomy")
+            .correlated_topic("complication", "anatomy", 0.3)
+            .words("anatomy", ["brain", "nerve", "lung", "spine", "ear"])
+            .words("complication", ["cancer", "tumor", "stroke", "clot"])
+            .generic_words(["walk", "green", "people"])
+            .build()
+            .into_store();
+        let concepts = vec![
+            (
+                "Anatomy".to_string(),
+                vec!["nervous system".to_string(), "ear".to_string()],
+            ),
+            (
+                "Complication".to_string(),
+                vec!["skin cancer".to_string(), "stroke".to_string()],
+            ),
+        ];
+        (store, concepts)
+    }
+
+    #[test]
+    fn derived_matcher_equals_fresh_fine_tune() {
+        let (store, concepts) = space();
+        let prep = PreparedMatcher::prepare(&concepts, store.clone(), MatcherConfig::with_tau(0.5));
+        for tau in [0.5, 0.6, 0.75, 0.9, 1.0] {
+            let derived = prep.matcher_at(MatcherConfig::with_tau(tau), None);
+            let fresh = SimilarityMatcher::fine_tune(
+                &concepts,
+                store.clone(),
+                MatcherConfig::with_tau(tau),
+            );
+            for (d, f) in derived.clusters().iter().zip(fresh.clusters()) {
+                assert_eq!(
+                    d.representative_words().collect::<Vec<_>>(),
+                    f.representative_words().collect::<Vec<_>>(),
+                    "tau {tau}"
+                );
+            }
+            for phrase in ["brain tumor", "the ear", "green walk", "stroke risk"] {
+                assert_eq!(
+                    derived.match_phrase(phrase),
+                    fresh.match_phrase(phrase),
+                    "tau {tau}, phrase {phrase:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_above_base_tau() {
+        let (store, concepts) = space();
+        let base = MatcherConfig::with_tau(0.4);
+        let prep = PreparedMatcher::prepare(&concepts, store, base.clone());
+        for list in prep.candidates() {
+            assert!(list.iter().all(|(_, sim)| *sim >= base.tau));
+            assert!(list
+                .windows(2)
+                .all(|w| w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0)));
+        }
+    }
+
+    #[test]
+    fn from_parts_round_trips_the_preparation() {
+        let (store, concepts) = space();
+        let prep = PreparedMatcher::prepare(&concepts, store.clone(), MatcherConfig::with_tau(0.5));
+        let rebuilt = PreparedMatcher::from_parts(
+            &concepts,
+            store,
+            prep.base().clone(),
+            prep.candidates().to_vec(),
+        );
+        for tau in [0.5, 0.8] {
+            let a = prep.matcher_at(MatcherConfig::with_tau(tau), None);
+            let b = rebuilt.matcher_at(MatcherConfig::with_tau(tau), None);
+            for phrase in ["brain tumor", "the ear"] {
+                assert_eq!(a.match_phrase(phrase), b.match_phrase(phrase));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below prepared base tau")]
+    fn matcher_below_base_tau_is_rejected() {
+        let (store, concepts) = space();
+        let prep = PreparedMatcher::prepare(&concepts, store, MatcherConfig::with_tau(0.7));
+        let _ = prep.matcher_at(MatcherConfig::with_tau(0.5), None);
+    }
+}

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Engine build/serve smoke test against the real CLI.
+#
+# Exercises the PreparedEngine artifact end to end:
+#   1. `thor build` writes an engine artifact; `thor enrich --engine`
+#      serves byte-identical enriched CSV and entities TSV to a direct
+#      `thor enrich` from the same table/vectors/tau, for thread
+#      counts 1 and 4 (the artifact freezes behavior, not parallelism);
+#   2. frozen options (--table/--vectors/--tau) conflict with --engine
+#      and are rejected with a named error;
+#   3. a corrupted artifact (single flipped payload byte) is rejected
+#      with a checksum error, never served;
+#   4. checkpoint/resume works when serving from an artifact: a run
+#      killed mid-extraction and resumed off the same engine file is
+#      byte-identical to the uninterrupted engine run.
+#
+# Usage: scripts/engine_smoke.sh  (run from anywhere; builds if needed)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+THOR="$ROOT/target/release/thor"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/thor-engine.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+if [[ ! -x "$THOR" ]]; then
+    cargo build --release --manifest-path "$ROOT/Cargo.toml"
+fi
+
+DATA="$WORK/data"
+"$THOR" generate --dataset disease --scale 0.08 --seed 7 --out "$DATA" 2>/dev/null
+DOCS=("$DATA"/docs/validation/*.txt)
+TABLE="$DATA/enrichment_table.csv"
+VECS="$DATA/vectors.txt"
+ENGINE="$WORK/disease.thorengine"
+echo "engine smoke: ${#DOCS[@]} documents"
+
+echo "-- build the engine artifact"
+"$THOR" build --table "$TABLE" --vectors "$VECS" --tau 0.7 \
+    --engine "$ENGINE" 2>"$WORK/build.log"
+[[ -s "$ENGINE" ]] || fail "thor build wrote no artifact"
+grep -q "fingerprint" "$WORK/build.log" || fail "build did not report a fingerprint"
+
+echo "-- direct enrich vs engine-served enrich: byte-identical"
+"$THOR" enrich --table "$TABLE" --vectors "$VECS" --tau 0.7 \
+    --out "$WORK/direct.csv" --entities "$WORK/direct.tsv" "${DOCS[@]}" 2>/dev/null
+for threads in 1 4; do
+    "$THOR" enrich --engine "$ENGINE" --threads "$threads" \
+        --out "$WORK/served.csv" --entities "$WORK/served.tsv" "${DOCS[@]}" 2>/dev/null
+    cmp "$WORK/direct.csv" "$WORK/served.csv" \
+        || fail "engine-served CSV differs from direct enrich (threads $threads)"
+    cmp "$WORK/direct.tsv" "$WORK/served.tsv" \
+        || fail "engine-served entities differ from direct enrich (threads $threads)"
+    rm -f "$WORK/served.csv" "$WORK/served.tsv"
+done
+echo "   identical output at threads 1 and 4"
+
+echo "-- frozen options conflict with --engine"
+for flag in "--table $TABLE" "--vectors $VECS" "--tau 0.7"; do
+    set +e
+    # shellcheck disable=SC2086
+    "$THOR" enrich --engine "$ENGINE" $flag \
+        --out "$WORK/x.csv" --entities "$WORK/x.tsv" "${DOCS[@]}" 2>"$WORK/conflict.log"
+    status=$?
+    set -e
+    [[ $status -ne 0 ]] || fail "enrich accepted --engine with $flag"
+    grep -q "conflicts with --engine" "$WORK/conflict.log" \
+        || fail "conflict error for $flag is not named"
+done
+echo "   all three frozen options rejected by name"
+
+echo "-- corrupted artifact is rejected, never served"
+cp "$ENGINE" "$WORK/corrupt.thorengine"
+# Flip one payload byte (offset 100 is well past the 28-byte header).
+printf '\xff' | dd of="$WORK/corrupt.thorengine" bs=1 seek=100 conv=notrunc 2>/dev/null
+set +e
+"$THOR" enrich --engine "$WORK/corrupt.thorengine" \
+    --out "$WORK/x.csv" --entities "$WORK/x.tsv" "${DOCS[@]}" 2>"$WORK/corrupt.log"
+status=$?
+set -e
+[[ $status -ne 0 ]] || fail "enrich served a corrupted engine artifact"
+grep -Eq "checksum|truncated|artifact" "$WORK/corrupt.log" \
+    || fail "corruption error is not named: $(cat "$WORK/corrupt.log")"
+[[ ! -f "$WORK/x.csv" ]] || fail "corrupted run still wrote output"
+echo "   checksum rejection works"
+
+echo "-- checkpoint/resume off the engine artifact"
+ABORT_AT=$((${#DOCS[@]} / 2 + 1))
+CKPT="$WORK/ckpt"
+set +e
+THOR_FAILPOINTS="extract:abort@$ABORT_AT" \
+    "$THOR" enrich --engine "$ENGINE" --checkpoint "$CKPT" \
+    --out "$WORK/dead.csv" --entities "$WORK/dead.tsv" "${DOCS[@]}" 2>/dev/null
+status=$?
+set -e
+[[ $status -ne 0 ]] || fail "aborted engine run exited 0"
+[[ -f "$CKPT/state.tsv" ]] || fail "no partial checkpoint on disk"
+"$THOR" enrich --engine "$ENGINE" --checkpoint "$CKPT" --resume \
+    --out "$WORK/resumed.csv" --entities "$WORK/resumed.tsv" "${DOCS[@]}" 2>"$WORK/resume.log"
+grep -q "resumed from checkpoint" "$WORK/resume.log" \
+    || fail "resume did not pick up the checkpoint"
+cmp "$WORK/direct.csv" "$WORK/resumed.csv" \
+    || fail "resumed engine run differs from uninterrupted output"
+cmp "$WORK/direct.tsv" "$WORK/resumed.tsv" \
+    || fail "resumed engine entities differ from uninterrupted output"
+echo "   resume off the artifact is byte-identical"
+
+echo "engine smoke: OK"

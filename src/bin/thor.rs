@@ -3,16 +3,31 @@
 //! ```text
 //! thor integrate <src.csv>... [--out R.csv]          full disjunction of sources
 //! thor sparsity <table.csv>                          sparsity report
+//! thor build --table R.csv --vectors v.txt --engine e.thor
+//!            [--tau 0.7] [--context-gate G] [--threads N]
+//!                                                    prepare + persist an engine
 //! thor enrich --table R.csv [--tau 0.7] [--vectors v.txt]
 //!             [--context-gate G] [--threads N] [--metrics[=json]] [--cache-stats]
 //!             [--strict | --lenient] [--quarantine q.tsv]
 //!             [--checkpoint DIR [--resume]]
 //!             [--out enriched.csv] [--entities e.tsv]
 //!             <doc.txt>...                           run the pipeline
+//! thor enrich --engine e.thor [--threads N] ... <doc.txt>...
+//!                                                    serve from a built engine
 //! thor evaluate --gold gold.tsv --pred pred.tsv      SemEval partial-match scores
 //! thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR
 //!                                                    write dataset artifacts
 //! ```
+//!
+//! Build/serve split: `thor build` runs the Preparation phase once and
+//! persists the result as a versioned, checksummed binary artifact
+//! (written atomically); `thor enrich --engine` serves from it without
+//! re-running fine-tuning and produces byte-identical output to the
+//! equivalent direct run. The artifact freezes the table, vectors, τ and
+//! model parameters — `--threads` stays adjustable at serve time.
+//! Checkpoint/resume composes with engines: the resume fingerprint
+//! covers configuration + table + corpus, so a checkpoint taken with an
+//! engine resumes under the same engine (or an identically-built one).
 //!
 //! Annotation TSV format: `doc_id<TAB>concept<TAB>phrase`, one per line.
 //! Vector file format: word2vec-style text (`thor generate` writes one).
@@ -33,7 +48,9 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use thor_repro::core::{Document, PipelineMetrics, ResilientOptions, RunMode, Thor, ThorConfig};
+use thor_repro::core::{
+    Document, PipelineMetrics, PreparedEngine, ResilientOptions, RunMode, Thor, ThorConfig,
+};
 use thor_repro::data::csv::{from_csv, from_csv_lenient, to_csv, SkippedRow};
 use thor_repro::data::{full_disjunction, sparsity, Table};
 use thor_repro::datagen::{corpus_stats, generate, DatasetSpec, Split};
@@ -100,11 +117,23 @@ const SPARSITY: CommandSpec = CommandSpec {
     options: &[],
     flags: &[],
 };
+const BUILD: CommandSpec = CommandSpec {
+    options: &[
+        "table",
+        "vectors",
+        "tau",
+        "context-gate",
+        "threads",
+        "engine",
+    ],
+    flags: &[],
+};
 const ENRICH: CommandSpec = CommandSpec {
     options: &[
         "table",
         "tau",
         "vectors",
+        "engine",
         "context-gate",
         "threads",
         "out",
@@ -169,10 +198,13 @@ fn check_options(command: &str, args: &Args, spec: &CommandSpec) -> ThorResult<(
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  thor integrate <src.csv>... [--out R.csv]\n  thor sparsity <table.csv>\n  \
+         thor build --table R.csv --vectors v.txt --engine e.thor [--tau 0.7] \
+         [--context-gate G] [--threads N]\n  \
          thor enrich --table R.csv [--tau 0.7] [--vectors v.txt] [--context-gate G] \
          [--threads N] [--metrics[=json]] [--cache-stats] [--strict | --lenient] \
          [--quarantine q.tsv] [--checkpoint DIR [--resume]] \
          [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
+         thor enrich --engine e.thor [--threads N] ... <doc.txt>...\n  \
          thor evaluate --gold gold.tsv --pred pred.tsv\n  \
          thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR"
     );
@@ -310,6 +342,55 @@ fn read_document(path: &str, policy: &DocumentPolicy) -> (String, ThorResult<Doc
     (id, doc)
 }
 
+/// `thor build`: run the Preparation phase once (fine-tune the matcher,
+/// freeze the τ-expansion, compile the dictionary automaton) and
+/// persist the resulting engine as a versioned, checksummed binary
+/// artifact for `thor enrich --engine`.
+fn cmd_build(args: &Args) -> ThorResult<()> {
+    let table_path = args
+        .options
+        .get("table")
+        .ok_or_else(|| ThorError::config("build needs --table R.csv"))?;
+    let vectors_path = args
+        .options
+        .get("vectors")
+        .ok_or_else(|| ThorError::config("build needs --vectors v.txt"))?;
+    let engine_path = args
+        .options
+        .get("engine")
+        .ok_or_else(|| ThorError::config("build needs --engine PATH"))?;
+
+    let table = read_table(table_path)?;
+    let store = VectorStore::load_path(Path::new(vectors_path))?;
+    let tau: f64 = parse_option(args, "tau")?.unwrap_or(0.7);
+    if !thor_repro::matcher::TAU_RANGE.contains(&tau) {
+        return Err(ThorError::config(format!(
+            "--tau {tau} out of range [0, 1]"
+        )));
+    }
+    let mut config = ThorConfig::with_tau(tau);
+    if let Some(g) = parse_option(args, "context-gate")? {
+        config.context_gate = Some(g);
+    }
+    if let Some(threads) = parse_option(args, "threads")? {
+        if threads == 0 {
+            return Err(ThorError::config("--threads must be at least 1"));
+        }
+        config.threads = threads;
+    }
+
+    let thor = Thor::new(store, config);
+    let engine = thor.prepare(&table);
+    engine.save(Path::new(engine_path))?;
+    eprintln!(
+        "engine built in {:?}: {} concepts, tau {tau}, fingerprint {}\nwritten to {engine_path}",
+        engine.prepare_time(),
+        engine.prepared_matcher().concept_names().len(),
+        engine.fingerprint()
+    );
+    Ok(())
+}
+
 fn cmd_enrich(args: &Args) -> ThorResult<()> {
     let strict = args.options.contains_key("strict");
     let lenient = args.options.contains_key("lenient");
@@ -332,29 +413,22 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         return Err(ThorError::config("--resume requires --checkpoint DIR"));
     }
 
-    let table_path = args
-        .options
-        .get("table")
-        .ok_or_else(|| ThorError::config("enrich needs --table"))?;
-    let mut skipped_rows: Vec<SkippedRow> = Vec::new();
-    let table = match mode {
-        RunMode::Strict => read_table(table_path)?,
-        RunMode::Lenient => {
-            let (table, skipped) = read_table_lenient(table_path)?;
-            for row in &skipped {
-                eprintln!("[quarantine] {table_path}:{}: {}", row.line, row.error);
+    // `--engine` serves from a persisted artifact: the table, vectors,
+    // τ and model parameters are frozen inside it (only execution knobs
+    // like --threads remain adjustable), so options that would
+    // contradict the artifact are rejected outright.
+    let engine_path = args.options.get("engine").cloned();
+    if engine_path.is_some() {
+        for key in ["table", "vectors", "tau", "context-gate"] {
+            if args.options.contains_key(key) {
+                return Err(ThorError::config(format!(
+                    "--{key} conflicts with --engine (the artifact freezes it; \
+                     rebuild with `thor build`)"
+                )));
             }
-            skipped_rows = skipped;
-            table
         }
-    };
-
-    let tau: f64 = parse_option(args, "tau")?.unwrap_or(0.7);
-    if !thor_repro::matcher::TAU_RANGE.contains(&tau) {
-        return Err(ThorError::config(format!(
-            "--tau {tau} out of range [0, 1]"
-        )));
     }
+
     if args.positional.is_empty() {
         return Err(ThorError::config("enrich needs at least one document file"));
     }
@@ -371,35 +445,9 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         }
     }
 
-    let store = match args.options.get("vectors") {
-        Some(path) => VectorStore::load_path(Path::new(path))?,
-        None => {
-            eprintln!("no --vectors given; training SGNS on the input documents...");
-            let mut corpus = Vec::new();
-            for d in &docs {
-                for s in split_sentences(&d.text) {
-                    let words: Vec<String> = normalize_phrase(&s.text)
-                        .split_whitespace()
-                        .map(str::to_string)
-                        .collect();
-                    if words.len() > 2 {
-                        corpus.push(words);
-                    }
-                }
-            }
-            SgnsTrainer::new(SgnsConfig::default()).train(&corpus)
-        }
-    };
-
-    let mut config = ThorConfig::with_tau(tau);
-    if let Some(g) = parse_option(args, "context-gate")? {
-        config.context_gate = Some(g);
-    }
-    if let Some(threads) = parse_option(args, "threads")? {
-        if threads == 0 {
-            return Err(ThorError::config("--threads must be at least 1"));
-        }
-        config.threads = threads;
+    let threads: Option<usize> = parse_option(args, "threads")?;
+    if threads == Some(0) {
+        return Err(ThorError::config("--threads must be at least 1"));
     }
     let metrics_mode = metrics_mode(args)?;
     // `--cache-stats`: one-line summary of the candidate engine (phrase
@@ -407,11 +455,7 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
     // handle attached even when `--metrics` wasn't asked for.
     let cache_stats = args.options.contains_key("cache-stats");
     let metrics = PipelineMetrics::new();
-    let mut thor = Thor::new(store, config);
-    if metrics_mode.is_some() || cache_stats {
-        thor = thor.with_metrics(metrics.clone());
-    }
-
+    let attach_metrics = metrics_mode.is_some() || cache_stats;
     let opts = ResilientOptions {
         mode,
         checkpoint_dir,
@@ -419,7 +463,80 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         policy,
         ..ResilientOptions::default()
     };
-    let outcome = thor.enrich_resilient(&table, &docs, &opts)?;
+
+    let mut skipped_rows: Vec<SkippedRow> = Vec::new();
+    let outcome = if let Some(engine_path) = &engine_path {
+        let mut engine = PreparedEngine::load(Path::new(engine_path))?;
+        eprintln!(
+            "engine {engine_path}: {} concepts, tau {}, loaded in {:?}",
+            engine.prepared_matcher().concept_names().len(),
+            engine.tau(),
+            engine.prepare_time()
+        );
+        if let Some(threads) = threads {
+            engine = engine.with_threads(threads);
+        }
+        if attach_metrics {
+            engine = engine.with_metrics(metrics.clone());
+        }
+        engine.enrich_resilient(&docs, &opts)?
+    } else {
+        let table_path = args
+            .options
+            .get("table")
+            .ok_or_else(|| ThorError::config("enrich needs --table (or --engine)"))?;
+        let table = match mode {
+            RunMode::Strict => read_table(table_path)?,
+            RunMode::Lenient => {
+                let (table, skipped) = read_table_lenient(table_path)?;
+                for row in &skipped {
+                    eprintln!("[quarantine] {table_path}:{}: {}", row.line, row.error);
+                }
+                skipped_rows = skipped;
+                table
+            }
+        };
+
+        let tau: f64 = parse_option(args, "tau")?.unwrap_or(0.7);
+        if !thor_repro::matcher::TAU_RANGE.contains(&tau) {
+            return Err(ThorError::config(format!(
+                "--tau {tau} out of range [0, 1]"
+            )));
+        }
+
+        let store = match args.options.get("vectors") {
+            Some(path) => VectorStore::load_path(Path::new(path))?,
+            None => {
+                eprintln!("no --vectors given; training SGNS on the input documents...");
+                let mut corpus = Vec::new();
+                for d in &docs {
+                    for s in split_sentences(&d.text) {
+                        let words: Vec<String> = normalize_phrase(&s.text)
+                            .split_whitespace()
+                            .map(str::to_string)
+                            .collect();
+                        if words.len() > 2 {
+                            corpus.push(words);
+                        }
+                    }
+                }
+                SgnsTrainer::new(SgnsConfig::default()).train(&corpus)
+            }
+        };
+
+        let mut config = ThorConfig::with_tau(tau);
+        if let Some(g) = parse_option(args, "context-gate")? {
+            config.context_gate = Some(g);
+        }
+        if let Some(threads) = threads {
+            config.threads = threads;
+        }
+        let mut thor = Thor::new(store, config);
+        if attach_metrics {
+            thor = thor.with_metrics(metrics.clone());
+        }
+        thor.enrich_resilient(&table, &docs, &opts)?
+    };
     let result = &outcome.result;
 
     // CLI-level quarantine counts land on the metrics handle only after
@@ -627,6 +744,7 @@ fn main() -> ExitCode {
     let Some(spec) = (match command.as_str() {
         "integrate" => Some(&INTEGRATE),
         "sparsity" => Some(&SPARSITY),
+        "build" => Some(&BUILD),
         "enrich" => Some(&ENRICH),
         "evaluate" => Some(&EVALUATE),
         "generate" => Some(&GENERATE),
@@ -638,6 +756,7 @@ fn main() -> ExitCode {
     let result = check_options(command, &args, spec).and_then(|()| match command.as_str() {
         "integrate" => cmd_integrate(&args),
         "sparsity" => cmd_sparsity(&args),
+        "build" => cmd_build(&args),
         "enrich" => cmd_enrich(&args),
         "evaluate" => cmd_evaluate(&args),
         "generate" => cmd_generate(&args),
@@ -779,5 +898,52 @@ mod tests {
         let a = parse_args(&argv(&["--resume", "--table", "t.csv"]), ENRICH.flags);
         let msg = cmd_enrich(&a).unwrap_err().to_string();
         assert!(msg.contains("--resume requires --checkpoint"), "{msg}");
+    }
+
+    #[test]
+    fn engine_conflicts_with_frozen_options() {
+        for frozen in ["table", "vectors", "tau", "context-gate"] {
+            let a = parse_args(
+                &argv(&["--engine", "e.thor", &format!("--{frozen}"), "x", "d.txt"]),
+                ENRICH.flags,
+            );
+            let msg = cmd_enrich(&a).unwrap_err().to_string();
+            assert!(
+                msg.contains(&format!("--{frozen} conflicts with --engine")),
+                "{msg}"
+            );
+        }
+        // --threads stays adjustable: the error must come later (here,
+        // from the nonexistent engine file, not a conflict).
+        let a = parse_args(
+            &argv(&["--engine", "/nonexistent/e.thor", "--threads", "2", "d.txt"]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(!msg.contains("conflicts"), "{msg}");
+    }
+
+    #[test]
+    fn build_requires_table_vectors_and_engine() {
+        let msg = cmd_build(&parse_args(&[], BUILD.flags))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("--table"), "{msg}");
+        let a = parse_args(&argv(&["--table", "t.csv"]), BUILD.flags);
+        let msg = cmd_build(&a).unwrap_err().to_string();
+        assert!(msg.contains("--vectors"), "{msg}");
+        let a = parse_args(
+            &argv(&["--table", "t.csv", "--vectors", "v.txt"]),
+            BUILD.flags,
+        );
+        let msg = cmd_build(&a).unwrap_err().to_string();
+        assert!(msg.contains("--engine"), "{msg}");
+    }
+
+    #[test]
+    fn build_rejects_unknown_options() {
+        let a = parse_args(&argv(&["--engin", "e.thor"]), BUILD.flags);
+        let msg = check_options("build", &a, &BUILD).unwrap_err().to_string();
+        assert!(msg.contains("did you mean `--engine`?"), "{msg}");
     }
 }

@@ -6,10 +6,31 @@
 //! counted once and clean inputs are untouched.
 
 use proptest::prelude::*;
-use thor_repro::core::{Document, ResilientOptions, RunMode, Thor, ThorConfig};
+use thor_repro::core::{Document, PreparedEngine, ResilientOptions, RunMode, Thor, ThorConfig};
 use thor_repro::data::{from_csv, from_csv_lenient};
 use thor_repro::embed::{SemanticSpaceBuilder, VectorStore};
 use thor_repro::fault::{decode_document, DocumentPolicy, ErrorKind};
+
+/// Serialized engine artifact for the corruption properties, built once.
+fn engine_artifact_bytes() -> &'static Vec<u8> {
+    static BYTES: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    BYTES.get_or_init(|| {
+        let (thor, table, _) = fixture();
+        let engine = thor.prepare(&table);
+        let path = scratch_path("seed");
+        engine.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+fn scratch_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "thor-corrupt-{tag}-{}.thorengine",
+        std::process::id()
+    ))
+}
 
 fn clamp_to_char_boundary(s: &str, mut i: usize) -> usize {
     i = i.min(s.len());
@@ -103,10 +124,50 @@ proptest! {
         let line_no = victim + 2; // 1-based, after the header
         lines[line_no - 1] = format!("badword\t{junk} {junk}");
         let err = VectorStore::from_text(&lines.join("\n")).unwrap_err();
+        prop_assert_eq!(err.kind(), ErrorKind::Parse);
         prop_assert!(
-            err.contains(&format!("line {line_no}")),
+            err.to_string().contains(&format!("line {line_no}")),
             "error `{}` should name line {}", err, line_no
         );
+    }
+
+    /// Flipping any single byte of a saved engine artifact makes load
+    /// fail with a named error — never a panic, never a silent success.
+    /// (Header flips hit the magic/version/length checks; payload flips
+    /// hit the FNV-1a checksum.)
+    #[test]
+    fn corrupt_engine_artifact_rejected(pos in 0usize..4096, xor in 1u8..=255) {
+        let bytes = engine_artifact_bytes();
+        let pos = pos % bytes.len();
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= xor;
+        let path = scratch_path("flip");
+        std::fs::write(&path, &corrupted).unwrap();
+        let err = PreparedEngine::load(&path).unwrap_err();
+        let msg = err.to_string();
+        prop_assert!(
+            msg.contains("artifact") || msg.contains("checksum")
+                || msg.contains("truncated") || msg.contains("version")
+                || msg.contains("fingerprint") || msg.contains("payload"),
+            "byte {pos}: unnamed error `{msg}`"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncating a saved engine artifact anywhere is rejected (short
+    /// header or short payload), never a panic.
+    #[test]
+    fn truncated_engine_artifact_rejected(cut in 0usize..4096) {
+        let bytes = engine_artifact_bytes();
+        let cut = cut % bytes.len(); // strictly shorter than the file
+        let path = scratch_path("cut");
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = PreparedEngine::load(&path).unwrap_err();
+        prop_assert!(
+            err.to_string().contains("truncated"),
+            "cut {cut}: `{}` should say truncated", err
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     /// Invalid UTF-8 is rejected by admission control with the exact

@@ -1,0 +1,70 @@
+//! τ-sweep equivalence: serving a whole τ sweep off **one**
+//! [`PreparedEngine`] build (`run_thor_sweep`) must reproduce exactly
+//! what a fresh per-τ fine-tune (`run_system(System::Thor(τ))`)
+//! produces — same predictions, same evaluation report, same names.
+//! This is the benchmark-harness-level face of τ-monotonicity: the
+//! engine's frozen candidate lists at the lowest τ contain every
+//! candidate any higher τ accepts.
+
+use thor_bench::{disease_dataset, prepare_engine, run_system, run_thor_sweep, tau_sweep, System};
+use thor_repro::datagen::Split;
+
+#[test]
+fn sweep_off_one_engine_matches_per_tau_rebuilds() {
+    let dataset = disease_dataset(42, 0.1);
+    let taus: Vec<f64> = tau_sweep().collect();
+    let swept = run_thor_sweep(&dataset, &taus);
+    assert_eq!(swept.len(), taus.len());
+    for (out, &tau) in swept.iter().zip(&taus) {
+        let fresh = run_system(&System::Thor(tau), &dataset);
+        assert_eq!(out.system, fresh.system);
+        assert_eq!(
+            out.predictions, fresh.predictions,
+            "tau={tau}: engine-served predictions diverged from a fresh fine-tune"
+        );
+        assert_eq!(out.report.precision, fresh.report.precision, "tau={tau}");
+        assert_eq!(out.report.recall, fresh.report.recall, "tau={tau}");
+        assert_eq!(out.report.f1, fresh.report.f1, "tau={tau}");
+        assert!(out.time.is_some(), "THOR outcomes report wall-clock");
+    }
+}
+
+#[test]
+fn sweep_order_does_not_matter() {
+    let dataset = disease_dataset(7, 0.1);
+    let ascending: Vec<f64> = tau_sweep().collect();
+    let mut descending = ascending.clone();
+    descending.reverse();
+    let up = run_thor_sweep(&dataset, &ascending);
+    let mut down = run_thor_sweep(&dataset, &descending);
+    down.reverse();
+    for (a, b) in up.iter().zip(&down) {
+        assert_eq!(a.system, b.system);
+        assert_eq!(a.predictions, b.predictions);
+    }
+}
+
+#[test]
+fn empty_sweep_is_empty() {
+    let dataset = disease_dataset(42, 0.1);
+    assert!(run_thor_sweep(&dataset, &[]).is_empty());
+}
+
+/// Higher τ can only shrink the expansion, so predictions are
+/// monotonically non-increasing across the sweep — served off the one
+/// shared engine build.
+#[test]
+fn predictions_monotone_in_tau() {
+    let dataset = disease_dataset(42, 0.1);
+    let engine = prepare_engine(&dataset, 0.5);
+    let docs = dataset.documents(Split::Test);
+    let mut last = usize::MAX;
+    for tau in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let n = engine.with_tau(tau).extract(&docs).0.len();
+        assert!(
+            n <= last,
+            "tau={tau}: {n} predictions after {last} at the lower tau"
+        );
+        last = n;
+    }
+}
