@@ -83,6 +83,23 @@ pub struct ThorConfig {
     /// pipeline single-threaded (documents are independent once the
     /// matcher is fine-tuned, so extraction parallelizes trivially).
     pub threads: usize,
+    /// Skip the syntactic scoring of candidates whose refinement upper
+    /// bound `combine(semantic, 1, 1)` cannot beat the running best
+    /// (Jaccard and gestalt are both ≤ 1). Candidates are visited in
+    /// the matcher's deterministic order and equality never prunes, so
+    /// output is bit-identical either way — an output-neutral execution
+    /// knob like `threads`, excluded from fingerprints and not
+    /// persisted in engine artifacts. Applies only to the kernel path;
+    /// the reference path always scores everything.
+    pub early_abandon: bool,
+    /// Score candidates with the documented reference implementations
+    /// (`jaccard_words`/`gestalt_similarity`) instead of the
+    /// allocation-free `thor_text::kernels` fast paths. The two paths
+    /// are bit-identical by construction (enforced by property tests
+    /// and `scripts/extract_smoke.sh`); the flag exists for A/B checks
+    /// and benchmarking. Output-neutral: excluded from fingerprints and
+    /// not persisted in engine artifacts.
+    pub reference_refine: bool,
 }
 
 impl Default for ThorConfig {
@@ -97,6 +114,8 @@ impl Default for ThorConfig {
             np_chunking: true,
             context_gate: None,
             threads: 1,
+            early_abandon: true,
+            reference_refine: false,
         }
     }
 }

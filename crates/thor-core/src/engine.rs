@@ -41,11 +41,12 @@ use thor_fault::{
 use thor_index::DictionaryIndex;
 use thor_match::{MatcherConfig, PreparedMatcher, SimilarityMatcher, TAU_RANGE};
 use thor_obs::PipelineMetrics;
+use thor_text::ScoreScratch;
 
 use crate::config::{ScoreWeights, SegmentationMode, ThorConfig};
 use crate::document::Document;
 use crate::entity::ExtractedEntity;
-use crate::extract::extract_entities_metered;
+use crate::extract::extract_entities_with;
 use crate::pipeline::{dedup_entities, EnrichmentResult, EnrichmentSession, Thor};
 use crate::pool::WorkerPool;
 use crate::segment::segment_metered;
@@ -311,6 +312,32 @@ impl PreparedEngine {
         }
     }
 
+    /// The same engine scoring refinement with the documented reference
+    /// implementations (`true`) or the allocation-free kernels
+    /// (`false`, the default). The two paths are bit-identical, so like
+    /// `threads` this is an execution knob: output and fingerprint are
+    /// unchanged.
+    pub fn with_reference_refine(&self, reference: bool) -> PreparedEngine {
+        let mut config = self.inner.config.clone();
+        config.reference_refine = reference;
+        PreparedEngine {
+            inner: Arc::new(EngineInner {
+                config,
+                store: Arc::clone(&self.inner.store),
+                table: Arc::clone(&self.inner.table),
+                subjects: self.inner.subjects.clone(),
+                prep: Arc::clone(&self.inner.prep),
+                matcher: self.inner.matcher.clone(),
+                dictionary: Arc::clone(&self.inner.dictionary),
+                store_digest: self.inner.store_digest,
+                table_digest: self.inner.table_digest,
+                fingerprint: self.inner.fingerprint.clone(),
+                prepare_time: self.inner.prepare_time,
+                metrics: self.inner.metrics.clone(),
+            }),
+        }
+    }
+
     /// Attach an observability handle. The matcher is re-derived from
     /// the frozen Preparation with the handle installed, so fine-tune
     /// statistics (vocabulary size, expansion counts, representative
@@ -357,7 +384,9 @@ impl PreparedEngine {
         docs: &[Document],
     ) -> Vec<ExtractedEntity> {
         let inner = &*self.inner;
-        let per_doc = |doc: &Document| {
+        // One `ScoreScratch` per worker: refinement's DP buffers and
+        // token spans are reused across every document a worker drains.
+        let per_doc = |doc: &Document, scratch: &mut ScoreScratch| {
             run.docs.inc();
             let segments = segment_metered(
                 doc,
@@ -366,10 +395,20 @@ impl PreparedEngine {
                 inner.config.segmentation,
                 run,
             );
-            extract_entities_metered(&segments, &inner.matcher, &inner.config, &doc.id, run)
+            extract_entities_with(
+                &segments,
+                &inner.matcher,
+                &inner.config,
+                &doc.id,
+                Some(run),
+                scratch,
+            )
         };
         let mut entities: Vec<ExtractedEntity> = if inner.config.threads <= 1 || docs.len() < 2 {
-            docs.iter().flat_map(per_doc).collect()
+            let mut scratch = ScoreScratch::new();
+            docs.iter()
+                .flat_map(|doc| per_doc(doc, &mut scratch))
+                .collect()
         } else {
             let workers = inner.config.threads.min(docs.len());
             let next = AtomicUsize::new(0);
@@ -378,11 +417,12 @@ impl PreparedEngine {
                 for _ in 0..workers {
                     let (next, buckets, per_doc) = (&next, &buckets, &per_doc);
                     scope.spawn(move || {
+                        let mut scratch = ScoreScratch::new();
                         let mut out = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(doc) = docs.get(i) else { break };
-                            out.extend(per_doc(doc));
+                            out.extend(per_doc(doc, &mut scratch));
                         }
                         buckets.lock().unwrap().push(out);
                     });
@@ -615,6 +655,10 @@ fn read_config(r: &mut ByteReader<'_>) -> ThorResult<ThorConfig> {
         np_chunking,
         context_gate,
         threads,
+        // Execution knobs are not persisted (the artifact format is
+        // unchanged): a loaded engine starts from the defaults.
+        early_abandon: true,
+        reference_refine: false,
     })
 }
 

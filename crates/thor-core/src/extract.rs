@@ -1,34 +1,201 @@
 //! Phase ② — entity extraction: noun-phrase parsing, semantic matching,
 //! syntactic refinement (Algorithm 1 lines 3–15).
+//!
+//! Refinement runs on the allocation-free `thor_text::kernels` fast
+//! paths by default, with a score-bound early abandon: the combined
+//! score is a weighted mean of three terms each ≤ 1, so a candidate
+//! whose upper bound `combine(semantic, 1, 1)` cannot beat the running
+//! best is skipped before any syntactic work. Candidates are visited in
+//! the matcher's deterministic order and ties never prune, so the
+//! selected entity — and every downstream byte — is identical to the
+//! reference path (`ThorConfig::reference_refine`), which is retained
+//! as ground truth.
+
+use std::cmp::Ordering;
+use std::sync::OnceLock;
 
 use thor_index::CandidateSource;
 use thor_match::{CandidateEntity, SimilarityMatcher};
-use thor_nlp::{chunk_sentence, chunk_sentence_metered, RuleTagger};
+use thor_nlp::{chunk_sentence, chunk_sentence_metered, Lexicon, RuleTagger};
 use thor_obs::PipelineMetrics;
-use thor_text::{gestalt_similarity, jaccard_words, tokenize};
+use thor_text::{
+    gestalt_bound, gestalt_prepared, gestalt_similarity, jaccard_prepared, jaccard_words, tokenize,
+    PhraseSyntax, ScoreScratch,
+};
 
 use crate::config::ThorConfig;
 use crate::entity::ExtractedEntity;
 use crate::segment::SegmentedSentence;
 
-/// A scored candidate after syntactic refinement.
-#[derive(Debug, Clone)]
-struct ScoredCandidate {
-    candidate: CandidateEntity,
-    score: f64,
+/// The process-wide POS tagger. `RuleTagger::default()` builds lexicon
+/// and suffix tables; constructing it per `extract_entities` call was
+/// measurable, and the tagger is immutable after construction.
+pub(crate) fn shared_tagger() -> &'static RuleTagger {
+    static TAGGER: OnceLock<RuleTagger> = OnceLock::new();
+    TAGGER.get_or_init(RuleTagger::default)
 }
 
-/// Refine a semantic candidate with the two syntactic scores and combine
-/// (lines 10–13): `score_s` is the semantic similarity to the matched
+/// The process-wide English lexicon backing the nominal-anchor test.
+pub(crate) fn shared_lexicon() -> &'static Lexicon {
+    static LEXICON: OnceLock<Lexicon> = OnceLock::new();
+    LEXICON.get_or_init(Lexicon::english)
+}
+
+/// Outcome of refining one subphrase's candidate list.
+#[derive(Debug, Clone)]
+pub struct RefineOutcome {
+    /// The winning `(candidate, combined score)`, if any candidate
+    /// survived — the same winner `max_by` over the fully scored list
+    /// selects (last maximal element under `total_cmp` + reversed
+    /// phrase tie-break).
+    pub best: Option<(CandidateEntity, f64)>,
+    /// Candidates fully scored (semantic + both syntactic measures).
+    pub scored: u64,
+    /// Candidates skipped by the score-bound early abandon.
+    pub pruned: u64,
+}
+
+/// Whether early abandon may prune under these weights: the upper bound
+/// `combine(s, 1, 1)` is only monotone in the syntactic scores when the
+/// word/char weights are non-negative, and only meaningful when every
+/// weight is finite. (`ScoreWeights` fields are public, so exotic
+/// configurations are reachable; they simply fall back to full
+/// scoring.)
+fn bound_is_sound(config: &ThorConfig) -> bool {
+    let w = &config.weights;
+    w.semantic.is_finite()
+        && w.word.is_finite()
+        && w.char.is_finite()
+        && w.word >= 0.0
+        && w.char >= 0.0
+}
+
+/// Refine a candidate list (Algorithm 1 lines 10–13) and select the
+/// best candidate: `score_s` is the semantic similarity to the matched
 /// instance, `score_w` the word-level Jaccard, `score_c` the
-/// character-level gestalt similarity.
-fn refine(candidate: CandidateEntity, config: &ThorConfig) -> ScoredCandidate {
-    let score_w = jaccard_words(&candidate.phrase, &candidate.matched_instance);
-    let score_c = gestalt_similarity(&candidate.phrase, &candidate.matched_instance);
-    let score = config
-        .weights
-        .combine(candidate.semantic_score, score_w, score_c);
-    ScoredCandidate { candidate, score }
+/// character-level gestalt similarity, combined by the configured
+/// weights.
+///
+/// The kernel path (default) scores through `scratch` and the matcher's
+/// frozen [`SeedSyntax`](thor_text::SeedSyntax), pruning upper-bounded
+/// candidates when `config.early_abandon` holds; the reference path
+/// (`config.reference_refine`) recomputes both syntactic measures from
+/// the raw strings with the documented reference implementations and
+/// never prunes. Both paths return bit-identical winners.
+pub fn refine_candidates(
+    candidates: &[CandidateEntity],
+    matcher: &SimilarityMatcher,
+    config: &ThorConfig,
+    scratch: &mut ScoreScratch,
+) -> RefineOutcome {
+    let reference = config.reference_refine;
+    let prunable = !reference && config.early_abandon && bound_is_sound(config);
+    let seed_syntax = matcher.seed_syntax();
+    let mut best: Option<(usize, f64)> = None;
+    let mut scored = 0u64;
+    let mut pruned = 0u64;
+    // Winner selection is a strict total order on (score, phrase,
+    // index) — see the replacement rule below — so the visit order is
+    // free. When pruning, visit by descending semantic score: the
+    // likely winner is scored first and the bounds then abandon most
+    // of the rest before any syntactic work. Small lists order on the
+    // stack so steady state stays allocation-free.
+    let n = candidates.len();
+    let mut stack_order = [0u32; 32];
+    let mut heap_order: Vec<u32>;
+    let order: &mut [u32] = if n <= 32 {
+        &mut stack_order[..n]
+    } else {
+        heap_order = vec![0; n];
+        &mut heap_order
+    };
+    for (i, slot) in order.iter_mut().enumerate() {
+        *slot = i as u32;
+    }
+    if prunable {
+        order.sort_unstable_by(|&x, &y| {
+            candidates[y as usize]
+                .semantic_score
+                .total_cmp(&candidates[x as usize].semantic_score)
+                .then_with(|| x.cmp(&y))
+        });
+    }
+    for &order_idx in order.iter() {
+        let idx = order_idx as usize;
+        let c = &candidates[idx];
+        // Stage-1 bound: both syntactic scores are ≤ 1, so a candidate
+        // whose semantic term alone cannot reach the incumbent is
+        // skipped before any lookup. Strictly-below only: a tied
+        // candidate can still win through the phrase tie-break /
+        // last-wins rule.
+        if prunable {
+            if let Some((_, best_score)) = best {
+                let bound = config.weights.combine(c.semantic_score, 1.0, 1.0);
+                if bound.total_cmp(&best_score) == Ordering::Less {
+                    pruned += 1;
+                    continue;
+                }
+            }
+        }
+        let (score_w, score_c) = if reference {
+            (
+                jaccard_words(&c.phrase, &c.matched_instance),
+                gestalt_similarity(&c.phrase, &c.matched_instance),
+            )
+        } else {
+            // Defensive fallback: every matched_instance of a
+            // SimilarityMatcher is an embedded seed, but other sources
+            // may not uphold that.
+            let fallback;
+            let seed = match seed_syntax.get(&c.matched_instance) {
+                Some(seed) => seed,
+                None => {
+                    fallback = PhraseSyntax::new(&c.matched_instance);
+                    &fallback
+                }
+            };
+            let score_w = jaccard_prepared(scratch, &c.phrase, seed);
+            // Stage-2 bound, with the real Jaccard in hand: the gestalt
+            // is at most `2·min(|a|,|b|)/(|a|+|b|)` (difflib's
+            // `real_quick_ratio`), which costs one chars() pass instead
+            // of the quadratic block search.
+            if prunable {
+                if let Some((_, best_score)) = best {
+                    let bound = config.weights.combine(
+                        c.semantic_score,
+                        score_w,
+                        gestalt_bound(&c.phrase, seed),
+                    );
+                    if bound.total_cmp(&best_score) == Ordering::Less {
+                        pruned += 1;
+                        continue;
+                    }
+                }
+            }
+            (score_w, gestalt_prepared(scratch, &c.phrase, seed))
+        };
+        scored += 1;
+        let score = config.weights.combine(c.semantic_score, score_w, score_c);
+        // max_by keeps the *last* maximal element: replace unless the
+        // incumbent strictly wins under (score, reversed-phrase).
+        let replace = match &best {
+            None => true,
+            Some((best_idx, best_score)) => {
+                score
+                    .total_cmp(best_score)
+                    .then_with(|| candidates[*best_idx].phrase.cmp(&c.phrase))
+                    != Ordering::Less
+            }
+        };
+        if replace {
+            best = Some((idx, score));
+        }
+    }
+    RefineOutcome {
+        best: best.map(|(idx, score)| (candidates[idx].clone(), score)),
+        scored,
+        pruned,
+    }
 }
 
 /// Extract the phrases of one sentence: dependency-parse noun phrases
@@ -81,7 +248,8 @@ pub fn extract_entities(
     config: &ThorConfig,
     doc_id: &str,
 ) -> Vec<ExtractedEntity> {
-    extract_entities_impl(segments, matcher, config, doc_id, None)
+    let mut scratch = ScoreScratch::new();
+    extract_entities_impl(segments, matcher, config, doc_id, None, &mut scratch)
 }
 
 /// [`extract_entities`] with observability: noun-phrase chunking is
@@ -97,7 +265,30 @@ pub fn extract_entities_metered(
     doc_id: &str,
     metrics: &PipelineMetrics,
 ) -> Vec<ExtractedEntity> {
-    extract_entities_impl(segments, matcher, config, doc_id, Some(metrics))
+    let mut scratch = ScoreScratch::new();
+    extract_entities_impl(
+        segments,
+        matcher,
+        config,
+        doc_id,
+        Some(metrics),
+        &mut scratch,
+    )
+}
+
+/// [`extract_entities_metered`] reusing a caller-owned [`ScoreScratch`]
+/// across documents — the long-lived paths (worker loops, enrichment
+/// sessions) thread one scratch per worker so refinement allocates
+/// nothing in steady state.
+pub fn extract_entities_with(
+    segments: &[SegmentedSentence],
+    matcher: &SimilarityMatcher,
+    config: &ThorConfig,
+    doc_id: &str,
+    metrics: Option<&PipelineMetrics>,
+    scratch: &mut ScoreScratch,
+) -> Vec<ExtractedEntity> {
+    extract_entities_impl(segments, matcher, config, doc_id, metrics, scratch)
 }
 
 fn extract_entities_impl(
@@ -106,9 +297,10 @@ fn extract_entities_impl(
     config: &ThorConfig,
     doc_id: &str,
     metrics: Option<&PipelineMetrics>,
+    scratch: &mut ScoreScratch,
 ) -> Vec<ExtractedEntity> {
-    let tagger = RuleTagger::default();
-    let lexicon = thor_nlp::Lexicon::english();
+    let tagger = shared_tagger();
+    let lexicon = shared_lexicon();
     // Entities must contain a nominal word ("entities typically consist
     // of noun phrases or subsequences thereof") — a bare adjective is
     // not an entity candidate.
@@ -119,24 +311,21 @@ fn extract_entities_impl(
     let mut out = Vec::new();
 
     for seg in segments {
-        for phrase in sentence_phrases(&seg.sentence.text, config, &tagger, metrics) {
+        for phrase in sentence_phrases(&seg.sentence.text, config, tagger, metrics) {
             let candidates = source.candidates_anchored(&phrase, &anchor);
             let refine_span = metrics.map(|m| m.refine.start());
-            let best = candidates
-                .into_iter()
-                .map(|c| refine(c, config))
-                .max_by(|a, b| {
-                    a.score
-                        .total_cmp(&b.score)
-                        .then_with(|| b.candidate.phrase.cmp(&a.candidate.phrase))
-                });
+            let outcome = refine_candidates(&candidates, matcher, config, scratch);
             drop(refine_span);
-            if let Some(best) = best {
+            if let Some(m) = metrics {
+                m.refine_scored.add(outcome.scored);
+                m.refine_pruned.add(outcome.pruned);
+            }
+            if let Some((candidate, score)) = outcome.best {
                 // Optional contextual gate (the paper's future work):
                 // the sentence minus the entity phrase must itself be
                 // compatible with the assigned concept.
                 if let Some(min_context) = config.context_gate {
-                    let ctx = context_similarity(&seg.sentence.text, &best.candidate, matcher);
+                    let ctx = context_similarity(&seg.sentence.text, &candidate, matcher);
                     if ctx < min_context {
                         continue;
                     }
@@ -146,10 +335,10 @@ fn extract_entities_impl(
                 }
                 out.push(ExtractedEntity {
                     subject: seg.subject.clone(),
-                    concept: best.candidate.concept,
-                    phrase: best.candidate.phrase,
-                    score: best.score,
-                    matched_instance: best.candidate.matched_instance,
+                    concept: candidate.concept,
+                    phrase: candidate.phrase,
+                    score,
+                    matched_instance: candidate.matched_instance,
                     doc_id: doc_id.to_string(),
                     sentence_index: seg.index,
                 });

@@ -78,6 +78,7 @@ pub use config::{ScoreWeights, SegmentationMode, ThorConfig};
 pub use document::Document;
 pub use engine::{PreparedEngine, ENGINE_FORMAT_VERSION, ENGINE_MAGIC};
 pub use entity::ExtractedEntity;
+pub use extract::{refine_candidates, RefineOutcome};
 pub use pipeline::{EnrichmentResult, EnrichmentSession, Thor};
 pub use pool::{PoolScope, WorkerPool};
 pub use resilient::{ResilientOptions, ResilientOutcome, RunMode};

@@ -13,12 +13,13 @@ use thor_data::Table;
 use thor_embed::VectorStore;
 use thor_match::SimilarityMatcher;
 use thor_obs::PipelineMetrics;
+use thor_text::ScoreScratch;
 
 use crate::config::ThorConfig;
 use crate::document::Document;
 use crate::engine::{concept_instances, PreparedEngine};
 use crate::entity::ExtractedEntity;
-use crate::extract::extract_entities_metered;
+use crate::extract::extract_entities_with;
 use crate::segment::segment_metered;
 use crate::slotfill::{slot_fill_metered, SlotFillStats};
 
@@ -204,6 +205,10 @@ pub struct EnrichmentSession {
     table: Table,
     entities: Vec<ExtractedEntity>,
     metrics: PipelineMetrics,
+    /// Refinement scratch reused across every document the session
+    /// processes — the session is the long-lived streaming path, so the
+    /// DP buffers reach steady state after the first few sentences.
+    scratch: ScoreScratch,
 }
 
 impl EnrichmentSession {
@@ -213,6 +218,7 @@ impl EnrichmentSession {
             table: engine.table().clone(),
             entities: Vec::new(),
             engine,
+            scratch: ScoreScratch::new(),
         }
     }
 
@@ -223,16 +229,25 @@ impl EnrichmentSession {
         let run = self.metrics.clone();
         let _span = run.inference.start();
         run.docs.inc();
-        let config = self.engine.config();
+        // Cheap Arc bump so the engine's config/matcher borrows don't
+        // conflict with the `&mut self.scratch` below.
+        let engine = self.engine.clone();
+        let config = engine.config();
         let segments = segment_metered(
             doc,
-            self.engine.subjects(),
-            self.engine.matcher(),
+            engine.subjects(),
+            engine.matcher(),
             config.segmentation,
             &run,
         );
-        let mut extracted =
-            extract_entities_metered(&segments, self.engine.matcher(), config, &doc.id, &run);
+        let mut extracted = extract_entities_with(
+            &segments,
+            engine.matcher(),
+            config,
+            &doc.id,
+            Some(&run),
+            &mut self.scratch,
+        );
         // Per-document dedup (matching the batch pipeline's granularity).
         dedup_entities(&mut extracted);
         let stats = slot_fill_metered(&mut self.table, &extracted, &run);

@@ -41,12 +41,13 @@ use thor_fault::{
 };
 use thor_match::SimilarityMatcher;
 use thor_obs::PipelineMetrics;
+use thor_text::ScoreScratch;
 
 use crate::config::ThorConfig;
 use crate::document::Document;
 use crate::engine::PreparedEngine;
 use crate::entity::ExtractedEntity;
-use crate::extract::extract_entities_metered;
+use crate::extract::extract_entities_with;
 use crate::pipeline::{dedup_entities, EnrichmentResult, Thor};
 use crate::pool::WorkerPool;
 use crate::segment::segment_metered;
@@ -231,6 +232,7 @@ fn process_doc(
     doc: &Document,
     policy: &DocumentPolicy,
     run: &PipelineMetrics,
+    scratch: &mut ScoreScratch,
 ) -> DocStatus {
     let quarantined = |stage: &str, err: ThorError| {
         DocStatus::Quarantined(QuarantineEntry::from_error(&doc.id, stage, &err))
@@ -260,8 +262,13 @@ fn process_doc(
 
     match catch_unwind(AssertUnwindSafe(|| {
         fail_point("extract")?;
-        Ok(extract_entities_metered(
-            &segments, matcher, config, &doc.id, run,
+        Ok(extract_entities_with(
+            &segments,
+            matcher,
+            config,
+            &doc.id,
+            Some(run),
+            scratch,
         ))
     })) {
         Ok(Ok(entities)) => {
@@ -400,8 +407,17 @@ impl PreparedEngine {
         let workers = config.threads.min(pending.len().max(1));
         let loop_result: ThorResult<()> = if workers <= 1 {
             (|| {
+                let mut scratch = ScoreScratch::new();
                 for doc in pending.iter().copied() {
-                    let status = process_doc(config, matcher, subjects, doc, &opts.policy, &run);
+                    let status = process_doc(
+                        config,
+                        matcher,
+                        subjects,
+                        doc,
+                        &opts.policy,
+                        &run,
+                        &mut scratch,
+                    );
                     state.record(doc.id.clone(), status, &run)?;
                 }
                 Ok(())
@@ -416,17 +432,28 @@ impl PreparedEngine {
                     let tx = tx.clone();
                     let (next, cancel, pending) = (&next, &cancel, &pending);
                     let (run, policy) = (&run, &opts.policy);
-                    scope.spawn(move || loop {
-                        if cancel.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(doc) = pending.get(i).copied() else {
-                            break;
-                        };
-                        let status = process_doc(config, matcher, subjects, doc, policy, run);
-                        if tx.send((doc.id.clone(), status)).is_err() {
-                            break;
+                    scope.spawn(move || {
+                        let mut scratch = ScoreScratch::new();
+                        loop {
+                            if cancel.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(doc) = pending.get(i).copied() else {
+                                break;
+                            };
+                            let status = process_doc(
+                                config,
+                                matcher,
+                                subjects,
+                                doc,
+                                policy,
+                                run,
+                                &mut scratch,
+                            );
+                            if tx.send((doc.id.clone(), status)).is_err() {
+                                break;
+                            }
                         }
                     });
                 }

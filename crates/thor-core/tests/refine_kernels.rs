@@ -1,0 +1,250 @@
+//! The refinement kernels and the early abandon are *performance*
+//! dials, not semantic ones: enriching the same table from the same
+//! documents must produce a byte-identical CSV serialization and
+//! identical entity predictions whether refinement runs on the
+//! allocation-free kernel path or the documented reference
+//! implementations, with the score-bound early abandon on or off, on
+//! one thread or four, cached or uncached. This is the end-to-end
+//! counterpart of the per-function bit-equality proptests in
+//! `thor_text::kernels`.
+
+use thor_core::extract::{refine_candidates, RefineOutcome};
+use thor_core::{Document, ExtractedEntity, Thor, ThorConfig};
+use thor_data::csv::to_csv;
+use thor_data::{Schema, Table};
+use thor_embed::{SemanticSpaceBuilder, VectorStore};
+use thor_index::CandidateEntity;
+use thor_obs::PipelineMetrics;
+use thor_text::ScoreScratch;
+
+fn store() -> VectorStore {
+    SemanticSpaceBuilder::new(32, 55)
+        .spread(0.4)
+        .topic("disease")
+        .topic("anatomy")
+        .correlated_topic("complication", "anatomy", 0.25)
+        .words(
+            "disease",
+            ["tuberculosis", "acne", "neuroma", "acoustic", "malaria"],
+        )
+        .words(
+            "anatomy",
+            [
+                "nervous", "system", "brain", "nerve", "lungs", "skin", "ear", "liver",
+            ],
+        )
+        .words(
+            "complication",
+            [
+                "cancer",
+                "tumor",
+                "unsteadiness",
+                "empyema",
+                "deafness",
+                "fever",
+            ],
+        )
+        .generic_words([
+            "slow-growing",
+            "grows",
+            "damage",
+            "damages",
+            "severe",
+            "causes",
+        ])
+        .build()
+        .into_store()
+}
+
+fn table() -> Table {
+    let mut table = Table::new(Schema::new(
+        ["Disease", "Anatomy", "Complication"],
+        "Disease",
+    ));
+    table.fill_slot("Acoustic Neuroma", "Anatomy", "nervous system");
+    table.fill_slot("Acne", "Anatomy", "skin");
+    table.fill_slot("Acne", "Complication", "skin cancer");
+    table.fill_slot("Malaria", "Complication", "fever");
+    table.row_for_subject("Tuberculosis");
+    table
+}
+
+fn docs() -> Vec<Document> {
+    [
+        "Acoustic Neuroma is a slow-growing non-cancerous brain tumor. \
+         It may cause unsteadiness and deafness.",
+        "Tuberculosis generally damages the lungs and may cause empyema. \
+         Severe tuberculosis damages the lungs.",
+        "Malaria causes severe fever and may damage the liver.",
+        "Acne damages the skin. The tumor grows on the nerve near the ear.",
+        "Acne damages the skin. Acne damages the skin. Acne damages the skin.",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, text)| Document::new(format!("doc{i:02}"), *text))
+    .collect()
+}
+
+#[derive(Clone, Copy)]
+struct RefineKnobs {
+    reference: bool,
+    early_abandon: bool,
+    threads: usize,
+    cache_capacity: usize,
+}
+
+fn enrich(tau: f64, knobs: RefineKnobs) -> (String, Vec<ExtractedEntity>) {
+    let mut config = ThorConfig::with_tau(tau);
+    config.reference_refine = knobs.reference;
+    config.early_abandon = knobs.early_abandon;
+    config.threads = knobs.threads;
+    config.cache_capacity = knobs.cache_capacity;
+    let thor = Thor::new(store(), config);
+    let result = thor.enrich(&table(), &docs());
+    (to_csv(&result.table), result.entities)
+}
+
+/// Scores compared down to the bit, not just `==`: the whole point of
+/// the kernel path is exact reproduction of the reference arithmetic.
+fn assert_entities_bit_equal(reference: &[ExtractedEntity], got: &[ExtractedEntity], label: &str) {
+    assert_eq!(reference.len(), got.len(), "entity count diverged: {label}");
+    for (r, g) in reference.iter().zip(got) {
+        assert_eq!(r, g, "entity diverged: {label}");
+        assert_eq!(
+            r.score.to_bits(),
+            g.score.to_bits(),
+            "score bits diverged: {label}"
+        );
+    }
+}
+
+#[test]
+fn kernel_matches_reference_across_execution_knobs() {
+    for tau10 in [5, 7, 9] {
+        let tau = tau10 as f64 / 10.0;
+        let (reference_csv, reference_entities) = enrich(
+            tau,
+            RefineKnobs {
+                reference: true,
+                early_abandon: false,
+                threads: 1,
+                cache_capacity: 4096,
+            },
+        );
+        assert!(
+            reference_csv.contains("Disease"),
+            "reference CSV should serialize the schema"
+        );
+        for reference in [false, true] {
+            for early_abandon in [false, true] {
+                for threads in [1, 4] {
+                    for cache_capacity in [0, 4096] {
+                        let knobs = RefineKnobs {
+                            reference,
+                            early_abandon,
+                            threads,
+                            cache_capacity,
+                        };
+                        let (csv, entities) = enrich(tau, knobs);
+                        let label = format!(
+                            "tau={tau}, reference={reference}, \
+                             early_abandon={early_abandon}, threads={threads}, \
+                             cache={cache_capacity}"
+                        );
+                        assert_eq!(reference_csv, csv, "CSV diverged: {label}");
+                        assert_entities_bit_equal(&reference_entities, &entities, &label);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn metered_counts(knobs: RefineKnobs) -> (u64, u64, usize) {
+    let mut config = ThorConfig::with_tau(0.6);
+    config.reference_refine = knobs.reference;
+    config.early_abandon = knobs.early_abandon;
+    config.threads = knobs.threads;
+    config.cache_capacity = knobs.cache_capacity;
+    let metrics = PipelineMetrics::new();
+    let thor = Thor::new(store(), config).with_metrics(metrics.clone());
+    let result = thor.enrich(&table(), &docs());
+    let snap = metrics.snapshot();
+    (
+        snap.count("refine.scored"),
+        snap.count("refine.pruned"),
+        result.entities.len(),
+    )
+}
+
+#[test]
+fn refine_counters_account_for_every_candidate() {
+    let base = RefineKnobs {
+        reference: false,
+        early_abandon: true,
+        threads: 1,
+        cache_capacity: 4096,
+    };
+    let (scored_fast, pruned_fast, entities_fast) = metered_counts(base);
+    assert!(scored_fast > 0, "the corpus must exercise refinement");
+    assert!(entities_fast > 0, "the corpus must produce entities");
+
+    // Early abandon off: every candidate is scored, none pruned.
+    let (scored_full, pruned_full, entities_full) = metered_counts(RefineKnobs {
+        early_abandon: false,
+        ..base
+    });
+    assert_eq!(pruned_full, 0, "no pruning with early abandon disabled");
+    assert_eq!(entities_full, entities_fast);
+
+    // The reference path never prunes, even with early abandon on.
+    let (scored_ref, pruned_ref, entities_ref) = metered_counts(RefineKnobs {
+        reference: true,
+        ..base
+    });
+    assert_eq!(pruned_ref, 0, "reference path never prunes");
+    assert_eq!(scored_ref, scored_full, "reference scores everything");
+    assert_eq!(entities_ref, entities_fast);
+
+    // scored + pruned is conserved: the abandon skips work, it does not
+    // skip candidates.
+    assert_eq!(scored_fast + pruned_fast, scored_full);
+}
+
+#[test]
+fn refine_candidates_handles_foreign_instances() {
+    // A matched_instance that is not one of the matcher's embedded
+    // seeds exercises the defensive per-call PhraseSyntax fallback;
+    // its score must equal the reference computation exactly.
+    let thor = Thor::new(store(), ThorConfig::with_tau(0.6));
+    let engine = thor.prepare(&table());
+    let matcher = engine.matcher();
+    let candidates = vec![
+        CandidateEntity {
+            phrase: "brain tumor".into(),
+            concept: "Complication".into(),
+            matched_instance: "not a seed phrase".into(),
+            semantic_score: 0.9,
+            cluster_score: 0.9,
+        },
+        CandidateEntity {
+            phrase: "brain tumor".into(),
+            concept: "Complication".into(),
+            matched_instance: "skin cancer".into(),
+            semantic_score: 0.8,
+            cluster_score: 0.8,
+        },
+    ];
+    let mut scratch = ScoreScratch::new();
+    let config = ThorConfig::with_tau(0.6);
+    let mut reference_config = config.clone();
+    reference_config.reference_refine = true;
+    let kernel: RefineOutcome = refine_candidates(&candidates, matcher, &config, &mut scratch);
+    let reference = refine_candidates(&candidates, matcher, &reference_config, &mut scratch);
+    let (kc, ks) = kernel.best.expect("kernel winner");
+    let (rc, rs) = reference.best.expect("reference winner");
+    assert_eq!(kc, rc);
+    assert_eq!(ks.to_bits(), rs.to_bits());
+    assert_eq!(reference.pruned, 0);
+    assert_eq!(reference.scored, 2);
+}

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use thor_embed::VectorStore;
 use thor_index::{CacheStats, CandidateSource, PhraseCache, VectorIndex, VectorIndexBuilder};
 use thor_obs::PipelineMetrics;
-use thor_text::{is_stopword, normalize_phrase};
+use thor_text::{is_stopword, normalize_phrase, SeedSyntax};
 
 use crate::cluster::ConceptCluster;
 use crate::prepared::PreparedMatcher;
@@ -90,6 +90,7 @@ pub struct SimilarityMatcher {
     clusters: Vec<ConceptCluster>,
     index: VectorIndex,
     cache: PhraseCache<CachedMatch>,
+    seed_syntax: Arc<SeedSyntax>,
     config: MatcherConfig,
     metrics: Option<PipelineMetrics>,
 }
@@ -153,6 +154,7 @@ impl SimilarityMatcher {
     pub(crate) fn from_clusters(
         store: Arc<VectorStore>,
         clusters: Vec<ConceptCluster>,
+        seed_syntax: Arc<SeedSyntax>,
         config: MatcherConfig,
         metrics: Option<PipelineMetrics>,
     ) -> Self {
@@ -175,6 +177,7 @@ impl SimilarityMatcher {
             clusters,
             index,
             cache: PhraseCache::new(config.cache_capacity),
+            seed_syntax,
             config,
             metrics,
         }
@@ -226,6 +229,15 @@ impl SimilarityMatcher {
     /// The structure-of-arrays index frozen at fine-tune time.
     pub fn index(&self) -> &VectorIndex {
         &self.index
+    }
+
+    /// Precomputed refinement syntax (lowercase word sets + char
+    /// arrays) for every seed instance this matcher can report as
+    /// `matched_instance`, frozen at preparation time. The refinement
+    /// kernels look the seed side of each similarity up here instead of
+    /// re-tokenizing it per candidate.
+    pub fn seed_syntax(&self) -> &SeedSyntax {
+        &self.seed_syntax
     }
 
     /// Statistics of the phrase cache (shared by all clones of this

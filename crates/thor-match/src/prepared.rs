@@ -25,6 +25,7 @@ use std::sync::Arc;
 use thor_embed::{Vector, VectorStore};
 use thor_index::VectorIndexBuilder;
 use thor_obs::PipelineMetrics;
+use thor_text::SeedSyntax;
 
 use crate::cluster::ConceptCluster;
 use crate::matcher::{MatcherConfig, SimilarityMatcher, TAU_RANGE};
@@ -40,7 +41,21 @@ pub struct PreparedMatcher {
     /// similarity, every entry ≥ `base.tau`, sorted by
     /// `(sim desc, word asc)`, **not** truncated to `max_expansion`.
     candidates: Vec<Vec<(String, f64)>>,
+    /// Refinement syntax (lowercase word sets + char arrays) of every
+    /// embedded seed instance, computed once per preparation. τ only
+    /// filters the *expansion*, so one table serves every derived
+    /// matcher.
+    seed_syntax: Arc<SeedSyntax>,
     base: MatcherConfig,
+}
+
+/// The per-seed refinement syntax table for a preparation's embedded
+/// seeds — every string a derived matcher can emit as
+/// `matched_instance`.
+fn build_seed_syntax(seeds: &[Vec<(String, Vector)>]) -> Arc<SeedSyntax> {
+    Arc::new(SeedSyntax::build(
+        seeds.iter().flatten().map(|(word, _)| word.as_str()),
+    ))
 }
 
 impl PreparedMatcher {
@@ -101,6 +116,7 @@ impl PreparedMatcher {
         }
 
         Self {
+            seed_syntax: build_seed_syntax(&seeds),
             store,
             names: concepts.iter().map(|(name, _)| name.clone()).collect(),
             seeds,
@@ -129,11 +145,12 @@ impl PreparedMatcher {
             "one candidate list per concept"
         );
         let store = store.into();
-        let seeds = concepts
+        let seeds: Vec<Vec<(String, Vector)>> = concepts
             .iter()
             .map(|(_, instances)| ConceptCluster::embed_seeds(instances, &store))
             .collect();
         Self {
+            seed_syntax: build_seed_syntax(&seeds),
             store,
             names: concepts.iter().map(|(name, _)| name.clone()).collect(),
             seeds,
@@ -188,7 +205,18 @@ impl PreparedMatcher {
                 ConceptCluster::from_parts(name, seeds.clone(), &words, &self.store)
             })
             .collect();
-        SimilarityMatcher::from_clusters(Arc::clone(&self.store), clusters, config, metrics)
+        SimilarityMatcher::from_clusters(
+            Arc::clone(&self.store),
+            clusters,
+            Arc::clone(&self.seed_syntax),
+            config,
+            metrics,
+        )
+    }
+
+    /// The frozen refinement syntax of the embedded seed instances.
+    pub fn seed_syntax(&self) -> &Arc<SeedSyntax> {
+        &self.seed_syntax
     }
 
     /// The config the preparation ran with; its `tau` is the lowest τ

@@ -54,6 +54,11 @@ pub struct PipelineMetrics {
     pub candidates: Arc<Counter>,
     /// Entities surviving refinement.
     pub entities: Arc<Counter>,
+    /// Candidates fully scored by syntactic refinement.
+    pub refine_scored: Arc<Counter>,
+    /// Candidates skipped by refinement's score-bound early abandon
+    /// (their upper bound could not beat the running best).
+    pub refine_pruned: Arc<Counter>,
     /// Slot values newly inserted into the table.
     pub slots_inserted: Arc<Counter>,
     /// Slot values skipped as duplicates.
@@ -97,6 +102,8 @@ impl PipelineMetrics {
             subphrases: registry.counter("subphrases"),
             candidates: registry.counter("candidates"),
             entities: registry.counter("entities"),
+            refine_scored: registry.counter("refine.scored"),
+            refine_pruned: registry.counter("refine.pruned"),
             slots_inserted: registry.counter("slots.inserted"),
             slots_duplicate: registry.counter("slots.duplicate"),
             expansion_words: registry.counter("expansion.words"),
@@ -192,6 +199,8 @@ mod tests {
             "subphrases",
             "candidates",
             "entities",
+            "refine.scored",
+            "refine.pruned",
             "slots.inserted",
             "slots.duplicate",
             "expansion.words",

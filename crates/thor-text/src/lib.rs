@@ -18,6 +18,10 @@
 //!   word-level Jaccard and character-level gestalt (Ratcliff–Obershelp)
 //!   pattern matching, plus Levenshtein and n-gram measures used by tests
 //!   and ablations,
+//! * [`kernels`] — allocation-free fast paths for the two refinement
+//!   similarities: precomputed per-phrase syntax ([`PhraseSyntax`] /
+//!   [`SeedSyntax`]) plus reusable per-worker scratch ([`ScoreScratch`]),
+//!   bit-identical to the [`similarity`] reference implementations,
 //! * [`shape`] — word-shape features consumed by the perceptron tagger in
 //!   `thor-baselines`.
 //!
@@ -25,6 +29,7 @@
 //! them once per candidate subphrase, which is the hot loop of the system.
 
 pub mod inflect;
+pub mod kernels;
 pub mod normalize;
 pub mod sentence;
 pub mod shape;
@@ -33,6 +38,9 @@ pub mod stopwords;
 pub mod token;
 
 pub use inflect::{same_lemma, singularize, singularize_phrase};
+pub use kernels::{
+    gestalt_bound, gestalt_prepared, jaccard_prepared, PhraseSyntax, ScoreScratch, SeedSyntax,
+};
 pub use normalize::{fold_token, normalize_phrase};
 pub use sentence::{split_sentences, Sentence};
 pub use similarity::{gestalt_similarity, jaccard_words, levenshtein, ngram_similarity};

@@ -15,6 +15,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use crate::kernels::longest_match_flat;
+
 /// Word-level Jaccard similarity: |A ∩ B| / |A ∪ B| over the lowercase
 /// word sets of the two phrases. Empty-vs-empty is defined as 1.0
 /// (identical), empty-vs-nonempty as 0.0.
@@ -42,7 +44,14 @@ pub fn jaccard_words(a: &str, b: &str) -> f64 {
 /// and `b[blo..bhi]`, returned as (start_a, start_b, len). Ties are
 /// broken toward the earliest position in `a`, then `b` (as in
 /// Ratcliff–Obershelp / difflib without junk handling).
-#[allow(clippy::needless_range_loop)] // index loops mirror the difflib reference
+///
+/// The DP rows are two flat, reusable buffers threaded down from
+/// [`gestalt_similarity`] — [`crate::kernels::longest_match_flat`]
+/// replaces the `HashMap<usize, usize>` rows the difflib reference
+/// builds per iteration (a missing map entry is a zeroed slot; the
+/// `longest_match_flat_equals_difflib_reference` proptest pins the
+/// equivalence on random unicode).
+#[allow(clippy::too_many_arguments)] // (a, b) ranges plus the two DP rows
 fn longest_match(
     a: &[char],
     b: &[char],
@@ -50,38 +59,29 @@ fn longest_match(
     ahi: usize,
     blo: usize,
     bhi: usize,
+    prev: &mut Vec<usize>,
+    curr: &mut Vec<usize>,
 ) -> (usize, usize, usize) {
-    // difflib-style DP: j2len[j] = length of the longest match ending at
-    // a[i-1], b[j-1].
-    let mut best = (alo, blo, 0usize);
-    let mut j2len: HashMap<usize, usize> = HashMap::new();
-    for i in alo..ahi {
-        let mut new_j2len: HashMap<usize, usize> = HashMap::new();
-        for j in blo..bhi {
-            if a[i] == b[j] {
-                let k = j
-                    .checked_sub(1)
-                    .and_then(|p| j2len.get(&p))
-                    .copied()
-                    .unwrap_or(0)
-                    + 1;
-                new_j2len.insert(j, k);
-                if k > best.2 {
-                    best = (i + 1 - k, j + 1 - k, k);
-                }
-            }
-        }
-        j2len = new_j2len;
-    }
-    best
+    longest_match_flat(prev, curr, a, b, alo, ahi, blo, bhi)
 }
 
-fn matching_chars(a: &[char], b: &[char], alo: usize, ahi: usize, blo: usize, bhi: usize) -> usize {
-    let (i, j, k) = longest_match(a, b, alo, ahi, blo, bhi);
+#[allow(clippy::too_many_arguments)] // mirrors the difflib recursion plus the two DP rows
+fn matching_chars(
+    a: &[char],
+    b: &[char],
+    alo: usize,
+    ahi: usize,
+    blo: usize,
+    bhi: usize,
+    prev: &mut Vec<usize>,
+    curr: &mut Vec<usize>,
+) -> usize {
+    let (i, j, k) = longest_match(a, b, alo, ahi, blo, bhi, prev, curr);
     if k == 0 {
         return 0;
     }
-    k + matching_chars(a, b, alo, i, blo, j) + matching_chars(a, b, i + k, ahi, j + k, bhi)
+    k + matching_chars(a, b, alo, i, blo, j, prev, curr)
+        + matching_chars(a, b, i + k, ahi, j + k, bhi, prev, curr)
 }
 
 /// Gestalt pattern matching (Ratcliff–Obershelp) similarity:
@@ -106,7 +106,8 @@ pub fn gestalt_similarity(a: &str, b: &str) -> f64 {
     if total == 0 {
         return 1.0;
     }
-    let m = matching_chars(&ca, &cb, 0, ca.len(), 0, cb.len());
+    let (mut prev, mut curr) = (Vec::new(), Vec::new());
+    let m = matching_chars(&ca, &cb, 0, ca.len(), 0, cb.len(), &mut prev, &mut curr);
     2.0 * m as f64 / total as f64
 }
 
@@ -182,6 +183,41 @@ pub fn ngram_similarity(a: &str, b: &str, n: usize) -> f64 {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The original difflib-style DP with per-row `HashMap`s, retained
+    /// verbatim as the ground truth the flat-buffer DP is checked
+    /// against.
+    #[allow(clippy::needless_range_loop)] // kept verbatim as the reference
+    fn longest_match_difflib(
+        a: &[char],
+        b: &[char],
+        alo: usize,
+        ahi: usize,
+        blo: usize,
+        bhi: usize,
+    ) -> (usize, usize, usize) {
+        let mut best = (alo, blo, 0usize);
+        let mut j2len: HashMap<usize, usize> = HashMap::new();
+        for i in alo..ahi {
+            let mut new_j2len: HashMap<usize, usize> = HashMap::new();
+            for j in blo..bhi {
+                if a[i] == b[j] {
+                    let k = j
+                        .checked_sub(1)
+                        .and_then(|p| j2len.get(&p))
+                        .copied()
+                        .unwrap_or(0)
+                        + 1;
+                    new_j2len.insert(j, k);
+                    if k > best.2 {
+                        best = (i + 1 - k, j + 1 - k, k);
+                    }
+                }
+            }
+            j2len = new_j2len;
+        }
+        best
+    }
 
     #[test]
     fn jaccard_identical() {
@@ -290,6 +326,27 @@ mod tests {
             // Repeated characters stress the recursive block matching.
             let s = gestalt_similarity(&a, &b);
             prop_assert!(s <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn longest_match_flat_equals_difflib_reference(
+            a in "\\PC{0,18}", b in "\\PC{0,18}",
+            sub_lo in 0usize..4, sub_hi in 0usize..4,
+        ) {
+            let ca: Vec<char> = a.chars().collect();
+            let cb: Vec<char> = b.chars().collect();
+            // Full ranges plus interior sub-ranges (the recursion's shape).
+            let alo = sub_lo.min(ca.len());
+            let ahi = ca.len().saturating_sub(sub_hi).max(alo);
+            let blo = sub_hi.min(cb.len());
+            let bhi = cb.len().saturating_sub(sub_lo).max(blo);
+            let (mut prev, mut curr) = (Vec::new(), Vec::new());
+            for (al, ah, bl, bh) in [(0, ca.len(), 0, cb.len()), (alo, ahi, blo, bhi)] {
+                prop_assert_eq!(
+                    longest_match(&ca, &cb, al, ah, bl, bh, &mut prev, &mut curr),
+                    longest_match_difflib(&ca, &cb, al, ah, bl, bh)
+                );
+            }
         }
     }
 }

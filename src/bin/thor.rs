@@ -136,6 +136,7 @@ const ENRICH: CommandSpec = CommandSpec {
         "engine",
         "context-gate",
         "threads",
+        "refine",
         "out",
         "entities",
         "quarantine",
@@ -201,10 +202,10 @@ fn usage() -> ExitCode {
          thor build --table R.csv --vectors v.txt --engine e.thor [--tau 0.7] \
          [--context-gate G] [--threads N]\n  \
          thor enrich --table R.csv [--tau 0.7] [--vectors v.txt] [--context-gate G] \
-         [--threads N] [--metrics[=json]] [--cache-stats] [--strict | --lenient] \
-         [--quarantine q.tsv] [--checkpoint DIR [--resume]] \
+         [--threads N] [--refine kernel|reference] [--metrics[=json]] [--cache-stats] \
+         [--strict | --lenient] [--quarantine q.tsv] [--checkpoint DIR [--resume]] \
          [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
-         thor enrich --engine e.thor [--threads N] ... <doc.txt>...\n  \
+         thor enrich --engine e.thor [--threads N] [--refine kernel|reference] ... <doc.txt>...\n  \
          thor evaluate --gold gold.tsv --pred pred.tsv\n  \
          thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR"
     );
@@ -429,6 +430,19 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         }
     }
 
+    // `--refine` selects the refinement implementation — an execution
+    // knob like --threads (both paths are bit-identical), so it stays
+    // adjustable even when serving from a frozen --engine artifact.
+    let reference_refine = match args.options.get("refine").map(String::as_str) {
+        None | Some("kernel") => false,
+        Some("reference") => true,
+        Some(other) => {
+            return Err(ThorError::config(format!(
+                "--refine must be `kernel` or `reference`, got `{other}`"
+            )))
+        }
+    };
+
     if args.positional.is_empty() {
         return Err(ThorError::config("enrich needs at least one document file"));
     }
@@ -475,6 +489,9 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         );
         if let Some(threads) = threads {
             engine = engine.with_threads(threads);
+        }
+        if reference_refine {
+            engine = engine.with_reference_refine(true);
         }
         if attach_metrics {
             engine = engine.with_metrics(metrics.clone());
@@ -531,6 +548,7 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         if let Some(threads) = threads {
             config.threads = threads;
         }
+        config.reference_refine = reference_refine;
         let mut thor = Thor::new(store, config);
         if attach_metrics {
             thor = thor.with_metrics(metrics.clone());
@@ -917,6 +935,30 @@ mod tests {
         // from the nonexistent engine file, not a conflict).
         let a = parse_args(
             &argv(&["--engine", "/nonexistent/e.thor", "--threads", "2", "d.txt"]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(!msg.contains("conflicts"), "{msg}");
+    }
+
+    #[test]
+    fn refine_option_validated() {
+        let a = parse_args(
+            &argv(&["--table", "t.csv", "--refine", "fast", "d.txt"]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(msg.contains("`kernel` or `reference`"), "{msg}");
+        // Like --threads, --refine stays adjustable alongside --engine:
+        // the error must come from the missing file, not a conflict.
+        let a = parse_args(
+            &argv(&[
+                "--engine",
+                "/nonexistent/e.thor",
+                "--refine",
+                "reference",
+                "d.txt",
+            ]),
             ENRICH.flags,
         );
         let msg = cmd_enrich(&a).unwrap_err().to_string();
