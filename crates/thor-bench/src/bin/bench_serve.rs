@@ -1,0 +1,212 @@
+//! **BENCH_serve** — load benchmark for the HTTP serving front end.
+//!
+//! Starts a real `thor-serve` server over a frozen engine and drives it
+//! with two generators:
+//!
+//! - **closed-loop**: K keep-alive clients, each issuing its next
+//!   request the moment the previous response lands — measures the
+//!   saturated throughput of the accept loop + admission queue +
+//!   engine.
+//! - **open-loop**: requests arrive on a fixed schedule regardless of
+//!   completions (each on its own connection) — measures latency under
+//!   an offered rate, the way real callers experience the server.
+//!
+//! Before any timing, one response is checked byte-for-byte against the
+//! batch `enrich` output — the numbers only matter because the serve
+//! path is a drop-in for the CLI. Emits `BENCH_serve.json` to the
+//! working directory and prints the same document to stdout.
+//!
+//! Usage: `bench_serve [--smoke]` (env: `THOR_SCALE`, `THOR_SEED`).
+//! `--smoke` pins a tiny scale and short run for CI; the full mode
+//! additionally asserts a sustained docs/sec floor at a p99 SLO.
+
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use thor_bench::harness::{disease_dataset, prepare_engine, scale_from_env, seed_from_env};
+use thor_core::Document;
+use thor_datagen::Split;
+use thor_obs::{Histogram, Json};
+use thor_serve::http::{request, send_request};
+use thor_serve::{RequestReader, Response, ServeOptions, Server};
+
+/// Full-mode gates: the serve path must sustain this many docs/sec in
+/// the closed loop while its p99 stays under the SLO. Both are set far
+/// below what the engine does on this hardware (hundreds to thousands
+/// of docs/sec) so only a real regression trips them.
+const FLOOR_DOCS_PER_SEC: f64 = 25.0;
+const SLO_P99_MS: f64 = 2_000.0;
+
+fn batch_json(docs: &[Document]) -> Vec<u8> {
+    let documents = docs
+        .iter()
+        .map(|d| {
+            Json::Object(BTreeMap::from([
+                ("id".to_string(), Json::Str(d.id.clone())),
+                ("text".to_string(), Json::Str(d.text.clone())),
+            ]))
+        })
+        .collect();
+    Json::Object(BTreeMap::from([(
+        "documents".to_string(),
+        Json::Array(documents),
+    )]))
+    .render()
+    .into_bytes()
+}
+
+fn quantiles_ms(h: &Histogram) -> (f64, f64, f64) {
+    let ms = |q| h.quantile(q) as f64 / 1e3;
+    (ms(0.50), ms(0.95), ms(0.99))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (scale, clients, reqs_per_client) = if smoke {
+        (0.08, 2usize, 5usize)
+    } else {
+        (scale_from_env(), 8usize, 40usize)
+    };
+    let dataset = disease_dataset(seed_from_env(), scale);
+    let engine = prepare_engine(&dataset, 0.6).with_threads(4);
+
+    // One request batch, reused for every client: the first docs of the
+    // test split.
+    let docs: Vec<Document> = dataset.documents(Split::Test).into_iter().take(8).collect();
+    assert!(!docs.is_empty(), "dataset produced no test documents");
+    let body = Arc::new(batch_json(&docs));
+    let expected = thor_data::to_csv(&engine.enrich(&docs).table);
+
+    let opts = ServeOptions {
+        queue: clients * 2,
+        ..ServeOptions::default()
+    };
+    let server = Server::bind(engine, "127.0.0.1:0", opts).expect("bind server");
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+    let server_thread = std::thread::spawn(move || server.run().expect("serve loop"));
+
+    // Correctness before speed: the serve path must answer exactly the
+    // batch bytes.
+    let probe = request(&addr, "POST", "/enrich", &body).expect("probe request");
+    assert_eq!(probe.status, 200, "probe failed: {}", probe.body_str());
+    assert_eq!(
+        probe.body_str(),
+        expected,
+        "serve output diverged from batch enrich"
+    );
+
+    // ---- closed loop: K keep-alive clients at full tilt. ----
+    let closed_hist = Arc::new(Histogram::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let body = Arc::clone(&body);
+            let hist = Arc::clone(&closed_hist);
+            scope.spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect");
+                let _ = stream.set_nodelay(true);
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .expect("read timeout");
+                let mut reader = RequestReader::new(stream.try_clone().expect("clone stream"));
+                for _ in 0..reqs_per_client {
+                    let start = Instant::now();
+                    send_request(&mut stream, "POST", "/enrich", &body).expect("send");
+                    let resp = Response::read_from(&mut reader).expect("response");
+                    hist.record(start.elapsed().as_micros() as u64);
+                    assert_eq!(resp.status, 200, "closed-loop: {}", resp.body_str());
+                }
+            });
+        }
+    });
+    let closed_wall = t0.elapsed().as_secs_f64();
+    let closed_requests = (clients * reqs_per_client) as f64;
+    let closed_rps = closed_requests / closed_wall;
+    let closed_docs_per_sec = closed_rps * docs.len() as f64;
+    let (c_p50, c_p95, c_p99) = quantiles_ms(&closed_hist);
+
+    // ---- open loop: fixed arrival schedule, one connection each. ----
+    // Offer roughly half the measured closed-loop rate so the server is
+    // loaded but not saturated — the regime where latency is the story.
+    let offered_rps = (closed_rps * 0.5).clamp(2.0, 200.0);
+    let open_requests = if smoke {
+        10
+    } else {
+        (offered_rps * 3.0).ceil() as usize
+    };
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+    let open_hist = Arc::new(Histogram::new());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for i in 0..open_requests {
+            // Arrivals are scheduled against the clock, not against
+            // completions — a slow response does not delay the next
+            // arrival.
+            let due = t0 + interval * i as u32;
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let body = Arc::clone(&body);
+            let hist = Arc::clone(&open_hist);
+            scope.spawn(move || {
+                let start = Instant::now();
+                let resp = request(&addr, "POST", "/enrich", &body).expect("open-loop request");
+                hist.record(start.elapsed().as_micros() as u64);
+                assert_eq!(resp.status, 200, "open-loop: {}", resp.body_str());
+            });
+        }
+    });
+    let open_wall = t0.elapsed().as_secs_f64();
+    let achieved_rps = open_requests as f64 / open_wall;
+    let (o_p50, o_p95, o_p99) = quantiles_ms(&open_hist);
+
+    handle.shutdown();
+    server_thread.join().expect("server thread");
+
+    let mut doc = BTreeMap::new();
+    doc.insert("bench".into(), Json::Str("serve".into()));
+    doc.insert(
+        "mode".into(),
+        Json::Str(if smoke { "smoke" } else { "full" }.into()),
+    );
+    doc.insert("scale".into(), Json::Float(scale));
+    doc.insert("clients".into(), Json::UInt(clients as u64));
+    doc.insert("batch_docs".into(), Json::UInt(docs.len() as u64));
+    doc.insert("closed_requests".into(), Json::UInt(closed_requests as u64));
+    doc.insert("closed_rps".into(), Json::Float(closed_rps));
+    doc.insert(
+        "closed_docs_per_sec".into(),
+        Json::Float(closed_docs_per_sec),
+    );
+    doc.insert("closed_p50_ms".into(), Json::Float(c_p50));
+    doc.insert("closed_p95_ms".into(), Json::Float(c_p95));
+    doc.insert("closed_p99_ms".into(), Json::Float(c_p99));
+    doc.insert("open_requests".into(), Json::UInt(open_requests as u64));
+    doc.insert("open_offered_rps".into(), Json::Float(offered_rps));
+    doc.insert("open_achieved_rps".into(), Json::Float(achieved_rps));
+    doc.insert("open_p50_ms".into(), Json::Float(o_p50));
+    doc.insert("open_p95_ms".into(), Json::Float(o_p95));
+    doc.insert("open_p99_ms".into(), Json::Float(o_p99));
+    doc.insert("floor_docs_per_sec".into(), Json::Float(FLOOR_DOCS_PER_SEC));
+    doc.insert("slo_p99_ms".into(), Json::Float(SLO_P99_MS));
+    let rendered = Json::Object(doc).render();
+    std::fs::write("BENCH_serve.json", format!("{rendered}\n")).expect("write BENCH_serve.json");
+    println!("{rendered}");
+    println!(
+        "closed {closed_docs_per_sec:.0} docs/s ({closed_rps:.1} req/s, p99 {c_p99:.1}ms) | \
+         open {achieved_rps:.1}/{offered_rps:.1} req/s (p99 {o_p99:.1}ms)"
+    );
+    if !smoke {
+        assert!(
+            closed_docs_per_sec >= FLOOR_DOCS_PER_SEC,
+            "closed-loop throughput {closed_docs_per_sec:.1} docs/s below {FLOOR_DOCS_PER_SEC} floor"
+        );
+        assert!(
+            c_p99 <= SLO_P99_MS,
+            "closed-loop p99 {c_p99:.1}ms over the {SLO_P99_MS}ms SLO"
+        );
+    }
+}

@@ -33,6 +33,24 @@ impl ExtractedEntity {
     }
 }
 
+/// Render entities as the canonical TSV the CLI's `--entities` option
+/// writes: `doc_id<TAB>concept<TAB>phrase<TAB>subject<TAB>score`, one
+/// line per entity, score with three decimals. The HTTP `/extract`
+/// endpoint emits the same bytes, which is what makes served extraction
+/// diff-able against a batch run.
+pub fn entities_tsv(entities: &[ExtractedEntity]) -> String {
+    use std::fmt::Write as _;
+    let mut tsv = String::new();
+    for e in entities {
+        let _ = writeln!(
+            tsv,
+            "{}\t{}\t{}\t{}\t{:.3}",
+            e.doc_id, e.concept, e.phrase, e.subject, e.score
+        );
+    }
+    tsv
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

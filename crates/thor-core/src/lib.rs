@@ -77,7 +77,7 @@ pub mod slotfill;
 pub use config::{ScoreWeights, SegmentationMode, ThorConfig};
 pub use document::Document;
 pub use engine::{PreparedEngine, ENGINE_FORMAT_VERSION, ENGINE_MAGIC};
-pub use entity::ExtractedEntity;
+pub use entity::{entities_tsv, ExtractedEntity};
 pub use extract::{refine_candidates, RefineOutcome};
 pub use pipeline::{EnrichmentResult, EnrichmentSession, Thor};
 pub use pool::{PoolScope, WorkerPool};

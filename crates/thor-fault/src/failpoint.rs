@@ -173,6 +173,7 @@ pub const SITES: &[&str] = &[
     "slot_fill",       // thor-core: run-level slot filling
     "checkpoint_save", // thor-fault: checkpoint persistence
     "atomic_write",    // thor-fault: any atomic artifact write (run-level)
+    "serve_request",   // thor-serve: per-request seam in the HTTP front end
 ];
 
 /// Serializes tests that arm the (global) failpoint registry.

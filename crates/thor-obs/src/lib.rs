@@ -19,6 +19,6 @@ pub mod pipeline;
 pub mod registry;
 
 pub use json::Json;
-pub use metrics::{Counter, Gauge, Span, StageTimer};
+pub use metrics::{Counter, Gauge, Histogram, Span, StageTimer, HISTOGRAM_BUCKETS};
 pub use pipeline::PipelineMetrics;
 pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot};

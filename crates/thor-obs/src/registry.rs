@@ -10,7 +10,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use crate::json::Json;
-use crate::metrics::{Counter, Gauge, StageTimer};
+use crate::metrics::{Counter, Gauge, Histogram, StageTimer};
 
 /// One registered metric.
 #[derive(Debug, Clone)]
@@ -18,6 +18,7 @@ enum Metric {
     Counter(Arc<Counter>),
     Gauge(Arc<Gauge>),
     Timer(Arc<StageTimer>),
+    Histogram(Arc<Histogram>),
 }
 
 /// A name-keyed metric collection. Cheap to clone via [`Arc`] wrappers
@@ -70,6 +71,18 @@ impl MetricsRegistry {
         }
     }
 
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
     /// Merge a snapshot into the live metrics: counters and timer
     /// totals/spans are added, gauges are overwritten. A resumed run
     /// absorbs its checkpointed prefix this way, so end-of-run metrics
@@ -84,6 +97,13 @@ impl MetricsRegistry {
                 MetricValue::Timer { total, spans } => self
                     .timer_if_matching(name)
                     .map(|t| t.record_accumulated(*total, *spans)),
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => self
+                    .histogram_if_matching(name)
+                    .map(|h| h.record_state(*count, *sum, buckets)),
             };
         }
     }
@@ -121,6 +141,17 @@ impl MetricsRegistry {
         }
     }
 
+    fn histogram_if_matching(&self, name: &str) -> Option<Arc<Histogram>> {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Some(Arc::clone(h)),
+            _ => None,
+        }
+    }
+
     /// A point-in-time copy of every metric's value, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let metrics = self.metrics.lock().expect("metrics registry poisoned");
@@ -133,6 +164,11 @@ impl MetricsRegistry {
                     Metric::Timer(t) => MetricValue::Timer {
                         total: t.total(),
                         spans: t.spans(),
+                    },
+                    Metric::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.sparse_buckets(),
                     },
                 };
                 (name.clone(), value)
@@ -156,6 +192,31 @@ pub enum MetricValue {
         /// Number of recorded spans.
         spans: u64,
     },
+    /// A log-bucketed histogram's state: observation count, value sum,
+    /// and the non-empty `(bucket index, count)` pairs, sorted by index.
+    Histogram {
+        /// Number of recorded observations.
+        count: u64,
+        /// Sum of recorded values.
+        sum: u64,
+        /// Sparse non-empty buckets, sorted by bucket index.
+        buckets: Vec<(usize, u64)>,
+    },
+}
+
+impl MetricValue {
+    /// Quantile of a histogram value (upper bucket edge), 0 otherwise.
+    pub fn quantile(&self, q: f64) -> u64 {
+        match self {
+            MetricValue::Histogram { buckets, .. } => {
+                let h = crate::metrics::Histogram::new();
+                h.record_state(0, 0, buckets);
+                // count/sum don't affect quantiles; buckets carry them.
+                h.quantile(q)
+            }
+            _ => 0,
+        }
+    }
 }
 
 /// A point-in-time view of a registry, renderable as a human table or
@@ -208,6 +269,17 @@ impl MetricsSnapshot {
                         format!("mean {mean:.2?}"),
                     ]
                 }
+                MetricValue::Histogram { count, .. } => [
+                    name.clone(),
+                    "histogram".into(),
+                    format!("{count} events"),
+                    format!(
+                        "p50<={} p95<={} p99<={}",
+                        value.quantile(0.5),
+                        value.quantile(0.95),
+                        value.quantile(0.99)
+                    ),
+                ],
             };
             rows.push(row);
         }
@@ -266,6 +338,26 @@ impl MetricsSnapshot {
                     entry.insert("nanos".into(), Json::UInt(total.as_nanos() as u64));
                     entry.insert("spans".into(), Json::UInt(*spans));
                 }
+                MetricValue::Histogram {
+                    count,
+                    sum,
+                    buckets,
+                } => {
+                    entry.insert("type".into(), Json::Str("histogram".into()));
+                    entry.insert("count".into(), Json::UInt(*count));
+                    entry.insert("sum".into(), Json::UInt(*sum));
+                    entry.insert(
+                        "buckets".into(),
+                        Json::Array(
+                            buckets
+                                .iter()
+                                .map(|&(i, c)| {
+                                    Json::Array(vec![Json::UInt(i as u64), Json::UInt(c)])
+                                })
+                                .collect(),
+                        ),
+                    );
+                }
             }
             metrics.insert(name.clone(), Json::Object(entry));
         }
@@ -318,6 +410,38 @@ impl MetricsSnapshot {
                         .and_then(Json::as_u64)
                         .ok_or(format!("metric `{name}` missing `spans`"))?,
                 },
+                "histogram" => {
+                    let Some(Json::Array(pairs)) = entry.get("buckets") else {
+                        return Err(format!("metric `{name}` missing `buckets` array"));
+                    };
+                    let mut buckets = Vec::with_capacity(pairs.len());
+                    for pair in pairs {
+                        let Json::Array(kv) = pair else {
+                            return Err(format!("metric `{name}`: bucket entry is not a pair"));
+                        };
+                        let (Some(i), Some(c)) = (
+                            kv.first().and_then(Json::as_u64),
+                            kv.get(1).and_then(Json::as_u64),
+                        ) else {
+                            return Err(format!("metric `{name}`: non-integer bucket pair"));
+                        };
+                        if kv.len() != 2 {
+                            return Err(format!("metric `{name}`: bucket entry is not a pair"));
+                        }
+                        buckets.push((i as usize, c));
+                    }
+                    MetricValue::Histogram {
+                        count: entry
+                            .get("count")
+                            .and_then(Json::as_u64)
+                            .ok_or(format!("metric `{name}` missing `count`"))?,
+                        sum: entry
+                            .get("sum")
+                            .and_then(Json::as_u64)
+                            .ok_or(format!("metric `{name}` missing `sum`"))?,
+                        buckets,
+                    }
+                }
                 other => return Err(format!("metric `{name}` has unknown type `{other}`")),
             };
             entries.push((name.clone(), value));

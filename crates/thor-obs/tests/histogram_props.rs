@@ -1,0 +1,194 @@
+//! Property battery for the log-bucketed [`Histogram`].
+//!
+//! The serve layer leans on three guarantees, each fuzzed here:
+//!
+//! - **Bucketing**: every value lands in exactly one bucket whose
+//!   `[2^i, 2^(i+1))` range contains it, and the reported quantile is a
+//!   conservative upper bound (never below the true quantile value).
+//! - **Monotonicity**: `p50 <= p95 <= p99` for *any* sequence of
+//!   observations, so latency summaries can never cross over.
+//! - **Mergeability**: merging per-worker histograms is exactly
+//!   equivalent to recording every observation into one histogram, and
+//!   the sparse `(bucket, count)` form survives a JSON round trip
+//!   through the metrics snapshot parser unchanged.
+
+use proptest::prelude::*;
+use thor_obs::{Histogram, MetricValue, MetricsRegistry, MetricsSnapshot, HISTOGRAM_BUCKETS};
+
+/// Exact quantile over the raw observations (what the histogram's
+/// bucketed answer must upper-bound).
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Each observation increments exactly one bucket, and that bucket's
+    /// power-of-two range contains the value.
+    #[test]
+    fn values_land_in_their_bucket(value in 0u64..u64::MAX) {
+        let h = Histogram::new();
+        h.record(value);
+        let counts = h.bucket_counts();
+        let hot: Vec<usize> = (0..HISTOGRAM_BUCKETS).filter(|&i| counts[i] > 0).collect();
+        prop_assert_eq!(hot.len(), 1, "value {} hit buckets {:?}", value, &hot);
+        let i = hot[0];
+        let lo = if i == 0 { 0u64 } else { 1u64 << i };
+        prop_assert!(value >= lo, "value {} below bucket {} floor {}", value, i, lo);
+        if i < HISTOGRAM_BUCKETS - 1 {
+            prop_assert!(value < 1u64 << (i + 1), "value {} above bucket {} ceiling", value, i);
+        }
+    }
+
+    /// Quantiles are monotone in the rank and conservative: for any
+    /// observation set, p50 <= p95 <= p99, and each upper-bounds the
+    /// exact quantile of the raw values.
+    #[test]
+    fn quantiles_are_monotone_and_conservative(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..200)
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let (p50, p95, p99) = (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        prop_assert!(p50 <= p95, "p50 {} > p95 {}", p50, p95);
+        prop_assert!(p95 <= p99, "p95 {} > p99 {}", p95, p99);
+        for (q, got) in [(0.50, p50), (0.95, p95), (0.99, p99)] {
+            let exact = exact_quantile(&values, q);
+            prop_assert!(
+                got >= exact,
+                "q{} reported {} below exact {}", q, got, exact
+            );
+            // Conservative but tight: never more than one power of two
+            // above the exact answer.
+            prop_assert!(
+                got <= exact.saturating_mul(2).saturating_add(1),
+                "q{} reported {} too far above exact {}", q, got, exact
+            );
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+    }
+
+    /// Merging split histograms equals single ingestion, bucket for
+    /// bucket — the property the per-request serve stats rely on.
+    #[test]
+    fn merge_equals_single_ingestion(
+        values in prop::collection::vec(0u64..u64::MAX, 0..200),
+        split in 0usize..200
+    ) {
+        let split = split.min(values.len());
+        let single = Histogram::new();
+        for &v in &values {
+            single.record(v);
+        }
+        let (a, b) = (Histogram::new(), Histogram::new());
+        for &v in &values[..split] {
+            a.record(v);
+        }
+        for &v in &values[split..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), single.count());
+        prop_assert_eq!(a.sum(), single.sum());
+        prop_assert_eq!(a.bucket_counts(), single.bucket_counts());
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(a.quantile(q), single.quantile(q));
+        }
+    }
+
+    /// A registry snapshot holding a histogram survives the JSON round
+    /// trip through the existing metrics parser: count, sum, sparse
+    /// buckets, and quantile answers all come back unchanged.
+    #[test]
+    fn json_round_trip_preserves_histograms(
+        values in prop::collection::vec(0u64..1_000_000_000_000, 0..100)
+    ) {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("serve.latency.enrich");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = registry.snapshot();
+        let parsed = MetricsSnapshot::from_json_str(&snap.to_json_string())
+            .expect("snapshot JSON must parse");
+        let before = snap.get("serve.latency.enrich").expect("histogram in snapshot");
+        let after = parsed.get("serve.latency.enrich").expect("histogram survives");
+        prop_assert_eq!(before, after);
+        let MetricValue::Histogram { count, sum, buckets } = after else {
+            panic!("histogram decoded as wrong metric type");
+        };
+        prop_assert_eq!(*count, values.len() as u64);
+        prop_assert_eq!(*sum, values.iter().sum::<u64>());
+        prop_assert_eq!(buckets.clone(), h.sparse_buckets());
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(after.quantile(q), h.quantile(q));
+        }
+    }
+
+    /// Absorbing a snapshot into a fresh registry reproduces the
+    /// histogram exactly (the serve drain path: flush, restart, absorb).
+    #[test]
+    fn absorb_reconstructs_histograms(
+        values in prop::collection::vec(0u64..1_000_000, 0..100)
+    ) {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("serve.latency.extract");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = registry.snapshot();
+
+        let fresh = MetricsRegistry::new();
+        let restored = fresh.histogram("serve.latency.extract");
+        fresh.absorb(&snap);
+        prop_assert_eq!(restored.count(), h.count());
+        prop_assert_eq!(restored.sum(), h.sum());
+        prop_assert_eq!(restored.bucket_counts(), h.bucket_counts());
+    }
+}
+
+/// Pinned bucket boundaries: the first few powers of two land exactly
+/// where the doc comment says (`[2^i, 2^(i+1))`, bucket 0 holds 0 too).
+#[test]
+fn bucket_boundaries_are_powers_of_two() {
+    for (value, want) in [
+        (0u64, 0usize),
+        (1, 0),
+        (2, 1),
+        (3, 1),
+        (4, 2),
+        (7, 2),
+        (8, 3),
+        (1023, 9),
+        (1024, 10),
+        (u64::MAX, 63),
+    ] {
+        let h = Histogram::new();
+        h.record(value);
+        let counts = h.bucket_counts();
+        assert_eq!(
+            counts[want], 1,
+            "value {value} should land in bucket {want}"
+        );
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+    }
+}
+
+/// An empty histogram answers 0 for every quantile and renders as an
+/// empty sparse form.
+#[test]
+fn empty_histogram_is_all_zeroes() {
+    let h = Histogram::new();
+    for q in [0.0, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0);
+    }
+    assert!(h.sparse_buckets().is_empty());
+    assert_eq!(h.count(), 0);
+}

@@ -1,0 +1,764 @@
+//! Minimal, hardened HTTP/1.1 protocol layer: request parsing with
+//! explicit limits, response writing, and a tiny client for tests and
+//! the load harness.
+//!
+//! The parser is deliberately boring: bounded buffers, named errors,
+//! no allocation proportional to anything the peer controls beyond the
+//! configured caps. Every way a request can be malformed maps to one
+//! [`HttpError`] variant with a stable machine-readable name and an
+//! HTTP status — the protocol proptest battery asserts arbitrary bytes
+//! can only ever produce one of those, never a panic or a hang.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Hard limits applied while parsing a request.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Longest accepted request line (method + target + version).
+    pub max_request_line: usize,
+    /// Cap on the total header block, in bytes.
+    pub max_header_bytes: usize,
+    /// Cap on the number of header fields.
+    pub max_headers: usize,
+    /// Cap on the declared request body size.
+    pub max_body_bytes: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        Self {
+            max_request_line: 8 * 1024,
+            max_header_bytes: 32 * 1024,
+            max_headers: 128,
+            // A batch of documents; per-document size is additionally
+            // capped by the admission policy.
+            max_body_bytes: 32 * 1024 * 1024,
+        }
+    }
+}
+
+/// Everything that can go wrong while reading one request. Each variant
+/// carries a stable name (for JSON error bodies) and an HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Connection ended mid-request (after at least one byte arrived).
+    Truncated,
+    /// The request line is not `METHOD SP TARGET SP HTTP/x.y`.
+    BadRequestLine,
+    /// Syntactically valid but unrecognized method token.
+    UnsupportedMethod(String),
+    /// An HTTP version other than 1.0 or 1.1.
+    UnsupportedVersion(String),
+    /// Request line exceeded [`HttpLimits::max_request_line`].
+    UriTooLong,
+    /// Header block exceeded [`HttpLimits::max_header_bytes`].
+    HeadersTooLarge,
+    /// More than [`HttpLimits::max_headers`] header fields.
+    TooManyHeaders,
+    /// A header line without a colon, or with an invalid field name.
+    BadHeader,
+    /// A body-bearing request without a `Content-Length`.
+    LengthRequired,
+    /// `Content-Length` not a number, or conflicting duplicates.
+    BadContentLength(String),
+    /// `Transfer-Encoding` is declared (chunked bodies unsupported).
+    UnsupportedTransferEncoding,
+    /// Declared body larger than [`HttpLimits::max_body_bytes`].
+    BodyTooLarge(usize),
+    /// The peer stalled past the read deadline with a request partially
+    /// sent (slowloris).
+    Timeout,
+    /// Transport error while reading.
+    Io(io::ErrorKind),
+}
+
+impl HttpError {
+    /// The HTTP status this error is reported as.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Truncated | HttpError::BadRequestLine | HttpError::BadHeader => 400,
+            HttpError::BadContentLength(_) => 400,
+            HttpError::Io(_) => 400,
+            HttpError::Timeout => 408,
+            HttpError::LengthRequired => 411,
+            HttpError::BodyTooLarge(_) => 413,
+            HttpError::UriTooLong => 414,
+            HttpError::HeadersTooLarge | HttpError::TooManyHeaders => 431,
+            HttpError::UnsupportedMethod(_) | HttpError::UnsupportedTransferEncoding => 501,
+            HttpError::UnsupportedVersion(_) => 505,
+        }
+    }
+
+    /// Stable machine-readable name for JSON error bodies.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HttpError::Truncated => "truncated-request",
+            HttpError::BadRequestLine => "bad-request-line",
+            HttpError::UnsupportedMethod(_) => "unsupported-method",
+            HttpError::UnsupportedVersion(_) => "unsupported-version",
+            HttpError::UriTooLong => "uri-too-long",
+            HttpError::HeadersTooLarge => "headers-too-large",
+            HttpError::TooManyHeaders => "too-many-headers",
+            HttpError::BadHeader => "bad-header",
+            HttpError::LengthRequired => "length-required",
+            HttpError::BadContentLength(_) => "bad-content-length",
+            HttpError::UnsupportedTransferEncoding => "unsupported-transfer-encoding",
+            HttpError::BodyTooLarge(_) => "body-too-large",
+            HttpError::Timeout => "read-timeout",
+            HttpError::Io(_) => "io-error",
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::UnsupportedMethod(m) => write!(f, "unsupported method `{m}`"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version `{v}`"),
+            HttpError::BadContentLength(v) => write!(f, "bad Content-Length `{v}`"),
+            HttpError::BodyTooLarge(n) => write!(f, "declared body of {n} bytes exceeds the cap"),
+            HttpError::Io(kind) => write!(f, "transport error: {kind:?}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Methods the parser recognizes. Routing (405 vs 404) happens in the
+/// server; an unknown *token* is a protocol-level 501.
+const KNOWN_METHODS: &[&str] = &["GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "PATCH"];
+
+/// The parsed request line + headers (the body is read separately, so
+/// the admission gate can refuse overload *before* buffering a body).
+#[derive(Debug, Clone)]
+pub struct RequestHead {
+    /// Request method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path, no normalization).
+    pub target: String,
+    /// True for HTTP/1.1, false for HTTP/1.0.
+    pub http11: bool,
+    /// Header fields in arrival order.
+    pub headers: Vec<(String, String)>,
+}
+
+impl RequestHead {
+    /// First value of `name`, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection persists after this exchange
+    /// (HTTP/1.1 default keep-alive, HTTP/1.0 default close).
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+
+    /// The validated `Content-Length`, if declared.
+    ///
+    /// Bad syntax, conflicting duplicates, chunked transfer encoding
+    /// and over-cap declarations are all named errors — the server
+    /// rejects them before reading a single body byte.
+    pub fn content_length(&self, limits: &HttpLimits) -> Result<Option<usize>, HttpError> {
+        if self.header("transfer-encoding").is_some() {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        }
+        let mut declared: Option<usize> = None;
+        for (k, v) in &self.headers {
+            if !k.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            let n: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadContentLength(v.clone()))?;
+            match declared {
+                Some(prev) if prev != n => {
+                    return Err(HttpError::BadContentLength(format!("{prev} vs {n}")))
+                }
+                _ => declared = Some(n),
+            }
+        }
+        if let Some(n) = declared {
+            if n > limits.max_body_bytes {
+                return Err(HttpError::BodyTooLarge(n));
+            }
+        }
+        Ok(declared)
+    }
+}
+
+/// Parse a complete head block (request line + header lines, *without*
+/// the terminating blank line). Pure function — this is the surface the
+/// proptest battery fuzzes directly.
+pub fn parse_head(head: &[u8], limits: &HttpLimits) -> Result<RequestHead, HttpError> {
+    if head.len() > limits.max_request_line + limits.max_header_bytes {
+        return Err(HttpError::HeadersTooLarge);
+    }
+    let mut lines = split_crlf_lines(head);
+    let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+    if request_line.len() > limits.max_request_line {
+        return Err(HttpError::UriTooLong);
+    }
+    let request_line = std::str::from_utf8(request_line).map_err(|_| HttpError::BadRequestLine)?;
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequestLine);
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine);
+    }
+    if !KNOWN_METHODS.contains(&method) {
+        return Err(HttpError::UnsupportedMethod(method.to_string()));
+    }
+    if target.is_empty() || !target.starts_with('/') {
+        return Err(HttpError::BadRequestLine);
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            if other.starts_with("HTTP/") {
+                return Err(HttpError::UnsupportedVersion(other.to_string()));
+            }
+            return Err(HttpError::BadRequestLine);
+        }
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= limits.max_headers {
+            return Err(HttpError::TooManyHeaders);
+        }
+        let line = std::str::from_utf8(line).map_err(|_| HttpError::BadHeader)?;
+        let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+        if name.is_empty() || !name.bytes().all(is_token_byte) {
+            return Err(HttpError::BadHeader);
+        }
+        let value = value.trim();
+        if value.bytes().any(|b| b == b'\r' || b == b'\n' || b == 0) {
+            return Err(HttpError::BadHeader);
+        }
+        headers.push((name.to_string(), value.to_string()));
+    }
+    Ok(RequestHead {
+        method: method.to_string(),
+        target: target.to_string(),
+        http11,
+        headers,
+    })
+}
+
+/// RFC 7230 token characters, the legal alphabet of header field names.
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// Iterate `\r\n`-separated lines (tolerating bare `\n` as the
+/// separator, which curl never sends but sloppy clients do).
+fn split_crlf_lines(block: &[u8]) -> impl Iterator<Item = &[u8]> {
+    block.split(|&b| b == b'\n').filter_map(|line| {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        if line.is_empty() {
+            None
+        } else {
+            Some(line)
+        }
+    })
+}
+
+/// What one buffer refill produced.
+enum Fill {
+    /// At least one new byte arrived.
+    Data,
+    /// Orderly end of stream.
+    Eof,
+    /// The read timed out (socket read-timeout tick).
+    TimedOut,
+}
+
+/// A buffered, pipelining-aware request reader over any [`Read`].
+///
+/// Keep-alive connections leave the next request's bytes in the buffer;
+/// `read_head` picks them up without touching the socket. The socket is
+/// expected to have a short read timeout installed — the reader treats
+/// each timeout as a poll tick, re-checking the shutdown flag and the
+/// per-request deadline, so a drain never waits on an idle peer and a
+/// slowloris peer gets a deterministic [`HttpError::Timeout`].
+#[derive(Debug)]
+pub struct RequestReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Total time a single head/body read may span (slowloris bound).
+    pub read_timeout: Option<Duration>,
+}
+
+impl<R: Read> RequestReader<R> {
+    /// A reader with no deadline (tests, in-memory streams).
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            buf: Vec::new(),
+            read_timeout: None,
+        }
+    }
+
+    fn fill(&mut self) -> Result<Fill, HttpError> {
+        let mut chunk = [0u8; 8192];
+        match self.inner.read(&mut chunk) {
+            Ok(0) => Ok(Fill::Eof),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(Fill::Data)
+            }
+            Err(e) => match e.kind() {
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => Ok(Fill::TimedOut),
+                io::ErrorKind::Interrupted => Ok(Fill::TimedOut),
+                kind => Err(HttpError::Io(kind)),
+            },
+        }
+    }
+
+    /// Read the next request head. `Ok(None)` means the peer closed (or
+    /// went idle past the deadline / into a drain) cleanly *between*
+    /// requests; errors name what was wrong with a partial request.
+    pub fn read_head(
+        &mut self,
+        limits: &HttpLimits,
+        shutdown: Option<&AtomicBool>,
+    ) -> Result<Option<RequestHead>, HttpError> {
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                let head = self.buf[..end].to_vec();
+                self.buf.drain(..end + 4);
+                return parse_head(&head, limits).map(Some);
+            }
+            // No complete head yet: enforce the size caps on what has
+            // accumulated so a peer cannot grow the buffer unboundedly.
+            if !self.buf.contains(&b'\n') && self.buf.len() > limits.max_request_line {
+                return Err(HttpError::UriTooLong);
+            }
+            if self.buf.len() > limits.max_request_line + limits.max_header_bytes {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            match self.fill()? {
+                Fill::Data => {}
+                Fill::Eof => {
+                    return if self.buf.is_empty() {
+                        Ok(None)
+                    } else {
+                        Err(HttpError::Truncated)
+                    }
+                }
+                Fill::TimedOut => {
+                    if self.buf.is_empty() {
+                        // Idle between requests: a drain or an expired
+                        // keep-alive closes silently, otherwise keep
+                        // polling.
+                        if shutdown.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                            return Ok(None);
+                        }
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            return Ok(None);
+                        }
+                    } else if deadline.is_some_and(|d| Instant::now() >= d) {
+                        // Mid-request stall: the slowloris case.
+                        return Err(HttpError::Timeout);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read exactly `len` body bytes (the head's validated
+    /// `Content-Length`).
+    pub fn read_body(&mut self, len: usize) -> Result<Vec<u8>, HttpError> {
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        while self.buf.len() < len {
+            match self.fill()? {
+                Fill::Data => {}
+                Fill::Eof => return Err(HttpError::Truncated),
+                Fill::TimedOut => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Err(HttpError::Timeout);
+                    }
+                }
+            }
+        }
+        let body: Vec<u8> = self.buf.drain(..len).collect();
+        Ok(body)
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write one response. `Content-Length` and (when `!keep_alive`)
+/// `Connection: close` are added automatically.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    headers: &[(&str, String)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut out = format!("HTTP/1.1 {status} {}\r\n", status_reason(status));
+    for (k, v) in headers {
+        out.push_str(k);
+        out.push_str(": ");
+        out.push_str(v);
+        out.push_str("\r\n");
+    }
+    out.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    if !keep_alive {
+        out.push_str("Connection: close\r\n");
+    }
+    out.push_str("\r\n");
+    w.write_all(out.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A parsed response, for the test suite and the load harness.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header fields in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body, as framed by `Content-Length`.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of `name`, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy — test convenience).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Read one response off `r` (client side of the protocol).
+    pub fn read_from(r: &mut RequestReader<impl Read>) -> Result<Response, String> {
+        let mut head_end;
+        loop {
+            head_end = find_head_end(&r.buf);
+            if head_end.is_some() {
+                break;
+            }
+            match r.fill().map_err(|e| e.to_string())? {
+                Fill::Data => {}
+                Fill::Eof => return Err("connection closed before response head".into()),
+                Fill::TimedOut => {}
+            }
+        }
+        let end = head_end.expect("loop exits with a head");
+        let head: Vec<u8> = r.buf.drain(..end + 4).collect();
+        let head = String::from_utf8_lossy(&head[..end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().ok_or("empty response head")?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad status line `{status_line}`"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line.split_once(':').ok_or("bad response header")?;
+            headers.push((k.trim().to_string(), v.trim().to_string()));
+        }
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        let body = r.read_body(len).map_err(|e| e.to_string())?;
+        Ok(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// One-shot client request against `addr` (its own connection). Used by
+/// the equivalence tests, the smoke paths and the load generators.
+pub fn request(
+    addr: &std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<Response, String> {
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    send_request(&mut stream, method, path, body)?;
+    let mut reader = RequestReader::new(stream);
+    Response::read_from(&mut reader)
+}
+
+/// Write one request (used for keep-alive clients that own the stream).
+pub fn send_request(
+    stream: &mut std::net::TcpStream,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<(), String> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: thor\r\nContent-Length: {}\r\nContent-Type: application/json\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn limits() -> HttpLimits {
+        HttpLimits::default()
+    }
+
+    fn read_one(raw: &[u8]) -> Result<Option<RequestHead>, HttpError> {
+        RequestReader::new(Cursor::new(raw.to_vec())).read_head(&limits(), None)
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let head = read_one(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.target, "/healthz");
+        assert!(head.http11);
+        assert!(head.keep_alive());
+        assert_eq!(head.header("host"), Some("x"));
+        assert_eq!(head.content_length(&limits()).unwrap(), None);
+    }
+
+    #[test]
+    fn pipelined_requests_come_back_in_order() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut r = RequestReader::new(Cursor::new(raw.to_vec()));
+        let a = r.read_head(&limits(), None).unwrap().unwrap();
+        let b = r.read_head(&limits(), None).unwrap().unwrap();
+        assert_eq!((a.target.as_str(), b.target.as_str()), ("/a", "/b"));
+        assert!(a.keep_alive());
+        assert!(!b.keep_alive());
+        assert!(r.read_head(&limits(), None).unwrap().is_none());
+    }
+
+    #[test]
+    fn body_spans_refills_and_leaves_next_request_buffered() {
+        let raw = b"POST /enrich HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /z HTTP/1.1\r\n\r\n";
+        let mut r = RequestReader::new(Cursor::new(raw.to_vec()));
+        let head = r.read_head(&limits(), None).unwrap().unwrap();
+        let len = head.content_length(&limits()).unwrap().unwrap();
+        assert_eq!(r.read_body(len).unwrap(), b"hello");
+        let next = r.read_head(&limits(), None).unwrap().unwrap();
+        assert_eq!(next.target, "/z");
+    }
+
+    #[test]
+    fn named_errors_for_malformed_heads() {
+        let cases: &[(&[u8], HttpError)] = &[
+            (b"GET /x\r\n\r\n", HttpError::BadRequestLine),
+            (b"GET /x HTTP/1.1 extra\r\n\r\n", HttpError::BadRequestLine),
+            (b"get /x HTTP/1.1\r\n\r\n", HttpError::BadRequestLine),
+            (
+                b"BREW /x HTTP/1.1\r\n\r\n",
+                HttpError::UnsupportedMethod("BREW".into()),
+            ),
+            (
+                b"GET /x HTTP/2.0\r\n\r\n",
+                HttpError::UnsupportedVersion("HTTP/2.0".into()),
+            ),
+            (b"GET /x FTP/1.1\r\n\r\n", HttpError::BadRequestLine),
+            (b"GET x HTTP/1.1\r\n\r\n", HttpError::BadRequestLine),
+            (
+                b"GET /x HTTP/1.1\r\nno colon here\r\n\r\n",
+                HttpError::BadHeader,
+            ),
+            (
+                b"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n",
+                HttpError::BadHeader,
+            ),
+        ];
+        for (raw, want) in cases {
+            let got = read_one(raw).unwrap_err();
+            assert_eq!(&got, want, "{}", String::from_utf8_lossy(raw));
+        }
+    }
+
+    #[test]
+    fn truncated_request_is_named_not_hung() {
+        assert_eq!(
+            read_one(b"POST /enrich HTTP/1.1\r\nContent-Le").unwrap_err(),
+            HttpError::Truncated
+        );
+        let mut r = RequestReader::new(Cursor::new(
+            b"POST /e HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc".to_vec(),
+        ));
+        r.read_head(&limits(), None).unwrap().unwrap();
+        assert_eq!(r.read_body(10).unwrap_err(), HttpError::Truncated);
+    }
+
+    #[test]
+    fn content_length_validation() {
+        let head = read_one(b"POST /e HTTP/1.1\r\nContent-Length: abc\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            head.content_length(&limits()),
+            Err(HttpError::BadContentLength(_))
+        ));
+        let head = read_one(b"POST /e HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            head.content_length(&limits()),
+            Err(HttpError::BadContentLength(_))
+        ));
+        let head = read_one(b"POST /e HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            head.content_length(&limits()),
+            Err(HttpError::UnsupportedTransferEncoding)
+        );
+        let head = read_one(b"POST /e HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(matches!(
+            head.content_length(&limits()),
+            Err(HttpError::BodyTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_heads_are_capped() {
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(9000));
+        assert_eq!(
+            read_one(long_line.as_bytes()).unwrap_err(),
+            HttpError::UriTooLong
+        );
+
+        // An endless unterminated request line trips the cap even
+        // though no newline ever arrives.
+        let endless = vec![b'G'; 10_000];
+        assert_eq!(read_one(&endless).unwrap_err(), HttpError::UriTooLong);
+
+        let mut many = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..200 {
+            many.push_str(&format!("h{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert_eq!(
+            read_one(many.as_bytes()).unwrap_err(),
+            HttpError::TooManyHeaders
+        );
+
+        let mut big = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..90 {
+            big.push_str(&format!("h{i}: {}\r\n", "v".repeat(512)));
+        }
+        big.push_str("\r\n");
+        assert_eq!(
+            read_one(big.as_bytes()).unwrap_err(),
+            HttpError::HeadersTooLarge
+        );
+    }
+
+    #[test]
+    fn every_error_maps_to_a_4xx_5xx_with_a_name() {
+        let errors = [
+            HttpError::Truncated,
+            HttpError::BadRequestLine,
+            HttpError::UnsupportedMethod("X".into()),
+            HttpError::UnsupportedVersion("HTTP/9".into()),
+            HttpError::UriTooLong,
+            HttpError::HeadersTooLarge,
+            HttpError::TooManyHeaders,
+            HttpError::BadHeader,
+            HttpError::LengthRequired,
+            HttpError::BadContentLength("x".into()),
+            HttpError::UnsupportedTransferEncoding,
+            HttpError::BodyTooLarge(1),
+            HttpError::Timeout,
+            HttpError::Io(io::ErrorKind::ConnectionReset),
+        ];
+        for e in errors {
+            assert!((400..=599).contains(&e.status()), "{e:?}");
+            assert!(!e.name().is_empty());
+            assert_ne!(status_reason(e.status()), "Unknown", "{e:?}");
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            200,
+            &[("Content-Type", "text/csv".to_string())],
+            b"a,b\n1,2\n",
+            true,
+        )
+        .unwrap();
+        let mut r = RequestReader::new(Cursor::new(wire));
+        let resp = Response::read_from(&mut r).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("text/csv"));
+        assert_eq!(resp.body, b"a,b\n1,2\n");
+    }
+}

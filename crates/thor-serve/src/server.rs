@@ -1,0 +1,615 @@
+//! The serving loop: admission-gated request handling over a frozen
+//! [`PreparedEngine`].
+//!
+//! One blocking accept loop hands each connection to a handler thread;
+//! the heavy lifting inside a request (document-parallel extraction)
+//! runs on the process-wide `thor_core::WorkerPool`, exactly as a batch
+//! run would. Admission is a fixed pool of permits acquired *after* the
+//! request head and *before* the body — an overloaded server refuses
+//! with `429 Retry-After` instead of buffering bodies it cannot chew,
+//! and a stalled client holds exactly one permit until the read
+//! deadline fires.
+//!
+//! Batch requests flow through [`PreparedEngine::enrich_resilient`] in
+//! lenient mode: per-document admission control and `catch_unwind`
+//! isolation are the same code the batch CLI runs, so a malformed
+//! document costs one document (reported per-request), and the clean
+//! documents produce byte-identical output to `thor enrich`.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use thor_core::{entities_tsv, Document, PreparedEngine, ResilientOptions, RunMode};
+use thor_fault::{fail_point, DocumentPolicy, ErrorKind, ThorError, ThorResult};
+use thor_obs::{Counter, Histogram, Json, PipelineMetrics};
+
+use crate::http::{write_response, HttpLimits, RequestHead, RequestReader};
+use crate::signal;
+
+/// Tunables of one serving process.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Concurrent admitted batch requests; one more is a 429.
+    pub queue: usize,
+    /// Total time one request head/body may take to arrive (slowloris
+    /// bound; also the longest a drain waits on an idle connection).
+    pub read_timeout: Duration,
+    /// Protocol limits.
+    pub limits: HttpLimits,
+    /// Per-document admission policy for batch bodies.
+    pub policy: DocumentPolicy,
+    /// Also honor the process-wide SIGTERM/SIGINT drain flag
+    /// ([`signal::triggered`]). The CLI sets this; tests drive the
+    /// shutdown handle directly.
+    pub watch_signals: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            queue: 32,
+            read_timeout: Duration::from_secs(10),
+            limits: HttpLimits::default(),
+            policy: DocumentPolicy::default(),
+            watch_signals: false,
+        }
+    }
+}
+
+/// Serve-layer metric handles + the admission permit pool.
+struct ServeStats {
+    permits: AtomicUsize,
+    requests: Arc<Counter>,
+    rejected: Arc<Counter>,
+    http_errors: Arc<Counter>,
+    panics: Arc<Counter>,
+    lat_enrich: Arc<Histogram>,
+    lat_extract: Arc<Histogram>,
+}
+
+/// RAII admission permit.
+struct Permit<'a>(&'a ServeStats);
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.permits.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+impl ServeStats {
+    fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut cur = self.permits.load(Ordering::Acquire);
+        loop {
+            if cur == 0 {
+                return None;
+            }
+            match self
+                .permits
+                .compare_exchange(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(Permit(self)),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// Shared per-connection context.
+struct Ctx {
+    engine: PreparedEngine,
+    metrics: PipelineMetrics,
+    stats: ServeStats,
+    opts: ServeOptions,
+    shutdown: AtomicBool,
+}
+
+impl Ctx {
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || (self.opts.watch_signals && signal::triggered())
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    ctx: Arc<Ctx>,
+}
+
+impl Server {
+    /// Bind `addr` and wire the engine up for serving: a fresh
+    /// [`PipelineMetrics`] is attached (so `/metrics` sees pipeline
+    /// stages and quarantine counts) and the serve-layer counters and
+    /// latency histograms are registered alongside.
+    pub fn bind(engine: PreparedEngine, addr: &str, opts: ServeOptions) -> ThorResult<Server> {
+        let metrics = PipelineMetrics::new();
+        let engine = engine.with_metrics(metrics.clone());
+        let registry = metrics.registry();
+        let stats = ServeStats {
+            permits: AtomicUsize::new(opts.queue.max(1)),
+            requests: registry.counter("serve.requests"),
+            rejected: registry.counter("serve.rejected"),
+            http_errors: registry.counter("serve.http_errors"),
+            panics: registry.counter("serve.panics"),
+            lat_enrich: registry.histogram("serve.latency.enrich"),
+            lat_extract: registry.histogram("serve.latency.extract"),
+        };
+        let listener =
+            TcpListener::bind(addr).map_err(|e| ThorError::io(format!("bind {addr}"), e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| ThorError::io("local_addr", e))?;
+        Ok(Server {
+            listener,
+            local_addr,
+            ctx: Arc::new(Ctx {
+                engine,
+                metrics,
+                stats,
+                opts,
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The address actually bound (port resolved for `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The metrics handle `/metrics` serves — clone it before
+    /// [`Server::run`] to flush a final snapshot after the drain.
+    pub fn metrics(&self) -> &PipelineMetrics {
+        &self.ctx.metrics
+    }
+
+    /// A handle that, once set, drains the server: the accept loop
+    /// stops taking connections, in-flight requests finish, idle
+    /// keep-alive connections close at their next poll tick.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle(Arc::clone(&self.ctx))
+    }
+
+    /// Run the blocking accept loop until drained. Returns after every
+    /// in-flight connection has finished.
+    pub fn run(self) -> ThorResult<()> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| ThorError::io("set_nonblocking", e))?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        loop {
+            if self.ctx.draining() {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Responses are written head + body in separate
+                    // syscalls; without NODELAY, Nagle + delayed ACK
+                    // stalls keep-alive round trips by ~40-130ms.
+                    let _ = stream.set_nodelay(true);
+                    let ctx = Arc::clone(&self.ctx);
+                    conns.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ThorError::io("accept", e)),
+            }
+            conns.retain(|h| !h.is_finished());
+        }
+        // Drain: finish in-flight connections before returning so the
+        // caller can flush metrics knowing nothing is still recording.
+        for h in conns {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// Cloneable drain trigger for a running server.
+#[derive(Clone)]
+pub struct ShutdownHandle(Arc<Ctx>);
+
+impl ShutdownHandle {
+    /// Begin the drain.
+    pub fn shutdown(&self) {
+        self.0.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Poll tick installed as the socket read timeout: short enough that a
+/// drain is noticed promptly, while [`ServeOptions::read_timeout`]
+/// bounds how long one request may take in total.
+fn poll_tick(opts: &ServeOptions) -> Duration {
+    opts.read_timeout.min(Duration::from_millis(100))
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let _ = read_half.set_read_timeout(Some(poll_tick(&ctx.opts)));
+    let mut reader = RequestReader::new(read_half);
+    reader.read_timeout = Some(ctx.opts.read_timeout);
+    let mut writer = stream;
+    loop {
+        match reader.read_head(&ctx.opts.limits, Some(&ctx.shutdown)) {
+            Ok(None) => break,
+            Err(e) => {
+                ctx.stats.http_errors.inc();
+                let _ = write_error(&mut writer, e.status(), e.name(), &e.to_string(), false);
+                break;
+            }
+            Ok(Some(head)) => {
+                let keep_alive = handle_request(&mut writer, &mut reader, &head, ctx)
+                    && head.keep_alive()
+                    && !ctx.draining();
+                if !keep_alive {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Write a JSON error body: `{"error": name, "detail": ...}`.
+fn write_error(
+    w: &mut impl std::io::Write,
+    status: u16,
+    name: &str,
+    detail: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let body = Json::Object(
+        [
+            ("error".to_string(), Json::Str(name.to_string())),
+            ("detail".to_string(), Json::Str(detail.to_string())),
+        ]
+        .into_iter()
+        .collect(),
+    )
+    .render();
+    let mut headers = vec![("Content-Type", "application/json".to_string())];
+    if status == 429 {
+        headers.push(("Retry-After", "1".to_string()));
+    }
+    write_response(w, status, &headers, body.as_bytes(), keep_alive)
+}
+
+/// Dispatch one parsed request. Returns whether the connection may
+/// continue (protocol-level failures close it so framing stays sound).
+fn handle_request(
+    writer: &mut TcpStream,
+    reader: &mut RequestReader<TcpStream>,
+    head: &RequestHead,
+    ctx: &Ctx,
+) -> bool {
+    match (head.method.as_str(), head.target.as_str()) {
+        ("GET", "/healthz") => {
+            let engine = &ctx.engine;
+            let body = Json::Object(
+                [
+                    ("status".to_string(), Json::Str("ok".into())),
+                    (
+                        "fingerprint".to_string(),
+                        Json::Str(engine.fingerprint().to_string()),
+                    ),
+                    ("tau".to_string(), Json::Float(engine.tau())),
+                    (
+                        "concepts".to_string(),
+                        Json::UInt(engine.prepared_matcher().concept_names().len() as u64),
+                    ),
+                    ("draining".to_string(), Json::Bool(ctx.draining())),
+                ]
+                .into_iter()
+                .collect(),
+            )
+            .render();
+            ctx.stats.requests.inc();
+            write_ok(writer, "application/json", body.into_bytes(), &[], true)
+        }
+        ("GET", "/metrics") => {
+            let body = ctx.metrics.render_json();
+            ctx.stats.requests.inc();
+            write_ok(writer, "application/json", body.into_bytes(), &[], true)
+        }
+        ("POST", path @ ("/enrich" | "/extract")) => handle_batch(writer, reader, head, path, ctx),
+        (_, "/healthz" | "/metrics") => {
+            ctx.stats.http_errors.inc();
+            let _ = write_error(writer, 405, "method-not-allowed", "use GET", true);
+            true
+        }
+        (_, "/enrich" | "/extract") => {
+            ctx.stats.http_errors.inc();
+            let _ = write_error(writer, 405, "method-not-allowed", "use POST", true);
+            true
+        }
+        (_, other) => {
+            ctx.stats.http_errors.inc();
+            let _ = write_error(
+                writer,
+                404,
+                "not-found",
+                &format!("no route `{other}`"),
+                true,
+            );
+            true
+        }
+    }
+}
+
+fn write_ok(
+    writer: &mut TcpStream,
+    content_type: &str,
+    body: Vec<u8>,
+    extra: &[(&str, String)],
+    keep_alive: bool,
+) -> bool {
+    let mut headers = vec![("Content-Type", content_type.to_string())];
+    headers.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
+    write_response(writer, 200, &headers, &body, keep_alive).is_ok()
+}
+
+/// One batch request: admission permit → body → parse → resilient
+/// enrichment → CSV/TSV bytes identical to the batch CLI.
+fn handle_batch(
+    writer: &mut TcpStream,
+    reader: &mut RequestReader<TcpStream>,
+    head: &RequestHead,
+    path: &str,
+    ctx: &Ctx,
+) -> bool {
+    // Overload is decided on the head alone: refusing before the body
+    // keeps a saturated server from buffering payloads it cannot
+    // process, and closes so the unread body never corrupts framing.
+    let Some(_permit) = ctx.stats.try_acquire() else {
+        ctx.stats.rejected.inc();
+        let _ = write_error(
+            writer,
+            429,
+            "overloaded",
+            "admission queue full; retry",
+            false,
+        );
+        return false;
+    };
+    let len = match head.content_length(&ctx.opts.limits) {
+        Ok(Some(len)) => len,
+        Ok(None) => {
+            ctx.stats.http_errors.inc();
+            let _ = write_error(
+                writer,
+                411,
+                "length-required",
+                "body must declare Content-Length",
+                false,
+            );
+            return false;
+        }
+        Err(e) => {
+            ctx.stats.http_errors.inc();
+            let _ = write_error(writer, e.status(), e.name(), &e.to_string(), false);
+            return false;
+        }
+    };
+    let body = match reader.read_body(len) {
+        Ok(body) => body,
+        Err(e) => {
+            ctx.stats.http_errors.inc();
+            let _ = write_error(writer, e.status(), e.name(), &e.to_string(), false);
+            return false;
+        }
+    };
+
+    let t0 = Instant::now();
+    // One panicking request costs one request: the same isolation the
+    // resilient runner gives documents, applied at the request seam.
+    let reply = catch_unwind(AssertUnwindSafe(|| process_batch(ctx, path, &body)));
+    let elapsed = t0.elapsed();
+    let histogram = match path {
+        "/enrich" => &ctx.stats.lat_enrich,
+        _ => &ctx.stats.lat_extract,
+    };
+    histogram.record(elapsed.as_micros() as u64);
+
+    match reply {
+        Err(_panic) => {
+            ctx.stats.panics.inc();
+            let _ = write_error(
+                writer,
+                500,
+                "handler-panic",
+                "request handler panicked",
+                false,
+            );
+            false
+        }
+        Ok(Err((status, name, detail))) => {
+            ctx.stats.requests.inc();
+            let _ = write_error(writer, status, name, &detail, true);
+            true
+        }
+        Ok(Ok(reply)) => {
+            ctx.stats.requests.inc();
+            write_ok(
+                writer,
+                reply.content_type,
+                reply.body,
+                &[
+                    ("X-Thor-Quarantined", reply.quarantined.to_string()),
+                    ("X-Thor-Docs", reply.docs.to_string()),
+                ],
+                true,
+            )
+        }
+    }
+}
+
+/// A successful batch reply.
+struct BatchReply {
+    body: Vec<u8>,
+    content_type: &'static str,
+    quarantined: usize,
+    docs: usize,
+}
+
+type BatchError = (u16, &'static str, String);
+
+/// Decode and run one batch. Everything refusable is a named 4xx; the
+/// enrichment itself reuses the resilient runner (lenient mode), so
+/// malformed documents are quarantined per-request rather than failing
+/// it, and clean output is byte-identical to the batch CLI's.
+fn process_batch(ctx: &Ctx, path: &str, body: &[u8]) -> Result<BatchReply, BatchError> {
+    fail_point("serve_request").map_err(|e| (500u16, "injected-fault", e.to_string()))?;
+    let docs = parse_documents(body)?;
+    let opts = ResilientOptions {
+        mode: RunMode::Lenient,
+        policy: ctx.opts.policy,
+        ..ResilientOptions::default()
+    };
+    let outcome = ctx.engine.enrich_resilient(&docs, &opts).map_err(|e| {
+        let status = if e.kind() == ErrorKind::Config {
+            422
+        } else {
+            500
+        };
+        (status, "batch-failed", e.to_string())
+    })?;
+    if !docs.is_empty() && outcome.quarantine.len() == docs.len() {
+        let entries: Vec<Json> = outcome
+            .quarantine
+            .entries()
+            .iter()
+            .map(|q| {
+                Json::Object(
+                    [
+                        ("doc_id".to_string(), Json::Str(q.doc_id.clone())),
+                        ("stage".to_string(), Json::Str(q.stage.clone())),
+                        ("kind".to_string(), Json::Str(q.kind.label().to_string())),
+                        ("error".to_string(), Json::Str(q.error.clone())),
+                    ]
+                    .into_iter()
+                    .collect(),
+                )
+            })
+            .collect();
+        let report = Json::Object(
+            [
+                (
+                    "error".to_string(),
+                    Json::Str("all-documents-rejected".into()),
+                ),
+                ("quarantine".to_string(), Json::Array(entries)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .render();
+        return Err((422, "all-documents-rejected", report));
+    }
+    let (body, content_type) = match path {
+        "/enrich" => (
+            thor_data::to_csv(&outcome.result.table).into_bytes(),
+            "text/csv",
+        ),
+        _ => (
+            entities_tsv(&outcome.result.entities).into_bytes(),
+            "text/tab-separated-values",
+        ),
+    };
+    Ok(BatchReply {
+        body,
+        content_type,
+        quarantined: outcome.quarantine.len(),
+        docs: outcome.processed_docs,
+    })
+}
+
+/// Parse the request body: `{"documents":[{"id":"...","text":"..."},…]}`.
+fn parse_documents(body: &[u8]) -> Result<Vec<Document>, BatchError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| (400u16, "bad-utf8", format!("body is not UTF-8: {e}")))?;
+    let json = Json::parse(text).map_err(|e| (400u16, "bad-json", e))?;
+    let Some(Json::Array(items)) = json.get("documents") else {
+        return Err((
+            400,
+            "bad-request-shape",
+            "expected {\"documents\":[{\"id\",\"text\"},...]}".to_string(),
+        ));
+    };
+    if items.is_empty() {
+        return Err((
+            422,
+            "empty-batch",
+            "batch contains no documents".to_string(),
+        ));
+    }
+    let mut docs = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let (Some(Json::Str(id)), Some(Json::Str(text))) = (item.get("id"), item.get("text"))
+        else {
+            return Err((
+                400,
+                "bad-document",
+                format!("documents[{i}] needs string `id` and `text`"),
+            ));
+        };
+        docs.push(Document::new(id.clone(), text.clone()));
+    }
+    Ok(docs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_documents_accepts_a_batch() {
+        let docs =
+            parse_documents(br#"{"documents":[{"id":"a","text":"t1"},{"id":"b","text":"t2"}]}"#)
+                .unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(docs[0].id, "a");
+        assert_eq!(docs[1].text, "t2");
+    }
+
+    #[test]
+    fn parse_documents_names_each_refusal() {
+        let cases: &[(&[u8], &str)] = &[
+            (b"\xff\xfe", "bad-utf8"),
+            (b"{not json", "bad-json"),
+            (br#"{"docs":[]}"#, "bad-request-shape"),
+            (br#"{"documents":[]}"#, "empty-batch"),
+            (br#"{"documents":[{"id":"a"}]}"#, "bad-document"),
+            (br#"{"documents":[{"id":1,"text":"t"}]}"#, "bad-document"),
+        ];
+        for (body, want) in cases {
+            let (_, name, _) = parse_documents(body).unwrap_err();
+            assert_eq!(&name, want, "{}", String::from_utf8_lossy(body));
+        }
+    }
+
+    #[test]
+    fn permits_are_bounded_and_returned() {
+        let metrics = PipelineMetrics::new();
+        let r = metrics.registry();
+        let stats = ServeStats {
+            permits: AtomicUsize::new(2),
+            requests: r.counter("serve.requests"),
+            rejected: r.counter("serve.rejected"),
+            http_errors: r.counter("serve.http_errors"),
+            panics: r.counter("serve.panics"),
+            lat_enrich: r.histogram("serve.latency.enrich"),
+            lat_extract: r.histogram("serve.latency.extract"),
+        };
+        let a = stats.try_acquire().expect("first");
+        let _b = stats.try_acquire().expect("second");
+        assert!(stats.try_acquire().is_none(), "pool exhausted");
+        drop(a);
+        assert!(stats.try_acquire().is_some(), "permit returned on drop");
+    }
+}

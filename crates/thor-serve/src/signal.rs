@@ -1,0 +1,56 @@
+//! Graceful-drain signal handling without a libc crate.
+//!
+//! On Unix, `std` already links libc, so the classic `signal(2)` entry
+//! point can be declared directly. The handler does the only thing an
+//! async-signal-safe handler may do here: set an atomic flag. The
+//! accept loop polls the flag and turns it into a drain (stop
+//! accepting, finish in-flight requests, flush metrics).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set once SIGTERM or SIGINT has been delivered.
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// True once a termination signal has been received (or
+/// [`trigger`] was called).
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::SeqCst)
+}
+
+/// Raise the drain flag programmatically (tests, embedders).
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGTERM + SIGINT handlers that raise the drain flag.
+/// Idempotent; a no-op on non-Unix targets.
+pub fn install_handlers() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" fn on_signal(_signum: i32) {
+            TRIGGERED.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_raises_the_flag() {
+        install_handlers();
+        trigger();
+        assert!(triggered());
+    }
+}

@@ -1,0 +1,444 @@
+//! Protocol robustness battery for the `thor serve` front end.
+//!
+//! Two layers:
+//!
+//! 1. **Parser fuzzing** (proptest over in-memory streams): arbitrary
+//!    bytes, truncated request lines, oversized headers, bad
+//!    `Content-Length` values, and pipelined keep-alive sequences must
+//!    all produce either a valid head or a *named* 4xx/5xx error —
+//!    never a panic, never a hang.
+//! 2. **Live-server chaos** (real sockets against a tiny engine):
+//!    slowloris partial writes time out with 408 under the read
+//!    timeout, a full admission queue yields 429 + `Retry-After`,
+//!    injected faults surface as 500 without killing the process,
+//!    pipelined requests come back in order, and a drain leaves the
+//!    accept loop cleanly.
+
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use thor_core::{PreparedEngine, Thor, ThorConfig};
+use thor_data::{Schema, Table};
+use thor_embed::SemanticSpaceBuilder;
+use thor_serve::http::{self, parse_head, request, send_request};
+use thor_serve::{HttpError, HttpLimits, RequestReader, Response, ServeOptions, Server};
+
+fn limits() -> HttpLimits {
+    HttpLimits::default()
+}
+
+/// Feed raw bytes through the streaming reader exactly as a connection
+/// thread would.
+fn read_one(raw: &[u8]) -> Result<Option<http::RequestHead>, HttpError> {
+    RequestReader::new(Cursor::new(raw.to_vec())).read_head(&limits(), None)
+}
+
+/// Every error the parser can emit must carry a named 4xx/5xx status.
+fn assert_named(err: &HttpError) {
+    let status = err.status();
+    assert!(
+        (400..=599).contains(&status),
+        "error {err:?} maps to non-error status {status}"
+    );
+    assert!(!err.name().is_empty(), "error {err:?} has no name");
+}
+
+// ---------------------------------------------------------------------
+// Layer 1: parser fuzzing.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes never panic or hang the head reader; failures
+    /// are always named errors.
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in prop::collection::vec(0u8..=255, 0..600)) {
+        match read_one(&raw) {
+            Ok(_) => {}
+            Err(e) => assert_named(&e),
+        }
+    }
+
+    /// Arbitrary *text* aimed at the pure parser never panics.
+    #[test]
+    fn arbitrary_text_never_panics_parse_head(text in "\\PC{0,400}") {
+        match parse_head(text.as_bytes(), &limits()) {
+            Ok(_) => {}
+            Err(e) => assert_named(&e),
+        }
+    }
+
+    /// Truncating a valid request at any byte yields either the parsed
+    /// head (cut past the terminator) or a named error — and an
+    /// incomplete head is always `Truncated` (408-able), not a parse.
+    #[test]
+    fn truncated_requests_fail_closed(cut in 0usize..120, path in "/[a-z]{0,12}") {
+        let full = format!("POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nabc");
+        let raw = &full.as_bytes()[..cut.min(full.len())];
+        let head_end = full.find("\r\n\r\n").unwrap() + 4;
+        match read_one(raw) {
+            Ok(Some(head)) => {
+                prop_assert!(raw.len() >= head_end, "parsed a head from an incomplete prefix");
+                prop_assert_eq!(head.method.as_str(), "POST");
+                prop_assert_eq!(head.target.as_str(), path.as_str());
+            }
+            Ok(None) => prop_assert!(raw.is_empty(), "non-empty prefix read as clean close"),
+            Err(e) => {
+                assert_named(&e);
+                prop_assert!(raw.len() < head_end, "complete head errored: {:?}", e);
+            }
+        }
+    }
+
+    /// Oversized header blocks are capped with 431, never accumulated
+    /// without bound.
+    #[test]
+    fn oversized_headers_are_capped(n in 1usize..200, width in 256usize..1024) {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..n {
+            raw.extend_from_slice(format!("X-Pad-{i}: {}\r\n", "v".repeat(width)).as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let lim = limits();
+        match read_one(&raw) {
+            Ok(Some(head)) => {
+                prop_assert!(raw.len() <= lim.max_request_line + lim.max_header_bytes + 4);
+                prop_assert!(head.headers.len() <= lim.max_headers);
+            }
+            Ok(None) => prop_assert!(false, "header block read as clean close"),
+            Err(e) => {
+                assert_named(&e);
+                prop_assert!(
+                    matches!(e, HttpError::HeadersTooLarge | HttpError::TooManyHeaders),
+                    "unexpected error for oversized headers: {:?}", e
+                );
+            }
+        }
+    }
+
+    /// A request line with no newline inside the cap is 414, not an
+    /// unbounded buffer.
+    #[test]
+    fn endless_request_line_is_414(extra in 1usize..4096) {
+        let raw = vec![b'A'; limits().max_request_line + extra];
+        let err = read_one(&raw).unwrap_err();
+        prop_assert!(
+            matches!(err, HttpError::UriTooLong | HttpError::Truncated),
+            "got {:?}", err
+        );
+    }
+
+    /// Garbage Content-Length values are named 400s; huge ones are 413.
+    #[test]
+    fn bad_content_length_is_named(value in "[-+a-z0-9 ]{0,24}") {
+        let raw = format!("POST /enrich HTTP/1.1\r\nContent-Length: {value}\r\n\r\n");
+        let head = match read_one(raw.as_bytes()) {
+            Ok(Some(h)) => h,
+            other => panic!("head must parse: {other:?}"),
+        };
+        let lim = limits();
+        match head.content_length(&lim) {
+            Ok(Some(n)) => prop_assert!(n <= lim.max_body_bytes),
+            Ok(None) => prop_assert!(false, "header with value {:?} vanished", value),
+            Err(e) => {
+                assert_named(&e);
+                prop_assert!(
+                    matches!(e, HttpError::BadContentLength(_) | HttpError::BodyTooLarge(_)),
+                    "got {:?}", e
+                );
+            }
+        }
+    }
+
+    /// Pipelined keep-alive requests: N heads written back-to-back into
+    /// one stream parse in order with bodies intact.
+    #[test]
+    fn pipelined_requests_parse_in_order(bodies in prop::collection::vec("[a-z]{0,16}", 1..6)) {
+        let mut raw = Vec::new();
+        for (i, b) in bodies.iter().enumerate() {
+            raw.extend_from_slice(
+                format!("POST /p{i} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{b}", b.len()).as_bytes(),
+            );
+        }
+        let mut reader = RequestReader::new(Cursor::new(raw));
+        for (i, b) in bodies.iter().enumerate() {
+            let head = reader.read_head(&limits(), None).unwrap().expect("head");
+            prop_assert_eq!(head.target, format!("/p{i}"));
+            let len = head.content_length(&limits()).unwrap().unwrap_or(0);
+            let body = reader.read_body(len).unwrap();
+            prop_assert_eq!(body, b.as_bytes().to_vec());
+        }
+        prop_assert!(reader.read_head(&limits(), None).unwrap().is_none());
+    }
+}
+
+/// Duplicate conflicting Content-Length headers are rejected by name.
+#[test]
+fn conflicting_content_lengths_rejected() {
+    let raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 4\r\n\r\n";
+    let head = read_one(raw).unwrap().unwrap();
+    let err = head.content_length(&limits()).unwrap_err();
+    assert!(matches!(err, HttpError::BadContentLength(_)));
+    assert_eq!(err.status(), 400);
+}
+
+/// Transfer-Encoding is refused with 501 — the server only frames by
+/// Content-Length.
+#[test]
+fn transfer_encoding_is_refused() {
+    let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+    let head = read_one(raw).unwrap().unwrap();
+    let err = head.content_length(&limits()).unwrap_err();
+    assert!(matches!(err, HttpError::UnsupportedTransferEncoding));
+    assert_eq!(err.status(), 501);
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: live-server chaos.
+// ---------------------------------------------------------------------
+
+fn tiny_engine() -> PreparedEngine {
+    let store = SemanticSpaceBuilder::new(16, 3)
+        .topic("anatomy")
+        .words("anatomy", ["lung", "heart", "skin"])
+        .generic_words(["damages", "the"])
+        .build()
+        .into_store();
+    let mut table = Table::new(Schema::new(["Disease", "Anatomy"], "Disease"));
+    table.fill_slot("Tuberculosis", "Anatomy", "lung");
+    Thor::new(store, ThorConfig::with_tau(0.6)).prepare(&table)
+}
+
+struct LiveServer {
+    addr: std::net::SocketAddr,
+    handle: thor_serve::server::ShutdownHandle,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveServer {
+    fn start(opts: ServeOptions) -> LiveServer {
+        let server = Server::bind(tiny_engine(), "127.0.0.1:0", opts).expect("bind");
+        let addr = server.local_addr();
+        let handle = server.shutdown_handle();
+        let join = std::thread::spawn(move || server.run().expect("serve loop"));
+        LiveServer {
+            addr,
+            handle,
+            join: Some(join),
+        }
+    }
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        self.handle.shutdown();
+        if let Some(join) = self.join.take() {
+            join.join().expect("server thread");
+        }
+    }
+}
+
+fn batch_body() -> Vec<u8> {
+    br#"{"documents":[{"id":"d0","text":"Tuberculosis damages the heart."}]}"#.to_vec()
+}
+
+/// A slow peer that stalls mid-head is answered 408 under the read
+/// timeout; the server stays up for the next client.
+#[test]
+fn slowloris_partial_head_gets_408() {
+    let opts = ServeOptions {
+        read_timeout: Duration::from_millis(300),
+        ..ServeOptions::default()
+    };
+    let srv = LiveServer::start(opts);
+
+    let mut stream = TcpStream::connect(srv.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Half a request line, then silence.
+    stream.write_all(b"GET /healthz HT").unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = RequestReader::new(stream.try_clone().unwrap());
+    let resp = Response::read_from(&mut reader).expect("408 response");
+    assert_eq!(resp.status, 408, "body: {}", resp.body_str());
+    assert!(resp.body_str().contains("read-timeout"));
+
+    // The process is still serving.
+    let ok = request(&srv.addr, "GET", "/healthz", b"").expect("healthz after slowloris");
+    assert_eq!(ok.status, 200);
+}
+
+/// With a single admission permit held by a stalled POST, a second
+/// request is turned away with 429 + Retry-After, and the server
+/// recovers once the stall resolves.
+#[test]
+fn full_queue_gets_429_with_retry_after() {
+    let opts = ServeOptions {
+        queue: 1,
+        read_timeout: Duration::from_secs(2),
+        ..ServeOptions::default()
+    };
+    let srv = LiveServer::start(opts);
+
+    // Occupy the only permit: send a complete head claiming a body that
+    // never arrives. The permit is held until the body read times out.
+    let mut stall = TcpStream::connect(srv.addr).expect("connect");
+    stall
+        .write_all(b"POST /enrich HTTP/1.1\r\nContent-Length: 10\r\n\r\n")
+        .unwrap();
+    stall.flush().unwrap();
+    // Give the connection thread time to pass head-parsing and take the
+    // permit before the probe arrives.
+    std::thread::sleep(Duration::from_millis(300));
+
+    let resp = request(&srv.addr, "POST", "/enrich", &batch_body()).expect("probe");
+    assert_eq!(resp.status, 429, "body: {}", resp.body_str());
+    assert_eq!(resp.header("Retry-After").map(str::trim), Some("1"));
+    assert!(resp.body_str().contains("overloaded"));
+
+    // Health and metrics never take a permit.
+    let health = request(&srv.addr, "GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200);
+
+    // After the stalled request times out, the permit is released.
+    drop(stall);
+    let mut ok = None;
+    for _ in 0..50 {
+        let resp = request(&srv.addr, "POST", "/enrich", &batch_body()).expect("retry");
+        if resp.status == 200 {
+            ok = Some(resp);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let ok = ok.expect("permit released after stall");
+    assert_eq!(ok.header("X-Thor-Quarantined").map(str::trim), Some("0"));
+}
+
+/// An injected fault at the per-request seam surfaces as a named 500
+/// and the process keeps serving — the chaos contract.
+#[test]
+fn injected_fault_is_500_and_survivable() {
+    let _guard = thor_fault::scoped_failpoints("serve_request:err@1");
+    let srv = LiveServer::start(ServeOptions::default());
+
+    let failed = request(&srv.addr, "POST", "/enrich", &batch_body()).expect("faulted request");
+    assert_eq!(failed.status, 500, "body: {}", failed.body_str());
+    assert!(failed.body_str().contains("injected-fault"));
+
+    // err@1 fires once; the very next request succeeds on the same
+    // process.
+    let ok = request(&srv.addr, "POST", "/enrich", &batch_body()).expect("recovery");
+    assert_eq!(ok.status, 200, "body: {}", ok.body_str());
+    assert!(ok.body_str().starts_with("Disease"));
+}
+
+/// Garbage request bodies are per-request failures (named 4xx), never
+/// process failures.
+#[test]
+fn garbage_bodies_never_kill_the_server() {
+    let srv = LiveServer::start(ServeOptions::default());
+    let cases: &[(&[u8], &str)] = &[
+        (b"\xff\xfe\x00garbage", "bad-utf8"),
+        (b"{not json", "bad-json"),
+        (b"[1,2,3]", "bad-request-shape"),
+        (br#"{"documents":[]}"#, "empty-batch"),
+        (br#"{"documents":[{"id":"d0"}]}"#, "bad-document"),
+    ];
+    for (body, want) in cases {
+        let resp = request(&srv.addr, "POST", "/enrich", body).expect("garbage request");
+        assert!(
+            (400..500).contains(&resp.status),
+            "{want}: status {}",
+            resp.status
+        );
+        assert!(
+            resp.body_str().contains(want),
+            "{want}: body {}",
+            resp.body_str()
+        );
+    }
+    let ok = request(&srv.addr, "POST", "/enrich", &batch_body()).expect("after garbage");
+    assert_eq!(ok.status, 200);
+}
+
+/// Pipelined keep-alive requests on one connection are answered in
+/// order, one response per request.
+#[test]
+fn pipelined_live_requests_answered_in_order() {
+    let srv = LiveServer::start(ServeOptions::default());
+    let mut stream = TcpStream::connect(srv.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    // Two healthz and one enrich, written back-to-back before reading.
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n")
+        .unwrap();
+    send_request(&mut stream, "POST", "/enrich", &batch_body()).unwrap();
+
+    let mut reader = RequestReader::new(stream);
+    let health = Response::read_from(&mut reader).expect("healthz");
+    assert_eq!(health.status, 200);
+    let health_body = health.body_str();
+    assert!(
+        health_body.contains("\"status\"") && health_body.contains("\"ok\""),
+        "healthz body: {health_body}"
+    );
+    let metrics = Response::read_from(&mut reader).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body_str().contains("serve.requests"));
+    let enrich = Response::read_from(&mut reader).expect("enrich");
+    assert_eq!(enrich.status, 200);
+    assert!(enrich.body_str().starts_with("Disease"));
+}
+
+/// Unknown routes and wrong methods are named errors that keep the
+/// connection usable.
+#[test]
+fn routing_errors_are_named() {
+    let srv = LiveServer::start(ServeOptions::default());
+    let missing = request(&srv.addr, "GET", "/nope", b"").expect("404");
+    assert_eq!(missing.status, 404);
+    assert!(missing.body_str().contains("not-found"));
+    let wrong = request(&srv.addr, "GET", "/enrich", b"").expect("405");
+    assert_eq!(wrong.status, 405);
+    assert!(wrong.body_str().contains("method-not-allowed"));
+}
+
+/// Shutdown drains: in-flight work finishes, the accept loop exits, and
+/// new connections are refused afterwards.
+#[test]
+fn drain_finishes_in_flight_and_stops_accepting() {
+    let srv = LiveServer::start(ServeOptions::default());
+    let addr = srv.addr;
+
+    let ok = request(&addr, "POST", "/enrich", &batch_body()).expect("pre-drain");
+    assert_eq!(ok.status, 200);
+
+    drop(srv); // shutdown + join via Drop: run() must return.
+
+    // The listener is gone; a fresh connection either fails outright or
+    // is never answered.
+    match TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        Err(_) => {}
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_millis(500)))
+                .unwrap();
+            s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+            let mut buf = Vec::new();
+            let n = s.read_to_end(&mut buf).unwrap_or(0);
+            assert_eq!(
+                n,
+                0,
+                "drained server answered: {:?}",
+                String::from_utf8_lossy(&buf)
+            );
+        }
+    }
+}

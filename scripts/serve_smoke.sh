@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# Serve chaos smoke test against the real CLI.
+#
+# Exercises `thor serve` end to end over a built engine artifact:
+#   1. a served batch (`POST /enrich`, `POST /extract`) is byte-identical
+#      to the batch CLI (`thor enrich --engine`) on the same documents;
+#   2. SIGKILL mid-request is survivable state-wise: a restart on the
+#      same artifact serves the re-issued batch byte-identically;
+#   3. quarantine is per-document (X-Thor-Quarantined header) and both
+#      quarantine and latency histograms appear in `GET /metrics`;
+#   4. a stalled request holding the only admission permit turns the
+#      next client away with 429 + Retry-After;
+#   5. SIGTERM drains cleanly: exit 0 and a final metrics flush.
+#
+# Usage: scripts/serve_smoke.sh  (run from anywhere; builds if needed)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+THOR="$ROOT/target/release/thor"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/thor-serve.XXXXXX")"
+SERVE_PID=""
+cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+if [[ ! -x "$THOR" ]]; then
+    cargo build --release --manifest-path "$ROOT/Cargo.toml"
+fi
+
+DATA="$WORK/data"
+"$THOR" generate --dataset disease --scale 0.08 --seed 7 --out "$DATA" 2>/dev/null
+DOCS=("$DATA"/docs/validation/*.txt)
+ENGINE="$WORK/disease.thorengine"
+"$THOR" build --table "$DATA/enrichment_table.csv" --vectors "$DATA/vectors.txt" \
+    --tau 0.7 --engine "$ENGINE" 2>/dev/null
+echo "serve smoke: ${#DOCS[@]} documents"
+
+# The batch-CLI reference output the server must reproduce byte for byte.
+"$THOR" enrich --engine "$ENGINE" \
+    --out "$WORK/direct.csv" --entities "$WORK/direct.tsv" "${DOCS[@]}" 2>/dev/null
+
+# The same documents as a JSON request body (id = file stem, like the CLI).
+json_escape_file() {
+    awk 'BEGIN{ORS=""} {gsub(/\\/,"\\\\"); gsub(/"/,"\\\""); gsub(/\t/,"\\t"); gsub(/\r/,"\\r");
+         if (NR>1) printf "\\n"; printf "%s", $0}' "$1"
+}
+BODY="$WORK/batch.json"
+{
+    printf '{"documents":['
+    sep=""
+    for doc in "${DOCS[@]}"; do
+        stem="$(basename "$doc" .txt)"
+        printf '%s{"id":"%s","text":"' "$sep" "$stem"
+        json_escape_file "$doc"
+        printf '"}'
+        sep=","
+    done
+    printf ']}'
+} >"$BODY"
+
+start_serve() { # args: extra serve flags...
+    : >"$WORK/addr"
+    "$THOR" serve --engine "$ENGINE" --addr 127.0.0.1:0 --addr-file "$WORK/addr" "$@" \
+        2>"$WORK/serve.log" &
+    SERVE_PID=$!
+    for _ in $(seq 1 100); do
+        ADDR="$(cat "$WORK/addr" 2>/dev/null || true)"
+        [[ -n "$ADDR" ]] && break
+        kill -0 "$SERVE_PID" 2>/dev/null || fail "serve died on startup: $(cat "$WORK/serve.log")"
+        sleep 0.1
+    done
+    [[ -n "$ADDR" ]] || fail "serve never wrote its bound address"
+}
+
+echo "-- served batch vs batch CLI: byte-identical"
+start_serve
+curl -sS -o "$WORK/served.csv" --data-binary @"$BODY" "http://$ADDR/enrich" \
+    || fail "POST /enrich failed"
+cmp "$WORK/direct.csv" "$WORK/served.csv" || fail "served CSV differs from batch enrich"
+curl -sS -o "$WORK/served.tsv" --data-binary @"$BODY" "http://$ADDR/extract" \
+    || fail "POST /extract failed"
+cmp "$WORK/direct.tsv" "$WORK/served.tsv" || fail "served TSV differs from batch extract"
+echo "   /enrich and /extract match the CLI"
+
+echo "-- SIGKILL mid-request, restart on the same artifact"
+# Fire a request and kill the server while it is (plausibly) in flight;
+# the client is allowed to fail, the artifact must not care.
+curl -s -o /dev/null --max-time 5 --data-binary @"$BODY" "http://$ADDR/enrich" 2>/dev/null &
+CURL_PID=$!
+kill -9 "$SERVE_PID" 2>/dev/null || fail "server already gone before SIGKILL"
+wait "$CURL_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+start_serve
+curl -sS -o "$WORK/rekilled.csv" --data-binary @"$BODY" "http://$ADDR/enrich" \
+    || fail "POST /enrich after SIGKILL restart failed"
+cmp "$WORK/direct.csv" "$WORK/rekilled.csv" \
+    || fail "restart on the same artifact changed the served bytes"
+echo "   restart serves byte-identical output"
+
+echo "-- per-document quarantine + metrics exposure"
+# One good document, one empty one: the empty doc is quarantined, the
+# batch still answers 200.
+printf '{"documents":[{"id":"good","text":"Tuberculosis damages the lungs."},{"id":"empty","text":""}]}' \
+    >"$WORK/dirty.json"
+HDRS="$WORK/dirty.headers"
+curl -sS -D "$HDRS" -o "$WORK/dirty.csv" --data-binary @"$WORK/dirty.json" \
+    "http://$ADDR/enrich" || fail "dirty batch failed outright"
+grep -qi "^X-Thor-Quarantined: 1" "$HDRS" \
+    || fail "expected 1 quarantined doc, headers: $(cat "$HDRS")"
+curl -sS -o "$WORK/metrics.json" "http://$ADDR/metrics" || fail "GET /metrics failed"
+grep -q '"serve.latency.enrich"' "$WORK/metrics.json" \
+    || fail "latency histogram missing from /metrics"
+grep -q '"quarantine.docs"' "$WORK/metrics.json" \
+    || fail "quarantine counter missing from /metrics"
+grep -q '"type":"histogram"' "$WORK/metrics.json" \
+    || fail "/metrics carries no histogram-typed metric"
+echo "   quarantine header + latency histogram present"
+
+echo "-- overload: stalled permit-holder turns the next client away"
+kill -TERM "$SERVE_PID" && wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+start_serve --queue 1 --read-timeout-ms 5000
+# Hold the only permit: a complete head whose body never arrives.
+exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}"
+printf 'POST /enrich HTTP/1.1\r\nContent-Length: 100\r\n\r\n' >&3
+sleep 0.5
+STATUS="$(curl -sS -o "$WORK/overload.json" -w '%{http_code}' \
+    --data-binary @"$BODY" "http://$ADDR/enrich" || true)"
+[[ "$STATUS" == "429" ]] || fail "expected 429 while the queue is full, got $STATUS"
+grep -q '"overloaded"' "$WORK/overload.json" || fail "429 body is not named"
+exec 3>&- 3<&-
+echo "   429 with a full admission queue"
+
+echo "-- SIGTERM drains: exit 0 + final metrics flush"
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+status=$?
+set -e
+SERVE_PID=""
+[[ $status -eq 0 ]] || fail "drained serve exited $status: $(cat "$WORK/serve.log")"
+grep -q "drained:" "$WORK/serve.log" || fail "no drain summary in the log"
+grep -q "serve.requests" "$WORK/serve.log" || fail "no final metrics flush in the log"
+echo "   clean drain"
+
+echo "serve smoke: OK"

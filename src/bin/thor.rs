@@ -14,6 +14,10 @@
 //!             <doc.txt>...                           run the pipeline
 //! thor enrich --engine e.thor [--threads N] ... <doc.txt>...
 //!                                                    serve from a built engine
+//! thor serve --engine e.thor [--addr HOST:PORT] [--addr-file PATH]
+//!            [--threads N] [--queue N] [--read-timeout-ms MS]
+//!            [--refine kernel|reference] [--metrics[=json]]
+//!                                                    HTTP front end (see thor-serve)
 //! thor evaluate --gold gold.tsv --pred pred.tsv      SemEval partial-match scores
 //! thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR
 //!                                                    write dataset artifacts
@@ -49,7 +53,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use thor_repro::core::{
-    Document, PipelineMetrics, PreparedEngine, ResilientOptions, RunMode, Thor, ThorConfig,
+    entities_tsv, Document, PipelineMetrics, PreparedEngine, ResilientOptions, RunMode, Thor,
+    ThorConfig,
 };
 use thor_repro::data::csv::{from_csv, from_csv_lenient, to_csv, SkippedRow};
 use thor_repro::data::{full_disjunction, sparsity, Table};
@@ -60,6 +65,8 @@ use thor_repro::fault::{
     atomic_write, decode_document, fail_point, install_from_env, read_bytes, read_to_string,
     DocumentPolicy, QuarantineEntry, QuarantineReport, ThorError, ThorResult,
 };
+use thor_repro::serve::signal as serve_signal;
+use thor_repro::serve::{ServeOptions, Server};
 use thor_repro::text::{normalize_phrase, split_sentences};
 
 /// Parsed command line: positional args plus `--key value` / `--key=value`
@@ -144,6 +151,18 @@ const ENRICH: CommandSpec = CommandSpec {
     ],
     flags: &["metrics", "cache-stats", "strict", "lenient", "resume"],
 };
+const SERVE: CommandSpec = CommandSpec {
+    options: &[
+        "engine",
+        "addr",
+        "addr-file",
+        "threads",
+        "queue",
+        "read-timeout-ms",
+        "refine",
+    ],
+    flags: &["metrics"],
+};
 const EVALUATE: CommandSpec = CommandSpec {
     options: &["gold", "pred"],
     flags: &[],
@@ -206,6 +225,8 @@ fn usage() -> ExitCode {
          [--strict | --lenient] [--quarantine q.tsv] [--checkpoint DIR [--resume]] \
          [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
          thor enrich --engine e.thor [--threads N] [--refine kernel|reference] ... <doc.txt>...\n  \
+         thor serve --engine e.thor [--addr HOST:PORT] [--addr-file PATH] [--threads N] \
+         [--queue N] [--read-timeout-ms MS] [--refine kernel|reference] [--metrics[=json]]\n  \
          thor evaluate --gold gold.tsv --pred pred.tsv\n  \
          thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR"
     );
@@ -612,19 +633,98 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         atomic_write(Path::new(path), quarantine.to_tsv().as_bytes())?;
     }
     if let Some(path) = args.options.get("entities") {
-        let mut tsv = String::new();
-        for e in &result.entities {
-            tsv.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{:.3}\n",
-                e.doc_id, e.concept, e.phrase, e.subject, e.score
-            ));
-        }
-        atomic_write(Path::new(path), tsv.as_bytes())?;
+        atomic_write(Path::new(path), entities_tsv(&result.entities).as_bytes())?;
     }
     let csv = to_csv(&result.table);
     match args.options.get("out") {
         Some(path) => atomic_write(Path::new(path), csv.as_bytes())?,
         None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+/// `thor serve`: the long-running HTTP front end over a built engine.
+/// `POST /enrich` and `POST /extract` answer with exactly the bytes the
+/// batch CLI writes; `GET /healthz` and `GET /metrics` expose liveness
+/// and the thor-obs document (including per-request latency
+/// histograms). SIGTERM/ctrl-c drains: stop accepting, finish in-flight
+/// requests, flush metrics to stderr.
+fn cmd_serve(args: &Args) -> ThorResult<()> {
+    let engine_path = args
+        .options
+        .get("engine")
+        .ok_or_else(|| ThorError::config("serve needs --engine e.thor (see `thor build`)"))?;
+    let addr = args
+        .options
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7427".to_string());
+    let threads: Option<usize> = parse_option(args, "threads")?;
+    if threads == Some(0) {
+        return Err(ThorError::config("--threads must be at least 1"));
+    }
+    let queue: usize = parse_option(args, "queue")?.unwrap_or(32);
+    if queue == 0 {
+        return Err(ThorError::config("--queue must be at least 1"));
+    }
+    let read_timeout_ms: u64 = parse_option(args, "read-timeout-ms")?.unwrap_or(10_000);
+    if read_timeout_ms == 0 {
+        return Err(ThorError::config("--read-timeout-ms must be at least 1"));
+    }
+    let reference_refine = match args.options.get("refine").map(String::as_str) {
+        None | Some("kernel") => false,
+        Some("reference") => true,
+        Some(other) => {
+            return Err(ThorError::config(format!(
+                "--refine must be `kernel` or `reference`, got `{other}`"
+            )))
+        }
+    };
+    let metrics_mode = metrics_mode(args)?;
+
+    let mut engine = PreparedEngine::load(Path::new(engine_path))?;
+    eprintln!(
+        "engine {engine_path}: {} concepts, tau {}, loaded in {:?}",
+        engine.prepared_matcher().concept_names().len(),
+        engine.tau(),
+        engine.prepare_time()
+    );
+    if let Some(threads) = threads {
+        engine = engine.with_threads(threads);
+    }
+    if reference_refine {
+        engine = engine.with_reference_refine(true);
+    }
+
+    let opts = ServeOptions {
+        queue,
+        read_timeout: std::time::Duration::from_millis(read_timeout_ms),
+        watch_signals: true,
+        ..ServeOptions::default()
+    };
+    serve_signal::install_handlers();
+    let server = Server::bind(engine, &addr, opts)?;
+    let bound = server.local_addr();
+    if let Some(path) = args.options.get("addr-file") {
+        atomic_write(Path::new(path), format!("{bound}\n").as_bytes())?;
+    }
+    let metrics = server.metrics().clone();
+    eprintln!("serving on http://{bound} (queue {queue}, SIGTERM/ctrl-c drains)");
+    server.run()?;
+
+    // Drained: flush the final metrics snapshot so a supervised process
+    // leaves its request/latency/quarantine story in the log.
+    let snapshot = metrics.snapshot();
+    eprintln!(
+        "drained: {} request(s) served, {} rejected (429), {} protocol error(s), {} quarantined doc(s)",
+        snapshot.count("serve.requests"),
+        snapshot.count("serve.rejected"),
+        snapshot.count("serve.http_errors"),
+        snapshot.count("quarantine.docs"),
+    );
+    match metrics_mode {
+        Some(MetricsMode::Json) => eprintln!("{}", metrics.render_json()),
+        _ => eprint!("{}", metrics.render_table()),
     }
     Ok(())
 }
@@ -764,6 +864,7 @@ fn main() -> ExitCode {
         "sparsity" => Some(&SPARSITY),
         "build" => Some(&BUILD),
         "enrich" => Some(&ENRICH),
+        "serve" => Some(&SERVE),
         "evaluate" => Some(&EVALUATE),
         "generate" => Some(&GENERATE),
         _ => None,
@@ -776,6 +877,7 @@ fn main() -> ExitCode {
         "sparsity" => cmd_sparsity(&args),
         "build" => cmd_build(&args),
         "enrich" => cmd_enrich(&args),
+        "serve" => cmd_serve(&args),
         "evaluate" => cmd_evaluate(&args),
         "generate" => cmd_generate(&args),
         _ => unreachable!("spec lookup covers every command"),

@@ -58,3 +58,6 @@ pub use thor_fault as fault;
 
 /// Synthetic dataset generators and the annotation-effort model.
 pub use thor_datagen as datagen;
+
+/// The HTTP/1.1 serving front end over the frozen engine.
+pub use thor_serve as serve;
