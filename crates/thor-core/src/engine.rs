@@ -34,9 +34,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use thor_data::Table;
-use thor_embed::{Vector, VectorStore};
+use thor_embed::VectorStore;
 use thor_fault::{
-    fnv1a, read_artifact, write_artifact, ByteReader, ByteWriter, ThorError, ThorResult,
+    atomic_write, fnv1a, ByteReader, ByteWriter, MapMode, SectionFile, SectionWriter, ThorError,
+    ThorResult,
 };
 use thor_index::DictionaryIndex;
 use thor_match::{MatcherConfig, PreparedMatcher, SimilarityMatcher, TAU_RANGE};
@@ -52,10 +53,45 @@ use crate::pool::WorkerPool;
 use crate::segment::segment_metered;
 use crate::slotfill::slot_fill_metered;
 
-/// Magic bytes opening an engine artifact file.
+/// Magic bytes opening an engine artifact file (shared with the
+/// sectioned container in `thor_fault::section`).
 pub const ENGINE_MAGIC: &[u8; 8] = b"THORENG\0";
-/// On-disk format version of the engine artifact payload.
-pub const ENGINE_FORMAT_VERSION: u32 = 1;
+/// On-disk format version of the engine artifact. Version 2 is the
+/// sectioned, mmap-native layout; version-1 (pre-sectioned) files are
+/// rejected by name with a rebuild hint.
+pub const ENGINE_FORMAT_VERSION: u32 = 2;
+
+// Section names of the v2 engine artifact. Hot arrays are stored in
+// their exact in-memory layout (little-endian, 64-byte aligned) so a
+// mapped load borrows them in place.
+const SEC_META: &str = "meta";
+const SEC_TABLE: &str = "table";
+const SEC_STORE_OFFS: &str = "store.offsets";
+const SEC_STORE_WORDS: &str = "store.words";
+const SEC_STORE_ROWS: &str = "store.rows";
+const SEC_CAND_STARTS: &str = "cand.starts";
+const SEC_CAND_SIMS: &str = "cand.sims";
+const SEC_CAND_WORD_OFFS: &str = "cand.word_offs";
+const SEC_CAND_WORDS: &str = "cand.words";
+const SEC_IDX_META: &str = "idx.meta";
+const SEC_IDX_DATA: &str = "idx.data";
+const SEC_IDX_NORMS: &str = "idx.norms";
+const SEC_IDX_REPSUMS: &str = "idx.repsums";
+const SEC_AUTOMATON: &str = "automaton";
+const SEC_SYNTAX: &str = "syntax.seeds";
+
+/// The O(vocabulary) sections a mapped load does **not** checksum, so
+/// cold-start stays flat in artifact size. Everything else — header,
+/// directory, and every other section — is verified on every load;
+/// `thor inspect` verifies these too.
+pub const ENGINE_LAZY_SECTIONS: &[&str] = &[
+    SEC_STORE_OFFS,
+    SEC_STORE_WORDS,
+    SEC_STORE_ROWS,
+    SEC_CAND_WORD_OFFS,
+    SEC_CAND_WORDS,
+    SEC_CAND_SIMS,
+];
 
 pub(crate) struct EngineInner {
     config: ThorConfig,
@@ -481,91 +517,357 @@ impl PreparedEngine {
     /// engine byte-identical.
     pub fn save(&self, path: &Path) -> ThorResult<()> {
         let inner = &*self.inner;
+        let mut sections = SectionWriter::new();
+
+        // meta: config + preparation base + shape + digests + fingerprint.
         let mut w = ByteWriter::new();
         write_config(&mut w, &inner.config);
-        write_store(&mut w, &inner.store);
-        w.put_str(&thor_data::to_csv(&inner.table));
         let base = inner.prep.base();
         w.put_f64(base.tau);
         w.put_u64(base.max_subphrase_words as u64);
         w.put_u64(base.max_expansion as u64);
         w.put_u64(base.cache_capacity as u64);
-        let candidates = inner.prep.candidates();
-        w.put_u64(candidates.len() as u64);
-        for list in candidates {
-            w.put_u64(list.len() as u64);
-            for (word, sim) in list {
-                w.put_str(word);
-                w.put_f64(*sim);
-            }
-        }
+        w.put_u64(inner.store.dim() as u64);
+        w.put_u64(inner.store.len() as u64);
+        w.put_u64(inner.prep.concept_names().len() as u64);
+        w.put_u64(inner.store_digest);
+        w.put_u64(inner.table_digest);
         w.put_str(&inner.fingerprint);
-        write_artifact(path, ENGINE_MAGIC, ENGINE_FORMAT_VERSION, &w.into_bytes())
+        sections.add(SEC_META, 1, &w.into_bytes());
+
+        sections.add(SEC_TABLE, 1, thor_data::to_csv(&inner.table).as_bytes());
+
+        // Vector store: sorted word pool + raw f32 rows, the exact
+        // layout `VectorStore::from_frozen` borrows in place.
+        let mut word_offs: Vec<u64> = vec![0];
+        let mut word_bytes: Vec<u8> = Vec::new();
+        let mut row_bytes: Vec<u8> = Vec::new();
+        inner.store.for_each_sorted(|word, row| {
+            word_bytes.extend_from_slice(word.as_bytes());
+            word_offs.push(word_bytes.len() as u64);
+            for &x in row {
+                row_bytes.extend_from_slice(&x.to_le_bytes());
+            }
+        });
+        sections.add(SEC_STORE_OFFS, 1, &le_bytes_u64(&word_offs));
+        sections.add(SEC_STORE_WORDS, 1, &word_bytes);
+        sections.add(SEC_STORE_ROWS, 1, &row_bytes);
+
+        // Untruncated τ-expansion candidates, CSR across concepts.
+        let (starts, sims, pool) = inner.prep.candidate_parts();
+        sections.add(SEC_CAND_STARTS, 1, &le_bytes_u64(&starts));
+        sections.add(SEC_CAND_SIMS, 1, &le_bytes_f64(&sims));
+        sections.add(SEC_CAND_WORD_OFFS, 1, &le_bytes_u64(pool.offsets()));
+        sections.add(SEC_CAND_WORDS, 1, pool.bytes());
+
+        // The fine-tuned VectorIndex at the engine's τ: row labels and
+        // concept layout in a small meta blob, the hot arrays raw.
+        let ix = inner.matcher.index();
+        let mut w = ByteWriter::new();
+        w.put_u64(ix.dim() as u64);
+        w.put_u64(ix.row_count() as u64);
+        for r in 0..ix.row_count() {
+            w.put_str(ix.row_word(r));
+        }
+        w.put_u64(ix.concept_count() as u64);
+        for (name, start, rows, seed_rows) in ix.concept_layout() {
+            w.put_str(name);
+            w.put_u64(start as u64);
+            w.put_u64(rows as u64);
+            w.put_u64(seed_rows as u64);
+        }
+        sections.add(SEC_IDX_META, 1, &w.into_bytes());
+        sections.add(SEC_IDX_DATA, 1, &le_bytes_f32(ix.data()));
+        sections.add(SEC_IDX_NORMS, 1, &le_bytes_f64(ix.norms()));
+        sections.add(SEC_IDX_REPSUMS, 1, &le_bytes_f32(ix.rep_sums()));
+
+        // Dictionary automaton: the flat CSR arrays plus the pattern
+        // table, reassembled through validating from_parts on load.
+        let mut w = ByteWriter::new();
+        let (edge_start, edge_bytes, edge_target, fail, out_start, out_pattern, pattern_lens, ci) =
+            inner.dictionary.automaton().parts();
+        w.put_u8(u8::from(ci));
+        put_u32s(&mut w, edge_start);
+        w.put_u64(edge_bytes.len() as u64);
+        for &b in edge_bytes {
+            w.put_u8(b);
+        }
+        put_u32s(&mut w, edge_target);
+        put_u32s(&mut w, fail);
+        put_u32s(&mut w, out_start);
+        put_u32s(&mut w, out_pattern);
+        put_u32s(&mut w, pattern_lens);
+        let patterns = inner.dictionary.patterns();
+        w.put_u64(patterns.len() as u64);
+        for (concept, display) in patterns {
+            w.put_str(concept);
+            w.put_str(display);
+        }
+        sections.add(SEC_AUTOMATON, 1, &w.into_bytes());
+
+        // Seed-syntax instances (sorted): the table is derived, this
+        // section lets the load cross-check the derivation.
+        let mut w = ByteWriter::new();
+        let instances = inner.prep.seed_syntax().instances();
+        w.put_u64(instances.len() as u64);
+        for inst in instances {
+            w.put_str(inst);
+        }
+        sections.add(SEC_SYNTAX, 1, &w.into_bytes());
+
+        atomic_write(path, &sections.finish())
     }
 
-    /// Load an engine artifact written by [`PreparedEngine::save`].
+    /// Load an engine artifact written by [`PreparedEngine::save`],
+    /// fully verified ([`MapMode::Owned`]): every section checksum is
+    /// checked, and the store digest is recomputed.
     ///
     /// Rejects corrupt, truncated or version-mismatched files with
-    /// named [`ThorError`]s before any state is built, and verifies the
-    /// recomputed semantic fingerprint against the stored one after
-    /// rebuilding. The loaded engine has no metrics handle; attach one
-    /// with [`PreparedEngine::with_metrics`].
+    /// named [`ThorError`]s before any state is built. The loaded
+    /// engine has no metrics handle; attach one with
+    /// [`PreparedEngine::with_metrics`].
     pub fn load(path: &Path) -> ThorResult<PreparedEngine> {
+        Self::load_with(path, MapMode::Owned)
+    }
+
+    /// [`PreparedEngine::load`] with an explicit backing mode.
+    ///
+    /// [`MapMode::Mapped`] maps the artifact read-only and borrows the
+    /// hot arrays (store rows/words, candidate lists, index buffers) in
+    /// place: startup cost is independent of vocabulary size and N
+    /// processes share one physical copy of the file. The structural
+    /// layer (header, directory, bounds, alignment) and every small
+    /// section are still verified; only the O(vocabulary) sections in
+    /// [`ENGINE_LAZY_SECTIONS`] skip checksumming — corruption there is
+    /// caught by `thor inspect` (which always verifies everything) and
+    /// is memory-safe but garbage-in/garbage-out at serve time.
+    /// Extraction output is bit-identical between the two modes.
+    pub fn load_with(path: &Path, mode: MapMode) -> ThorResult<PreparedEngine> {
         let t0 = std::time::Instant::now();
-        let payload = read_artifact(path, ENGINE_MAGIC, ENGINE_FORMAT_VERSION)?;
-        let mut r = ByteReader::new(&payload);
-        let err_ctx = |e: ThorError| e.context(format!("{}: engine payload", path.display()));
-
-        let config = read_config(&mut r).map_err(err_ctx)?;
-        let store = read_store(&mut r).map_err(err_ctx)?;
-        let table_csv = r.get_str().map_err(err_ctx)?;
-        let base = MatcherConfig {
-            tau: r.get_f64().map_err(err_ctx)?,
-            max_subphrase_words: r.get_u64().map_err(err_ctx)? as usize,
-            max_expansion: r.get_u64().map_err(err_ctx)? as usize,
-            cache_capacity: r.get_u64().map_err(err_ctx)? as usize,
-        };
-        let concept_count = r.get_u64().map_err(err_ctx)? as usize;
-        let mut candidates = Vec::with_capacity(concept_count.min(payload.len()));
-        for _ in 0..concept_count {
-            let entries = r.get_u64().map_err(err_ctx)? as usize;
-            let mut list = Vec::with_capacity(entries.min(payload.len()));
-            for _ in 0..entries {
-                let word = r.get_str().map_err(err_ctx)?;
-                let sim = r.get_f64().map_err(err_ctx)?;
-                list.push((word, sim));
-            }
-            candidates.push(list);
+        let file = SectionFile::open(path, mode)?;
+        match mode {
+            MapMode::Owned => file.verify_all()?,
+            MapMode::Mapped => file.verify_except(ENGINE_LAZY_SECTIONS)?,
         }
-        let stored_fingerprint = r.get_str().map_err(err_ctx)?;
-        r.finish("engine artifact").map_err(err_ctx)?;
+        let ctx = |what: &str| {
+            let what = what.to_string();
+            let path = path.display().to_string();
+            move |e: ThorError| e.context(format!("{path}: engine {what}"))
+        };
+        let invalid = |msg: String| ThorError::validation(format!("{}: {msg}", path.display()));
 
+        // meta
+        let mut r = ByteReader::new(file.bytes(SEC_META)?);
+        let config = read_config(&mut r).map_err(ctx("meta section"))?;
+        let meta = (|| -> ThorResult<_> {
+            let base = MatcherConfig {
+                tau: r.get_f64()?,
+                max_subphrase_words: r.get_u64()? as usize,
+                max_expansion: r.get_u64()? as usize,
+                cache_capacity: r.get_u64()? as usize,
+            };
+            let dim = r.get_u64()? as usize;
+            let word_count = r.get_u64()? as usize;
+            let concept_count = r.get_u64()? as usize;
+            let store_digest = r.get_u64()?;
+            let table_digest = r.get_u64()?;
+            let fingerprint = r.get_str()?;
+            r.finish("engine meta section")?;
+            Ok((
+                base,
+                dim,
+                word_count,
+                concept_count,
+                store_digest,
+                table_digest,
+                fingerprint,
+            ))
+        })()
+        .map_err(ctx("meta section"))?;
+        let (base, dim, word_count, concept_count, store_digest, table_digest, stored_fingerprint) =
+            meta;
+        if !TAU_RANGE.contains(&base.tau) {
+            return Err(invalid(format!(
+                "stored base tau {} outside [0, 1]",
+                base.tau
+            )));
+        }
+
+        // table (always verified against its digest — it is small).
+        let table_csv = std::str::from_utf8(file.bytes(SEC_TABLE)?)
+            .map_err(|e| invalid(format!("table section is not UTF-8: {e}")))?
+            .to_string();
+        if fnv1a(table_csv.as_bytes()) != table_digest {
+            return Err(invalid(
+                "table digest mismatch; artifact does not describe its own contents".to_string(),
+            ));
+        }
         let table = thor_data::from_csv(&table_csv)
             .map_err(|e| ThorError::parse(format!("{}: embedded table: {e}", path.display())))?;
         let concepts = concept_instances(&table);
-        if concepts.len() != candidates.len() {
-            return Err(ThorError::validation(format!(
-                "{}: artifact stores {} candidate lists for {} table concepts",
-                path.display(),
-                candidates.len(),
+        if concepts.len() != concept_count {
+            return Err(invalid(format!(
+                "artifact stores {concept_count} candidate lists for {} table concepts",
                 concepts.len()
             )));
         }
-        let store = Arc::new(store);
-        let store_digest = fnv1a(store.to_text().as_bytes());
-        let table_digest = fnv1a(table_csv.as_bytes());
         let fingerprint = engine_fingerprint(&config, table_digest, store_digest);
         if fingerprint != stored_fingerprint {
-            return Err(ThorError::validation(format!(
-                "{}: engine fingerprint mismatch (stored {stored_fingerprint}, rebuilt \
-                 {fingerprint}); artifact does not describe its own contents",
-                path.display()
+            return Err(invalid(format!(
+                "engine fingerprint mismatch (stored {stored_fingerprint}, rebuilt \
+                 {fingerprint}); artifact does not describe its own contents"
             )));
         }
 
-        let prep = PreparedMatcher::from_parts(&concepts, Arc::clone(&store), base, candidates);
-        let matcher = prep.matcher_at(config.matcher_config(), None);
-        let dictionary = DictionaryIndex::from_concepts(concepts);
+        // Vector store: borrowed (mapped) or owned views over the
+        // sorted word pool + raw rows.
+        let store_words = file.pool(SEC_STORE_OFFS, SEC_STORE_WORDS)?;
+        if store_words.len() != word_count {
+            return Err(invalid(format!(
+                "store word pool has {} words, meta declares {word_count}",
+                store_words.len()
+            )));
+        }
+        let store_rows = file.frozen_slice::<f32>(SEC_STORE_ROWS)?;
+        let store = Arc::new(
+            VectorStore::from_frozen(dim, store_words, store_rows)
+                .map_err(ctx("store sections"))?,
+        );
+        if matches!(mode, MapMode::Owned) {
+            // Owned loads pay the O(vocabulary) pass anyway; recompute
+            // the digest as defense in depth. Mapped loads trust the
+            // meta section's digest (itself checksummed) to stay flat.
+            let recomputed = fnv1a(store.to_text().as_bytes());
+            if recomputed != store_digest {
+                return Err(invalid(format!(
+                    "store digest mismatch (stored {store_digest:016x}, recomputed \
+                     {recomputed:016x})"
+                )));
+            }
+        }
+
+        // Candidate lists.
+        let prep = PreparedMatcher::from_frozen_candidates(
+            &concepts,
+            Arc::clone(&store),
+            base,
+            file.frozen_slice::<u64>(SEC_CAND_STARTS)?,
+            file.pool(SEC_CAND_WORD_OFFS, SEC_CAND_WORDS)?,
+            file.frozen_slice::<f64>(SEC_CAND_SIMS)?,
+        )
+        .map_err(|m| invalid(format!("candidate sections: {m}")))?;
+
+        // VectorIndex: labels + layout from the meta blob, hot arrays
+        // borrowed from their sections.
+        let mut r = ByteReader::new(file.bytes(SEC_IDX_META)?);
+        let idx_meta = (|| -> ThorResult<_> {
+            let idx_dim = r.get_u64()? as usize;
+            let rows = r.get_u64()? as usize;
+            let mut words = Vec::with_capacity(rows.min(file.total_len()));
+            for _ in 0..rows {
+                words.push(r.get_str()?);
+            }
+            let n = r.get_u64()? as usize;
+            let mut layout = Vec::with_capacity(n.min(file.total_len()));
+            for _ in 0..n {
+                let name = r.get_str()?;
+                let start = r.get_u64()? as usize;
+                let crows = r.get_u64()? as usize;
+                let seed_rows = r.get_u64()? as usize;
+                layout.push((name, start, crows, seed_rows));
+            }
+            r.finish("engine index meta section")?;
+            Ok((idx_dim, words, layout))
+        })()
+        .map_err(ctx("index meta section"))?;
+        let (idx_dim, idx_words, idx_layout) = idx_meta;
+        let index = thor_index::VectorIndex::from_parts(
+            idx_dim,
+            file.frozen_slice::<f32>(SEC_IDX_DATA)?,
+            file.frozen_slice::<f64>(SEC_IDX_NORMS)?,
+            file.frozen_slice::<f32>(SEC_IDX_REPSUMS)?,
+            idx_words,
+            idx_layout,
+        )
+        .map_err(|m| invalid(format!("index sections: {m}")))?;
+        let matcher = prep
+            .matcher_with_index(config.matcher_config(), None, index)
+            .map_err(|m| invalid(format!("index sections: {m}")))?;
+
+        // Dictionary automaton.
+        let mut r = ByteReader::new(file.bytes(SEC_AUTOMATON)?);
+        let automaton = (|| -> ThorResult<_> {
+            let case_insensitive = match r.get_u8()? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(ThorError::parse(format!(
+                        "bad case-insensitivity flag {other}"
+                    )))
+                }
+            };
+            let edge_start = get_u32s(&mut r)?;
+            let n = r.get_u64()? as usize;
+            let mut edge_bytes = Vec::with_capacity(n.min(file.total_len()));
+            for _ in 0..n {
+                edge_bytes.push(r.get_u8()?);
+            }
+            let edge_target = get_u32s(&mut r)?;
+            let fail = get_u32s(&mut r)?;
+            let out_start = get_u32s(&mut r)?;
+            let out_pattern = get_u32s(&mut r)?;
+            let pattern_lens = get_u32s(&mut r)?;
+            let n = r.get_u64()? as usize;
+            let mut patterns = Vec::with_capacity(n.min(file.total_len()));
+            for _ in 0..n {
+                let concept = r.get_str()?;
+                let display = r.get_str()?;
+                patterns.push((concept, display));
+            }
+            r.finish("engine automaton section")?;
+            let automaton = thor_index::AhoCorasick::from_parts(
+                edge_start,
+                edge_bytes,
+                edge_target,
+                fail,
+                out_start,
+                out_pattern,
+                pattern_lens,
+                case_insensitive,
+            )
+            .map_err(ThorError::validation)?;
+            DictionaryIndex::from_parts(automaton, patterns).map_err(ThorError::validation)
+        })()
+        .map_err(ctx("automaton section"))?;
+
+        // Seed-syntax cross-check: the table is derived from the seeds;
+        // the stored instance list pins the derivation.
+        let mut r = ByteReader::new(file.bytes(SEC_SYNTAX)?);
+        let stored_instances = (|| -> ThorResult<_> {
+            let n = r.get_u64()? as usize;
+            let mut out = Vec::with_capacity(n.min(file.total_len()));
+            for _ in 0..n {
+                out.push(r.get_str()?);
+            }
+            r.finish("engine seed-syntax section")?;
+            Ok(out)
+        })()
+        .map_err(ctx("seed-syntax section"))?;
+        let derived_instances: Vec<String> = prep
+            .seed_syntax()
+            .instances()
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        if stored_instances != derived_instances {
+            return Err(invalid(format!(
+                "seed-syntax section lists {} instances but the derivation produced {}; \
+                 artifact does not describe its own contents",
+                stored_instances.len(),
+                derived_instances.len()
+            )));
+        }
+
         Ok(PreparedEngine {
             inner: Arc::new(EngineInner {
                 config,
@@ -574,7 +876,7 @@ impl PreparedEngine {
                 store,
                 prep: Arc::new(prep),
                 matcher,
-                dictionary: Arc::new(dictionary),
+                dictionary: Arc::new(automaton),
                 store_digest,
                 table_digest,
                 fingerprint,
@@ -583,6 +885,49 @@ impl PreparedEngine {
             }),
         })
     }
+}
+
+/// Little-endian byte images of numeric arrays — the exact layout the
+/// frozen views reinterpret in place (the loader rejects big-endian
+/// hosts up front).
+fn le_bytes_u64(v: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn le_bytes_f64(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn le_bytes_f32(v: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 4);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn put_u32s(w: &mut ByteWriter, v: &[u32]) {
+    w.put_u64(v.len() as u64);
+    for &x in v {
+        w.put_u32(x);
+    }
+}
+
+fn get_u32s(r: &mut ByteReader<'_>) -> ThorResult<Vec<u32>> {
+    let n = r.get_u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(r.get_u32()?);
+    }
+    Ok(out)
 }
 
 fn write_config(w: &mut ByteWriter, c: &ThorConfig) {
@@ -660,43 +1005,6 @@ fn read_config(r: &mut ByteReader<'_>) -> ThorResult<ThorConfig> {
         early_abandon: true,
         reference_refine: false,
     })
-}
-
-/// Vector store layout: dim, word count, then each word (sorted) with
-/// its exact `f32` bit patterns. Sorting makes save deterministic; the
-/// words round-trip already normalized, so re-insertion is lossless.
-fn write_store(w: &mut ByteWriter, store: &VectorStore) {
-    w.put_u64(store.dim() as u64);
-    w.put_u64(store.len() as u64);
-    let mut words: Vec<(&str, &Vector)> = store.iter().collect();
-    words.sort_by_key(|(word, _)| *word);
-    for (word, vector) in words {
-        w.put_str(word);
-        for &v in vector.as_slice() {
-            w.put_f32(v);
-        }
-    }
-}
-
-fn read_store(r: &mut ByteReader<'_>) -> ThorResult<VectorStore> {
-    let dim = r.get_u64()? as usize;
-    let count = r.get_u64()? as usize;
-    let mut store = VectorStore::new(dim);
-    for _ in 0..count {
-        let word = r.get_str()?;
-        let mut values = Vec::with_capacity(dim);
-        for _ in 0..dim {
-            values.push(r.get_f32()?);
-        }
-        store.insert(&word, Vector(values));
-    }
-    if store.len() != count {
-        return Err(ThorError::validation(format!(
-            "store declared {count} words, rebuilt {}",
-            store.len()
-        )));
-    }
-    Ok(store)
 }
 
 #[cfg(test)]

@@ -76,10 +76,11 @@ pub mod slotfill;
 
 pub use config::{ScoreWeights, SegmentationMode, ThorConfig};
 pub use document::Document;
-pub use engine::{PreparedEngine, ENGINE_FORMAT_VERSION, ENGINE_MAGIC};
+pub use engine::{PreparedEngine, ENGINE_FORMAT_VERSION, ENGINE_LAZY_SECTIONS, ENGINE_MAGIC};
 pub use entity::{entities_tsv, ExtractedEntity};
 pub use extract::{refine_candidates, RefineOutcome};
 pub use pipeline::{EnrichmentResult, EnrichmentSession, Thor};
 pub use pool::{PoolScope, WorkerPool};
 pub use resilient::{ResilientOptions, ResilientOutcome, RunMode};
+pub use thor_fault::MapMode;
 pub use thor_obs::PipelineMetrics;

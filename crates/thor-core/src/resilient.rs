@@ -284,7 +284,11 @@ fn process_doc(
 /// produced it: any difference that could change extraction output
 /// makes resume refuse the stale state. (Distinct from the engine
 /// artifact's fingerprint, which covers the store but not the corpus.)
-pub(crate) fn run_fingerprint(config: &ThorConfig, table: &Table, docs: &[Document]) -> String {
+pub(crate) fn run_fingerprint<'a>(
+    config: &ThorConfig,
+    table: &Table,
+    doc_ids: impl IntoIterator<Item = &'a str>,
+) -> String {
     let c = config;
     let mut parts: Vec<String> = vec![
         format!("tau={:016x}", c.tau.to_bits()),
@@ -306,8 +310,8 @@ pub(crate) fn run_fingerprint(config: &ThorConfig, table: &Table, docs: &[Docume
             parts.push(value);
         }
     }
-    for doc in docs {
-        parts.push(format!("doc={}", doc.id));
+    for id in doc_ids {
+        parts.push(format!("doc={id}"));
     }
     fingerprint(parts)
 }
@@ -353,7 +357,156 @@ impl PreparedEngine {
         }
 
         let run = self.run_metrics();
-        let run_fp = run_fingerprint(self.config(), self.table(), docs);
+        let run_fp = run_fingerprint(
+            self.config(),
+            self.table(),
+            docs.iter().map(|d| d.id.as_str()),
+        );
+        let mut state = self.open_run_state(opts, run_fp, &run)?;
+
+        let pending: Vec<&Document> = docs
+            .iter()
+            .filter(|d| !state.checkpoint.processed.contains(&d.id))
+            .collect();
+        let resumed_docs = docs.len() - pending.len();
+        let processed_docs = pending.len();
+
+        let inference_t0 = std::time::Instant::now();
+        self.process_pending(&pending, opts, &run, &mut state)?;
+        self.finalize_run(state, &run, resumed_docs, processed_docs, inference_t0)
+    }
+
+    /// Out-of-core resilient enrichment: documents arrive from a lazy
+    /// reader, at most `chunk_size` bodies are resident at a time, and
+    /// each chunk runs through the same [`WorkerPool`] scheduling as the
+    /// batch path. Output is **byte-identical** to
+    /// [`enrich_resilient`](Self::enrich_resilient) over the same
+    /// corpus, for any chunk size, thread count, and cache setting:
+    /// entities accumulate in checkpoint order and final deduplication
+    /// imposes a total order, so the chunk boundaries are unobservable.
+    ///
+    /// `doc_ids` is the complete, ordered id list (known before any
+    /// body is read — e.g. file stems from
+    /// `thor_data::CorpusDir::discover`); the checkpoint fingerprint is
+    /// computed from it, so a streaming run resumes a batch run's
+    /// checkpoint and vice versa. `docs` must yield one `(id, body)`
+    /// pair per entry of `doc_ids`, in order — a mismatch aborts the
+    /// run. A failed read (`Err` body) is a strict-mode error; in
+    /// lenient mode it is quarantined at stage `read_doc` and the run
+    /// continues.
+    pub fn enrich_resilient_stream<I>(
+        &self,
+        doc_ids: &[String],
+        docs: I,
+        opts: &ResilientOptions,
+        chunk_size: usize,
+    ) -> ThorResult<ResilientOutcome>
+    where
+        I: IntoIterator<Item = (String, ThorResult<Document>)>,
+    {
+        let mut seen = std::collections::HashSet::new();
+        for id in doc_ids {
+            if !seen.insert(id) {
+                return Err(ThorError::config(format!(
+                    "duplicate document id `{id}` (resilient runs require unique ids)"
+                )));
+            }
+        }
+
+        let run = self.run_metrics();
+        let run_fp = run_fingerprint(
+            self.config(),
+            self.table(),
+            doc_ids.iter().map(String::as_str),
+        );
+        let mut state = self.open_run_state(opts, run_fp, &run)?;
+
+        let chunk_size = chunk_size.max(1);
+        let mut resumed_docs = 0usize;
+        let mut processed_docs = 0usize;
+        let inference_t0 = std::time::Instant::now();
+        let mut expected = doc_ids.iter();
+        let mut docs = docs.into_iter();
+        let mut stream_len = 0usize;
+        loop {
+            // Fill one bounded chunk, skipping checkpoint-completed ids
+            // without materializing their bodies.
+            let mut chunk: Vec<Document> = Vec::with_capacity(chunk_size);
+            for (id, body) in docs.by_ref() {
+                stream_len += 1;
+                match expected.next() {
+                    Some(want) if *want == id => {}
+                    Some(want) => {
+                        return Err(ThorError::config(format!(
+                            "document stream out of order: got `{id}`, expected `{want}`"
+                        )))
+                    }
+                    None => {
+                        return Err(ThorError::config(format!(
+                            "document stream yielded `{id}` beyond the {} declared ids",
+                            doc_ids.len()
+                        )))
+                    }
+                }
+                if state.checkpoint.processed.contains(&id) {
+                    resumed_docs += 1;
+                    continue;
+                }
+                match body {
+                    Ok(doc) => {
+                        if doc.id != id {
+                            return Err(ThorError::config(format!(
+                                "document stream yielded body `{}` under id `{id}`",
+                                doc.id
+                            )));
+                        }
+                        chunk.push(doc);
+                        if chunk.len() == chunk_size {
+                            break;
+                        }
+                    }
+                    Err(e) if state.mode == RunMode::Strict => {
+                        // Same contract as a quarantined document in
+                        // strict mode: save the completed prefix, fail.
+                        let _ = state.save(&run);
+                        return Err(e.context(format!("reading document `{id}`")));
+                    }
+                    Err(e) => {
+                        processed_docs += 1;
+                        state.record(
+                            id.clone(),
+                            DocStatus::Quarantined(QuarantineEntry::from_error(
+                                &id, "read_doc", &e,
+                            )),
+                            &run,
+                        )?;
+                    }
+                }
+            }
+            if chunk.is_empty() {
+                break;
+            }
+            processed_docs += chunk.len();
+            let pending: Vec<&Document> = chunk.iter().collect();
+            self.process_pending(&pending, opts, &run, &mut state)?;
+        }
+        if stream_len != doc_ids.len() {
+            return Err(ThorError::config(format!(
+                "document stream ended after {stream_len} of {} declared ids",
+                doc_ids.len()
+            )));
+        }
+        self.finalize_run(state, &run, resumed_docs, processed_docs, inference_t0)
+    }
+
+    /// Build this run's [`RunState`], absorbing a resumable checkpoint
+    /// (and its metrics snapshot) when `opts.resume` asks for it.
+    fn open_run_state(
+        &self,
+        opts: &ResilientOptions,
+        run_fp: String,
+        run: &PipelineMetrics,
+    ) -> ThorResult<RunState> {
         let mut state = RunState {
             checkpoint: Checkpoint::new(run_fp.clone()),
             dir: opts.checkpoint_dir.clone(),
@@ -391,47 +544,47 @@ impl PreparedEngine {
                 state.checkpoint.metrics_json = None;
             }
         }
+        Ok(state)
+    }
 
+    /// Run `pending` through admission/segment/extract on the shared
+    /// [`WorkerPool`], recording every outcome into `state`. Used once
+    /// by the batch path and once per chunk by the streaming path.
+    fn process_pending(
+        &self,
+        pending: &[&Document],
+        opts: &ResilientOptions,
+        run: &PipelineMetrics,
+        state: &mut RunState,
+    ) -> ThorResult<()> {
         let config = self.config();
         let matcher = self.matcher();
         let subjects = self.subjects();
-        let prepare_time = self.prepare_time();
-        let pending: Vec<&Document> = docs
-            .iter()
-            .filter(|d| !state.checkpoint.processed.contains(&d.id))
-            .collect();
-        let resumed_docs = docs.len() - pending.len();
-        let processed_docs = pending.len();
-
-        let inference_t0 = std::time::Instant::now();
         let workers = config.threads.min(pending.len().max(1));
-        let loop_result: ThorResult<()> = if workers <= 1 {
-            (|| {
-                let mut scratch = ScoreScratch::new();
-                for doc in pending.iter().copied() {
-                    let status = process_doc(
-                        config,
-                        matcher,
-                        subjects,
-                        doc,
-                        &opts.policy,
-                        &run,
-                        &mut scratch,
-                    );
-                    state.record(doc.id.clone(), status, &run)?;
-                }
-                Ok(())
-            })()
+        if workers <= 1 {
+            let mut scratch = ScoreScratch::new();
+            for doc in pending.iter().copied() {
+                let status = process_doc(
+                    config,
+                    matcher,
+                    subjects,
+                    doc,
+                    &opts.policy,
+                    run,
+                    &mut scratch,
+                );
+                state.record(doc.id.clone(), status, run)?;
+            }
+            Ok(())
         } else {
             let next = AtomicUsize::new(0);
             let cancel = AtomicBool::new(false);
-            let state = &mut state;
             WorkerPool::global().scope(workers, |scope| {
                 let (tx, rx) = mpsc::channel::<(String, DocStatus)>();
                 for _ in 0..workers {
                     let tx = tx.clone();
-                    let (next, cancel, pending) = (&next, &cancel, &pending);
-                    let (run, policy) = (&run, &opts.policy);
+                    let (next, cancel) = (&next, &cancel);
+                    let policy = &opts.policy;
                     scope.spawn(move || {
                         let mut scratch = ScoreScratch::new();
                         loop {
@@ -462,7 +615,7 @@ impl PreparedEngine {
                 drop(tx);
                 let mut first_err = None;
                 for (doc_id, status) in rx {
-                    if let Err(e) = state.record(doc_id, status, &run) {
+                    if let Err(e) = state.record(doc_id, status, run) {
                         cancel.store(true, Ordering::Relaxed);
                         first_err.get_or_insert(e);
                     }
@@ -472,18 +625,29 @@ impl PreparedEngine {
                     None => Ok(()),
                 }
             })
-        };
-        loop_result?;
+        }
+    }
 
+    /// Final checkpoint save, deduplication, and slot fill — shared by
+    /// the batch and streaming paths, so their outputs are identical by
+    /// construction.
+    fn finalize_run(
+        &self,
+        mut state: RunState,
+        run: &PipelineMetrics,
+        resumed_docs: usize,
+        processed_docs: usize,
+        inference_t0: std::time::Instant,
+    ) -> ThorResult<ResilientOutcome> {
         // Final checkpoint so a crash after this point resumes instantly.
-        state.maybe_save(&run)?;
+        state.maybe_save(run)?;
 
         fail_point("slot_fill")?;
         let mut entities: Vec<ExtractedEntity> =
             state.checkpoint.entities.iter().map(from_record).collect();
         dedup_entities(&mut entities);
         let mut enriched = self.table().clone();
-        let slot_stats = slot_fill_metered(&mut enriched, &entities, &run);
+        let slot_stats = slot_fill_metered(&mut enriched, &entities, run);
         let inference_time = inference_t0.elapsed();
         run.inference.record(inference_time);
 
@@ -492,7 +656,7 @@ impl PreparedEngine {
                 table: enriched,
                 entities,
                 slot_stats,
-                prepare_time,
+                prepare_time: self.prepare_time(),
                 inference_time,
             },
             quarantine: state.checkpoint.quarantine.clone(),
@@ -597,6 +761,132 @@ mod tests {
         assert_eq!(outcome.quarantine.len(), 2);
         assert_eq!(metrics.snapshot().count("quarantine.docs"), 2);
         assert_eq!(metrics.snapshot().count("docs"), 3);
+    }
+
+    fn stream_of(docs: &[Document]) -> Vec<(String, ThorResult<Document>)> {
+        docs.iter().map(|d| (d.id.clone(), Ok(d.clone()))).collect()
+    }
+
+    #[test]
+    fn streaming_matches_batch_byte_identically() {
+        let (thor, table, docs) = setup();
+        let engine = thor.prepare(&table);
+        let ids: Vec<String> = docs.iter().map(|d| d.id.clone()).collect();
+        let opts = ResilientOptions::default();
+        let batch = engine.enrich_resilient(&docs, &opts).unwrap();
+        let batch_csv = thor_data::to_csv(&batch.result.table);
+        for chunk in [1usize, 2, 64] {
+            for threads in [1usize, 4] {
+                let engine = engine.with_threads(threads);
+                let streamed = engine
+                    .enrich_resilient_stream(&ids, stream_of(&docs), &opts, chunk)
+                    .unwrap();
+                assert_eq!(
+                    streamed.result.entities, batch.result.entities,
+                    "chunk={chunk}, threads={threads}"
+                );
+                assert_eq!(
+                    thor_data::to_csv(&streamed.result.table),
+                    batch_csv,
+                    "chunk={chunk}, threads={threads}"
+                );
+                assert_eq!(streamed.processed_docs, docs.len());
+                assert_eq!(streamed.resumed_docs, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_resumes_a_batch_checkpoint_and_vice_versa() {
+        let (thor, table, docs) = setup();
+        let engine = thor.prepare(&table);
+        let ids: Vec<String> = docs.iter().map(|d| d.id.clone()).collect();
+        let dir = std::env::temp_dir().join(format!("thor-stream-resume-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let opts = ResilientOptions {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_interval: 1,
+            ..Default::default()
+        };
+        let reference = engine.enrich_resilient(&docs, &opts).unwrap();
+
+        // Batch checkpoint → streaming resume: the fingerprint is keyed
+        // on ids only, so every already-completed document is skipped
+        // without its body ever being materialized.
+        let resume = ResilientOptions {
+            resume: true,
+            ..opts.clone()
+        };
+        let streamed = engine
+            .enrich_resilient_stream(&ids, stream_of(&docs), &resume, 2)
+            .unwrap();
+        assert_eq!(streamed.resumed_docs, docs.len());
+        assert_eq!(streamed.processed_docs, 0);
+        assert_eq!(streamed.result.entities, reference.result.entities);
+
+        // Streaming checkpoint → batch resume.
+        std::fs::remove_dir_all(&dir).ok();
+        engine
+            .enrich_resilient_stream(&ids, stream_of(&docs), &opts, 1)
+            .unwrap();
+        let resumed = engine.enrich_resilient(&docs, &resume).unwrap();
+        assert_eq!(resumed.resumed_docs, docs.len());
+        assert_eq!(resumed.result.entities, reference.result.entities);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_read_failures_follow_run_mode() {
+        let (thor, table, docs) = setup();
+        let engine = thor.prepare(&table);
+        let mut ids: Vec<String> = docs.iter().map(|d| d.id.clone()).collect();
+        ids.push("dead".to_string());
+        let items = || {
+            let mut v = stream_of(&docs);
+            v.push((
+                "dead".to_string(),
+                Err(ThorError::io("dead.txt", std::io::Error::other("gone"))),
+            ));
+            v
+        };
+
+        let strict = engine.enrich_resilient_stream(&ids, items(), &ResilientOptions::default(), 2);
+        let err = strict.unwrap_err();
+        assert!(err.to_string().contains("dead"), "{err}");
+
+        let lenient = ResilientOptions {
+            mode: RunMode::Lenient,
+            ..Default::default()
+        };
+        let outcome = engine
+            .enrich_resilient_stream(&ids, items(), &lenient, 2)
+            .unwrap();
+        assert_eq!(outcome.quarantine.len(), 1);
+        assert_eq!(outcome.quarantine.entries()[0].doc_id, "dead");
+        assert_eq!(outcome.quarantine.entries()[0].stage, "read_doc");
+        let clean = engine.enrich_resilient(&docs, &lenient).unwrap();
+        assert_eq!(outcome.result.entities, clean.result.entities);
+    }
+
+    #[test]
+    fn streaming_rejects_id_mismatch_and_short_streams() {
+        let (thor, table, docs) = setup();
+        let engine = thor.prepare(&table);
+        let ids: Vec<String> = docs.iter().map(|d| d.id.clone()).collect();
+        let opts = ResilientOptions::default();
+
+        let mut reversed = stream_of(&docs);
+        reversed.reverse();
+        let err = engine
+            .enrich_resilient_stream(&ids, reversed, &opts, 2)
+            .unwrap_err();
+        assert!(err.to_string().contains("out of order"), "{err}");
+
+        let short = stream_of(&docs[..2]);
+        let err = engine
+            .enrich_resilient_stream(&ids, short, &opts, 2)
+            .unwrap_err();
+        assert!(err.to_string().contains("ended after 2"), "{err}");
     }
 
     #[test]

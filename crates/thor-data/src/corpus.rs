@@ -1,0 +1,135 @@
+//! Streaming corpus discovery: enumerate a document directory without
+//! reading any document body.
+//!
+//! Out-of-core enrichment needs two things *before* the first byte of
+//! text is read: the complete, deterministic document-id list (the
+//! checkpoint fingerprint is keyed on ids, so a streaming run and a
+//! batch run over the same corpus must agree on it) and a stable
+//! processing order (so resume can skip completed prefixes). This
+//! module provides both — [`CorpusDir::discover`] walks a directory
+//! once, keeps only `(id, path)` pairs (bytes-per-document stays out of
+//! memory), and sorts by id. Document *contents* are read later, chunk
+//! by chunk, by the caller.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A discovered corpus: sorted `(document id, file path)` pairs.
+///
+/// Ids are file stems (matching `thor generate`'s gold TSVs and the
+/// CLI's per-file convention); only regular files with a `.txt`
+/// extension are picked up, non-recursively. Discovery is O(files) in
+/// memory for the id list only — no document body is read.
+#[derive(Debug, Clone)]
+pub struct CorpusDir {
+    files: Vec<(String, PathBuf)>,
+}
+
+impl CorpusDir {
+    /// Enumerate `dir`, sorted by document id. Duplicate ids (e.g.
+    /// `a.txt` alongside `a.TXT` on a case-sensitive filesystem
+    /// mapping to the same stem) are reported as an error here, where
+    /// the colliding paths can still be named.
+    pub fn discover(dir: &Path) -> io::Result<Self> {
+        let mut files = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if !entry.file_type()?.is_file() {
+                continue;
+            }
+            let is_txt = path
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("txt"));
+            if !is_txt {
+                continue;
+            }
+            let Some(stem) = path.file_stem() else {
+                continue;
+            };
+            files.push((stem.to_string_lossy().into_owned(), path));
+        }
+        files.sort();
+        for pair in files.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "duplicate document id `{}` ({} and {})",
+                        pair[0].0,
+                        pair[0].1.display(),
+                        pair[1].1.display()
+                    ),
+                ));
+            }
+        }
+        Ok(CorpusDir { files })
+    }
+
+    /// The sorted document ids, cloned for fingerprinting.
+    pub fn ids(&self) -> Vec<String> {
+        self.files.iter().map(|(id, _)| id.clone()).collect()
+    }
+
+    /// Iterate the sorted `(id, path)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(String, PathBuf)> {
+        self.files.iter()
+    }
+
+    /// Number of discovered documents.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the directory held no corpus files.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+}
+
+impl IntoIterator for CorpusDir {
+    type Item = (String, PathBuf);
+    type IntoIter = std::vec::IntoIter<(String, PathBuf)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.files.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("thor-corpus-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn discovery_is_sorted_and_txt_only() {
+        let dir = scratch_dir("sorted");
+        std::fs::write(dir.join("b.txt"), "beta").unwrap();
+        std::fs::write(dir.join("a.txt"), "alpha").unwrap();
+        std::fs::write(dir.join("notes.md"), "ignored").unwrap();
+        std::fs::create_dir(dir.join("sub.txt")).unwrap(); // directory, ignored
+        let corpus = CorpusDir::discover(&dir).unwrap();
+        assert_eq!(corpus.ids(), ["a", "b"]);
+        assert_eq!(corpus.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_directory_is_empty_corpus() {
+        let dir = scratch_dir("empty");
+        let corpus = CorpusDir::discover(&dir).unwrap();
+        assert!(corpus.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_an_io_error() {
+        let dir = std::env::temp_dir().join("thor-corpus-definitely-missing");
+        assert!(CorpusDir::discover(&dir).is_err());
+    }
+}

@@ -18,8 +18,11 @@
 //! * [`integrate`] — full outer join and (star-schema) full disjunction
 //!   over partial sources, producing the sparse integrated table;
 //! * [`csv`] — plain-text serialization for artifacts;
+//! * [`corpus`] — streaming corpus discovery (sorted ids, no document
+//!   bodies in memory) for out-of-core enrichment;
 //! * [`stats`] — sparsity measurements (the "15% of the values" figure).
 
+pub mod corpus;
 pub mod csv;
 pub mod integrate;
 pub mod ops;
@@ -27,6 +30,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 
+pub use corpus::CorpusDir;
 pub use csv::{from_csv, from_csv_lenient, to_csv, CsvError, LenientCsv, SkippedRow};
 pub use integrate::{full_disjunction, outer_join};
 pub use ops::{

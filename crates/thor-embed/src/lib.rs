@@ -36,4 +36,4 @@ pub use quant::QuantizedStore;
 pub use sgns::{SgnsConfig, SgnsTrainer};
 pub use space::{SemanticSpace, SemanticSpaceBuilder, TopicSpec};
 pub use store::VectorStore;
-pub use vector::{cosine, Vector};
+pub use vector::{cosine, mean_of_rows, slice_cosine, slice_norm, Vector};

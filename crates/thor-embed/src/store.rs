@@ -5,27 +5,105 @@
 //! embedded as the mean of its in-vocabulary word vectors (spaCy's
 //! `Span.vector`). The store also answers the nearest-neighbour queries
 //! the matcher's τ-expansion needs.
+//!
+//! Since the zero-copy artifact work the store has two backings:
+//!
+//! * **Owned** — the mutable `HashMap<String, Vector>` every build path
+//!   uses (training, `from_text`, tests).
+//! * **Frozen** — an immutable structure-of-arrays view: a sorted word
+//!   pool plus one contiguous `f32` row per word, both of which may
+//!   borrow a memory-mapped v2 engine artifact. Lookups are binary
+//!   searches over the pool; no per-word heap allocation exists at all.
+//!
+//! The scoring surface (`row`, `embed_phrase`, `coverage`,
+//! `neighbors_above`, `nearest`, `to_text`) works identically — and
+//! bit-identically, via the slice twin kernels in
+//! [`vector`](crate::vector) — on both backings. The mutation and
+//! owned-iteration surface (`insert`, `get`, `iter`) is owned-only and
+//! panics on a frozen store: those calls exist only on build paths,
+//! which never see a frozen store.
 
 use std::collections::HashMap;
 
+use thor_fault::{FrozenPool, FrozenSlice, ThorError};
 use thor_text::normalize_phrase;
 
-use crate::vector::{cosine, Vector};
+use crate::vector::{cosine, mean_of_rows, slice_cosine, Vector};
 
-/// An in-memory word-embedding table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
+enum Backing {
+    Owned(HashMap<String, Vector>),
+    Frozen {
+        /// Normalized vocabulary words, sorted ascending by byte order.
+        words: FrozenPool,
+        /// Row `i` of the vocabulary lives at `rows[i*dim .. (i+1)*dim]`.
+        rows: FrozenSlice<f32>,
+    },
+}
+
+/// A word-embedding table: owned and mutable, or a frozen zero-copy
+/// view over an engine artifact. See the module docs.
+#[derive(Debug, Clone)]
 pub struct VectorStore {
     dim: usize,
-    vectors: HashMap<String, Vector>,
+    backing: Backing,
+}
+
+impl Default for VectorStore {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl VectorStore {
-    /// Create an empty store with dimensionality `dim`.
+    /// Create an empty owned store with dimensionality `dim`.
     pub fn new(dim: usize) -> Self {
         Self {
             dim,
-            vectors: HashMap::new(),
+            backing: Backing::Owned(HashMap::new()),
         }
+    }
+
+    /// Assemble a frozen store from its artifact sections: a sorted
+    /// word pool and the concatenated `f32` rows. Validates the O(1)
+    /// structural invariant `rows == words × dim`; the contents are
+    /// covered by the artifact's checksum policy.
+    pub fn from_frozen(
+        dim: usize,
+        words: FrozenPool,
+        rows: FrozenSlice<f32>,
+    ) -> Result<Self, ThorError> {
+        if rows.len() != words.len() * dim {
+            return Err(ThorError::validation(format!(
+                "vector store sections inconsistent: {} words × dim {} != {} row values",
+                words.len(),
+                dim,
+                rows.len()
+            )));
+        }
+        Ok(Self {
+            dim,
+            backing: Backing::Frozen { words, rows },
+        })
+    }
+
+    /// Re-encode this store as a frozen one (owned arrays, same layout
+    /// the artifact writer produces). Build paths use it to exercise
+    /// the frozen surface without a round trip through disk.
+    pub fn freeze(&self) -> VectorStore {
+        let mut words: Vec<String> = Vec::with_capacity(self.len());
+        let mut rows: Vec<f32> = Vec::with_capacity(self.len() * self.dim);
+        self.for_each_sorted(|w, r| {
+            words.push(w.to_string());
+            rows.extend_from_slice(r);
+        });
+        VectorStore::from_frozen(self.dim, FrozenPool::from_items(words), rows.into())
+            .expect("freeze of a consistent store cannot fail")
+    }
+
+    /// Whether this store is a frozen (immutable, possibly mapped) view.
+    pub fn is_frozen(&self) -> bool {
+        matches!(self.backing, Backing::Frozen { .. })
     }
 
     /// Dimensionality of the stored vectors.
@@ -35,37 +113,123 @@ impl VectorStore {
 
     /// Number of words in the vocabulary.
     pub fn len(&self) -> usize {
-        self.vectors.len()
+        match &self.backing {
+            Backing::Owned(m) => m.len(),
+            Backing::Frozen { words, .. } => words.len(),
+        }
     }
 
     /// True if the vocabulary is empty.
     pub fn is_empty(&self) -> bool {
-        self.vectors.is_empty()
+        self.len() == 0
     }
 
     /// Insert (or replace) the vector for `word`. The word is normalized
     /// (lowercased, outer punctuation stripped) before insertion.
     ///
     /// # Panics
-    /// If the vector dimension does not match the store's.
+    /// If the vector dimension does not match the store's, or the store
+    /// is frozen (frozen stores are immutable by construction).
     pub fn insert(&mut self, word: &str, vector: Vector) {
         assert_eq!(vector.dim(), self.dim, "vector dimension mismatch");
-        self.vectors.insert(normalize_phrase(word), vector);
+        match &mut self.backing {
+            Backing::Owned(m) => {
+                m.insert(normalize_phrase(word), vector);
+            }
+            Backing::Frozen { .. } => panic!("cannot insert into a frozen vector store"),
+        }
     }
 
     /// Look up the vector for a single word (normalized).
+    ///
+    /// # Panics
+    /// On a frozen store — frozen rows have no `Vector` to borrow; use
+    /// [`row`](Self::row) instead (all serve paths do).
     pub fn get(&self, word: &str) -> Option<&Vector> {
-        self.vectors.get(&normalize_phrase(word))
+        match &self.backing {
+            Backing::Owned(m) => m.get(&normalize_phrase(word)),
+            Backing::Frozen { .. } => panic!("VectorStore::get on a frozen store; use row()"),
+        }
+    }
+
+    /// The raw `f32` row for a single word (normalized), on either
+    /// backing.
+    pub fn row(&self, word: &str) -> Option<&[f32]> {
+        self.row_raw(&normalize_phrase(word))
+    }
+
+    /// Row lookup for an *already normalized* word (the per-token path
+    /// of `embed_phrase`, which normalizes the whole phrase once, and
+    /// of exact-key callers holding words read back from the store).
+    pub fn row_raw(&self, word: &str) -> Option<&[f32]> {
+        match &self.backing {
+            Backing::Owned(m) => m.get(word).map(|v| v.as_slice()),
+            Backing::Frozen { words, rows } => {
+                let i = words.binary_search_bytes(word.as_bytes()).ok()?;
+                rows.as_slice().get(i * self.dim..(i + 1) * self.dim)
+            }
+        }
     }
 
     /// Does the (normalized) word have a vector?
     pub fn contains(&self, word: &str) -> bool {
-        self.get(word).is_some()
+        self.row(word).is_some()
     }
 
-    /// Iterate over `(word, vector)` pairs.
+    /// Iterate over `(word, vector)` pairs (hash order).
+    ///
+    /// # Panics
+    /// On a frozen store — callers that must handle both backings use
+    /// [`for_each_row`](Self::for_each_row).
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Vector)> {
-        self.vectors.iter().map(|(w, v)| (w.as_str(), v))
+        match &self.backing {
+            Backing::Owned(m) => m.iter().map(|(w, v)| (w.as_str(), v)),
+            Backing::Frozen { .. } => {
+                panic!("VectorStore::iter on a frozen store; use for_each_row()")
+            }
+        }
+    }
+
+    /// Visit every `(word, row)` pair on either backing. Visit order is
+    /// backing-dependent (hash order vs sorted) — callers must be
+    /// order-independent, which every τ-expansion pass is (per-word
+    /// decisions followed by a totally ordered sort).
+    pub fn for_each_row<'a>(&'a self, mut f: impl FnMut(&'a str, &'a [f32])) {
+        match &self.backing {
+            Backing::Owned(m) => {
+                for (w, v) in m {
+                    f(w.as_str(), v.as_slice());
+                }
+            }
+            Backing::Frozen { words, rows } => {
+                let rows = rows.as_slice();
+                for i in 0..words.len() {
+                    // Invalid UTF-8 or short rows can only appear in a
+                    // corrupt unverified (mapped, lazy) artifact; skip
+                    // defensively rather than panic.
+                    let Some(w) = words.get_str(i) else { continue };
+                    let Some(r) = rows.get(i * self.dim..(i + 1) * self.dim) else {
+                        continue;
+                    };
+                    f(w, r);
+                }
+            }
+        }
+    }
+
+    /// Visit every `(word, row)` pair in ascending word order on either
+    /// backing — the artifact serialization order.
+    pub fn for_each_sorted<'a>(&'a self, mut f: impl FnMut(&'a str, &'a [f32])) {
+        match &self.backing {
+            Backing::Owned(m) => {
+                let mut words: Vec<&String> = m.keys().collect();
+                words.sort();
+                for w in words {
+                    f(w.as_str(), m[w].as_slice());
+                }
+            }
+            Backing::Frozen { .. } => self.for_each_row(f),
+        }
     }
 
     /// Embed a phrase as the mean of its in-vocabulary word vectors
@@ -73,11 +237,11 @@ impl VectorStore {
     /// phrase is in the vocabulary.
     pub fn embed_phrase(&self, phrase: &str) -> Option<Vector> {
         let normalized = normalize_phrase(phrase);
-        let vectors: Vec<&Vector> = normalized
+        let rows: Vec<&[f32]> = normalized
             .split_whitespace()
-            .filter_map(|w| self.vectors.get(w))
+            .filter_map(|w| self.row_raw(w))
             .collect();
-        Vector::mean(vectors)
+        mean_of_rows(rows)
     }
 
     /// Cosine similarity between two phrases' mean vectors; `None` if
@@ -96,35 +260,28 @@ impl VectorStore {
         if words.is_empty() {
             return 0.0;
         }
-        let known = words
-            .iter()
-            .filter(|w| self.vectors.contains_key(**w))
-            .count();
+        let known = words.iter().filter(|w| self.row_raw(w).is_some()).count();
         known as f64 / words.len() as f64
     }
 
     /// All vocabulary words whose cosine similarity to `query` is at
     /// least `threshold`, sorted by descending similarity.
     pub fn neighbors_above(&self, query: &Vector, threshold: f64) -> Vec<(&str, f64)> {
-        let mut out: Vec<(&str, f64)> = self
-            .vectors
-            .iter()
-            .filter_map(|(w, v)| {
-                let s = cosine(query, v);
-                (s >= threshold).then_some((w.as_str(), s))
-            })
-            .collect();
+        let mut out: Vec<(&str, f64)> = Vec::new();
+        self.for_each_row(|w, r| {
+            let s = slice_cosine(query.as_slice(), r);
+            if s >= threshold {
+                out.push((w, s));
+            }
+        });
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         out
     }
 
     /// The `k` nearest vocabulary words to `query` by cosine similarity.
     pub fn nearest(&self, query: &Vector, k: usize) -> Vec<(&str, f64)> {
-        let mut all: Vec<(&str, f64)> = self
-            .vectors
-            .iter()
-            .map(|(w, v)| (w.as_str(), cosine(query, v)))
-            .collect();
+        let mut all: Vec<(&str, f64)> = Vec::new();
+        self.for_each_row(|w, r| all.push((w, slice_cosine(query.as_slice(), r))));
         all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(b.0)));
         all.truncate(k);
         all
@@ -132,17 +289,15 @@ impl VectorStore {
 
     /// Serialize as word2vec-style text: first line `<count> <dim>`,
     /// then one `word<TAB>v1 v2 …` line per word, sorted by word.
+    /// Identical output on both backings.
     pub fn to_text(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{} {}", self.vectors.len(), self.dim);
-        let mut words: Vec<&String> = self.vectors.keys().collect();
-        words.sort();
-        for w in words {
-            let v = &self.vectors[w];
-            let values: Vec<String> = v.0.iter().map(|x| format!("{x}")).collect();
+        let _ = writeln!(out, "{} {}", self.len(), self.dim);
+        self.for_each_sorted(|w, r| {
+            let values: Vec<String> = r.iter().map(|x| format!("{x}")).collect();
             let _ = writeln!(out, "{w}\t{}", values.join(" "));
-        }
+        });
         out
     }
 
@@ -342,5 +497,74 @@ mod tests {
         assert_eq!(n.len(), 2);
         assert_eq!(n[0].0, "cancer");
         assert_eq!(n[1].0, "tumor");
+    }
+
+    // --- frozen backing equivalence ---------------------------------
+
+    #[test]
+    fn frozen_matches_owned_bit_for_bit() {
+        let s = store();
+        let f = s.freeze();
+        assert!(f.is_frozen() && !s.is_frozen());
+        assert_eq!(f.len(), s.len());
+        assert_eq!(f.dim(), s.dim());
+
+        for w in ["brain", "Brain", "tumor", "nerve", "xyzzy"] {
+            assert_eq!(f.row(w), s.row(w), "row({w})");
+            assert_eq!(f.contains(w), s.contains(w));
+        }
+        for phrase in ["brain cancer", "malignant tumor", "xyzzy", ""] {
+            let a = s.embed_phrase(phrase);
+            let b = f.embed_phrase(phrase);
+            match (a, b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    let bits = |v: &Vector| v.0.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&a), bits(&b), "embed({phrase})");
+                }
+                other => panic!("embed mismatch for {phrase}: {other:?}"),
+            }
+            assert_eq!(f.coverage(phrase), s.coverage(phrase));
+        }
+        assert_eq!(f.to_text(), s.to_text());
+
+        let q = s.get("brain").unwrap().clone();
+        assert_eq!(f.neighbors_above(&q, 0.5), s.neighbors_above(&q, 0.5));
+        assert_eq!(f.nearest(&q, 3), s.nearest(&q, 3));
+    }
+
+    #[test]
+    fn frozen_section_inconsistency_is_named() {
+        let err = VectorStore::from_frozen(
+            3,
+            FrozenPool::from_items(["a", "b"]),
+            vec![0.0f32; 5].into(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn frozen_insert_panics() {
+        let mut f = store().freeze();
+        f.insert("new", Vector(vec![0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn for_each_sorted_visits_in_word_order() {
+        let s = store();
+        let mut owned_order = Vec::new();
+        s.for_each_sorted(|w, _| owned_order.push(w.to_string()));
+        let mut frozen_order = Vec::new();
+        s.freeze()
+            .for_each_sorted(|w, _| frozen_order.push(w.to_string()));
+        let mut expect: Vec<String> = ["brain", "cancer", "nerve", "tumor"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        expect.sort();
+        assert_eq!(owned_order, expect);
+        assert_eq!(frozen_order, expect);
     }
 }

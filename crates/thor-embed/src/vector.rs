@@ -120,6 +120,51 @@ pub fn cosine(a: &Vector, b: &Vector) -> f64 {
     (a.dot(b) / (na * nb)).clamp(-1.0, 1.0)
 }
 
+// --- Slice twins -----------------------------------------------------
+//
+// The frozen (mapped) store backing exposes vectors as raw `&[f32]`
+// rows instead of `Vector`s. These helpers repeat the `Vector` kernels
+// operation for operation, so scores computed through either backing
+// are bit-identical (the equivalence tests below and the engine's
+// owned-vs-mapped matrix both rely on this).
+
+/// L2 norm of a raw row; identical accumulation to [`Vector::norm`].
+pub fn slice_norm(a: &[f32]) -> f64 {
+    a.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Cosine similarity between raw rows; identical to [`cosine`].
+pub fn slice_cosine(a: &[f32], b: &[f32]) -> f64 {
+    let na = slice_norm(a);
+    let nb = slice_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let dot: f64 = a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum();
+    (dot / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Arithmetic mean of raw rows; identical accumulation order to
+/// [`Vector::mean`] (clone the first row, `f32` element adds in input
+/// order, one final scale by `1 / count`).
+pub fn mean_of_rows<'a>(rows: impl IntoIterator<Item = &'a [f32]>) -> Option<Vector> {
+    let mut iter = rows.into_iter();
+    let first = iter.next()?;
+    let mut acc = Vector(first.to_vec());
+    let mut count = 1usize;
+    for r in iter {
+        for (a, &b) in acc.0.iter_mut().zip(r) {
+            *a += b;
+        }
+        count += 1;
+    }
+    acc.scale(1.0 / count as f32);
+    Some(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +227,21 @@ mod tests {
         fn cosine_bounded(a in prop::collection::vec(-100.0f32..100.0, 4), b in prop::collection::vec(-100.0f32..100.0, 4)) {
             let s = cosine(&Vector(a), &Vector(b));
             prop_assert!((-1.0..=1.0).contains(&s));
+        }
+
+        #[test]
+        fn slice_twins_are_bit_identical(
+            a in prop::collection::vec(-50.0f32..50.0, 5),
+            b in prop::collection::vec(-50.0f32..50.0, 5),
+            c in prop::collection::vec(-50.0f32..50.0, 5),
+        ) {
+            let (va, vb, vc) = (Vector(a.clone()), Vector(b.clone()), Vector(c.clone()));
+            prop_assert_eq!(slice_norm(&a).to_bits(), va.norm().to_bits());
+            prop_assert_eq!(slice_cosine(&a, &b).to_bits(), cosine(&va, &vb).to_bits());
+            let via_rows = mean_of_rows([a.as_slice(), b.as_slice(), c.as_slice()]).unwrap();
+            let via_vecs = Vector::mean([&va, &vb, &vc]).unwrap();
+            let bits = |v: &Vector| v.0.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(&via_rows), bits(&via_vecs));
         }
 
         #[test]

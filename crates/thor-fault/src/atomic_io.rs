@@ -58,9 +58,14 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> ThorResult<()> {
         f.sync_all().map_err(|e| ThorError::io(temp.display(), e))?;
         fs::rename(&temp, path).map_err(|e| ThorError::io(path.display(), e))?;
         // Persist the rename itself: fsync the containing directory.
+        // Failures here are real durability gaps (a crash could roll the
+        // rename back), so they propagate instead of being swallowed.
         #[cfg(unix)]
-        if let Ok(d) = File::open(&dir) {
-            let _ = d.sync_all();
+        {
+            let d = File::open(&dir)
+                .map_err(|e| ThorError::io(format!("open {} for fsync", dir.display()), e))?;
+            d.sync_all()
+                .map_err(|e| ThorError::io(format!("fsync {}", dir.display()), e))?;
         }
         Ok(())
     })();

@@ -19,6 +19,14 @@
 //!   format version + FNV-1a checksum header) used by persistable
 //!   engine bundles; rejects corrupt/truncated/mismatched files before
 //!   any payload parsing runs.
+//! - [`section`] — the v2 sectioned artifact container: 64-byte-aligned
+//!   named sections with per-section checksums and a checksummed
+//!   directory, designed so hot arrays can be used in place from a
+//!   memory-mapped file.
+//! - [`mmap`] — the std-only read-only mapping shim ([`MappedBuf`])
+//!   with an aligned heap fallback.
+//! - [`view`] — owned-or-mapped array views ([`FrozenSlice`],
+//!   [`FrozenPool`]) the engine structs hold their hot arrays in.
 //! - [`validate`] — document admission control: UTF-8 decoding with
 //!   byte offsets, size caps, empty/garbage detection.
 //! - [`quarantine`] — the per-document failure ledger (doc id, stage,
@@ -31,8 +39,11 @@ pub mod atomic_io;
 pub mod checkpoint;
 pub mod error;
 pub mod failpoint;
+pub mod mmap;
 pub mod quarantine;
+pub mod section;
 pub mod validate;
+pub mod view;
 
 pub use artifact::{fnv1a, read_artifact, write_artifact, ByteReader, ByteWriter};
 pub use atomic_io::{atomic_write, read_bytes, read_to_string};
@@ -41,5 +52,11 @@ pub use error::{ErrorKind, ResultExt, ThorError, ThorResult};
 pub use failpoint::{
     fail_point, failpoints_armed, install_from_env, scoped_failpoints, FailAction, FailpointsGuard,
 };
+pub use mmap::MappedBuf;
 pub use quarantine::{QuarantineEntry, QuarantineReport};
+pub use section::{
+    MapMode, SectionEntry, SectionFile, SectionWriter, CONTAINER_VERSION, SECTION_ALIGN,
+    SECTION_MAGIC,
+};
 pub use validate::{decode_document, validate_text, DocumentPolicy};
+pub use view::{FrozenPool, FrozenSlice, Pod};

@@ -1,0 +1,298 @@
+//! Read-only file buffers for zero-copy artifact access.
+//!
+//! [`MappedBuf`] is the one primitive the section reader builds on: a
+//! contiguous, immutable, 64-byte-aligned byte buffer backed either by
+//! a private read-only `mmap(2)` of the file (the zero-copy path — the
+//! kernel pages data in on demand and N processes mapping the same
+//! artifact share one physical copy) or by an aligned heap allocation
+//! filled with `read(2)` (the portable fallback, and the fully-verified
+//! "owned" load mode).
+//!
+//! The mapping shim is std-only: std already links libc on unix, so the
+//! two raw `extern "C"` declarations below resolve without any new
+//! dependency. On non-unix targets [`MappedBuf::map_file`] degrades to
+//! the heap path (documented, deterministic — never a silent behavioral
+//! fork on unix, where an `mmap` failure is a named error instead).
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use crate::error::{ThorError, ThorResult};
+
+/// Guaranteed minimum alignment of a [`MappedBuf`]'s base address.
+///
+/// Heap buffers are allocated with this alignment; `mmap` returns
+/// page-aligned addresses (≥ 4096). Section offsets are multiples of
+/// 64, so any section start inside a `MappedBuf` is aligned for every
+/// scalar type the artifact stores (`u8`/`u32`/`u64`/`f32`/`f64`).
+pub const BUF_ALIGN: usize = 64;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+#[derive(Debug)]
+enum Backing {
+    /// 64-byte-aligned heap allocation of `capacity` bytes.
+    Heap { capacity: usize },
+    /// Kernel mapping of exactly `len` bytes (unmapped on drop).
+    #[cfg(unix)]
+    Map,
+}
+
+/// An immutable byte buffer over a whole file: either a read-only
+/// memory map or an aligned heap copy. See the module docs.
+pub struct MappedBuf {
+    ptr: *mut u8,
+    len: usize,
+    backing: Backing,
+}
+
+// SAFETY: the buffer is immutable after construction and the pointer is
+// uniquely owned (heap) or a private read-only mapping (mmap); sharing
+// `&[u8]` views across threads is sound.
+unsafe impl Send for MappedBuf {}
+unsafe impl Sync for MappedBuf {}
+
+impl MappedBuf {
+    fn heap_layout(len: usize) -> Layout {
+        // Zero-length buffers still get a real (dangling-free) pointer.
+        Layout::from_size_align(len.max(1), BUF_ALIGN).expect("buffer layout")
+    }
+
+    /// Allocate a zeroed 64-byte-aligned heap buffer of `len` bytes
+    /// (used by `read_file` and by in-memory artifact tests that need
+    /// the same alignment guarantees a file load provides).
+    pub(crate) fn alloc_heap(len: usize) -> Self {
+        let layout = Self::heap_layout(len);
+        // SAFETY: layout has non-zero size by construction.
+        let ptr = unsafe { alloc(layout) };
+        if ptr.is_null() {
+            handle_alloc_error(layout);
+        }
+        // SAFETY: freshly allocated, valid for `layout.size()` writes.
+        unsafe { std::ptr::write_bytes(ptr, 0, layout.size()) };
+        Self {
+            ptr,
+            len,
+            backing: Backing::Heap {
+                capacity: layout.size(),
+            },
+        }
+    }
+
+    /// Mutable access to a heap buffer during construction.
+    ///
+    /// # Safety
+    /// Callers must hold the only reference (no `as_slice` borrows
+    /// alive) and must not call this on a kernel-mapped buffer.
+    pub(crate) unsafe fn as_mut_slice(&mut self) -> &mut [u8] {
+        debug_assert!(!self.is_mapped());
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+
+    /// Read `path` fully into a fresh 64-byte-aligned heap buffer.
+    pub fn read_file(path: &Path) -> ThorResult<Self> {
+        let mut file = open(path)?;
+        let len = file_len(&file, path)?;
+        let mut buf = Self::alloc_heap(len);
+        // SAFETY: `buf` is freshly allocated and not yet shared.
+        let dst = unsafe { buf.as_mut_slice() };
+        file.read_exact(dst)
+            .map_err(|e| ThorError::io(format!("read {}", path.display()), e))?;
+        Ok(buf)
+    }
+
+    /// Map `path` read-only. On unix this is a private `mmap(2)` and a
+    /// failure is a named I/O error (never a silent fallback); on other
+    /// targets it is the documented portable fallback,
+    /// [`read_file`](Self::read_file).
+    pub fn map_file(path: &Path) -> ThorResult<Self> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::io::AsRawFd;
+            let file = open(path)?;
+            let len = file_len(&file, path)?;
+            if len == 0 {
+                // mmap(2) rejects zero-length maps; an empty artifact is
+                // representable (and will fail header validation later).
+                return Self::read_file(path);
+            }
+            // SAFETY: a fresh private read-only mapping of an open fd;
+            // the fd may be closed after mmap returns (the mapping keeps
+            // its own reference to the file).
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == usize::MAX {
+                return Err(ThorError::io(
+                    format!("mmap {}", path.display()),
+                    std::io::Error::last_os_error(),
+                ));
+            }
+            Ok(Self {
+                ptr: ptr as *mut u8,
+                len,
+                backing: Backing::Map,
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            Self::read_file(path)
+        }
+    }
+
+    /// Whether this buffer is a kernel memory map (as opposed to a heap
+    /// copy).
+    pub fn is_mapped(&self) -> bool {
+        #[cfg(unix)]
+        {
+            matches!(self.backing, Backing::Map)
+        }
+        #[cfg(not(unix))]
+        {
+            false
+        }
+    }
+
+    /// The buffer contents.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr` is valid for `len` bytes for the lifetime of
+        // `self` and never written after construction.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for MappedBuf {
+    fn drop(&mut self) {
+        match self.backing {
+            Backing::Heap { capacity } => {
+                let layout = Layout::from_size_align(capacity, BUF_ALIGN).expect("buffer layout");
+                // SAFETY: allocated in `read_file` with this exact layout.
+                unsafe { dealloc(self.ptr, layout) };
+            }
+            #[cfg(unix)]
+            Backing::Map => {
+                // SAFETY: `ptr`/`len` came from a successful mmap call.
+                unsafe { sys::munmap(self.ptr as *mut _, self.len) };
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedBuf")
+            .field("len", &self.len)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+fn open(path: &Path) -> ThorResult<File> {
+    File::open(path).map_err(|e| ThorError::io(format!("open {}", path.display()), e))
+}
+
+fn file_len(file: &File, path: &Path) -> ThorResult<usize> {
+    let meta = file
+        .metadata()
+        .map_err(|e| ThorError::io(format!("stat {}", path.display()), e))?;
+    usize::try_from(meta.len()).map_err(|_| {
+        ThorError::new(
+            crate::error::ErrorKind::Io,
+            format!(
+                "{}: file length {} exceeds address space",
+                path.display(),
+                meta.len()
+            ),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("thor-mmap-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn heap_read_round_trips_and_aligns() {
+        let path = temp_path("heap.bin");
+        let data: Vec<u8> = (0..=255).collect();
+        std::fs::write(&path, &data).unwrap();
+        let buf = MappedBuf::read_file(&path).unwrap();
+        assert_eq!(buf.as_slice(), &data[..]);
+        assert!(!buf.is_mapped());
+        assert_eq!(buf.as_slice().as_ptr() as usize % BUF_ALIGN, 0);
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let path = temp_path("map.bin");
+        let data = vec![7u8; 10_000];
+        std::fs::write(&path, &data).unwrap();
+        let buf = MappedBuf::map_file(&path).unwrap();
+        assert_eq!(buf.as_slice(), &data[..]);
+        assert_eq!(buf.as_slice().as_ptr() as usize % BUF_ALIGN, 0);
+        #[cfg(unix)]
+        assert!(buf.is_mapped());
+    }
+
+    #[test]
+    fn empty_file_is_representable() {
+        let path = temp_path("empty.bin");
+        std::fs::write(&path, b"").unwrap();
+        for buf in [
+            MappedBuf::read_file(&path).unwrap(),
+            MappedBuf::map_file(&path).unwrap(),
+        ] {
+            assert!(buf.is_empty());
+            assert_eq!(buf.as_slice(), b"");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_named_error() {
+        let err = MappedBuf::map_file(Path::new("/nonexistent/thor.bin")).unwrap_err();
+        assert!(err.to_string().contains("open"), "{err}");
+    }
+}

@@ -52,6 +52,31 @@ impl DictionaryIndex {
         }
     }
 
+    /// Reassemble an index from a deserialized automaton and pattern
+    /// table (the artifact load path). The automaton's pattern count
+    /// must match the table.
+    pub fn from_parts(
+        automaton: AhoCorasick,
+        patterns: Vec<(String, String)>,
+    ) -> Result<Self, String> {
+        if automaton.pattern_count() != patterns.len() {
+            return Err(format!(
+                "dictionary automaton has {} patterns but the table lists {}",
+                automaton.pattern_count(),
+                patterns.len()
+            ));
+        }
+        Ok(Self {
+            automaton,
+            patterns,
+        })
+    }
+
+    /// The underlying automaton, for artifact serialization.
+    pub fn automaton(&self) -> &AhoCorasick {
+        &self.automaton
+    }
+
     /// Number of dictionary patterns.
     pub fn pattern_count(&self) -> usize {
         self.patterns.len()

@@ -11,6 +11,8 @@
 
 use std::cmp::Ordering;
 
+use thor_fault::FrozenSlice;
+
 /// One concept's slice of the row buffer.
 #[derive(Debug, Clone)]
 struct ConceptEntry {
@@ -23,9 +25,6 @@ struct ConceptEntry {
     /// The first `seed_rows` rows are seed instances; `c_m` is chosen
     /// among them.
     seed_rows: usize,
-    /// Cached element-wise `f32` sum of the concept's rows, accumulated
-    /// in row order, for O(d) mean-similarity queries.
-    rep_sum: Vec<f32>,
 }
 
 /// Per-concept similarity scores from one fused scan of the index.
@@ -50,11 +49,16 @@ pub struct ConceptScores<'a> {
 #[derive(Debug, Clone)]
 pub struct VectorIndex {
     dim: usize,
-    /// Row-major `rows × dim` buffer, concept-major.
-    data: Vec<f32>,
+    /// Row-major `rows × dim` buffer, concept-major. Owned after a
+    /// build; a zero-copy view into the artifact after a mapped load.
+    data: FrozenSlice<f32>,
     /// Precomputed L2 norm per row (f64, same formula as
     /// `thor_embed::Vector::norm`).
-    norms: Vec<f64>,
+    norms: FrozenSlice<f64>,
+    /// Cached element-wise `f32` row sums, one `dim`-length row per
+    /// concept (accumulated in row order), for O(d) mean-similarity
+    /// queries.
+    rep_sums: FrozenSlice<f32>,
     /// Word / instance label per row (normalized form).
     words: Vec<String>,
     concepts: Vec<ConceptEntry>,
@@ -64,20 +68,24 @@ pub struct VectorIndex {
 /// the order they should be scanned.
 #[derive(Debug)]
 pub struct VectorIndexBuilder {
-    index: VectorIndex,
+    dim: usize,
+    data: Vec<f32>,
+    norms: Vec<f64>,
+    rep_sums: Vec<f32>,
+    words: Vec<String>,
+    concepts: Vec<ConceptEntry>,
 }
 
 impl VectorIndexBuilder {
     /// An empty builder for vectors of dimension `dim`.
     pub fn new(dim: usize) -> Self {
         Self {
-            index: VectorIndex {
-                dim,
-                data: Vec::new(),
-                norms: Vec::new(),
-                words: Vec::new(),
-                concepts: Vec::new(),
-            },
+            dim,
+            data: Vec::new(),
+            norms: Vec::new(),
+            rep_sums: Vec::new(),
+            words: Vec::new(),
+            concepts: Vec::new(),
         }
     }
 
@@ -91,33 +99,39 @@ impl VectorIndexBuilder {
         seed_rows: usize,
         rows: impl IntoIterator<Item = (&'a str, &'a [f32])>,
     ) -> &mut Self {
-        let ix = &mut self.index;
-        let start = ix.words.len();
-        let mut rep_sum = vec![0.0f32; ix.dim];
+        let start = self.words.len();
+        let mut rep_sum = vec![0.0f32; self.dim];
         for (word, vector) in rows {
-            assert_eq!(vector.len(), ix.dim, "row dimension mismatch");
-            ix.data.extend_from_slice(vector);
-            ix.norms.push(slice_norm(vector));
-            ix.words.push(word.to_string());
+            assert_eq!(vector.len(), self.dim, "row dimension mismatch");
+            self.data.extend_from_slice(vector);
+            self.norms.push(slice_norm(vector));
+            self.words.push(word.to_string());
             for (acc, &x) in rep_sum.iter_mut().zip(vector) {
                 *acc += x;
             }
         }
-        let rows = ix.words.len() - start;
+        let rows = self.words.len() - start;
         assert!(seed_rows <= rows, "seed_rows {seed_rows} > rows {rows}");
-        ix.concepts.push(ConceptEntry {
+        self.rep_sums.extend_from_slice(&rep_sum);
+        self.concepts.push(ConceptEntry {
             name: name.to_string(),
             start,
             rows,
             seed_rows,
-            rep_sum,
         });
         self
     }
 
     /// Finish building.
     pub fn build(self) -> VectorIndex {
-        self.index
+        VectorIndex {
+            dim: self.dim,
+            data: self.data.into(),
+            norms: self.norms.into(),
+            rep_sums: self.rep_sums.into(),
+            words: self.words,
+            concepts: self.concepts,
+        }
     }
 }
 
@@ -145,6 +159,107 @@ impl VectorIndex {
     /// Seed-row count of concept `concept`.
     pub fn seed_rows(&self, concept: usize) -> usize {
         self.concepts[concept].seed_rows
+    }
+
+    /// Word / instance label of row `row` (normalized form).
+    pub fn row_word(&self, row: usize) -> &str {
+        &self.words[row]
+    }
+
+    /// The raw row buffer (`row_count × dim`, row-major), for artifact
+    /// serialization.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The precomputed per-row L2 norms, for artifact serialization.
+    pub fn norms(&self) -> &[f64] {
+        &self.norms
+    }
+
+    /// The cached per-concept row sums (`concept_count × dim`,
+    /// row-major), for artifact serialization.
+    pub fn rep_sums(&self) -> &[f32] {
+        &self.rep_sums
+    }
+
+    /// Per-concept layout `(name, start, rows, seed_rows)` in scan
+    /// order, for artifact serialization.
+    pub fn concept_layout(&self) -> impl Iterator<Item = (&str, usize, usize, usize)> {
+        self.concepts
+            .iter()
+            .map(|c| (c.name.as_str(), c.start, c.rows, c.seed_rows))
+    }
+
+    /// Reassemble an index from its flat arrays (the artifact load
+    /// path). The slices may be zero-copy views into a mapped file;
+    /// every layout invariant the scan loops rely on is validated here
+    /// so corrupt metadata yields a named error instead of a panic.
+    pub fn from_parts(
+        dim: usize,
+        data: FrozenSlice<f32>,
+        norms: FrozenSlice<f64>,
+        rep_sums: FrozenSlice<f32>,
+        words: Vec<String>,
+        concepts: Vec<(String, usize, usize, usize)>,
+    ) -> Result<Self, String> {
+        let rows = words.len();
+        if data.len() != rows * dim {
+            return Err(format!(
+                "index row buffer has {} floats, expected {rows} rows x {dim} dims",
+                data.len()
+            ));
+        }
+        if norms.len() != rows {
+            return Err(format!("index has {} norms for {rows} rows", norms.len()));
+        }
+        if rep_sums.len() != concepts.len() * dim {
+            return Err(format!(
+                "index rep-sum buffer has {} floats, expected {} concepts x {dim} dims",
+                rep_sums.len(),
+                concepts.len()
+            ));
+        }
+        let mut next = 0usize;
+        for (name, start, crows, seed_rows) in &concepts {
+            if *start != next || start.checked_add(*crows).is_none_or(|end| end > rows) {
+                return Err(format!(
+                    "concept `{name}` rows {start}..{} do not tile the {rows}-row buffer",
+                    start.saturating_add(*crows)
+                ));
+            }
+            if seed_rows > crows {
+                return Err(format!(
+                    "concept `{name}` claims {seed_rows} seed rows of {crows}"
+                ));
+            }
+            next = start + crows;
+        }
+        if next != rows {
+            return Err(format!(
+                "concepts cover {next} rows but the buffer has {rows}"
+            ));
+        }
+        Ok(Self {
+            dim,
+            data,
+            norms,
+            rep_sums,
+            words,
+            concepts: concepts
+                .into_iter()
+                .map(|(name, start, rows, seed_rows)| ConceptEntry {
+                    name,
+                    start,
+                    rows,
+                    seed_rows,
+                })
+                .collect(),
+        })
+    }
+
+    fn rep_sum(&self, concept: usize) -> &[f32] {
+        &self.rep_sums[concept * self.dim..(concept + 1) * self.dim]
     }
 
     fn row(&self, row: usize) -> &[f32] {
@@ -182,7 +297,7 @@ impl VectorIndex {
             } else if query_norm == 0.0 {
                 Some(0.0)
             } else {
-                Some(dot(query, &entry.rep_sum) / (query_norm * entry.rows as f64))
+                Some(dot(query, self.rep_sum(ci)) / (query_norm * entry.rows as f64))
             };
             ConceptScores {
                 concept: ci,
@@ -326,6 +441,83 @@ mod tests {
         let ix = b.build();
         let (word, _) = ix.best_seed(0, &[2.0, 0.0], 2.0).unwrap();
         assert_eq!(word, "beta");
+    }
+
+    #[test]
+    fn from_parts_round_trip_scans_identically() {
+        let ix = sample_index();
+        let rebuilt = VectorIndex::from_parts(
+            ix.dim(),
+            ix.data().to_vec().into(),
+            ix.norms().to_vec().into(),
+            ix.rep_sums().to_vec().into(),
+            (0..ix.row_count())
+                .map(|r| ix.row_word(r).to_string())
+                .collect(),
+            ix.concept_layout()
+                .map(|(n, s, r, k)| (n.to_string(), s, r, k))
+                .collect(),
+        )
+        .expect("valid parts");
+        let q = [0.4f32, 0.3, 0.2];
+        let qn = slice_norm(&q);
+        let a: Vec<ConceptScores> = ix.scan(&q, qn).collect();
+        let b: Vec<ConceptScores> = rebuilt.scan(&q, qn).collect();
+        assert_eq!(a, b);
+        assert_eq!(ix.best_seed(0, &q, qn), rebuilt.best_seed(0, &q, qn));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_layout() {
+        let ix = sample_index();
+        let words: Vec<String> = (0..ix.row_count())
+            .map(|r| ix.row_word(r).to_string())
+            .collect();
+        let concepts: Vec<(String, usize, usize, usize)> = ix
+            .concept_layout()
+            .map(|(n, s, r, k)| (n.to_string(), s, r, k))
+            .collect();
+        let build = |data: Vec<f32>,
+                     norms: Vec<f64>,
+                     reps: Vec<f32>,
+                     cs: Vec<(String, usize, usize, usize)>| {
+            VectorIndex::from_parts(3, data.into(), norms.into(), reps.into(), words.clone(), cs)
+        };
+        let (d, n, r) = (
+            ix.data().to_vec(),
+            ix.norms().to_vec(),
+            ix.rep_sums().to_vec(),
+        );
+        assert!(build(
+            d[..d.len() - 1].to_vec(),
+            n.clone(),
+            r.clone(),
+            concepts.clone()
+        )
+        .is_err());
+        assert!(build(
+            d.clone(),
+            n[..n.len() - 1].to_vec(),
+            r.clone(),
+            concepts.clone()
+        )
+        .is_err());
+        assert!(build(
+            d.clone(),
+            n.clone(),
+            r[..r.len() - 1].to_vec(),
+            concepts.clone()
+        )
+        .is_err());
+        let mut gap = concepts.clone();
+        gap[1].1 += 1;
+        assert!(build(d.clone(), n.clone(), r.clone(), gap).is_err());
+        let mut bad_seeds = concepts.clone();
+        bad_seeds[0].3 = 99;
+        assert!(build(d.clone(), n.clone(), r.clone(), bad_seeds).is_err());
+        let mut short = concepts.clone();
+        short.pop();
+        assert!(build(d, n, r, short).is_err());
     }
 
     #[test]

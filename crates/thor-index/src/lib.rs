@@ -32,3 +32,4 @@ pub use dictionary::DictionaryIndex;
 pub use entity::CandidateEntity;
 pub use index::{ConceptScores, VectorIndex, VectorIndexBuilder};
 pub use source::CandidateSource;
+pub use thor_automata::AhoCorasick;

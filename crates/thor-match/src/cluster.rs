@@ -1,6 +1,6 @@
 //! Per-concept clusters of representative vectors.
 
-use thor_embed::{cosine, Vector, VectorStore};
+use thor_embed::{cosine, slice_cosine, Vector, VectorStore};
 use thor_text::normalize_phrase;
 
 /// Both similarity views of a cluster against one query, computed in a
@@ -60,8 +60,10 @@ impl ConceptCluster {
     ) -> Self {
         let mut representatives = seeds.clone();
         for word in expansion {
-            if let Some(v) = store.get(word) {
-                let mut v = v.clone();
+            // Expansion words are exact store keys (they came from a
+            // store scan), so look them up raw on either backing.
+            if let Some(row) = store.row_raw(word) {
+                let mut v = Vector(row.to_vec());
                 v.normalize();
                 representatives.push((word.clone(), v));
             }
@@ -99,15 +101,15 @@ impl ConceptCluster {
         // τ-expansion: vocabulary words similar to any seed.
         let mut expanded: Vec<(String, f64)> = Vec::new();
         if tau < 1.0 {
-            for (word, vec) in store.iter() {
+            store.for_each_row(|word, row| {
                 let best = seeds
                     .iter()
-                    .map(|(_, s)| cosine(vec, s))
+                    .map(|(_, s)| slice_cosine(row, s.as_slice()))
                     .fold(f64::MIN, f64::max);
                 if best >= tau && !seeds.iter().any(|(s, _)| s == word) {
                     expanded.push((word.to_string(), best));
                 }
-            }
+            });
             expanded.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             expanded.truncate(max_expansion);
         }

@@ -183,6 +183,40 @@ impl SimilarityMatcher {
         }
     }
 
+    /// [`SimilarityMatcher::from_clusters`] with an already-built
+    /// index (the artifact load path, where the index arrays may be
+    /// zero-copy views into a mapped file). The caller is responsible
+    /// for the index matching the clusters —
+    /// `PreparedMatcher::matcher_with_index` validates the layout.
+    pub(crate) fn from_clusters_prebuilt(
+        store: Arc<VectorStore>,
+        clusters: Vec<ConceptCluster>,
+        index: VectorIndex,
+        seed_syntax: Arc<SeedSyntax>,
+        config: MatcherConfig,
+        metrics: Option<PipelineMetrics>,
+    ) -> Self {
+        if let Some(m) = &metrics {
+            m.vocab_words.set(store.len() as u64);
+            m.cluster_representatives.set(
+                clusters
+                    .iter()
+                    .map(|c| c.representative_count() as u64)
+                    .sum(),
+            );
+            m.index_rows.set(index.row_count() as u64);
+        }
+        Self {
+            store,
+            clusters,
+            index,
+            cache: PhraseCache::new(config.cache_capacity),
+            seed_syntax,
+            config,
+            metrics,
+        }
+    }
+
     /// Freeze the fine-tuned clusters into the structure-of-arrays
     /// index: seeds first per concept (so `c_m` search is a prefix
     /// scan), identical `f32` bits, norms precomputed.

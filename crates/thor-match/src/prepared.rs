@@ -22,8 +22,9 @@
 
 use std::sync::Arc;
 
-use thor_embed::{Vector, VectorStore};
-use thor_index::VectorIndexBuilder;
+use thor_embed::{slice_norm, Vector, VectorStore};
+use thor_fault::{FrozenPool, FrozenSlice};
+use thor_index::{VectorIndex, VectorIndexBuilder};
 use thor_obs::PipelineMetrics;
 use thor_text::SeedSyntax;
 
@@ -40,13 +41,30 @@ pub struct PreparedMatcher {
     /// Per concept: candidate expansion words with their best-concept
     /// similarity, every entry ≥ `base.tau`, sorted by
     /// `(sim desc, word asc)`, **not** truncated to `max_expansion`.
-    candidates: Vec<Vec<(String, f64)>>,
+    /// Owned after preparation; zero-copy artifact views after a
+    /// mapped load.
+    candidates: CandidateBacking,
     /// Refinement syntax (lowercase word sets + char arrays) of every
     /// embedded seed instance, computed once per preparation. τ only
     /// filters the *expansion*, so one table serves every derived
     /// matcher.
     seed_syntax: Arc<SeedSyntax>,
     base: MatcherConfig,
+}
+
+/// Candidate-list storage: per-concept `Vec`s after a fresh
+/// preparation, or flat artifact views after a (possibly mapped)
+/// engine load. The flat form is a CSR over all concepts' entries:
+/// concept `ci`'s candidates are entries `starts[ci]..starts[ci + 1]`,
+/// entry `k`'s word is `words.get_str(k)` and its similarity `sims[k]`.
+#[derive(Debug, Clone)]
+enum CandidateBacking {
+    Owned(Vec<Vec<(String, f64)>>),
+    Frozen {
+        starts: FrozenSlice<u64>,
+        words: FrozenPool,
+        sims: FrozenSlice<f64>,
+    },
 }
 
 /// The per-seed refinement syntax table for a preparation's embedded
@@ -91,10 +109,10 @@ impl PreparedMatcher {
                 }
                 builder.build()
             };
-            for (word, vec) in store.iter() {
-                let qn = vec.norm();
+            store.for_each_row(|word, row| {
+                let qn = slice_norm(row);
                 let mut best: Option<(usize, f64)> = None;
-                for scores in seed_index.scan(vec.as_slice(), qn) {
+                for scores in seed_index.scan(row, qn) {
                     // An empty concept folds to f64::MIN exactly like the
                     // brute-force reference, and never reaches τ.
                     let sim = scores.max.unwrap_or(f64::MIN);
@@ -107,7 +125,7 @@ impl PreparedMatcher {
                         candidates[ci].push((word.to_string(), sim));
                     }
                 }
-            }
+            });
             // Keep each list in the total order fine-tuning sorts by, so
             // deriving a matcher at τ′ is a pure filter + truncate.
             for list in &mut candidates {
@@ -120,7 +138,7 @@ impl PreparedMatcher {
             store,
             names: concepts.iter().map(|(name, _)| name.clone()).collect(),
             seeds,
-            candidates,
+            candidates: CandidateBacking::Owned(candidates),
             base,
         }
     }
@@ -154,8 +172,94 @@ impl PreparedMatcher {
             store,
             names: concepts.iter().map(|(name, _)| name.clone()).collect(),
             seeds,
-            candidates,
+            candidates: CandidateBacking::Owned(candidates),
             base,
+        }
+    }
+
+    /// Reassemble a prepared matcher from flat CSR candidate arrays —
+    /// the artifact load path, where the arrays may be zero-copy views
+    /// into a mapped file. Layout invariants are validated up front so
+    /// corrupt metadata yields a named error, never a panic.
+    pub fn from_frozen_candidates(
+        concepts: &[(String, Vec<String>)],
+        store: impl Into<Arc<VectorStore>>,
+        base: MatcherConfig,
+        starts: FrozenSlice<u64>,
+        words: FrozenPool,
+        sims: FrozenSlice<f64>,
+    ) -> Result<Self, String> {
+        if starts.len() != concepts.len() + 1 {
+            return Err(format!(
+                "candidate CSR has {} offsets for {} concepts",
+                starts.len(),
+                concepts.len()
+            ));
+        }
+        if starts.first() != Some(&0) || starts.windows(2).any(|w| w[0] > w[1]) {
+            return Err("candidate CSR offsets are not monotone from zero".into());
+        }
+        let total = *starts.last().expect("non-empty") as usize;
+        if total != sims.len() || total != words.len() {
+            return Err(format!(
+                "candidate CSR claims {total} entries but has {} sims and {} words",
+                sims.len(),
+                words.len()
+            ));
+        }
+        let store = store.into();
+        let seeds: Vec<Vec<(String, Vector)>> = concepts
+            .iter()
+            .map(|(_, instances)| ConceptCluster::embed_seeds(instances, &store))
+            .collect();
+        Ok(Self {
+            seed_syntax: build_seed_syntax(&seeds),
+            store,
+            names: concepts.iter().map(|(name, _)| name.clone()).collect(),
+            seeds,
+            candidates: CandidateBacking::Frozen {
+                starts,
+                words,
+                sims,
+            },
+            base,
+        })
+    }
+
+    /// Concept `ci`'s expansion words at `tau`, best first, capped at
+    /// `cap` — the filter-and-truncate step of τ-derivation, on either
+    /// candidate backing.
+    fn filtered_words(&self, ci: usize, tau: f64, cap: usize) -> Vec<String> {
+        match &self.candidates {
+            CandidateBacking::Owned(lists) => lists[ci]
+                .iter()
+                .filter(|(_, sim)| *sim >= tau)
+                .take(cap)
+                .map(|(w, _)| w.clone())
+                .collect(),
+            CandidateBacking::Frozen {
+                starts,
+                words,
+                sims,
+            } => {
+                let lo = starts[ci] as usize;
+                let hi = starts[ci + 1] as usize;
+                let sims = &sims[lo..hi];
+                let mut out = Vec::new();
+                for (k, sim) in sims.iter().enumerate() {
+                    if out.len() >= cap {
+                        break;
+                    }
+                    if *sim >= tau {
+                        // Invalid UTF-8 only appears in corrupt lazily
+                        // verified artifacts; skip defensively.
+                        if let Some(w) = words.get_str(lo + k) {
+                            out.push(w.to_string());
+                        }
+                    }
+                }
+                out
+            }
         }
     }
 
@@ -186,18 +290,14 @@ impl PreparedMatcher {
             .names
             .iter()
             .zip(&self.seeds)
-            .zip(&self.candidates)
-            .map(|((name, seeds), list)| {
+            .enumerate()
+            .map(|(ci, (name, seeds))| {
                 // At τ ≥ 1 fine-tuning skips the vocabulary scan
                 // entirely, so the expansion is empty by definition.
                 let words: Vec<String> = if config.tau >= 1.0 {
                     Vec::new()
                 } else {
-                    list.iter()
-                        .filter(|(_, sim)| *sim >= config.tau)
-                        .take(config.max_expansion)
-                        .map(|(w, _)| w.clone())
-                        .collect()
+                    self.filtered_words(ci, config.tau, config.max_expansion)
                 };
                 if let Some(m) = &metrics {
                     m.expansion_words.add(words.len() as u64);
@@ -238,8 +338,99 @@ impl PreparedMatcher {
     /// Per-concept untruncated expansion candidates `(word, sim)`,
     /// sorted `(sim desc, word asc)` — the persistable part of the
     /// preparation (seeds are re-embedded from the store on load).
-    pub fn candidates(&self) -> &[Vec<(String, f64)>] {
-        &self.candidates
+    /// Materialized from either backing.
+    pub fn candidates(&self) -> Vec<Vec<(String, f64)>> {
+        match &self.candidates {
+            CandidateBacking::Owned(lists) => lists.clone(),
+            CandidateBacking::Frozen {
+                starts,
+                words,
+                sims,
+            } => (0..self.names.len())
+                .map(|ci| {
+                    let lo = starts[ci] as usize;
+                    let hi = starts[ci + 1] as usize;
+                    (lo..hi)
+                        .filter_map(|k| Some((words.get_str(k)?.to_string(), sims[k])))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Flatten the candidate lists into the CSR arrays the artifact
+    /// stores: `(starts, sims, word bytes pool)` with one global entry
+    /// index across concepts, matching
+    /// [`PreparedMatcher::from_frozen_candidates`].
+    pub fn candidate_parts(&self) -> (Vec<u64>, Vec<f64>, FrozenPool) {
+        let lists = self.candidates();
+        let mut starts = Vec::with_capacity(lists.len() + 1);
+        starts.push(0u64);
+        let mut sims = Vec::new();
+        let mut items: Vec<&[u8]> = Vec::new();
+        for list in &lists {
+            for (w, sim) in list {
+                sims.push(*sim);
+                items.push(w.as_bytes());
+            }
+            starts.push(sims.len() as u64);
+        }
+        (starts, sims, FrozenPool::from_items(items))
+    }
+
+    /// [`PreparedMatcher::matcher_at`] with a prebuilt [`VectorIndex`]
+    /// (deserialized from an artifact) instead of re-freezing one from
+    /// the derived clusters. The index must describe exactly the
+    /// clusters `config` derives — validated against the derived
+    /// layout, since a mismatched index would silently mis-score.
+    pub fn matcher_with_index(
+        &self,
+        config: MatcherConfig,
+        metrics: Option<PipelineMetrics>,
+        index: VectorIndex,
+    ) -> Result<SimilarityMatcher, String> {
+        let derived = self.matcher_at(config.clone(), None);
+        if index.dim() != self.store.dim() {
+            return Err(format!(
+                "persisted index dim {} != store dim {}",
+                index.dim(),
+                self.store.dim()
+            ));
+        }
+        if index.concept_count() != derived.clusters().len() {
+            return Err(format!(
+                "persisted index has {} concepts, derivation produced {}",
+                index.concept_count(),
+                derived.clusters().len()
+            ));
+        }
+        let mut expect_start = 0usize;
+        for (ci, cluster) in derived.clusters().iter().enumerate() {
+            let (name, start, rows, seed_rows) = index
+                .concept_layout()
+                .nth(ci)
+                .expect("concept_count checked");
+            if name != cluster.concept
+                || start != expect_start
+                || rows != cluster.representative_count()
+                || seed_rows != cluster.seed_count()
+            {
+                return Err(format!(
+                    "persisted index concept `{name}` layout ({start}, {rows}, {seed_rows}) \
+                     disagrees with the derived cluster `{}`",
+                    cluster.concept
+                ));
+            }
+            expect_start += rows;
+        }
+        Ok(SimilarityMatcher::from_clusters_prebuilt(
+            Arc::clone(&self.store),
+            derived.clusters().to_vec(),
+            index,
+            Arc::clone(&self.seed_syntax),
+            config,
+            metrics,
+        ))
     }
 }
 
@@ -315,12 +506,8 @@ mod tests {
     fn from_parts_round_trips_the_preparation() {
         let (store, concepts) = space();
         let prep = PreparedMatcher::prepare(&concepts, store.clone(), MatcherConfig::with_tau(0.5));
-        let rebuilt = PreparedMatcher::from_parts(
-            &concepts,
-            store,
-            prep.base().clone(),
-            prep.candidates().to_vec(),
-        );
+        let rebuilt =
+            PreparedMatcher::from_parts(&concepts, store, prep.base().clone(), prep.candidates());
         for tau in [0.5, 0.8] {
             let a = prep.matcher_at(MatcherConfig::with_tau(tau), None);
             let b = rebuilt.matcher_at(MatcherConfig::with_tau(tau), None);
@@ -328,6 +515,91 @@ mod tests {
                 assert_eq!(a.match_phrase(phrase), b.match_phrase(phrase));
             }
         }
+    }
+
+    #[test]
+    fn frozen_candidates_derive_identical_matchers() {
+        let (store, concepts) = space();
+        let store = Arc::new(store);
+        let base = MatcherConfig::with_tau(0.5);
+        let prep = PreparedMatcher::prepare(&concepts, Arc::clone(&store), base.clone());
+        let (starts, sims, words) = prep.candidate_parts();
+        let frozen = PreparedMatcher::from_frozen_candidates(
+            &concepts,
+            store,
+            base,
+            starts.into(),
+            words,
+            sims.into(),
+        )
+        .expect("valid CSR");
+        assert_eq!(prep.candidates(), frozen.candidates());
+        for tau in [0.5, 0.7, 1.0] {
+            let a = prep.matcher_at(MatcherConfig::with_tau(tau), None);
+            let b = frozen.matcher_at(MatcherConfig::with_tau(tau), None);
+            for phrase in ["brain tumor", "the ear", "stroke risk"] {
+                assert_eq!(a.match_phrase(phrase), b.match_phrase(phrase), "tau {tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_candidates_reject_bad_layout() {
+        let (store, concepts) = space();
+        let store = Arc::new(store);
+        let base = MatcherConfig::with_tau(0.5);
+        let prep = PreparedMatcher::prepare(&concepts, Arc::clone(&store), base.clone());
+        let (starts, sims, words) = prep.candidate_parts();
+        let attempt = |st: Vec<u64>, si: Vec<f64>| {
+            PreparedMatcher::from_frozen_candidates(
+                &concepts,
+                Arc::clone(&store),
+                base.clone(),
+                st.into(),
+                words.clone(),
+                si.into(),
+            )
+        };
+        assert!(attempt(starts[..starts.len() - 1].to_vec(), sims.clone()).is_err());
+        let mut non_mono = starts.clone();
+        non_mono[1] = u64::MAX;
+        assert!(attempt(non_mono, sims.clone()).is_err());
+        assert!(attempt(starts.clone(), sims[..sims.len() - 1].to_vec()).is_err());
+    }
+
+    #[test]
+    fn matcher_with_index_round_trips_and_validates() {
+        let (store, concepts) = space();
+        let prep = PreparedMatcher::prepare(&concepts, store, MatcherConfig::with_tau(0.5));
+        let cfg = MatcherConfig::with_tau(0.6);
+        let derived = prep.matcher_at(cfg.clone(), None);
+        let ix = derived.index();
+        let rebuilt_ix = VectorIndex::from_parts(
+            ix.dim(),
+            ix.data().to_vec().into(),
+            ix.norms().to_vec().into(),
+            ix.rep_sums().to_vec().into(),
+            (0..ix.row_count())
+                .map(|r| ix.row_word(r).to_string())
+                .collect(),
+            ix.concept_layout()
+                .map(|(n, s, r, k)| (n.to_string(), s, r, k))
+                .collect(),
+        )
+        .expect("valid index parts");
+        let via_prebuilt = prep
+            .matcher_with_index(cfg.clone(), None, rebuilt_ix)
+            .expect("layout matches");
+        for phrase in ["brain tumor", "the ear"] {
+            assert_eq!(
+                derived.match_phrase(phrase),
+                via_prebuilt.match_phrase(phrase)
+            );
+        }
+        // An index derived at a different tau has a different layout.
+        let other = prep.matcher_at(MatcherConfig::with_tau(1.0), None);
+        let other_ix = other.index().clone();
+        assert!(prep.matcher_with_index(cfg, None, other_ix).is_err());
     }
 
     #[test]

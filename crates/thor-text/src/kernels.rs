@@ -166,6 +166,16 @@ impl SeedSyntax {
         Self { table }
     }
 
+    /// The distinct seed instances in sorted order, for artifact
+    /// serialization. [`SeedSyntax::build`] over this list reproduces
+    /// the table exactly (`PhraseSyntax::new` is deterministic), so a
+    /// load rebuilds rather than persisting the derived arrays.
+    pub fn instances(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.table.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// The precomputed syntax of `instance`, if it was a seed.
     pub fn get(&self, instance: &str) -> Option<&PhraseSyntax> {
         self.table.get(instance)

@@ -9,15 +9,16 @@
 //! thor enrich --table R.csv [--tau 0.7] [--vectors v.txt]
 //!             [--context-gate G] [--threads N] [--metrics[=json]] [--cache-stats]
 //!             [--strict | --lenient] [--quarantine q.tsv]
-//!             [--checkpoint DIR [--resume]]
+//!             [--checkpoint DIR [--resume]] [--stream [--chunk N]]
 //!             [--out enriched.csv] [--entities e.tsv]
-//!             <doc.txt>...                           run the pipeline
-//! thor enrich --engine e.thor [--threads N] ... <doc.txt>...
-//!                                                    serve from a built engine
-//! thor serve --engine e.thor [--addr HOST:PORT] [--addr-file PATH]
-//!            [--threads N] [--queue N] [--read-timeout-ms MS]
+//!             <doc.txt | corpus-dir>...              run the pipeline
+//! thor enrich --engine e.thor [--engine-mmap on|off] [--threads N] ...
+//!             <doc.txt | corpus-dir>...              serve from a built engine
+//! thor serve --engine e.thor [--engine-mmap on|off] [--addr HOST:PORT]
+//!            [--addr-file PATH] [--threads N] [--queue N] [--read-timeout-ms MS]
 //!            [--refine kernel|reference] [--metrics[=json]]
 //!                                                    HTTP front end (see thor-serve)
+//! thor inspect --engine e.thor                       section directory + checksums
 //! thor evaluate --gold gold.tsv --pred pred.tsv      SemEval partial-match scores
 //! thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR
 //!                                                    write dataset artifacts
@@ -29,6 +30,14 @@
 //! re-running fine-tuning and produces byte-identical output to the
 //! equivalent direct run. The artifact freezes the table, vectors, τ and
 //! model parameters — `--threads` stays adjustable at serve time.
+//! By default the artifact is memory-mapped (`--engine-mmap on`): the
+//! hot arrays are borrowed from the file in place, startup cost is
+//! independent of vocabulary size, and concurrent processes share one
+//! physical copy; `--engine-mmap off` loads into owned memory with
+//! every checksum verified up front. `thor inspect --engine` verifies
+//! everything offline. `--stream` reads the corpus out-of-core in
+//! `--chunk`-sized batches (positional directories expand to their
+//! sorted `.txt` files), byte-identical to the batch run.
 //! Checkpoint/resume composes with engines: the resume fingerprint
 //! covers configuration + table + corpus, so a checkpoint taken with an
 //! engine resumes under the same engine (or an identically-built one).
@@ -57,13 +66,14 @@ use thor_repro::core::{
     ThorConfig,
 };
 use thor_repro::data::csv::{from_csv, from_csv_lenient, to_csv, SkippedRow};
+use thor_repro::data::CorpusDir;
 use thor_repro::data::{full_disjunction, sparsity, Table};
 use thor_repro::datagen::{corpus_stats, generate, DatasetSpec, Split};
 use thor_repro::embed::{SgnsConfig, SgnsTrainer, VectorStore};
 use thor_repro::eval::{evaluate, schema_scores, Annotation};
 use thor_repro::fault::{
     atomic_write, decode_document, fail_point, install_from_env, read_bytes, read_to_string,
-    DocumentPolicy, QuarantineEntry, QuarantineReport, ThorError, ThorResult,
+    DocumentPolicy, MapMode, QuarantineEntry, QuarantineReport, SectionFile, ThorError, ThorResult,
 };
 use thor_repro::serve::signal as serve_signal;
 use thor_repro::serve::{ServeOptions, Server};
@@ -141,6 +151,7 @@ const ENRICH: CommandSpec = CommandSpec {
         "tau",
         "vectors",
         "engine",
+        "engine-mmap",
         "context-gate",
         "threads",
         "refine",
@@ -148,12 +159,21 @@ const ENRICH: CommandSpec = CommandSpec {
         "entities",
         "quarantine",
         "checkpoint",
+        "chunk",
     ],
-    flags: &["metrics", "cache-stats", "strict", "lenient", "resume"],
+    flags: &[
+        "metrics",
+        "cache-stats",
+        "strict",
+        "lenient",
+        "resume",
+        "stream",
+    ],
 };
 const SERVE: CommandSpec = CommandSpec {
     options: &[
         "engine",
+        "engine-mmap",
         "addr",
         "addr-file",
         "threads",
@@ -162,6 +182,10 @@ const SERVE: CommandSpec = CommandSpec {
         "refine",
     ],
     flags: &["metrics"],
+};
+const INSPECT: CommandSpec = CommandSpec {
+    options: &["engine"],
+    flags: &[],
 };
 const EVALUATE: CommandSpec = CommandSpec {
     options: &["gold", "pred"],
@@ -223,10 +247,14 @@ fn usage() -> ExitCode {
          thor enrich --table R.csv [--tau 0.7] [--vectors v.txt] [--context-gate G] \
          [--threads N] [--refine kernel|reference] [--metrics[=json]] [--cache-stats] \
          [--strict | --lenient] [--quarantine q.tsv] [--checkpoint DIR [--resume]] \
-         [--out enriched.csv] [--entities e.tsv] <doc.txt>...\n  \
-         thor enrich --engine e.thor [--threads N] [--refine kernel|reference] ... <doc.txt>...\n  \
-         thor serve --engine e.thor [--addr HOST:PORT] [--addr-file PATH] [--threads N] \
-         [--queue N] [--read-timeout-ms MS] [--refine kernel|reference] [--metrics[=json]]\n  \
+         [--stream [--chunk N]] [--out enriched.csv] [--entities e.tsv] \
+         <doc.txt | corpus-dir>...\n  \
+         thor enrich --engine e.thor [--engine-mmap on|off] [--threads N] \
+         [--refine kernel|reference] ... <doc.txt | corpus-dir>...\n  \
+         thor serve --engine e.thor [--engine-mmap on|off] [--addr HOST:PORT] \
+         [--addr-file PATH] [--threads N] [--queue N] [--read-timeout-ms MS] \
+         [--refine kernel|reference] [--metrics[=json]]\n  \
+         thor inspect --engine e.thor\n  \
          thor evaluate --gold gold.tsv --pred pred.tsv\n  \
          thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR"
     );
@@ -336,6 +364,20 @@ fn metrics_mode(args: &Args) -> ThorResult<Option<MetricsMode>> {
     }
 }
 
+/// `--engine-mmap on|off`: `on` (the default) maps the artifact
+/// read-only and borrows the hot arrays in place — O(1) startup,
+/// N processes share one physical copy; `off` reads it into owned
+/// memory with every section checksum verified up front.
+fn engine_map_mode(args: &Args) -> ThorResult<MapMode> {
+    match args.options.get("engine-mmap").map(String::as_str) {
+        None | Some("on") => Ok(MapMode::Mapped),
+        Some("off") => Ok(MapMode::Owned),
+        Some(other) => Err(ThorError::config(format!(
+            "bad --engine-mmap value `{other}` (expected `on` or `off`)"
+        ))),
+    }
+}
+
 /// Parse a value-taking option through `parse`, naming the flag and the
 /// offending value on failure.
 fn parse_option<T: std::str::FromStr>(args: &Args, key: &str) -> ThorResult<Option<T>> {
@@ -348,20 +390,38 @@ fn parse_option<T: std::str::FromStr>(args: &Args, key: &str) -> ThorResult<Opti
     }
 }
 
-/// Read one document leniently: the `read_doc` failpoint, file read,
-/// and admission control, with the path as context.
-fn read_document(path: &str, policy: &DocumentPolicy) -> (String, ThorResult<Document>) {
-    // Document ids are the file stem, matching `thor generate`'s gold TSVs.
-    let id = Path::new(path)
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| path.to_string());
-    let doc = fail_point("read_doc")
-        .and_then(|()| read_bytes(Path::new(path)))
-        .map_err(|e| e.context(format!("reading document {path}")))
-        .and_then(|bytes| decode_document(&id, &bytes, policy))
-        .map(|text| Document::new(id.clone(), text));
-    (id, doc)
+/// Expand positional corpus arguments into `(id, path)` pairs: plain
+/// files keep command-line order (ids are file stems); a directory is
+/// expanded through [`CorpusDir::discover`] — its `.txt` files, sorted
+/// by id — so huge corpora can be named without shell globbing and
+/// without the argv order mattering.
+fn expand_corpus(positional: &[String]) -> ThorResult<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for arg in positional {
+        let path = Path::new(arg);
+        if path.is_dir() {
+            let corpus = CorpusDir::discover(path)
+                .map_err(|e| ThorError::io(format!("corpus directory {arg}"), e))?;
+            out.extend(corpus);
+        } else {
+            let id = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| arg.clone());
+            out.push((id, path.to_path_buf()));
+        }
+    }
+    Ok(out)
+}
+
+/// Read one corpus document leniently: the `read_doc` failpoint, file
+/// read, and admission control, with the path as context.
+fn read_corpus_document(id: &str, path: &Path, policy: &DocumentPolicy) -> ThorResult<Document> {
+    fail_point("read_doc")
+        .and_then(|()| read_bytes(path))
+        .map_err(|e| e.context(format!("reading document {}", path.display())))
+        .and_then(|bytes| decode_document(id, &bytes, policy))
+        .map(|text| Document::new(id, text))
 }
 
 /// `thor build`: run the Preparation phase once (fine-tune the matcher,
@@ -465,18 +525,49 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
     };
 
     if args.positional.is_empty() {
-        return Err(ThorError::config("enrich needs at least one document file"));
+        return Err(ThorError::config(
+            "enrich needs at least one document file or corpus directory",
+        ));
     }
+    let stream = args.options.contains_key("stream");
+    let chunk: usize = parse_option(args, "chunk")?.unwrap_or(64);
+    if chunk == 0 {
+        return Err(ThorError::config("--chunk must be at least 1"));
+    }
+    if args.options.contains_key("chunk") && !stream {
+        return Err(ThorError::config("--chunk requires --stream"));
+    }
+    if args.options.contains_key("engine-mmap") && engine_path.is_none() {
+        return Err(ThorError::config("--engine-mmap requires --engine"));
+    }
+    if stream && engine_path.is_none() && !args.options.contains_key("vectors") {
+        return Err(ThorError::config(
+            "--stream needs --vectors or --engine (the built-in SGNS \
+             trainer would read the whole corpus into memory)",
+        ));
+    }
+    let map_mode = engine_map_mode(args)?;
 
     let policy = DocumentPolicy::default();
+    let corpus = expand_corpus(&args.positional)?;
+    if corpus.is_empty() {
+        return Err(ThorError::config(
+            "enrich found no documents (empty corpus directory?)",
+        ));
+    }
+    let stream_ids: Vec<String> = corpus.iter().map(|(id, _)| id.clone()).collect();
+    // Batch mode materializes the whole corpus up front (read errors
+    // land in the CLI quarantine); --stream defers every read into the
+    // chunked run, where the core applies the same read_doc policy.
     let mut cli_quarantine = QuarantineReport::new();
     let mut docs = Vec::new();
-    for path in &args.positional {
-        let (id, doc) = read_document(path, &policy);
-        match doc {
-            Ok(doc) => docs.push(doc),
-            Err(e) if mode == RunMode::Strict => return Err(e),
-            Err(e) => cli_quarantine.push(QuarantineEntry::from_error(id, "read_doc", &e)),
+    if !stream {
+        for (id, path) in &corpus {
+            match read_corpus_document(id, path, &policy) {
+                Ok(doc) => docs.push(doc),
+                Err(e) if mode == RunMode::Strict => return Err(e),
+                Err(e) => cli_quarantine.push(QuarantineEntry::from_error(id, "read_doc", &e)),
+            }
         }
     }
 
@@ -501,12 +592,16 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
 
     let mut skipped_rows: Vec<SkippedRow> = Vec::new();
     let outcome = if let Some(engine_path) = &engine_path {
-        let mut engine = PreparedEngine::load(Path::new(engine_path))?;
+        let mut engine = PreparedEngine::load_with(Path::new(engine_path), map_mode)?;
         eprintln!(
-            "engine {engine_path}: {} concepts, tau {}, loaded in {:?}",
+            "engine {engine_path}: {} concepts, tau {}, loaded in {:?} ({})",
             engine.prepared_matcher().concept_names().len(),
             engine.tau(),
-            engine.prepare_time()
+            engine.prepare_time(),
+            match map_mode {
+                MapMode::Mapped => "mapped",
+                MapMode::Owned => "owned",
+            }
         );
         if let Some(threads) = threads {
             engine = engine.with_threads(threads);
@@ -517,7 +612,14 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         if attach_metrics {
             engine = engine.with_metrics(metrics.clone());
         }
-        engine.enrich_resilient(&docs, &opts)?
+        if stream {
+            let reader = corpus
+                .iter()
+                .map(|(id, path)| (id.clone(), read_corpus_document(id, path, &policy)));
+            engine.enrich_resilient_stream(&stream_ids, reader, &opts, chunk)?
+        } else {
+            engine.enrich_resilient(&docs, &opts)?
+        }
     } else {
         let table_path = args
             .options
@@ -544,6 +646,7 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
 
         let store = match args.options.get("vectors") {
             Some(path) => VectorStore::load_path(Path::new(path))?,
+            // `--stream` without vectors was rejected up front.
             None => {
                 eprintln!("no --vectors given; training SGNS on the input documents...");
                 let mut corpus = Vec::new();
@@ -574,7 +677,15 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         if attach_metrics {
             thor = thor.with_metrics(metrics.clone());
         }
-        thor.enrich_resilient(&table, &docs, &opts)?
+        if stream {
+            let reader = corpus
+                .iter()
+                .map(|(id, path)| (id.clone(), read_corpus_document(id, path, &policy)));
+            thor.prepare(&table)
+                .enrich_resilient_stream(&stream_ids, reader, &opts, chunk)?
+        } else {
+            thor.enrich_resilient(&table, &docs, &opts)?
+        }
     };
     let result = &outcome.result;
 
@@ -682,12 +793,17 @@ fn cmd_serve(args: &Args) -> ThorResult<()> {
     };
     let metrics_mode = metrics_mode(args)?;
 
-    let mut engine = PreparedEngine::load(Path::new(engine_path))?;
+    let map_mode = engine_map_mode(args)?;
+    let mut engine = PreparedEngine::load_with(Path::new(engine_path), map_mode)?;
     eprintln!(
-        "engine {engine_path}: {} concepts, tau {}, loaded in {:?}",
+        "engine {engine_path}: {} concepts, tau {}, loaded in {:?} ({})",
         engine.prepared_matcher().concept_names().len(),
         engine.tau(),
-        engine.prepare_time()
+        engine.prepare_time(),
+        match map_mode {
+            MapMode::Mapped => "mapped",
+            MapMode::Owned => "owned",
+        }
     );
     if let Some(threads) = threads {
         engine = engine.with_threads(threads);
@@ -726,6 +842,39 @@ fn cmd_serve(args: &Args) -> ThorResult<()> {
         Some(MetricsMode::Json) => eprintln!("{}", metrics.render_json()),
         _ => eprint!("{}", metrics.render_table()),
     }
+    Ok(())
+}
+
+/// `thor inspect`: print a v2 engine artifact's section directory
+/// (name, offset, length, alignment, format version, checksum) and
+/// verify **every** checksum — including the big vocabulary sections a
+/// mapped load defers — exiting non-zero on the first mismatch. This is
+/// the offline integrity check backing `--engine-mmap on`'s lazy
+/// verification policy.
+fn cmd_inspect(args: &Args) -> ThorResult<()> {
+    let path = args
+        .options
+        .get("engine")
+        .ok_or_else(|| ThorError::config("inspect needs --engine e.thor"))?;
+    let file = SectionFile::open(Path::new(path), MapMode::Mapped)?;
+    println!(
+        "{path}: THORENG v2, {} bytes, {} sections{}",
+        file.total_len(),
+        file.entries().len(),
+        if file.is_mapped() { " (mapped)" } else { "" }
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>6} {:>4}  {:<18}",
+        "section", "offset", "length", "align", "ver", "checksum"
+    );
+    for e in file.entries() {
+        println!(
+            "{:<16} {:>10} {:>10} {:>6} {:>4}  {:#018x}",
+            e.name, e.offset, e.len, e.align, e.version, e.checksum
+        );
+    }
+    file.verify_all()?;
+    println!("all {} section checksums verified", file.entries().len());
     Ok(())
 }
 
@@ -865,6 +1014,7 @@ fn main() -> ExitCode {
         "build" => Some(&BUILD),
         "enrich" => Some(&ENRICH),
         "serve" => Some(&SERVE),
+        "inspect" => Some(&INSPECT),
         "evaluate" => Some(&EVALUATE),
         "generate" => Some(&GENERATE),
         _ => None,
@@ -878,6 +1028,7 @@ fn main() -> ExitCode {
         "build" => cmd_build(&args),
         "enrich" => cmd_enrich(&args),
         "serve" => cmd_serve(&args),
+        "inspect" => cmd_inspect(&args),
         "evaluate" => cmd_evaluate(&args),
         "generate" => cmd_generate(&args),
         _ => unreachable!("spec lookup covers every command"),
@@ -1088,6 +1239,64 @@ mod tests {
     fn build_rejects_unknown_options() {
         let a = parse_args(&argv(&["--engin", "e.thor"]), BUILD.flags);
         let msg = check_options("build", &a, &BUILD).unwrap_err().to_string();
+        assert!(msg.contains("did you mean `--engine`?"), "{msg}");
+    }
+
+    #[test]
+    fn engine_mmap_parses_on_off_and_rejects_junk() {
+        let mode = |items: &[&str]| engine_map_mode(&parse_args(&argv(items), ENRICH.flags));
+        assert!(matches!(mode(&[]).unwrap(), MapMode::Mapped));
+        assert!(matches!(
+            mode(&["--engine-mmap", "on"]).unwrap(),
+            MapMode::Mapped
+        ));
+        assert!(matches!(
+            mode(&["--engine-mmap", "off"]).unwrap(),
+            MapMode::Owned
+        ));
+        let msg = mode(&["--engine-mmap", "maybe"]).unwrap_err().to_string();
+        assert!(msg.contains("expected `on` or `off`"), "{msg}");
+    }
+
+    #[test]
+    fn streaming_flag_dependencies() {
+        let a = parse_args(
+            &argv(&["--chunk", "8", "--table", "t.csv", "d.txt"]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(msg.contains("--chunk requires --stream"), "{msg}");
+
+        let a = parse_args(
+            &argv(&["--engine-mmap", "on", "--table", "t.csv", "d.txt"]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(msg.contains("--engine-mmap requires --engine"), "{msg}");
+
+        // Streaming never holds the whole corpus, so it cannot feed the
+        // built-in SGNS trainer: a frozen model must come from somewhere.
+        let a = parse_args(
+            &argv(&["--stream", "--table", "t.csv", "d.txt"]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(
+            msg.contains("--stream needs --vectors or --engine"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn inspect_requires_engine_and_catches_typos() {
+        let msg = cmd_inspect(&parse_args(&[], INSPECT.flags))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("--engine"), "{msg}");
+        let a = parse_args(&argv(&["--enigne", "e.thor"]), INSPECT.flags);
+        let msg = check_options("inspect", &a, &INSPECT)
+            .unwrap_err()
+            .to_string();
         assert!(msg.contains("did you mean `--engine`?"), "{msg}");
     }
 }

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use thor_repro::core::{Document, PreparedEngine, ResilientOptions, RunMode, Thor, ThorConfig};
 use thor_repro::data::{from_csv, from_csv_lenient};
 use thor_repro::embed::{SemanticSpaceBuilder, VectorStore};
-use thor_repro::fault::{decode_document, DocumentPolicy, ErrorKind};
+use thor_repro::fault::{decode_document, DocumentPolicy, ErrorKind, SectionFile};
 
 /// Serialized engine artifact for the corruption properties, built once.
 fn engine_artifact_bytes() -> &'static Vec<u8> {
@@ -131,12 +131,14 @@ proptest! {
         );
     }
 
-    /// Flipping any single byte of a saved engine artifact makes load
-    /// fail with a named error — never a panic, never a silent success.
-    /// (Header flips hit the magic/version/length checks; payload flips
-    /// hit the FNV-1a checksum.)
+    /// Flipping any single byte of a saved engine artifact makes the
+    /// fully-verified load fail with a named error — never a panic,
+    /// never a silent success. (Header flips hit the magic/version/
+    /// length checks; directory flips hit the directory checksum;
+    /// padding flips hit the zero-padding check; payload flips hit the
+    /// per-section FNV-1a checksum.)
     #[test]
-    fn corrupt_engine_artifact_rejected(pos in 0usize..4096, xor in 1u8..=255) {
+    fn corrupt_engine_artifact_rejected(pos in 0usize..8192, xor in 1u8..=255) {
         let bytes = engine_artifact_bytes();
         let pos = pos % bytes.len();
         let mut corrupted = bytes.clone();
@@ -148,8 +150,82 @@ proptest! {
         prop_assert!(
             msg.contains("artifact") || msg.contains("checksum")
                 || msg.contains("truncated") || msg.contains("version")
-                || msg.contains("fingerprint") || msg.contains("payload"),
+                || msg.contains("fingerprint") || msg.contains("payload")
+                || msg.contains("magic") || msg.contains("padding")
+                || msg.contains("section") || msg.contains("digest"),
             "byte {pos}: unnamed error `{msg}`"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Stamping any stale or future container version into the header
+    /// is rejected by name — version 1 gets the explicit
+    /// "pre-sectioned" migration message, everything else the
+    /// "unsupported container version" one. Never a checksum error:
+    /// version is checked *before* the header checksum, so the message
+    /// survives cross-version header layout changes.
+    #[test]
+    fn stale_engine_version_rejected_by_name(version in 0u32..1024) {
+        let bytes = engine_artifact_bytes();
+        if version == thor_repro::core::ENGINE_FORMAT_VERSION {
+            // The one version the loader accepts; nothing to reject.
+            return;
+        }
+        let mut stamped = bytes.clone();
+        stamped[8..12].copy_from_slice(&version.to_le_bytes());
+        let path = scratch_path("stale");
+        std::fs::write(&path, &stamped).unwrap();
+        let err = PreparedEngine::load(&path).unwrap_err();
+        let msg = err.to_string();
+        if version == 1 {
+            prop_assert!(msg.contains("pre-sectioned"), "v1: `{msg}`");
+            prop_assert!(msg.contains("thor build --engine"), "v1: `{msg}`");
+        } else {
+            prop_assert!(
+                msg.contains(&format!("unsupported container version {version}")),
+                "v{version}: `{msg}`"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Knocking any section's recorded offset off its 64-byte alignment
+    /// (or out of bounds) in the directory is rejected by name before
+    /// any payload is interpreted. The directory checksum is patched to
+    /// match, so this exercises the bounds/alignment layer itself.
+    #[test]
+    fn misaligned_section_rejected_by_name(victim in 0usize..16, nudge in 1u64..64) {
+        let bytes = engine_artifact_bytes();
+        let file = SectionFile::from_bytes(bytes.clone()).unwrap();
+        let entries = file.entries();
+        let victim = victim % entries.len();
+        // Locate the victim's offset field inside the directory: each
+        // entry is `name (u64 len + bytes), offset u64, len u64,
+        // align u32, version u32, checksum u64`.
+        let dir_off = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+        let mut cursor = dir_off;
+        for e in entries.iter().take(victim) {
+            cursor += 8 + e.name.len() + 8 + 8 + 4 + 4 + 8;
+        }
+        let field = cursor + 8 + entries[victim].name.len();
+        let mut tampered = bytes.clone();
+        let bad = entries[victim].offset + nudge;
+        tampered[field..field + 8].copy_from_slice(&bad.to_le_bytes());
+        // Re-stamp the directory checksum so only the alignment check fires.
+        let dir_len = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+        let sum = thor_repro::fault::fnv1a(&tampered[dir_off..dir_off + dir_len]);
+        tampered[32..40].copy_from_slice(&sum.to_le_bytes());
+        let hsum = thor_repro::fault::fnv1a(&tampered[..48]);
+        tampered[48..56].copy_from_slice(&hsum.to_le_bytes());
+
+        let path = scratch_path("misalign");
+        std::fs::write(&path, &tampered).unwrap();
+        let err = PreparedEngine::load(&path).unwrap_err();
+        let msg = err.to_string();
+        prop_assert!(
+            msg.contains("align") || msg.contains("bounds") || msg.contains("overlap")
+                || msg.contains("order") || msg.contains("padding"),
+            "section {victim} nudged by {nudge}: `{msg}`"
         );
         std::fs::remove_file(&path).ok();
     }

@@ -7,7 +7,9 @@
 
 use std::time::Duration;
 
-use thor_core::{Document, PreparedEngine, Thor, ThorConfig, ENGINE_FORMAT_VERSION, ENGINE_MAGIC};
+use thor_core::{
+    Document, MapMode, PreparedEngine, Thor, ThorConfig, ENGINE_FORMAT_VERSION, ENGINE_MAGIC,
+};
 use thor_data::{outer_join, Schema, Table};
 use thor_embed::{SemanticSpaceBuilder, VectorStore};
 use thor_fault::ErrorKind;
@@ -234,6 +236,48 @@ fn tampered_artifacts_are_rejected_by_name() {
     assert!(err.to_string().contains("truncated"), "{err}");
 
     std::fs::remove_file(&path).ok();
+}
+
+/// The full equivalence matrix of the zero-copy tentpole: backing
+/// (owned vs mapped) × worker threads {1, 4} × phrase cache {0, 4096}
+/// all serve byte-identical enriched CSVs and identical entity lists.
+/// The mapped engine borrows its hot arrays straight from the file;
+/// nothing about extraction may depend on that.
+#[test]
+fn mapped_and_owned_engines_are_byte_identical() {
+    let docs = fixture_docs();
+    for cache in [0usize, 4096] {
+        let mut config = ThorConfig::with_tau(0.6);
+        config.cache_capacity = cache;
+        let built = Thor::new(fixture_store(), config).prepare(&fixture_table());
+        let reference = built.enrich(&docs);
+        let reference_csv = thor_data::csv::to_csv(&reference.table);
+
+        let path = scratch(&format!("matrix-{cache}"));
+        built.save(&path).expect("save engine");
+        let owned = PreparedEngine::load_with(&path, MapMode::Owned).expect("owned load");
+        let mapped = PreparedEngine::load_with(&path, MapMode::Mapped).expect("mapped load");
+        for (name, engine) in [("owned", &owned), ("mapped", &mapped)] {
+            assert_eq!(engine.fingerprint(), built.fingerprint(), "{name}");
+            for threads in [1usize, 4] {
+                let out = engine.with_threads(threads).enrich(&docs);
+                assert_eq!(
+                    out.entities, reference.entities,
+                    "{name}, threads={threads}, cache={cache}: entities diverged"
+                );
+                assert_eq!(
+                    thor_data::csv::to_csv(&out.table),
+                    reference_csv,
+                    "{name}, threads={threads}, cache={cache}: enriched CSV diverged"
+                );
+                assert_eq!(out.slot_stats, reference.slot_stats);
+            }
+        }
+        // The mapped engine keeps the file borrowed; drop both loads
+        // before removing the scratch file.
+        drop((owned, mapped));
+        std::fs::remove_file(&path).ok();
+    }
 }
 
 /// One loaded engine shared across threads serves concurrently and
