@@ -72,6 +72,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod resilient;
 pub mod segment;
+pub mod slot;
 pub mod slotfill;
 
 pub use config::{ScoreWeights, SegmentationMode, ThorConfig};
@@ -82,5 +83,6 @@ pub use extract::{refine_candidates, RefineOutcome};
 pub use pipeline::{EnrichmentResult, EnrichmentSession, Thor};
 pub use pool::{PoolScope, WorkerPool};
 pub use resilient::{ResilientOptions, ResilientOutcome, RunMode};
-pub use thor_fault::MapMode;
+pub use slot::{EngineGeneration, EngineSlot};
+pub use thor_fault::{CancelToken, MapMode};
 pub use thor_obs::PipelineMetrics;

@@ -36,7 +36,7 @@ use std::sync::mpsc;
 
 use thor_data::Table;
 use thor_fault::{
-    fail_point, fingerprint, validate_text, Checkpoint, DocumentPolicy, EntityRecord,
+    fail_point, fingerprint, validate_text, CancelToken, Checkpoint, DocumentPolicy, EntityRecord,
     QuarantineEntry, QuarantineReport, ThorError, ThorResult,
 };
 use thor_match::SimilarityMatcher;
@@ -79,6 +79,12 @@ pub struct ResilientOptions {
     pub resume: bool,
     /// Admission-control policy applied to every document.
     pub policy: DocumentPolicy,
+    /// Cooperative cancellation, checked between pipeline stages. An
+    /// expired token aborts the run with
+    /// [`thor_fault::ErrorKind::Deadline`] in *both* modes — a dead
+    /// request's remaining documents are not quarantined as malformed.
+    /// The default token never fires.
+    pub cancel: CancelToken,
 }
 
 impl Default for ResilientOptions {
@@ -89,6 +95,7 @@ impl Default for ResilientOptions {
             checkpoint_interval: 4,
             resume: false,
             policy: DocumentPolicy::default(),
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -115,6 +122,9 @@ pub struct ResilientOutcome {
 enum DocStatus {
     Done(Vec<ExtractedEntity>),
     Quarantined(QuarantineEntry),
+    /// The run's cancellation token fired before or between this
+    /// document's stages — a run-level abort, not a document failure.
+    Cancelled(ThorError),
 }
 
 fn to_record(e: &ExtractedEntity) -> EntityRecord {
@@ -184,6 +194,14 @@ impl RunState {
                 self.checkpoint.processed.insert(doc_id);
                 self.checkpoint.quarantine.push(entry);
             }
+            DocStatus::Cancelled(err) => {
+                // Deadline aborts regardless of mode, after a
+                // best-effort save so a checkpointed run resumes from
+                // the completed prefix. The cancelled document is not
+                // marked processed — it was never attempted.
+                let _ = self.save(run);
+                return Err(err);
+            }
         }
         self.since_save += 1;
         if self.since_save >= self.interval {
@@ -225,12 +243,14 @@ impl RunState {
 
 /// Process one document through admission control, segmentation, and
 /// extraction, isolating panics to the document.
+#[allow(clippy::too_many_arguments)] // the run's shared context, spelled out
 fn process_doc(
     config: &ThorConfig,
     matcher: &SimilarityMatcher,
     subjects: &[String],
     doc: &Document,
     policy: &DocumentPolicy,
+    cancel: &CancelToken,
     run: &PipelineMetrics,
     scratch: &mut ScoreScratch,
 ) -> DocStatus {
@@ -238,11 +258,17 @@ fn process_doc(
         DocStatus::Quarantined(QuarantineEntry::from_error(&doc.id, stage, &err))
     };
 
+    if let Err(e) = cancel.check("validate") {
+        return DocStatus::Cancelled(e);
+    }
     if let Err(e) = fail_point("validate").and_then(|()| validate_text(&doc.id, &doc.text, policy))
     {
         return quarantined("validate", e);
     }
 
+    if let Err(e) = cancel.check("segment") {
+        return DocStatus::Cancelled(e);
+    }
     let segments = match catch_unwind(AssertUnwindSafe(|| {
         fail_point("segment")?;
         Ok(segment_metered(
@@ -260,6 +286,9 @@ fn process_doc(
         }
     };
 
+    if let Err(e) = cancel.check("extract") {
+        return DocStatus::Cancelled(e);
+    }
     match catch_unwind(AssertUnwindSafe(|| {
         fail_point("extract")?;
         Ok(extract_entities_with(
@@ -373,7 +402,14 @@ impl PreparedEngine {
 
         let inference_t0 = std::time::Instant::now();
         self.process_pending(&pending, opts, &run, &mut state)?;
-        self.finalize_run(state, &run, resumed_docs, processed_docs, inference_t0)
+        self.finalize_run(
+            state,
+            &opts.cancel,
+            &run,
+            resumed_docs,
+            processed_docs,
+            inference_t0,
+        )
     }
 
     /// Out-of-core resilient enrichment: documents arrive from a lazy
@@ -496,7 +532,14 @@ impl PreparedEngine {
                 doc_ids.len()
             )));
         }
-        self.finalize_run(state, &run, resumed_docs, processed_docs, inference_t0)
+        self.finalize_run(
+            state,
+            &opts.cancel,
+            &run,
+            resumed_docs,
+            processed_docs,
+            inference_t0,
+        )
     }
 
     /// Build this run's [`RunState`], absorbing a resumable checkpoint
@@ -570,6 +613,7 @@ impl PreparedEngine {
                     subjects,
                     doc,
                     &opts.policy,
+                    &opts.cancel,
                     run,
                     &mut scratch,
                 );
@@ -585,10 +629,11 @@ impl PreparedEngine {
                     let tx = tx.clone();
                     let (next, cancel) = (&next, &cancel);
                     let policy = &opts.policy;
+                    let token = &opts.cancel;
                     scope.spawn(move || {
                         let mut scratch = ScoreScratch::new();
                         loop {
-                            if cancel.load(Ordering::Relaxed) {
+                            if cancel.load(Ordering::Relaxed) || token.is_cancelled() {
                                 break;
                             }
                             let i = next.fetch_add(1, Ordering::Relaxed);
@@ -601,6 +646,7 @@ impl PreparedEngine {
                                 subjects,
                                 doc,
                                 policy,
+                                token,
                                 run,
                                 &mut scratch,
                             );
@@ -634,6 +680,7 @@ impl PreparedEngine {
     fn finalize_run(
         &self,
         mut state: RunState,
+        cancel: &CancelToken,
         run: &PipelineMetrics,
         resumed_docs: usize,
         processed_docs: usize,
@@ -642,6 +689,10 @@ impl PreparedEngine {
         // Final checkpoint so a crash after this point resumes instantly.
         state.maybe_save(run)?;
 
+        // Workers wind down quietly when the token fires mid-run; this
+        // seam turns that into the run-level deadline error (and stops
+        // an expired request from paying for slot fill).
+        cancel.check("slot_fill")?;
         fail_point("slot_fill")?;
         let mut entities: Vec<ExtractedEntity> =
             state.checkpoint.entities.iter().map(from_record).collect();
@@ -887,6 +938,52 @@ mod tests {
             .enrich_resilient_stream(&ids, short, &opts, 2)
             .unwrap_err();
         assert!(err.to_string().contains("ended after 2"), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_run_in_both_modes() {
+        let (thor, table, docs) = setup();
+        for mode in [RunMode::Strict, RunMode::Lenient] {
+            let opts = ResilientOptions {
+                mode,
+                cancel: thor_fault::CancelToken::with_deadline(std::time::Duration::ZERO),
+                ..Default::default()
+            };
+            let err = thor.enrich_resilient(&table, &docs, &opts).unwrap_err();
+            assert_eq!(err.kind(), thor_fault::ErrorKind::Deadline, "{mode:?}");
+            assert!(err.to_string().contains("deadline exceeded"), "{err}");
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_multithreaded_runs() {
+        let (thor, table, docs) = setup();
+        let engine = thor.prepare(&table).with_threads(4);
+        let opts = ResilientOptions {
+            mode: RunMode::Lenient,
+            cancel: thor_fault::CancelToken::with_deadline(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let err = engine.enrich_resilient(&docs, &opts).unwrap_err();
+        assert_eq!(err.kind(), thor_fault::ErrorKind::Deadline);
+    }
+
+    #[test]
+    fn unexpired_deadline_changes_nothing() {
+        let (thor, table, docs) = setup();
+        let plain = thor
+            .enrich_resilient(&table, &docs, &ResilientOptions::default())
+            .unwrap();
+        let opts = ResilientOptions {
+            cancel: thor_fault::CancelToken::with_deadline(std::time::Duration::from_secs(3600)),
+            ..Default::default()
+        };
+        let budgeted = thor.enrich_resilient(&table, &docs, &opts).unwrap();
+        assert_eq!(budgeted.result.entities, plain.result.entities);
+        assert_eq!(
+            thor_data::to_csv(&budgeted.result.table),
+            thor_data::to_csv(&plain.result.table)
+        );
     }
 
     #[test]

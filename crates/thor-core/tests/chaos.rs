@@ -88,6 +88,7 @@ fn opts(mode: RunMode, dir: Option<&Path>, resume: bool) -> ResilientOptions {
         checkpoint_interval: 1,
         resume,
         policy: DocumentPolicy::default(),
+        ..ResilientOptions::default()
     }
 }
 

@@ -30,6 +30,9 @@ pub enum ErrorKind {
     Config,
     /// A deterministically injected fault (failpoint harness).
     Injected,
+    /// A cooperative cancellation fired: the request's deadline budget
+    /// expired between pipeline stages.
+    Deadline,
 }
 
 impl ErrorKind {
@@ -43,6 +46,7 @@ impl ErrorKind {
             ErrorKind::Checkpoint => "checkpoint",
             ErrorKind::Config => "config",
             ErrorKind::Injected => "injected",
+            ErrorKind::Deadline => "deadline",
         }
     }
 }
@@ -116,6 +120,15 @@ impl ThorError {
     /// An [`ErrorKind::Injected`] error from the failpoint `name`.
     pub fn injected(name: &str) -> Self {
         Self::new(ErrorKind::Injected, format!("injected fault at `{name}`"))
+    }
+
+    /// An [`ErrorKind::Deadline`] error naming the stage the budget
+    /// expired before.
+    pub fn deadline(stage: &str) -> Self {
+        Self::new(
+            ErrorKind::Deadline,
+            format!("deadline exceeded before `{stage}`"),
+        )
     }
 
     /// Attach a chained source error.
@@ -253,6 +266,7 @@ mod tests {
             (ErrorKind::Checkpoint, "checkpoint"),
             (ErrorKind::Config, "config"),
             (ErrorKind::Injected, "injected"),
+            (ErrorKind::Deadline, "deadline"),
         ] {
             assert_eq!(kind.label(), label);
             assert_eq!(kind.to_string(), label);

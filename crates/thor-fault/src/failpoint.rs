@@ -174,6 +174,10 @@ pub const SITES: &[&str] = &[
     "checkpoint_save", // thor-fault: checkpoint persistence
     "atomic_write",    // thor-fault: any atomic artifact write (run-level)
     "serve_request",   // thor-serve: per-request seam in the HTTP front end
+    "reload_open",     // thor-serve: candidate artifact open during hot reload
+    "reload_validate", // thor-serve: candidate validation during hot reload
+    "swap",            // thor-core: the engine-slot generation swap itself
+    "worker_panic",    // thor-serve: accept-worker seam (kills one worker)
 ];
 
 /// Serializes tests that arm the (global) failpoint registry.

@@ -13,8 +13,11 @@
 //! - [`failpoint`] — named, deterministic fault-injection points
 //!   (`THOR_FAILPOINTS=read_doc:err@3,extract:panic@7`) compiled into
 //!   I/O and pipeline seams; zero-cost when unarmed.
-//! - [`atomic_io`] — atomic file writes (temp file + fsync + rename) so
-//!   a kill never leaves truncated artifacts behind.
+//! - [`atomic_io`] — atomic file writes (temp file + fsync + rename +
+//!   parent-directory fsync) so a kill never leaves truncated artifacts
+//!   behind and a completed rename survives power loss.
+//! - [`cancel`] — the cooperative [`CancelToken`] checked between
+//!   pipeline stages, backing per-request deadline budgets.
 //! - [`artifact`] — the versioned binary artifact container (magic +
 //!   format version + FNV-1a checksum header) used by persistable
 //!   engine bundles; rejects corrupt/truncated/mismatched files before
@@ -36,6 +39,7 @@
 
 pub mod artifact;
 pub mod atomic_io;
+pub mod cancel;
 pub mod checkpoint;
 pub mod error;
 pub mod failpoint;
@@ -47,6 +51,7 @@ pub mod view;
 
 pub use artifact::{fnv1a, read_artifact, write_artifact, ByteReader, ByteWriter};
 pub use atomic_io::{atomic_write, read_bytes, read_to_string};
+pub use cancel::CancelToken;
 pub use checkpoint::{fingerprint, Checkpoint, EntityRecord};
 pub use error::{ErrorKind, ResultExt, ThorError, ThorResult};
 pub use failpoint::{

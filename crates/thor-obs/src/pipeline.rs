@@ -244,6 +244,37 @@ mod tests {
         }
     }
 
+    /// The serve-layer robustness metrics (hot reload, supervision,
+    /// deadline budgets) survive the JSON round trip `/metrics` relies
+    /// on — counters and the health gauge keep exact values.
+    #[test]
+    fn serve_robustness_metrics_round_trip() {
+        let metrics = PipelineMetrics::new();
+        let registry = metrics.registry();
+        registry.counter("reload.ok").add(7);
+        registry.counter("reload.rejected").add(2);
+        registry.counter("worker.restarts").add(3);
+        registry.counter("deadline.exceeded").add(11);
+        registry.gauge("serve.health").set(2); // degraded
+
+        let json = metrics.render_json();
+        let parsed = crate::registry::MetricsSnapshot::from_json_str(&json).expect("valid json");
+        assert_eq!(parsed.count("reload.ok"), 7);
+        assert_eq!(parsed.count("reload.rejected"), 2);
+        assert_eq!(parsed.count("worker.restarts"), 3);
+        assert_eq!(parsed.count("deadline.exceeded"), 11);
+        match parsed.get("serve.health") {
+            Some(crate::registry::MetricValue::Gauge(2)) => {}
+            other => panic!("serve.health round-tripped as {other:?}"),
+        }
+        // And they merge (the resume/absorb path) like any other metric.
+        let resumed = PipelineMetrics::new();
+        resumed.registry().counter("reload.ok").add(1);
+        resumed.absorb(&parsed);
+        assert_eq!(resumed.snapshot().count("reload.ok"), 8);
+        assert_eq!(resumed.snapshot().count("serve.health"), 2);
+    }
+
     #[test]
     fn renders_both_formats() {
         let metrics = PipelineMetrics::new();

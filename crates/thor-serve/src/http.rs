@@ -422,6 +422,7 @@ pub fn status_reason(status: u16) -> &'static str {
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Unknown",
     }

@@ -26,12 +26,21 @@
 //!   exceeded — the server never accumulates an unbounded backlog.
 //! * **Drain, don't drop.** SIGTERM/ctrl-c stops accepting, finishes
 //!   in-flight requests, and leaves metrics flushable by the caller.
+//! * **Reload without a restart.** SIGHUP (or `--watch-engine` polling)
+//!   drives the [`reload`] state machine: candidates are validated
+//!   end-to-end — including a re-verified section-directory checksum —
+//!   before the epoch-versioned hot swap; a corrupt candidate is
+//!   rejected by name while the old generation keeps serving. Panicked
+//!   accept workers are restarted with backoff, and a crash loop trips
+//!   a breaker that turns `/healthz` into a 503 `degraded` report.
 
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod reload;
 pub mod server;
 pub mod signal;
 
 pub use http::{HttpError, HttpLimits, RequestHead, RequestReader, Response};
-pub use server::{ServeOptions, Server};
+pub use reload::{artifact_stamp, try_reload, ArtifactStamp, ReloadConfig};
+pub use server::{ServeOptions, Server, ShutdownHandle};

@@ -1,14 +1,31 @@
-//! The serving loop: admission-gated request handling over a frozen
-//! [`PreparedEngine`].
+//! The serving loop: admission-gated request handling over a hot-
+//! swappable [`EngineSlot`] of frozen [`PreparedEngine`] generations.
 //!
-//! One blocking accept loop hands each connection to a handler thread;
+//! A fixed pool of supervised accept workers shares one nonblocking
+//! listener; each accepted connection gets its own handler thread, and
 //! the heavy lifting inside a request (document-parallel extraction)
 //! runs on the process-wide `thor_core::WorkerPool`, exactly as a batch
 //! run would. Admission is a fixed pool of permits acquired *after* the
 //! request head and *before* the body — an overloaded server refuses
-//! with `429 Retry-After` instead of buffering bodies it cannot chew,
-//! and a stalled client holds exactly one permit until the read
-//! deadline fires.
+//! with `429 Retry-After` instead of buffering bodies it cannot chew.
+//!
+//! Robustness layers added around that core:
+//!
+//! * **Hot reload.** The engine lives in an epoch-versioned
+//!   [`EngineSlot`]; SIGHUP and/or `--watch-engine` polling drive the
+//!   reload state machine ([`crate::reload`]), which validates a
+//!   candidate artifact end-to-end before swapping. Each request pins
+//!   the generation it started on, so in-flight work finishes on the
+//!   old engine while new requests land on the new one; every routed
+//!   response carries `X-Thor-Engine: <fingerprint>@<epoch>`.
+//! * **Supervision.** A panicked accept worker is restarted with
+//!   exponential backoff + deterministic jitter; a crash loop trips a
+//!   breaker that reports `degraded` (healthz 503) until the loop
+//!   cools down.
+//! * **Deadline budgets.** With [`ServeOptions::deadline`] set, each
+//!   batch request carries a [`CancelToken`] checked between pipeline
+//!   stages; an expired budget answers `503 deadline-exceeded` instead
+//!   of hanging the connection.
 //!
 //! Batch requests flow through [`PreparedEngine::enrich_resilient`] in
 //! lenient mode: per-document admission control and `catch_unwind`
@@ -19,14 +36,18 @@
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use thor_core::{entities_tsv, Document, PreparedEngine, ResilientOptions, RunMode};
+use thor_core::{
+    entities_tsv, CancelToken, Document, EngineGeneration, EngineSlot, PreparedEngine,
+    ResilientOptions, RunMode,
+};
 use thor_fault::{fail_point, DocumentPolicy, ErrorKind, ThorError, ThorResult};
-use thor_obs::{Counter, Histogram, Json, PipelineMetrics};
+use thor_obs::{Counter, Gauge, Histogram, Json, PipelineMetrics};
 
 use crate::http::{write_response, HttpLimits, RequestHead, RequestReader};
+use crate::reload::{try_reload, ReloadConfig};
 use crate::signal;
 
 /// Tunables of one serving process.
@@ -45,6 +66,21 @@ pub struct ServeOptions {
     /// ([`signal::triggered`]). The CLI sets this; tests drive the
     /// shutdown handle directly.
     pub watch_signals: bool,
+    /// Supervised accept workers sharing the listener. Each panicked
+    /// worker is restarted with backoff; connections get their own
+    /// handler threads, so this bounds accept parallelism, not request
+    /// concurrency (that is `queue`).
+    pub workers: usize,
+    /// Per-request deadline budget for batch requests; `None` disables
+    /// budget enforcement.
+    pub deadline: Option<Duration>,
+    /// Worker restarts within [`ServeOptions::breaker_window`] that
+    /// trip the crash-loop breaker into `degraded`.
+    pub breaker_threshold: usize,
+    /// Sliding window the breaker counts restarts over.
+    pub breaker_window: Duration,
+    /// Quiet time (no restarts) after which a tripped breaker resets.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeOptions {
@@ -55,6 +91,11 @@ impl Default for ServeOptions {
             limits: HttpLimits::default(),
             policy: DocumentPolicy::default(),
             watch_signals: false,
+            workers: 2,
+            deadline: None,
+            breaker_threshold: 5,
+            breaker_window: Duration::from_secs(10),
+            breaker_cooldown: Duration::from_secs(2),
         }
     }
 }
@@ -66,8 +107,32 @@ struct ServeStats {
     rejected: Arc<Counter>,
     http_errors: Arc<Counter>,
     panics: Arc<Counter>,
+    reload_ok: Arc<Counter>,
+    reload_rejected: Arc<Counter>,
+    worker_restarts: Arc<Counter>,
+    deadline_exceeded: Arc<Counter>,
+    health: Arc<Gauge>,
     lat_enrich: Arc<Histogram>,
     lat_extract: Arc<Histogram>,
+}
+
+impl ServeStats {
+    fn new(registry: &thor_obs::MetricsRegistry, queue: usize) -> Self {
+        Self {
+            permits: AtomicUsize::new(queue.max(1)),
+            requests: registry.counter("serve.requests"),
+            rejected: registry.counter("serve.rejected"),
+            http_errors: registry.counter("serve.http_errors"),
+            panics: registry.counter("serve.panics"),
+            reload_ok: registry.counter("reload.ok"),
+            reload_rejected: registry.counter("reload.rejected"),
+            worker_restarts: registry.counter("worker.restarts"),
+            deadline_exceeded: registry.counter("deadline.exceeded"),
+            health: registry.gauge("serve.health"),
+            lat_enrich: registry.histogram("serve.latency.enrich"),
+            lat_extract: registry.histogram("serve.latency.extract"),
+        }
+    }
 }
 
 /// RAII admission permit.
@@ -97,18 +162,91 @@ impl ServeStats {
     }
 }
 
+/// [`Gauge`] encoding of the health state (`serve.health`).
+const HEALTH_SERVING: u64 = 0;
+const HEALTH_RELOADING: u64 = 1;
+const HEALTH_DEGRADED: u64 = 2;
+
 /// Shared per-connection context.
 struct Ctx {
-    engine: PreparedEngine,
+    slot: EngineSlot,
     metrics: PipelineMetrics,
     stats: ServeStats,
     opts: ServeOptions,
+    reload: Option<ReloadConfig>,
     shutdown: AtomicBool,
+    /// Crash-loop breaker state: tripped → healthz reports 503.
+    degraded: AtomicBool,
+    /// A reload attempt is in flight (transient, informational).
+    reloading: AtomicBool,
+    /// Recent worker-restart instants inside the breaker window.
+    restarts: Mutex<Vec<Instant>>,
+    started: Instant,
 }
 
 impl Ctx {
     fn draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst) || (self.opts.watch_signals && signal::triggered())
+    }
+
+    fn health_label(&self) -> &'static str {
+        if self.degraded.load(Ordering::SeqCst) {
+            "degraded"
+        } else if self.reloading.load(Ordering::SeqCst) {
+            "reloading"
+        } else {
+            "serving"
+        }
+    }
+
+    fn set_health_gauge(&self) {
+        let v = if self.degraded.load(Ordering::SeqCst) {
+            HEALTH_DEGRADED
+        } else if self.reloading.load(Ordering::SeqCst) {
+            HEALTH_RELOADING
+        } else {
+            HEALTH_SERVING
+        };
+        self.stats.health.set(v);
+    }
+
+    /// Count one worker restart into the breaker's sliding window; trip
+    /// into `degraded` when the window fills up.
+    fn record_worker_restart(&self) {
+        self.stats.worker_restarts.inc();
+        let now = Instant::now();
+        let mut window = self.restarts.lock().unwrap_or_else(|p| p.into_inner());
+        window.push(now);
+        window.retain(|t| now.duration_since(*t) <= self.opts.breaker_window);
+        if window.len() >= self.opts.breaker_threshold.max(1)
+            && !self.degraded.swap(true, Ordering::SeqCst)
+        {
+            eprintln!(
+                "serve: crash-loop breaker tripped ({} worker restarts in {:?}); health degraded",
+                window.len(),
+                self.opts.breaker_window
+            );
+        }
+        drop(window);
+        self.set_health_gauge();
+    }
+
+    /// Reset a tripped breaker once the loop has been quiet for the
+    /// cooldown. Called from the accept loop's poll tick.
+    fn breaker_tick(&self) {
+        if !self.degraded.load(Ordering::SeqCst) {
+            return;
+        }
+        let quiet = {
+            let window = self.restarts.lock().unwrap_or_else(|p| p.into_inner());
+            window
+                .last()
+                .is_none_or(|t| t.elapsed() >= self.opts.breaker_cooldown)
+        };
+        if quiet && self.degraded.swap(false, Ordering::SeqCst) {
+            eprintln!("serve: crash-loop breaker reset; health serving");
+            self.set_health_gauge();
+        }
     }
 }
 
@@ -122,36 +260,48 @@ pub struct Server {
 impl Server {
     /// Bind `addr` and wire the engine up for serving: a fresh
     /// [`PipelineMetrics`] is attached (so `/metrics` sees pipeline
-    /// stages and quarantine counts) and the serve-layer counters and
-    /// latency histograms are registered alongside.
+    /// stages and quarantine counts) and the serve-layer counters,
+    /// health gauge and latency histograms are registered alongside.
     pub fn bind(engine: PreparedEngine, addr: &str, opts: ServeOptions) -> ThorResult<Server> {
+        Self::bind_with(engine, addr, opts, None)
+    }
+
+    /// [`Server::bind`] plus a hot-reload configuration: the returned
+    /// server re-validates and swaps in `reload.path` on SIGHUP
+    /// ([`signal::install_reload_handler`]) / programmatic request
+    /// ([`signal::request_reload`]) and, when `reload.poll` is set, on
+    /// detected artifact changes.
+    pub fn bind_with(
+        engine: PreparedEngine,
+        addr: &str,
+        opts: ServeOptions,
+        reload: Option<ReloadConfig>,
+    ) -> ThorResult<Server> {
         let metrics = PipelineMetrics::new();
         let engine = engine.with_metrics(metrics.clone());
-        let registry = metrics.registry();
-        let stats = ServeStats {
-            permits: AtomicUsize::new(opts.queue.max(1)),
-            requests: registry.counter("serve.requests"),
-            rejected: registry.counter("serve.rejected"),
-            http_errors: registry.counter("serve.http_errors"),
-            panics: registry.counter("serve.panics"),
-            lat_enrich: registry.histogram("serve.latency.enrich"),
-            lat_extract: registry.histogram("serve.latency.extract"),
-        };
+        let stats = ServeStats::new(metrics.registry(), opts.queue);
         let listener =
             TcpListener::bind(addr).map_err(|e| ThorError::io(format!("bind {addr}"), e))?;
         let local_addr = listener
             .local_addr()
             .map_err(|e| ThorError::io("local_addr", e))?;
+        let ctx = Arc::new(Ctx {
+            slot: EngineSlot::new(engine),
+            metrics,
+            stats,
+            opts,
+            reload,
+            shutdown: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            reloading: AtomicBool::new(false),
+            restarts: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+        ctx.set_health_gauge();
         Ok(Server {
             listener,
             local_addr,
-            ctx: Arc::new(Ctx {
-                engine,
-                metrics,
-                stats,
-                opts,
-                shutdown: AtomicBool::new(false),
-            }),
+            ctx,
         })
     }
 
@@ -166,6 +316,11 @@ impl Server {
         &self.ctx.metrics
     }
 
+    /// The generation currently being served (`fingerprint@epoch`).
+    pub fn generation(&self) -> Arc<EngineGeneration> {
+        self.ctx.slot.load()
+    }
+
     /// A handle that, once set, drains the server: the accept loop
     /// stops taking connections, in-flight requests finish, idle
     /// keep-alive connections close at their next poll tick.
@@ -173,38 +328,41 @@ impl Server {
         ShutdownHandle(Arc::clone(&self.ctx))
     }
 
-    /// Run the blocking accept loop until drained. Returns after every
-    /// in-flight connection has finished.
+    /// Run the supervised accept workers (and the reload loop, when
+    /// configured) until drained. Returns after every in-flight
+    /// connection has finished.
     pub fn run(self) -> ThorResult<()> {
         self.listener
             .set_nonblocking(true)
             .map_err(|e| ThorError::io("set_nonblocking", e))?;
-        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-        loop {
-            if self.ctx.draining() {
-                break;
-            }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    // Responses are written head + body in separate
-                    // syscalls; without NODELAY, Nagle + delayed ACK
-                    // stalls keep-alive round trips by ~40-130ms.
-                    let _ = stream.set_nodelay(true);
-                    let ctx = Arc::clone(&self.ctx);
-                    conns.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(ThorError::io("accept", e)),
-            }
-            conns.retain(|h| !h.is_finished());
+        let listener = Arc::new(self.listener);
+        let ctx = self.ctx;
+        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let reloader = ctx.reload.is_some().then(|| {
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || reload_loop(&ctx))
+        });
+
+        let supervisors: Vec<_> = (0..ctx.opts.workers.max(1))
+            .map(|worker| {
+                let ctx = Arc::clone(&ctx);
+                let listener = Arc::clone(&listener);
+                let conns = Arc::clone(&conns);
+                std::thread::spawn(move || supervise_worker(worker, &listener, &ctx, &conns))
+            })
+            .collect();
+        for handle in supervisors {
+            let _ = handle.join();
+        }
+        if let Some(handle) = reloader {
+            let _ = handle.join();
         }
         // Drain: finish in-flight connections before returning so the
         // caller can flush metrics knowing nothing is still recording.
-        for h in conns {
-            let _ = h.join();
+        let handles = std::mem::take(&mut *conns.lock().unwrap_or_else(|p| p.into_inner()));
+        for handle in handles {
+            let _ = handle.join();
         }
         Ok(())
     }
@@ -218,6 +376,156 @@ impl ShutdownHandle {
     /// Begin the drain.
     pub fn shutdown(&self) {
         self.0.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// One supervised worker slot: run the accept loop, and when it
+/// panics (a `worker_panic` injection or a real bug above the
+/// per-request `catch_unwind`), restart it with exponential backoff and
+/// deterministic jitter. A clean return means the server is draining.
+fn supervise_worker(
+    worker: usize,
+    listener: &TcpListener,
+    ctx: &Arc<Ctx>,
+    conns: &Mutex<Vec<std::thread::JoinHandle<()>>>,
+) {
+    // SplitMix64 seeded per worker slot: jitter is deterministic for a
+    // given restart sequence but decorrelated across workers.
+    let mut jitter_state = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker as u64 + 1);
+    let mut attempt = 0u32;
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| accept_loop(listener, ctx, conns)));
+        match result {
+            Ok(()) => break, // draining
+            Err(_) => {
+                ctx.record_worker_restart();
+                if ctx.draining() {
+                    break;
+                }
+                attempt += 1;
+                let backoff = backoff_with_jitter(attempt, &mut jitter_state);
+                eprintln!("serve: worker {worker} panicked; restart {attempt} in {backoff:?}");
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+}
+
+/// Exponential backoff (10ms base, doubling, 1s cap) with ±50%
+/// deterministic jitter from a SplitMix64 stream.
+fn backoff_with_jitter(attempt: u32, state: &mut u64) -> Duration {
+    let base_ms = 10u64
+        .saturating_mul(1u64 << attempt.min(7).saturating_sub(1))
+        .min(1000);
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    Duration::from_millis(base_ms / 2 + z % (base_ms / 2 + 1))
+}
+
+/// The accept loop one worker runs: poll for drain, tick the breaker,
+/// accept, hand the connection to its own handler thread.
+fn accept_loop(
+    listener: &TcpListener,
+    ctx: &Arc<Ctx>,
+    conns: &Mutex<Vec<std::thread::JoinHandle<()>>>,
+) {
+    loop {
+        if ctx.draining() {
+            return;
+        }
+        ctx.breaker_tick();
+        // The worker-kill seam: any armed action takes this worker down
+        // (between accepts, so no accepted connection is dropped) and
+        // the supervisor restarts it.
+        if let Err(e) = fail_point("worker_panic") {
+            panic!("{e}");
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Responses are written head + body in separate
+                // syscalls; without NODELAY, Nagle + delayed ACK
+                // stalls keep-alive round trips by ~40-130ms.
+                let _ = stream.set_nodelay(true);
+                let ctx = Arc::clone(ctx);
+                let mut pool = conns.lock().unwrap_or_else(|p| p.into_inner());
+                pool.retain(|h| !h.is_finished());
+                pool.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            // A fatal accept error kills the worker; the supervisor
+            // restarts it with backoff, and a persistent failure trips
+            // the breaker into `degraded` instead of spinning silently.
+            Err(e) => panic!("accept failed: {e}"),
+        }
+    }
+}
+
+/// The reload loop: consume SIGHUP/programmatic requests and (when
+/// polling is configured) watch the artifact stamp for changes. One
+/// log line per attempt, success or rejection; a rejected candidate
+/// leaves the serving generation untouched.
+fn reload_loop(ctx: &Arc<Ctx>) {
+    let Some(cfg) = ctx.reload.as_ref() else {
+        return;
+    };
+    let tick = Duration::from_millis(20);
+    let mut last_poll = Instant::now();
+    // The stamp the serving engine was loaded under, and the stamp of
+    // the last rejected candidate — so a corrupt artifact is attempted
+    // once per distinct content, not once per poll.
+    let mut serving = crate::reload::artifact_stamp(&cfg.path).ok();
+    let mut rejected = None;
+    loop {
+        if ctx.draining() {
+            return;
+        }
+        let mut want = signal::take_reload_request();
+        if let Some(every) = cfg.poll {
+            if last_poll.elapsed() >= every {
+                last_poll = Instant::now();
+                // An unreadable stamp (mid-rewrite, truncated) is not a
+                // trigger; the completed artifact shows up next poll.
+                if let Ok(stamp) = crate::reload::artifact_stamp(&cfg.path) {
+                    if Some(stamp) != serving && Some(stamp) != rejected {
+                        want = true;
+                    }
+                }
+            }
+        }
+        if want {
+            ctx.reloading.store(true, Ordering::SeqCst);
+            ctx.set_health_gauge();
+            match try_reload(cfg, &ctx.slot, &ctx.metrics) {
+                Ok((generation, stamp)) => {
+                    serving = Some(stamp);
+                    rejected = None;
+                    ctx.stats.reload_ok.inc();
+                    eprintln!(
+                        "serve: reloaded {} as {}",
+                        cfg.path.display(),
+                        generation.tag()
+                    );
+                }
+                Err(e) => {
+                    rejected = crate::reload::artifact_stamp(&cfg.path).ok();
+                    ctx.stats.reload_rejected.inc();
+                    eprintln!(
+                        "serve: reload of {} rejected ({e}); still serving {}",
+                        cfg.path.display(),
+                        ctx.slot.load().tag()
+                    );
+                }
+            }
+            ctx.reloading.store(false, Ordering::SeqCst);
+            ctx.set_health_gauge();
+        }
+        std::thread::sleep(tick);
     }
 }
 
@@ -241,7 +549,14 @@ fn handle_connection(stream: TcpStream, ctx: &Ctx) {
             Ok(None) => break,
             Err(e) => {
                 ctx.stats.http_errors.inc();
-                let _ = write_error(&mut writer, e.status(), e.name(), &e.to_string(), false);
+                let _ = write_error(
+                    &mut writer,
+                    e.status(),
+                    e.name(),
+                    &e.to_string(),
+                    &[],
+                    false,
+                );
                 break;
             }
             Ok(Some(head)) => {
@@ -262,6 +577,7 @@ fn write_error(
     status: u16,
     name: &str,
     detail: &str,
+    extra: &[(&str, String)],
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let body = Json::Object(
@@ -274,13 +590,17 @@ fn write_error(
     )
     .render();
     let mut headers = vec![("Content-Type", "application/json".to_string())];
+    headers.extend(extra.iter().map(|(k, v)| (*k, v.clone())));
     if status == 429 {
         headers.push(("Retry-After", "1".to_string()));
     }
     write_response(w, status, &headers, body.as_bytes(), keep_alive)
 }
 
-/// Dispatch one parsed request. Returns whether the connection may
+/// Dispatch one parsed request. The serving generation is pinned once,
+/// up front: everything this request does — including a long enrichment
+/// racing a hot swap — happens on that generation, and the response
+/// names it in `X-Thor-Engine`. Returns whether the connection may
 /// continue (protocol-level failures close it so framing stays sound).
 fn handle_request(
     writer: &mut TcpStream,
@@ -288,20 +608,29 @@ fn handle_request(
     head: &RequestHead,
     ctx: &Ctx,
 ) -> bool {
+    let generation = ctx.slot.load();
+    let engine_header = ("X-Thor-Engine", generation.tag());
     match (head.method.as_str(), head.target.as_str()) {
         ("GET", "/healthz") => {
-            let engine = &ctx.engine;
+            let label = ctx.health_label();
             let body = Json::Object(
                 [
-                    ("status".to_string(), Json::Str("ok".into())),
+                    ("status".to_string(), Json::Str(label.into())),
                     (
                         "fingerprint".to_string(),
-                        Json::Str(engine.fingerprint().to_string()),
+                        Json::Str(generation.engine.fingerprint().to_string()),
                     ),
-                    ("tau".to_string(), Json::Float(engine.tau())),
+                    ("epoch".to_string(), Json::UInt(generation.epoch)),
+                    (
+                        "uptime_secs".to_string(),
+                        Json::UInt(ctx.started.elapsed().as_secs()),
+                    ),
+                    ("tau".to_string(), Json::Float(generation.engine.tau())),
                     (
                         "concepts".to_string(),
-                        Json::UInt(engine.prepared_matcher().concept_names().len() as u64),
+                        Json::UInt(
+                            generation.engine.prepared_matcher().concept_names().len() as u64
+                        ),
                     ),
                     ("draining".to_string(), Json::Bool(ctx.draining())),
                 ]
@@ -310,22 +639,49 @@ fn handle_request(
             )
             .render();
             ctx.stats.requests.inc();
-            write_ok(writer, "application/json", body.into_bytes(), &[], true)
+            let status = if label == "degraded" { 503 } else { 200 };
+            let headers = [
+                ("Content-Type", "application/json".to_string()),
+                engine_header,
+            ];
+            write_response(writer, status, &headers, body.as_bytes(), true).is_ok()
         }
         ("GET", "/metrics") => {
             let body = ctx.metrics.render_json();
             ctx.stats.requests.inc();
-            write_ok(writer, "application/json", body.into_bytes(), &[], true)
+            write_ok(
+                writer,
+                "application/json",
+                body.into_bytes(),
+                &[engine_header],
+                true,
+            )
         }
-        ("POST", path @ ("/enrich" | "/extract")) => handle_batch(writer, reader, head, path, ctx),
+        ("POST", path @ ("/enrich" | "/extract")) => {
+            handle_batch(writer, reader, head, path, ctx, &generation, engine_header)
+        }
         (_, "/healthz" | "/metrics") => {
             ctx.stats.http_errors.inc();
-            let _ = write_error(writer, 405, "method-not-allowed", "use GET", true);
+            let _ = write_error(
+                writer,
+                405,
+                "method-not-allowed",
+                "use GET",
+                &[engine_header],
+                true,
+            );
             true
         }
         (_, "/enrich" | "/extract") => {
             ctx.stats.http_errors.inc();
-            let _ = write_error(writer, 405, "method-not-allowed", "use POST", true);
+            let _ = write_error(
+                writer,
+                405,
+                "method-not-allowed",
+                "use POST",
+                &[engine_header],
+                true,
+            );
             true
         }
         (_, other) => {
@@ -335,6 +691,7 @@ fn handle_request(
                 404,
                 "not-found",
                 &format!("no route `{other}`"),
+                &[engine_header],
                 true,
             );
             true
@@ -355,14 +712,18 @@ fn write_ok(
 }
 
 /// One batch request: admission permit → body → parse → resilient
-/// enrichment → CSV/TSV bytes identical to the batch CLI.
+/// enrichment on the pinned generation → CSV/TSV bytes identical to the
+/// batch CLI.
 fn handle_batch(
     writer: &mut TcpStream,
     reader: &mut RequestReader<TcpStream>,
     head: &RequestHead,
     path: &str,
     ctx: &Ctx,
+    generation: &EngineGeneration,
+    engine_header: (&'static str, String),
 ) -> bool {
+    let extra = [engine_header];
     // Overload is decided on the head alone: refusing before the body
     // keeps a saturated server from buffering payloads it cannot
     // process, and closes so the unread body never corrupts framing.
@@ -373,6 +734,7 @@ fn handle_batch(
             429,
             "overloaded",
             "admission queue full; retry",
+            &extra,
             false,
         );
         return false;
@@ -386,13 +748,14 @@ fn handle_batch(
                 411,
                 "length-required",
                 "body must declare Content-Length",
+                &extra,
                 false,
             );
             return false;
         }
         Err(e) => {
             ctx.stats.http_errors.inc();
-            let _ = write_error(writer, e.status(), e.name(), &e.to_string(), false);
+            let _ = write_error(writer, e.status(), e.name(), &e.to_string(), &extra, false);
             return false;
         }
     };
@@ -400,7 +763,7 @@ fn handle_batch(
         Ok(body) => body,
         Err(e) => {
             ctx.stats.http_errors.inc();
-            let _ = write_error(writer, e.status(), e.name(), &e.to_string(), false);
+            let _ = write_error(writer, e.status(), e.name(), &e.to_string(), &extra, false);
             return false;
         }
     };
@@ -408,7 +771,9 @@ fn handle_batch(
     let t0 = Instant::now();
     // One panicking request costs one request: the same isolation the
     // resilient runner gives documents, applied at the request seam.
-    let reply = catch_unwind(AssertUnwindSafe(|| process_batch(ctx, path, &body)));
+    let reply = catch_unwind(AssertUnwindSafe(|| {
+        process_batch(ctx, &generation.engine, path, &body)
+    }));
     let elapsed = t0.elapsed();
     let histogram = match path {
         "/enrich" => &ctx.stats.lat_enrich,
@@ -424,13 +789,14 @@ fn handle_batch(
                 500,
                 "handler-panic",
                 "request handler panicked",
+                &extra,
                 false,
             );
             false
         }
         Ok(Err((status, name, detail))) => {
             ctx.stats.requests.inc();
-            let _ = write_error(writer, status, name, &detail, true);
+            let _ = write_error(writer, status, name, &detail, &extra, true);
             true
         }
         Ok(Ok(reply)) => {
@@ -440,6 +806,7 @@ fn handle_batch(
                 reply.content_type,
                 reply.body,
                 &[
+                    extra[0].clone(),
                     ("X-Thor-Quarantined", reply.quarantined.to_string()),
                     ("X-Thor-Docs", reply.docs.to_string()),
                 ],
@@ -459,19 +826,35 @@ struct BatchReply {
 
 type BatchError = (u16, &'static str, String);
 
-/// Decode and run one batch. Everything refusable is a named 4xx; the
-/// enrichment itself reuses the resilient runner (lenient mode), so
-/// malformed documents are quarantined per-request rather than failing
-/// it, and clean output is byte-identical to the batch CLI's.
-fn process_batch(ctx: &Ctx, path: &str, body: &[u8]) -> Result<BatchReply, BatchError> {
+/// Decode and run one batch on `engine` (the request's pinned
+/// generation). Everything refusable is a named 4xx; an expired
+/// deadline budget is a 503; the enrichment itself reuses the resilient
+/// runner (lenient mode), so malformed documents are quarantined
+/// per-request rather than failing it, and clean output is
+/// byte-identical to the batch CLI's.
+fn process_batch(
+    ctx: &Ctx,
+    engine: &PreparedEngine,
+    path: &str,
+    body: &[u8],
+) -> Result<BatchReply, BatchError> {
     fail_point("serve_request").map_err(|e| (500u16, "injected-fault", e.to_string()))?;
     let docs = parse_documents(body)?;
+    let cancel = match ctx.opts.deadline {
+        Some(budget) => CancelToken::with_deadline(budget),
+        None => CancelToken::none(),
+    };
     let opts = ResilientOptions {
         mode: RunMode::Lenient,
         policy: ctx.opts.policy,
+        cancel,
         ..ResilientOptions::default()
     };
-    let outcome = ctx.engine.enrich_resilient(&docs, &opts).map_err(|e| {
+    let outcome = engine.enrich_resilient(&docs, &opts).map_err(|e| {
+        if e.kind() == ErrorKind::Deadline {
+            ctx.stats.deadline_exceeded.inc();
+            return (503u16, "deadline-exceeded", e.to_string());
+        }
         let status = if e.kind() == ErrorKind::Config {
             422
         } else {
@@ -596,20 +979,30 @@ mod tests {
     #[test]
     fn permits_are_bounded_and_returned() {
         let metrics = PipelineMetrics::new();
-        let r = metrics.registry();
-        let stats = ServeStats {
-            permits: AtomicUsize::new(2),
-            requests: r.counter("serve.requests"),
-            rejected: r.counter("serve.rejected"),
-            http_errors: r.counter("serve.http_errors"),
-            panics: r.counter("serve.panics"),
-            lat_enrich: r.histogram("serve.latency.enrich"),
-            lat_extract: r.histogram("serve.latency.extract"),
-        };
+        let stats = ServeStats::new(metrics.registry(), 2);
         let a = stats.try_acquire().expect("first");
         let _b = stats.try_acquire().expect("second");
         assert!(stats.try_acquire().is_none(), "pool exhausted");
         drop(a);
         assert!(stats.try_acquire().is_some(), "permit returned on drop");
+    }
+
+    #[test]
+    fn backoff_grows_and_is_capped() {
+        let mut state = 7u64;
+        let early = backoff_with_jitter(1, &mut state);
+        assert!(early >= Duration::from_millis(5) && early <= Duration::from_millis(10));
+        for attempt in 2..20 {
+            let b = backoff_with_jitter(attempt, &mut state);
+            assert!(b <= Duration::from_secs(1), "attempt {attempt}: {b:?}");
+            assert!(b >= Duration::from_millis(5));
+        }
+        // Deterministic for a fixed state sequence.
+        let mut s1 = 42u64;
+        let mut s2 = 42u64;
+        assert_eq!(
+            backoff_with_jitter(3, &mut s1),
+            backoff_with_jitter(3, &mut s2)
+        );
     }
 }

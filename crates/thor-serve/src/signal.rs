@@ -1,15 +1,20 @@
-//! Graceful-drain signal handling without a libc crate.
+//! Graceful-drain and hot-reload signal handling without a libc crate.
 //!
 //! On Unix, `std` already links libc, so the classic `signal(2)` entry
-//! point can be declared directly. The handler does the only thing an
+//! point can be declared directly. Each handler does the only thing an
 //! async-signal-safe handler may do here: set an atomic flag. The
-//! accept loop polls the flag and turns it into a drain (stop
-//! accepting, finish in-flight requests, flush metrics).
+//! accept loop polls the drain flag (SIGTERM/SIGINT → stop accepting,
+//! finish in-flight requests, flush metrics); the reload loop polls the
+//! reload flag (SIGHUP → re-open the engine artifact and hot-swap).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Set once SIGTERM or SIGINT has been delivered.
 static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Set when SIGHUP (or [`request_reload`]) asks for an engine reload;
+/// consumed by [`take_reload_request`].
+static RELOAD: AtomicBool = AtomicBool::new(false);
 
 /// True once a termination signal has been received (or
 /// [`trigger`] was called).
@@ -20,6 +25,19 @@ pub fn triggered() -> bool {
 /// Raise the drain flag programmatically (tests, embedders).
 pub fn trigger() {
     TRIGGERED.store(true, Ordering::SeqCst);
+}
+
+/// Raise the reload flag programmatically (tests, embedders) — the
+/// same effect as delivering SIGHUP.
+pub fn request_reload() {
+    RELOAD.store(true, Ordering::SeqCst);
+}
+
+/// Consume a pending reload request. Returns true at most once per
+/// request (SIGHUPs delivered while a reload is running coalesce into
+/// one follow-up reload).
+pub fn take_reload_request() -> bool {
+    RELOAD.swap(false, Ordering::SeqCst)
 }
 
 /// Install SIGTERM + SIGINT handlers that raise the drain flag.
@@ -43,6 +61,24 @@ pub fn install_handlers() {
     }
 }
 
+/// Install a SIGHUP handler that raises the reload flag. Idempotent; a
+/// no-op on non-Unix targets.
+pub fn install_reload_handler() {
+    #[cfg(unix)]
+    {
+        const SIGHUP: i32 = 1;
+        extern "C" fn on_hup(_signum: i32) {
+            RELOAD.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(SIGHUP, on_hup as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -52,5 +88,15 @@ mod tests {
         install_handlers();
         trigger();
         assert!(triggered());
+    }
+
+    #[test]
+    fn reload_requests_are_consumed_once() {
+        install_reload_handler();
+        assert!(!take_reload_request());
+        request_reload();
+        request_reload(); // coalesces
+        assert!(take_reload_request());
+        assert!(!take_reload_request());
     }
 }

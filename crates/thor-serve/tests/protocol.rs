@@ -387,7 +387,11 @@ fn pipelined_live_requests_answered_in_order() {
     assert_eq!(health.status, 200);
     let health_body = health.body_str();
     assert!(
-        health_body.contains("\"status\"") && health_body.contains("\"ok\""),
+        health_body.contains("\"status\"") && health_body.contains("\"serving\""),
+        "healthz body: {health_body}"
+    );
+    assert!(
+        health_body.contains("\"epoch\"") && health_body.contains("\"fingerprint\""),
         "healthz body: {health_body}"
     );
     let metrics = Response::read_from(&mut reader).expect("metrics");

@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Hot-reload chaos smoke test against the real CLI.
+#
+# Exercises `thor serve` engine hot-swapping end to end:
+#   1. serve engine v_a; a served batch is byte-identical to the batch
+#      CLI on v_a, and X-Thor-Engine names generation @1;
+#   2. rebuild the artifact as v_b in place, SIGHUP: the server swaps
+#      without restarting, serves v_b's exact bytes as generation @2,
+#      and logs one `reloaded` line;
+#   3. corrupt the artifact, SIGHUP: the reload is rejected by name in
+#      the log, the epoch does not move, and v_b keeps answering
+#      byte-identically;
+#   4. a `worker_panic` failpoint kills an accept worker: the
+#      supervisor restarts it (worker.restarts in /metrics) and the
+#      server keeps serving.
+#
+# Usage: scripts/reload_smoke.sh  (run from anywhere; builds if needed)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+THOR="$ROOT/target/release/thor"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/thor-reload.XXXXXX")"
+SERVE_PID=""
+cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "FAIL: $*" >&2
+    exit 1
+}
+
+if [[ ! -x "$THOR" ]]; then
+    cargo build --release --manifest-path "$ROOT/Cargo.toml"
+fi
+
+DATA="$WORK/data"
+"$THOR" generate --dataset disease --scale 0.08 --seed 7 --out "$DATA" 2>/dev/null
+DOCS=("$DATA"/docs/validation/*.txt)
+ENGINE="$WORK/disease.thorengine"
+
+# Two generations of the same engine: different tau, different
+# fingerprints, each with its own batch-CLI reference output.
+"$THOR" build --table "$DATA/enrichment_table.csv" --vectors "$DATA/vectors.txt" \
+    --tau 0.7 --engine "$WORK/v_a.thorengine" 2>/dev/null
+"$THOR" build --table "$DATA/enrichment_table.csv" --vectors "$DATA/vectors.txt" \
+    --tau 0.55 --engine "$WORK/v_b.thorengine" 2>/dev/null
+"$THOR" enrich --engine "$WORK/v_a.thorengine" --out "$WORK/direct_a.csv" "${DOCS[@]}" 2>/dev/null
+"$THOR" enrich --engine "$WORK/v_b.thorengine" --out "$WORK/direct_b.csv" "${DOCS[@]}" 2>/dev/null
+echo "reload smoke: ${#DOCS[@]} documents, two engine generations"
+
+# The documents as a JSON request body (id = file stem, like the CLI).
+json_escape_file() {
+    awk 'BEGIN{ORS=""} {gsub(/\\/,"\\\\"); gsub(/"/,"\\\""); gsub(/\t/,"\\t"); gsub(/\r/,"\\r");
+         if (NR>1) printf "\\n"; printf "%s", $0}' "$1"
+}
+BODY="$WORK/batch.json"
+{
+    printf '{"documents":['
+    sep=""
+    for doc in "${DOCS[@]}"; do
+        stem="$(basename "$doc" .txt)"
+        printf '%s{"id":"%s","text":"' "$sep" "$stem"
+        json_escape_file "$doc"
+        printf '"}'
+        sep=","
+    done
+    printf ']}'
+} >"$BODY"
+
+# Atomically install a generation at the served path (rename, so a
+# polling server never reads a half-written artifact).
+install_engine() { # args: source
+    cp "$1" "$ENGINE.tmp"
+    mv "$ENGINE.tmp" "$ENGINE"
+}
+
+serving_epoch() {
+    curl -sS "http://$ADDR/healthz" | grep -o '"epoch":[0-9]*' | cut -d: -f2
+}
+
+wait_for_epoch() { # args: want
+    for _ in $(seq 1 100); do
+        [[ "$(serving_epoch)" == "$1" ]] && return 0
+        sleep 0.1
+    done
+    fail "server never reached epoch $1 (log: $(tail -3 "$WORK/serve.log"))"
+}
+
+install_engine "$WORK/v_a.thorengine"
+: >"$WORK/addr"
+"$THOR" serve --engine "$ENGINE" --addr 127.0.0.1:0 --addr-file "$WORK/addr" \
+    --watch-engine 5000 2>"$WORK/serve.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(cat "$WORK/addr" 2>/dev/null || true)"
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "serve died on startup: $(cat "$WORK/serve.log")"
+    sleep 0.1
+done
+[[ -n "$ADDR" ]] || fail "serve never wrote its bound address"
+
+echo "-- generation 1 (v_a): served bytes match the batch CLI"
+curl -sS -D "$WORK/h1" -o "$WORK/served_a.csv" --data-binary @"$BODY" "http://$ADDR/enrich" \
+    || fail "POST /enrich on v_a failed"
+cmp "$WORK/direct_a.csv" "$WORK/served_a.csv" || fail "generation 1 served foreign bytes"
+grep -qi '^X-Thor-Engine: .*@1' "$WORK/h1" \
+    || fail "generation 1 not named in X-Thor-Engine: $(grep -i x-thor-engine "$WORK/h1")"
+echo "   v_a byte-identical, tagged @1"
+
+echo "-- SIGHUP swap to v_b under the same process"
+install_engine "$WORK/v_b.thorengine"
+kill -HUP "$SERVE_PID"
+wait_for_epoch 2
+grep -q "serve: reloaded" "$WORK/serve.log" || fail "no reload log line"
+curl -sS -D "$WORK/h2" -o "$WORK/served_b.csv" --data-binary @"$BODY" "http://$ADDR/enrich" \
+    || fail "POST /enrich on v_b failed"
+cmp "$WORK/direct_b.csv" "$WORK/served_b.csv" || fail "generation 2 served foreign bytes"
+grep -qi '^X-Thor-Engine: .*@2' "$WORK/h2" \
+    || fail "generation 2 not named in X-Thor-Engine: $(grep -i x-thor-engine "$WORK/h2")"
+echo "   v_b byte-identical, tagged @2"
+
+echo "-- corrupt replacement artifact: rejected, v_b keeps answering"
+head -c 100 "$WORK/v_a.thorengine" >"$ENGINE.tmp"
+mv "$ENGINE.tmp" "$ENGINE"
+kill -HUP "$SERVE_PID"
+for _ in $(seq 1 100); do
+    grep -q "rejected" "$WORK/serve.log" && break
+    sleep 0.1
+done
+grep -q "rejected" "$WORK/serve.log" || fail "corrupt reload was not rejected in the log"
+[[ "$(serving_epoch)" == "2" ]] || fail "corrupt artifact moved the epoch"
+curl -sS -o "$WORK/after_corrupt.csv" --data-binary @"$BODY" "http://$ADDR/enrich" \
+    || fail "POST /enrich after corrupt reload failed"
+cmp "$WORK/direct_b.csv" "$WORK/after_corrupt.csv" \
+    || fail "old generation's bytes changed after a rejected reload"
+install_engine "$WORK/v_b.thorengine"
+echo "   rejected by name, old generation byte-identical"
+
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || fail "drain after reload chaos failed"
+SERVE_PID=""
+
+echo "-- worker panic: supervisor restarts, serving continues"
+: >"$WORK/addr"
+THOR_FAILPOINTS=worker_panic:panic@1 \
+    "$THOR" serve --engine "$ENGINE" --addr 127.0.0.1:0 --addr-file "$WORK/addr" \
+    2>"$WORK/panic.log" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    ADDR="$(cat "$WORK/addr" 2>/dev/null || true)"
+    [[ -n "$ADDR" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "serve died on startup: $(cat "$WORK/panic.log")"
+    sleep 0.1
+done
+for _ in $(seq 1 100); do
+    grep -q "restart" "$WORK/panic.log" && break
+    sleep 0.1
+done
+grep -q "restart" "$WORK/panic.log" || fail "worker panic was never supervised"
+curl -sS -o "$WORK/after_panic.csv" --data-binary @"$BODY" "http://$ADDR/enrich" \
+    || fail "POST /enrich after worker panic failed"
+cmp "$WORK/direct_b.csv" "$WORK/after_panic.csv" || fail "post-panic bytes differ"
+curl -sS "http://$ADDR/metrics" | grep -q '"worker.restarts":{"type":"counter","value":[1-9]' \
+    || fail "worker.restarts not counted in /metrics"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || fail "drain after worker panic failed"
+SERVE_PID=""
+echo "   restarted and kept serving"
+
+echo "reload smoke: OK"

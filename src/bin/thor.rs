@@ -76,7 +76,7 @@ use thor_repro::fault::{
     DocumentPolicy, MapMode, QuarantineEntry, QuarantineReport, SectionFile, ThorError, ThorResult,
 };
 use thor_repro::serve::signal as serve_signal;
-use thor_repro::serve::{ServeOptions, Server};
+use thor_repro::serve::{ReloadConfig, ServeOptions, Server};
 use thor_repro::text::{normalize_phrase, split_sentences};
 
 /// Parsed command line: positional args plus `--key value` / `--key=value`
@@ -180,6 +180,8 @@ const SERVE: CommandSpec = CommandSpec {
         "queue",
         "read-timeout-ms",
         "refine",
+        "watch-engine",
+        "deadline-ms",
     ],
     flags: &["metrics"],
 };
@@ -792,6 +794,26 @@ fn cmd_serve(args: &Args) -> ThorResult<()> {
         }
     };
     let metrics_mode = metrics_mode(args)?;
+    // Bare `--watch-engine` (no value) means "poll at the default
+    // cadence"; a value is the poll interval in milliseconds. Without
+    // the flag, reloads still happen on SIGHUP — polling is just off.
+    let watch_engine = match args.options.get("watch-engine").map(String::as_str) {
+        None => None,
+        Some("") => Some(std::time::Duration::from_millis(500)),
+        Some(ms) => {
+            let ms: u64 = ms.parse().map_err(|_| {
+                ThorError::config(format!("--watch-engine wants milliseconds, got `{ms}`"))
+            })?;
+            if ms == 0 {
+                return Err(ThorError::config("--watch-engine must be at least 1ms"));
+            }
+            Some(std::time::Duration::from_millis(ms))
+        }
+    };
+    let deadline_ms: Option<u64> = parse_option(args, "deadline-ms")?;
+    if deadline_ms == Some(0) {
+        return Err(ThorError::config("--deadline-ms must be at least 1"));
+    }
 
     let map_mode = engine_map_mode(args)?;
     let mut engine = PreparedEngine::load_with(Path::new(engine_path), map_mode)?;
@@ -816,16 +838,31 @@ fn cmd_serve(args: &Args) -> ThorResult<()> {
         queue,
         read_timeout: std::time::Duration::from_millis(read_timeout_ms),
         watch_signals: true,
+        deadline: deadline_ms.map(std::time::Duration::from_millis),
         ..ServeOptions::default()
     };
+    let reload = ReloadConfig {
+        path: PathBuf::from(engine_path),
+        mode: map_mode,
+        threads,
+        reference_refine,
+        poll: watch_engine,
+    };
     serve_signal::install_handlers();
-    let server = Server::bind(engine, &addr, opts)?;
+    serve_signal::install_reload_handler();
+    let server = Server::bind_with(engine, &addr, opts, Some(reload))?;
     let bound = server.local_addr();
     if let Some(path) = args.options.get("addr-file") {
         atomic_write(Path::new(path), format!("{bound}\n").as_bytes())?;
     }
     let metrics = server.metrics().clone();
-    eprintln!("serving on http://{bound} (queue {queue}, SIGTERM/ctrl-c drains)");
+    eprintln!(
+        "serving on http://{bound} (queue {queue}, SIGHUP reloads{}, SIGTERM/ctrl-c drains)",
+        match watch_engine {
+            Some(every) => format!(", watching engine every {every:?}"),
+            None => String::new(),
+        }
+    );
     server.run()?;
 
     // Drained: flush the final metrics snapshot so a supervised process
