@@ -42,6 +42,26 @@ impl AhoCorasickBuilder {
         self
     }
 
+    /// Insert one pattern at position `index`, shifting later patterns
+    /// up — the delta path of dictionary evolution, where new instances
+    /// must land at their canonical position so the rebuilt automaton is
+    /// byte-identical to a from-scratch build over the merged list.
+    /// Empty patterns are ignored; `index` is clamped to the current
+    /// pattern count.
+    pub fn insert_pattern_at(&mut self, index: usize, pattern: impl AsRef<[u8]>) -> &mut Self {
+        let p = pattern.as_ref();
+        if !p.is_empty() {
+            let at = index.min(self.patterns.len());
+            self.patterns.insert(at, p.to_vec());
+        }
+        self
+    }
+
+    /// Number of patterns collected so far.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+
     /// Add many patterns.
     pub fn add_patterns<I, P>(&mut self, patterns: I) -> &mut Self
     where
@@ -425,6 +445,32 @@ mod tests {
         let ac = build(&["aa"]);
         let m = ac.find_all("aaaa");
         assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn insert_pattern_at_matches_fresh_build_in_merged_order() {
+        // Start from a builder seeded with the "old" patterns, insert
+        // the additions at their canonical positions, and compare the
+        // flattened arrays against a from-scratch build over the merged
+        // list — the invariant the dictionary delta path relies on.
+        let merged = ["ant", "bee", "cat", "dog", "eel"];
+        let mut incremental = AhoCorasickBuilder::new();
+        incremental.add_patterns(["ant", "cat", "eel"]);
+        incremental.insert_pattern_at(1, "bee");
+        incremental.insert_pattern_at(3, "dog");
+        incremental.insert_pattern_at(2, ""); // ignored
+        assert_eq!(incremental.pattern_count(), merged.len());
+        let mut fresh = AhoCorasickBuilder::new();
+        fresh.add_patterns(merged);
+        assert_eq!(incremental.build().parts(), fresh.build().parts());
+
+        // Clamped insert appends.
+        let mut clamped = AhoCorasickBuilder::new();
+        clamped.add_pattern("ant");
+        clamped.insert_pattern_at(99, "bee");
+        let mut appended = AhoCorasickBuilder::new();
+        appended.add_patterns(["ant", "bee"]);
+        assert_eq!(clamped.build().parts(), appended.build().parts());
     }
 
     #[test]

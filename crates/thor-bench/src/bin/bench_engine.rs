@@ -3,8 +3,10 @@
 //! sweep, against the old per-τ full fine-tune rebuild.
 //!
 //! Emits `BENCH_engine.json` (per-τ rebuild time, one-build + per-τ
-//! derivation time, sweep speedup, artifact round-trip numbers) to the
-//! working directory and prints the same document to stdout. Before any
+//! derivation time, sweep speedup, artifact round-trip numbers, and the
+//! incremental-delta timings: applying a ~5% seed addition via
+//! `apply_delta` vs rebuilding the engine from the evolved table) to
+//! the working directory and prints the same document to stdout. Before any
 //! timing, every sweep point is checked for *exact* equality between
 //! the derived engine and a freshly built one, and the saved-then-loaded
 //! engine is checked against the in-memory build — the speedup claim is
@@ -20,7 +22,8 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use thor_bench::harness::{disease_dataset, scale_from_env, seed_from_env, tau_sweep};
-use thor_core::{MapMode, PreparedEngine, Thor, ThorConfig};
+use thor_core::{EngineDelta, MapMode, PreparedEngine, SeedDelta, Thor, ThorConfig};
+use thor_data::Table;
 use thor_datagen::Split;
 use thor_embed::Vector;
 use thor_obs::Json;
@@ -126,6 +129,78 @@ fn main() {
         );
     }
 
+    // --- Incremental delta apply vs full rebuild ----------------------
+    //
+    // A ~5% seed addition, drawn from the gold instances the dataset
+    // holds out of the enrichment table (real values, so the touched
+    // concepts genuinely re-expand). Applying it as a delta must beat
+    // rebuilding the engine from the evolved table — the
+    // incremental-prepare claim.
+    let gold = dataset.gold_test_table();
+    let target = ((table.instance_count() as f64) * 0.05).ceil() as usize;
+    let mut additions = Table::new(table.schema().clone());
+    let mut evolved_table = table.clone();
+    let mut taken = 0usize;
+    'collect: for (ri, row) in gold.rows().iter().enumerate() {
+        let subject = gold.subject_of(ri);
+        for (ci, concept) in gold.schema().concepts().iter().enumerate() {
+            if ci == gold.schema().subject_index()
+                || table.schema().index_of(concept.name()).is_none()
+            {
+                continue;
+            }
+            for value in row.cell(ci).values() {
+                let held_out = table
+                    .get_row(subject)
+                    .and_then(|r| table.schema().index_of(concept.name()).map(|i| r.cell(i)))
+                    .is_none_or(|cell| !cell.contains(value));
+                if held_out {
+                    additions.fill_slot(subject, concept.name(), value);
+                    evolved_table.row_for_subject(subject);
+                    evolved_table.fill_slot(subject, concept.name(), value);
+                    taken += 1;
+                    if taken >= target {
+                        break 'collect;
+                    }
+                }
+            }
+        }
+    }
+    assert!(taken > 0, "dataset held out no instances to use as a delta");
+    let delta = EngineDelta::Seeds(SeedDelta::new(additions));
+
+    // Drop-in first: the applied delta equals the fresh rebuild exactly.
+    let applied = engine.apply_delta(&delta).expect("delta applies");
+    let fresh = thor_at(taus[0]).prepare(&evolved_table);
+    assert_eq!(
+        applied.fingerprint(),
+        fresh.fingerprint(),
+        "delta-applied engine fingerprint diverged from fresh build"
+    );
+    assert_eq!(
+        applied.extract(&docs).0,
+        fresh.extract(&docs).0,
+        "delta-applied engine extraction diverged from fresh build"
+    );
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(engine.apply_delta(&delta).expect("delta applies"));
+    }
+    let delta_apply_s = t0.elapsed().as_secs_f64() / reps as f64;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(thor_at(taus[0]).prepare(&evolved_table));
+    }
+    let delta_rebuild_s = t0.elapsed().as_secs_f64() / reps as f64;
+    let delta_speedup = delta_rebuild_s / delta_apply_s;
+    println!(
+        "delta: {taken} seed instance(s) applied in {:.1}ms vs {:.1}ms full rebuild \
+         ({delta_speedup:.1}x)",
+        delta_apply_s * 1e3,
+        delta_rebuild_s * 1e3
+    );
+
     // Old shape: a full Preparation pass per sweep point.
     let t0 = Instant::now();
     for _ in 0..reps {
@@ -176,6 +251,13 @@ fn main() {
     );
     doc.insert("artifact_bytes".into(), Json::UInt(artifact_bytes));
     doc.insert("artifact_load_ms".into(), Json::Float(load_ms));
+    doc.insert("delta_seed_instances".into(), Json::UInt(taken as u64));
+    doc.insert("delta_apply_ms".into(), Json::Float(delta_apply_s * 1e3));
+    doc.insert(
+        "delta_rebuild_ms".into(),
+        Json::Float(delta_rebuild_s * 1e3),
+    );
+    doc.insert("delta_speedup".into(), Json::Float(delta_speedup));
     doc.insert("coldstart".into(), Json::Array(coldstart));
     let rendered = Json::Object(doc).render();
     std::fs::write("BENCH_engine.json", format!("{rendered}\n")).expect("write BENCH_engine.json");
@@ -190,6 +272,11 @@ fn main() {
         assert!(
             speedup >= 3.0,
             "expected >=3x sweep-preparation speedup from engine reuse, got {speedup:.2}x"
+        );
+        assert!(
+            delta_speedup >= 3.0,
+            "expected >=3x delta-apply speedup over a full rebuild for a ~5% seed \
+             addition, got {delta_speedup:.2}x"
         );
         // The zero-copy contract: mapped cold-start stays flat while
         // the vocabulary grows 40x (generous noise allowance — owned

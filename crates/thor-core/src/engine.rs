@@ -36,7 +36,7 @@ use std::time::Duration;
 use thor_data::Table;
 use thor_embed::VectorStore;
 use thor_fault::{
-    atomic_write, fnv1a, ByteReader, ByteWriter, MapMode, SectionFile, SectionWriter, ThorError,
+    atomic_write, fnv1a, ByteReader, ByteWriter, MapMode, SectionChain, SectionWriter, ThorError,
     ThorResult,
 };
 use thor_index::DictionaryIndex;
@@ -64,8 +64,8 @@ pub const ENGINE_FORMAT_VERSION: u32 = 2;
 // Section names of the v2 engine artifact. Hot arrays are stored in
 // their exact in-memory layout (little-endian, 64-byte aligned) so a
 // mapped load borrows them in place.
-const SEC_META: &str = "meta";
-const SEC_TABLE: &str = "table";
+pub(crate) const SEC_META: &str = "meta";
+pub(crate) const SEC_TABLE: &str = "table";
 const SEC_STORE_OFFS: &str = "store.offsets";
 const SEC_STORE_WORDS: &str = "store.words";
 const SEC_STORE_ROWS: &str = "store.rows";
@@ -94,20 +94,27 @@ pub const ENGINE_LAZY_SECTIONS: &[&str] = &[
 ];
 
 pub(crate) struct EngineInner {
-    config: ThorConfig,
-    store: Arc<VectorStore>,
-    table: Arc<Table>,
-    subjects: Vec<String>,
-    prep: Arc<PreparedMatcher>,
-    matcher: SimilarityMatcher,
-    dictionary: Arc<DictionaryIndex>,
+    pub(crate) config: ThorConfig,
+    pub(crate) store: Arc<VectorStore>,
+    pub(crate) table: Arc<Table>,
+    pub(crate) subjects: Vec<String>,
+    pub(crate) prep: Arc<PreparedMatcher>,
+    pub(crate) matcher: SimilarityMatcher,
+    pub(crate) dictionary: Arc<DictionaryIndex>,
     /// FNV-1a digests of the store text and table CSV, computed once at
     /// build time and reused by cheap derivations (`with_tau`).
-    store_digest: u64,
-    table_digest: u64,
-    fingerprint: String,
-    prepare_time: Duration,
-    metrics: Option<PipelineMetrics>,
+    pub(crate) store_digest: u64,
+    pub(crate) table_digest: u64,
+    pub(crate) fingerprint: String,
+    /// How many deltas separate this engine from a from-scratch build:
+    /// 0 for `Thor::prepare` and plain loads, `parent + 1` after
+    /// [`PreparedEngine::apply_delta`], the chain depth after loading a
+    /// delta chain. Runtime provenance only — never part of the
+    /// fingerprint (a delta-evolved engine is bit-identical to the
+    /// fresh build of the same state).
+    pub(crate) chain_depth: usize,
+    pub(crate) prepare_time: Duration,
+    pub(crate) metrics: Option<PipelineMetrics>,
 }
 
 impl std::fmt::Debug for EngineInner {
@@ -125,7 +132,7 @@ impl std::fmt::Debug for EngineInner {
 /// threads, calls, and (via [`PreparedEngine::with_tau`]) τ values.
 #[derive(Clone, Debug)]
 pub struct PreparedEngine {
-    inner: Arc<EngineInner>,
+    pub(crate) inner: Arc<EngineInner>,
 }
 
 /// The `(concept, instances)` pairs fine-tuning runs on, in schema
@@ -144,7 +151,11 @@ pub(crate) fn concept_instances(table: &Table) -> Vec<(String, Vec<String>)> {
 /// segmentation, chunking, context gate) plus digests of the table and
 /// the vector store. `threads` and `cache_capacity` are deliberately
 /// excluded — both are output-neutral execution knobs.
-fn engine_fingerprint(config: &ThorConfig, table_digest: u64, store_digest: u64) -> String {
+pub(crate) fn engine_fingerprint(
+    config: &ThorConfig,
+    table_digest: u64,
+    store_digest: u64,
+) -> String {
     let parts: Vec<String> = vec![
         format!("tau={:016x}", config.tau.to_bits()),
         format!("subphrase={}", config.max_subphrase_words),
@@ -198,6 +209,7 @@ impl Thor {
                 dictionary: Arc::new(dictionary),
                 store_digest,
                 table_digest,
+                chain_depth: 0,
                 prepare_time: Duration::ZERO,
                 metrics: self.metrics().cloned(),
             }
@@ -271,6 +283,15 @@ impl PreparedEngine {
         self.inner.config.tau
     }
 
+    /// How many deltas separate this engine from a from-scratch build:
+    /// 0 for [`Thor::prepare`] and plain artifact loads, one more than
+    /// the source engine after every [`PreparedEngine::apply_delta`],
+    /// and the chain depth after loading a delta chain. Provenance
+    /// only — output and fingerprint are independent of it.
+    pub fn chain_depth(&self) -> usize {
+        self.inner.chain_depth
+    }
+
     /// Derive an engine at a different τ.
     ///
     /// For τ ≥ the τ the Preparation ran at, this is the cheap path the
@@ -318,6 +339,7 @@ impl PreparedEngine {
                 dictionary: Arc::clone(&self.inner.dictionary),
                 store_digest: self.inner.store_digest,
                 table_digest: self.inner.table_digest,
+                chain_depth: self.inner.chain_depth,
                 prepare_time,
                 metrics: self.inner.metrics.clone(),
             }),
@@ -342,6 +364,7 @@ impl PreparedEngine {
                 store_digest: self.inner.store_digest,
                 table_digest: self.inner.table_digest,
                 fingerprint: self.inner.fingerprint.clone(),
+                chain_depth: self.inner.chain_depth,
                 prepare_time: self.inner.prepare_time,
                 metrics: self.inner.metrics.clone(),
             }),
@@ -368,6 +391,7 @@ impl PreparedEngine {
                 store_digest: self.inner.store_digest,
                 table_digest: self.inner.table_digest,
                 fingerprint: self.inner.fingerprint.clone(),
+                chain_depth: self.inner.chain_depth,
                 prepare_time: self.inner.prepare_time,
                 metrics: self.inner.metrics.clone(),
             }),
@@ -398,6 +422,7 @@ impl PreparedEngine {
                 store_digest: self.inner.store_digest,
                 table_digest: self.inner.table_digest,
                 fingerprint: self.inner.fingerprint.clone(),
+                chain_depth: self.inner.chain_depth,
                 prepare_time: self.inner.prepare_time,
                 metrics: Some(metrics),
             }),
@@ -516,8 +541,21 @@ impl PreparedEngine {
     /// through the same constructors, which is what makes the loaded
     /// engine byte-identical.
     pub fn save(&self, path: &Path) -> ThorResult<()> {
-        let inner = &*self.inner;
         let mut sections = SectionWriter::new();
+        for (name, version, bytes) in self.engine_sections() {
+            sections.add(name, version, &bytes);
+        }
+        atomic_write(path, &sections.finish())
+    }
+
+    /// The engine's artifact payload as `(section, version, bytes)`
+    /// triples in canonical save order — what [`PreparedEngine::save`]
+    /// writes and what [`PreparedEngine::save_delta`] byte-diffs
+    /// against a parent chain. Deterministic: two engines in the same
+    /// state produce identical triples.
+    pub(crate) fn engine_sections(&self) -> Vec<(&'static str, u32, Vec<u8>)> {
+        let inner = &*self.inner;
+        let mut sections: Vec<(&'static str, u32, Vec<u8>)> = Vec::with_capacity(16);
 
         // meta: config + preparation base + shape + digests + fingerprint.
         let mut w = ByteWriter::new();
@@ -533,9 +571,9 @@ impl PreparedEngine {
         w.put_u64(inner.store_digest);
         w.put_u64(inner.table_digest);
         w.put_str(&inner.fingerprint);
-        sections.add(SEC_META, 1, &w.into_bytes());
+        sections.push((SEC_META, 1, w.into_bytes()));
 
-        sections.add(SEC_TABLE, 1, thor_data::to_csv(&inner.table).as_bytes());
+        sections.push((SEC_TABLE, 1, thor_data::to_csv(&inner.table).into_bytes()));
 
         // Vector store: sorted word pool + raw f32 rows, the exact
         // layout `VectorStore::from_frozen` borrows in place.
@@ -549,16 +587,16 @@ impl PreparedEngine {
                 row_bytes.extend_from_slice(&x.to_le_bytes());
             }
         });
-        sections.add(SEC_STORE_OFFS, 1, &le_bytes_u64(&word_offs));
-        sections.add(SEC_STORE_WORDS, 1, &word_bytes);
-        sections.add(SEC_STORE_ROWS, 1, &row_bytes);
+        sections.push((SEC_STORE_OFFS, 1, le_bytes_u64(&word_offs)));
+        sections.push((SEC_STORE_WORDS, 1, word_bytes));
+        sections.push((SEC_STORE_ROWS, 1, row_bytes));
 
         // Untruncated τ-expansion candidates, CSR across concepts.
         let (starts, sims, pool) = inner.prep.candidate_parts();
-        sections.add(SEC_CAND_STARTS, 1, &le_bytes_u64(&starts));
-        sections.add(SEC_CAND_SIMS, 1, &le_bytes_f64(&sims));
-        sections.add(SEC_CAND_WORD_OFFS, 1, &le_bytes_u64(pool.offsets()));
-        sections.add(SEC_CAND_WORDS, 1, pool.bytes());
+        sections.push((SEC_CAND_STARTS, 1, le_bytes_u64(&starts)));
+        sections.push((SEC_CAND_SIMS, 1, le_bytes_f64(&sims)));
+        sections.push((SEC_CAND_WORD_OFFS, 1, le_bytes_u64(pool.offsets())));
+        sections.push((SEC_CAND_WORDS, 1, pool.bytes().to_vec()));
 
         // The fine-tuned VectorIndex at the engine's τ: row labels and
         // concept layout in a small meta blob, the hot arrays raw.
@@ -576,10 +614,10 @@ impl PreparedEngine {
             w.put_u64(rows as u64);
             w.put_u64(seed_rows as u64);
         }
-        sections.add(SEC_IDX_META, 1, &w.into_bytes());
-        sections.add(SEC_IDX_DATA, 1, &le_bytes_f32(ix.data()));
-        sections.add(SEC_IDX_NORMS, 1, &le_bytes_f64(ix.norms()));
-        sections.add(SEC_IDX_REPSUMS, 1, &le_bytes_f32(ix.rep_sums()));
+        sections.push((SEC_IDX_META, 1, w.into_bytes()));
+        sections.push((SEC_IDX_DATA, 1, le_bytes_f32(ix.data())));
+        sections.push((SEC_IDX_NORMS, 1, le_bytes_f64(ix.norms())));
+        sections.push((SEC_IDX_REPSUMS, 1, le_bytes_f32(ix.rep_sums())));
 
         // Dictionary automaton: the flat CSR arrays plus the pattern
         // table, reassembled through validating from_parts on load.
@@ -603,7 +641,7 @@ impl PreparedEngine {
             w.put_str(concept);
             w.put_str(display);
         }
-        sections.add(SEC_AUTOMATON, 1, &w.into_bytes());
+        sections.push((SEC_AUTOMATON, 1, w.into_bytes()));
 
         // Seed-syntax instances (sorted): the table is derived, this
         // section lets the load cross-check the derivation.
@@ -613,9 +651,9 @@ impl PreparedEngine {
         for inst in instances {
             w.put_str(inst);
         }
-        sections.add(SEC_SYNTAX, 1, &w.into_bytes());
+        sections.push((SEC_SYNTAX, 1, w.into_bytes()));
 
-        atomic_write(path, &sections.finish())
+        sections
     }
 
     /// Load an engine artifact written by [`PreparedEngine::save`],
@@ -642,13 +680,42 @@ impl PreparedEngine {
     /// caught by `thor inspect` (which always verifies everything) and
     /// is memory-safe but garbage-in/garbage-out at serve time.
     /// Extraction output is bit-identical between the two modes.
+    ///
+    /// `path` may name a plain engine artifact **or a delta artifact**
+    /// written by [`PreparedEngine::save_delta`]: the loader opens the
+    /// whole parent chain, link-checks every delta (directory checksum
+    /// at the container layer, engine fingerprint here — a stale or
+    /// swapped base is a named `delta base mismatch`, never a checksum
+    /// panic), and resolves each section against its topmost provider.
+    /// The result is indistinguishable from loading the compacted
+    /// artifact; [`PreparedEngine::chain_depth`] records how many
+    /// deltas were stacked.
     pub fn load_with(path: &Path, mode: MapMode) -> ThorResult<PreparedEngine> {
         let t0 = std::time::Instant::now();
-        let file = SectionFile::open(path, mode)?;
+        let file = SectionChain::open(path, mode)?;
         match mode {
             MapMode::Owned => file.verify_all()?,
             MapMode::Mapped => file.verify_except(ENGINE_LAZY_SECTIONS)?,
         }
+        // Link-check the semantic identity of every delta: its recorded
+        // parent engine fingerprint must equal the fingerprint the
+        // chain *prefix below it* resolves to. (`metas()[i]` is carried
+        // by file i + 1 and links to the prefix ending at file i.)
+        for (i, meta) in file.metas().iter().enumerate() {
+            let prefix_meta = file
+                .bytes_upto(SEC_META, i)
+                .map_err(|e| e.context(format!("{}: engine meta section", path.display())))?;
+            let found = meta_fingerprint(prefix_meta)
+                .map_err(|e| e.context(format!("{}: engine meta section", path.display())))?;
+            if meta.parent_fingerprint != found {
+                return Err(ThorError::delta_base_mismatch(
+                    file.paths()[i].display(),
+                    format!("engine fingerprint {}", meta.parent_fingerprint),
+                    format!("engine fingerprint {found}"),
+                ));
+            }
+        }
+        let total_len: usize = file.files().iter().map(|f| f.total_len()).sum();
         let ctx = |what: &str| {
             let what = what.to_string();
             let path = path.display().to_string();
@@ -763,12 +830,12 @@ impl PreparedEngine {
         let idx_meta = (|| -> ThorResult<_> {
             let idx_dim = r.get_u64()? as usize;
             let rows = r.get_u64()? as usize;
-            let mut words = Vec::with_capacity(rows.min(file.total_len()));
+            let mut words = Vec::with_capacity(rows.min(total_len));
             for _ in 0..rows {
                 words.push(r.get_str()?);
             }
             let n = r.get_u64()? as usize;
-            let mut layout = Vec::with_capacity(n.min(file.total_len()));
+            let mut layout = Vec::with_capacity(n.min(total_len));
             for _ in 0..n {
                 let name = r.get_str()?;
                 let start = r.get_u64()? as usize;
@@ -808,7 +875,7 @@ impl PreparedEngine {
             };
             let edge_start = get_u32s(&mut r)?;
             let n = r.get_u64()? as usize;
-            let mut edge_bytes = Vec::with_capacity(n.min(file.total_len()));
+            let mut edge_bytes = Vec::with_capacity(n.min(total_len));
             for _ in 0..n {
                 edge_bytes.push(r.get_u8()?);
             }
@@ -818,7 +885,7 @@ impl PreparedEngine {
             let out_pattern = get_u32s(&mut r)?;
             let pattern_lens = get_u32s(&mut r)?;
             let n = r.get_u64()? as usize;
-            let mut patterns = Vec::with_capacity(n.min(file.total_len()));
+            let mut patterns = Vec::with_capacity(n.min(total_len));
             for _ in 0..n {
                 let concept = r.get_str()?;
                 let display = r.get_str()?;
@@ -845,7 +912,7 @@ impl PreparedEngine {
         let mut r = ByteReader::new(file.bytes(SEC_SYNTAX)?);
         let stored_instances = (|| -> ThorResult<_> {
             let n = r.get_u64()? as usize;
-            let mut out = Vec::with_capacity(n.min(file.total_len()));
+            let mut out = Vec::with_capacity(n.min(total_len));
             for _ in 0..n {
                 out.push(r.get_str()?);
             }
@@ -880,11 +947,30 @@ impl PreparedEngine {
                 store_digest,
                 table_digest,
                 fingerprint,
+                chain_depth: file.depth(),
                 prepare_time: t0.elapsed(),
                 metrics: None,
             }),
         })
     }
+}
+
+/// The engine fingerprint stored in a `meta` section payload, without
+/// building anything — what the chain loader and
+/// [`PreparedEngine::save_delta`] link deltas by.
+pub(crate) fn meta_fingerprint(bytes: &[u8]) -> ThorResult<String> {
+    let mut r = ByteReader::new(bytes);
+    read_config(&mut r)?;
+    r.get_f64()?; // preparation base tau
+    for _ in 0..3 {
+        r.get_u64()?; // base subphrase / expansion / cache caps
+    }
+    for _ in 0..5 {
+        r.get_u64()?; // dim, word count, concept count, two digests
+    }
+    let fingerprint = r.get_str()?;
+    r.finish("engine meta section")?;
+    Ok(fingerprint)
 }
 
 /// Little-endian byte images of numeric arrays — the exact layout the

@@ -64,6 +64,7 @@
 //! [`WorkerPool`] instead of spawning threads per call.
 
 pub mod config;
+pub mod delta;
 pub mod document;
 pub mod engine;
 pub mod entity;
@@ -76,6 +77,7 @@ pub mod slot;
 pub mod slotfill;
 
 pub use config::{ScoreWeights, SegmentationMode, ThorConfig};
+pub use delta::{compact_chain, ConceptDelta, EngineDelta, SeedDelta};
 pub use document::Document;
 pub use engine::{PreparedEngine, ENGINE_FORMAT_VERSION, ENGINE_LAZY_SECTIONS, ENGINE_MAGIC};
 pub use entity::{entities_tsv, ExtractedEntity};

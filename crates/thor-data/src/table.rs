@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use thor_text::normalize_phrase;
 
-use crate::schema::Schema;
+use crate::schema::{Concept, Schema};
 
 /// A cell: a set of concept-instance strings. Empty ⇔ labeled null ⊥.
 /// Values are stored in insertion-normalized display form and compared
@@ -250,6 +250,39 @@ impl Table {
             .sum()
     }
 
+    /// Widen the table with a new (empty) concept column appended to
+    /// the schema: every existing row gains a labeled null ⊥ for it.
+    /// Row order and all existing cells are untouched, so builds over
+    /// the widened table differ from the original only by the appended
+    /// concept.
+    ///
+    /// # Panics
+    /// If `concept` is already in the schema.
+    pub fn with_concept(&self, concept: &str) -> Table {
+        assert!(
+            self.schema.index_of(concept).is_none(),
+            "concept `{concept}` already in schema"
+        );
+        let mut concepts: Vec<Concept> = self.schema.concepts().to_vec();
+        concepts.push(Concept::new(concept));
+        let subject = self.schema.subject().name().to_string();
+        let schema = Schema::new(concepts, &subject);
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = r.cells().to_vec();
+                cells.push(Cell::null());
+                Row { cells }
+            })
+            .collect();
+        Table {
+            schema,
+            rows,
+            index: self.index.clone(),
+        }
+    }
+
     /// Strip every non-subject cell (the paper's evaluation setup:
     /// "we deleted the instances of all concepts from these test tables
     /// except for the subject concepts").
@@ -345,6 +378,34 @@ mod tests {
         assert_eq!(s.len(), 2);
         assert_eq!(s.instance_count(), 2);
         assert!(s.column_values("Anatomy").is_empty());
+    }
+
+    #[test]
+    fn with_concept_appends_null_column() {
+        let mut t = Table::new(schema());
+        t.fill_slot("TB", "Anatomy", "lungs");
+        t.fill_slot("Acne", "Anatomy", "skin");
+        let wide = t.with_concept("Medicine");
+        assert_eq!(wide.schema().arity(), 4);
+        assert_eq!(wide.schema().concepts().last().unwrap().name(), "Medicine");
+        assert_eq!(wide.len(), 2);
+        assert_eq!(wide.subject_of(0), "TB");
+        assert_eq!(wide.column_values("Anatomy"), ["lungs", "skin"]);
+        assert!(wide.column_values("Medicine").is_empty());
+        let mi = wide.schema().index_of("Medicine").unwrap();
+        assert!(wide.rows().iter().all(|r| r.cell(mi).is_null()));
+        // The widened table is still keyed: slot-filling the new
+        // concept lands on the existing row.
+        let mut wide = wide;
+        assert!(wide.fill_slot("tb", "Medicine", "isoniazid"));
+        assert_eq!(wide.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in schema")]
+    fn with_concept_rejects_duplicates() {
+        let t = Table::new(schema());
+        t.with_concept("anatomy");
     }
 
     #[test]

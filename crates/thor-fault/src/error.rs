@@ -97,6 +97,26 @@ impl ThorError {
         Self::new(ErrorKind::Validation, message)
     }
 
+    /// An [`ErrorKind::Validation`] error for a delta artifact whose
+    /// recorded base does not match the artifact it resolves against.
+    /// Names both identities so the operator can see *which* base the
+    /// delta wanted, and points at `thor compact` as the way out of a
+    /// stale chain.
+    pub fn delta_base_mismatch(
+        base: impl fmt::Display,
+        expected: impl fmt::Display,
+        found: impl fmt::Display,
+    ) -> Self {
+        Self::new(
+            ErrorKind::Validation,
+            format!(
+                "delta base mismatch at {base}: the delta was built against {expected} but this \
+                 base is {found}; rebuild the delta against the current base or fold the chain \
+                 with `thor compact`"
+            ),
+        )
+    }
+
     /// An [`ErrorKind::Panic`] error from a caught panic payload.
     pub fn panic(stage: &str, payload: &(dyn std::any::Any + Send)) -> Self {
         let msg = payload

@@ -26,6 +26,10 @@
 //!   named sections with per-section checksums and a checksummed
 //!   directory, designed so hot arrays can be used in place from a
 //!   memory-mapped file.
+//! - [`chain`] — delta chains over the sectioned container: a base
+//!   artifact plus stacked per-section patches ([`DeltaMeta`] parent
+//!   links), resolved topmost-wins on open and foldable back into a
+//!   single base via [`SectionChain::compact_bytes`].
 //! - [`mmap`] — the std-only read-only mapping shim ([`MappedBuf`])
 //!   with an aligned heap fallback.
 //! - [`view`] — owned-or-mapped array views ([`FrozenSlice`],
@@ -40,6 +44,7 @@
 pub mod artifact;
 pub mod atomic_io;
 pub mod cancel;
+pub mod chain;
 pub mod checkpoint;
 pub mod error;
 pub mod failpoint;
@@ -52,6 +57,7 @@ pub mod view;
 pub use artifact::{fnv1a, read_artifact, write_artifact, ByteReader, ByteWriter};
 pub use atomic_io::{atomic_write, read_bytes, read_to_string};
 pub use cancel::CancelToken;
+pub use chain::{DeltaMeta, SectionChain, DELTA_META_SECTION, DELTA_META_VERSION, MAX_CHAIN_DEPTH};
 pub use checkpoint::{fingerprint, Checkpoint, EntityRecord};
 pub use error::{ErrorKind, ResultExt, ThorError, ThorResult};
 pub use failpoint::{

@@ -324,6 +324,13 @@ impl SectionFile {
         self.buf.len()
     }
 
+    /// The directory FNV-1a checksum from the header — a cheap identity
+    /// for the whole artifact (it covers every section's name, layout
+    /// and payload checksum), used to link delta files to their parent.
+    pub fn dir_checksum(&self) -> u64 {
+        read_u64(self.buf.as_slice(), 32)
+    }
+
     /// The directory entry for `name`, if present.
     pub fn entry(&self, name: &str) -> Option<&SectionEntry> {
         self.entries.iter().find(|e| e.name == name)

@@ -52,6 +52,59 @@ impl DictionaryIndex {
         }
     }
 
+    /// Extend the dictionary to cover `concepts` — the **full** new
+    /// `(concept, instances)` list after a delta — without recomputing
+    /// the normalization of existing patterns. The old pattern list
+    /// must be a subsequence of the new canonical list (deltas only add
+    /// instances); additions are positionally inserted so the rebuilt
+    /// automaton is byte-identical to [`DictionaryIndex::from_concepts`]
+    /// over the merged list.
+    pub fn extend<C, I>(&self, concepts: C) -> Result<Self, String>
+    where
+        C: IntoIterator<Item = (String, I)>,
+        I: IntoIterator<Item = String>,
+    {
+        // The canonical merged pattern list, with normalization computed
+        // only where the old list has no matching entry.
+        let mut merged: Vec<(String, String)> = Vec::new();
+        for (concept, instances) in concepts {
+            for instance in instances {
+                if normalize_phrase(&instance).is_empty() {
+                    continue;
+                }
+                merged.push((concept.clone(), instance));
+            }
+        }
+        let mut builder = AhoCorasickBuilder::new().ascii_case_insensitive(true);
+        for (_, display) in &self.patterns {
+            builder.add_pattern(normalize_phrase(display).as_bytes());
+        }
+        // Invariant: after k merged entries, the builder's first k
+        // patterns equal the merged prefix and the rest is the
+        // unconsumed old tail, so the next old match is already at
+        // position k and each addition is inserted at k.
+        let mut old = self.patterns.iter().peekable();
+        for (at, (concept, display)) in merged.iter().enumerate() {
+            match old.peek() {
+                Some((oc, od)) if oc == concept && od == display => {
+                    old.next();
+                }
+                _ => {
+                    builder.insert_pattern_at(at, normalize_phrase(display).as_bytes());
+                }
+            }
+        }
+        if let Some((oc, od)) = old.next() {
+            return Err(format!(
+                "dictionary extension drops pattern ({oc}, {od}); deltas may only add instances"
+            ));
+        }
+        Ok(Self {
+            automaton: builder.build(),
+            patterns: merged,
+        })
+    }
+
     /// Reassemble an index from a deserialized automaton and pattern
     /// table (the artifact load path). The automaton's pattern count
     /// must match the table.
@@ -158,6 +211,50 @@ mod tests {
         assert!(!anchored.iter().any(|c| c.phrase == "lungs"));
         assert!(anchored.iter().any(|c| c.phrase == "tuberculosis"));
         assert_eq!(idx.source_name(), "dictionary");
+    }
+
+    #[test]
+    fn extend_matches_fresh_build_over_merged_concepts() {
+        // Base: one concept with instances, one concept still empty.
+        let base = DictionaryIndex::from_concepts([
+            (
+                "Disease".to_string(),
+                vec!["Tuberculosis".to_string(), "Acne".to_string()],
+            ),
+            ("Anatomy".to_string(), vec![]),
+        ]);
+        assert_eq!(base.pattern_count(), 2);
+        // Merged state: an instance inserted mid-run, the empty concept
+        // gains its first instance, and a brand-new concept is appended.
+        let merged = [
+            (
+                "Disease".to_string(),
+                vec![
+                    "Tuberculosis".to_string(),
+                    "  ".to_string(),
+                    "Measles".to_string(),
+                    "Acne".to_string(),
+                ],
+            ),
+            ("Anatomy".to_string(), vec!["lungs".to_string()]),
+            ("Drug".to_string(), vec!["Aspirin".to_string()]),
+        ];
+        let extended = base.extend(merged.clone()).expect("additive extension");
+        let fresh = DictionaryIndex::from_concepts(merged);
+        assert_eq!(extended.patterns(), fresh.patterns());
+        assert_eq!(extended.automaton().parts(), fresh.automaton().parts());
+    }
+
+    #[test]
+    fn extend_rejects_dropped_patterns() {
+        let base = index();
+        let err = base
+            .extend([(
+                "Disease".to_string(),
+                vec!["Tuberculosis".to_string(), "Acne".to_string()],
+            )])
+            .unwrap_err();
+        assert!(err.contains("drops pattern"), "unexpected error: {err}");
     }
 
     #[test]

@@ -122,6 +122,34 @@ impl VectorIndexBuilder {
         self
     }
 
+    /// Append concept `concept` of `src` verbatim: the rows, norms,
+    /// labels and cached rep-sum are block-copied bit-for-bit, so a
+    /// delta apply can reuse untouched concepts without rescanning
+    /// them. Panics on a dimension mismatch.
+    pub fn add_concept_from(&mut self, src: &VectorIndex, concept: usize) -> &mut Self {
+        assert_eq!(src.dim(), self.dim, "index dimension mismatch");
+        let entry = &src.concepts[concept];
+        let start = self.words.len();
+        self.data.extend_from_slice(
+            &src.data[entry.start * self.dim..(entry.start + entry.rows) * self.dim],
+        );
+        self.norms
+            .extend_from_slice(&src.norms[entry.start..entry.start + entry.rows]);
+        self.words.extend(
+            src.words[entry.start..entry.start + entry.rows]
+                .iter()
+                .cloned(),
+        );
+        self.rep_sums.extend_from_slice(src.rep_sum(concept));
+        self.concepts.push(ConceptEntry {
+            name: entry.name.clone(),
+            start,
+            rows: entry.rows,
+            seed_rows: entry.seed_rows,
+        });
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> VectorIndex {
         VectorIndex {
@@ -518,6 +546,47 @@ mod tests {
         let mut short = concepts.clone();
         short.pop();
         assert!(build(d, n, r, short).is_err());
+    }
+
+    #[test]
+    fn add_concept_from_block_copies_bit_identically() {
+        let ix = sample_index();
+        // Interleave block-copied concepts with a freshly scanned one.
+        let mut b = VectorIndexBuilder::new(3);
+        b.add_concept_from(&ix, 0);
+        b.add_concept("New", 1, [("n1", &[0.3f32, 0.3, 0.3][..])]);
+        b.add_concept_from(&ix, 2);
+        let out = b.build();
+
+        let mut fresh = VectorIndexBuilder::new(3);
+        fresh.add_concept(
+            "A",
+            2,
+            [
+                ("a1", &[1.0f32, 0.0, 0.0][..]),
+                ("a2", &[0.6, 0.8, 0.0][..]),
+                ("ax", &[0.0, 1.0, 0.0][..]),
+            ],
+        );
+        fresh.add_concept("New", 1, [("n1", &[0.3f32, 0.3, 0.3][..])]);
+        fresh.add_concept("Empty", 0, []);
+        let fresh = fresh.build();
+
+        assert_eq!(out.data(), fresh.data());
+        assert_eq!(out.norms(), fresh.norms());
+        assert_eq!(out.rep_sums(), fresh.rep_sums());
+        assert_eq!(
+            out.concept_layout().collect::<Vec<_>>(),
+            fresh.concept_layout().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            (0..out.row_count())
+                .map(|r| out.row_word(r))
+                .collect::<Vec<_>>(),
+            (0..fresh.row_count())
+                .map(|r| fresh.row_word(r))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -276,6 +276,30 @@ impl PreparedMatcher {
         config: MatcherConfig,
         metrics: Option<PipelineMetrics>,
     ) -> SimilarityMatcher {
+        let clusters = self.clusters_at(&config, metrics.as_ref());
+        SimilarityMatcher::from_clusters(
+            Arc::clone(&self.store),
+            clusters,
+            Arc::clone(&self.seed_syntax),
+            config,
+            metrics,
+        )
+    }
+
+    /// The fine-tuned concept clusters `config` derives — the shared
+    /// first half of [`PreparedMatcher::matcher_at`] and
+    /// [`PreparedMatcher::matcher_with_index`], exposed so callers
+    /// that already hold a frozen index (the artifact load and
+    /// delta-apply paths) can derive clusters without freezing a
+    /// second, redundant index.
+    ///
+    /// Panics if `config.tau` is outside [`TAU_RANGE`] or below the τ
+    /// this preparation was run at.
+    pub fn clusters_at(
+        &self,
+        config: &MatcherConfig,
+        metrics: Option<&PipelineMetrics>,
+    ) -> Vec<ConceptCluster> {
         assert!(
             TAU_RANGE.contains(&config.tau),
             "tau must be in [0, 1] (TAU_RANGE)"
@@ -286,8 +310,7 @@ impl PreparedMatcher {
             config.tau,
             self.base.tau
         );
-        let clusters: Vec<ConceptCluster> = self
-            .names
+        self.names
             .iter()
             .zip(&self.seeds)
             .enumerate()
@@ -299,19 +322,12 @@ impl PreparedMatcher {
                 } else {
                     self.filtered_words(ci, config.tau, config.max_expansion)
                 };
-                if let Some(m) = &metrics {
+                if let Some(m) = metrics {
                     m.expansion_words.add(words.len() as u64);
                 }
                 ConceptCluster::from_parts(name, seeds.clone(), &words, &self.store)
             })
-            .collect();
-        SimilarityMatcher::from_clusters(
-            Arc::clone(&self.store),
-            clusters,
-            Arc::clone(&self.seed_syntax),
-            config,
-            metrics,
-        )
+            .collect()
     }
 
     /// The frozen refinement syntax of the embedded seed instances.
@@ -389,7 +405,7 @@ impl PreparedMatcher {
         metrics: Option<PipelineMetrics>,
         index: VectorIndex,
     ) -> Result<SimilarityMatcher, String> {
-        let derived = self.matcher_at(config.clone(), None);
+        let clusters = self.clusters_at(&config, None);
         if index.dim() != self.store.dim() {
             return Err(format!(
                 "persisted index dim {} != store dim {}",
@@ -397,15 +413,15 @@ impl PreparedMatcher {
                 self.store.dim()
             ));
         }
-        if index.concept_count() != derived.clusters().len() {
+        if index.concept_count() != clusters.len() {
             return Err(format!(
                 "persisted index has {} concepts, derivation produced {}",
                 index.concept_count(),
-                derived.clusters().len()
+                clusters.len()
             ));
         }
         let mut expect_start = 0usize;
-        for (ci, cluster) in derived.clusters().iter().enumerate() {
+        for (ci, cluster) in clusters.iter().enumerate() {
             let (name, start, rows, seed_rows) = index
                 .concept_layout()
                 .nth(ci)
@@ -425,11 +441,253 @@ impl PreparedMatcher {
         }
         Ok(SimilarityMatcher::from_clusters_prebuilt(
             Arc::clone(&self.store),
-            derived.clusters().to_vec(),
+            clusters,
             index,
             Arc::clone(&self.seed_syntax),
             config,
             metrics,
+        ))
+    }
+
+    /// Incrementally evolve the preparation with additional seed
+    /// instances and appended concepts — the engine delta-apply path.
+    ///
+    /// `concepts` is the **full** new concept list: every existing
+    /// concept in its original position (with a superset of its
+    /// instance list) plus any new concepts appended at the end.
+    /// Returns the evolved preparation and the sorted set of *touched*
+    /// concept indices — new concepts, concepts that gained seeds, and
+    /// concepts whose candidate list changed (a word can migrate into
+    /// or out of a list whose own seeds did not change) — i.e. the
+    /// concepts whose frozen index blocks a caller cannot block-copy.
+    ///
+    /// The result is bit-identical to [`PreparedMatcher::prepare`] over
+    /// `concepts`. This exploits the same τ-monotonic total order
+    /// `(sim desc, word asc)` the per-τ derivation relies on: because
+    /// seed vectors are only ever *added*, a vocabulary word's best
+    /// concept can only be displaced by a newly added seed vector, so
+    /// each word is re-scored against the small added-seed index
+    /// instead of the full seed set. The exception is words that are
+    /// string-equal to a seed instance of the new state ("shadowed"):
+    /// the candidate record rule consults seed membership of the
+    /// winning concept, so membership flips force a from-scratch
+    /// re-score of those words against the full new seed index.
+    pub fn with_additions(
+        &self,
+        concepts: &[(String, Vec<String>)],
+    ) -> Result<(Self, Vec<usize>), String> {
+        use std::collections::{BTreeSet, HashMap, HashSet};
+
+        if concepts.len() < self.names.len() {
+            return Err(format!(
+                "additions shrink the concept list from {} to {}",
+                self.names.len(),
+                concepts.len()
+            ));
+        }
+        for (ci, name) in self.names.iter().enumerate() {
+            if concepts[ci].0 != *name {
+                return Err(format!(
+                    "concept {ci} renamed from `{name}` to `{}`; deltas may only add",
+                    concepts[ci].0
+                ));
+            }
+        }
+
+        let seeds_new: Vec<Vec<(String, Vector)>> = concepts
+            .iter()
+            .map(|(_, instances)| ConceptCluster::embed_seeds(instances, &self.store))
+            .collect();
+
+        // Per concept, the embedded seed rows added relative to the
+        // current preparation. Existing seed lists must be
+        // order-preserving subsequences of the new ones (instance lists
+        // come from sorted column values, so pure additions always are).
+        let mut added: Vec<Vec<(String, Vector)>> = Vec::with_capacity(concepts.len());
+        for (ci, new_seeds) in seeds_new.iter().enumerate() {
+            let old_seeds: &[(String, Vector)] = if ci < self.seeds.len() {
+                &self.seeds[ci]
+            } else {
+                &[]
+            };
+            let mut old = old_seeds.iter().peekable();
+            let mut adds = Vec::new();
+            for (word, vector) in new_seeds {
+                match old.peek() {
+                    Some((ow, _)) if ow == word => {
+                        old.next();
+                    }
+                    _ => adds.push((word.clone(), vector.clone())),
+                }
+            }
+            if old.next().is_some() {
+                return Err(format!(
+                    "concept `{}` lost seed instances; deltas may only add",
+                    concepts[ci].0
+                ));
+            }
+            added.push(adds);
+        }
+
+        let mut touched: BTreeSet<usize> = (self.names.len()..concepts.len()).collect();
+        for (ci, adds) in added.iter().enumerate() {
+            if !adds.is_empty() {
+                touched.insert(ci);
+            }
+        }
+
+        let mut lists = self.candidates();
+        lists.resize(concepts.len(), Vec::new());
+
+        let any_adds = added.iter().any(|a| !a.is_empty());
+        if self.base.tau < 1.0 && any_adds {
+            // Mini index over the newly added seed rows only — the only
+            // vectors that can displace an incumbent best concept.
+            // Concepts appear in ascending index order so challenger
+            // tie-breaks mirror the fresh scan's first-wins rule.
+            let mut mini_map: Vec<usize> = Vec::new();
+            let mut mini = VectorIndexBuilder::new(self.store.dim());
+            for (ci, adds) in added.iter().enumerate() {
+                if adds.is_empty() {
+                    continue;
+                }
+                mini.add_concept(
+                    &concepts[ci].0,
+                    adds.len(),
+                    adds.iter().map(|(w, v)| (w.as_str(), v.as_slice())),
+                );
+                mini_map.push(ci);
+            }
+            let mini = mini.build();
+
+            // Full seeds-only index over the new state, for shadowed
+            // words.
+            let mut full = VectorIndexBuilder::new(self.store.dim());
+            for (ci, cluster_seeds) in seeds_new.iter().enumerate() {
+                full.add_concept(
+                    &concepts[ci].0,
+                    cluster_seeds.len(),
+                    cluster_seeds
+                        .iter()
+                        .map(|(w, v)| (w.as_str(), v.as_slice())),
+                );
+            }
+            let full = full.build();
+
+            let shadow: HashSet<&str> = seeds_new
+                .iter()
+                .flatten()
+                .map(|(w, _)| w.as_str())
+                .collect();
+            let mut incumbent: HashMap<String, (usize, f64)> = HashMap::new();
+            for (ci, list) in lists.iter().enumerate() {
+                for (word, sim) in list {
+                    incumbent.insert(word.clone(), (ci, *sim));
+                }
+            }
+
+            let mut removals: Vec<(usize, String, f64)> = Vec::new();
+            let mut insertions: Vec<(usize, String, f64)> = Vec::new();
+            self.store.for_each_row(|word, row| {
+                let orig = incumbent.get(word).copied();
+                let qn = slice_norm(row);
+                let cur = if shadow.contains(word) {
+                    // Full re-score, mirroring `prepare` exactly.
+                    let mut best: Option<(usize, f64)> = None;
+                    for scores in full.scan(row, qn) {
+                        let sim = scores.max.unwrap_or(f64::MIN);
+                        if sim.is_finite() && best.is_none_or(|(_, b)| sim > b) {
+                            best = Some((scores.concept, sim));
+                        }
+                    }
+                    best.filter(|&(ci, sim)| {
+                        sim >= self.base.tau && !seeds_new[ci].iter().any(|(s, _)| s == word)
+                    })
+                } else {
+                    // Challenger pass. A challenger's score is its
+                    // concept's max over *added* rows; it wins on a
+                    // strictly higher score, or an equal score from an
+                    // earlier concept (the fresh scan's first-wins
+                    // tie-break). Because similarities never decrease
+                    // under additions, the surviving value equals the
+                    // winning concept's full new max.
+                    let mut cur = orig;
+                    for scores in mini.scan(row, qn) {
+                        let sim = scores.max.unwrap_or(f64::MIN);
+                        if !sim.is_finite() {
+                            continue;
+                        }
+                        let ci = mini_map[scores.concept];
+                        let replace = match cur {
+                            None => true,
+                            Some((bc, bs)) => sim > bs || (sim == bs && ci < bc),
+                        };
+                        if replace {
+                            cur = Some((ci, sim));
+                        }
+                    }
+                    // Non-shadowed words are never seeds of any concept
+                    // in the new state, so only the τ gate applies.
+                    cur.filter(|&(_, sim)| sim >= self.base.tau)
+                };
+                if cur != orig {
+                    if let Some((ci, sim)) = orig {
+                        removals.push((ci, word.to_string(), sim));
+                    }
+                    if let Some((ci, sim)) = cur {
+                        insertions.push((ci, word.to_string(), sim));
+                    }
+                }
+            });
+
+            // Surgical merge into the sorted lists: binary search on
+            // the `(sim desc, word asc)` total order.
+            for (ci, word, sim) in removals {
+                let list = &mut lists[ci];
+                match list
+                    .binary_search_by(|(w, s)| sim.total_cmp(s).then_with(|| w.as_str().cmp(&word)))
+                {
+                    Ok(i) => {
+                        list.remove(i);
+                    }
+                    Err(_) => {
+                        return Err(format!(
+                            "candidate `{word}` missing from concept {ci} during delta merge"
+                        ))
+                    }
+                }
+                touched.insert(ci);
+            }
+            for (ci, word, sim) in insertions {
+                let list = &mut lists[ci];
+                match list
+                    .binary_search_by(|(w, s)| sim.total_cmp(s).then_with(|| w.as_str().cmp(&word)))
+                {
+                    Ok(_) => {
+                        return Err(format!(
+                            "candidate `{word}` already present in concept {ci} during delta merge"
+                        ))
+                    }
+                    Err(i) => list.insert(i, (word, sim)),
+                }
+                touched.insert(ci);
+            }
+        }
+
+        let seed_syntax = Arc::new(
+            self.seed_syntax
+                .extend(added.iter().flatten().map(|(w, _)| w.as_str())),
+        );
+        Ok((
+            Self {
+                store: Arc::clone(&self.store),
+                names: concepts.iter().map(|(name, _)| name.clone()).collect(),
+                seeds: seeds_new,
+                candidates: CandidateBacking::Owned(lists),
+                seed_syntax,
+                base: self.base.clone(),
+            },
+            touched.into_iter().collect(),
         ))
     }
 }
@@ -600,6 +858,95 @@ mod tests {
         let other = prep.matcher_at(MatcherConfig::with_tau(1.0), None);
         let other_ix = other.index().clone();
         assert!(prep.matcher_with_index(cfg, None, other_ix).is_err());
+    }
+
+    #[test]
+    fn with_additions_matches_fresh_prepare() {
+        let (store, concepts) = space();
+        let store = Arc::new(store);
+        for base_tau in [0.0, 0.4, 0.6, 1.0] {
+            let base = MatcherConfig::with_tau(base_tau);
+            let prep = PreparedMatcher::prepare(&concepts, Arc::clone(&store), base.clone());
+            // Merged state: "brain" (a vocabulary word, likely already
+            // a candidate) becomes an Anatomy seed, Complication gains
+            // "clot" mid-list, and a brand-new concept is appended.
+            let mut merged = concepts.clone();
+            merged[0].1.push("brain".to_string());
+            merged[1].1.insert(0, "clot".to_string());
+            merged.push(("Generic".to_string(), vec!["people".to_string()]));
+
+            let (inc, touched) = prep.with_additions(&merged).expect("additive evolution");
+            let fresh = PreparedMatcher::prepare(&merged, Arc::clone(&store), base.clone());
+            assert_eq!(inc.candidates(), fresh.candidates(), "base tau {base_tau}");
+            assert_eq!(inc.concept_names(), fresh.concept_names());
+            assert_eq!(
+                inc.seed_syntax().instances(),
+                fresh.seed_syntax().instances()
+            );
+            assert!(touched.contains(&2), "new concepts are always touched");
+            assert!(touched.windows(2).all(|w| w[0] < w[1]), "touched is sorted");
+
+            for tau in [base_tau, 0.8_f64.max(base_tau), 1.0] {
+                let a = inc.matcher_at(MatcherConfig::with_tau(tau), None);
+                let b = fresh.matcher_at(MatcherConfig::with_tau(tau), None);
+                for phrase in ["brain tumor", "the ear", "green walk", "stroke risk"] {
+                    assert_eq!(
+                        a.match_phrase(phrase),
+                        b.match_phrase(phrase),
+                        "base {base_tau}, tau {tau}, phrase {phrase:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_additions_chain_equals_one_shot() {
+        let (store, concepts) = space();
+        let store = Arc::new(store);
+        let base = MatcherConfig::with_tau(0.4);
+        let prep = PreparedMatcher::prepare(&concepts, Arc::clone(&store), base.clone());
+
+        let mut step1 = concepts.clone();
+        step1[0].1.push("spine".to_string());
+        let mut step2 = step1.clone();
+        step2[1].1.push("tumor".to_string());
+        step2.push(("Generic".to_string(), vec!["walk".to_string()]));
+
+        let (after1, _) = prep.with_additions(&step1).unwrap();
+        let (after2, _) = after1.with_additions(&step2).unwrap();
+        let fresh = PreparedMatcher::prepare(&step2, Arc::clone(&store), base);
+        assert_eq!(after2.candidates(), fresh.candidates());
+        assert_eq!(
+            after2.seed_syntax().instances(),
+            fresh.seed_syntax().instances()
+        );
+    }
+
+    #[test]
+    fn with_additions_rejects_non_additive_changes() {
+        let (store, concepts) = space();
+        let store = Arc::new(store);
+        let prep =
+            PreparedMatcher::prepare(&concepts, Arc::clone(&store), MatcherConfig::with_tau(0.5));
+
+        let mut shrunk = concepts.clone();
+        shrunk.pop();
+        assert!(prep.with_additions(&shrunk).unwrap_err().contains("shrink"));
+
+        let mut renamed = concepts.clone();
+        renamed[0].0 = "Renamed".to_string();
+        assert!(prep
+            .with_additions(&renamed)
+            .unwrap_err()
+            .contains("renamed"));
+
+        let mut lost = concepts.clone();
+        lost[1].1.remove(0);
+        assert!(prep
+            .with_additions(&lost)
+            .unwrap_err()
+            .contains("lost seed instances"));
     }
 
     #[test]

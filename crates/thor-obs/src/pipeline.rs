@@ -275,6 +275,36 @@ mod tests {
         assert_eq!(resumed.snapshot().count("serve.health"), 2);
     }
 
+    /// The incremental-engine metrics (delta application, chain
+    /// compaction, chain depth) behave like the rest of the registry:
+    /// exact values through the JSON round trip and through absorb.
+    #[test]
+    fn delta_metrics_round_trip() {
+        let metrics = PipelineMetrics::new();
+        let registry = metrics.registry();
+        registry.counter("delta.applied").add(4);
+        registry.counter("delta.rejected").add(1);
+        registry.counter("compact.runs").add(2);
+        registry.gauge("engine.chain_depth").set(3);
+
+        let json = metrics.render_json();
+        let parsed = crate::registry::MetricsSnapshot::from_json_str(&json).expect("valid json");
+        assert_eq!(parsed.count("delta.applied"), 4);
+        assert_eq!(parsed.count("delta.rejected"), 1);
+        assert_eq!(parsed.count("compact.runs"), 2);
+        match parsed.get("engine.chain_depth") {
+            Some(crate::registry::MetricValue::Gauge(3)) => {}
+            other => panic!("engine.chain_depth round-tripped as {other:?}"),
+        }
+
+        let resumed = PipelineMetrics::new();
+        resumed.registry().counter("delta.applied").add(1);
+        resumed.absorb(&parsed);
+        let snap = resumed.snapshot();
+        assert_eq!(snap.count("delta.applied"), 5);
+        assert_eq!(snap.count("engine.chain_depth"), 3);
+    }
+
     #[test]
     fn renders_both_formats() {
         let metrics = PipelineMetrics::new();

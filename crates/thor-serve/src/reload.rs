@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use thor_core::{EngineGeneration, EngineSlot, MapMode, PreparedEngine};
-use thor_fault::{fail_point, fnv1a, ThorError, ThorResult, SECTION_MAGIC};
+use thor_fault::{fail_point, fnv1a, SectionChain, ThorError, ThorResult, SECTION_MAGIC};
 use thor_obs::PipelineMetrics;
 
 /// How a serving process reloads its engine.
@@ -115,24 +115,44 @@ pub fn artifact_stamp(path: &Path) -> ThorResult<ArtifactStamp> {
     })
 }
 
+/// The stamps of every file in a delta chain, base first.
+pub type ChainStamps = Vec<(PathBuf, ArtifactStamp)>;
+
+/// Stamp every file of the delta chain under `path`, base first. For a
+/// plain artifact this is a one-element vector equivalent to
+/// [`artifact_stamp`]; for a delta artifact the parent links are walked
+/// (and link-checked) first, so a chain whose base was swapped
+/// underneath is already rejected here. Two stamp vectors compare equal
+/// only if every file of the chain was identical at both reads.
+pub fn chain_stamps(path: &Path) -> ThorResult<ChainStamps> {
+    let chain = SectionChain::open(path, MapMode::Mapped)?;
+    chain
+        .paths()
+        .iter()
+        .map(|p| Ok((p.clone(), artifact_stamp(p)?)))
+        .collect()
+}
+
 /// Load and validate a candidate engine from `cfg.path`, re-applying
 /// the serve-time overrides and the live metrics handle. Returns the
 /// candidate plus the stamp it was loaded under.
 fn load_candidate(
     cfg: &ReloadConfig,
     metrics: &PipelineMetrics,
-) -> ThorResult<(PreparedEngine, ArtifactStamp)> {
+) -> ThorResult<(PreparedEngine, ChainStamps)> {
     fail_point("reload_open")?;
-    let before = artifact_stamp(&cfg.path)?;
+    let before = chain_stamps(&cfg.path)?;
     let mut engine = PreparedEngine::load_with(&cfg.path, cfg.mode)?;
     fail_point("reload_validate")?;
     // Re-stamp after the load: a file that changed underneath the load
     // may have produced a self-consistent-looking read of mixed bytes,
-    // so the whole candidate is rejected, not just patched over.
-    let after = artifact_stamp(&cfg.path)?;
+    // so the whole candidate is rejected, not just patched over. For a
+    // delta chain every file is bracketed — a base rewritten while its
+    // deltas load is caught the same way.
+    let after = chain_stamps(&cfg.path)?;
     if before != after {
         return Err(ThorError::validation(format!(
-            "{}: artifact changed during load",
+            "{}: artifact chain changed during load",
             cfg.path.display()
         )));
     }
@@ -152,10 +172,14 @@ pub fn try_reload(
     cfg: &ReloadConfig,
     slot: &EngineSlot,
     metrics: &PipelineMetrics,
-) -> ThorResult<(Arc<EngineGeneration>, ArtifactStamp)> {
-    let (engine, stamp) = load_candidate(cfg, metrics)?;
+) -> ThorResult<(Arc<EngineGeneration>, ChainStamps)> {
+    let (engine, stamps) = load_candidate(cfg, metrics)?;
     let generation = slot.swap(engine)?;
-    Ok((generation, stamp))
+    metrics
+        .registry()
+        .gauge("engine.chain_depth")
+        .set(generation.engine.chain_depth() as u64);
+    Ok((generation, stamps))
 }
 
 #[cfg(test)]
@@ -223,5 +247,48 @@ mod tests {
     #[test]
     fn stamp_rejects_missing_file() {
         assert!(artifact_stamp(Path::new("/nonexistent/engine.thor")).is_err());
+    }
+
+    #[test]
+    fn chain_stamps_walk_deltas_and_notice_base_changes() {
+        use thor_fault::{DeltaMeta, SectionFile, DELTA_META_SECTION, DELTA_META_VERSION};
+        let dir = std::env::temp_dir().join(format!("thor-chain-stamp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.eng");
+        atomic_write(&base, &tiny_artifact()).unwrap();
+
+        // A plain artifact stamps as a one-element chain.
+        let plain = chain_stamps(&base).unwrap();
+        assert_eq!(plain.len(), 1);
+        assert_eq!(plain[0].1, artifact_stamp(&base).unwrap());
+
+        let parent = SectionFile::open(&base, MapMode::Owned).unwrap();
+        let meta = DeltaMeta {
+            parent: "base.eng".into(),
+            parent_dir_checksum: parent.dir_checksum(),
+            parent_fingerprint: "fp".into(),
+            depth: 1,
+            note: String::new(),
+        };
+        drop(parent);
+        let mut w = thor_fault::SectionWriter::new();
+        w.add(DELTA_META_SECTION, DELTA_META_VERSION, &meta.encode());
+        w.add("meta", 1, b"patched");
+        let delta = dir.join("d1.eng");
+        atomic_write(&delta, &w.finish()).unwrap();
+
+        let stamps = chain_stamps(&delta).unwrap();
+        assert_eq!(stamps.len(), 2, "base first, then the delta");
+        assert_eq!(stamps[0].0, base);
+        assert_eq!(stamps[1].0, delta);
+
+        // Rewriting the base breaks the link: the chain walk itself
+        // rejects it, so a poll never sees a half-valid chain as new.
+        let mut w = thor_fault::SectionWriter::new();
+        w.add("meta", 1, b"rebuilt base");
+        atomic_write(&base, &w.finish()).unwrap();
+        let err = chain_stamps(&delta).unwrap_err();
+        assert!(err.to_string().contains("delta base mismatch"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -279,6 +279,12 @@ impl Server {
     ) -> ThorResult<Server> {
         let metrics = PipelineMetrics::new();
         let engine = engine.with_metrics(metrics.clone());
+        // Chain provenance of the serving engine (0 = plain artifact),
+        // kept current by the reload loop across hot swaps.
+        metrics
+            .registry()
+            .gauge("engine.chain_depth")
+            .set(engine.chain_depth() as u64);
         let stats = ServeStats::new(metrics.registry(), opts.queue);
         let listener =
             TcpListener::bind(addr).map_err(|e| ThorError::io(format!("bind {addr}"), e))?;
@@ -476,10 +482,12 @@ fn reload_loop(ctx: &Arc<Ctx>) {
     };
     let tick = Duration::from_millis(20);
     let mut last_poll = Instant::now();
-    // The stamp the serving engine was loaded under, and the stamp of
-    // the last rejected candidate — so a corrupt artifact is attempted
-    // once per distinct content, not once per poll.
-    let mut serving = crate::reload::artifact_stamp(&cfg.path).ok();
+    // The chain stamps the serving engine was loaded under, and those
+    // of the last rejected candidate — so a corrupt artifact is
+    // attempted once per distinct content, not once per poll. A delta
+    // chain is stamped file by file: touching any link (re-cutting a
+    // delta, compacting, swapping the base) triggers a reload attempt.
+    let mut serving = crate::reload::chain_stamps(&cfg.path).ok();
     let mut rejected = None;
     loop {
         if ctx.draining() {
@@ -491,8 +499,8 @@ fn reload_loop(ctx: &Arc<Ctx>) {
                 last_poll = Instant::now();
                 // An unreadable stamp (mid-rewrite, truncated) is not a
                 // trigger; the completed artifact shows up next poll.
-                if let Ok(stamp) = crate::reload::artifact_stamp(&cfg.path) {
-                    if Some(stamp) != serving && Some(stamp) != rejected {
+                if let Ok(stamps) = crate::reload::chain_stamps(&cfg.path) {
+                    if Some(&stamps) != serving.as_ref() && Some(&stamps) != rejected.as_ref() {
                         want = true;
                     }
                 }
@@ -502,8 +510,8 @@ fn reload_loop(ctx: &Arc<Ctx>) {
             ctx.reloading.store(true, Ordering::SeqCst);
             ctx.set_health_gauge();
             match try_reload(cfg, &ctx.slot, &ctx.metrics) {
-                Ok((generation, stamp)) => {
-                    serving = Some(stamp);
+                Ok((generation, stamps)) => {
+                    serving = Some(stamps);
                     rejected = None;
                     ctx.stats.reload_ok.inc();
                     eprintln!(
@@ -513,7 +521,7 @@ fn reload_loop(ctx: &Arc<Ctx>) {
                     );
                 }
                 Err(e) => {
-                    rejected = crate::reload::artifact_stamp(&cfg.path).ok();
+                    rejected = crate::reload::chain_stamps(&cfg.path).ok();
                     ctx.stats.reload_rejected.inc();
                     eprintln!(
                         "serve: reload of {} rejected ({e}); still serving {}",
@@ -626,6 +634,10 @@ fn handle_request(
                         Json::UInt(ctx.started.elapsed().as_secs()),
                     ),
                     ("tau".to_string(), Json::Float(generation.engine.tau())),
+                    (
+                        "chain_depth".to_string(),
+                        Json::UInt(generation.engine.chain_depth() as u64),
+                    ),
                     (
                         "concepts".to_string(),
                         Json::UInt(

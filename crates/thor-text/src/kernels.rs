@@ -166,6 +166,23 @@ impl SeedSyntax {
         Self { table }
     }
 
+    /// Incrementally re-freeze the table with additional seed-instance
+    /// strings: instances already present keep their precomputed syntax,
+    /// new ones are computed now. Because `PhraseSyntax::new` is
+    /// deterministic, the result is indistinguishable from
+    /// [`SeedSyntax::build`] over the union — this is the delta path of
+    /// engine evolution, where a seed addition must not recompute the
+    /// syntax of every existing instance.
+    pub fn extend<'a>(&self, seeds: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut table = self.table.clone();
+        for seed in seeds {
+            table
+                .entry(seed.to_string())
+                .or_insert_with(|| PhraseSyntax::new(seed));
+        }
+        Self { table }
+    }
+
     /// The distinct seed instances in sorted order, for artifact
     /// serialization. [`SeedSyntax::build`] over this list reproduces
     /// the table exactly (`PhraseSyntax::new` is deterministic), so a
@@ -554,6 +571,23 @@ mod tests {
         assert_eq!(seed.word_count(), 2);
         assert_eq!(seed.char_count(), "skin cancer".chars().count());
         assert!(syntax.get("unknown").is_none());
+    }
+
+    #[test]
+    fn seed_syntax_extend_matches_fresh_build() {
+        let base = SeedSyntax::build(["skin cancer", "nervous system"]);
+        let extended = base.extend(["stroke", "skin cancer", "blood clot"]);
+        let fresh = SeedSyntax::build(["skin cancer", "nervous system", "stroke", "blood clot"]);
+        assert_eq!(extended.instances(), fresh.instances());
+        assert_eq!(extended.len(), 4);
+        for inst in extended.instances() {
+            let a = extended.get(inst).unwrap();
+            let b = fresh.get(inst).unwrap();
+            assert_eq!(a.word_count(), b.word_count());
+            assert_eq!(a.char_count(), b.char_count());
+        }
+        // The original table is untouched.
+        assert_eq!(base.len(), 2);
     }
 
     proptest! {

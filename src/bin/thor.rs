@@ -18,6 +18,10 @@
 //!            [--addr-file PATH] [--threads N] [--queue N] [--read-timeout-ms MS]
 //!            [--refine kernel|reference] [--metrics[=json]]
 //!                                                    HTTP front end (see thor-serve)
+//! thor delta --engine base.eng [--add-concept NAME] [--add-seeds rows.csv]
+//!            --out d1.eng [--note TEXT] [--engine-mmap on|off]
+//!                                                    apply an additive delta
+//! thor compact --engine dN.eng --out folded.eng      fold a delta chain
 //! thor inspect --engine e.thor                       section directory + checksums
 //! thor evaluate --gold gold.tsv --pred pred.tsv      SemEval partial-match scores
 //! thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR
@@ -38,6 +42,14 @@
 //! everything offline. `--stream` reads the corpus out-of-core in
 //! `--chunk`-sized batches (positional directories expand to their
 //! sorted `.txt` files), byte-identical to the batch run.
+//! Engines evolve without rebuilds: `thor delta` applies an additive
+//! change (new seed rows, a new concept column) to a built engine and
+//! writes a **delta artifact** — only the sections that changed, plus a
+//! checksummed link to the parent — that loads exactly like a full
+//! artifact and extracts bit-identically to a fresh build of the final
+//! state. Deltas stack; `thor compact` folds a chain back into the
+//! single artifact a fresh build would have written, byte-identical.
+//! `thor inspect` recognizes delta artifacts and prints the chain.
 //! Checkpoint/resume composes with engines: the resume fingerprint
 //! covers configuration + table + corpus, so a checkpoint taken with an
 //! engine resumes under the same engine (or an identically-built one).
@@ -62,8 +74,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use thor_repro::core::{
-    entities_tsv, Document, PipelineMetrics, PreparedEngine, ResilientOptions, RunMode, Thor,
-    ThorConfig,
+    compact_chain, entities_tsv, ConceptDelta, Document, EngineDelta, PipelineMetrics,
+    PreparedEngine, ResilientOptions, RunMode, SeedDelta, Thor, ThorConfig,
 };
 use thor_repro::data::csv::{from_csv, from_csv_lenient, to_csv, SkippedRow};
 use thor_repro::data::CorpusDir;
@@ -73,7 +85,8 @@ use thor_repro::embed::{SgnsConfig, SgnsTrainer, VectorStore};
 use thor_repro::eval::{evaluate, schema_scores, Annotation};
 use thor_repro::fault::{
     atomic_write, decode_document, fail_point, install_from_env, read_bytes, read_to_string,
-    DocumentPolicy, MapMode, QuarantineEntry, QuarantineReport, SectionFile, ThorError, ThorResult,
+    DocumentPolicy, MapMode, QuarantineEntry, QuarantineReport, SectionChain, SectionFile,
+    ThorError, ThorResult,
 };
 use thor_repro::serve::signal as serve_signal;
 use thor_repro::serve::{ReloadConfig, ServeOptions, Server};
@@ -185,6 +198,21 @@ const SERVE: CommandSpec = CommandSpec {
     ],
     flags: &["metrics"],
 };
+const DELTA: CommandSpec = CommandSpec {
+    options: &[
+        "engine",
+        "engine-mmap",
+        "add-seeds",
+        "add-concept",
+        "out",
+        "note",
+    ],
+    flags: &[],
+};
+const COMPACT: CommandSpec = CommandSpec {
+    options: &["engine", "out"],
+    flags: &[],
+};
 const INSPECT: CommandSpec = CommandSpec {
     options: &["engine"],
     flags: &[],
@@ -256,6 +284,9 @@ fn usage() -> ExitCode {
          thor serve --engine e.thor [--engine-mmap on|off] [--addr HOST:PORT] \
          [--addr-file PATH] [--threads N] [--queue N] [--read-timeout-ms MS] \
          [--refine kernel|reference] [--metrics[=json]]\n  \
+         thor delta --engine base.eng [--add-concept NAME] [--add-seeds rows.csv] \
+         --out d1.eng [--note TEXT] [--engine-mmap on|off]\n  \
+         thor compact --engine dN.eng --out folded.eng\n  \
          thor inspect --engine e.thor\n  \
          thor evaluate --gold gold.tsv --pred pred.tsv\n  \
          thor generate --dataset disease|resume [--scale S] [--seed N] --out DIR"
@@ -882,24 +913,92 @@ fn cmd_serve(args: &Args) -> ThorResult<()> {
     Ok(())
 }
 
-/// `thor inspect`: print a v2 engine artifact's section directory
-/// (name, offset, length, alignment, format version, checksum) and
-/// verify **every** checksum — including the big vocabulary sections a
-/// mapped load defers — exiting non-zero on the first mismatch. This is
-/// the offline integrity check backing `--engine-mmap on`'s lazy
-/// verification policy.
-fn cmd_inspect(args: &Args) -> ThorResult<()> {
+/// `thor delta`: evolve a built engine by an additive change — a new
+/// concept column (`--add-concept`, applied first) and/or new seed rows
+/// (`--add-seeds`) — and persist the result as a **delta artifact**
+/// stacking on the base: only the sections whose bytes changed, plus a
+/// checksummed parent link. Loading the delta resolves the whole chain
+/// and extracts bit-identically to a fresh `thor build` of the final
+/// table.
+fn cmd_delta(args: &Args) -> ThorResult<()> {
+    let engine_path = args
+        .options
+        .get("engine")
+        .ok_or_else(|| ThorError::config("delta needs --engine base.eng (see `thor build`)"))?;
+    let out = args
+        .options
+        .get("out")
+        .ok_or_else(|| ThorError::config("delta needs --out d1.eng"))?;
+    let concept = args.options.get("add-concept");
+    let seeds = args.options.get("add-seeds");
+    if concept.is_none() && seeds.is_none() {
+        return Err(ThorError::config(
+            "delta needs --add-seeds rows.csv and/or --add-concept NAME",
+        ));
+    }
+    if matches!(concept, Some(name) if name.is_empty()) {
+        return Err(ThorError::config("--add-concept needs a concept name"));
+    }
+    if matches!(seeds, Some(path) if path.is_empty()) {
+        return Err(ThorError::config("--add-seeds needs a CSV path"));
+    }
+
+    let map_mode = engine_map_mode(args)?;
+    let mut engine = PreparedEngine::load_with(Path::new(engine_path), map_mode)?;
+    let base_fingerprint = engine.fingerprint().to_string();
+    let mut applied = Vec::new();
+    // The column first, then the rows: `--add-concept Treatment
+    // --add-seeds rows.csv` can fill the fresh column in one invocation.
+    if let Some(name) = concept {
+        engine = engine.apply_delta(&EngineDelta::Concept(ConceptDelta::new(name.as_str())))?;
+        applied.push(format!("--add-concept {name}"));
+    }
+    if let Some(path) = seeds {
+        let text = read_to_string(Path::new(path))?;
+        let delta = SeedDelta::from_csv(&text).map_err(|e| e.context(path.clone()))?;
+        engine = engine.apply_delta(&EngineDelta::Seeds(delta))?;
+        applied.push(format!("--add-seeds {path}"));
+    }
+    let note = match args.options.get("note") {
+        Some(n) => n.clone(),
+        None => format!("thor delta {}", applied.join(" ")),
+    };
+    engine.save_delta(Path::new(engine_path), Path::new(out), &note)?;
+    eprintln!(
+        "delta applied in {:?}: fingerprint {base_fingerprint} -> {}\nwritten to {out} (on {engine_path})",
+        engine.prepare_time(),
+        engine.fingerprint()
+    );
+    Ok(())
+}
+
+/// `thor compact`: fold the delta chain under `--engine` into the
+/// single artifact `--out` — byte-identical to what a fresh
+/// `thor build` of the resolved state writes. Every checksum and parent
+/// link is verified first, and the folded artifact is loaded back and
+/// fingerprint-checked before the command succeeds.
+fn cmd_compact(args: &Args) -> ThorResult<()> {
     let path = args
         .options
         .get("engine")
-        .ok_or_else(|| ThorError::config("inspect needs --engine e.thor"))?;
-    let file = SectionFile::open(Path::new(path), MapMode::Mapped)?;
-    println!(
-        "{path}: THORENG v2, {} bytes, {} sections{}",
-        file.total_len(),
-        file.entries().len(),
-        if file.is_mapped() { " (mapped)" } else { "" }
+        .ok_or_else(|| ThorError::config("compact needs --engine dN.eng (the chain's top)"))?;
+    let out = args
+        .options
+        .get("out")
+        .ok_or_else(|| ThorError::config("compact needs --out folded.eng"))?;
+    let depth = SectionChain::open(Path::new(path), MapMode::Mapped)?.depth();
+    let engine = compact_chain(Path::new(path), Path::new(out), None)?;
+    eprintln!(
+        "folded {} chain file(s) (depth {depth}) into {out}: fingerprint {}",
+        depth + 1,
+        engine.fingerprint()
     );
+    Ok(())
+}
+
+/// One artifact's section directory (name, offset, length, alignment,
+/// format version, checksum) as an aligned table.
+fn print_section_table(file: &SectionFile) {
     println!(
         "{:<16} {:>10} {:>10} {:>6} {:>4}  {:<18}",
         "section", "offset", "length", "align", "ver", "checksum"
@@ -910,8 +1009,73 @@ fn cmd_inspect(args: &Args) -> ThorResult<()> {
             e.name, e.offset, e.len, e.align, e.version, e.checksum
         );
     }
-    file.verify_all()?;
-    println!("all {} section checksums verified", file.entries().len());
+}
+
+/// `thor inspect`: print a v2 engine artifact's section directory and
+/// verify **every** checksum — including the big vocabulary sections a
+/// mapped load defers — exiting non-zero on the first mismatch. This is
+/// the offline integrity check backing `--engine-mmap on`'s lazy
+/// verification policy. A delta artifact is inspected as its whole
+/// chain: base fingerprint, delta depth, and each file's patched
+/// sections (with the provenance note recorded at `thor delta` time).
+fn cmd_inspect(args: &Args) -> ThorResult<()> {
+    let path = args
+        .options
+        .get("engine")
+        .ok_or_else(|| ThorError::config("inspect needs --engine e.thor"))?;
+    let chain = SectionChain::open(Path::new(path), MapMode::Mapped)?;
+    if chain.depth() == 0 {
+        let file = chain.base();
+        println!(
+            "{path}: THORENG v2, {} bytes, {} sections{}",
+            file.total_len(),
+            file.entries().len(),
+            if file.is_mapped() { " (mapped)" } else { "" }
+        );
+        print_section_table(file);
+        chain.verify_all()?;
+        println!("all {} section checksums verified", file.entries().len());
+        return Ok(());
+    }
+    println!(
+        "{path}: THORENG v2 delta chain, {} file(s), depth {}, base fingerprint {}",
+        chain.files().len(),
+        chain.depth(),
+        chain.metas()[0].parent_fingerprint
+    );
+    for (i, file) in chain.files().iter().enumerate() {
+        let fpath = &chain.paths()[i];
+        if i == 0 {
+            println!(
+                "\n[base] {}: {} bytes, {} sections{}",
+                fpath.display(),
+                file.total_len(),
+                file.entries().len(),
+                if file.is_mapped() { " (mapped)" } else { "" }
+            );
+        } else {
+            let meta = &chain.metas()[i - 1];
+            println!(
+                "\n[delta {}] {}: {} bytes, {} patched section(s) on fingerprint {}{}",
+                meta.depth,
+                fpath.display(),
+                file.total_len(),
+                file.entries().len() - 1, // minus delta.meta itself
+                meta.parent_fingerprint,
+                if meta.note.is_empty() {
+                    String::new()
+                } else {
+                    format!("\n        note: {}", meta.note)
+                }
+            );
+        }
+        print_section_table(file);
+    }
+    chain.verify_all()?;
+    println!(
+        "\nall section checksums verified across {} chain file(s)",
+        chain.files().len()
+    );
     Ok(())
 }
 
@@ -1051,6 +1215,8 @@ fn main() -> ExitCode {
         "build" => Some(&BUILD),
         "enrich" => Some(&ENRICH),
         "serve" => Some(&SERVE),
+        "delta" => Some(&DELTA),
+        "compact" => Some(&COMPACT),
         "inspect" => Some(&INSPECT),
         "evaluate" => Some(&EVALUATE),
         "generate" => Some(&GENERATE),
@@ -1065,6 +1231,8 @@ fn main() -> ExitCode {
         "build" => cmd_build(&args),
         "enrich" => cmd_enrich(&args),
         "serve" => cmd_serve(&args),
+        "delta" => cmd_delta(&args),
+        "compact" => cmd_compact(&args),
         "inspect" => cmd_inspect(&args),
         "evaluate" => cmd_evaluate(&args),
         "generate" => cmd_generate(&args),
@@ -1322,6 +1490,54 @@ mod tests {
             msg.contains("--stream needs --vectors or --engine"),
             "{msg}"
         );
+    }
+
+    #[test]
+    fn delta_requires_engine_out_and_a_change() {
+        let msg = cmd_delta(&parse_args(&[], DELTA.flags))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("--engine"), "{msg}");
+        let a = parse_args(&argv(&["--engine", "base.eng"]), DELTA.flags);
+        let msg = cmd_delta(&a).unwrap_err().to_string();
+        assert!(msg.contains("--out"), "{msg}");
+        let a = parse_args(
+            &argv(&["--engine", "base.eng", "--out", "d1.eng"]),
+            DELTA.flags,
+        );
+        let msg = cmd_delta(&a).unwrap_err().to_string();
+        assert!(
+            msg.contains("--add-seeds") && msg.contains("--add-concept"),
+            "{msg}"
+        );
+        // `--add-concept` immediately followed by another option has an
+        // empty value: rejected up front, not applied as a "" concept.
+        let a = parse_args(
+            &argv(&["--engine", "b.eng", "--add-concept", "--out", "d1.eng"]),
+            DELTA.flags,
+        );
+        let msg = cmd_delta(&a).unwrap_err().to_string();
+        assert!(msg.contains("--add-concept needs a concept name"), "{msg}");
+
+        let a = parse_args(&argv(&["--add-seed", "x.csv"]), DELTA.flags);
+        let msg = check_options("delta", &a, &DELTA).unwrap_err().to_string();
+        assert!(msg.contains("did you mean `--add-seeds`?"), "{msg}");
+    }
+
+    #[test]
+    fn compact_requires_engine_and_out() {
+        let msg = cmd_compact(&parse_args(&[], COMPACT.flags))
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("--engine"), "{msg}");
+        let a = parse_args(&argv(&["--engine", "d2.eng"]), COMPACT.flags);
+        let msg = cmd_compact(&a).unwrap_err().to_string();
+        assert!(msg.contains("--out"), "{msg}");
+        let a = parse_args(&argv(&["--uot", "folded.eng"]), COMPACT.flags);
+        let msg = check_options("compact", &a, &COMPACT)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("did you mean `--out`?"), "{msg}");
     }
 
     #[test]
