@@ -13,6 +13,14 @@
 //! `--smoke` pins a small scale and few repetitions so CI can afford to
 //! run it on every push; the full mode additionally enforces the ≥3×
 //! speedup floor (smoke timings are too noisy to gate on).
+//!
+//! The document also carries a **vocabulary sweep** (`vocab_sweep`):
+//! synthetic clustered spaces at 1×/4×/16× words-per-concept, timing
+//! bound-pruned exact candidate generation (`--prune exact`) against
+//! the exhaustive scan (`--prune off`) with the phrase cache disabled.
+//! Exhaustive throughput decays roughly linearly with index rows;
+//! pruned throughput flattens — full mode asserts the ≥3× pruned floor
+//! at the largest size and that pruned decays strictly slower.
 
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -20,10 +28,166 @@ use std::time::Instant;
 use thor_bench::harness::{disease_dataset, scale_from_env, seed_from_env};
 use thor_core::{Thor, ThorConfig};
 use thor_datagen::Split;
+use thor_embed::SemanticSpaceBuilder;
+use thor_match::{MatcherConfig, PruneMode, SimilarityMatcher};
 use thor_obs::{Json, PipelineMetrics};
 
 /// Mid-sweep τ: representative clusters are at their paper-default size.
 const TAU: f64 = 0.7;
+
+/// Concept count held fixed across the vocabulary sweep — the sweep
+/// scales *words per concept*, which is what grows the row count the
+/// exhaustive scan pays for while the concept-bound walk does not.
+const SWEEP_CONCEPTS: usize = 16;
+
+/// Vocabulary multipliers: 1×/4×/16× words per concept.
+const SWEEP_MULTS: [usize; 3] = [1, 4, 16];
+
+/// One measured point of the vocabulary sweep.
+struct SweepPoint {
+    mult: usize,
+    vocab_words: usize,
+    index_rows: usize,
+    pruned_rate: f64,
+    exhaustive_rate: f64,
+}
+
+/// Build the sweep matcher for a vocabulary multiplier: 16 tight
+/// synthetic concepts (`spread(0.05)` keeps intra-concept radii small,
+/// the regime the cluster bounds are designed for), `16 × mult` words
+/// each, with the first 8 words of each concept as its seed instances.
+/// The phrase cache is disabled so the timing isolates candidate
+/// generation itself rather than cache hits.
+fn sweep_matcher(mult: usize) -> SimilarityMatcher {
+    let words_per = 16 * mult;
+    let mut builder = SemanticSpaceBuilder::new(32, 0x7468_6f72 + mult as u64).spread(0.05);
+    for ci in 0..SWEEP_CONCEPTS {
+        let topic = format!("t{ci:02}");
+        builder = builder.topic(&topic);
+        for wi in 0..words_per {
+            builder = builder.word(&topic, &format!("t{ci:02}w{wi:03}"));
+        }
+    }
+    let store = builder.build().into_store();
+    let concepts: Vec<(String, Vec<String>)> = (0..SWEEP_CONCEPTS)
+        .map(|ci| {
+            (
+                format!("Concept{ci:02}"),
+                (0..8).map(|wi| format!("t{ci:02}w{wi:03}")).collect(),
+            )
+        })
+        .collect();
+    let config = MatcherConfig {
+        tau: TAU,
+        cache_capacity: 0,
+        ..MatcherConfig::default()
+    };
+    SimilarityMatcher::fine_tune(&concepts, store, config)
+}
+
+/// Time `match_phrase` over the query set, returning phrases/sec.
+fn time_phrases(matcher: &SimilarityMatcher, queries: &[String], reps: usize) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        for q in queries {
+            std::hint::black_box(matcher.match_phrase(q));
+        }
+    }
+    (queries.len() * reps) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Measure one sweep point: pruned-exact vs exhaustive throughput on a
+/// fixed query set (two-word phrases of *expansion* words — present at
+/// every multiplier, not seed instances — so the work per query is the
+/// scan, not a trivial seed hit). Before timing, the two modes are
+/// checked for exact equality on every query: the sweep's claim is
+/// only meaningful because pruning is a drop-in replacement.
+fn sweep_point(mult: usize, reps: usize) -> SweepPoint {
+    let pruned = sweep_matcher(mult);
+    let exhaustive = pruned.with_prune_mode(PruneMode::Off);
+    let queries: Vec<String> = (0..SWEEP_CONCEPTS)
+        .map(|ci| format!("t{ci:02}w008 t{ci:02}w009"))
+        .collect();
+    for q in &queries {
+        assert_eq!(
+            pruned.match_phrase(q),
+            exhaustive.match_phrase(q),
+            "pruned scan diverged from exhaustive at {mult}x on {q:?}"
+        );
+    }
+    SweepPoint {
+        mult,
+        vocab_words: SWEEP_CONCEPTS * 16 * mult,
+        index_rows: pruned.index().row_count(),
+        pruned_rate: time_phrases(&pruned, &queries, reps),
+        exhaustive_rate: time_phrases(&exhaustive, &queries, reps),
+    }
+}
+
+/// Run the vocabulary sweep and render it as the `vocab_sweep` array.
+/// In full mode, enforce the sub-linear claim: ≥3× pruned speedup at
+/// the largest vocabulary, and pruned throughput decaying strictly
+/// slower than exhaustive (≤ 0.7× the exhaustive decay factor).
+fn vocab_sweep(smoke: bool) -> Json {
+    let reps = if smoke { 20 } else { 400 };
+    let points: Vec<SweepPoint> = SWEEP_MULTS
+        .iter()
+        .map(|&mult| sweep_point(mult, reps))
+        .collect();
+    for p in &points {
+        println!(
+            "sweep {:>2}x: {:>5} words, {:>5} rows | pruned {:>9.0} phrases/s | \
+             exhaustive {:>9.0} phrases/s | speedup {:.1}x",
+            p.mult,
+            p.vocab_words,
+            p.index_rows,
+            p.pruned_rate,
+            p.exhaustive_rate,
+            p.pruned_rate / p.exhaustive_rate
+        );
+    }
+    let (first, last) = (&points[0], &points[points.len() - 1]);
+    if !smoke {
+        let speedup = last.pruned_rate / last.exhaustive_rate;
+        assert!(
+            speedup >= 3.0,
+            "expected >=3x pruned speedup at {}x vocabulary, got {speedup:.2}x",
+            last.mult
+        );
+        // Decay factor: how much throughput is lost growing the
+        // vocabulary 16×. Exhaustive decays ~linearly with rows; the
+        // bound-pruned walk must decay strictly slower.
+        let pruned_decay = first.pruned_rate / last.pruned_rate;
+        let exhaustive_decay = first.exhaustive_rate / last.exhaustive_rate;
+        assert!(
+            pruned_decay <= exhaustive_decay * 0.7,
+            "pruned scan is not sub-linear: pruned decayed {pruned_decay:.2}x vs \
+             exhaustive {exhaustive_decay:.2}x over a {}x vocabulary growth",
+            last.mult
+        );
+    }
+    Json::Array(
+        points
+            .iter()
+            .map(|p| {
+                let mut o = BTreeMap::new();
+                o.insert("mult".into(), Json::UInt(p.mult as u64));
+                o.insert("vocab_words".into(), Json::UInt(p.vocab_words as u64));
+                o.insert("index_rows".into(), Json::UInt(p.index_rows as u64));
+                o.insert("pruned_phrases_per_sec".into(), Json::Float(p.pruned_rate));
+                o.insert(
+                    "exhaustive_phrases_per_sec".into(),
+                    Json::Float(p.exhaustive_rate),
+                );
+                o.insert(
+                    "speedup".into(),
+                    Json::Float(p.pruned_rate / p.exhaustive_rate),
+                );
+                Json::Object(o)
+            })
+            .collect(),
+    )
+}
 
 /// Crude sentence split — the workload only needs realistic multi-word
 /// phrases, not linguistically perfect boundaries.
@@ -108,6 +272,7 @@ fn main() {
     doc.insert("cache_hits".into(), Json::UInt(cache.hits));
     doc.insert("cache_misses".into(), Json::UInt(cache.misses));
     doc.insert("cache_hit_rate".into(), Json::Float(cache.hit_rate()));
+    doc.insert("vocab_sweep".into(), vocab_sweep(smoke));
     let rendered = Json::Object(doc).render();
     std::fs::write("BENCH_matcher.json", format!("{rendered}\n"))
         .expect("write BENCH_matcher.json");

@@ -100,6 +100,17 @@ pub struct ThorConfig {
     /// and benchmarking. Output-neutral: excluded from fingerprints and
     /// not persisted in engine artifacts.
     pub reference_refine: bool,
+    /// Candidate-generation pruning strategy. `Exact` (the default)
+    /// skips concepts and row blocks whose cosine upper bound cannot
+    /// beat the admission threshold — bit-identical to the exhaustive
+    /// scan, an output-neutral execution knob like `early_abandon`.
+    /// `Approx { margin }` additionally pre-screens rows with the
+    /// i8-quantized copy (survivors are exactly rescored); it trades a
+    /// measured sliver of recall for throughput and is the only mode
+    /// that can change output. `Off` forces the exhaustive scan.
+    /// Excluded from fingerprints and not persisted in engine
+    /// artifacts.
+    pub prune: thor_match::PruneMode,
 }
 
 impl Default for ThorConfig {
@@ -116,6 +127,7 @@ impl Default for ThorConfig {
             threads: 1,
             early_abandon: true,
             reference_refine: false,
+            prune: thor_match::PruneMode::Exact,
         }
     }
 }
@@ -143,6 +155,7 @@ impl ThorConfig {
             max_subphrase_words: self.max_subphrase_words,
             max_expansion: self.max_expansion,
             cache_capacity: self.cache_capacity,
+            prune: self.prune,
         }
     }
 }

@@ -222,7 +222,7 @@ impl PreparedEngine {
         }
         let index = builder.build();
         let matcher = prep
-            .matcher_with_index(matcher_config, inner.metrics.clone(), index)
+            .matcher_with_index(matcher_config, inner.metrics.clone(), index, None)
             .map_err(|m| ThorError::validation(format!("delta index extension: {m}")))?;
 
         // 4. Extend the dictionary automaton with the merged patterns.

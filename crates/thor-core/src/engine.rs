@@ -40,7 +40,7 @@ use thor_fault::{
     ThorResult,
 };
 use thor_index::DictionaryIndex;
-use thor_match::{MatcherConfig, PreparedMatcher, SimilarityMatcher, TAU_RANGE};
+use thor_match::{MatcherConfig, PreparedMatcher, PruneMode, SimilarityMatcher, TAU_RANGE};
 use thor_obs::PipelineMetrics;
 use thor_text::ScoreScratch;
 
@@ -79,6 +79,19 @@ const SEC_IDX_NORMS: &str = "idx.norms";
 const SEC_IDX_REPSUMS: &str = "idx.repsums";
 const SEC_AUTOMATON: &str = "automaton";
 const SEC_SYNTAX: &str = "syntax.seeds";
+// Candidate-pruning acceleration structures (clustered bound pruning +
+// i8-quantized rows). Pure deterministic functions of the VectorIndex,
+// persisted so cold loads skip the k-means pass; artifacts written
+// before these sections existed still load — the structures are rebuilt
+// on the fly.
+const SEC_PRUNE_META: &str = "prune.meta";
+const SEC_PRUNE_MEMBERS: &str = "prune.members";
+const SEC_PRUNE_CENTROIDS: &str = "prune.centroids";
+const SEC_PRUNE_RADII: &str = "prune.radii";
+const SEC_PRUNE_CONCEPT_CENTROIDS: &str = "prune.concept_centroids";
+const SEC_PRUNE_CONCEPT_RADII: &str = "prune.concept_radii";
+const SEC_QUANT_ROWS: &str = "quant.rows";
+const SEC_QUANT_SCALES: &str = "quant.scales";
 
 /// The O(vocabulary) sections a mapped load does **not** checksum, so
 /// cold-start stays flat in artifact size. Everything else — header,
@@ -398,6 +411,39 @@ impl PreparedEngine {
         }
     }
 
+    /// The same engine with a different candidate-pruning mode. `Exact`
+    /// (the default) and `Off` are bit-identical to each other —
+    /// bound-based skipping only drops scans that provably cannot win —
+    /// so like `threads` they are execution knobs: output and
+    /// fingerprint are unchanged. `Approx { margin }` pre-screens rows
+    /// with the i8-quantized copy and may miss candidates whose exact
+    /// similarity exceeds τ by less than the quantization error the
+    /// margin fails to cover; it shares the fingerprint because the
+    /// artifact bytes are mode-independent, but serve output may
+    /// differ. The matcher's phrase cache is restarted so entries
+    /// admitted under one mode never serve another.
+    pub fn with_prune(&self, prune: PruneMode) -> PreparedEngine {
+        let mut config = self.inner.config.clone();
+        config.prune = prune;
+        PreparedEngine {
+            inner: Arc::new(EngineInner {
+                matcher: self.inner.matcher.with_prune_mode(prune),
+                config,
+                store: Arc::clone(&self.inner.store),
+                table: Arc::clone(&self.inner.table),
+                subjects: self.inner.subjects.clone(),
+                prep: Arc::clone(&self.inner.prep),
+                dictionary: Arc::clone(&self.inner.dictionary),
+                store_digest: self.inner.store_digest,
+                table_digest: self.inner.table_digest,
+                fingerprint: self.inner.fingerprint.clone(),
+                chain_depth: self.inner.chain_depth,
+                prepare_time: self.inner.prepare_time,
+                metrics: self.inner.metrics.clone(),
+            }),
+        }
+    }
+
     /// Attach an observability handle. The matcher is re-derived from
     /// the frozen Preparation with the handle installed, so fine-tune
     /// statistics (vocabulary size, expansion counts, representative
@@ -653,6 +699,28 @@ impl PreparedEngine {
         }
         sections.push((SEC_SYNTAX, 1, w.into_bytes()));
 
+        // Pruning index + quantized rows. Deterministic given the
+        // VectorIndex (fixed k-means seed and iteration count), so a
+        // delta-rebuilt engine serializes the same bytes as a fresh
+        // build of the same state.
+        let prune = inner.matcher.prune_index();
+        sections.push((SEC_PRUNE_META, 1, prune.meta_bytes()));
+        sections.push((SEC_PRUNE_MEMBERS, 1, le_bytes_u32(prune.members())));
+        sections.push((SEC_PRUNE_CENTROIDS, 1, le_bytes_f32(prune.centroids())));
+        sections.push((SEC_PRUNE_RADII, 1, le_bytes_f64(prune.radii())));
+        sections.push((
+            SEC_PRUNE_CONCEPT_CENTROIDS,
+            1,
+            le_bytes_f32(prune.concept_centroids()),
+        ));
+        sections.push((
+            SEC_PRUNE_CONCEPT_RADII,
+            1,
+            le_bytes_f64(prune.concept_radii()),
+        ));
+        sections.push((SEC_QUANT_ROWS, 1, prune.quant_codes().to_vec()));
+        sections.push((SEC_QUANT_SCALES, 1, le_bytes_f32(prune.quant_scales())));
+
         sections
     }
 
@@ -732,6 +800,8 @@ impl PreparedEngine {
                 max_subphrase_words: r.get_u64()? as usize,
                 max_expansion: r.get_u64()? as usize,
                 cache_capacity: r.get_u64()? as usize,
+                // Execution knob, never persisted.
+                prune: PruneMode::Exact,
             };
             let dim = r.get_u64()? as usize;
             let word_count = r.get_u64()? as usize;
@@ -857,8 +927,30 @@ impl PreparedEngine {
             idx_layout,
         )
         .map_err(|m| invalid(format!("index sections: {m}")))?;
+        // Pruning sections: present in artifacts written at or after
+        // this format revision — validated and borrowed in place.
+        // Absent in older v2 artifacts — `matcher_with_index` rebuilds
+        // the (deterministic) structures from the index instead, so old
+        // artifacts keep loading with pruning fully enabled.
+        let prune = match file.entry(SEC_PRUNE_META) {
+            Some(_) => Some(Arc::new(
+                thor_index::PruneIndex::from_parts(
+                    &index,
+                    file.bytes(SEC_PRUNE_META)?,
+                    file.frozen_slice::<u32>(SEC_PRUNE_MEMBERS)?,
+                    file.frozen_slice::<f32>(SEC_PRUNE_CENTROIDS)?,
+                    file.frozen_slice::<f64>(SEC_PRUNE_RADII)?,
+                    file.frozen_slice::<f32>(SEC_PRUNE_CONCEPT_CENTROIDS)?,
+                    file.frozen_slice::<f64>(SEC_PRUNE_CONCEPT_RADII)?,
+                    file.frozen_slice::<u8>(SEC_QUANT_ROWS)?,
+                    file.frozen_slice::<f32>(SEC_QUANT_SCALES)?,
+                )
+                .map_err(|m| invalid(format!("prune sections: {m}")))?,
+            )),
+            None => None,
+        };
         let matcher = prep
-            .matcher_with_index(config.matcher_config(), None, index)
+            .matcher_with_index(config.matcher_config(), None, index, prune)
             .map_err(|m| invalid(format!("index sections: {m}")))?;
 
         // Dictionary automaton.
@@ -1000,6 +1092,14 @@ fn le_bytes_f32(v: &[f32]) -> Vec<u8> {
     out
 }
 
+fn le_bytes_u32(v: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 4);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
 fn put_u32s(w: &mut ByteWriter, v: &[u32]) {
     w.put_u64(v.len() as u64);
     for &x in v {
@@ -1090,6 +1190,7 @@ fn read_config(r: &mut ByteReader<'_>) -> ThorResult<ThorConfig> {
         // unchanged): a loaded engine starts from the defaults.
         early_abandon: true,
         reference_refine: false,
+        prune: thor_match::PruneMode::Exact,
     })
 }
 

@@ -87,4 +87,5 @@ pub use pool::{PoolScope, WorkerPool};
 pub use resilient::{ResilientOptions, ResilientOutcome, RunMode};
 pub use slot::{EngineGeneration, EngineSlot};
 pub use thor_fault::{CancelToken, MapMode};
+pub use thor_match::PruneMode;
 pub use thor_obs::PipelineMetrics;

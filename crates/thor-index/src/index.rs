@@ -286,17 +286,49 @@ impl VectorIndex {
         })
     }
 
-    fn rep_sum(&self, concept: usize) -> &[f32] {
+    /// Number of representative rows of concept `concept`.
+    pub fn concept_rows(&self, concept: usize) -> usize {
+        self.concepts[concept].rows
+    }
+
+    /// Layout of concept `concept` as `(start, rows, seed_rows)`, for
+    /// the pruning structures that address rows globally.
+    pub(crate) fn concept_range(&self, concept: usize) -> (usize, usize, usize) {
+        let entry = &self.concepts[concept];
+        (entry.start, entry.rows, entry.seed_rows)
+    }
+
+    /// Precomputed L2 norm of row `row`.
+    pub(crate) fn row_norm(&self, row: usize) -> f64 {
+        self.norms[row]
+    }
+
+    pub(crate) fn rep_sum(&self, concept: usize) -> &[f32] {
         &self.rep_sums[concept * self.dim..(concept + 1) * self.dim]
     }
 
-    fn row(&self, row: usize) -> &[f32] {
+    pub(crate) fn row(&self, row: usize) -> &[f32] {
         &self.data[row * self.dim..(row + 1) * self.dim]
+    }
+
+    /// Mean cosine similarity between `query` and concept `concept`'s
+    /// rows, bit-identical to the `mean` field produced by
+    /// [`VectorIndex::scan`]: `None` when the concept has no rows,
+    /// `Some(0.0)` for a zero-norm query.
+    pub fn concept_mean(&self, concept: usize, query: &[f32], query_norm: f64) -> Option<f64> {
+        let entry = &self.concepts[concept];
+        if entry.rows == 0 {
+            None
+        } else if query_norm == 0.0 {
+            Some(0.0)
+        } else {
+            Some(dot(query, self.rep_sum(concept)) / (query_norm * entry.rows as f64))
+        }
     }
 
     /// Cosine similarity between `query` (with precomputed norm
     /// `query_norm`) and row `row`; 0.0 when either norm is zero.
-    fn row_cosine(&self, row: usize, query: &[f32], query_norm: f64) -> f64 {
+    pub(crate) fn row_cosine(&self, row: usize, query: &[f32], query_norm: f64) -> f64 {
         let rn = self.norms[row];
         if query_norm == 0.0 || rn == 0.0 {
             return 0.0;
@@ -359,13 +391,13 @@ impl VectorIndex {
 
 /// Dot product of two equal-length slices, accumulated in `f64` in
 /// element order (matches `thor_embed::Vector::dot`).
-fn dot(a: &[f32], b: &[f32]) -> f64 {
+pub(crate) fn dot(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
     a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
 }
 
 /// L2 norm of a slice (matches `thor_embed::Vector::norm`).
-fn slice_norm(v: &[f32]) -> f64 {
+pub(crate) fn slice_norm(v: &[f32]) -> f64 {
     v.iter()
         .map(|&x| (x as f64) * (x as f64))
         .sum::<f64>()

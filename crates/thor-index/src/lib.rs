@@ -25,11 +25,13 @@ pub mod cache;
 pub mod dictionary;
 pub mod entity;
 pub mod index;
+pub mod prune;
 pub mod source;
 
 pub use cache::{CacheStats, PhraseCache};
 pub use dictionary::DictionaryIndex;
 pub use entity::CandidateEntity;
 pub use index::{ConceptScores, VectorIndex, VectorIndexBuilder};
+pub use prune::{PruneIndex, PruneMode, PruneStats, PruneSummary, QuantQuery};
 pub use source::CandidateSource;
 pub use thor_automata::AhoCorasick;

@@ -1,0 +1,1252 @@
+//! Sub-linear candidate generation: clustered bound-pruned scans plus
+//! an i8-quantized row matrix.
+//!
+//! The exhaustive [`VectorIndex::scan`] touches every representative
+//! row for every query. This module freezes a three-level triage next
+//! to the index so the hot paths can skip almost all of that work while
+//! staying **bit-identical** to the exhaustive scan in exact mode:
+//!
+//! 1. **Concept bounds** — one centroid+radius ball per concept over
+//!    its normalized rows. A concept whose bound cannot beat the
+//!    admission threshold (τ or the running argmax floor) is skipped
+//!    whole, O(d) instead of O(rows·d).
+//! 2. **Cluster bounds** — a deterministic k-means (vendored SplitMix64
+//!    seeding, fixed iteration count) over each concept's seed prefix
+//!    and expansion suffix, stored as centroid+radius balls over row
+//!    blocks. Surviving concepts prune at block granularity.
+//! 3. **Quantized rescore** (opt-in `approx` mode) — an i8 copy of the
+//!    row matrix with one scale per row (the `thor_embed::quant`
+//!    scheme). The cheap integer dot filters rows; survivors are
+//!    exactly rescored in f32/f64, so approximation only ever *misses*
+//!    rows, never admits a wrong one.
+//!
+//! ## Why exact mode is bit-identical
+//!
+//! For a normalized query `q̂` and normalized member row `r̂` of a ball
+//! `(c, radius)`: `cos(q, r) = dot(q̂, r̂) ≤ dot(q̂, c) + ‖r̂ − c‖ ≤
+//! dot(q̂, c) + radius` (Cauchy–Schwarz). [`PRUNE_SLACK`] is added on
+//! top, which swallows both the floating-point error of the bound
+//! arithmetic and the `clamp(-1, 1)` lift of the similarity, so every
+//! stored bound is *strictly* greater than every member similarity.
+//! Skip decisions compare bounds with strict `<` against a floor that
+//! is itself an attained similarity (or τ), so a skipped block can
+//! never contain the row that decides the result; the surviving rows
+//! are folded with the very same `f64` operations as the exhaustive
+//! scan. Similarities here are never `-0.0` (accumulation starts at
+//! `+0.0` and IEEE-754 round-to-nearest sums that hit zero produce
+//! `+0.0`), so equal values are bit-equal and the fold's result does
+//! not depend on traversal order.
+//!
+//! The whole structure is a pure deterministic function of the
+//! [`VectorIndex`] bits, which is what lets delta applies rebuild it
+//! and still match a fresh build byte-for-byte.
+
+use std::cmp::Ordering;
+use std::ops::Range;
+
+use thor_fault::{ByteReader, ByteWriter, FrozenSlice};
+
+use crate::index::{dot, VectorIndex};
+
+/// Additive slack on every stored bound: strictly larger than the
+/// floating-point error of the bound arithmetic (dots of unit-scale
+/// values at embedding dimensionality are exact to ~1e-12), so a bound
+/// is always *strictly* above every member similarity.
+pub const PRUNE_SLACK: f64 = 1e-7;
+
+/// Target rows per cluster; `k = rows.div_ceil(CLUSTER_TARGET)`.
+const CLUSTER_TARGET: usize = 16;
+
+/// Fixed k-means iteration count — never data-dependent, so the stored
+/// sections (and with them the artifact bytes) are stable.
+const KMEANS_ITERS: usize = 8;
+
+/// Base seed for the deterministic k-means initialization.
+const KMEANS_SEED: u64 = 0x7468_6f72_2d70_7231;
+
+/// How candidate generation uses the pruning structures.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum PruneMode {
+    /// Bound-pruned scans whose output is bit-identical to the
+    /// exhaustive path (the default).
+    #[default]
+    Exact,
+    /// Like `Exact`, but the τ-gate scan first filters rows through the
+    /// i8-quantized matrix: rows whose approximate similarity plus
+    /// `margin` stays below τ are dropped without an exact rescore.
+    /// Larger margins rescore more rows (higher recall, less speedup).
+    Approx {
+        /// Additive slack on the approximate similarity before a row is
+        /// dropped; the recall knob.
+        margin: f64,
+    },
+    /// Exhaustive scans only (the pre-pruning behavior).
+    Off,
+}
+
+/// Counters accumulated by one pruned operation, flushed into
+/// `PipelineMetrics` by the matcher.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Whole concepts skipped via their concept-level bound.
+    pub concepts: u64,
+    /// Cluster blocks skipped via their centroid+radius bound.
+    pub clusters: u64,
+    /// Rows never exactly scored (covered by a skipped concept or
+    /// cluster, or dropped by the quantized filter).
+    pub rows: u64,
+    /// Rows that survived the quantized filter and were exactly
+    /// rescored in f32/f64.
+    pub rescored: u64,
+}
+
+impl PruneStats {
+    /// Fold `other` into `self`.
+    pub fn absorb(&mut self, other: &PruneStats) {
+        self.concepts += other.concepts;
+        self.clusters += other.clusters;
+        self.rows += other.rows;
+        self.rescored += other.rescored;
+    }
+}
+
+/// A query quantized with the same per-vector scale scheme as the rows,
+/// computed once per subphrase in approx mode.
+#[derive(Debug, Clone)]
+pub struct QuantQuery {
+    codes: Vec<i8>,
+    scale: f64,
+}
+
+/// Structural summary of a frozen [`PruneIndex`], decodable from the
+/// `prune.meta` section bytes alone (for `thor inspect`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneSummary {
+    /// Vector dimensionality the structure was built for.
+    pub dim: usize,
+    /// Total representative rows covered.
+    pub rows: usize,
+    /// Concepts covered.
+    pub concepts: usize,
+    /// Total clusters across all concepts.
+    pub clusters: usize,
+    /// Rows of the largest single cluster.
+    pub max_cluster_rows: usize,
+}
+
+/// The frozen pruning structure: concept balls, cluster balls with
+/// their member row lists, and the quantized row matrix. Built once at
+/// prepare time (or rebuilt deterministically on load/delta), immutable
+/// afterwards; the flat arrays may be zero-copy views into a mapped
+/// artifact.
+#[derive(Debug, Clone)]
+pub struct PruneIndex {
+    dim: usize,
+    /// Per concept: `(first_cluster, clusters, seed_clusters)`. The
+    /// first `seed_clusters` clusters cover exactly the concept's seed
+    /// prefix; the rest cover the expansion suffix.
+    concept_clusters: Vec<(usize, usize, usize)>,
+    /// Per cluster: `(member_start, member_len)` into `members`.
+    clusters: Vec<(usize, usize)>,
+    /// Global row ids, ascending within each cluster.
+    members: FrozenSlice<u32>,
+    /// Cluster centroids over normalized rows, `clusters × dim`.
+    centroids: FrozenSlice<f32>,
+    /// Cluster ball radii (f64, computed against the stored f32
+    /// centroid so the query-time bound uses the exact same values).
+    radii: FrozenSlice<f64>,
+    /// Concept centroids over normalized rows, `concepts × dim`.
+    concept_centroids: FrozenSlice<f32>,
+    /// Concept ball radii.
+    concept_radii: FrozenSlice<f64>,
+    /// i8 row codes stored as raw `u8` bit patterns, `rows × dim`
+    /// (`thor-fault` sections carry unsigned lanes only).
+    quant_codes: FrozenSlice<u8>,
+    /// Per-row quantization scale (`max|x| / 127`).
+    quant_scales: FrozenSlice<f32>,
+}
+
+impl PruneIndex {
+    /// Build the pruning structure for `ix`. Pure and deterministic:
+    /// the same index bits always produce the same structure, so a
+    /// delta-rebuilt instance is byte-identical to a fresh one.
+    pub fn build(ix: &VectorIndex) -> Self {
+        let dim = ix.dim();
+        let rows = ix.row_count();
+        assert!(rows <= u32::MAX as usize, "row ids must fit in u32");
+
+        // Normalized f64 copies of every row, zero-norm rows as the
+        // zero vector (which every ball then contains, keeping the
+        // bound valid for their defined similarity of 0.0).
+        let mut unit = vec![0.0f64; rows * dim];
+        for r in 0..rows {
+            let rn = ix.row_norm(r);
+            if rn != 0.0 {
+                for (u, &x) in unit[r * dim..(r + 1) * dim].iter_mut().zip(ix.row(r)) {
+                    *u = x as f64 / rn;
+                }
+            }
+        }
+
+        let mut concept_clusters = Vec::with_capacity(ix.concept_count());
+        let mut clusters = Vec::new();
+        let mut members: Vec<u32> = Vec::with_capacity(rows);
+        let mut centroids: Vec<f32> = Vec::new();
+        let mut radii: Vec<f64> = Vec::new();
+        let mut concept_centroids: Vec<f32> = Vec::with_capacity(ix.concept_count() * dim);
+        let mut concept_radii: Vec<f64> = Vec::with_capacity(ix.concept_count());
+
+        for ci in 0..ix.concept_count() {
+            let (start, crows, seed_rows) = ix.concept_range(ci);
+            let all = start..start + crows;
+            let centroid = mean_centroid(&unit, dim, all.clone());
+            concept_radii.push(ball_radius(&unit, dim, all, &centroid));
+            concept_centroids.extend_from_slice(&centroid);
+
+            let first = clusters.len();
+            let mut seed_clusters = 0usize;
+            for (group, range) in [
+                (0u64, start..start + seed_rows),
+                (1u64, start + seed_rows..start + crows),
+            ] {
+                let seed = KMEANS_SEED ^ (((ci as u64) << 1) | group);
+                for group_members in kmeans_groups(&unit, dim, range, seed) {
+                    let centroid =
+                        mean_centroid(&unit, dim, group_members.iter().map(|&r| r as usize));
+                    let radius = ball_radius(
+                        &unit,
+                        dim,
+                        group_members.iter().map(|&r| r as usize),
+                        &centroid,
+                    );
+                    clusters.push((members.len(), group_members.len()));
+                    members.extend_from_slice(&group_members);
+                    centroids.extend_from_slice(&centroid);
+                    radii.push(radius);
+                    if group == 0 {
+                        seed_clusters += 1;
+                    }
+                }
+            }
+            concept_clusters.push((first, clusters.len() - first, seed_clusters));
+        }
+
+        // The i8 shadow matrix, mirroring `thor_embed::quant::quantize`
+        // exactly: symmetric linear, one scale per row.
+        let mut quant_codes: Vec<u8> = Vec::with_capacity(rows * dim);
+        let mut quant_scales: Vec<f32> = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = ix.row(r);
+            let max = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            if max == 0.0 {
+                quant_scales.push(0.0);
+                quant_codes.extend(std::iter::repeat_n(0u8, dim));
+            } else {
+                let scale = max / 127.0;
+                quant_scales.push(scale);
+                quant_codes.extend(
+                    row.iter()
+                        .map(|&x| ((x / scale).round().clamp(-127.0, 127.0) as i8) as u8),
+                );
+            }
+        }
+
+        Self {
+            dim,
+            concept_clusters,
+            clusters,
+            members: members.into(),
+            centroids: centroids.into(),
+            radii: radii.into(),
+            concept_centroids: concept_centroids.into(),
+            concept_radii: concept_radii.into(),
+            quant_codes: quant_codes.into(),
+            quant_scales: quant_scales.into(),
+        }
+    }
+
+    /// Total clusters across all concepts.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Global row ids, cluster-major, for artifact serialization.
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Cluster centroids (`clusters × dim`), for artifact serialization.
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Cluster ball radii, for artifact serialization.
+    pub fn radii(&self) -> &[f64] {
+        &self.radii
+    }
+
+    /// Concept centroids (`concepts × dim`), for artifact serialization.
+    pub fn concept_centroids(&self) -> &[f32] {
+        &self.concept_centroids
+    }
+
+    /// Concept ball radii, for artifact serialization.
+    pub fn concept_radii(&self) -> &[f64] {
+        &self.concept_radii
+    }
+
+    /// Quantized row codes (`rows × dim` i8 bit patterns), for artifact
+    /// serialization.
+    pub fn quant_codes(&self) -> &[u8] {
+        &self.quant_codes
+    }
+
+    /// Per-row quantization scales, for artifact serialization.
+    pub fn quant_scales(&self) -> &[f32] {
+        &self.quant_scales
+    }
+
+    /// Encode the structural layout (everything not carried by the flat
+    /// arrays) for the `prune.meta` artifact section.
+    pub fn meta_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.dim as u64);
+        w.put_u64(self.quant_scales.len() as u64);
+        w.put_u64(self.concept_clusters.len() as u64);
+        w.put_u64(self.clusters.len() as u64);
+        for &(_, count, seed_count) in &self.concept_clusters {
+            w.put_u64(count as u64);
+            w.put_u64(seed_count as u64);
+        }
+        for &(_, len) in &self.clusters {
+            w.put_u64(len as u64);
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a [`PruneSummary`] from `prune.meta` section bytes.
+    pub fn summarize_meta(meta: &[u8]) -> Result<PruneSummary, String> {
+        let mut r = ByteReader::new(meta);
+        let e = |err: thor_fault::ThorError| format!("prune.meta: {err}");
+        let dim = r.get_u64().map_err(e)? as usize;
+        let rows = r.get_u64().map_err(e)? as usize;
+        let concepts = r.get_u64().map_err(e)? as usize;
+        let clusters = r.get_u64().map_err(e)? as usize;
+        for _ in 0..concepts {
+            r.get_u64().map_err(e)?;
+            r.get_u64().map_err(e)?;
+        }
+        let mut max_cluster_rows = 0usize;
+        for _ in 0..clusters {
+            max_cluster_rows = max_cluster_rows.max(r.get_u64().map_err(e)? as usize);
+        }
+        Ok(PruneSummary {
+            dim,
+            rows,
+            concepts,
+            clusters,
+            max_cluster_rows,
+        })
+    }
+
+    /// Reassemble a pruning structure from its artifact sections,
+    /// validating every layout invariant the query loops rely on
+    /// against `ix` — corrupt or mismatched sections yield a named
+    /// error instead of a panic or a silently different scan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        ix: &VectorIndex,
+        meta: &[u8],
+        members: FrozenSlice<u32>,
+        centroids: FrozenSlice<f32>,
+        radii: FrozenSlice<f64>,
+        concept_centroids: FrozenSlice<f32>,
+        concept_radii: FrozenSlice<f64>,
+        quant_codes: FrozenSlice<u8>,
+        quant_scales: FrozenSlice<f32>,
+    ) -> Result<Self, String> {
+        let mut r = ByteReader::new(meta);
+        let e = |err: thor_fault::ThorError| format!("prune.meta: {err}");
+        let dim = r.get_u64().map_err(e)? as usize;
+        let rows = r.get_u64().map_err(e)? as usize;
+        let concepts = r.get_u64().map_err(e)? as usize;
+        let cluster_total = r.get_u64().map_err(e)? as usize;
+        if dim != ix.dim() || rows != ix.row_count() || concepts != ix.concept_count() {
+            return Err(format!(
+                "prune structure shape ({concepts} concepts, {rows} rows, dim {dim}) \
+                 does not match the index ({} concepts, {} rows, dim {})",
+                ix.concept_count(),
+                ix.row_count(),
+                ix.dim()
+            ));
+        }
+        let mut concept_clusters = Vec::with_capacity(concepts);
+        let mut next = 0usize;
+        for ci in 0..concepts {
+            let count = r.get_u64().map_err(e)? as usize;
+            let seed_count = r.get_u64().map_err(e)? as usize;
+            if seed_count > count {
+                return Err(format!(
+                    "prune concept {ci} claims {seed_count} seed clusters of {count}"
+                ));
+            }
+            concept_clusters.push((next, count, seed_count));
+            next += count;
+        }
+        if next != cluster_total {
+            return Err(format!(
+                "prune concepts claim {next} clusters but the structure has {cluster_total}"
+            ));
+        }
+        let mut clusters = Vec::with_capacity(cluster_total);
+        let mut mstart = 0usize;
+        for _ in 0..cluster_total {
+            let len = r.get_u64().map_err(e)? as usize;
+            clusters.push((mstart, len));
+            mstart += len;
+        }
+        if mstart != rows || members.len() != rows {
+            return Err(format!(
+                "prune clusters cover {mstart} member rows, section has {}, index has {rows}",
+                members.len()
+            ));
+        }
+        for (name, have, want) in [
+            ("prune.centroids", centroids.len(), cluster_total * dim),
+            ("prune.radii", radii.len(), cluster_total),
+            (
+                "prune.concept_centroids",
+                concept_centroids.len(),
+                concepts * dim,
+            ),
+            ("prune.concept_radii", concept_radii.len(), concepts),
+            ("quant.rows", quant_codes.len(), rows * dim),
+            ("quant.scales", quant_scales.len(), rows),
+        ] {
+            if have != want {
+                return Err(format!("{name} has {have} entries, expected {want}"));
+            }
+        }
+        // Every cluster must hold ascending row ids inside its
+        // concept's seed prefix or expansion suffix, and together the
+        // clusters must cover each concept's rows exactly once.
+        let mut seen = vec![false; rows];
+        for (ci, &(first, count, seed_count)) in concept_clusters.iter().enumerate() {
+            let (start, crows, seed_rows) = ix.concept_range(ci);
+            for (k, &(cstart, clen)) in clusters[first..first + count].iter().enumerate() {
+                let range = if k < seed_count {
+                    start..start + seed_rows
+                } else {
+                    start + seed_rows..start + crows
+                };
+                let mut prev: Option<u32> = None;
+                for &row in &members[cstart..cstart + clen] {
+                    let r = row as usize;
+                    if !range.contains(&r) || seen[r] || prev.is_some_and(|p| p >= row) {
+                        return Err(format!(
+                            "prune cluster {} of concept {ci} does not partition rows \
+                             {}..{} of the index",
+                            first + k,
+                            start,
+                            start + crows
+                        ));
+                    }
+                    seen[r] = true;
+                    prev = Some(row);
+                }
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("prune clusters do not cover every index row".to_string());
+        }
+        Ok(Self {
+            dim,
+            concept_clusters,
+            clusters,
+            members,
+            centroids,
+            radii,
+            concept_centroids,
+            concept_radii,
+            quant_codes,
+            quant_scales,
+        })
+    }
+
+    /// Quantize `query` with the row scheme, once per subphrase.
+    pub fn quantize_query(&self, query: &[f32]) -> QuantQuery {
+        let max = query.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        if max == 0.0 {
+            return QuantQuery {
+                codes: vec![0; query.len()],
+                scale: 0.0,
+            };
+        }
+        let scale = max / 127.0;
+        QuantQuery {
+            codes: query
+                .iter()
+                .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+                .collect(),
+            scale: scale as f64,
+        }
+    }
+
+    /// Upper bound on `cos(query, row)` over all rows of `concept`;
+    /// `f64::MIN` for an empty concept. `query_norm` must be non-zero.
+    fn concept_bound(
+        &self,
+        ix: &VectorIndex,
+        concept: usize,
+        query: &[f32],
+        query_norm: f64,
+    ) -> f64 {
+        let (_, rows, _) = ix.concept_range(concept);
+        if rows == 0 {
+            return f64::MIN;
+        }
+        let c = &self.concept_centroids[concept * self.dim..(concept + 1) * self.dim];
+        dot(query, c) / query_norm + self.concept_radii[concept] + PRUNE_SLACK
+    }
+
+    /// Upper bound on `cos(query, row)` over the member rows of cluster
+    /// `k`. `query_norm` must be non-zero.
+    fn cluster_bound(&self, k: usize, query: &[f32], query_norm: f64) -> f64 {
+        let c = &self.centroids[k * self.dim..(k + 1) * self.dim];
+        dot(query, c) / query_norm + self.radii[k] + PRUNE_SLACK
+    }
+
+    /// Approximate cosine via the i8 matrices; both norms must be
+    /// non-zero.
+    fn approx_cosine(&self, qq: &QuantQuery, row: usize, query_norm: f64, row_norm: f64) -> f64 {
+        let codes = &self.quant_codes[row * self.dim..(row + 1) * self.dim];
+        let mut acc: i64 = 0;
+        for (&qc, &rc) in qq.codes.iter().zip(codes) {
+            acc += qc as i64 * (rc as i8) as i64;
+        }
+        acc as f64 * qq.scale * self.quant_scales[row] as f64 / (query_norm * row_norm)
+    }
+
+    /// The τ-admission gate of `match_phrase`, pruned: does `concept`
+    /// hold any row with `sim + 1e-9 >= tau`? Exact mode (`quant:
+    /// None`) answers identically to folding the exhaustive scan's max;
+    /// approx mode may answer `false` where the exhaustive gate says
+    /// `true` (a recall miss), never the reverse — quantized survivors
+    /// are always exactly rescored.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gate(
+        &self,
+        ix: &VectorIndex,
+        concept: usize,
+        query: &[f32],
+        query_norm: f64,
+        tau: f64,
+        quant: Option<(&QuantQuery, f64)>,
+        stats: &mut PruneStats,
+    ) -> bool {
+        let (_, crows, _) = ix.concept_range(concept);
+        if crows == 0 {
+            return false;
+        }
+        if query_norm == 0.0 {
+            // All similarities are exactly 0.0 for a zero-norm query.
+            return 0.0 + 1e-9 >= tau;
+        }
+        if self.concept_bound(ix, concept, query, query_norm) + 1e-9 < tau {
+            stats.concepts += 1;
+            stats.rows += crows as u64;
+            return false;
+        }
+        let (first, count, _) = self.concept_clusters[concept];
+        for k in first..first + count {
+            let (mstart, mlen) = self.clusters[k];
+            if self.cluster_bound(k, query, query_norm) + 1e-9 < tau {
+                stats.clusters += 1;
+                stats.rows += mlen as u64;
+                continue;
+            }
+            for &row in &self.members[mstart..mstart + mlen] {
+                let row = row as usize;
+                let pass = match quant {
+                    None => ix.row_cosine(row, query, query_norm) + 1e-9 >= tau,
+                    Some((qq, margin)) => {
+                        let rn = ix.row_norm(row);
+                        if rn == 0.0 {
+                            0.0 + 1e-9 >= tau
+                        } else if self.approx_cosine(qq, row, query_norm, rn) + margin + 1e-9 < tau
+                        {
+                            stats.rows += 1;
+                            false
+                        } else {
+                            stats.rescored += 1;
+                            ix.row_cosine(row, query, query_norm) + 1e-9 >= tau
+                        }
+                    }
+                };
+                if pass {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// The cross-concept argmax of the fine-tune τ-expansion, pruned:
+    /// equivalent to folding `scan`'s per-concept max with strict `>`
+    /// in index order (ties keep the lowest concept), with `f64::MIN`
+    /// standing in for empty concepts. Results whose similarity falls
+    /// below `floor` may carry an under-reported value (their blocks
+    /// are dropped unscanned); callers must only consume results `>=
+    /// floor`. Pass `f64::MIN` for the unrestricted argmax.
+    pub fn best_concept(
+        &self,
+        ix: &VectorIndex,
+        query: &[f32],
+        query_norm: f64,
+        floor: f64,
+        stats: &mut PruneStats,
+    ) -> Option<(usize, f64)> {
+        let concepts = ix.concept_count();
+        if concepts == 0 {
+            return None;
+        }
+        if query_norm == 0.0 {
+            // Exhaustive-fold semantics at zero cost: every similarity
+            // is 0.0, empty concepts stand at f64::MIN.
+            let mut best: Option<(usize, f64)> = None;
+            for ci in 0..concepts {
+                let sim = if ix.concept_rows(ci) > 0 {
+                    0.0
+                } else {
+                    f64::MIN
+                };
+                if best.is_none_or(|(_, b)| sim > b) {
+                    best = Some((ci, sim));
+                }
+            }
+            return best;
+        }
+        let mut order: Vec<(f64, usize)> = (0..concepts)
+            .map(|ci| (self.concept_bound(ix, ci, query, query_norm), ci))
+            .collect();
+        order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &(bound, ci)) in order.iter().enumerate() {
+            let eff = match best {
+                None => floor,
+                Some((_, bs)) => {
+                    if bs > floor {
+                        bs
+                    } else {
+                        floor
+                    }
+                }
+            };
+            if bound < eff {
+                // Bounds are sorted descending: everything from here on
+                // is dominated.
+                for &(_, rest) in &order[pos..] {
+                    stats.concepts += 1;
+                    stats.rows += ix.concept_rows(rest) as u64;
+                }
+                break;
+            }
+            if let Some((bi, bs)) = best {
+                if bound == bs && ci > bi {
+                    // Every member sim is strictly below the bound, so
+                    // this concept cannot displace an equal-valued,
+                    // lower-indexed incumbent.
+                    stats.concepts += 1;
+                    stats.rows += ix.concept_rows(ci) as u64;
+                    continue;
+                }
+            }
+            let Some(m) = self.concept_max(ix, ci, query, query_norm, eff, stats) else {
+                continue;
+            };
+            let replace = match best {
+                None => true,
+                Some((bi, bs)) => m > bs || (m == bs && ci < bi),
+            };
+            if replace {
+                best = Some((ci, m));
+            }
+        }
+        best
+    }
+
+    /// Max member similarity of `concept` with cluster blocks below
+    /// `floor` dropped. `Some(f64::MIN)` for an empty concept; `None`
+    /// when every block was dropped. The fold over surviving rows uses
+    /// the same operations as the exhaustive scan, and every row that
+    /// can decide a result `>= floor` survives (its block's bound is
+    /// strictly above its similarity), so the returned bits equal the
+    /// exhaustive max whenever that max is `>= floor`.
+    fn concept_max(
+        &self,
+        ix: &VectorIndex,
+        concept: usize,
+        query: &[f32],
+        query_norm: f64,
+        floor: f64,
+        stats: &mut PruneStats,
+    ) -> Option<f64> {
+        let (_, crows, _) = ix.concept_range(concept);
+        if crows == 0 {
+            return Some(f64::MIN);
+        }
+        let (first, count, _) = self.concept_clusters[concept];
+        let mut max: Option<f64> = None;
+        for k in first..first + count {
+            let (mstart, mlen) = self.clusters[k];
+            let eff = match max {
+                Some(m) if m > floor => m,
+                _ => floor,
+            };
+            if self.cluster_bound(k, query, query_norm) < eff {
+                stats.clusters += 1;
+                stats.rows += mlen as u64;
+                continue;
+            }
+            for &row in &self.members[mstart..mstart + mlen] {
+                let sim = ix.row_cosine(row as usize, query, query_norm);
+                max = Some(max.map_or(sim, |a: f64| a.max(sim)));
+            }
+        }
+        max
+    }
+
+    /// The best-seed lookup of `match_phrase`, pruned over the seed
+    /// clusters only: identical to [`VectorIndex::best_seed`] (ties
+    /// prefer the lexicographically smaller instance — a total order,
+    /// so traversal order does not matter).
+    pub fn best_seed<'a>(
+        &self,
+        ix: &'a VectorIndex,
+        concept: usize,
+        query: &[f32],
+        query_norm: f64,
+        stats: &mut PruneStats,
+    ) -> Option<(&'a str, f64)> {
+        if query_norm == 0.0 {
+            return ix.best_seed(concept, query, query_norm);
+        }
+        let (first, _, seed_count) = self.concept_clusters[concept];
+        let mut best: Option<(&str, f64)> = None;
+        for k in first..first + seed_count {
+            let (mstart, mlen) = self.clusters[k];
+            if let Some((_, bs)) = best {
+                if self.cluster_bound(k, query, query_norm) < bs {
+                    stats.clusters += 1;
+                    stats.rows += mlen as u64;
+                    continue;
+                }
+            }
+            for &row in &self.members[mstart..mstart + mlen] {
+                let row = row as usize;
+                let word = ix.row_word(row);
+                let sim = ix.row_cosine(row, query, query_norm);
+                let replace = match best {
+                    None => true,
+                    Some((bw, bs)) => {
+                        sim.total_cmp(&bs).then_with(|| bw.cmp(word)) != Ordering::Less
+                    }
+                };
+                if replace {
+                    best = Some((word, sim));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Mean of the normalized rows in `rows`, stored in f32 (the query-time
+/// bound widens the stored values back to f64, and the radius below is
+/// computed against the *stored* centroid, so precision loss here can
+/// never invalidate a bound).
+fn mean_centroid(unit: &[f64], dim: usize, rows: impl Iterator<Item = usize> + Clone) -> Vec<f32> {
+    let mut acc = vec![0.0f64; dim];
+    let mut count = 0usize;
+    for r in rows {
+        count += 1;
+        for (a, &x) in acc.iter_mut().zip(&unit[r * dim..(r + 1) * dim]) {
+            *a += x;
+        }
+    }
+    if count == 0 {
+        return vec![0.0f32; dim];
+    }
+    acc.iter().map(|&x| (x / count as f64) as f32).collect()
+}
+
+/// Max L2 distance from the stored f32 centroid to any normalized row
+/// in `rows`.
+fn ball_radius(
+    unit: &[f64],
+    dim: usize,
+    rows: impl Iterator<Item = usize>,
+    centroid: &[f32],
+) -> f64 {
+    let mut worst = 0.0f64;
+    for r in rows {
+        let d2: f64 = unit[r * dim..(r + 1) * dim]
+            .iter()
+            .zip(centroid)
+            .map(|(&x, &c)| {
+                let d = x - c as f64;
+                d * d
+            })
+            .sum();
+        worst = worst.max(d2.sqrt());
+    }
+    worst
+}
+
+/// Deterministic fixed-iteration k-means over the rows of `range`,
+/// returning non-empty member groups (ascending row ids within each).
+fn kmeans_groups(unit: &[f64], dim: usize, range: Range<usize>, seed: u64) -> Vec<Vec<u32>> {
+    let rows: Vec<usize> = range.collect();
+    let n = rows.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = n.div_ceil(CLUSTER_TARGET);
+    let mut rng = SplitMix64::new(seed);
+    let mut picks: Vec<usize> = Vec::with_capacity(k);
+    while picks.len() < k {
+        let p = (rng.next() % n as u64) as usize;
+        if !picks.contains(&p) {
+            picks.push(p);
+        }
+    }
+    let mut cents = vec![0.0f64; k * dim];
+    for (c, &p) in picks.iter().enumerate() {
+        cents[c * dim..(c + 1) * dim].copy_from_slice(&unit[rows[p] * dim..(rows[p] + 1) * dim]);
+    }
+    let mut assign = vec![0usize; n];
+    for _ in 0..KMEANS_ITERS {
+        for (i, &r) in rows.iter().enumerate() {
+            assign[i] = nearest_centroid(&unit[r * dim..(r + 1) * dim], &cents, dim);
+        }
+        let mut acc = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        for (i, &r) in rows.iter().enumerate() {
+            let c = assign[i];
+            counts[c] += 1;
+            for (a, &x) in acc[c * dim..(c + 1) * dim]
+                .iter_mut()
+                .zip(&unit[r * dim..(r + 1) * dim])
+            {
+                *a += x;
+            }
+        }
+        for c in 0..k {
+            // An emptied cluster keeps its previous centroid.
+            if counts[c] > 0 {
+                for d in 0..dim {
+                    cents[c * dim + d] = acc[c * dim + d] / counts[c] as f64;
+                }
+            }
+        }
+    }
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); k];
+    for &r in &rows {
+        let c = nearest_centroid(&unit[r * dim..(r + 1) * dim], &cents, dim);
+        groups[c].push(r as u32);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+/// Index of the nearest centroid by squared L2 distance; ties keep the
+/// lowest index.
+fn nearest_centroid(v: &[f64], cents: &[f64], dim: usize) -> usize {
+    let k = cents.len() / dim;
+    let mut best = 0usize;
+    let mut best_d2 = f64::INFINITY;
+    for c in 0..k {
+        let d2: f64 = v
+            .iter()
+            .zip(&cents[c * dim..(c + 1) * dim])
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum();
+        if d2 < best_d2 {
+            best_d2 = d2;
+            best = c;
+        }
+    }
+    best
+}
+
+/// The vendored SplitMix64 generator (Steele, Lea & Flood 2014): a
+/// tiny, dependency-free stream with fixed constants, used only to
+/// seed the k-means picks deterministically.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{slice_norm, VectorIndexBuilder};
+
+    /// A deterministic index with enough rows per concept to form
+    /// multiple clusters, plus an empty concept and a zero-norm row.
+    fn fixture(dim: usize, concepts: usize, rows_per: usize) -> VectorIndex {
+        let mut rng = SplitMix64::new(42);
+        let mut next = move || (rng.next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        let mut b = VectorIndexBuilder::new(dim);
+        for ci in 0..concepts {
+            let mut rows: Vec<(String, Vec<f32>)> = Vec::new();
+            for r in 0..rows_per {
+                let v: Vec<f32> = if ci == 0 && r == 3 {
+                    vec![0.0; dim] // a zero-norm row
+                } else {
+                    (0..dim).map(|_| next() as f32).collect()
+                };
+                rows.push((format!("w{ci}-{r}"), v));
+            }
+            let seed_rows = rows_per / 2;
+            b.add_concept(
+                &format!("C{ci}"),
+                seed_rows,
+                rows.iter().map(|(w, v)| (w.as_str(), v.as_slice())),
+            );
+        }
+        b.add_concept("Empty", 0, []);
+        b.build()
+    }
+
+    fn queries(dim: usize, n: usize) -> Vec<Vec<f32>> {
+        let mut rng = SplitMix64::new(7);
+        let mut next = move || (rng.next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        let mut out: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..dim).map(|_| next() as f32).collect())
+            .collect();
+        out.push(vec![0.0; dim]); // zero-norm query
+        out
+    }
+
+    /// The exhaustive gate: does the scan's max pass τ?
+    fn gate_reference(ix: &VectorIndex, ci: usize, q: &[f32], qn: f64, tau: f64) -> bool {
+        ix.scan(q, qn)
+            .nth(ci)
+            .and_then(|s| s.max)
+            .is_some_and(|m| m + 1e-9 >= tau)
+    }
+
+    /// The exhaustive argmax fold of the fine-tune τ-expansion.
+    fn best_concept_reference(ix: &VectorIndex, q: &[f32], qn: f64) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for scores in ix.scan(q, qn) {
+            let sim = scores.max.unwrap_or(f64::MIN);
+            if sim.is_finite() && best.is_none_or(|(_, b)| sim > b) {
+                best = Some((scores.concept, sim));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn exact_gate_matches_exhaustive_everywhere() {
+        let ix = fixture(16, 5, 40);
+        let pr = PruneIndex::build(&ix);
+        for q in queries(16, 24) {
+            let qn = slice_norm(&q);
+            for tau in [0.0, 0.05, 0.1, 0.3, 0.7, 1.0] {
+                for ci in 0..ix.concept_count() {
+                    let mut stats = PruneStats::default();
+                    assert_eq!(
+                        pr.gate(&ix, ci, &q, qn, tau, None, &mut stats),
+                        gate_reference(&ix, ci, &q, qn, tau),
+                        "gate diverged at tau {tau} concept {ci}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_concept_matches_exhaustive_fold_bit_for_bit() {
+        let ix = fixture(16, 5, 40);
+        let pr = PruneIndex::build(&ix);
+        for q in queries(16, 24) {
+            let qn = slice_norm(&q);
+            let mut stats = PruneStats::default();
+            let got = pr.best_concept(&ix, &q, qn, f64::MIN, &mut stats);
+            let want = best_concept_reference(&ix, &q, qn);
+            match (got, want) {
+                (Some((gc, gs)), Some((wc, ws))) => {
+                    assert_eq!(gc, wc);
+                    assert_eq!(gs.to_bits(), ws.to_bits(), "value bits diverged");
+                }
+                (g, w) => assert_eq!(g.is_some(), w.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn best_concept_with_floor_agrees_above_the_floor() {
+        let ix = fixture(12, 4, 32);
+        let pr = PruneIndex::build(&ix);
+        for q in queries(12, 16) {
+            let qn = slice_norm(&q);
+            for floor in [0.0, 0.2, 0.5] {
+                let mut stats = PruneStats::default();
+                let got = pr.best_concept(&ix, &q, qn, floor, &mut stats);
+                let want = best_concept_reference(&ix, &q, qn);
+                if let Some((wc, ws)) = want {
+                    if ws >= floor {
+                        let (gc, gs) = got.expect("winner above the floor must survive");
+                        assert_eq!(gc, wc);
+                        assert_eq!(gs.to_bits(), ws.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_seed_matches_exhaustive() {
+        let ix = fixture(16, 5, 40);
+        let pr = PruneIndex::build(&ix);
+        for q in queries(16, 24) {
+            let qn = slice_norm(&q);
+            for ci in 0..ix.concept_count() {
+                let mut stats = PruneStats::default();
+                let got = pr.best_seed(&ix, ci, &q, qn, &mut stats);
+                let want = ix.best_seed(ci, &q, qn);
+                match (got, want) {
+                    (Some((gw, gs)), Some((ww, ws))) => {
+                        assert_eq!(gw, ww);
+                        assert_eq!(gs.to_bits(), ws.to_bits());
+                    }
+                    (g, w) => assert_eq!(g.is_some(), w.is_some()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_margin_approx_gate_equals_exact() {
+        // With a margin of 2.0 every row is rescored exactly, so the
+        // approximate gate must agree with the exact one everywhere.
+        let ix = fixture(16, 4, 32);
+        let pr = PruneIndex::build(&ix);
+        for q in queries(16, 12) {
+            let qn = slice_norm(&q);
+            if qn == 0.0 {
+                continue;
+            }
+            let qq = pr.quantize_query(&q);
+            for tau in [0.0, 0.3, 0.7] {
+                for ci in 0..ix.concept_count() {
+                    let mut a = PruneStats::default();
+                    let mut b = PruneStats::default();
+                    assert_eq!(
+                        pr.gate(&ix, ci, &q, qn, tau, Some((&qq, 2.0)), &mut a),
+                        pr.gate(&ix, ci, &q, qn, tau, None, &mut b),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn approx_gate_never_admits_a_wrong_concept() {
+        // Rows that survive the quantized filter are exactly rescored,
+        // so a passing approx gate implies a passing exact gate.
+        let ix = fixture(16, 4, 32);
+        let pr = PruneIndex::build(&ix);
+        let mut rescored = 0u64;
+        for q in queries(16, 12) {
+            let qn = slice_norm(&q);
+            if qn == 0.0 {
+                continue;
+            }
+            let qq = pr.quantize_query(&q);
+            for tau in [0.1, 0.3, 0.5] {
+                for ci in 0..ix.concept_count() {
+                    let mut stats = PruneStats::default();
+                    if pr.gate(&ix, ci, &q, qn, tau, Some((&qq, 0.02)), &mut stats) {
+                        let mut e = PruneStats::default();
+                        assert!(pr.gate(&ix, ci, &q, qn, tau, None, &mut e));
+                    }
+                    rescored += stats.rescored;
+                }
+            }
+        }
+        assert!(rescored > 0, "the quantized filter never ran");
+    }
+
+    /// Concepts as tight balls around distinct directions — the shape
+    /// real topic embeddings have, and the one pruning exists for.
+    fn clustered_fixture(dim: usize, concepts: usize, rows_per: usize) -> VectorIndex {
+        let mut rng = SplitMix64::new(11);
+        let mut next = move || (rng.next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0;
+        let mut b = VectorIndexBuilder::new(dim);
+        for ci in 0..concepts {
+            let rows: Vec<(String, Vec<f32>)> = (0..rows_per)
+                .map(|r| {
+                    let v: Vec<f32> = (0..dim)
+                        .map(|d| {
+                            let base = if d == ci % dim { 1.0 } else { 0.0 };
+                            (base + next() * 0.05) as f32
+                        })
+                        .collect();
+                    (format!("w{ci}-{r}"), v)
+                })
+                .collect();
+            b.add_concept(
+                &format!("C{ci}"),
+                rows_per / 2,
+                rows.iter().map(|(w, v)| (w.as_str(), v.as_slice())),
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn pruning_actually_skips_work() {
+        let ix = clustered_fixture(16, 8, 48);
+        let pr = PruneIndex::build(&ix);
+        let mut stats = PruneStats::default();
+        for ci in 0..8usize {
+            // Queries aligned with one concept's direction: every other
+            // concept's bound falls below the floor.
+            let q: Vec<f32> = (0..16).map(|d| if d == ci { 1.0 } else { 0.0 }).collect();
+            let qn = slice_norm(&q);
+            pr.best_concept(&ix, &q, qn, 0.5, &mut stats);
+            let mut gs = PruneStats::default();
+            pr.gate(&ix, (ci + 1) % 8, &q, qn, 0.7, None, &mut gs);
+            stats.absorb(&gs);
+        }
+        assert!(stats.concepts > 0, "no concepts were ever pruned");
+        assert!(stats.rows > 0, "no rows were ever pruned");
+    }
+
+    #[test]
+    fn build_is_deterministic_and_round_trips_through_parts() {
+        let ix = fixture(12, 3, 24);
+        let a = PruneIndex::build(&ix);
+        let b = PruneIndex::build(&ix);
+        assert_eq!(a.meta_bytes(), b.meta_bytes());
+        assert_eq!(a.members(), b.members());
+        assert_eq!(a.centroids(), b.centroids());
+        assert_eq!(a.radii(), b.radii());
+
+        let rt = PruneIndex::from_parts(
+            &ix,
+            &a.meta_bytes(),
+            a.members().to_vec().into(),
+            a.centroids().to_vec().into(),
+            a.radii().to_vec().into(),
+            a.concept_centroids().to_vec().into(),
+            a.concept_radii().to_vec().into(),
+            a.quant_codes().to_vec().into(),
+            a.quant_scales().to_vec().into(),
+        )
+        .expect("valid parts");
+        for q in queries(12, 8) {
+            let qn = slice_norm(&q);
+            let mut s1 = PruneStats::default();
+            let mut s2 = PruneStats::default();
+            assert_eq!(
+                a.best_concept(&ix, &q, qn, f64::MIN, &mut s1),
+                rt.best_concept(&ix, &q, qn, f64::MIN, &mut s2)
+            );
+        }
+
+        let summary = PruneIndex::summarize_meta(&a.meta_bytes()).expect("valid meta");
+        assert_eq!(summary.dim, 12);
+        assert_eq!(summary.rows, ix.row_count());
+        assert_eq!(summary.concepts, ix.concept_count());
+        assert_eq!(summary.clusters, a.cluster_count());
+        assert!(summary.max_cluster_rows > 0);
+    }
+
+    #[test]
+    fn from_parts_rejects_mismatched_sections_by_name() {
+        let ix = fixture(12, 3, 24);
+        let a = PruneIndex::build(&ix);
+        let parts = |meta: Vec<u8>, members: Vec<u32>, radii: Vec<f64>| {
+            PruneIndex::from_parts(
+                &ix,
+                &meta,
+                members.into(),
+                a.centroids().to_vec().into(),
+                radii.into(),
+                a.concept_centroids().to_vec().into(),
+                a.concept_radii().to_vec().into(),
+                a.quant_codes().to_vec().into(),
+                a.quant_scales().to_vec().into(),
+            )
+        };
+        // Truncated meta.
+        let meta = a.meta_bytes();
+        assert!(parts(
+            meta[..meta.len() - 4].to_vec(),
+            a.members().to_vec(),
+            a.radii().to_vec()
+        )
+        .is_err());
+        // Short radii section.
+        let err = parts(
+            meta.clone(),
+            a.members().to_vec(),
+            a.radii()[..a.radii().len() - 1].to_vec(),
+        )
+        .unwrap_err();
+        assert!(err.contains("prune.radii"), "{err}");
+        // A member row swapped across clusters breaks the partition.
+        let mut bad = a.members().to_vec();
+        let last = bad.len() - 1;
+        bad.swap(0, last);
+        let err = parts(meta.clone(), bad, a.radii().to_vec()).unwrap_err();
+        assert!(err.contains("partition"), "{err}");
+        // A structure built for a different index shape is named.
+        let other = fixture(12, 2, 10);
+        let err = PruneIndex::from_parts(
+            &other,
+            &meta,
+            a.members().to_vec().into(),
+            a.centroids().to_vec().into(),
+            a.radii().to_vec().into(),
+            a.concept_centroids().to_vec().into(),
+            a.concept_radii().to_vec().into(),
+            a.quant_codes().to_vec().into(),
+            a.quant_scales().to_vec().into(),
+        )
+        .unwrap_err();
+        assert!(err.contains("does not match the index"), "{err}");
+    }
+
+    #[test]
+    fn zero_norm_query_keeps_exhaustive_semantics() {
+        let ix = fixture(12, 3, 24);
+        let pr = PruneIndex::build(&ix);
+        let q = vec![0.0f32; 12];
+        let mut stats = PruneStats::default();
+        let got = pr.best_concept(&ix, &q, 0.0, f64::MIN, &mut stats);
+        assert_eq!(got, best_concept_reference(&ix, &q, 0.0));
+        assert!(pr.gate(&ix, 0, &q, 0.0, 0.0, None, &mut stats));
+        assert!(!pr.gate(&ix, 0, &q, 0.0, 0.5, None, &mut stats));
+        assert_eq!(
+            pr.best_seed(&ix, 0, &q, 0.0, &mut stats),
+            ix.best_seed(0, &q, 0.0)
+        );
+    }
+}

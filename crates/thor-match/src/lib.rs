@@ -32,4 +32,6 @@ pub mod prepared;
 pub use cluster::{ClusterScore, ConceptCluster};
 pub use matcher::{CandidateEntity, MatcherConfig, SimilarityMatcher, TAU_RANGE};
 pub use prepared::PreparedMatcher;
-pub use thor_index::{CacheStats, CandidateSource, PhraseCache, VectorIndex};
+pub use thor_index::{
+    CacheStats, CandidateSource, PhraseCache, PruneIndex, PruneMode, PruneStats, VectorIndex,
+};

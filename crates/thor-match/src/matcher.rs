@@ -4,7 +4,10 @@
 use std::sync::Arc;
 
 use thor_embed::VectorStore;
-use thor_index::{CacheStats, CandidateSource, PhraseCache, VectorIndex, VectorIndexBuilder};
+use thor_index::{
+    CacheStats, CandidateSource, PhraseCache, PruneIndex, PruneMode, PruneStats, VectorIndex,
+    VectorIndexBuilder,
+};
 use thor_obs::PipelineMetrics;
 use thor_text::{is_stopword, normalize_phrase, SeedSyntax};
 
@@ -38,6 +41,12 @@ pub struct MatcherConfig {
     /// caching. The cache never changes results — candidates are a pure
     /// function of the subphrase once the matcher is fine-tuned.
     pub cache_capacity: usize,
+    /// How `match_phrase` uses the frozen pruning structures. `Exact`
+    /// (the default) is bit-identical to the exhaustive scan; `Approx`
+    /// trades recall for speed through the quantized filter; `Off`
+    /// scans exhaustively. An execution knob, never part of the
+    /// fingerprint or the artifact.
+    pub prune: PruneMode,
 }
 
 impl Default for MatcherConfig {
@@ -47,6 +56,7 @@ impl Default for MatcherConfig {
             max_subphrase_words: 4,
             max_expansion: 200,
             cache_capacity: 4096,
+            prune: PruneMode::Exact,
         }
     }
 }
@@ -89,6 +99,10 @@ pub struct SimilarityMatcher {
     store: Arc<VectorStore>,
     clusters: Vec<ConceptCluster>,
     index: VectorIndex,
+    /// The frozen pruning structures (always built — a pure function of
+    /// the index — so saved artifacts are identical whatever the
+    /// serving-time [`PruneMode`]).
+    prune: Arc<PruneIndex>,
     cache: PhraseCache<CachedMatch>,
     seed_syntax: Arc<SeedSyntax>,
     config: MatcherConfig,
@@ -158,9 +172,11 @@ impl SimilarityMatcher {
         config: MatcherConfig,
         metrics: Option<PipelineMetrics>,
     ) -> Self {
-        let index = {
+        let (index, prune) = {
             let _span = metrics.as_ref().map(|m| m.index_build.start());
-            Self::build_index(&clusters, store.dim())
+            let index = Self::build_index(&clusters, store.dim());
+            let prune = Arc::new(PruneIndex::build(&index));
+            (index, prune)
         };
         if let Some(m) = &metrics {
             m.vocab_words.set(store.len() as u64);
@@ -176,6 +192,7 @@ impl SimilarityMatcher {
             store,
             clusters,
             index,
+            prune,
             cache: PhraseCache::new(config.cache_capacity),
             seed_syntax,
             config,
@@ -187,11 +204,14 @@ impl SimilarityMatcher {
     /// index (the artifact load path, where the index arrays may be
     /// zero-copy views into a mapped file). The caller is responsible
     /// for the index matching the clusters —
-    /// `PreparedMatcher::matcher_with_index` validates the layout.
+    /// `PreparedMatcher::matcher_with_index` validates the layout. A
+    /// `None` prune structure is rebuilt deterministically from the
+    /// index (the pre-pruning-artifact compatibility path).
     pub(crate) fn from_clusters_prebuilt(
         store: Arc<VectorStore>,
         clusters: Vec<ConceptCluster>,
         index: VectorIndex,
+        prune: Option<Arc<PruneIndex>>,
         seed_syntax: Arc<SeedSyntax>,
         config: MatcherConfig,
         metrics: Option<PipelineMetrics>,
@@ -206,14 +226,34 @@ impl SimilarityMatcher {
             );
             m.index_rows.set(index.row_count() as u64);
         }
+        let prune = prune.unwrap_or_else(|| Arc::new(PruneIndex::build(&index)));
         Self {
             store,
             clusters,
             index,
+            prune,
             cache: PhraseCache::new(config.cache_capacity),
             seed_syntax,
             config,
             metrics,
+        }
+    }
+
+    /// A clone of this matcher serving with `prune` instead. The phrase
+    /// cache starts fresh: approx-mode results may differ from exact
+    /// ones, and cached entries must never leak across modes.
+    pub fn with_prune_mode(&self, prune: PruneMode) -> Self {
+        let mut config = self.config.clone();
+        config.prune = prune;
+        Self {
+            store: self.store.clone(),
+            clusters: self.clusters.clone(),
+            index: self.index.clone(),
+            prune: self.prune.clone(),
+            cache: PhraseCache::new(config.cache_capacity),
+            seed_syntax: self.seed_syntax.clone(),
+            config,
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -263,6 +303,17 @@ impl SimilarityMatcher {
     /// The structure-of-arrays index frozen at fine-tune time.
     pub fn index(&self) -> &VectorIndex {
         &self.index
+    }
+
+    /// The pruning structures frozen next to the index, for artifact
+    /// serialization.
+    pub fn prune_index(&self) -> &PruneIndex {
+        &self.prune
+    }
+
+    /// The configured [`PruneMode`].
+    pub fn prune_mode(&self) -> PruneMode {
+        self.config.prune
     }
 
     /// Precomputed refinement syntax (lowercase word sets + char
@@ -400,32 +451,95 @@ impl SimilarityMatcher {
         };
         let qn = query.norm();
         let q = query.as_slice();
-        let mut best: Option<(usize, f64)> = None;
-        for scores in self.index.scan(q, qn) {
-            let Some(best_rep) = scores.max else {
-                continue;
-            };
-            if best_rep + 1e-9 < self.config.tau {
-                continue;
+        // Pruned triage needs a usable query direction; zero-norm
+        // queries (all similarities exactly 0.0) take the exhaustive
+        // path, which costs nothing extra at that degenerate point.
+        let pruned = qn != 0.0 && !matches!(self.config.prune, PruneMode::Off);
+        let mut stats = PruneStats::default();
+        let best: Option<(usize, f64)> = if pruned {
+            self.best_gated_concept_pruned(q, qn, &mut stats)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for scores in self.index.scan(q, qn) {
+                let Some(best_rep) = scores.max else {
+                    continue;
+                };
+                if best_rep + 1e-9 < self.config.tau {
+                    continue;
+                }
+                let cluster_score = scores.mean.unwrap_or(0.0);
+                if best.is_none_or(|(_, s)| cluster_score > s) {
+                    best = Some((scores.concept, cluster_score));
+                }
             }
-            let cluster_score = scores.mean.unwrap_or(0.0);
-            if best.is_none_or(|(_, s)| cluster_score > s) {
-                best = Some((scores.concept, cluster_score));
+            best
+        };
+        let scored = (|| {
+            let (ci, cluster_score) = best?;
+            let seed = if pruned {
+                self.prune.best_seed(&self.index, ci, q, qn, &mut stats)
+            } else {
+                self.index.best_seed(ci, q, qn)
+            };
+            let (seed, seed_sim) = seed?;
+            Some(CandidateEntity {
+                phrase: sub.to_string(),
+                concept: self.index.concept_name(ci).to_string(),
+                matched_instance: seed.to_string(),
+                semantic_score: seed_sim.clamp(0.0, 1.0),
+                cluster_score,
+            })
+        })();
+        if let Some(m) = &self.metrics {
+            // Effectiveness counters (like cache misses) reflect work
+            // actually done, so cache hits do not replay them.
+            m.pruned_concepts.add(stats.concepts);
+            m.pruned_clusters.add(stats.clusters);
+            m.pruned_rows.add(stats.rows);
+            m.rescored_rows.add(stats.rescored);
+        }
+        match scored {
+            Some(candidate) => CachedMatch::Match(candidate),
+            None => CachedMatch::NoMatch,
+        }
+    }
+
+    /// The gate-and-rank of [`score_subphrase`](Self::score_subphrase),
+    /// pruned. The exhaustive loop picks, among concepts whose best
+    /// representative reaches τ, the one with the highest mean (ties to
+    /// the lowest index). Means are O(d) via the cached row sums, so
+    /// they are all computed exactly up front; concepts are then walked
+    /// in (mean desc, index asc) order and the first one whose τ-gate
+    /// passes is *the* winner — identical selection, but the expensive
+    /// per-row gate runs only until the first survivor, and each gate
+    /// prunes concept- and cluster-level blocks via their bounds.
+    fn best_gated_concept_pruned(
+        &self,
+        q: &[f32],
+        qn: f64,
+        stats: &mut PruneStats,
+    ) -> Option<(usize, f64)> {
+        let quant = match self.config.prune {
+            PruneMode::Approx { margin } => Some((self.prune.quantize_query(q), margin)),
+            _ => None,
+        };
+        let mut order: Vec<(f64, usize)> = (0..self.index.concept_count())
+            .filter_map(|ci| self.index.concept_mean(ci, q, qn).map(|m| (m, ci)))
+            .collect();
+        // Similarity means are never -0.0 (f64 sums that hit zero round
+        // to +0.0), so total_cmp ranks exactly like the exhaustive
+        // loop's numeric strict-greater with first-wins ties.
+        order.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        for &(mean, ci) in &order {
+            let quant_ref = quant.as_ref().map(|(qq, margin)| (qq, *margin));
+            if self
+                .prune
+                .gate(&self.index, ci, q, qn, self.config.tau, quant_ref, stats)
+            {
+                return Some((ci, mean));
             }
         }
-        let Some((ci, cluster_score)) = best else {
-            return CachedMatch::NoMatch;
-        };
-        let Some((seed, seed_sim)) = self.index.best_seed(ci, q, qn) else {
-            return CachedMatch::NoMatch;
-        };
-        CachedMatch::Match(CandidateEntity {
-            phrase: sub.to_string(),
-            concept: self.index.concept_name(ci).to_string(),
-            matched_instance: seed.to_string(),
-            semantic_score: seed_sim.clamp(0.0, 1.0),
-            cluster_score,
-        })
+        None
     }
 
     /// The retained brute-force reference path: identical semantics to

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use thor_embed::{slice_norm, Vector, VectorStore};
 use thor_fault::{FrozenPool, FrozenSlice};
-use thor_index::{VectorIndex, VectorIndexBuilder};
+use thor_index::{PruneIndex, PruneStats, VectorIndex, VectorIndexBuilder};
 use thor_obs::PipelineMetrics;
 use thor_text::SeedSyntax;
 
@@ -109,18 +109,19 @@ impl PreparedMatcher {
                 }
                 builder.build()
             };
+            // Bound-pruned competitive scan. `base.tau` is passed as the
+            // argmax floor: words whose best similarity falls below τ are
+            // discarded by the record filter anyway, so pruning their
+            // concept scans cannot change which candidates are collected,
+            // and above the floor `best_concept` is bit-identical to the
+            // exhaustive fold.
+            let prune = PruneIndex::build(&seed_index);
             store.for_each_row(|word, row| {
                 let qn = slice_norm(row);
-                let mut best: Option<(usize, f64)> = None;
-                for scores in seed_index.scan(row, qn) {
-                    // An empty concept folds to f64::MIN exactly like the
-                    // brute-force reference, and never reaches τ.
-                    let sim = scores.max.unwrap_or(f64::MIN);
-                    if sim.is_finite() && best.is_none_or(|(_, b)| sim > b) {
-                        best = Some((scores.concept, sim));
-                    }
-                }
-                if let Some((ci, sim)) = best {
+                let mut stats = PruneStats::default();
+                if let Some((ci, sim)) =
+                    prune.best_concept(&seed_index, row, qn, base.tau, &mut stats)
+                {
                     if sim >= base.tau && !seeds[ci].iter().any(|(s, _)| s == word) {
                         candidates[ci].push((word.to_string(), sim));
                     }
@@ -399,11 +400,16 @@ impl PreparedMatcher {
     /// the derived clusters. The index must describe exactly the
     /// clusters `config` derives — validated against the derived
     /// layout, since a mismatched index would silently mis-score.
+    ///
+    /// `prune` is the persisted pruning index when the artifact carried
+    /// one; `None` rebuilds it from `index` (a pure deterministic
+    /// function of the index, so both paths are indistinguishable).
     pub fn matcher_with_index(
         &self,
         config: MatcherConfig,
         metrics: Option<PipelineMetrics>,
         index: VectorIndex,
+        prune: Option<Arc<PruneIndex>>,
     ) -> Result<SimilarityMatcher, String> {
         let clusters = self.clusters_at(&config, None);
         if index.dim() != self.store.dim() {
@@ -443,6 +449,7 @@ impl PreparedMatcher {
             Arc::clone(&self.store),
             clusters,
             index,
+            prune,
             Arc::clone(&self.seed_syntax),
             config,
             metrics,
@@ -846,7 +853,7 @@ mod tests {
         )
         .expect("valid index parts");
         let via_prebuilt = prep
-            .matcher_with_index(cfg.clone(), None, rebuilt_ix)
+            .matcher_with_index(cfg.clone(), None, rebuilt_ix, None)
             .expect("layout matches");
         for phrase in ["brain tumor", "the ear"] {
             assert_eq!(
@@ -857,7 +864,7 @@ mod tests {
         // An index derived at a different tau has a different layout.
         let other = prep.matcher_at(MatcherConfig::with_tau(1.0), None);
         let other_ix = other.index().clone();
-        assert!(prep.matcher_with_index(cfg, None, other_ix).is_err());
+        assert!(prep.matcher_with_index(cfg, None, other_ix, None).is_err());
     }
 
     #[test]

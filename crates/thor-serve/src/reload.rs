@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use thor_core::{EngineGeneration, EngineSlot, MapMode, PreparedEngine};
+use thor_core::{EngineGeneration, EngineSlot, MapMode, PreparedEngine, PruneMode};
 use thor_fault::{fail_point, fnv1a, SectionChain, ThorError, ThorResult, SECTION_MAGIC};
 use thor_obs::PipelineMetrics;
 
@@ -37,6 +37,8 @@ pub struct ReloadConfig {
     pub threads: Option<usize>,
     /// Re-applied `--refine reference` override.
     pub reference_refine: bool,
+    /// Re-applied `--prune` override.
+    pub prune: PruneMode,
     /// `--watch-engine` poll interval; `None` reloads on SIGHUP only.
     pub poll: Option<Duration>,
 }
@@ -161,6 +163,9 @@ fn load_candidate(
     }
     if cfg.reference_refine {
         engine = engine.with_reference_refine(true);
+    }
+    if cfg.prune != PruneMode::Exact {
+        engine = engine.with_prune(cfg.prune);
     }
     let engine = engine.with_metrics(metrics.clone());
     Ok((engine, after))

@@ -104,6 +104,7 @@ impl LiveServer {
             mode: MapMode::Owned,
             threads: None,
             reference_refine: false,
+            prune: thor_core::PruneMode::Exact,
             poll,
         };
         let server = Server::bind_with(engine, "127.0.0.1:0", opts, Some(reload)).expect("bind");

@@ -12,11 +12,12 @@
 //!             [--checkpoint DIR [--resume]] [--stream [--chunk N]]
 //!             [--out enriched.csv] [--entities e.tsv]
 //!             <doc.txt | corpus-dir>...              run the pipeline
-//! thor enrich --engine e.thor [--engine-mmap on|off] [--threads N] ...
+//! thor enrich --engine e.thor [--engine-mmap on|off] [--threads N]
+//!             [--prune exact|approx|off [--prune-margin M]] ...
 //!             <doc.txt | corpus-dir>...              serve from a built engine
 //! thor serve --engine e.thor [--engine-mmap on|off] [--addr HOST:PORT]
 //!            [--addr-file PATH] [--threads N] [--queue N] [--read-timeout-ms MS]
-//!            [--refine kernel|reference] [--metrics[=json]]
+//!            [--refine kernel|reference] [--prune exact|approx|off] [--metrics[=json]]
 //!                                                    HTTP front end (see thor-serve)
 //! thor delta --engine base.eng [--add-concept NAME] [--add-seeds rows.csv]
 //!            --out d1.eng [--note TEXT] [--engine-mmap on|off]
@@ -75,7 +76,7 @@ use std::process::ExitCode;
 
 use thor_repro::core::{
     compact_chain, entities_tsv, ConceptDelta, Document, EngineDelta, PipelineMetrics,
-    PreparedEngine, ResilientOptions, RunMode, SeedDelta, Thor, ThorConfig,
+    PreparedEngine, PruneMode, ResilientOptions, RunMode, SeedDelta, Thor, ThorConfig,
 };
 use thor_repro::data::csv::{from_csv, from_csv_lenient, to_csv, SkippedRow};
 use thor_repro::data::CorpusDir;
@@ -168,6 +169,8 @@ const ENRICH: CommandSpec = CommandSpec {
         "context-gate",
         "threads",
         "refine",
+        "prune",
+        "prune-margin",
         "out",
         "entities",
         "quarantine",
@@ -193,6 +196,8 @@ const SERVE: CommandSpec = CommandSpec {
         "queue",
         "read-timeout-ms",
         "refine",
+        "prune",
+        "prune-margin",
         "watch-engine",
         "deadline-ms",
     ],
@@ -280,10 +285,11 @@ fn usage() -> ExitCode {
          [--stream [--chunk N]] [--out enriched.csv] [--entities e.tsv] \
          <doc.txt | corpus-dir>...\n  \
          thor enrich --engine e.thor [--engine-mmap on|off] [--threads N] \
-         [--refine kernel|reference] ... <doc.txt | corpus-dir>...\n  \
+         [--refine kernel|reference] [--prune exact|approx|off [--prune-margin M]] \
+         ... <doc.txt | corpus-dir>...\n  \
          thor serve --engine e.thor [--engine-mmap on|off] [--addr HOST:PORT] \
          [--addr-file PATH] [--threads N] [--queue N] [--read-timeout-ms MS] \
-         [--refine kernel|reference] [--metrics[=json]]\n  \
+         [--refine kernel|reference] [--prune exact|approx|off] [--metrics[=json]]\n  \
          thor delta --engine base.eng [--add-concept NAME] [--add-seeds rows.csv] \
          --out d1.eng [--note TEXT] [--engine-mmap on|off]\n  \
          thor compact --engine dN.eng --out folded.eng\n  \
@@ -409,6 +415,44 @@ fn engine_map_mode(args: &Args) -> ThorResult<MapMode> {
             "bad --engine-mmap value `{other}` (expected `on` or `off`)"
         ))),
     }
+}
+
+/// `--prune exact|approx|off` (+ `--prune-margin M` for approx):
+/// candidate-generation pruning. `exact` (the default) and `off`
+/// produce bit-identical output — exact pruning only skips scans whose
+/// cosine upper bound provably cannot win — so like `--threads` the
+/// knob stays adjustable when serving from a frozen `--engine`
+/// artifact. `approx` additionally pre-screens rows with the
+/// i8-quantized copy and may trade a measured sliver of recall for
+/// throughput; `--prune-margin` widens the quantization safety margin
+/// (higher = closer to exact, default 0.05).
+fn prune_mode(args: &Args) -> ThorResult<PruneMode> {
+    let margin: Option<f64> = parse_option(args, "prune-margin")?;
+    if let Some(m) = margin {
+        if !m.is_finite() || m < 0.0 {
+            return Err(ThorError::config(format!(
+                "--prune-margin must be a finite value >= 0, got `{m}`"
+            )));
+        }
+    }
+    let mode = match args.options.get("prune").map(String::as_str) {
+        None | Some("exact") => PruneMode::Exact,
+        Some("approx") => PruneMode::Approx {
+            margin: margin.unwrap_or(0.05),
+        },
+        Some("off") => PruneMode::Off,
+        Some(other) => {
+            return Err(ThorError::config(format!(
+                "--prune must be `exact`, `approx` or `off`, got `{other}`"
+            )))
+        }
+    };
+    if margin.is_some() && !matches!(mode, PruneMode::Approx { .. }) {
+        return Err(ThorError::config(
+            "--prune-margin requires --prune approx (exact and off take no margin)",
+        ));
+    }
+    Ok(mode)
 }
 
 /// Parse a value-taking option through `parse`, naming the flag and the
@@ -556,6 +600,7 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
             )))
         }
     };
+    let prune = prune_mode(args)?;
 
     if args.positional.is_empty() {
         return Err(ThorError::config(
@@ -642,6 +687,9 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
         if reference_refine {
             engine = engine.with_reference_refine(true);
         }
+        if prune != PruneMode::Exact {
+            engine = engine.with_prune(prune);
+        }
         if attach_metrics {
             engine = engine.with_metrics(metrics.clone());
         }
@@ -706,6 +754,7 @@ fn cmd_enrich(args: &Args) -> ThorResult<()> {
             config.threads = threads;
         }
         config.reference_refine = reference_refine;
+        config.prune = prune;
         let mut thor = Thor::new(store, config);
         if attach_metrics {
             thor = thor.with_metrics(metrics.clone());
@@ -824,6 +873,7 @@ fn cmd_serve(args: &Args) -> ThorResult<()> {
             )))
         }
     };
+    let prune = prune_mode(args)?;
     let metrics_mode = metrics_mode(args)?;
     // Bare `--watch-engine` (no value) means "poll at the default
     // cadence"; a value is the poll interval in milliseconds. Without
@@ -864,6 +914,9 @@ fn cmd_serve(args: &Args) -> ThorResult<()> {
     if reference_refine {
         engine = engine.with_reference_refine(true);
     }
+    if prune != PruneMode::Exact {
+        engine = engine.with_prune(prune);
+    }
 
     let opts = ServeOptions {
         queue,
@@ -877,6 +930,7 @@ fn cmd_serve(args: &Args) -> ThorResult<()> {
         mode: map_mode,
         threads,
         reference_refine,
+        prune,
         poll: watch_engine,
     };
     serve_signal::install_handlers();
@@ -1011,6 +1065,34 @@ fn print_section_table(file: &SectionFile) {
     }
 }
 
+/// One line summarizing the candidate-pruning sections the resolved
+/// chain serves — cluster shape and quantization — or their absence
+/// (artifacts written before the sections existed still load; the
+/// structures are rebuilt deterministically at load time).
+fn print_prune_summary(chain: &SectionChain) -> ThorResult<()> {
+    if chain.entry("prune.meta").is_none() {
+        println!(
+            "candidate pruning: sections absent (pre-pruning artifact; \
+             structures are rebuilt at load)"
+        );
+        return Ok(());
+    }
+    let s = thor_repro::matcher::PruneIndex::summarize_meta(chain.bytes("prune.meta")?)
+        .map_err(ThorError::validation)?;
+    let quantized = chain.entry("quant.rows").is_some() && chain.entry("quant.scales").is_some();
+    println!(
+        "candidate pruning: {} cluster(s) over {} concept(s), {} row(s) \
+         (dim {}, max {} rows/cluster), i8 quantization {}",
+        s.clusters,
+        s.concepts,
+        s.rows,
+        s.dim,
+        s.max_cluster_rows,
+        if quantized { "on" } else { "off" }
+    );
+    Ok(())
+}
+
 /// `thor inspect`: print a v2 engine artifact's section directory and
 /// verify **every** checksum — including the big vocabulary sections a
 /// mapped load defers — exiting non-zero on the first mismatch. This is
@@ -1033,6 +1115,7 @@ fn cmd_inspect(args: &Args) -> ThorResult<()> {
             if file.is_mapped() { " (mapped)" } else { "" }
         );
         print_section_table(file);
+        print_prune_summary(&chain)?;
         chain.verify_all()?;
         println!("all {} section checksums verified", file.entries().len());
         return Ok(());
@@ -1071,6 +1154,8 @@ fn cmd_inspect(args: &Args) -> ThorResult<()> {
         }
         print_section_table(file);
     }
+    println!();
+    print_prune_summary(&chain)?;
     chain.verify_all()?;
     println!(
         "\nall section checksums verified across {} chain file(s)",
@@ -1421,6 +1506,85 @@ mod tests {
         );
         let msg = cmd_enrich(&a).unwrap_err().to_string();
         assert!(!msg.contains("conflicts"), "{msg}");
+    }
+
+    #[test]
+    fn prune_option_validated() {
+        let a = parse_args(
+            &argv(&["--table", "t.csv", "--prune", "fuzzy", "d.txt"]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(msg.contains("`exact`, `approx` or `off`"), "{msg}");
+
+        // --prune-margin only makes sense for the approximate mode.
+        let a = parse_args(
+            &argv(&["--table", "t.csv", "--prune-margin", "0.1", "d.txt"]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(
+            msg.contains("--prune-margin requires --prune approx"),
+            "{msg}"
+        );
+        let a = parse_args(
+            &argv(&[
+                "--table",
+                "t.csv",
+                "--prune",
+                "off",
+                "--prune-margin",
+                "0.1",
+                "d.txt",
+            ]),
+            ENRICH.flags,
+        );
+        assert!(cmd_enrich(&a).is_err());
+
+        // Negative or non-finite margins are rejected by name.
+        let a = parse_args(
+            &argv(&[
+                "--table",
+                "t.csv",
+                "--prune",
+                "approx",
+                "--prune-margin",
+                "-0.5",
+                "d.txt",
+            ]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(msg.contains("--prune-margin must be"), "{msg}");
+
+        // Like --threads, --prune stays adjustable alongside --engine:
+        // the error must come from the missing file, not a conflict.
+        let a = parse_args(
+            &argv(&[
+                "--engine",
+                "/nonexistent/e.thor",
+                "--prune",
+                "approx",
+                "d.txt",
+            ]),
+            ENRICH.flags,
+        );
+        let msg = cmd_enrich(&a).unwrap_err().to_string();
+        assert!(!msg.contains("conflicts"), "{msg}");
+
+        // Parsed modes map to the engine-level enum.
+        let parsed = |items: &[&str]| prune_mode(&parse_args(&argv(items), ENRICH.flags));
+        assert_eq!(parsed(&[]).unwrap(), PruneMode::Exact);
+        assert_eq!(parsed(&["--prune", "exact"]).unwrap(), PruneMode::Exact);
+        assert_eq!(parsed(&["--prune", "off"]).unwrap(), PruneMode::Off);
+        assert_eq!(
+            parsed(&["--prune", "approx"]).unwrap(),
+            PruneMode::Approx { margin: 0.05 }
+        );
+        assert_eq!(
+            parsed(&["--prune", "approx", "--prune-margin", "0.2"]).unwrap(),
+            PruneMode::Approx { margin: 0.2 }
+        );
     }
 
     #[test]

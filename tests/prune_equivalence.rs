@@ -1,0 +1,345 @@
+//! Property tests for the sub-linear candidate-generation tentpole:
+//! **bound-pruned exact scans are bit-identical to the exhaustive
+//! reference**. The pruned path (`PruneMode::Exact`, the default)
+//! must reproduce `match_phrase_reference` exactly — same candidates,
+//! same order, same score *bits* — across random semantic spaces, the
+//! paper's τ sweep, worker threads {1, 4}, phrase cache {0, 4096},
+//! backing {owned, mapped}, and after delta chains. `PruneMode::Off`
+//! and `Exact` must agree everywhere (pruning is a pure execution
+//! knob), the artifact bytes must not depend on the knob at all, and
+//! pre-pruning artifacts (no `prune.*`/`quant.*` sections) must keep
+//! loading with identical output. The one mode allowed to differ —
+//! `Approx` — may only *miss*, and its measured recall is floored.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use thor_repro::core::{
+    Document, EngineDelta, MapMode, PreparedEngine, PruneMode, SeedDelta, Thor, ThorConfig,
+};
+use thor_repro::data::{Schema, Table};
+use thor_repro::embed::{SemanticSpaceBuilder, VectorStore};
+use thor_repro::fault::{atomic_write, SectionFile, SectionWriter};
+use thor_repro::matcher::{CandidateEntity, MatcherConfig, SimilarityMatcher};
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("thor-prune-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn case_id() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Matcher-level properties: pruned == exhaustive, bit for bit.
+// ---------------------------------------------------------------------
+
+fn space(seed: u64) -> VectorStore {
+    SemanticSpaceBuilder::new(24, seed)
+        .spread(0.5)
+        .topic("alpha")
+        .topic("beta")
+        .correlated_topic("gamma", "beta", 0.3)
+        .words("alpha", ["ape", "ant", "asp", "auk"])
+        .words("beta", ["bee", "bat", "boa", "bug"])
+        .words("gamma", ["gnu", "gar", "goa"])
+        .generic_words(["elk", "owl"])
+        .build()
+        .into_store()
+}
+
+fn concepts() -> Vec<(String, Vec<String>)> {
+    vec![
+        (
+            "Alpha".to_string(),
+            vec!["ape".to_string(), "ant".to_string()],
+        ),
+        (
+            "Beta".to_string(),
+            vec!["bee".to_string(), "bat".to_string()],
+        ),
+        ("Gamma".to_string(), vec!["gnu".to_string()]),
+    ]
+}
+
+fn matcher(tau: f64, seed: u64, cache: usize) -> SimilarityMatcher {
+    let config = MatcherConfig {
+        tau,
+        cache_capacity: cache,
+        ..MatcherConfig::default()
+    };
+    SimilarityMatcher::fine_tune(&concepts(), space(seed), config)
+}
+
+/// Match every phrase over `threads` workers sharing the one matcher
+/// (and therefore the one phrase cache), twice each so cache-hit
+/// replays are covered too, and require all rounds to agree.
+fn matched_concurrently(
+    m: &SimilarityMatcher,
+    phrases: &[String],
+    threads: usize,
+) -> Vec<Vec<CandidateEntity>> {
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    phrases
+                        .iter()
+                        .map(|p| m.match_phrase(p))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut rounds: Vec<Vec<Vec<CandidateEntity>>> = workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect();
+        let first = rounds.remove(0);
+        for later in &rounds {
+            assert_eq!(&first, later, "concurrent rounds diverged");
+        }
+        first
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: `Exact` pruning reproduces the
+    /// brute-force reference *bit-identically* — and `Off` agrees with
+    /// `Exact` — for random spaces, every τ of the paper's sweep,
+    /// cache {0, 4096} and threads {1, 4} on one shared matcher.
+    #[test]
+    fn pruned_exact_equals_exhaustive_bit_identically(
+        words in prop::collection::vec(
+            prop::collection::vec("(ape|ant|asp|auk|bee|bat|boa|bug|gnu|gar|goa|elk|owl|zzz)", 1..5),
+            1..6,
+        ),
+        seed in 0u64..25,
+        tau10 in 5u32..=10,
+        cache_pick in 0usize..2,
+        threads_pick in 0usize..2,
+    ) {
+        let cache = [0usize, 4096][cache_pick];
+        let threads = [1usize, 4][threads_pick];
+        let exact = matcher(tau10 as f64 / 10.0, seed, cache);
+        let off = exact.with_prune_mode(PruneMode::Off);
+        let phrases: Vec<String> = words.iter().map(|w| w.join(" ")).collect();
+
+        let got = matched_concurrently(&exact, &phrases, threads);
+        for (phrase, act) in phrases.iter().zip(&got) {
+            let reference = exact.match_phrase_reference(phrase, |_| true);
+            prop_assert_eq!(
+                &reference, act,
+                "pruned path diverged from reference on `{}`", phrase
+            );
+            let unpruned = off.match_phrase(phrase);
+            prop_assert_eq!(
+                &reference, &unpruned,
+                "exhaustive mode diverged from reference on `{}`", phrase
+            );
+        }
+    }
+}
+
+/// `Approx` may only lose candidates, never invent scores: with a
+/// modest margin its measured recall against the exact candidate set
+/// stays above the floor, and every candidate it does emit carries the
+/// same exactly-rescored bits as the exact path's candidate for that
+/// (phrase, concept).
+#[test]
+fn approx_recall_is_floored_and_survivors_are_exactly_rescored() {
+    let mut exact_total = 0usize;
+    let mut approx_hit = 0usize;
+    for seed in 0..10u64 {
+        let exact = matcher(0.6, seed, 0);
+        let approx = exact.with_prune_mode(PruneMode::Approx { margin: 0.1 });
+        let vocab = [
+            "ape", "ant", "asp", "auk", "bee", "bat", "boa", "bug", "gnu", "gar", "goa", "elk",
+            "owl",
+        ];
+        let mut phrases: Vec<String> = vocab.iter().map(|w| w.to_string()).collect();
+        phrases.extend(vocab.windows(2).map(|w| w.join(" ")));
+        for phrase in &phrases {
+            let e = exact.match_phrase(phrase);
+            let a = approx.match_phrase(phrase);
+            let keys: BTreeSet<(String, String)> = a
+                .iter()
+                .map(|c| (c.phrase.clone(), c.concept.clone()))
+                .collect();
+            exact_total += e.len();
+            for c in &e {
+                if keys.contains(&(c.phrase.clone(), c.concept.clone())) {
+                    approx_hit += 1;
+                }
+            }
+            // Survivors are rescored through the exact f32 path: any
+            // candidate approx emits for a (phrase, concept) the exact
+            // path also emits must be bit-identical to it.
+            for ac in &a {
+                if let Some(ec) = e
+                    .iter()
+                    .find(|ec| ec.phrase == ac.phrase && ec.concept == ac.concept)
+                {
+                    assert_eq!(ec, ac, "approx survivor not exactly rescored: {phrase:?}");
+                }
+            }
+        }
+    }
+    assert!(exact_total > 0, "workload produced no exact candidates");
+    let recall = approx_hit as f64 / exact_total as f64;
+    assert!(
+        recall >= 0.9,
+        "approx recall {recall:.3} fell below the 0.9 floor ({approx_hit}/{exact_total})"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Engine-level properties: the knob is invisible to artifacts and to
+// enrichment, including after delta chains and across map modes.
+// ---------------------------------------------------------------------
+
+fn engine_store() -> VectorStore {
+    SemanticSpaceBuilder::new(24, 5)
+        .topic("anatomy")
+        .words(
+            "anatomy",
+            ["lungs", "brain", "skin", "nerve", "spine", "ear"],
+        )
+        .topic("medicine")
+        .words("medicine", ["aspirin", "insulin"])
+        .generic_words(["damages", "grows", "treats", "causes"])
+        .build()
+        .into_store()
+}
+
+fn base_table() -> Table {
+    let mut table = Table::new(Schema::new(["Disease", "Anatomy"], "Disease"));
+    table.fill_slot("Tuberculosis", "Anatomy", "lungs");
+    table.row_for_subject("Acne");
+    table
+}
+
+fn docs() -> Vec<Document> {
+    vec![
+        Document::new("d0", "Tuberculosis damages the lungs and the brain."),
+        Document::new("d1", "Acne grows on the skin and damages the ear."),
+        Document::new("d2", "Aspirin treats the nerve and the spine."),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// After a random delta chain, a chain-loaded engine enriches
+    /// identically whether pruning is `Exact` (default) or `Off`, at
+    /// every {cache} × {mmap} point — and the artifact bytes the
+    /// evolved engine saves are byte-identical regardless of the
+    /// execution knob it was running under.
+    #[test]
+    fn prune_modes_agree_after_delta_chains(
+        seeds in prop::collection::vec((0usize..3, 0usize..6), 1..4),
+        cache_pick in 0usize..2,
+        mapped_pick in 0usize..2,
+    ) {
+        const SUBJECTS: [&str; 3] = ["Tuberculosis", "Acne", "Stroke"];
+        const WORDS: [&str; 6] = ["lungs", "brain", "skin", "nerve", "spine", "ear"];
+        let mode = [MapMode::Owned, MapMode::Mapped][mapped_pick];
+
+        let mut config = ThorConfig::with_tau(0.6);
+        config.cache_capacity = [0usize, 4096][cache_pick];
+        let thor = Thor::new(engine_store(), config);
+        let mut engine = thor.prepare(&base_table());
+
+        let dir = scratch_dir();
+        let case = case_id();
+        let mut paths = vec![dir.join(format!("base-{case}.eng"))];
+        engine.save(&paths[0]).unwrap();
+        for (i, &(sub, word)) in seeds.iter().enumerate() {
+            let mut rows = Table::new(Schema::new(["Disease", "Anatomy"], "Disease"));
+            rows.fill_slot(SUBJECTS[sub], "Anatomy", WORDS[word]);
+            engine = engine.apply_delta(&EngineDelta::Seeds(SeedDelta::new(rows))).unwrap();
+            let next = dir.join(format!("d{i}-{case}.eng"));
+            engine.save_delta(paths.last().unwrap(), &next, "prune prop").unwrap();
+            paths.push(next);
+        }
+
+        // The execution knob never reaches the artifact: the evolved
+        // engine saves the same bytes under `Off` as under the default.
+        let (pa, pb) = (
+            dir.join(format!("exact-{case}.eng")),
+            dir.join(format!("off-{case}.eng")),
+        );
+        engine.save(&pa).unwrap();
+        engine.with_prune(PruneMode::Off).save(&pb).unwrap();
+        prop_assert_eq!(std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+
+        let loaded = PreparedEngine::load_with(paths.last().unwrap(), mode).unwrap();
+        prop_assert_eq!(loaded.fingerprint(), engine.fingerprint());
+        let docs = docs();
+        let exact = loaded.enrich(&docs);
+        let off = loaded.with_prune(PruneMode::Off).enrich(&docs);
+        prop_assert_eq!(&exact.entities, &off.entities);
+        prop_assert_eq!(
+            thor_repro::data::csv::to_csv(&exact.table),
+            thor_repro::data::csv::to_csv(&off.table)
+        );
+
+        drop(loaded);
+        for p in paths.iter().chain([&pa, &pb]) {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}
+
+/// A pre-pruning artifact — every `prune.*`/`quant.*` section stripped,
+/// as a v2-era save would have produced — still loads under both map
+/// modes, keeps its fingerprint, and enriches identically: the load
+/// path rebuilds the pruning structures on the fly.
+#[test]
+fn artifacts_without_prune_sections_still_load_and_agree() {
+    let dir = scratch_dir();
+    let thor = Thor::new(engine_store(), ThorConfig::with_tau(0.6));
+    let engine = thor.prepare(&base_table());
+    let full = dir.join("compat-full.eng");
+    engine.save(&full).unwrap();
+
+    let file = SectionFile::open(&full, MapMode::Owned).unwrap();
+    assert!(
+        file.entry("prune.meta").is_some() && file.entry("quant.rows").is_some(),
+        "fixture artifact should carry the pruning sections"
+    );
+    let mut w = SectionWriter::new();
+    let mut dropped = 0;
+    for e in file.entries() {
+        if e.name.starts_with("prune.") || e.name.starts_with("quant.") {
+            dropped += 1;
+            continue;
+        }
+        w.add(&e.name, e.version, file.bytes(&e.name).unwrap());
+    }
+    assert_eq!(dropped, 8, "expected all eight pruning sections present");
+    let stripped = dir.join("compat-stripped.eng");
+    atomic_write(&stripped, &w.finish()).unwrap();
+    drop(file);
+
+    let docs = docs();
+    let want = engine.enrich(&docs);
+    for mode in [MapMode::Owned, MapMode::Mapped] {
+        let loaded = PreparedEngine::load_with(&stripped, mode).unwrap();
+        assert_eq!(loaded.fingerprint(), engine.fingerprint());
+        let got = loaded.enrich(&docs);
+        assert_eq!(want.entities, got.entities);
+        assert_eq!(
+            thor_repro::data::csv::to_csv(&want.table),
+            thor_repro::data::csv::to_csv(&got.table)
+        );
+    }
+    std::fs::remove_file(&full).ok();
+    std::fs::remove_file(&stripped).ok();
+}
